@@ -1,0 +1,338 @@
+//! Dominator and post-dominator trees.
+//!
+//! Both are computed with the Cooper–Harvey–Kennedy iterative algorithm
+//! over (reverse) post-order. Post-dominance runs the same algorithm on
+//! the reversed CFG rooted at a *virtual exit* that succeeds every block
+//! with no successors ([`simt_ir::Terminator::Exit`] / `Return`). Blocks
+//! that cannot reach an exit (infinite loops) have no post-dominator and
+//! report `ipdom == None`.
+
+use simt_ir::{BlockId, Function};
+
+/// A dominator (or post-dominator) tree over a function's blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `None` for the root and for blocks
+    /// not reachable in the traversal direction.
+    idom: Vec<Option<BlockId>>,
+    /// The tree root (entry block, or virtual-exit representative for
+    /// post-dominance — in that case this is `None`).
+    root: Option<BlockId>,
+    /// Whether this is a post-dominator tree.
+    post: bool,
+    /// Whether each block was reached by the traversal (from the entry, or
+    /// backwards from any exit for post-dominance).
+    reachable: Vec<bool>,
+}
+
+/// Index of the virtual exit in the internal numbering (only used for
+/// post-dominance).
+const VIRTUAL_EXIT: usize = usize::MAX;
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn dominators(func: &Function) -> DomTree {
+        Self::compute(func, false)
+    }
+
+    /// Computes the post-dominator tree of `func`.
+    pub fn post_dominators(func: &Function) -> DomTree {
+        Self::compute(func, true)
+    }
+
+    fn compute(func: &Function, post: bool) -> DomTree {
+        let n = func.blocks.len();
+        let preds_tbl = func.predecessors();
+
+        // Edges in traversal direction.
+        let succs = |b: usize| -> Vec<usize> {
+            if post {
+                preds_tbl[BlockId::new(b)].iter().map(|p| p.index()).collect()
+            } else {
+                func.successors(BlockId::new(b)).iter().map(|s| s.index()).collect()
+            }
+        };
+
+        // Roots: entry, or all exit blocks (blocks with no successors).
+        let roots: Vec<usize> = if post {
+            (0..n)
+                .filter(|&b| func.successors(BlockId::new(b)).is_empty())
+                .collect()
+        } else {
+            vec![func.entry.index()]
+        };
+
+        // Post-order over the traversal direction, from the roots.
+        let mut visited = vec![false; n];
+        let mut post_order: Vec<usize> = Vec::with_capacity(n);
+        for &root in &roots {
+            if visited[root] {
+                continue;
+            }
+            visited[root] = true;
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(root, succs(root), 0)];
+            while let Some((b, ss, next)) = stack.last_mut() {
+                if *next < ss.len() {
+                    let s = ss[*next];
+                    *next += 1;
+                    if !visited[s] {
+                        visited[s] = true;
+                        let nss = succs(s);
+                        stack.push((s, nss, 0));
+                    }
+                } else {
+                    post_order.push(*b);
+                    stack.pop();
+                }
+            }
+        }
+
+        // rpo_number: higher = earlier in reverse post-order.
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in post_order.iter().enumerate() {
+            rpo_number[b] = i;
+        }
+
+        // Iterative CHK. `idom[b]` uses VIRTUAL_EXIT as the sentinel root
+        // parent for multi-rooted post-dominance.
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        for &root in &roots {
+            idom[root] = Some(if post { VIRTUAL_EXIT } else { root });
+        }
+
+        // The virtual exit is an ancestor of every root, so it absorbs.
+        let intersect = |idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                if a == VIRTUAL_EXIT || b == VIRTUAL_EXIT {
+                    return VIRTUAL_EXIT;
+                }
+                while rpo[a] < rpo[b] {
+                    a = idom[a].expect("processed node without idom");
+                    if a == VIRTUAL_EXIT || a == b {
+                        break;
+                    }
+                }
+                if a == b || a == VIRTUAL_EXIT {
+                    continue;
+                }
+                while rpo[b] < rpo[a] {
+                    b = idom[b].expect("processed node without idom");
+                    if b == VIRTUAL_EXIT || b == a {
+                        break;
+                    }
+                }
+            }
+            a
+        };
+
+        // Predecessors in traversal direction.
+        let preds = |b: usize| -> Vec<usize> {
+            if post {
+                func.successors(BlockId::new(b)).iter().map(|s| s.index()).collect()
+            } else {
+                preds_tbl[BlockId::new(b)].iter().map(|p| p.index()).collect()
+            }
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in post_order.iter().rev() {
+                if roots.contains(&b) {
+                    continue;
+                }
+                let mut new_idom: Option<usize> = None;
+                for p in preds(b) {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_number, cur, p),
+                    });
+                }
+                if new_idom != idom[b] && new_idom.is_some() {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let idom_ids: Vec<Option<BlockId>> = (0..n)
+            .map(|b| match idom[b] {
+                Some(VIRTUAL_EXIT) => None,
+                Some(d) if d == b && !post => None, // entry's self-idom
+                Some(d) => Some(BlockId::new(d)),
+                None => None,
+            })
+            .collect();
+
+        DomTree {
+            idom: idom_ids,
+            root: if post { None } else { Some(func.entry) },
+            post,
+            reachable: visited,
+        }
+    }
+
+    /// The immediate (post-)dominator of `b`, or `None` for the root /
+    /// blocks with none.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Whether `a` (post-)dominates `b`. Every block dominates itself;
+    /// nothing dominates a block the traversal never reached.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) || !self.is_reachable(a) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        let mut cur = b;
+        // Walk up the tree; depth is bounded by block count.
+        for _ in 0..=self.idom.len() {
+            match self.idom(cur) {
+                Some(d) => {
+                    if d == a {
+                        return true;
+                    }
+                    cur = d;
+                }
+                None => return self.root == Some(a) && !self.post,
+            }
+        }
+        false
+    }
+
+    /// Whether this block participates in the tree. For post-dominance a
+    /// block disconnected from every exit (e.g. inside an infinite loop
+    /// with no break) is unreachable and has no post-dominator.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.get(b.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{FuncKind, Function, Operand, Terminator};
+
+    /// entry -> a -> c ; entry -> b -> c ; c -> exit_blk
+    fn diamond() -> Function {
+        let mut f = Function::new("d", FuncKind::Kernel, 0);
+        let a = f.add_block(Some("a".into()));
+        let b = f.add_block(Some("b".into()));
+        let c = f.add_block(Some("c".into()));
+        f.blocks[f.entry].term = Terminator::Branch {
+            cond: Operand::imm_i64(0),
+            then_bb: a,
+            else_bb: b,
+            divergent: false,
+        };
+        f.blocks[a].term = Terminator::Jump(c);
+        f.blocks[b].term = Terminator::Jump(c);
+        f.blocks[c].term = Terminator::Exit;
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let dt = DomTree::dominators(&f);
+        let (e, a, b, c) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dt.idom(e), None);
+        assert_eq!(dt.idom(a), Some(e));
+        assert_eq!(dt.idom(b), Some(e));
+        assert_eq!(dt.idom(c), Some(e));
+        assert!(dt.dominates(e, c));
+        assert!(!dt.dominates(a, c));
+        assert!(dt.dominates(c, c));
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let f = diamond();
+        let pdt = DomTree::post_dominators(&f);
+        let (e, a, b, c) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(pdt.idom(e), Some(c));
+        assert_eq!(pdt.idom(a), Some(c));
+        assert_eq!(pdt.idom(b), Some(c));
+        assert_eq!(pdt.idom(c), None);
+        assert!(pdt.dominates(c, e));
+        assert!(!pdt.dominates(a, e));
+    }
+
+    /// entry -> header; header -> body | exit_blk; body -> header
+    fn simple_loop() -> Function {
+        let mut f = Function::new("l", FuncKind::Kernel, 0);
+        let header = f.add_block(Some("header".into()));
+        let body = f.add_block(Some("body".into()));
+        let exit_blk = f.add_block(Some("out".into()));
+        f.blocks[f.entry].term = Terminator::Jump(header);
+        f.blocks[header].term = Terminator::Branch {
+            cond: Operand::imm_i64(0),
+            then_bb: body,
+            else_bb: exit_blk,
+            divergent: false,
+        };
+        f.blocks[body].term = Terminator::Jump(header);
+        f.blocks[exit_blk].term = Terminator::Exit;
+        f
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let f = simple_loop();
+        let dt = DomTree::dominators(&f);
+        let (e, h, b, x) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dt.idom(h), Some(e));
+        assert_eq!(dt.idom(b), Some(h));
+        assert_eq!(dt.idom(x), Some(h));
+    }
+
+    #[test]
+    fn loop_post_dominators() {
+        let f = simple_loop();
+        let pdt = DomTree::post_dominators(&f);
+        let (e, h, b, x) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(pdt.idom(e), Some(h));
+        assert_eq!(pdt.idom(b), Some(h));
+        assert_eq!(pdt.idom(h), Some(x));
+        assert!(pdt.dominates(x, e));
+        assert!(pdt.is_reachable(b));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_post_dominator() {
+        let mut f = Function::new("inf", FuncKind::Kernel, 0);
+        let spin = f.add_block(Some("spin".into()));
+        f.blocks[f.entry].term = Terminator::Jump(spin);
+        f.blocks[spin].term = Terminator::Jump(spin);
+        let pdt = DomTree::post_dominators(&f);
+        assert_eq!(pdt.idom(BlockId(0)), None);
+        assert!(!pdt.is_reachable(BlockId(1)));
+    }
+
+    #[test]
+    fn multiple_exits_meet_at_virtual_exit() {
+        // entry branches to two blocks that each exit: neither exit block
+        // post-dominates entry; entry's ipdom is the virtual exit (None).
+        let mut f = Function::new("two_exits", FuncKind::Kernel, 0);
+        let a = f.add_block(None);
+        let b = f.add_block(None);
+        f.blocks[f.entry].term = Terminator::Branch {
+            cond: Operand::imm_i64(0),
+            then_bb: a,
+            else_bb: b,
+            divergent: false,
+        };
+        f.blocks[a].term = Terminator::Exit;
+        f.blocks[b].term = Terminator::Exit;
+        let pdt = DomTree::post_dominators(&f);
+        assert_eq!(pdt.idom(f.entry), None);
+        assert!(pdt.is_reachable(a));
+        assert!(!pdt.dominates(a, f.entry));
+    }
+}

@@ -1,0 +1,41 @@
+//! # simt-analysis — CFG analyses for the Speculative Reconvergence passes
+//!
+//! Provides the program analyses that the compiler passes in
+//! `specrecon-core` are built from:
+//!
+//! - [`DomTree`] — dominator and post-dominator trees ([`dom`]);
+//! - [`LoopForest`] — natural loops and nesting depth ([`loops`]);
+//! - a generic union-meet bit-set dataflow solver ([`dataflow`]);
+//! - the paper's two barrier analyses and conflict detection
+//!   ([`barriers`]): joined-barrier analysis (Eq. 1), barrier liveness
+//!   (Eq. 2), and §4.3 conflict pairs.
+//!
+//! ```
+//! use simt_ir::parse_module;
+//! use simt_analysis::{DomTree, LoopForest};
+//!
+//! let m = parse_module(
+//!     "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\n\
+//!      bb0:\n  jmp bb1\n\
+//!      bb1:\n  %r0 = add %r0, 1\n  %r0 = lt %r0, 4\n  br %r0, bb1, bb2\n\
+//!      bb2:\n  exit\n}\n",
+//! ).unwrap();
+//! let f = m.functions.iter().next().unwrap().1;
+//! let dom = DomTree::dominators(f);
+//! let loops = LoopForest::new(f, &dom);
+//! assert_eq!(loops.loops.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barriers;
+pub mod bitset;
+pub mod dataflow;
+pub mod dom;
+pub mod loops;
+
+pub use barriers::{find_conflicts, BarrierConflict, BarrierJoined, BarrierLiveness};
+pub use bitset::BitSet;
+pub use dataflow::{solve, DataflowProblem, DataflowResult, Direction};
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest};

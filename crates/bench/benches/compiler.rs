@@ -1,0 +1,52 @@
+//! Criterion benches of the compiler side: parsing, analyses, and the
+//! pass pipeline, on the largest Table-2 module (RSBench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simt_analysis::{BarrierJoined, BarrierLiveness, DomTree, LoopForest};
+use simt_ir::parse_module;
+use specrecon_core::{compile, detect, CompileOptions, DetectOptions};
+use workloads::rsbench;
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = rsbench::build(&rsbench::Params::default());
+    let kernel = w.module.function_by_name("rsbench").unwrap();
+    let func = w.module.functions[kernel].clone();
+    let text = w.module.to_string();
+    // Pre-transform a module so the barrier analyses have sync to chew on.
+    let compiled = compile(&w.module, &CompileOptions::speculative()).unwrap();
+    let sync_func = compiled.module.functions[kernel].clone();
+
+    let mut g = c.benchmark_group("compiler");
+    g.bench_function("parse_rsbench", |b| {
+        b.iter(|| parse_module(&text).expect("parses"));
+    });
+    g.bench_function("dominators", |b| {
+        b.iter(|| DomTree::dominators(&func));
+    });
+    g.bench_function("post_dominators", |b| {
+        b.iter(|| DomTree::post_dominators(&func));
+    });
+    g.bench_function("loop_forest", |b| {
+        let dom = DomTree::dominators(&func);
+        b.iter(|| LoopForest::new(&func, &dom));
+    });
+    g.bench_function("barrier_joined", |b| {
+        b.iter(|| BarrierJoined::analyze(&sync_func));
+    });
+    g.bench_function("barrier_liveness", |b| {
+        b.iter(|| BarrierLiveness::analyze(&sync_func));
+    });
+    g.bench_function("detect_candidates", |b| {
+        b.iter(|| detect(&func, &DetectOptions::default()));
+    });
+    g.bench_function("pipeline_baseline", |b| {
+        b.iter(|| compile(&w.module, &CompileOptions::baseline()).expect("compiles"));
+    });
+    g.bench_function("pipeline_speculative", |b| {
+        b.iter(|| compile(&w.module, &CompileOptions::speculative()).expect("compiles"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches of the simulator substrate: raw interpreter
+//! throughput on convergent, divergent, and barrier-heavy kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simt_ir::parse_and_link;
+use simt_ir::Value;
+use simt_sim::{run, Launch, SimConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+
+    // Convergent ALU loop: the interpreter fast path.
+    let convergent = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = mov 0\n  %r1 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r1 = add %r1, 3\n  %r1 = xor %r1, 7\n  %r0 = add %r0, 1\n  %r2 = lt %r0, 2000\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+
+    // Divergent loop: exercises group selection.
+    let divergent = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = mul %r0, 40\n  %r1 = add %r1, 40\n  %r2 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r2 = add %r2, 1\n  %r3 = lt %r2, %r1\n  brdiv %r3, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+
+    // Barrier-heavy loop: join/wait every iteration.
+    let barrier = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=1, entry=bb0) {\n\
+         bb0:\n  %r0 = mov 0\n  jmp bb1\n\
+         bb1:\n  join b0\n  wait b0\n  %r0 = add %r0, 1\n  %r2 = lt %r0, 1000\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(2000 * 32));
+    g.bench_function("convergent_alu_loop", |b| {
+        b.iter(|| run(&convergent, &cfg, &Launch::new("k", 1)).expect("runs"));
+    });
+    g.throughput(Throughput::Elements(32 * 40 * 32 / 2));
+    g.bench_function("divergent_trip_counts", |b| {
+        b.iter(|| run(&divergent, &cfg, &Launch::new("k", 1)).expect("runs"));
+    });
+    g.throughput(Throughput::Elements(1000 * 32));
+    g.bench_function("barrier_per_iteration", |b| {
+        b.iter(|| run(&barrier, &cfg, &Launch::new("k", 1)).expect("runs"));
+    });
+
+    // Memory-heavy: coalescing model cost.
+    let memory = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  %r1 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r2 = mul %r1, 33\n  %r2 = add %r2, %r0\n  %r2 = rem %r2, 4096\n  %r3 = load global[%r2]\n  %r1 = add %r1, 1\n  %r2 = lt %r1, 500\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut launch = Launch::new("k", 1);
+    launch.global_mem = vec![Value::I64(0); 4096];
+    g.throughput(Throughput::Elements(500 * 32));
+    g.bench_function("scattered_loads", |b| {
+        b.iter(|| run(&memory, &cfg, &launch).expect("runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches over the Table-2 workloads: simulation throughput of
+//! each benchmark under the baseline and Speculative Reconvergence
+//! pipelines. (The paper-figure *data* comes from the `figures` binary;
+//! these benches measure the reproduction itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simt_sim::{run, SimConfig};
+use specrecon_core::{compile, CompileOptions};
+use workloads::{eval::with_warps, registry};
+
+fn bench_workloads(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+
+    for w in registry() {
+        let w = with_warps(&w, 1);
+        let baseline = compile(&w.module, &CompileOptions::baseline()).expect("baseline compiles");
+        let spec = compile(&w.module, &CompileOptions::speculative()).expect("spec compiles");
+
+        group.bench_with_input(BenchmarkId::new("baseline", w.name), &w, |b, w| {
+            b.iter(|| run(&baseline.module, &cfg, &w.launch).expect("baseline runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("speculative", w.name), &w, |b, w| {
+            b.iter(|| run(&spec.module, &cfg, &w.launch).expect("spec runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Regenerates the paper's tables and figures as markdown (and CSV files
+//! under `results/` when `--csv` is passed).
+//!
+//! ```text
+//! figures [--quick] [--csv] [table2|fig7|fig8|fig9|fig10|funnel|
+//!          ablate-deconflict|ablate-unroll|ablate-sched|all]
+//! ```
+
+use specrecon_bench::report::{csv, markdown_table, pct, ratio};
+use specrecon_bench::{ablate, fig10, fig7, fig9, table2, Scale};
+use std::fs;
+use std::path::Path;
+
+struct Opts {
+    scale: Scale,
+    write_csv: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts { scale: Scale::Full, write_csv: false };
+    let mut targets: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--csv" => opts.write_csv = true,
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    for t in &targets {
+        match t.as_str() {
+            "table2" => emit_table2(&opts),
+            "fig7" => emit_fig7_fig8(&opts, true, false),
+            "fig8" => emit_fig7_fig8(&opts, false, true),
+            "fig9" => emit_fig9(&opts),
+            "fig10" => emit_fig10(&opts),
+            "funnel" => emit_funnel(&opts),
+            "ablate-deconflict" => emit_ablate_deconflict(&opts),
+            "ablate-unroll" => emit_ablate_unroll(&opts),
+            "ablate-sched" => emit_ablate_sched(&opts),
+            "ablate-sync" => emit_ablate_sync(&opts),
+            "ablate-width" => emit_ablate_width(&opts),
+            "ablate-cache" => emit_ablate_cache(&opts),
+            "ablate-threshold" => emit_ablate_threshold(&opts),
+            "all" => {
+                emit_table2(&opts);
+                emit_fig7_fig8(&opts, true, true);
+                emit_fig9(&opts);
+                emit_fig10(&opts);
+                emit_funnel(&opts);
+                emit_ablate_deconflict(&opts);
+                emit_ablate_unroll(&opts);
+                emit_ablate_sched(&opts);
+                emit_ablate_sync(&opts);
+                emit_ablate_width(&opts);
+                emit_ablate_cache(&opts);
+                emit_ablate_threshold(&opts);
+            }
+            other => {
+                eprintln!("unknown target `{other}`");
+                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-threshold all");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn save_csv(opts: &Opts, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if !opts.write_csv {
+        return;
+    }
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, csv(headers, rows)) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        println!("(wrote {})", path.display());
+    }
+}
+
+fn emit_table2(opts: &Opts) {
+    println!("\n## Table 2 — benchmarks\n");
+    let rows: Vec<Vec<String>> = table2::rows()
+        .into_iter()
+        .map(|r| vec![r.name, r.pattern.to_string(), r.description])
+        .collect();
+    let headers = ["benchmark", "pattern", "description"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "table2", &headers, &rows);
+}
+
+fn emit_fig7_fig8(opts: &Opts, fig7_on: bool, fig8_on: bool) {
+    let data = fig7::collect(opts.scale);
+    if let Err(e) = fig7::sanity(&data) {
+        eprintln!("WARNING: figure 7/8 shape check failed: {e}");
+    }
+    if fig7_on {
+        println!("\n## Figure 7 — SIMT efficiency (baseline vs Speculative Reconvergence)\n");
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    pct(r.base_eff),
+                    pct(r.spec_eff),
+                    pct(r.base_roi_eff),
+                    pct(r.spec_roi_eff),
+                ]
+            })
+            .collect();
+        let headers = ["workload", "baseline eff", "SR eff", "baseline ROI eff", "SR ROI eff"];
+        println!("{}", markdown_table(&headers, &rows));
+        save_csv(opts, "fig7", &headers, &rows);
+    }
+    if fig8_on {
+        println!("\n## Figure 8 — relative SIMT-efficiency improvement vs speedup\n");
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|r| vec![r.name.clone(), ratio(r.eff_gain), ratio(r.speedup)])
+            .collect();
+        let headers = ["workload", "SIMT efficiency gain", "speedup"];
+        println!("{}", markdown_table(&headers, &rows));
+        save_csv(opts, "fig8", &headers, &rows);
+    }
+}
+
+fn emit_fig9(opts: &Opts) {
+    println!("\n## Figure 9 — soft-barrier threshold sweep (PathTracer, XSBench)\n");
+    println!("(threshold = arrivals required to release; 32 = full/hard barrier)\n");
+    let data = fig9::collect(opts.scale);
+    if let Err(e) = fig9::sanity(&data) {
+        eprintln!("WARNING: figure 9 shape check failed: {e}");
+    }
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|p| {
+            vec![p.app.clone(), p.threshold.to_string(), pct(p.simt_eff), ratio(p.speedup)]
+        })
+        .collect();
+    let headers = ["app", "threshold", "SIMT efficiency", "speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "fig9", &headers, &rows);
+}
+
+fn emit_fig10(opts: &Opts) {
+    println!("\n## Figure 10 — automatic Speculative Reconvergence upside\n");
+    let rows: Vec<Vec<String>> = fig10::upside(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                r.applied.to_string(),
+                pct(r.base_eff),
+                pct(r.auto_eff),
+                ratio(r.speedup),
+                ratio(r.user_speedup),
+            ]
+        })
+        .collect();
+    let headers =
+        ["app", "applied candidates", "baseline eff", "auto-SR eff", "auto speedup", "user speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "fig10", &headers, &rows);
+}
+
+fn emit_funnel(opts: &Opts) {
+    let size = match opts.scale {
+        Scale::Quick => 120,
+        Scale::Full => 520,
+    };
+    println!("\n## §5.4 funnel — corpus scan ({size} synthetic applications)\n");
+    let f = fig10::funnel(size, 0x520);
+    if let Err(e) = fig10::sanity_funnel(&f) {
+        eprintln!("WARNING: funnel shape check failed: {e}");
+    }
+    let p = fig10::funnel_profiled(size, 0x520);
+    let rows = vec![
+        vec!["applications scanned".to_string(), f.total.to_string(), p.total.to_string()],
+        vec![
+            "SIMT efficiency < ~80%".to_string(),
+            f.low_efficiency.to_string(),
+            p.low_efficiency.to_string(),
+        ],
+        vec![
+            "non-trivial opportunity detected".to_string(),
+            f.detected.to_string(),
+            p.detected.to_string(),
+        ],
+        vec![
+            "significant improvement".to_string(),
+            f.significant.to_string(),
+            p.significant.to_string(),
+        ],
+    ];
+    let headers = ["stage", "static (paper's §4.5)", "profile-guided"];
+    println!("{}", markdown_table(&headers, &rows));
+    println!("(paper, static: 520 scanned, 75 low-efficiency, 16 detected, 5 significant)\n");
+    save_csv(opts, "funnel", &headers, &rows);
+}
+
+fn emit_ablate_deconflict(opts: &Opts) {
+    println!("\n## Ablation — §4.3 deconfliction strategy\n");
+    let rows: Vec<Vec<String>> = ablate::deconflict(opts.scale)
+        .into_iter()
+        .map(|r| vec![r.name, ratio(r.dynamic_speedup), ratio(r.static_speedup)])
+        .collect();
+    let headers = ["workload", "dynamic speedup", "static speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_deconflict", &headers, &rows);
+}
+
+fn emit_ablate_unroll(opts: &Opts) {
+    println!("\n## Ablation — §6 partial unrolling × Loop Merge (RSBench)\n");
+    let rows: Vec<Vec<String>> = ablate::unroll(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("x{}", r.factor),
+                r.cycles.to_string(),
+                r.barrier_ops.to_string(),
+                pct(r.simt_eff),
+            ]
+        })
+        .collect();
+    let headers = ["unroll factor", "cycles", "barrier ops", "SIMT efficiency"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_unroll", &headers, &rows);
+}
+
+fn emit_ablate_sched(opts: &Opts) {
+    println!("\n## Ablation — scheduler-policy sensitivity (RSBench)\n");
+    let rows: Vec<Vec<String>> = ablate::scheduler(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.policy),
+                r.base_cycles.to_string(),
+                r.spec_cycles.to_string(),
+                ratio(r.speedup),
+            ]
+        })
+        .collect();
+    let headers = ["policy", "baseline cycles", "SR cycles", "speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_sched", &headers, &rows);
+}
+
+fn emit_ablate_sync(opts: &Opts) {
+    println!("\n## Ablation — no sync vs PDOM vs Speculative Reconvergence\n");
+    let rows: Vec<Vec<String>> = ablate::sync_variants(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                pct(r.none_eff),
+                pct(r.pdom_eff),
+                pct(r.sr_eff),
+                r.cycles[0].to_string(),
+                r.cycles[1].to_string(),
+                r.cycles[2].to_string(),
+            ]
+        })
+        .collect();
+    let headers =
+        ["workload", "none eff", "PDOM eff", "SR eff", "none cycles", "PDOM cycles", "SR cycles"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_sync", &headers, &rows);
+}
+
+fn emit_ablate_width(opts: &Opts) {
+    println!("\n## Ablation — warp width sensitivity (RSBench)\n");
+    let rows: Vec<Vec<String>> = ablate::warp_width(opts.scale)
+        .into_iter()
+        .map(|r| vec![r.width.to_string(), pct(r.base_eff), ratio(r.speedup)])
+        .collect();
+    let headers = ["warp width", "baseline eff", "SR speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_width", &headers, &rows);
+}
+
+fn emit_ablate_cache(opts: &Opts) {
+    println!("\n## Ablation — L1 cache cost model (memory-sensitive workloads)\n");
+    let rows: Vec<Vec<String>> = ablate::cache(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                ratio(r.speedup_no_cache),
+                ratio(r.speedup_cache),
+                pct(r.hit_rate),
+            ]
+        })
+        .collect();
+    let headers = ["workload", "SR speedup (no cache)", "SR speedup (cache)", "hit rate"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_cache", &headers, &rows);
+}
+
+fn emit_ablate_threshold(opts: &Opts) {
+    println!("\n## Ablation — best soft-barrier threshold per workload\n");
+    let rows: Vec<Vec<String>> = ablate::threshold(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                r.best_threshold.to_string(),
+                ratio(r.best_speedup),
+                ratio(r.full_speedup),
+            ]
+        })
+        .collect();
+    let headers = ["workload", "best threshold", "best speedup", "full-barrier speedup"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_threshold", &headers, &rows);
+}

@@ -1,0 +1,100 @@
+//! Figure 7 (SIMT efficiency before/after) and Figure 8 (relative
+//! efficiency improvement vs speedup), over the nine Table-2 workloads.
+
+use crate::Scale;
+use simt_sim::SimConfig;
+use workloads::eval::{compare, Comparison};
+use workloads::registry;
+
+/// One bar pair of Figure 7 / one point of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Baseline (PDOM) SIMT efficiency.
+    pub base_eff: f64,
+    /// Speculative-Reconvergence SIMT efficiency.
+    pub spec_eff: f64,
+    /// Baseline SIMT efficiency inside the expensive region.
+    pub base_roi_eff: f64,
+    /// SR SIMT efficiency inside the expensive region.
+    pub spec_roi_eff: f64,
+    /// Relative SIMT-efficiency improvement (Figure 8, left series).
+    pub eff_gain: f64,
+    /// Application speedup (Figure 8, right series).
+    pub speedup: f64,
+}
+
+impl From<Comparison> for Row {
+    fn from(c: Comparison) -> Self {
+        Row {
+            eff_gain: c.efficiency_gain(),
+            speedup: c.speedup(),
+            name: c.name,
+            base_eff: c.baseline.simt_eff,
+            spec_eff: c.speculative.simt_eff,
+            base_roi_eff: c.baseline.roi_eff,
+            spec_roi_eff: c.speculative.roi_eff,
+        }
+    }
+}
+
+/// Computes the Figure 7/8 data for every Table-2 workload.
+///
+/// # Panics
+///
+/// Panics if any workload fails to compile, run, or preserve results —
+/// all of which the test suite guards.
+pub fn collect(scale: Scale) -> Vec<Row> {
+    let cfg = SimConfig::default();
+    registry()
+        .iter()
+        .map(|w| {
+            let w = scale.apply(w);
+            let c = compare(&w, &cfg)
+                .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name));
+            Row::from(c)
+        })
+        .collect()
+}
+
+/// The paper's headline check: every workload improves, the best by
+/// roughly 3x, and speedup is (approximately) bounded by the efficiency
+/// gain.
+pub fn sanity(rows: &[Row]) -> Result<(), String> {
+    if rows.len() != 9 {
+        return Err(format!("expected 9 workloads, got {}", rows.len()));
+    }
+    for r in rows {
+        if r.eff_gain < 1.05 {
+            return Err(format!("{}: SIMT efficiency gain collapsed ({:.2}x)", r.name, r.eff_gain));
+        }
+        if r.speedup < 0.95 {
+            return Err(format!("{}: speculative reconvergence slowed it down ({:.2}x)", r.name, r.speedup));
+        }
+        // "SIMT efficiency improvement serves roughly as an upper bound on
+        // speedup" (§5.2) — allow slack for second-order effects.
+        if r.speedup > r.eff_gain * 1.35 {
+            return Err(format!(
+                "{}: speedup {:.2}x implausibly exceeds efficiency gain {:.2}x",
+                r.name, r.speedup, r.eff_gain
+            ));
+        }
+    }
+    let best = rows.iter().map(|r| r.eff_gain).fold(0.0, f64::max);
+    if best < 2.0 {
+        return Err(format!("best efficiency gain {best:.2}x; the paper reports up to ~3x"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_reproduces_figure_7_and_8_shapes() {
+        let rows = collect(Scale::Quick);
+        sanity(&rows).unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Small rendering helpers: markdown tables and CSV emission (hand-rolled
+//! to keep the dependency set to the approved list).
+
+use std::fmt::Write as _;
+
+/// Renders a markdown table.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = write!(out, "|");
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|");
+    for w in &widths {
+        let _ = write!(out, "{:-<1$}|", "", w + 2);
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        let _ = write!(out, "|");
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders rows as CSV with a header line. Cells containing commas or
+/// quotes are quoted.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Formats a ratio like `1.87x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction like `48.0%`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let t = markdown_table(
+            &["name", "x"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(t.contains("| name      | x |"));
+        assert!(t.contains("| long-name | 2 |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let t = csv(&["a", "b"], &[vec!["x,y".into(), "z".into()]]);
+        assert!(t.contains("\"x,y\",z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.8712), "1.87x");
+        assert_eq!(pct(0.4801), "48.0%");
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 2: the benchmark inventory.
+
+use workloads::{microbench, registry, DivergencePattern};
+
+/// One row of Table 2 (plus the Figure 2(c) microbenchmark the paper
+/// mentions in §5.1).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Divergence pattern exercised.
+    pub pattern: DivergencePattern,
+    /// Description (from the paper's Table 2).
+    pub description: String,
+}
+
+/// All Table-2 rows plus the common-function-call microbenchmark.
+pub fn rows() -> Vec<Row> {
+    let mut out: Vec<Row> = registry()
+        .iter()
+        .map(|w| Row {
+            name: w.name.to_string(),
+            pattern: w.pattern,
+            description: w.description.to_string(),
+        })
+        .collect();
+    let mb = microbench::build_common_call(&microbench::Params::default());
+    out.push(Row {
+        name: mb.name.to_string(),
+        pattern: mb.pattern,
+        description: mb.description.to_string(),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_nine_apps_plus_microbenchmark() {
+        let rows = rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[9].pattern, DivergencePattern::CommonFunctionCall);
+        assert!(rows.iter().all(|r| !r.description.is_empty()));
+    }
+}

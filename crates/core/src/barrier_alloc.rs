@@ -1,0 +1,459 @@
+//! Barrier register allocation.
+//!
+//! The passes allocate a fresh virtual barrier register per insertion
+//! site, but hardware barrier registers are a scarce physical resource —
+//! Volta exposes **16** per warp. A production implementation of the
+//! paper must therefore recycle registers whose live (joined) ranges do
+//! not overlap, exactly like ordinary register allocation. This pass:
+//!
+//! 1. computes instruction-granularity joined sets (Eq. 1 refined to
+//!    program points);
+//! 2. builds an interference graph — two barriers interfere if some
+//!    point has both joined (their participation masks would collide in
+//!    one physical register);
+//! 3. greedily colors it and rewrites every barrier operand;
+//! 4. optionally enforces a hardware limit.
+//!
+//! Barriers the function never populates (no join/rejoin/copy-dst) keep
+//! distinct colors after the used ones, so even degenerate inputs stay
+//! verifiable.
+
+use crate::error::PassError;
+use simt_analysis::BarrierJoined;
+use simt_ir::{BarrierId, BarrierOp, FuncKind, Function, Inst, Module};
+
+/// The number of convergence-barrier registers a Volta warp exposes.
+pub const VOLTA_BARRIER_REGISTERS: usize = 16;
+
+/// Result of barrier allocation on one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierAllocReport {
+    /// Barrier registers before allocation.
+    pub before: usize,
+    /// Barrier registers after allocation.
+    pub after: usize,
+    /// `mapping[old] = new` register assignment.
+    pub mapping: Vec<BarrierId>,
+}
+
+/// Allocates (recycles) barrier registers in a single function.
+///
+/// Barrier state is warp-global, so for modules whose *device functions*
+/// touch barriers (the §4.4 interprocedural pattern) use
+/// [`allocate_barriers_module`], which renames consistently across the
+/// whole module.
+///
+/// # Errors
+///
+/// Returns [`PassError::Module`] if the colored register count exceeds
+/// `limit`.
+///
+/// ```
+/// use simt_ir::parse_module;
+/// use specrecon_core::allocate_barriers;
+///
+/// // Two sequential barriered regions can share one register pair.
+/// let m = parse_module(
+///     "kernel @k(params=0, regs=1, barriers=2, entry=bb0) {\n\
+///      bb0:\n  join b0\n  jmp bb1\n\
+///      bb1:\n  wait b0\n  jmp bb2\n\
+///      bb2:\n  join b1\n  jmp bb3\n\
+///      bb3:\n  wait b1\n  exit\n}\n",
+/// ).unwrap();
+/// let mut f = m.functions.iter().next().unwrap().1.clone();
+/// let report = allocate_barriers(&mut f, Some(16)).unwrap();
+/// assert_eq!(report.after, 1);
+/// ```
+pub fn allocate_barriers(
+    func: &mut Function,
+    limit: Option<usize>,
+) -> Result<BarrierAllocReport, PassError> {
+    let nb = func.num_barriers;
+    if nb == 0 {
+        return Ok(BarrierAllocReport { before: 0, after: 0, mapping: Vec::new() });
+    }
+
+    // Instruction-level interference from the joined analysis: walk each
+    // block from its joined-in set; after every instruction, all
+    // currently-joined barriers mutually interfere. A `bcopy` also makes
+    // dst and src interfere (both masks are materialized at the copy).
+    let joined = BarrierJoined::analyze(func);
+    let mut interferes = vec![vec![false; nb]; nb];
+    let mark_all = |set: &simt_analysis::BitSet, interferes: &mut Vec<Vec<bool>>| {
+        let members: Vec<usize> = set.iter().collect();
+        for (i, &x) in members.iter().enumerate() {
+            for &y in &members[i + 1..] {
+                interferes[x][y] = true;
+                interferes[y][x] = true;
+            }
+        }
+    };
+    for block in func.blocks.ids().collect::<Vec<_>>() {
+        let mut state = joined.joined_in(block).clone();
+        mark_all(&state, &mut interferes);
+        for (idx, inst) in func.blocks[block].insts.iter().enumerate() {
+            if let Inst::Barrier(BarrierOp::Copy { dst, src }) = inst {
+                interferes[dst.index()][src.index()] = true;
+                interferes[src.index()][dst.index()] = true;
+            }
+            state = joined.joined_before(func, block, idx + 1);
+            mark_all(&state, &mut interferes);
+        }
+    }
+
+    // Which barriers are ever populated?
+    let mut used = vec![false; nb];
+    for (_, block) in func.blocks.iter() {
+        for inst in &block.insts {
+            match inst {
+                Inst::Barrier(BarrierOp::Join(b)) | Inst::Barrier(BarrierOp::Rejoin(b)) => {
+                    used[b.index()] = true;
+                }
+                Inst::Barrier(BarrierOp::Copy { dst, .. }) => used[dst.index()] = true,
+                _ => {}
+            }
+        }
+    }
+
+    // Greedy coloring in id order (insertion order ≈ region nesting, which
+    // colors well in practice).
+    let mut color: Vec<Option<usize>> = vec![None; nb];
+    let mut next_free = 0usize;
+    for b in 0..nb {
+        if !used[b] {
+            continue;
+        }
+        let mut taken: Vec<bool> = vec![false; nb];
+        for other in 0..nb {
+            if interferes[b][other] {
+                if let Some(c) = color[other] {
+                    taken[c] = true;
+                }
+            }
+        }
+        let c = (0..nb).find(|&c| !taken[c]).expect("nb colors always suffice");
+        color[b] = Some(c);
+        next_free = next_free.max(c + 1);
+    }
+    // Unpopulated barriers get fresh colors after the used ones.
+    for c in color.iter_mut() {
+        if c.is_none() {
+            *c = Some(next_free);
+            next_free += 1;
+        }
+    }
+
+    let after = next_free;
+    if let Some(max) = limit {
+        if after > max {
+            return Err(PassError::Module(format!(
+                "@{}: needs {after} barrier registers, hardware provides {max}",
+                func.name
+            )));
+        }
+    }
+
+    // Rewrite.
+    let mapping: Vec<BarrierId> =
+        color.iter().map(|c| BarrierId::new(c.expect("colored"))).collect();
+    for (_, block) in func.blocks.iter_mut() {
+        for inst in &mut block.insts {
+            if let Inst::Barrier(op) = inst {
+                *op = match *op {
+                    BarrierOp::Join(b) => BarrierOp::Join(mapping[b.index()]),
+                    BarrierOp::Wait(b) => BarrierOp::Wait(mapping[b.index()]),
+                    BarrierOp::Cancel(b) => BarrierOp::Cancel(mapping[b.index()]),
+                    BarrierOp::Rejoin(b) => BarrierOp::Rejoin(mapping[b.index()]),
+                    BarrierOp::Copy { dst, src } => BarrierOp::Copy {
+                        dst: mapping[dst.index()],
+                        src: mapping[src.index()],
+                    },
+                    BarrierOp::ArrivedCount { dst, bar } => {
+                        BarrierOp::ArrivedCount { dst, bar: mapping[bar.index()] }
+                    }
+                };
+            }
+        }
+    }
+    func.num_barriers = after;
+
+    Ok(BarrierAllocReport { before: nb, after, mapping })
+}
+
+/// Rewrites one function's barrier operands through a mapping.
+fn rewrite_function(func: &mut Function, mapping: &[BarrierId], after: usize) {
+    for (_, block) in func.blocks.iter_mut() {
+        for inst in &mut block.insts {
+            if let Inst::Barrier(op) = inst {
+                *op = match *op {
+                    BarrierOp::Join(b) => BarrierOp::Join(mapping[b.index()]),
+                    BarrierOp::Wait(b) => BarrierOp::Wait(mapping[b.index()]),
+                    BarrierOp::Cancel(b) => BarrierOp::Cancel(mapping[b.index()]),
+                    BarrierOp::Rejoin(b) => BarrierOp::Rejoin(mapping[b.index()]),
+                    BarrierOp::Copy { dst, src } => BarrierOp::Copy {
+                        dst: mapping[dst.index()],
+                        src: mapping[src.index()],
+                    },
+                    BarrierOp::ArrivedCount { dst, bar } => {
+                        BarrierOp::ArrivedCount { dst, bar: mapping[bar.index()] }
+                    }
+                };
+            }
+        }
+    }
+    if func.num_barriers > 0 {
+        func.num_barriers = after;
+    }
+}
+
+/// Module-wide barrier register allocation.
+///
+/// Barrier ids name *warp-global* registers, so a barrier joined in a
+/// kernel and waited on inside a device function (§4.4) must be renamed
+/// consistently everywhere. This routine builds one interference relation
+/// over the shared id space — per-function joined overlaps, plus a
+/// conservative rule that any barrier touched by a device function
+/// interferes with every other used barrier (cross-frame liveness is not
+/// tracked) — colors once, and rewrites every function.
+///
+/// # Errors
+///
+/// Returns [`PassError::Module`] if the colored register count exceeds
+/// `limit`.
+pub fn allocate_barriers_module(
+    module: &mut Module,
+    limit: Option<usize>,
+) -> Result<BarrierAllocReport, PassError> {
+    let nb = module.functions.iter().map(|(_, f)| f.num_barriers).max().unwrap_or(0);
+    if nb == 0 {
+        return Ok(BarrierAllocReport { before: 0, after: 0, mapping: Vec::new() });
+    }
+
+    let mut interferes = vec![vec![false; nb]; nb];
+    let mut used = vec![false; nb];
+    let mut device_touched: Vec<usize> = Vec::new();
+
+    for (_, func) in module.functions.iter() {
+        if func.num_barriers == 0 {
+            continue;
+        }
+        let joined = BarrierJoined::analyze(func);
+        fn mark_all(set: &simt_analysis::BitSet, interferes: &mut [Vec<bool>]) {
+            let members: Vec<usize> = set.iter().collect();
+            for (i, &x) in members.iter().enumerate() {
+                for &y in &members[i + 1..] {
+                    interferes[x][y] = true;
+                    interferes[y][x] = true;
+                }
+            }
+        }
+        for block in func.blocks.ids().collect::<Vec<_>>() {
+            mark_all(joined.joined_in(block), &mut interferes);
+            for (idx, inst) in func.blocks[block].insts.iter().enumerate() {
+                if let Inst::Barrier(op) = inst {
+                    if let Inst::Barrier(BarrierOp::Copy { dst, src }) = inst {
+                        interferes[dst.index()][src.index()] = true;
+                        interferes[src.index()][dst.index()] = true;
+                    }
+                    match op {
+                        BarrierOp::Join(b) | BarrierOp::Rejoin(b) => used[b.index()] = true,
+                        BarrierOp::Copy { dst, .. } => used[dst.index()] = true,
+                        _ => {}
+                    }
+                    if func.kind == FuncKind::Device {
+                        if let Some(b) = op.barrier() {
+                            device_touched.push(b.index());
+                        }
+                        if let BarrierOp::Copy { dst, src } = op {
+                            device_touched.push(dst.index());
+                            device_touched.push(src.index());
+                        }
+                    }
+                }
+                mark_all(&joined.joined_before(func, block, idx + 1), &mut interferes);
+            }
+        }
+    }
+
+    // Conservative cross-frame rule.
+    #[allow(clippy::needless_range_loop)] // symmetric matrix update
+    for &d in &device_touched {
+        for other in 0..nb {
+            if other != d {
+                interferes[d][other] = true;
+                interferes[other][d] = true;
+            }
+        }
+        used[d] = true;
+    }
+
+    // Greedy coloring (same scheme as the per-function path).
+    let mut color: Vec<Option<usize>> = vec![None; nb];
+    let mut next_free = 0usize;
+    for b in 0..nb {
+        if !used[b] {
+            continue;
+        }
+        let mut taken = vec![false; nb];
+        for (other, row) in interferes[b].iter().enumerate() {
+            if *row {
+                if let Some(c) = color[other] {
+                    taken[c] = true;
+                }
+            }
+        }
+        let c = (0..nb).find(|&c| !taken[c]).expect("nb colors always suffice");
+        color[b] = Some(c);
+        next_free = next_free.max(c + 1);
+    }
+    for c in color.iter_mut() {
+        if c.is_none() {
+            *c = Some(next_free);
+            next_free += 1;
+        }
+    }
+    let after = next_free;
+    if let Some(max) = limit {
+        if after > max {
+            return Err(PassError::Module(format!(
+                "module needs {after} barrier registers, hardware provides {max}"
+            )));
+        }
+    }
+
+    let mapping: Vec<BarrierId> =
+        color.iter().map(|c| BarrierId::new(c.expect("colored"))).collect();
+    for (_, func) in module.functions.iter_mut() {
+        rewrite_function(func, &mapping, after);
+    }
+
+    Ok(BarrierAllocReport { before: nb, after, mapping })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileOptions};
+    use simt_ir::{parse_module, Module, Value};
+    use simt_sim::{run, Launch, SimConfig};
+
+    /// Two disjoint barriered regions: their registers can share colors.
+    const DISJOINT: &str = r#"
+kernel @k(params=0, regs=4, barriers=4, entry=bb0) {
+bb0:
+  join b0
+  join b1
+  jmp bb1
+bb1:
+  wait b0
+  wait b1
+  jmp bb2
+bb2:
+  join b2
+  join b3
+  jmp bb3
+bb3:
+  wait b2
+  wait b3
+  exit
+}
+"#;
+
+    #[test]
+    fn disjoint_regions_share_registers() {
+        let m = parse_module(DISJOINT).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let report = allocate_barriers(&mut f, None).unwrap();
+        assert_eq!(report.before, 4);
+        assert_eq!(report.after, 2, "two live at a time");
+        assert_eq!(f.num_barriers, 2);
+
+        // Still verifies and runs identically.
+        let mut m2 = Module::new();
+        m2.add_function(f);
+        simt_ir::assert_verified(&m2);
+        let out = run(&m2, &SimConfig::default(), &Launch::new("k", 1)).unwrap();
+        assert!(out.metrics.issues > 0);
+    }
+
+    #[test]
+    fn overlapping_regions_keep_distinct_registers() {
+        let src = "kernel @k(params=0, regs=1, barriers=2, entry=bb0) {\n\
+             bb0:\n  join b0\n  join b1\n  jmp bb1\n\
+             bb1:\n  wait b1\n  jmp bb2\n\
+             bb2:\n  wait b0\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let report = allocate_barriers(&mut f, None).unwrap();
+        assert_eq!(report.after, 2, "nested live ranges cannot share");
+    }
+
+    #[test]
+    fn limit_violation_is_reported() {
+        let src = "kernel @k(params=0, regs=1, barriers=2, entry=bb0) {\n\
+             bb0:\n  join b0\n  join b1\n  jmp bb1\n\
+             bb1:\n  wait b1\n  jmp bb2\n\
+             bb2:\n  wait b0\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let err = allocate_barriers(&mut f, Some(1)).unwrap_err();
+        assert!(matches!(err, PassError::Module(msg) if msg.contains("hardware provides 1")));
+    }
+
+    #[test]
+    fn allocation_preserves_kernel_results() {
+        // Full pipeline on Listing 1, then allocate, then compare runs.
+        let src = r#"
+kernel @k(params=0, regs=6, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r0 = special.tid
+  %r2 = mov 0
+  %r5 = mov 0
+  jmp bb1
+bb1:
+  %r1 = rng.unit
+  %r3 = lt %r1, 0.25f
+  brdiv %r3, bb2, bb3
+bb2 (label=L1):
+  work 50
+  %r5 = add %r5, 1
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r3 = lt %r2, 16
+  brdiv %r3, bb1, bb4
+bb4:
+  store global[%r0], %r5
+  exit
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let compiled = compile(&m, &CompileOptions::speculative()).unwrap();
+        let mut allocated = compiled.module.clone();
+        let kernel = allocated.function_by_name("k").unwrap();
+        let report = allocate_barriers(&mut allocated.functions[kernel], Some(16)).unwrap();
+        assert!(report.after <= report.before);
+        simt_ir::assert_verified(&allocated);
+
+        let mut launch = Launch::new("k", 2);
+        launch.global_mem = vec![Value::I64(0); 64];
+        let cfg = SimConfig::default();
+        let a = run(&compiled.module, &cfg, &launch).unwrap();
+        let b = run(&allocated, &cfg, &launch).unwrap();
+        assert_eq!(a.global_mem, b.global_mem, "allocation must not change results");
+        assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    }
+
+    #[test]
+    fn unpopulated_barriers_survive() {
+        // A wait on a never-populated barrier is a verifier error, but the
+        // allocator itself must not lose the reference.
+        let src = "kernel @k(params=0, regs=1, barriers=2, entry=bb0) {\n\
+             bb0:\n  join b0\n  wait b0\n  cancel b1\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let report = allocate_barriers(&mut f, None).unwrap();
+        assert_eq!(report.after, 2);
+    }
+}

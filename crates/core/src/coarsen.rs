@@ -1,0 +1,180 @@
+//! Thread coarsening (§3, Figure 3).
+//!
+//! CUDA kernels usually process one task per thread; the GPU scheduler
+//! load-balances across thousands of threads. To expose the Loop-Merge
+//! structure, the paper coarsens threads: each thread processes *many*
+//! tasks via a persistent-thread work queue, turning the task dimension
+//! into an outer loop around the original body.
+//!
+//! The transform contract: the kernel reads its task index through
+//! `special.tid`. Coarsening rewrites it to fetch task indices from an
+//! atomic counter in global memory (`queue_addr`) until `num_tasks` are
+//! consumed:
+//!
+//! ```text
+//! before                        after
+//! ------                        -----
+//! t = tid                       fetch: t = atomic_add [queue], 1
+//! body(t); exit                        if t >= num_tasks: exit
+//!                                      body(t); jmp fetch
+//! ```
+
+use simt_ir::{BinOp, BlockId, Function, Inst, Operand, SpecialValue, Terminator};
+
+/// Result of coarsening a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoarsenReport {
+    /// The work-queue fetch block (also the natural `Predict` region
+    /// start for Loop-Merge).
+    pub fetch_block: BlockId,
+    /// The exit block threads take when the queue is drained.
+    pub done_block: BlockId,
+    /// How many `special.tid` reads were rewritten to the fetched task id.
+    pub rewritten_tid_reads: usize,
+    /// How many `exit` terminators were redirected back to the fetch
+    /// block.
+    pub redirected_exits: usize,
+}
+
+/// Coarsens `func` into a persistent-thread task loop.
+///
+/// `queue_addr` is the global-memory cell holding the shared task counter
+/// (initialize it to 0 in the launch); `num_tasks` bounds the queue.
+///
+/// Every `special.tid` read in the function is rewritten to read the
+/// fetched task index instead, and every `exit` is redirected to fetch the
+/// next task. The transformation is a no-op-safe building block: kernels
+/// without `special.tid` reads still get the task loop (their body just
+/// ignores the task index).
+///
+/// ```
+/// use simt_ir::{parse_module, Operand};
+/// use specrecon_core::coarsen;
+///
+/// let m = parse_module(
+///     "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+///      bb0:\n  %r0 = special.tid\n  %r1 = mul %r0, 2\n  store global[%r0], %r1\n  exit\n}\n",
+/// ).unwrap();
+/// let mut f = m.functions.iter().next().unwrap().1.clone();
+/// let report = coarsen(&mut f, 0, Operand::imm_i64(100));
+/// assert_eq!(report.rewritten_tid_reads, 1);
+/// assert_eq!(f.entry, report.fetch_block);
+/// ```
+pub fn coarsen(func: &mut Function, queue_addr: i64, num_tasks: Operand) -> CoarsenReport {
+    let old_entry = func.entry;
+
+    // New blocks: fetch (new entry) and done.
+    let fetch = func.add_block(Some("task_fetch".to_string()));
+    let done = func.add_block(Some("task_done".to_string()));
+
+    let task = func.alloc_reg();
+    let cond = func.alloc_reg();
+
+    // Redirect every exit back to the fetch block, and rewrite tid reads.
+    let mut redirected = 0;
+    let mut rewritten = 0;
+    for (id, block) in func.blocks.iter_mut() {
+        if id == fetch || id == done {
+            continue;
+        }
+        for inst in &mut block.insts {
+            if let Inst::Special { dst, kind: SpecialValue::Tid } = *inst {
+                *inst = Inst::Mov { dst, src: Operand::Reg(task) };
+                rewritten += 1;
+            }
+        }
+        if block.term == Terminator::Exit {
+            block.term = Terminator::Jump(fetch);
+            redirected += 1;
+        }
+    }
+
+    // fetch: task = atomic_add [queue], 1; if task < num_tasks: body else done
+    {
+        let fb = &mut func.blocks[fetch];
+        fb.insts.push(Inst::AtomicAdd {
+            dst: task,
+            addr: Operand::imm_i64(queue_addr),
+            value: Operand::imm_i64(1),
+        });
+        fb.insts.push(Inst::Bin { op: BinOp::Lt, dst: cond, lhs: Operand::Reg(task), rhs: num_tasks });
+        fb.term = Terminator::Branch {
+            cond: Operand::Reg(cond),
+            then_bb: old_entry,
+            else_bb: done,
+            divergent: true,
+        };
+    }
+    func.blocks[done].term = Terminator::Exit;
+    func.entry = fetch;
+
+    CoarsenReport {
+        fetch_block: fetch,
+        done_block: done,
+        rewritten_tid_reads: rewritten,
+        redirected_exits: redirected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{parse_module, Module, Value};
+    use simt_sim::{run, Launch, SimConfig};
+
+    fn per_task_kernel() -> Function {
+        // Each task t writes t*2 to cell t+1 (cell 0 is the queue).
+        let src = "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+             bb0:\n  %r0 = special.tid\n  %r1 = mul %r0, 2\n  %r2 = add %r0, 1\n  store global[%r2], %r1\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let f = m.functions.iter().next().unwrap().1.clone();
+        f
+    }
+
+    #[test]
+    fn coarsened_kernel_processes_all_tasks() {
+        let mut f = per_task_kernel();
+        let report = coarsen(&mut f, 0, Operand::imm_i64(100));
+        assert_eq!(report.rewritten_tid_reads, 1);
+        assert_eq!(report.redirected_exits, 1);
+
+        let mut m = Module::new();
+        m.add_function(f);
+        simt_ir::assert_verified(&m);
+        // One warp (32 threads) processes 100 tasks.
+        let mut launch = Launch::new("k", 1);
+        launch.global_mem = vec![Value::I64(0); 101];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        for t in 0..100 {
+            assert_eq!(out.global_mem[t + 1], Value::I64(2 * t as i64), "task {t}");
+        }
+    }
+
+    #[test]
+    fn entry_becomes_fetch_block() {
+        let mut f = per_task_kernel();
+        let report = coarsen(&mut f, 0, Operand::imm_i64(10));
+        assert_eq!(f.entry, report.fetch_block);
+        assert_eq!(f.blocks[report.done_block].term, Terminator::Exit);
+        assert!(matches!(
+            f.blocks[report.fetch_block].insts[0],
+            Inst::AtomicAdd { .. }
+        ));
+    }
+
+    #[test]
+    fn num_tasks_can_come_from_a_parameter() {
+        let src = "kernel @k(params=1, regs=5, barriers=0, entry=bb0) {\n\
+             bb0:\n  %r1 = special.tid\n  %r2 = add %r1, 1\n  store global[%r2], %r1\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        coarsen(&mut f, 0, Operand::Reg(simt_ir::Reg(0)));
+        let mut m2 = Module::new();
+        m2.add_function(f);
+        let mut launch = Launch::new("k", 1);
+        launch.args = vec![Value::I64(5)];
+        launch.global_mem = vec![Value::I64(0); 6];
+        let out = run(&m2, &SimConfig::default(), &launch).unwrap();
+        assert_eq!(out.global_mem[5], Value::I64(4));
+    }
+}

@@ -1,0 +1,142 @@
+//! Static cost estimation used by the §4.5 detection heuristics.
+//!
+//! The paper weighs prolog/epilog instruction cost (scaled by loop trip
+//! count, nest depth, and instruction latency) against the cost of the
+//! common code, and penalizes candidates whose transformation would make
+//! previously convergent memory accesses divergent.
+
+use simt_analysis::{BitSet, LoopForest};
+use simt_ir::{BlockId, Function, Inst, MemSpace};
+use simt_sim::LatencyModel;
+
+/// Assumed iterations per loop level when no profile is available (the
+/// static analysis limitation §4.5 calls out).
+pub const DEFAULT_TRIP_WEIGHT: u64 = 8;
+
+/// Static cost of one block: summed issue latencies plus the terminator.
+pub fn block_cost(func: &Function, lat: &LatencyModel, b: BlockId) -> u64 {
+    let block = &func.blocks[b];
+    let insts: u64 = block.insts.iter().map(|i| u64::from(lat.issue_cost(i))).sum();
+    insts + u64::from(lat.control)
+}
+
+/// Static cost of a set of blocks, weighting each block by
+/// `DEFAULT_TRIP_WEIGHT ^ relative_depth`, where relative depth is the
+/// block's loop-nest depth minus `base_depth` (clamped at zero).
+pub fn region_cost(
+    func: &Function,
+    lat: &LatencyModel,
+    loops: &LoopForest,
+    blocks: &BitSet,
+    base_depth: u32,
+) -> u64 {
+    let mut total = 0u64;
+    for idx in blocks.iter() {
+        let b = BlockId::new(idx);
+        let rel = loops.depth(b).saturating_sub(base_depth);
+        let weight = DEFAULT_TRIP_WEIGHT.saturating_pow(rel);
+        total = total.saturating_add(block_cost(func, lat, b).saturating_mul(weight));
+    }
+    total
+}
+
+/// Number of global memory operations in a set of blocks — the proxy for
+/// the "memory access patterns" heuristic: making these divergent costs
+/// extra segments per access.
+pub fn global_mem_ops(func: &Function, blocks: &BitSet) -> u64 {
+    let mut n = 0;
+    for idx in blocks.iter() {
+        let b = BlockId::new(idx);
+        for inst in &func.blocks[b].insts {
+            match inst {
+                Inst::Load { space: MemSpace::Global, .. }
+                | Inst::Store { space: MemSpace::Global, .. }
+                | Inst::AtomicAdd { .. } => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+/// Whether any block in the set already contains synchronization the
+/// transform could break — barrier operations, or warp-synchronous votes
+/// (§6: operations requiring inter-thread communication "would inhibit
+/// automatic Speculative Reconvergence"). Such regions are skipped by
+/// automatic detection for safety.
+pub fn has_existing_sync(func: &Function, blocks: &BitSet) -> bool {
+    blocks.iter().any(|idx| {
+        func.blocks[BlockId::new(idx)]
+            .insts
+            .iter()
+            .any(|i| i.is_barrier() || matches!(i, Inst::Vote { .. } | Inst::SyncThreads))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_analysis::DomTree;
+    use simt_ir::parse_module;
+
+    fn loopy() -> Function {
+        let src = r#"
+kernel @k(params=0, regs=4, barriers=1, entry=bb0) {
+bb0:
+  nop
+  jmp bb1
+bb1:
+  %r0 = load global[0]
+  %r1 = lt %r0, 10
+  brdiv %r1, bb2, bb3
+bb2:
+  work 40
+  join b0
+  jmp bb1
+bb3:
+  exit
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.functions.iter().next().unwrap().1.clone();
+        f
+    }
+
+    #[test]
+    fn block_cost_includes_work_and_control() {
+        let f = loopy();
+        let lat = LatencyModel::default();
+        let c = block_cost(&f, &lat, BlockId(2));
+        // work 40 + barrier 1 + control 1
+        assert_eq!(c, 42);
+    }
+
+    #[test]
+    fn region_cost_weights_by_depth() {
+        let f = loopy();
+        let lat = LatencyModel::default();
+        let dom = DomTree::dominators(&f);
+        let loops = LoopForest::new(&f, &dom);
+        let mut all = BitSet::new(f.blocks.len());
+        for b in 0..f.blocks.len() {
+            all.insert(b);
+        }
+        let flat = region_cost(&f, &lat, &loops, &all, 10); // depth clamped to 0
+        let weighted = region_cost(&f, &lat, &loops, &all, 0);
+        assert!(weighted > flat, "loop blocks should be weighted up");
+    }
+
+    #[test]
+    fn counts_global_ops_and_sync() {
+        let f = loopy();
+        let mut all = BitSet::new(f.blocks.len());
+        for b in 0..f.blocks.len() {
+            all.insert(b);
+        }
+        assert_eq!(global_mem_ops(&f, &all), 1);
+        assert!(has_existing_sync(&f, &all));
+        let mut no_sync = BitSet::new(f.blocks.len());
+        no_sync.insert(0);
+        assert!(!has_existing_sync(&f, &no_sync));
+    }
+}

@@ -1,0 +1,215 @@
+//! Barrier deconfliction (§4.3).
+//!
+//! The speculative barriers inserted by [`crate::specrecon`] can conflict
+//! with the PDOM barriers the baseline pass inserted: their joined ranges
+//! cross, so threads could wait for each other at two different places
+//! inside the shared region. The paper gives user-specified convergence
+//! priority over standard PDOM synchronization and offers two resolutions:
+//!
+//! - **static**: delete every operation of the conflicting PDOM barrier —
+//!   cheapest, but loses the PDOM reconvergence even on executions that
+//!   never reach the speculative point;
+//! - **dynamic** (the paper's evaluated default): keep everything, but
+//!   make threads *leave* the conflicting PDOM barrier right before they
+//!   wait on the speculative barrier, eliminating the conflict only when
+//!   the speculative point actually executes.
+
+use simt_analysis::find_conflicts;
+use simt_ir::{BarrierId, BarrierOp, Function, Inst};
+
+/// Deconfliction strategy (§4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeconflictMode {
+    /// Delete the conflicting PDOM barrier's operations.
+    Static,
+    /// Insert `CancelBarrier(pdom)` before each `WaitBarrier(speculative)`.
+    #[default]
+    Dynamic,
+}
+
+/// What deconfliction did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeconflictReport {
+    /// Conflicting `(speculative, pdom)` pairs that were resolved.
+    pub resolved: Vec<(BarrierId, BarrierId)>,
+    /// Conflicting pairs not involving exactly one speculative and one
+    /// PDOM barrier (left untouched; the pipeline reports
+    /// speculative-speculative pairs as errors).
+    pub unhandled: Vec<(BarrierId, BarrierId)>,
+}
+
+/// Resolves speculative-vs-PDOM barrier conflicts in `func`.
+///
+/// `speculative` and `pdom` list the barrier registers created by the
+/// respective passes; barriers in neither list are ignored.
+pub fn deconflict(
+    func: &mut Function,
+    speculative: &[BarrierId],
+    pdom: &[BarrierId],
+    mode: DeconflictMode,
+) -> DeconflictReport {
+    let mut report = DeconflictReport::default();
+    for c in find_conflicts(func) {
+        let pair = if speculative.contains(&c.a) && pdom.contains(&c.b) {
+            Some((c.a, c.b))
+        } else if speculative.contains(&c.b) && pdom.contains(&c.a) {
+            Some((c.b, c.a))
+        } else {
+            None
+        };
+        match pair {
+            Some((s, p)) => {
+                match mode {
+                    DeconflictMode::Static => remove_barrier_ops(func, p),
+                    DeconflictMode::Dynamic => cancel_before_waits(func, s, p),
+                }
+                report.resolved.push((s, p));
+            }
+            None => report.unhandled.push((c.a, c.b)),
+        }
+    }
+    report
+}
+
+/// Deletes every operation naming barrier `b` (static deconfliction).
+fn remove_barrier_ops(func: &mut Function, b: BarrierId) {
+    for (_, block) in func.blocks.iter_mut() {
+        block.insts.retain(|inst| match inst {
+            Inst::Barrier(op) => op.barrier() != Some(b),
+            _ => true,
+        });
+    }
+}
+
+/// Inserts `Cancel(p)` immediately before every `Wait(s)` (dynamic
+/// deconfliction, Figure 5(c)).
+fn cancel_before_waits(func: &mut Function, s: BarrierId, p: BarrierId) {
+    for (_, block) in func.blocks.iter_mut() {
+        let mut i = 0;
+        while i < block.insts.len() {
+            if block.insts[i] == Inst::Barrier(BarrierOp::Wait(s)) {
+                let already = i > 0 && block.insts[i - 1] == Inst::Barrier(BarrierOp::Cancel(p));
+                if !already {
+                    block.insts.insert(i, Inst::Barrier(BarrierOp::Cancel(p)));
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdom::{insert_pdom_sync, PdomOptions};
+    use crate::specrecon::apply_speculative;
+    use simt_ir::{parse_module, BlockId, Module};
+    use simt_sim::{run, Launch, SimConfig};
+
+    /// Listing 1 with both PDOM and speculative sync — the Figure 5
+    /// conflict scenario.
+    fn both_passes(mode: DeconflictMode) -> (Function, DeconflictReport) {
+        let src = r#"
+kernel @k(params=0, regs=4, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  work 40
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  brdiv %r1, bb1, bb4
+bb4:
+  exit
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let pdom_report = insert_pdom_sync(&mut f, &PdomOptions::default());
+        let spec_report = apply_speculative(&mut f, 32).unwrap();
+        let pdom_bars: Vec<BarrierId> = pdom_report.inserted.iter().map(|(_, _, b)| *b).collect();
+        let report = deconflict(&mut f, &spec_report.barriers(), &pdom_bars, mode);
+        (f, report)
+    }
+
+    #[test]
+    fn conflict_is_found_and_resolved_dynamically() {
+        let (f, report) = both_passes(DeconflictMode::Dynamic);
+        assert!(!report.resolved.is_empty(), "Figure-5 conflict should be detected");
+        // Each resolved pair puts a Cancel(pdom) before the speculative
+        // wait (several conflicts may stack cancels at the same wait).
+        let l1 = f.block_by_label("L1").unwrap();
+        let mut checked = 0;
+        for &(s, p) in &report.resolved {
+            let insts = &f.blocks[l1].insts;
+            if let Some(wait) = insts.iter().position(|i| *i == Inst::Barrier(BarrierOp::Wait(s))) {
+                let has_cancel = insts[..wait].contains(&Inst::Barrier(BarrierOp::Cancel(p)));
+                assert!(has_cancel, "Cancel({p}) must precede Wait({s}) in L1");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "at least one conflict involves the L1 wait");
+        // Nothing was deleted.
+        assert!(f.blocks[l1].insts.iter().any(|i| matches!(i, Inst::Barrier(BarrierOp::Rejoin(_)))));
+    }
+
+    #[test]
+    fn static_mode_deletes_pdom_ops() {
+        let (f, report) = both_passes(DeconflictMode::Static);
+        assert!(!report.resolved.is_empty());
+        let (_, p) = report.resolved[0];
+        for (_, block) in f.blocks.iter() {
+            for inst in &block.insts {
+                if let Inst::Barrier(op) = inst {
+                    assert_ne!(op.barrier(), Some(p), "pdom barrier ops must be gone");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_modes_execute_without_deadlock_and_improve_roi() {
+        for mode in [DeconflictMode::Dynamic, DeconflictMode::Static] {
+            let (f, _) = both_passes(mode);
+            let mut m = Module::new();
+            m.add_function(f);
+            simt_ir::assert_verified(&m);
+            let out = run(&m, &SimConfig::default(), &Launch::new("k", 2)).unwrap();
+            let roi = out.metrics.roi_simt_efficiency();
+            // The retained PDOM barriers (dynamic mode) cost some
+            // collection efficiency relative to bare SR, but the result
+            // must stay far above the PDOM-only baseline (~0.2).
+            assert!(roi > 0.35, "{mode:?}: expected SR benefit to survive deconfliction, got {roi}");
+        }
+    }
+
+    #[test]
+    fn no_conflicts_without_speculative_pass() {
+        let src = "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+             bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+             bb1:\n  nop\n  jmp bb3\n\
+             bb2:\n  nop\n  jmp bb3\n\
+             bb3:\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let mut f = m.functions.iter().next().unwrap().1.clone();
+        let pdom_report = insert_pdom_sync(&mut f, &PdomOptions::default());
+        let pdom_bars: Vec<BarrierId> = pdom_report.inserted.iter().map(|(_, _, b)| *b).collect();
+        let report = deconflict(&mut f, &[], &pdom_bars, DeconflictMode::Dynamic);
+        assert!(report.resolved.is_empty());
+        assert!(report.unhandled.is_empty());
+    }
+
+    #[test]
+    fn block_id_alias_compiles() {
+        // Silence potential unused import in cfg(test); BlockId used here.
+        let _ = BlockId(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Pass pipeline error reporting.
+
+use simt_ir::VerifyError;
+use std::fmt;
+
+/// Errors surfaced by the compiler passes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PassError {
+    /// The module failed IR verification after a pass ran. The first field
+    /// names the pass.
+    Verify(String, Vec<VerifyError>),
+    /// A prediction could not be honored (bad label, unreachable target,
+    /// malformed region, ...).
+    BadPrediction(String),
+    /// Two *speculative* barriers conflict with each other; §4.3
+    /// deconfliction only arbitrates speculative-vs-PDOM conflicts, so
+    /// this needs the predictions to change (or a soft barrier, §6).
+    SpeculativeConflict(String),
+    /// A module-level problem (unresolved calls, missing function, ...).
+    Module(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Verify(pass, errors) => {
+                writeln!(f, "IR verification failed after pass `{pass}`:")?;
+                for e in errors.iter().take(8) {
+                    writeln!(f, "  - {e}")?;
+                }
+                if errors.len() > 8 {
+                    writeln!(f, "  ... and {} more", errors.len() - 8)?;
+                }
+                Ok(())
+            }
+            PassError::BadPrediction(msg) => write!(f, "bad prediction: {msg}"),
+            PassError::SpeculativeConflict(msg) => {
+                write!(f, "conflicting speculative barriers: {msg}")
+            }
+            PassError::Module(msg) => write!(f, "module error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PassError::BadPrediction("x".into()).to_string().contains("bad prediction"));
+        assert!(PassError::Module("y".into()).to_string().contains("module error"));
+    }
+}

@@ -1,0 +1,411 @@
+//! Interprocedural Speculative Reconvergence (§4.4).
+//!
+//! A prediction can name a *function* instead of a label: all threads in
+//! the region are expected to eventually call it (Figure 2(c): `foo()`
+//! called from both sides of a divergent branch). The pass joins a barrier
+//! at the region start and waits on it at the *callee's entry*, so threads
+//! arriving from different call sites reconverge inside the shared body —
+//! something post-dominator analysis can never discover because the calls
+//! sit at different PCs.
+//!
+//! Barrier state is warp-level and shared across frames, which is what
+//! makes the cross-function wait sound; the analysis side treats a call to
+//! the predicted function as the barrier's wait when placing
+//! `Rejoin`/`Cancel` (the call-graph summary propagation the paper
+//! describes).
+
+use crate::error::PassError;
+use crate::region::compute_region;
+use simt_analysis::DomTree;
+use simt_ir::{
+    BarrierId, BarrierOp, BlockId, FuncId, FuncKind, FuncRef, Function, Inst, Module,
+    PredictTarget, Terminator,
+};
+
+/// What the interprocedural pass did for one prediction.
+#[derive(Clone, Debug)]
+pub struct InterprocReport {
+    /// The predicted callee.
+    pub callee: FuncId,
+    /// Barrier joined in the caller and waited on at the callee entry.
+    pub barrier: BarrierId,
+    /// Caller blocks containing calls to the callee (the region targets).
+    pub call_blocks: Vec<BlockId>,
+    /// Blocks that received a `RejoinBarrier` (after calls with another
+    /// call still ahead).
+    pub rejoins: Vec<BlockId>,
+    /// Blocks that received a `CancelBarrier` (region escapes).
+    pub cancels: Vec<BlockId>,
+}
+
+/// Applies every function-target prediction in `caller_id`'s function.
+///
+/// # Errors
+///
+/// Returns [`PassError::BadPrediction`] if the callee is unresolved, not a
+/// device function, or never called from the prediction region.
+pub fn apply_interprocedural(
+    module: &mut Module,
+    caller_id: FuncId,
+) -> Result<Vec<InterprocReport>, PassError> {
+    let mut reports = Vec::new();
+    let predictions = module.functions[caller_id].predictions.clone();
+    for p in &predictions {
+        let callee = match &p.target {
+            PredictTarget::Function(FuncRef::Id(id)) => *id,
+            PredictTarget::Function(FuncRef::Name(n)) => {
+                return Err(PassError::BadPrediction(format!(
+                    "prediction targets unresolved function @{n} (run resolve_calls first)"
+                )))
+            }
+            PredictTarget::Label(_) => continue,
+        };
+        reports.push(apply_one(module, caller_id, callee, p.region_start)?);
+    }
+    Ok(reports)
+}
+
+fn apply_one(
+    module: &mut Module,
+    caller_id: FuncId,
+    callee: FuncId,
+    region_start: BlockId,
+) -> Result<InterprocReport, PassError> {
+    if module.functions[callee].kind != FuncKind::Device {
+        return Err(PassError::BadPrediction(format!(
+            "interprocedural prediction targets non-device function @{}",
+            module.functions[callee].name
+        )));
+    }
+
+    // Call sites in the caller.
+    let call_blocks: Vec<BlockId> = {
+        let caller = &module.functions[caller_id];
+        caller
+            .blocks
+            .iter()
+            .filter(|(_, b)| {
+                b.insts.iter().any(
+                    |i| matches!(i, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee),
+                )
+            })
+            .map(|(id, _)| id)
+            .collect()
+    };
+    if call_blocks.is_empty() {
+        return Err(PassError::BadPrediction(format!(
+            "@{} never calls predicted function @{}",
+            module.functions[caller_id].name, module.functions[callee].name
+        )));
+    }
+
+    let caller = &module.functions[caller_id];
+    let pdt = DomTree::post_dominators(caller);
+    let region = compute_region(caller, &pdt, region_start, &call_blocks);
+    if call_blocks.iter().all(|c| !region.blocks.contains(c.index())) {
+        return Err(PassError::BadPrediction(format!(
+            "no call to @{} is reachable from the region start {region_start}",
+            module.functions[callee].name
+        )));
+    }
+
+    // Allocate the barrier in the caller; the callee must declare at least
+    // as many barrier registers since its entry references it.
+    let bar = module.functions[caller_id].alloc_barrier();
+    let needed = module.functions[caller_id].num_barriers;
+    let callee_func = &mut module.functions[callee];
+    callee_func.num_barriers = callee_func.num_barriers.max(needed);
+    callee_func.blocks[callee_func.entry]
+        .insts
+        .insert(0, Inst::Barrier(BarrierOp::Wait(bar)));
+
+    let caller = &mut module.functions[caller_id];
+    caller.blocks[region_start].insts.push(Inst::Barrier(BarrierOp::Join(bar)));
+
+    // "Call to callee lies ahead" — block-level backward reachability used
+    // for both Rejoin (another call ahead after this one?) and Cancel (no
+    // call ahead at a region-escape target).
+    let n = caller.blocks.len();
+    let preds = caller.predecessors();
+    let mut call_ahead_in = vec![false; n]; // a call lies at/after block entry
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in caller.blocks.ids() {
+            let here = call_blocks.contains(&b);
+            let out = caller.successors(b).iter().any(|s| call_ahead_in[s.index()]);
+            let v = here || out;
+            if v != call_ahead_in[b.index()] {
+                call_ahead_in[b.index()] = v;
+                changed = true;
+            }
+        }
+    }
+    let _ = preds; // predecessors() kept for symmetry with other passes
+
+    // Rejoin after calls that will be followed by another call (loops over
+    // the call site).
+    let mut rejoins = Vec::new();
+    for &cb in &call_blocks {
+        let block = &caller.blocks[cb];
+        // Does another call to the callee lie after instruction i?
+        let mut sites = Vec::new();
+        for (i, inst) in block.insts.iter().enumerate() {
+            if matches!(inst, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee) {
+                sites.push(i);
+            }
+        }
+        let out_ahead = caller.successors(cb).iter().any(|s| call_ahead_in[s.index()]);
+        let mut insertions = Vec::new();
+        for (k, &i) in sites.iter().enumerate() {
+            let another_later_in_block = k + 1 < sites.len();
+            if another_later_in_block || out_ahead {
+                insertions.push(i);
+            }
+        }
+        let block = &mut caller.blocks[cb];
+        for &i in insertions.iter().rev() {
+            block.insts.insert(i + 1, Inst::Barrier(BarrierOp::Rejoin(bar)));
+            rejoins.push(cb);
+        }
+    }
+
+    // Cancel at region-escape targets where no call lies ahead.
+    let mut cancels = Vec::new();
+    for &(_, to) in &region.escape_edges {
+        if !call_ahead_in[to.index()] && !cancels.contains(&to) {
+            caller.blocks[to].insts.insert(0, Inst::Barrier(BarrierOp::Cancel(bar)));
+            cancels.push(to);
+        }
+    }
+
+    Ok(InterprocReport { callee, barrier: bar, call_blocks, rejoins, cancels })
+}
+
+/// Creates a wrapper device function around `callee` and returns its id.
+///
+/// The paper uses wrappers for extern functions and for functions called
+/// from multiple independent regions: the wrapper body is the
+/// reconvergence point, leaving the original callee untouched.
+///
+/// # Panics
+///
+/// Panics if `callee` does not exist or a function named
+/// `<callee>_reconv_wrapper` already exists.
+pub fn make_wrapper(module: &mut Module, callee: &str) -> FuncId {
+    let callee_id = module.function_by_name(callee).expect("wrapper callee exists");
+    let (num_params, ret_arity) = {
+        let f = &module.functions[callee_id];
+        let arity = f
+            .blocks
+            .iter()
+            .find_map(|(_, b)| match &b.term {
+                Terminator::Return(vals) => Some(vals.len()),
+                _ => None,
+            })
+            .unwrap_or(0);
+        (f.num_params, arity)
+    };
+
+    let mut wrapper = Function::new(format!("{callee}_reconv_wrapper"), FuncKind::Device, num_params);
+    let args: Vec<simt_ir::Operand> =
+        (0..num_params).map(|i| simt_ir::Operand::Reg(simt_ir::Reg::new(i))).collect();
+    let rets: Vec<simt_ir::Reg> = (0..ret_arity).map(|_| wrapper.alloc_reg()).collect();
+    let entry = wrapper.entry;
+    wrapper.blocks[entry].insts.push(Inst::Call {
+        func: FuncRef::Id(callee_id),
+        args,
+        rets: rets.clone(),
+    });
+    wrapper.blocks[entry].term =
+        Terminator::Return(rets.into_iter().map(simt_ir::Operand::Reg).collect());
+    module.add_function(wrapper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::parse_and_link;
+    use simt_sim::{run, Launch, SimConfig};
+    use simt_ir::Value;
+
+    /// Figure 2(c): foo() called from both sides of a divergent branch.
+    fn fig2c() -> Module {
+        parse_and_link(
+            r#"
+kernel @main(params=0, regs=6, barriers=0, entry=bb0) {
+  predict bb0 -> func @foo
+bb0:
+  %r0 = special.lane
+  %r1 = and %r0, 1
+  brdiv %r1, bb1, bb2
+bb1:
+  work 3
+  call @foo(%r0) -> (%r2)
+  jmp bb3
+bb2:
+  work 9
+  call @foo(%r0) -> (%r2)
+  jmp bb3
+bb3:
+  %r3 = special.tid
+  store global[%r3], %r2
+  exit
+}
+device @foo(params=1, regs=3, barriers=0, entry=bb0) {
+bb0:
+  nop
+  jmp bb1
+bb1 (roi):
+  work 50
+  %r1 = mul %r0, 3
+  %r2 = add %r1, 1
+  ret %r2
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig2c_reconverges_inside_function_body() {
+        let mut m = fig2c();
+        let caller = m.function_by_name("main").unwrap();
+        let reports = apply_interprocedural(&mut m, caller).unwrap();
+        assert_eq!(reports.len(), 1);
+        let rep = &reports[0];
+        assert_eq!(rep.call_blocks.len(), 2);
+        assert!(rep.rejoins.is_empty(), "single call per path: no rejoin");
+
+        // Wait sits at the callee entry.
+        let foo = &m.functions[rep.callee];
+        assert_eq!(foo.blocks[foo.entry].insts[0], Inst::Barrier(BarrierOp::Wait(rep.barrier)));
+
+        simt_ir::assert_verified(&m);
+        let mut launch = Launch::new("main", 2);
+        launch.global_mem = vec![Value::I64(0); 64];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        // The function body runs fully converged despite two call sites.
+        assert_eq!(out.metrics.roi_simt_efficiency(), 1.0);
+        // And the results are correct.
+        assert_eq!(out.global_mem[4], Value::I64(13));
+    }
+
+    #[test]
+    fn without_pass_function_body_is_divergent() {
+        let mut m = fig2c();
+        let caller = m.function_by_name("main").unwrap();
+        m.functions[caller].predictions.clear();
+        let mut launch = Launch::new("main", 2);
+        launch.global_mem = vec![Value::I64(0); 64];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        let roi = out.metrics.roi_simt_efficiency();
+        assert!(roi < 0.8, "expected divergent body without the pass, got {roi}");
+    }
+
+    #[test]
+    fn call_in_loop_gets_rejoin() {
+        let mut m = parse_and_link(
+            r#"
+kernel @main(params=0, regs=6, barriers=0, entry=bb0) {
+  predict bb0 -> func @foo
+bb0:
+  %r1 = mov 0
+  jmp bb1
+bb1:
+  call @foo(%r1) -> (%r2)
+  %r1 = add %r1, 1
+  %r3 = lt %r1, 4
+  brdiv %r3, bb1, bb2
+bb2:
+  exit
+}
+device @foo(params=1, regs=2, barriers=0, entry=bb0) {
+bb0:
+  %r1 = add %r0, 1
+  ret %r1
+}
+"#,
+        )
+        .unwrap();
+        let caller = m.function_by_name("main").unwrap();
+        let reports = apply_interprocedural(&mut m, caller).unwrap();
+        assert_eq!(reports[0].rejoins.len(), 1, "loop call must rejoin");
+        assert_eq!(reports[0].cancels.len(), 1, "loop exit must cancel");
+        simt_ir::assert_verified(&m);
+        let out = run(&m, &SimConfig::default(), &Launch::new("main", 1)).unwrap();
+        assert!(out.metrics.issues > 0);
+    }
+
+    #[test]
+    fn missing_call_is_reported() {
+        let mut m = parse_and_link(
+            r#"
+kernel @main(params=0, regs=2, barriers=0, entry=bb0) {
+  predict bb0 -> func @foo
+bb0:
+  exit
+}
+device @foo(params=0, regs=1, barriers=0, entry=bb0) {
+bb0:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let caller = m.function_by_name("main").unwrap();
+        let err = apply_interprocedural(&mut m, caller).unwrap_err();
+        assert!(matches!(err, PassError::BadPrediction(msg) if msg.contains("never calls")));
+    }
+
+    #[test]
+    fn wrapper_forwards_args_and_returns() {
+        let m = parse_and_link(
+            r#"
+kernel @main(params=0, regs=3, barriers=0, entry=bb0) {
+bb0:
+  %r0 = special.tid
+  call @foo_reconv_wrapper(%r0) -> (%r1)
+  store global[%r0], %r1
+  exit
+}
+device @foo(params=1, regs=2, barriers=0, entry=bb0) {
+bb0:
+  %r1 = mul %r0, 5
+  ret %r1
+}
+"#,
+        )
+        .unwrap_err();
+        // The wrapper does not exist yet — build the module without the
+        // call first, then add the wrapper and re-link.
+        let _ = m;
+        let mut m = parse_and_link(
+            r#"
+device @foo(params=1, regs=2, barriers=0, entry=bb0) {
+bb0:
+  %r1 = mul %r0, 5
+  ret %r1
+}
+"#,
+        )
+        .unwrap();
+        let wid = make_wrapper(&mut m, "foo");
+        assert_eq!(m.functions[wid].name, "foo_reconv_wrapper");
+        assert_eq!(m.functions[wid].num_params, 1);
+
+        // Use it from a kernel.
+        let mut k = simt_ir::FunctionBuilder::new("main", FuncKind::Kernel, 0);
+        let tid = k.special(simt_ir::SpecialValue::Tid);
+        let rets = k.call("foo_reconv_wrapper", vec![tid.into()], 1);
+        k.store_global(rets[0], tid);
+        k.exit();
+        m.add_function(k.finish());
+        m.resolve_calls().unwrap();
+        simt_ir::assert_verified(&m);
+        let mut launch = Launch::new("main", 1);
+        launch.global_mem = vec![Value::I64(0); 32];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        assert_eq!(out.global_mem[3], Value::I64(15));
+    }
+}

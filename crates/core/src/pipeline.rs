@@ -1,0 +1,384 @@
+//! The end-to-end compilation pipeline.
+//!
+//! Mirrors the paper's evaluated configurations:
+//!
+//! - **baseline**: PDOM reconvergence only — what the production compiler
+//!   emits (`CompileOptions::baseline`);
+//! - **speculative**: PDOM, then the §4.2/§4.4/§4.6 speculative passes for
+//!   every `Predict` annotation, then §4.3 deconfliction (dynamic by
+//!   default — the paper's evaluated configuration);
+//! - **automatic**: run §4.5 detection first to synthesize the
+//!   annotations, then proceed as speculative.
+
+use crate::autodetect::{auto_annotate, Candidate, DetectOptions};
+use crate::barrier_alloc::{allocate_barriers_module, BarrierAllocReport};
+use crate::deconflict::{deconflict, DeconflictMode, DeconflictReport};
+use crate::error::PassError;
+use crate::interproc::{apply_interprocedural, InterprocReport};
+use crate::pdom::{insert_pdom_sync, PdomOptions, PdomReport};
+use crate::specrecon::{apply_speculative, SpecReport};
+use simt_analysis::find_conflicts;
+use simt_ir::{verify_module, BarrierId, FuncId, FuncKind, Module};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Insert baseline PDOM synchronization.
+    pub pdom: bool,
+    /// PDOM pass options.
+    pub pdom_options: PdomOptions,
+    /// Honor `Predict` annotations (the paper's user-guided mode).
+    pub speculative: bool,
+    /// Run §4.5 automatic detection before the speculative pass.
+    pub auto_detect: Option<DetectOptions>,
+    /// Deconfliction strategy.
+    pub deconflict: DeconflictMode,
+    /// Warp width, needed by the soft-barrier lowering.
+    pub warp_width: u32,
+    /// Arbitrate conflicts between two *speculative* barriers by priority
+    /// (annotation order: earlier predictions win), using the same dynamic
+    /// cancel-before-wait mechanism as §4.3. Off by default — the paper
+    /// supports this for *exclusive* predictions (§6, "if these
+    /// predictions are exclusive, they can be supported using
+    /// deconfliction"); non-exclusive overlaps should use soft barriers
+    /// instead.
+    pub spec_deconflict: bool,
+    /// Run barrier register allocation after the sync passes, recycling
+    /// registers across non-overlapping regions. Off by default so pass
+    /// reports and golden output keep the virtual numbering; turn on to
+    /// target real hardware limits.
+    pub barrier_allocation: bool,
+    /// Hardware barrier-register limit enforced when
+    /// [`CompileOptions::barrier_allocation`] is on
+    /// ([`crate::barrier_alloc::VOLTA_BARRIER_REGISTERS`] by default).
+    pub barrier_limit: Option<usize>,
+    /// Verify the IR after the pipeline (always recommended; tests rely
+    /// on it).
+    pub verify: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            pdom: true,
+            pdom_options: PdomOptions::default(),
+            speculative: true,
+            auto_detect: None,
+            deconflict: DeconflictMode::Dynamic,
+            warp_width: 32,
+            spec_deconflict: false,
+            barrier_allocation: false,
+            barrier_limit: Some(crate::barrier_alloc::VOLTA_BARRIER_REGISTERS),
+            verify: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The baseline configuration: PDOM only, predictions ignored.
+    pub fn baseline() -> Self {
+        Self { speculative: false, ..Self::default() }
+    }
+
+    /// The paper's evaluated configuration: user-guided speculative
+    /// reconvergence with dynamic deconfliction.
+    pub fn speculative() -> Self {
+        Self::default()
+    }
+
+    /// Automatic mode: detect opportunities, then compile speculatively.
+    pub fn automatic(detect: DetectOptions) -> Self {
+        Self { auto_detect: Some(detect), ..Self::default() }
+    }
+}
+
+/// Everything the pipeline did, per function.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionReport {
+    /// PDOM insertion report.
+    pub pdom: PdomReport,
+    /// Speculative (intraprocedural) report.
+    pub speculative: SpecReport,
+    /// Interprocedural reports.
+    pub interproc: Vec<InterprocReport>,
+    /// Deconfliction report.
+    pub deconflict: DeconflictReport,
+    /// Candidates applied by automatic detection.
+    pub auto_applied: Vec<Candidate>,
+}
+
+/// Pipeline output: the transformed module plus per-function reports.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The transformed module, ready for the simulator.
+    pub module: Module,
+    /// Reports, indexed like `module.functions`.
+    pub reports: Vec<(FuncId, FunctionReport)>,
+    /// Module-wide barrier allocation report, when
+    /// [`CompileOptions::barrier_allocation`] ran.
+    pub barrier_alloc: Option<BarrierAllocReport>,
+}
+
+/// Runs the pipeline over every function of `module`.
+///
+/// # Errors
+///
+/// Returns a [`PassError`] on bad predictions, module problems,
+/// irreducible speculative-speculative conflicts, or (if
+/// [`CompileOptions::verify`]) IR verification failures.
+pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassError> {
+    let mut m = module.clone();
+    m.resolve_calls()
+        .map_err(|n| PassError::Module(format!("call to undefined function @{n}")))?;
+
+    let func_ids: Vec<FuncId> = m.functions.ids().collect();
+    let mut reports: Vec<(FuncId, FunctionReport)> = Vec::new();
+
+    for id in func_ids {
+        let mut report = FunctionReport::default();
+
+        if let Some(detect_opts) = &opts.auto_detect {
+            // Automatic detection defers to the user: functions that
+            // already carry predictions keep them (stacking a detected
+            // region on a user region would create a speculative-vs-
+            // speculative conflict §4.3 cannot arbitrate).
+            if m.functions[id].kind == FuncKind::Kernel && m.functions[id].predictions.is_empty() {
+                report.auto_applied = auto_annotate(&mut m.functions[id], detect_opts);
+            }
+        }
+
+        if opts.pdom {
+            report.pdom = insert_pdom_sync(&mut m.functions[id], &opts.pdom_options);
+        }
+
+        let mut spec_barriers: Vec<BarrierId> = Vec::new();
+        if opts.speculative {
+            report.speculative = apply_speculative(&mut m.functions[id], opts.warp_width)?;
+            spec_barriers.extend(report.speculative.barriers());
+            report.interproc = apply_interprocedural(&mut m, id)?;
+            spec_barriers.extend(report.interproc.iter().map(|r| r.barrier));
+        }
+
+        if opts.speculative && !spec_barriers.is_empty() {
+            let pdom_barriers: Vec<BarrierId> =
+                report.pdom.inserted.iter().map(|(_, _, b)| *b).collect();
+            report.deconflict =
+                deconflict(&mut m.functions[id], &spec_barriers, &pdom_barriers, opts.deconflict);
+
+            // Speculative-speculative conflicts: with `spec_deconflict`,
+            // arbitrate by annotation order (§6's exclusive-predictions
+            // case); otherwise surface them.
+            if opts.spec_deconflict {
+                let priority = |b: &BarrierId| {
+                    spec_barriers.iter().position(|x| x == b).unwrap_or(usize::MAX)
+                };
+                loop {
+                    let pair = find_conflicts(&m.functions[id]).into_iter().find(|c| {
+                        spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b)
+                    });
+                    let Some(c) = pair else { break };
+                    let (winner, loser) = if priority(&c.a) <= priority(&c.b) {
+                        (c.a, c.b)
+                    } else {
+                        (c.b, c.a)
+                    };
+                    let r = deconflict(
+                        &mut m.functions[id],
+                        &[winner],
+                        &[loser],
+                        DeconflictMode::Dynamic,
+                    );
+                    if r.resolved.is_empty() {
+                        // No progress possible: report rather than spin.
+                        return Err(PassError::SpeculativeConflict(format!(
+                            "@{}: {} vs {} (unresolvable)",
+                            m.functions[id].name, winner, loser
+                        )));
+                    }
+                    report.deconflict.resolved.extend(r.resolved);
+                }
+            }
+            let spec_spec: Vec<String> = find_conflicts(&m.functions[id])
+                .into_iter()
+                .filter(|c| spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b))
+                .map(|c| format!("@{}: {} vs {}", m.functions[id].name, c.a, c.b))
+                .collect();
+            if !spec_spec.is_empty() {
+                return Err(PassError::SpeculativeConflict(spec_spec.join(", ")));
+            }
+        }
+
+        reports.push((id, report));
+    }
+
+    let barrier_alloc = if opts.barrier_allocation {
+        Some(allocate_barriers_module(&mut m, opts.barrier_limit)?)
+    } else {
+        None
+    };
+
+    if opts.verify {
+        verify_module(&m).map_err(|e| PassError::Verify("pipeline".to_string(), e))?;
+    }
+
+    Ok(Compiled { module: m, reports, barrier_alloc })
+}
+
+/// Profile-guided compilation (§4.5's "profile information may help
+/// improve the accuracy of our profitability tests"):
+///
+/// 1. compile the baseline (PDOM) pipeline and run it once with per-block
+///    profiling enabled;
+/// 2. run detection with the *measured* block visit counts (which capture
+///    real trip counts and branch probabilities the static heuristics can
+///    only guess);
+/// 3. compile speculatively with the resulting annotations.
+///
+/// Functions that already carry user predictions keep them, exactly as in
+/// automatic mode.
+///
+/// # Errors
+///
+/// Propagates pass errors and the profiling run's [`simt_sim::SimError`]
+/// (wrapped as [`PassError::Module`]).
+pub fn compile_profile_guided(
+    module: &Module,
+    opts: &CompileOptions,
+    detect_opts: &DetectOptions,
+    cfg: &simt_sim::SimConfig,
+    launch: &simt_sim::Launch,
+) -> Result<Compiled, PassError> {
+    // Profiling run on the baseline compilation.
+    let baseline = compile(module, &CompileOptions { speculative: false, ..opts.clone() })?;
+    let prof_cfg = simt_sim::SimConfig { profile: true, ..cfg.clone() };
+    let out = simt_sim::run(&baseline.module, &prof_cfg, launch)
+        .map_err(|e| PassError::Module(format!("profiling run failed: {e}")))?;
+    let profile = out.profile.expect("profiling was enabled");
+
+    // Annotate the *original* module with profile-guided candidates, then
+    // compile it speculatively.
+    let mut annotated = module.clone();
+    annotated
+        .resolve_calls()
+        .map_err(|n| PassError::Module(format!("call to undefined function @{n}")))?;
+    let ids: Vec<FuncId> = annotated.functions.ids().collect();
+    for id in ids {
+        let f = &mut annotated.functions[id];
+        if f.kind == FuncKind::Kernel && f.predictions.is_empty() {
+            crate::autodetect::auto_annotate_profiled(f, id, &profile, detect_opts);
+        }
+    }
+    compile(&annotated, &CompileOptions { auto_detect: None, ..opts.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{parse_module, Value};
+    use simt_sim::{run, Launch, SimConfig};
+
+    const LISTING1: &str = r#"
+kernel @k(params=0, regs=6, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r0 = special.tid
+  %r2 = mov 0
+  %r5 = mov 0
+  jmp bb1
+bb1:
+  %r1 = rng.unit
+  %r3 = lt %r1, 0.2f
+  brdiv %r3, bb2, bb3
+bb2 (label=L1, roi):
+  work 200
+  %r5 = add %r5, 1
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r3 = lt %r2, 20
+  brdiv %r3, bb1, bb4
+bb4:
+  store global[%r0], %r5
+  exit
+}
+"#;
+
+    fn launch() -> Launch {
+        let mut l = Launch::new("k", 4);
+        l.global_mem = vec![Value::I64(0); 128];
+        l
+    }
+
+    #[test]
+    fn baseline_vs_speculative_shapes() {
+        let m = parse_module(LISTING1).unwrap();
+        let base = compile(&m, &CompileOptions::baseline()).unwrap();
+        let spec = compile(&m, &CompileOptions::speculative()).unwrap();
+        let cfg = SimConfig::default();
+        let out_b = run(&base.module, &cfg, &launch()).unwrap();
+        let out_s = run(&spec.module, &cfg, &launch()).unwrap();
+
+        // Same results.
+        assert_eq!(out_b.global_mem, out_s.global_mem);
+        // Better expensive-block convergence.
+        let (rb, rs) = (out_b.metrics.roi_simt_efficiency(), out_s.metrics.roi_simt_efficiency());
+        assert!(rs > rb + 0.1, "SR should beat PDOM: {rb} vs {rs}");
+        // And a speedup.
+        assert!(
+            out_s.metrics.cycles < out_b.metrics.cycles,
+            "SR should be faster: {} vs {}",
+            out_b.metrics.cycles,
+            out_s.metrics.cycles
+        );
+    }
+
+    #[test]
+    fn automatic_matches_user_guided() {
+        // §5.4: automatic SR performs the same as programmer-annotated.
+        let m = parse_module(LISTING1).unwrap();
+        let mut unannotated = m.clone();
+        let id = unannotated.function_by_name("k").unwrap();
+        unannotated.functions[id].predictions.clear();
+
+        let auto =
+            compile(&unannotated, &CompileOptions::automatic(DetectOptions::default())).unwrap();
+        assert!(
+            !auto.reports[0].1.auto_applied.is_empty(),
+            "detector should find the iteration-delay pattern"
+        );
+        let user = compile(&m, &CompileOptions::speculative()).unwrap();
+        let cfg = SimConfig::default();
+        let out_a = run(&auto.module, &cfg, &launch()).unwrap();
+        let out_u = run(&user.module, &cfg, &launch()).unwrap();
+        assert_eq!(out_a.global_mem, out_u.global_mem);
+        let (ea, eu) = (out_a.metrics.roi_simt_efficiency(), out_u.metrics.roi_simt_efficiency());
+        assert!((ea - eu).abs() < 0.05, "auto {ea} vs user {eu}");
+    }
+
+    #[test]
+    fn reports_enumerate_inserted_sync() {
+        let m = parse_module(LISTING1).unwrap();
+        let spec = compile(&m, &CompileOptions::speculative()).unwrap();
+        let report = &spec.reports[0].1;
+        assert_eq!(report.pdom.inserted.len(), 2, "two divergent branches");
+        assert_eq!(report.speculative.predictions.len(), 1);
+        assert!(!report.deconflict.resolved.is_empty(), "Figure-5 conflict resolved");
+    }
+
+    #[test]
+    fn undefined_call_is_a_module_error() {
+        let src = "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  call @ghost()\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let err = compile(&m, &CompileOptions::baseline()).unwrap_err();
+        assert!(matches!(err, PassError::Module(msg) if msg.contains("ghost")));
+    }
+
+    #[test]
+    fn static_deconfliction_also_compiles_and_runs() {
+        let m = parse_module(LISTING1).unwrap();
+        let opts = CompileOptions { deconflict: DeconflictMode::Static, ..CompileOptions::default() };
+        let spec = compile(&m, &opts).unwrap();
+        let out = run(&spec.module, &SimConfig::default(), &launch()).unwrap();
+        assert!(out.metrics.roi_simt_efficiency() > 0.4);
+    }
+}

@@ -1,0 +1,54 @@
+use simt_ir::{parse_module, Value};
+use simt_sim::{run, Launch, SimConfig};
+use specrecon_core::{compile, CompileOptions};
+use std::collections::HashMap;
+
+const LISTING1: &str = r#"
+kernel @k(params=0, regs=6, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r0 = special.tid
+  %r2 = mov 0
+  %r5 = mov 0
+  jmp bb1
+bb1:
+  %r1 = rng.unit
+  %r3 = lt %r1, 0.2f
+  brdiv %r3, bb2, bb3
+bb2 (label=L1, roi):
+  work 40
+  %r5 = add %r5, 1
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r3 = lt %r2, 20
+  brdiv %r3, bb1, bb4
+bb4:
+  store global[%r0], %r5
+  exit
+}
+"#;
+
+#[test]
+#[ignore]
+fn profile() {
+    let m = parse_module(LISTING1).unwrap();
+    for (name, opts) in [("baseline", CompileOptions::baseline()), ("spec", CompileOptions::speculative())] {
+        let c = compile(&m, &opts).unwrap();
+        let cfg = SimConfig { trace: true, ..Default::default() };
+        let mut l = Launch::new("k", 1);
+        l.global_mem = vec![Value::I64(0); 128];
+        let out = run(&c.module, &cfg, &l).unwrap();
+        let tr = out.trace.unwrap();
+        let mut per_block: HashMap<u32, (u64, u64)> = HashMap::new();
+        for e in tr.events() {
+            let ent = per_block.entry(e.block.0).or_default();
+            ent.0 += e.cost as u64;
+            ent.1 += 1;
+        }
+        println!("== {name}: cycles={} issues={}", out.metrics.cycles, out.metrics.issues);
+        let mut ks: Vec<_> = per_block.into_iter().collect();
+        ks.sort();
+        for (b, (cost, n)) in ks { println!("  bb{b}: cost={cost} issues={n}"); }
+    }
+}

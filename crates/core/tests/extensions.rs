@@ -1,0 +1,252 @@
+//! Tests for the §6 discussion items: warp-synchronous operations
+//! inhibiting automatic SR, and multiple concurrent (disjoint)
+//! predictions.
+
+use simt_ir::{parse_module, FuncId};
+use simt_sim::{run, Launch, SimConfig};
+use specrecon_core::{compile, detect, CompileOptions, DetectOptions};
+
+/// An otherwise-perfect Loop-Merge candidate whose inner loop contains a
+/// warp-synchronous vote.
+const VOTED_LOOP: &str = r#"
+kernel @voted(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = mov 0
+  jmp bb1
+bb1:
+  %r2 = special.tid
+  %r3 = mul %r2, 37
+  %r4 = rem %r3, 60
+  %r4 = add %r4, 4
+  %r5 = mov 0
+  jmp bb2
+bb2:
+  work 30
+  %r6 = vote %r5
+  %r5 = add %r5, 1
+  %r7 = lt %r5, %r4
+  brdiv %r7, bb2, bb3
+bb3:
+  %r0 = add %r0, 1
+  %r7 = lt %r0, 6
+  brdiv %r7, bb1, bb4
+bb4:
+  exit
+}
+"#;
+
+#[test]
+fn votes_inhibit_automatic_detection() {
+    let m = parse_module(VOTED_LOOP).unwrap();
+    let cands = detect(&m.functions[FuncId(0)], &DetectOptions::default());
+    assert!(
+        cands.is_empty(),
+        "§6: warp-synchronous operations must inhibit automatic SR, got {cands:?}"
+    );
+
+    // Without the vote the same shape is detected.
+    let no_vote = VOTED_LOOP.replace("  %r6 = vote %r5\n", "");
+    let m2 = parse_module(&no_vote).unwrap();
+    let cands2 = detect(&m2.functions[FuncId(0)], &DetectOptions::default());
+    assert!(!cands2.is_empty(), "removing the vote should re-enable detection");
+}
+
+#[test]
+fn syncthreads_inhibits_automatic_detection() {
+    let src = VOTED_LOOP.replace("  %r6 = vote %r5\n", "  syncthreads\n");
+    let m = parse_module(&src).unwrap();
+    let cands = detect(&m.functions[FuncId(0)], &DetectOptions::default());
+    assert!(cands.is_empty(), "§2/§6: __syncthreads regions must not be transformed");
+}
+
+#[test]
+fn vote_counts_converged_lanes() {
+    // Convergent execution: every lane sees the full warp in the vote.
+    let src = "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  %r1 = vote 1\n  store global[%r0], %r1\n  exit\n}\n";
+    let m = parse_module(src).unwrap();
+    let compiled = compile(&m, &CompileOptions::baseline()).unwrap();
+    let mut launch = Launch::new("k", 1);
+    launch.global_mem = vec![simt_ir::Value::I64(0); 32];
+    let out = run(&compiled.module, &SimConfig::default(), &launch).unwrap();
+    for lane in 0..32 {
+        assert_eq!(out.global_mem[lane].as_i64(), 32, "lane {lane}");
+    }
+}
+
+#[test]
+fn vote_sees_divergent_groups() {
+    // Even lanes detour through bb1; the vote in bb1 runs with 16 lanes.
+    let src = "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb2, bb1\n\
+         bb1:\n  %r2 = vote 1\n  %r3 = special.tid\n  store global[%r3], %r2\n  exit\n\
+         bb2:\n  exit\n}\n";
+    let m = parse_module(src).unwrap();
+    // No barriers inserted: compile with pdom disabled so the group stays
+    // exactly the even lanes.
+    let opts = CompileOptions { pdom: false, speculative: false, ..CompileOptions::default() };
+    let compiled = compile(&m, &opts).unwrap();
+    let mut launch = Launch::new("k", 1);
+    launch.global_mem = vec![simt_ir::Value::I64(0); 32];
+    let out = run(&compiled.module, &SimConfig::default(), &launch).unwrap();
+    for lane in (0..32).step_by(2) {
+        assert_eq!(out.global_mem[lane].as_i64(), 16, "even lane {lane}");
+    }
+    for lane in (1..32).step_by(2) {
+        assert_eq!(out.global_mem[lane].as_i64(), 0, "odd lane {lane} never votes");
+    }
+}
+
+/// Two sequential loops, each with its own prediction — §6's "multiple
+/// concurrent predictions" in the exclusive (disjoint-region) case.
+const TWO_REGIONS: &str = r#"
+kernel @two(params=0, regs=8, barriers=0, entry=bb0) {
+  predict bb0 -> label A
+  predict bb4 -> label B
+bb0:
+  %r0 = special.tid
+  rngseed %r0
+  %r1 = mov 0
+  jmp bb1
+bb1:
+  %r2 = rng.unit
+  %r3 = lt %r2, 0.25f
+  brdiv %r3, bb2, bb3
+bb2 (label=A, roi):
+  work 50
+  %r6 = add %r6, 1
+  jmp bb3
+bb3:
+  %r1 = add %r1, 1
+  %r3 = lt %r1, 20
+  brdiv %r3, bb1, bb4
+bb4:
+  %r1 = mov 0
+  jmp bb5
+bb5:
+  %r2 = rng.unit
+  %r3 = lt %r2, 0.25f
+  brdiv %r3, bb6, bb7
+bb6 (label=B, roi):
+  work 50
+  %r6 = add %r6, 1
+  jmp bb7
+bb7:
+  %r1 = add %r1, 1
+  %r3 = lt %r1, 20
+  brdiv %r3, bb5, bb8
+bb8:
+  store global[%r0], %r6
+  exit
+}
+"#;
+
+#[test]
+fn disjoint_concurrent_predictions_compose() {
+    let m = parse_module(TWO_REGIONS).unwrap();
+    let cfg = SimConfig::default();
+    let mut launch = Launch::new("two", 2);
+    launch.global_mem = vec![simt_ir::Value::I64(0); 64];
+
+    let base = compile(&m, &CompileOptions::baseline()).unwrap();
+    let base_out = run(&base.module, &cfg, &launch).unwrap();
+
+    let spec = compile(&m, &CompileOptions::speculative()).unwrap();
+    let report = &spec.reports[0].1;
+    assert_eq!(report.speculative.predictions.len(), 2, "both predictions honored");
+    let out = run(&spec.module, &cfg, &launch).unwrap();
+
+    assert_eq!(base_out.global_mem, out.global_mem, "results preserved");
+    assert!(
+        out.metrics.roi_simt_efficiency() > base_out.metrics.roi_simt_efficiency() + 0.12,
+        "both expensive blocks should converge: {} -> {}",
+        base_out.metrics.roi_simt_efficiency(),
+        out.metrics.roi_simt_efficiency()
+    );
+}
+
+#[test]
+fn disjoint_predictions_with_thresholds_compose() {
+    let mut m = parse_module(TWO_REGIONS).unwrap();
+    for p in &mut m.functions[FuncId(0)].predictions {
+        p.threshold = Some(16);
+    }
+    let cfg = SimConfig::default();
+    let mut launch = Launch::new("two", 2);
+    launch.global_mem = vec![simt_ir::Value::I64(0); 64];
+
+    let base = compile(&m, &CompileOptions::baseline()).unwrap();
+    let base_out = run(&base.module, &cfg, &launch).unwrap();
+    let spec = compile(&m, &CompileOptions::speculative()).unwrap();
+    let out = run(&spec.module, &cfg, &launch).unwrap();
+    assert_eq!(base_out.global_mem, out.global_mem);
+}
+
+/// Two *overlapping* predictions in the same loop: the inner-loop header
+/// and the expensive branch body — §6's exclusive-predictions case.
+const OVERLAPPING: &str = r#"
+kernel @overlap(params=0, regs=8, barriers=0, entry=bb0) {
+  predict bb0 -> label A
+  predict bb0 -> label B
+bb0:
+  %r0 = special.tid
+  rngseed %r0
+  %r1 = mov 0
+  jmp bb1
+bb1:
+  %r2 = rng.unit
+  %r3 = lt %r2, 0.3f
+  brdiv %r3, bb2, bb3
+bb2 (label=A, roi):
+  work 40
+  %r6 = add %r6, 1
+  jmp bb3
+bb3:
+  %r2 = rng.unit
+  %r3 = lt %r2, 0.3f
+  brdiv %r3, bb4, bb5
+bb4 (label=B, roi):
+  work 40
+  %r6 = add %r6, 3
+  jmp bb5
+bb5:
+  %r1 = add %r1, 1
+  %r3 = lt %r1, 16
+  brdiv %r3, bb1, bb6
+bb6:
+  store global[%r0], %r6
+  exit
+}
+"#;
+
+#[test]
+fn overlapping_predictions_error_by_default() {
+    let m = parse_module(OVERLAPPING).unwrap();
+    let err = compile(&m, &CompileOptions::speculative()).unwrap_err();
+    assert!(matches!(err, specrecon_core::PassError::SpeculativeConflict(_)), "{err}");
+}
+
+#[test]
+fn spec_deconflict_arbitrates_exclusive_predictions() {
+    let m = parse_module(OVERLAPPING).unwrap();
+    let cfg = SimConfig::default();
+    let mut launch = Launch::new("overlap", 2);
+    launch.global_mem = vec![simt_ir::Value::I64(0); 64];
+
+    let base = compile(&m, &CompileOptions::baseline()).unwrap();
+    let base_out = run(&base.module, &cfg, &launch).unwrap();
+
+    let opts = CompileOptions { spec_deconflict: true, ..CompileOptions::speculative() };
+    let spec = compile(&m, &opts).unwrap();
+    assert!(
+        !spec.reports[0].1.deconflict.resolved.is_empty(),
+        "arbitration must have resolved pairs"
+    );
+    let out = run(&spec.module, &cfg, &launch).unwrap();
+    // The guarantee is correctness and deadlock freedom; §6 leaves the
+    // *profitability* of concurrent overlapping predictions to future
+    // work, and indeed on this kernel the mutual cancels eat most of the
+    // benefit.
+    assert_eq!(base_out.global_mem, out.global_mem, "arbitration preserves results");
+    assert!(out.metrics.issues > 0);
+}

@@ -1,0 +1,212 @@
+//! Profile-guided detection (§4.5 extension): measured block counts
+//! correct the static heuristics in both directions — they rescue
+//! profitable candidates the static trip-count guess under-scores, and
+//! they reject statically-attractive candidates whose branch almost never
+//! fires.
+
+use simt_ir::{parse_module, FuncId, Module};
+use simt_sim::{run, Launch, SimConfig};
+use specrecon_core::{
+    compile, compile_profile_guided, detect, detect_profiled, CompileOptions, DetectOptions,
+    PatternKind,
+};
+
+fn profile_of(module: &Module, warps: usize) -> simt_sim::Profile {
+    let baseline = compile(module, &CompileOptions::baseline()).unwrap();
+    let cfg = SimConfig { profile: true, ..SimConfig::default() };
+    let kernel = &module.functions[FuncId(0)].name;
+    let out = run(&baseline.module, &cfg, &Launch::new(kernel.clone(), warps)).unwrap();
+    out.profile.unwrap()
+}
+
+/// Loop Merge with a cheap-looking inner body that actually iterates ~60
+/// times per outer iteration: the static guess (8 iterations) under-
+/// scores it; the profile rescues it.
+const HIDDEN_HOT_INNER: &str = r#"
+kernel @hot(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = mov 0
+  jmp bb1
+bb1:
+  work 50
+  %r2 = special.tid
+  %r3 = mul %r2, 31
+  %r3 = xor %r3, %r0
+  %r4 = rem %r3, 40
+  %r4 = add %r4, 40
+  %r5 = mov 0
+  jmp bb2
+bb2:
+  work 2
+  %r6 = add %r6, %r5
+  %r5 = add %r5, 1
+  %r7 = lt %r5, %r4
+  brdiv %r7, bb2, bb3
+bb3:
+  %r0 = add %r0, 1
+  %r7 = lt %r0, 8
+  brdiv %r7, bb1, bb4
+bb4:
+  exit
+}
+"#;
+
+/// Iteration Delay whose expensive-looking block (work 120) fires on
+/// ~1.5% of iterations: statically attractive, dynamically worthless.
+const COLD_EXPENSIVE_BRANCH: &str = r#"
+kernel @cold(params=0, regs=6, barriers=0, entry=bb0) {
+bb0:
+  %r0 = special.tid
+  rngseed %r0
+  %r1 = mov 0
+  jmp bb1
+bb1:
+  %r2 = rng.unit
+  %r3 = lt %r2, 0.015f
+  brdiv %r3, bb2, bb3
+bb2:
+  work 120
+  jmp bb3
+bb3:
+  work 3
+  %r1 = add %r1, 1
+  %r3 = lt %r1, 30
+  brdiv %r3, bb1, bb4
+bb4:
+  exit
+}
+"#;
+
+#[test]
+fn profile_rescues_hidden_hot_inner_loop() {
+    let m = parse_module(HIDDEN_HOT_INNER).unwrap();
+    let f = &m.functions[FuncId(0)];
+    let opts = DetectOptions::default();
+
+    let static_lm = detect(f, &opts)
+        .into_iter()
+        .find(|c| c.kind == PatternKind::LoopMerge)
+        .expect("pattern is visible statically");
+    assert!(
+        static_lm.score < 1.0,
+        "static score should under-estimate the hidden trip count, got {}",
+        static_lm.score
+    );
+
+    let profile = profile_of(&m, 1);
+    let dyn_lm = detect_profiled(f, FuncId(0), &profile, &opts)
+        .into_iter()
+        .find(|c| c.kind == PatternKind::LoopMerge)
+        .expect("pattern still detected");
+    assert!(
+        dyn_lm.score > 1.0,
+        "profiled score should see ~60 iterations, got {}",
+        dyn_lm.score
+    );
+}
+
+#[test]
+fn profile_rejects_cold_expensive_branch() {
+    let m = parse_module(COLD_EXPENSIVE_BRANCH).unwrap();
+    let f = &m.functions[FuncId(0)];
+    let opts = DetectOptions::default();
+
+    let static_id = detect(f, &opts)
+        .into_iter()
+        .find(|c| c.kind == PatternKind::IterationDelay)
+        .expect("branch is statically attractive");
+    assert!(
+        static_id.score > 1.0,
+        "static score should over-estimate the cold branch, got {}",
+        static_id.score
+    );
+
+    let profile = profile_of(&m, 1);
+    let dyn_id = detect_profiled(f, FuncId(0), &profile, &opts)
+        .into_iter()
+        .find(|c| c.kind == PatternKind::IterationDelay)
+        .expect("pattern still detected");
+    assert!(
+        dyn_id.score < 1.0,
+        "profiled score should see the branch almost never fires, got {}",
+        dyn_id.score
+    );
+}
+
+#[test]
+fn compile_profile_guided_declines_marginal_candidates() {
+    // On the cold-branch kernel static detection applies its candidate,
+    // while the frequency-aware profiled score declines it and the
+    // compiled module is byte-identical to the baseline. Neither verdict
+    // is an oracle — the paper is explicit that profitability "depends on
+    // the relative cost of the common code, its divergence properties,
+    // and the prolog/epilog regions", and leaves the final say to the
+    // user; this test pins the *mechanics*: profiling changes the
+    // decision, conservatively, and never breaks the kernel.
+    let m = parse_module(COLD_EXPENSIVE_BRANCH).unwrap();
+    let cfg = SimConfig::default();
+    let launch = Launch::new("cold", 1);
+
+    let base = compile(&m, &CompileOptions::baseline()).unwrap();
+    let base_out = run(&base.module, &cfg, &launch).unwrap();
+
+    let auto = compile(&m, &CompileOptions::automatic(DetectOptions::default())).unwrap();
+    let auto_applied: usize = auto.reports.iter().map(|(_, r)| r.auto_applied.len()).sum();
+    assert_eq!(auto_applied, 1, "static detection applies its candidate");
+
+    let pg = compile_profile_guided(
+        &m,
+        &CompileOptions::speculative(),
+        &DetectOptions::default(),
+        &cfg,
+        &launch,
+    )
+    .unwrap();
+    let pg_out = run(&pg.module, &cfg, &launch).unwrap();
+
+    assert_eq!(
+        pg.module, base.module,
+        "profile-guided mode should decline the cold candidate"
+    );
+    assert_eq!(pg_out.metrics.cycles, base_out.metrics.cycles);
+}
+
+#[test]
+fn profile_guided_respects_user_annotations() {
+    // A kernel that already carries a prediction keeps it verbatim.
+    let src = r#"
+kernel @k(params=0, regs=4, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  work 60
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  brdiv %r1, bb1, bb4
+bb4:
+  exit
+}
+"#;
+    let m = parse_module(src).unwrap();
+    let cfg = SimConfig::default();
+    let launch = Launch::new("k", 1);
+    let pg = compile_profile_guided(
+        &m,
+        &CompileOptions::speculative(),
+        &DetectOptions::default(),
+        &cfg,
+        &launch,
+    )
+    .unwrap();
+    // Exactly the user's speculative barriers, no auto additions.
+    let user = compile(&m, &CompileOptions::speculative()).unwrap();
+    assert_eq!(pg.module, user.module);
+}

@@ -1,0 +1,397 @@
+//! Fluent construction of IR functions.
+//!
+//! [`FunctionBuilder`] keeps a *current block* cursor; instruction-emitting
+//! methods append to it and allocate destination registers. Workloads and
+//! tests use this instead of pushing [`crate::Inst`]s by hand.
+//!
+//! ```
+//! use simt_ir::{FunctionBuilder, FuncKind, BinOp};
+//!
+//! let mut b = FunctionBuilder::new("axpy", FuncKind::Kernel, 2);
+//! let (a, x) = (b.param(0), b.param(1));
+//! let ax = b.bin(BinOp::Mul, a, x);
+//! let out = b.bin(BinOp::Add, ax, 1i64);
+//! b.store_global(out, 0i64);
+//! b.exit();
+//! let f = b.finish();
+//! assert_eq!(f.num_params, 2);
+//! ```
+
+use crate::function::{FuncKind, Function, PredictTarget, Prediction};
+use crate::ids::{BarrierId, BlockId, Reg};
+use crate::inst::{
+    BarrierOp, BinOp, FuncRef, Inst, MemSpace, Operand, RngKind, SpecialValue, Terminator, UnOp,
+};
+
+/// Incrementally builds a [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    terminated: bool,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `num_params` parameters. The cursor is placed
+    /// on the entry block.
+    pub fn new(name: impl Into<String>, kind: FuncKind, num_params: usize) -> Self {
+        let func = Function::new(name, kind, num_params);
+        let current = func.entry;
+        Self { func, current, terminated: false }
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.func.num_params, "parameter index {i} out of range");
+        Reg::new(i)
+    }
+
+    /// Allocates a fresh register without emitting an instruction.
+    pub fn fresh_reg(&mut self) -> Reg {
+        self.func.alloc_reg()
+    }
+
+    /// Allocates a fresh barrier register.
+    pub fn fresh_barrier(&mut self) -> BarrierId {
+        self.func.alloc_barrier()
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its id without
+    /// moving the cursor.
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        self.func.add_block(Some(label.into()))
+    }
+
+    /// Creates a new anonymous block.
+    pub fn anon_block(&mut self) -> BlockId {
+        self.func.add_block(None)
+    }
+
+    /// Moves the cursor to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block has not been terminated (which would
+    /// silently leave an `Exit` fallthrough behind).
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.terminated || self.block_is_empty(self.current),
+            "switch_to: block {} was left unterminated",
+            self.current
+        );
+        self.current = block;
+        self.terminated = false;
+    }
+
+    fn block_is_empty(&self, b: BlockId) -> bool {
+        self.func.blocks[b].insts.is_empty()
+    }
+
+    /// The block the cursor is on.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Marks the current block as a region-of-interest for per-region SIMT
+    /// efficiency accounting.
+    pub fn mark_roi(&mut self) {
+        self.func.blocks[self.current].roi = true;
+    }
+
+    /// Attaches a label to the current block (overwriting any existing
+    /// label).
+    pub fn label_current(&mut self, label: impl Into<String>) {
+        self.func.blocks[self.current].label = Some(label.into());
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(!self.terminated, "emitting into terminated block {}", self.current);
+        self.func.blocks[self.current].insts.push(inst);
+    }
+
+    // ---- instruction emitters -------------------------------------------
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
+        dst
+    }
+
+    /// Emits a binary operation into an existing register.
+    pub fn bin_into(&mut self, dst: Reg, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.push(Inst::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
+    }
+
+    /// Emits a unary operation into a fresh register.
+    pub fn un(&mut self, op: UnOp, src: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Un { op, dst, src: src.into() });
+        dst
+    }
+
+    /// Emits a move into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Mov { dst, src: src.into() });
+        dst
+    }
+
+    /// Emits a move into an existing register.
+    pub fn mov_into(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.push(Inst::Mov { dst, src: src.into() });
+    }
+
+    /// Emits a select into a fresh register.
+    pub fn sel(
+        &mut self,
+        cond: impl Into<Operand>,
+        if_true: impl Into<Operand>,
+        if_false: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Sel {
+            dst,
+            cond: cond.into(),
+            if_true: if_true.into(),
+            if_false: if_false.into(),
+        });
+        dst
+    }
+
+    /// Emits a global-memory load.
+    pub fn load_global(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Load { dst, space: MemSpace::Global, addr: addr.into() });
+        dst
+    }
+
+    /// Emits a local-memory load.
+    pub fn load_local(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Load { dst, space: MemSpace::Local, addr: addr.into() });
+        dst
+    }
+
+    /// Emits a global-memory store.
+    pub fn store_global(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>) {
+        self.push(Inst::Store { space: MemSpace::Global, addr: addr.into(), value: value.into() });
+    }
+
+    /// Emits a local-memory store.
+    pub fn store_local(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>) {
+        self.push(Inst::Store { space: MemSpace::Local, addr: addr.into(), value: value.into() });
+    }
+
+    /// Emits an atomic fetch-add on global memory (the work-queue
+    /// primitive).
+    pub fn atomic_add(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::AtomicAdd { dst, addr: addr.into(), value: value.into() });
+        dst
+    }
+
+    /// Reads a special value.
+    pub fn special(&mut self, kind: SpecialValue) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Special { dst, kind });
+        dst
+    }
+
+    /// Draws a uniform float in `[0, 1)` from the per-thread RNG.
+    pub fn rng_unit(&mut self) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Rng { dst, kind: RngKind::Unit });
+        dst
+    }
+
+    /// Re-seeds the per-thread RNG from an operand (e.g. a task id), so
+    /// the subsequent random stream is a function of the value rather
+    /// than of the executing thread.
+    pub fn seed_rng(&mut self, src: impl Into<Operand>) {
+        self.push(Inst::SeedRng { src: src.into() });
+    }
+
+    /// Draws a uniform non-negative integer from the per-thread RNG.
+    pub fn rng_u63(&mut self) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Rng { dst, kind: RngKind::U63 });
+        dst
+    }
+
+    /// Emits a call by callee name; returns `n_rets` fresh registers that
+    /// receive the return values.
+    pub fn call(&mut self, callee: &str, args: Vec<Operand>, n_rets: usize) -> Vec<Reg> {
+        let rets: Vec<Reg> = (0..n_rets).map(|_| self.func.alloc_reg()).collect();
+        self.push(Inst::Call { func: FuncRef::Name(callee.to_string()), args, rets: rets.clone() });
+        rets
+    }
+
+    /// Emits a synthetic `work` instruction of the given cycle cost.
+    pub fn work(&mut self, amount: u32) {
+        self.push(Inst::Work { amount });
+    }
+
+    /// Emits a barrier operation.
+    pub fn barrier(&mut self, op: BarrierOp) {
+        self.push(Inst::Barrier(op));
+    }
+
+    // ---- terminators -----------------------------------------------------
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a non-divergent conditional
+    /// branch.
+    pub fn br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+            divergent: false,
+        });
+    }
+
+    /// Terminates the current block with a branch hinted as divergent.
+    pub fn br_div(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch { cond: cond.into(), then_bb, else_bb, divergent: true });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, values: Vec<Operand>) {
+        self.terminate(Terminator::Return(values));
+    }
+
+    /// Terminates the current block with a thread exit.
+    pub fn exit(&mut self) {
+        self.terminate(Terminator::Exit);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(!self.terminated, "block {} terminated twice", self.current);
+        self.func.blocks[self.current].term = term;
+        self.terminated = true;
+    }
+
+    // ---- predictions ------------------------------------------------------
+
+    /// Records a `Predict(<label>)` directive (§4.1) whose region starts at
+    /// the current block.
+    pub fn predict_label(&mut self, label: impl Into<String>, threshold: Option<u32>) {
+        let region_start = self.current;
+        self.func.predictions.push(Prediction {
+            region_start,
+            target: PredictTarget::Label(label.into()),
+            threshold,
+        });
+    }
+
+    /// Records a `Predict(<function>)` directive (§4.4) whose region starts
+    /// at the current block.
+    pub fn predict_function(&mut self, callee: &str, threshold: Option<u32>) {
+        let region_start = self.current;
+        self.func.predictions.push(Prediction {
+            region_start,
+            target: PredictTarget::Function(FuncRef::Name(callee.to_string())),
+            threshold,
+        });
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block was left unterminated.
+    pub fn finish(self) -> Function {
+        assert!(
+            self.terminated,
+            "finish: block {} was left unterminated",
+            self.current
+        );
+        self.func
+    }
+
+    /// Accesses the function under construction (for advanced tweaks the
+    /// fluent API does not cover).
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+}
+
+/// Direct access to the underlying [`crate::Block`] list, for tests that need to
+/// inspect emitted code.
+impl AsRef<Function> for FunctionBuilder {
+    fn as_ref(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 1);
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, p, 1i64);
+        b.store_global(x, 0i64);
+        b.exit();
+        let f = b.finish();
+        assert_eq!(f.blocks[f.entry].insts.len(), 2);
+        assert_eq!(f.blocks[f.entry].term, Terminator::Exit);
+    }
+
+    #[test]
+    fn branches_and_blocks() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        let t = b.block("then");
+        let e = b.block("else");
+        let c = b.rng_unit();
+        let half = b.bin(BinOp::Lt, c, 0.5f64);
+        b.br_div(half, t, e);
+        b.switch_to(t);
+        b.exit();
+        b.switch_to(e);
+        b.exit();
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert!(matches!(
+            f.blocks[f.entry].term,
+            Terminator::Branch { divergent: true, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        b.exit();
+        b.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "unterminated")]
+    fn finish_unterminated_panics() {
+        let b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        b.finish();
+    }
+
+    #[test]
+    fn predictions_attach_to_current_block() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        b.predict_label("L1", Some(16));
+        b.exit();
+        let f = b.finish();
+        assert_eq!(f.predictions.len(), 1);
+        assert_eq!(f.predictions[0].region_start, f.entry);
+        assert_eq!(f.predictions[0].threshold, Some(16));
+    }
+}

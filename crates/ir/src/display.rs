@@ -1,0 +1,222 @@
+//! Textual form of the IR (printer half).
+//!
+//! The textual syntax round-trips through [`crate::parse::parse_module`];
+//! see that module for the grammar. `Display` for [`Module`] and
+//! [`Function`] produce it.
+
+use crate::function::{Function, Module, PredictTarget};
+use crate::inst::{BarrierOp, Inst, Terminator};
+use crate::Value;
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, func)) in self.functions.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @{}(params={}, regs={}, barriers={}, entry=bb{}) {{",
+            self.kind,
+            self.name,
+            self.num_params,
+            self.num_regs,
+            self.num_barriers,
+            self.entry.index()
+        )?;
+        for p in &self.predictions {
+            match &p.target {
+                PredictTarget::Label(l) => {
+                    write!(f, "  predict bb{} -> label {}", p.region_start.index(), l)?;
+                }
+                PredictTarget::Function(fr) => {
+                    write!(f, "  predict bb{} -> func {}", p.region_start.index(), fr)?;
+                }
+            }
+            match p.threshold {
+                Some(t) => writeln!(f, " threshold={t}")?,
+                None => writeln!(f)?,
+            }
+        }
+        for (id, block) in self.blocks.iter() {
+            let mut attrs = String::new();
+            if let Some(l) = &block.label {
+                let _ = write!(attrs, "label={l}");
+            }
+            if block.roi {
+                if !attrs.is_empty() {
+                    attrs.push_str(", ");
+                }
+                attrs.push_str("roi");
+            }
+            if attrs.is_empty() {
+                writeln!(f, "bb{}:", id.index())?;
+            } else {
+                writeln!(f, "bb{} ({attrs}):", id.index())?;
+            }
+            for inst in &block.insts {
+                writeln!(f, "  {}", DisplayInst(inst))?;
+            }
+            writeln!(f, "  {}", DisplayTerm(&block.term))?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// Wrapper displaying a single instruction in the textual syntax.
+pub struct DisplayInst<'a>(pub &'a Inst);
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Inst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic()),
+            Inst::Un { op, dst, src } => write!(f, "{dst} = {} {src}", op.mnemonic()),
+            Inst::Mov { dst, src } => write!(f, "{dst} = mov {src}"),
+            Inst::Sel { dst, cond, if_true, if_false } => {
+                write!(f, "{dst} = sel {cond}, {if_true}, {if_false}")
+            }
+            Inst::Load { dst, space, addr } => {
+                write!(f, "{dst} = load {}[{addr}]", space.keyword())
+            }
+            Inst::Store { space, addr, value } => {
+                write!(f, "store {}[{addr}], {value}", space.keyword())
+            }
+            Inst::AtomicAdd { dst, addr, value } => {
+                write!(f, "{dst} = atomic_add [{addr}], {value}")
+            }
+            Inst::Special { dst, kind } => write!(f, "{dst} = special.{}", kind.mnemonic()),
+            Inst::Rng { dst, kind } => write!(f, "{dst} = rng.{}", kind.mnemonic()),
+            Inst::SeedRng { src } => write!(f, "rngseed {src}"),
+            Inst::Vote { dst, pred } => write!(f, "{dst} = vote {pred}"),
+            Inst::SyncThreads => write!(f, "syncthreads"),
+            Inst::Call { func, args, rets } => {
+                write!(f, "call {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if !rets.is_empty() {
+                    write!(f, " -> (")?;
+                    for (i, r) in rets.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Inst::Barrier(op) => write!(f, "{}", DisplayBarrier(op)),
+            Inst::Work { amount } => write!(f, "work {amount}"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Wrapper displaying a barrier operation.
+pub struct DisplayBarrier<'a>(pub &'a BarrierOp);
+
+impl fmt::Display for DisplayBarrier<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            BarrierOp::Join(b) => write!(f, "join {b}"),
+            BarrierOp::Wait(b) => write!(f, "wait {b}"),
+            BarrierOp::Cancel(b) => write!(f, "cancel {b}"),
+            BarrierOp::Rejoin(b) => write!(f, "rejoin {b}"),
+            BarrierOp::Copy { dst, src } => write!(f, "bcopy {dst}, {src}"),
+            BarrierOp::ArrivedCount { dst, bar } => write!(f, "{dst} = arrived {bar}"),
+        }
+    }
+}
+
+/// Wrapper displaying a terminator.
+pub struct DisplayTerm<'a>(pub &'a Terminator);
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Terminator::Jump(b) => write!(f, "jmp bb{}", b.index()),
+            Terminator::Branch { cond, then_bb, else_bb, divergent } => {
+                let op = if *divergent { "brdiv" } else { "br" };
+                write!(f, "{op} {cond}, bb{}, bb{}", then_bb.index(), else_bb.index())
+            }
+            Terminator::Return(values) => {
+                write!(f, "ret")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i == 0 {
+                        write!(f, " {v}")?;
+                    } else {
+                        write!(f, ", {v}")?;
+                    }
+                }
+                Ok(())
+            }
+            Terminator::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// Formats a [`Value`] as an immediate in the textual syntax (floats carry
+/// an `f` suffix so the parser can distinguish them).
+pub fn display_imm(v: Value) -> String {
+    match v {
+        Value::I64(i) => i.to_string(),
+        Value::F64(x) => format!("{x:?}f"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::FuncKind;
+    use crate::inst::{BinOp, Operand};
+
+    #[test]
+    fn prints_simple_function() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 1);
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, p, 1i64);
+        b.store_global(x, 0i64);
+        b.exit();
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("kernel @k(params=1, regs=2, barriers=0, entry=bb0) {"));
+        assert!(text.contains("%r1 = add %r0, 1"));
+        assert!(text.contains("store global[0], %r1"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn prints_float_immediates_with_suffix() {
+        let op = Operand::imm_f64(0.5);
+        assert_eq!(op.to_string(), "0.5f");
+    }
+
+    #[test]
+    fn prints_barrier_ops() {
+        use crate::ids::{BarrierId, Reg};
+        assert_eq!(DisplayBarrier(&BarrierOp::Join(BarrierId(0))).to_string(), "join b0");
+        assert_eq!(
+            DisplayBarrier(&BarrierOp::Copy { dst: BarrierId(1), src: BarrierId(0) }).to_string(),
+            "bcopy b1, b0"
+        );
+        assert_eq!(
+            DisplayBarrier(&BarrierOp::ArrivedCount { dst: Reg(3), bar: BarrierId(2) }).to_string(),
+            "%r3 = arrived b2"
+        );
+    }
+}

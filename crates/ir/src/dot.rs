@@ -1,0 +1,99 @@
+//! Graphviz DOT rendering of function CFGs — developer tooling for
+//! inspecting what the passes did (`specrecon dot FILE | dot -Tsvg ...`).
+
+use crate::display::{DisplayInst, DisplayTerm};
+use crate::function::{Function, Module};
+use crate::inst::Terminator;
+use std::fmt::Write as _;
+
+/// Renders one function as a DOT digraph.
+///
+/// Blocks become record-shaped nodes listing their instructions; the
+/// region-of-interest blocks are shaded; branch edges are labelled
+/// `T`/`F`, with divergent branches drawn dashed.
+pub fn function_to_dot(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\", fontsize=10];");
+    let _ = writeln!(out, "  labelloc=t; label=\"@{}\";", func.name);
+
+    for (id, block) in func.blocks.iter() {
+        let mut body = String::new();
+        if let Some(l) = &block.label {
+            let _ = write!(body, "{id} ({l})\\l");
+        } else {
+            let _ = write!(body, "{id}\\l");
+        }
+        for inst in &block.insts {
+            let _ = write!(body, "  {}\\l", escape(&DisplayInst(inst).to_string()));
+        }
+        let _ = write!(body, "  {}\\l", escape(&DisplayTerm(&block.term).to_string()));
+        let style = if block.roi {
+            ", style=filled, fillcolor=\"#ffe0b0\""
+        } else if id == func.entry {
+            ", style=filled, fillcolor=\"#d0e8ff\""
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{id}\" [label=\"{body}\"{style}];");
+    }
+
+    for (id, block) in func.blocks.iter() {
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  \"{id}\" -> \"{t}\";");
+            }
+            Terminator::Branch { then_bb, else_bb, divergent, .. } => {
+                let style = if *divergent { ", style=dashed" } else { "" };
+                let _ = writeln!(out, "  \"{id}\" -> \"{then_bb}\" [label=\"T\"{style}];");
+                let _ = writeln!(out, "  \"{id}\" -> \"{else_bb}\" [label=\"F\"{style}];");
+            }
+            Terminator::Return(_) | Terminator::Exit => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders every function of a module as separate digraphs.
+pub fn module_to_dot(module: &Module) -> String {
+    module.functions.iter().map(|(_, f)| function_to_dot(f)).collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('<', "\\<").replace('>', "\\>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    #[test]
+    fn renders_nodes_edges_and_styles() {
+        let src = "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+             bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+             bb1 (label=hot, roi):\n  work 9\n  jmp bb2\n\
+             bb2:\n  exit\n}\n";
+        let m = parse_module(src).unwrap();
+        let f = m.functions.iter().next().unwrap().1;
+        let dot = function_to_dot(f);
+        assert!(dot.starts_with("digraph \"k\""));
+        assert!(dot.contains("\"bb0\" -> \"bb1\" [label=\"T\", style=dashed];"));
+        assert!(dot.contains("fillcolor=\"#ffe0b0\""), "roi block shaded");
+        assert!(dot.contains("fillcolor=\"#d0e8ff\""), "entry block shaded");
+        assert!(dot.contains("bb1 (hot)"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn module_renders_all_functions() {
+        let src = "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  exit\n}\n\
+                   device @f(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        let dot = module_to_dot(&m);
+        assert!(dot.contains("digraph \"k\""));
+        assert!(dot.contains("digraph \"f\""));
+    }
+}

@@ -1,0 +1,249 @@
+//! Strongly-typed identifiers used throughout the IR, and [`IdVec`], a thin
+//! vector indexed by those identifiers.
+//!
+//! Every entity in a [`crate::Function`] — basic blocks, virtual registers,
+//! barrier registers — is referred to by a dense index newtype rather than a
+//! raw `usize`, so that the type system prevents mixing them up
+//! (C-NEWTYPE).
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Implements a dense index newtype with `Display`/`Debug` using a sigil
+/// prefix (e.g. `bb3`, `%7`, `b2`).
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifier of a basic block within a [`crate::Function`].
+    BlockId, "bb"
+}
+
+id_type! {
+    /// Identifier of a per-thread virtual register within a function frame.
+    Reg, "%r"
+}
+
+id_type! {
+    /// Identifier of a warp-level convergence-barrier register.
+    ///
+    /// Barrier registers hold *participation masks* (one bit per lane), the
+    /// model used by Volta's `BSSY`/`BSYNC`/`BREAK` instructions.
+    BarrierId, "b"
+}
+
+id_type! {
+    /// Identifier of a function within a [`crate::Module`].
+    FuncId, "fn"
+}
+
+/// A vector whose elements are addressed by a dense id newtype.
+///
+/// This is a minimal "index vector": it only exposes the operations the IR
+/// and analyses need, and it guarantees at the type level that a `BlockId`
+/// can never index a register table, etc.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IdVec<I, T> {
+    items: Vec<T>,
+    _marker: PhantomData<fn(I) -> I>,
+}
+
+impl<I, T> IdVec<I, T>
+where
+    I: Copy + Into<usize> + From32,
+{
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self { items: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty vector with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { items: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends an element and returns its id.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(id, &element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates over `(id, &mut element)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.items.iter_mut().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = I> + 'static
+    where
+        I: 'static,
+    {
+        (0..self.items.len()).map(I::from_index)
+    }
+
+    /// Returns a reference to the element, or `None` if out of range.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.into())
+    }
+
+    /// Returns a mutable reference to the element, or `None` if out of range.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.items.get_mut(id.into())
+    }
+}
+
+impl<I, T> Default for IdVec<I, T>
+where
+    I: Copy + Into<usize> + From32,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, T> std::ops::Index<I> for IdVec<I, T>
+where
+    I: Copy + Into<usize> + From32,
+{
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.into()]
+    }
+}
+
+impl<I, T> std::ops::IndexMut<I> for IdVec<I, T>
+where
+    I: Copy + Into<usize> + From32,
+{
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.into()]
+    }
+}
+
+impl<I, T: fmt::Debug> fmt::Debug for IdVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+/// Construction of an id from a raw index; implemented by all id newtypes.
+pub trait From32 {
+    /// Creates the id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    fn from_index(index: usize) -> Self;
+}
+
+macro_rules! impl_from32 {
+    ($($t:ty),*) => {
+        $(impl From32 for $t {
+            fn from_index(index: usize) -> Self {
+                Self::new(index)
+            }
+        })*
+    };
+}
+
+impl_from32!(BlockId, Reg, BarrierId, FuncId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_uses_sigils() {
+        assert_eq!(BlockId(3).to_string(), "bb3");
+        assert_eq!(Reg(7).to_string(), "%r7");
+        assert_eq!(BarrierId(0).to_string(), "b0");
+        assert_eq!(FuncId(1).to_string(), "fn1");
+    }
+
+    #[test]
+    fn idvec_push_and_index() {
+        let mut v: IdVec<BlockId, &str> = IdVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(a, BlockId(0));
+        assert_eq!(b, BlockId(1));
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn idvec_iterators_yield_ids_in_order() {
+        let mut v: IdVec<Reg, i32> = IdVec::new();
+        v.push(10);
+        v.push(20);
+        let collected: Vec<_> = v.iter().map(|(id, val)| (id.index(), *val)).collect();
+        assert_eq!(collected, vec![(0, 10), (1, 20)]);
+        let ids: Vec<_> = v.ids().collect();
+        assert_eq!(ids, vec![Reg(0), Reg(1)]);
+    }
+
+    #[test]
+    fn idvec_get_out_of_range_is_none() {
+        let v: IdVec<BlockId, u8> = IdVec::new();
+        assert!(v.get(BlockId(0)).is_none());
+    }
+}

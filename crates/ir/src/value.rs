@@ -1,0 +1,157 @@
+//! Dynamic values carried by per-thread registers and memory cells.
+//!
+//! The IR is dynamically typed: every register and memory cell holds a
+//! [`Value`], either a 64-bit integer or a 64-bit float. Arithmetic is
+//! defined on both where sensible; integer arithmetic wraps (GPU-style),
+//! and invalid combinations surface as [`ValueError`]s from the simulator
+//! rather than panics.
+
+use std::fmt;
+
+/// A dynamically-typed 64-bit value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Signed 64-bit integer. Also used for booleans (0 = false, 1 = true)
+    /// and addresses.
+    I64(i64),
+    /// 64-bit IEEE float.
+    F64(f64),
+}
+
+impl Value {
+    /// The canonical `true` value.
+    pub const TRUE: Value = Value::I64(1);
+    /// The canonical `false` value.
+    pub const FALSE: Value = Value::I64(0);
+
+    /// Returns the value as an integer, converting floats by truncation.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            Value::F64(v) => v as i64,
+        }
+    }
+
+    /// Returns the value as a float, converting integers exactly where
+    /// possible.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::I64(v) => v as f64,
+            Value::F64(v) => v,
+        }
+    }
+
+    /// Interprets the value as a branch condition: any non-zero value is
+    /// taken as true.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::I64(v) => v != 0,
+            Value::F64(v) => v != 0.0,
+        }
+    }
+
+    /// Builds a boolean value.
+    pub fn bool(b: bool) -> Value {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// Whether this value is an integer.
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::I64(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::I64(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::bool(v)
+    }
+}
+
+/// Error produced when an operation is applied to values it is not defined
+/// for (e.g. integer division by zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueError {
+    /// Human-readable description of the fault.
+    pub message: String,
+}
+
+impl ValueError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::I64(42).as_i64(), 42);
+        assert_eq!(Value::I64(42).as_f64(), 42.0);
+        assert_eq!(Value::F64(2.5).as_i64(), 2);
+        assert_eq!(Value::from(true), Value::TRUE);
+        assert_eq!(Value::from(false), Value::FALSE);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::I64(-1).is_truthy());
+        assert!(!Value::I64(0).is_truthy());
+        assert!(Value::F64(0.5).is_truthy());
+        assert!(!Value::F64(0.0).is_truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::I64(7).to_string(), "7");
+        assert_eq!(Value::F64(1.0).to_string(), "1.0");
+        assert_eq!(Value::F64(0.25).to_string(), "0.25");
+    }
+}

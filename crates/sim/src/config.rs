@@ -1,0 +1,226 @@
+//! Simulator configuration: machine shape, scheduler policy, and the
+//! instruction cost model.
+
+use simt_ir::{BinOp, Inst, UnOp};
+
+/// Which runnable PC-group the warp scheduler issues next when a warp has
+/// diverged.
+///
+/// With correct barrier placement every policy produces the same kernel
+/// *results*; the policy only affects interleaving and therefore cycle
+/// counts. The `ablate-sched` bench compares them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerPolicy {
+    /// Keep issuing for the group issued last until it blocks, exits, or
+    /// splits; then fall back to the smallest-PC group. This models a real
+    /// warp scheduler, which runs an active mask until a divergence or
+    /// synchronization event rather than interleaving per instruction —
+    /// without it, divergent paths would drift into alignment "for free"
+    /// and the baseline would look better than hardware. Default.
+    #[default]
+    Greedy,
+    /// Issue the group with the smallest (function, block, instruction)
+    /// triple. Favors threads earlier in the program — stragglers make
+    /// progress toward barriers.
+    MinPc,
+    /// Issue the group with the largest PC triple.
+    MaxPc,
+    /// Issue the group with the most active lanes (ties broken by MinPc).
+    MostThreads,
+    /// Rotate through groups round-robin across issue slots.
+    RoundRobin,
+}
+
+/// Per-instruction issue costs, in cycles.
+///
+/// These are *throughput* costs for one warp-instruction issue: when a warp
+/// diverges into `k` groups, each group pays the cost, so divergence
+/// lengthens execution proportionally — the effect the paper measures.
+/// Defaults are loosely modelled on Volta-class latencies, compressed to
+/// keep simulations fast; only *relative* costs matter for the shapes of
+/// the paper's figures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Simple integer ALU ops, moves, selects.
+    pub alu: u32,
+    /// Integer multiply/divide and all float arithmetic.
+    pub mul_div: u32,
+    /// Transcendentals (sqrt/exp/log).
+    pub sfu: u32,
+    /// Per-thread RNG advance.
+    pub rng: u32,
+    /// Base cost of a global memory access (fully coalesced).
+    pub mem_base: u32,
+    /// Extra cost per additional 128-byte segment touched by the access.
+    pub mem_segment: u32,
+    /// Local (per-thread) memory access.
+    pub mem_local: u32,
+    /// Atomic read-modify-write.
+    pub atomic: u32,
+    /// Barrier bookkeeping ops (join/cancel/rejoin/copy/arrived).
+    pub barrier: u32,
+    /// Control flow (branch/jump) and `wait` issue cost.
+    pub control: u32,
+    /// Call / return overhead.
+    pub call: u32,
+    /// Bytes per memory cell, used by the coalescing model.
+    pub cell_bytes: u32,
+    /// Segment size in bytes for the coalescing model.
+    pub segment_bytes: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            alu: 1,
+            mul_div: 2,
+            sfu: 4,
+            rng: 3,
+            mem_base: 8,
+            mem_segment: 2,
+            mem_local: 2,
+            atomic: 10,
+            barrier: 1,
+            control: 1,
+            call: 2,
+            cell_bytes: 8,
+            segment_bytes: 128,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Issue cost of an instruction, excluding the address-dependent
+    /// coalescing component of global accesses (added by the machine).
+    pub fn issue_cost(&self, inst: &Inst) -> u32 {
+        match inst {
+            Inst::Bin { op, .. } => match op {
+                BinOp::Mul | BinOp::Div | BinOp::Rem => self.mul_div,
+                _ => self.alu,
+            },
+            Inst::Un { op, .. } => match op {
+                UnOp::Sqrt | UnOp::Exp | UnOp::Log => self.sfu,
+                _ => self.alu,
+            },
+            Inst::Mov { .. } | Inst::Sel { .. } | Inst::Special { .. } | Inst::Vote { .. } => {
+                self.alu
+            }
+            Inst::Rng { .. } | Inst::SeedRng { .. } => self.rng,
+            Inst::Load { space, .. } | Inst::Store { space, .. } => match space {
+                simt_ir::MemSpace::Global => self.mem_base,
+                simt_ir::MemSpace::Local => self.mem_local,
+            },
+            Inst::AtomicAdd { .. } => self.atomic,
+            Inst::Call { .. } => self.call,
+            Inst::Barrier(_) | Inst::SyncThreads => self.barrier,
+            Inst::Work { amount } => (*amount).max(1),
+            Inst::Nop => 1,
+        }
+    }
+
+    /// Number of `segment_bytes` segments touched by the given cell
+    /// addresses (the coalescing model).
+    pub fn segments(&self, addrs: &[i64]) -> u32 {
+        let cells_per_seg = (self.segment_bytes / self.cell_bytes).max(1) as i64;
+        let mut segs: Vec<i64> = addrs.iter().map(|a| a.div_euclid(cells_per_seg)).collect();
+        segs.sort_unstable();
+        segs.dedup();
+        segs.len() as u32
+    }
+}
+
+/// A simple per-warp, direct-mapped L1 cache *cost* model.
+///
+/// The cache never serves data (loads always read the real memory array,
+/// so results are exact); it only decides whether a global access pays
+/// the hit cost or the full memory latency. This is the "caching
+/// behavior" §4.5 says static profitability analysis cannot see — enable
+/// it to study how locality interacts with reconvergence choices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of cache lines per warp.
+    pub lines: usize,
+    /// Memory cells per line (16 cells of 8 bytes = 128-byte lines).
+    pub cells_per_line: usize,
+    /// Issue-cost of an access whose lines all hit.
+    pub hit_cost: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { lines: 64, cells_per_line: 16, hit_cost: 2 }
+    }
+}
+
+/// Machine shape and execution limits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Lanes per warp (the paper's machine has 32).
+    pub warp_width: usize,
+    /// Scheduler policy for divergent warps.
+    pub scheduler: SchedulerPolicy,
+    /// Cost model.
+    pub latency: LatencyModel,
+    /// Abort after this many cycles (guards against livelock in buggy
+    /// kernels).
+    pub max_cycles: u64,
+    /// Record a full issue trace (costs memory; off by default).
+    pub trace: bool,
+    /// Collect a per-block execution profile (cheap; off by default).
+    /// Feed the result into the §4.5 detector for profile-guided scoring.
+    pub profile: bool,
+    /// Optional L1 cache cost model (off by default; affects timing only,
+    /// never values).
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warp_width: 32,
+            scheduler: SchedulerPolicy::default(),
+            latency: LatencyModel::default(),
+            max_cycles: 500_000_000,
+            trace: false,
+            profile: false,
+            cache: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{MemSpace, Operand, Reg};
+
+    #[test]
+    fn issue_costs_follow_classes() {
+        let lat = LatencyModel::default();
+        let add = Inst::Bin { op: BinOp::Add, dst: Reg(0), lhs: Operand::imm_i64(0), rhs: Operand::imm_i64(0) };
+        let mul = Inst::Bin { op: BinOp::Mul, dst: Reg(0), lhs: Operand::imm_i64(0), rhs: Operand::imm_i64(0) };
+        assert!(lat.issue_cost(&add) < lat.issue_cost(&mul));
+        let work = Inst::Work { amount: 40 };
+        assert_eq!(lat.issue_cost(&work), 40);
+        let ld = Inst::Load { dst: Reg(0), space: MemSpace::Global, addr: Operand::imm_i64(0) };
+        assert_eq!(lat.issue_cost(&ld), lat.mem_base);
+    }
+
+    #[test]
+    fn coalescing_counts_segments() {
+        let lat = LatencyModel::default();
+        // 16 cells of 8 bytes per 128-byte segment.
+        assert_eq!(lat.segments(&(0..16).collect::<Vec<_>>()), 1);
+        assert_eq!(lat.segments(&(0..32).collect::<Vec<_>>()), 2);
+        // Fully scattered: one segment per lane.
+        let scattered: Vec<i64> = (0..32).map(|i| i * 1000).collect();
+        assert_eq!(lat.segments(&scattered), 32);
+        // Negative addresses do not panic (validated elsewhere).
+        assert_eq!(lat.segments(&[-1, 0]), 2);
+    }
+
+    #[test]
+    fn work_cost_is_at_least_one() {
+        let lat = LatencyModel::default();
+        assert_eq!(lat.issue_cost(&Inst::Work { amount: 0 }), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulator error reporting.
+
+use simt_ir::{BarrierId, BlockId, FuncId};
+use std::fmt;
+
+/// Location of a thread inside the program, for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadLocation {
+    /// Warp index.
+    pub warp: usize,
+    /// Lane within the warp.
+    pub lane: usize,
+    /// Function the thread's innermost frame is executing.
+    pub func: FuncId,
+    /// Block within that function.
+    pub block: BlockId,
+    /// Instruction index within the block (`insts.len()` = at terminator).
+    pub inst: usize,
+}
+
+impl fmt::Display for ThreadLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warp {} lane {} at {}/{}:{}",
+            self.warp, self.lane, self.func, self.block, self.inst
+        )
+    }
+}
+
+/// Errors surfaced by the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// No kernel with the requested name exists in the module.
+    NoSuchKernel(String),
+    /// Every live thread is blocked on a barrier that can never release.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// The blocked threads and the barrier each waits on.
+        waiting: Vec<(ThreadLocation, BarrierId)>,
+    },
+    /// The configured cycle limit was exceeded.
+    MaxCyclesExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Out-of-range memory access.
+    MemoryFault {
+        /// Offending thread.
+        at: ThreadLocation,
+        /// The address accessed.
+        addr: i64,
+        /// Size of the memory space accessed.
+        size: usize,
+        /// Which space.
+        space: simt_ir::MemSpace,
+    },
+    /// Arithmetic fault (e.g. integer division by zero).
+    Arithmetic {
+        /// Offending thread.
+        at: ThreadLocation,
+        /// Description.
+        message: String,
+    },
+    /// A call instruction was left unresolved (module not linked).
+    UnresolvedCall {
+        /// Offending thread.
+        at: ThreadLocation,
+        /// The callee name.
+        callee: String,
+    },
+    /// Module failed IR verification before execution.
+    InvalidModule(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchKernel(name) => write!(f, "no kernel named @{name}"),
+            SimError::Deadlock { cycle, waiting } => {
+                writeln!(f, "deadlock at cycle {cycle}: all live threads blocked")?;
+                for (loc, b) in waiting.iter().take(8) {
+                    writeln!(f, "  {loc} waiting on {b}")?;
+                }
+                if waiting.len() > 8 {
+                    writeln!(f, "  ... and {} more", waiting.len() - 8)?;
+                }
+                Ok(())
+            }
+            SimError::MaxCyclesExceeded { limit } => {
+                write!(f, "exceeded the configured limit of {limit} cycles")
+            }
+            SimError::MemoryFault { at, addr, size, space } => write!(
+                f,
+                "{at}: out-of-range {} access at address {addr} (size {size})",
+                space.keyword()
+            ),
+            SimError::Arithmetic { at, message } => write!(f, "{at}: {message}"),
+            SimError::UnresolvedCall { at, callee } => {
+                write!(f, "{at}: unresolved call to @{callee} (run Module::resolve_calls)")
+            }
+            SimError::InvalidModule(msg) => write!(f, "invalid module: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let loc = ThreadLocation { warp: 1, lane: 3, func: FuncId(0), block: BlockId(2), inst: 4 };
+        let e = SimError::MemoryFault { at: loc, addr: -5, size: 16, space: simt_ir::MemSpace::Global };
+        let s = e.to_string();
+        assert!(s.contains("warp 1 lane 3"));
+        assert!(s.contains("-5"));
+        assert!(s.contains("global"));
+    }
+
+    #[test]
+    fn deadlock_display_truncates() {
+        let loc = ThreadLocation { warp: 0, lane: 0, func: FuncId(0), block: BlockId(0), inst: 0 };
+        let waiting = vec![(loc, BarrierId(0)); 12];
+        let e = SimError::Deadlock { cycle: 10, waiting };
+        let s = e.to_string();
+        assert!(s.contains("and 4 more"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # simt-sim — a SIMT warp simulator with Volta-style convergence barriers
+//!
+//! This crate is the hardware substrate of the reproduction of
+//! *Speculative Reconvergence for Improved SIMT Efficiency* (CGO 2020).
+//! The paper evaluates on a Volta V100; we stand in a software model that
+//! implements the part of Volta that matters for the technique:
+//! *independent thread scheduling* plus *convergence barrier registers*
+//! (`BSSY`/`BSYNC`/`BREAK` — here `Join`/`Wait`/`Cancel` masks).
+//!
+//! See [`machine::run`] for the execution model, [`config::SimConfig`] for
+//! machine shape and the cost model, and [`metrics::Metrics`] for the SIMT
+//! efficiency accounting.
+//!
+//! ```
+//! use simt_ir::parse_and_link;
+//! use simt_sim::{run, Launch, SimConfig};
+//!
+//! let m = parse_and_link(
+//!     "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+//!      bb0:\n  %r0 = special.tid\n  %r1 = mul %r0, 2\n  store global[%r0], %r1\n  exit\n}\n",
+//! ).unwrap();
+//! let mut launch = Launch::new("k", 1);
+//! launch.global_mem = vec![simt_ir::Value::I64(0); 32];
+//! let out = run(&m, &SimConfig::default(), &launch).unwrap();
+//! assert_eq!(out.global_mem[3], simt_ir::Value::I64(6));
+//! assert_eq!(out.metrics.simt_efficiency(), 1.0); // fully convergent
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod machine;
+pub mod metrics;
+pub mod profile;
+pub mod rng;
+pub mod trace;
+
+pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
+pub use error::{SimError, ThreadLocation};
+pub use machine::{run, run_sequence, Launch, SimOutput};
+pub use metrics::Metrics;
+pub use profile::{BlockStats, Profile};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,133 @@
+//! Execution metrics: SIMT efficiency, cycles, and instruction mix.
+//!
+//! SIMT efficiency follows the paper's (and nvprof's) definition: the
+//! average fraction of active lanes per issued warp-instruction. A
+//! per-region variant restricted to blocks tagged `roi` reports efficiency
+//! inside the "Expensive()" code the transformations target.
+
+use std::fmt;
+
+/// Aggregated execution metrics for one launch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Total cycles until the last warp finished.
+    pub cycles: u64,
+    /// Warp-instruction issues.
+    pub issues: u64,
+    /// Sum over issues of active lanes, weighted by issue cost in cycles.
+    ///
+    /// Cost weighting compensates for the synthetic `work` instruction
+    /// compressing many real instructions into one issue: a 40-cycle
+    /// `work` counts like 40 single-cycle instructions would on hardware,
+    /// which keeps the efficiency metric comparable to nvprof's
+    /// per-instruction definition.
+    pub active_lane_sum: u64,
+    /// Sum over issues of issue cost (the denominator weight).
+    pub issue_weight: u64,
+    /// Cost-weighted issue weight inside region-of-interest blocks.
+    pub roi_issues: u64,
+    /// Cost-weighted active-lane sum inside region-of-interest blocks.
+    pub roi_active_lane_sum: u64,
+    /// Lane-issues spent blocked on a convergence barrier: on each issue,
+    /// the number of lanes sitting in a waiting state is accumulated —
+    /// an idle-bubble pressure indicator (how much of the warp the
+    /// reconvergence policy keeps parked).
+    pub stall_cycles: u64,
+    /// Dynamic count of barrier operations executed (per-lane).
+    pub barrier_ops: u64,
+    /// Cache-line hits (when the cache cost model is enabled).
+    pub cache_hits: u64,
+    /// Cache-line misses (when the cache cost model is enabled).
+    pub cache_misses: u64,
+    /// Dynamic count of all lane-instructions executed.
+    pub lane_insts: u64,
+    /// Per-warp (cost-weighted issues, cost-weighted active-lane sum).
+    pub per_warp: Vec<(u64, u64)>,
+    /// Lanes per warp this launch used.
+    pub warp_width: usize,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for the given shape.
+    pub fn new(num_warps: usize, warp_width: usize) -> Self {
+        Self { per_warp: vec![(0, 0); num_warps], warp_width, ..Self::default() }
+    }
+
+    /// Overall SIMT efficiency in `[0, 1]` (cost-weighted average fraction
+    /// of active lanes per issued warp-instruction).
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.issue_weight == 0 {
+            return 1.0;
+        }
+        self.active_lane_sum as f64 / (self.issue_weight as f64 * self.warp_width as f64)
+    }
+
+    /// SIMT efficiency restricted to region-of-interest blocks.
+    pub fn roi_simt_efficiency(&self) -> f64 {
+        if self.roi_issues == 0 {
+            return 1.0;
+        }
+        self.roi_active_lane_sum as f64 / (self.roi_issues as f64 * self.warp_width as f64)
+    }
+
+    /// SIMT efficiency of one warp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` is out of range.
+    pub fn warp_simt_efficiency(&self, warp: usize) -> f64 {
+        let (issues, active) = self.per_warp[warp];
+        if issues == 0 {
+            return 1.0;
+        }
+        active as f64 / (issues as f64 * self.warp_width as f64)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:           {}", self.cycles)?;
+        writeln!(f, "issues:           {}", self.issues)?;
+        writeln!(f, "lane insts:       {}", self.lane_insts)?;
+        writeln!(f, "SIMT efficiency:  {:.1}%", self.simt_efficiency() * 100.0)?;
+        writeln!(f, "ROI efficiency:   {:.1}%", self.roi_simt_efficiency() * 100.0)?;
+        writeln!(f, "stall cycles:     {}", self.stall_cycles)?;
+        write!(f, "barrier ops:      {}", self.barrier_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_math() {
+        let mut m = Metrics::new(1, 32);
+        m.issues = 10;
+        m.issue_weight = 10;
+        m.active_lane_sum = 160; // half the lanes on average
+        assert!((m.simt_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(m.roi_simt_efficiency(), 1.0); // no roi issues recorded
+    }
+
+    #[test]
+    fn zero_issues_is_full_efficiency() {
+        let m = Metrics::new(1, 32);
+        assert_eq!(m.simt_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn per_warp_efficiency() {
+        let mut m = Metrics::new(2, 32);
+        m.per_warp[0] = (4, 128);
+        m.per_warp[1] = (4, 64);
+        assert!((m.warp_simt_efficiency(0) - 1.0).abs() < 1e-12);
+        assert!((m.warp_simt_efficiency(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_efficiency() {
+        let m = Metrics::new(1, 32);
+        assert!(m.to_string().contains("SIMT efficiency"));
+    }
+}

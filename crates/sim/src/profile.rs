@@ -1,0 +1,131 @@
+//! Per-block execution profiles.
+//!
+//! §4.5 of the paper notes that static detection "is limited by its
+//! inability to predict dynamic loop counts and caching behavior" and
+//! that "profile information may help improve the accuracy of our
+//! profitability tests". This module is the profile side of that loop:
+//! enable [`crate::SimConfig::profile`], run once, and feed the resulting
+//! [`Profile`] back into the detector.
+
+use simt_ir::{BlockId, FuncId};
+use std::collections::HashMap;
+
+/// Execution statistics of one basic block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Warp-instruction issues attributed to the block.
+    pub issues: u64,
+    /// Total issue cost in cycles.
+    pub cost: u64,
+    /// Sum of active lanes over the block's issues.
+    pub active_lanes: u64,
+    /// Times the block was *entered* (its first instruction or terminator
+    /// issued at index 0), counting warp-instruction issues.
+    pub entries: u64,
+    /// Lane-weighted entries: the sum of active lanes over entry issues —
+    /// the per-*thread* visit count, which is what trip-count and
+    /// branch-probability estimation need (a lone straggler entering a
+    /// block is 1 lane-entry, not a full visit).
+    pub lane_entries: u64,
+}
+
+/// A per-block execution profile of one launch.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    map: HashMap<(FuncId, BlockId), BlockStats>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one issue (called by the machine).
+    pub fn record(
+        &mut self,
+        func: FuncId,
+        block: BlockId,
+        inst_idx: usize,
+        lanes: u64,
+        cost: u32,
+    ) {
+        let e = self.map.entry((func, block)).or_default();
+        e.issues += 1;
+        e.cost += u64::from(cost);
+        e.active_lanes += lanes;
+        if inst_idx == 0 {
+            e.entries += 1;
+            e.lane_entries += lanes;
+        }
+    }
+
+    /// Statistics for one block (zeroes if never executed).
+    pub fn block(&self, func: FuncId, block: BlockId) -> BlockStats {
+        self.map.get(&(func, block)).copied().unwrap_or_default()
+    }
+
+    /// Dynamic issue-level visit count of a block.
+    pub fn entries(&self, func: FuncId, block: BlockId) -> u64 {
+        self.block(func, block).entries
+    }
+
+    /// Dynamic per-thread visit count of a block (lane-weighted entries).
+    pub fn lane_entries(&self, func: FuncId, block: BlockId) -> u64 {
+        self.block(func, block).lane_entries
+    }
+
+    /// Iterates over all recorded blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (&(FuncId, BlockId), &BlockStats)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct blocks recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Renders the hottest blocks by cost, for diagnostics.
+    pub fn hottest(&self, n: usize) -> Vec<((FuncId, BlockId), BlockStats)> {
+        let mut v: Vec<_> = self.map.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|(_, s)| std::cmp::Reverse(s.cost));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = Profile::new();
+        p.record(FuncId(0), BlockId(1), 0, 32, 4);
+        p.record(FuncId(0), BlockId(1), 1, 32, 2);
+        p.record(FuncId(0), BlockId(2), 0, 16, 8);
+        let b1 = p.block(FuncId(0), BlockId(1));
+        assert_eq!(b1.issues, 2);
+        assert_eq!(b1.cost, 6);
+        assert_eq!(b1.entries, 1);
+        assert_eq!(b1.lane_entries, 32);
+        assert_eq!(p.entries(FuncId(0), BlockId(2)), 1);
+        assert_eq!(p.lane_entries(FuncId(0), BlockId(2)), 16);
+        assert_eq!(p.block(FuncId(1), BlockId(0)), BlockStats::default());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hottest_sorts_by_cost() {
+        let mut p = Profile::new();
+        p.record(FuncId(0), BlockId(0), 0, 1, 1);
+        p.record(FuncId(0), BlockId(1), 0, 1, 100);
+        let h = p.hottest(1);
+        assert_eq!(h[0].0 .1, BlockId(1));
+    }
+}

@@ -1,0 +1,134 @@
+//! Issue traces and the lane-occupancy timeline renderer (the textual
+//! equivalent of the paper's Figure 1 / Figure 3(b) execution cartoons).
+
+use simt_ir::{BlockId, FuncId};
+use std::fmt::Write as _;
+
+/// One issued warp-instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the group was issued.
+    pub cycle: u64,
+    /// Warp index.
+    pub warp: usize,
+    /// Function being executed.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+    /// Instruction index (`insts.len()` = the terminator).
+    pub inst: usize,
+    /// Active-lane mask.
+    pub mask: u64,
+    /// Issue cost in cycles.
+    pub cost: u32,
+    /// Whether the block is a region-of-interest.
+    pub roi: bool,
+}
+
+/// A full issue trace for a launch.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    warp_width: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given warp width.
+    pub fn new(warp_width: usize) -> Self {
+        Self { events: Vec::new(), warp_width }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All recorded events, in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders a lane-occupancy timeline for one warp: one row per issue,
+    /// one column per lane; `#` marks an active lane in a
+    /// region-of-interest block, `+` an active lane elsewhere, and `.` an
+    /// inactive lane. Reading down the rows shows serialization (sparse
+    /// rows) versus convergence (dense rows), like the cartoons in
+    /// Figure 1 of the paper.
+    pub fn render_lanes(&self, warp: usize, max_rows: usize) -> String {
+        let mut out = String::new();
+        for (rows, e) in self.events.iter().filter(|e| e.warp == warp).enumerate() {
+            if rows >= max_rows {
+                let remaining = self.events.iter().filter(|e| e.warp == warp).count() - rows;
+                let _ = writeln!(out, "... ({remaining} more issues)");
+                break;
+            }
+            let _ = write!(out, "{:>8} ", e.cycle);
+            for lane in 0..self.warp_width {
+                let ch = if e.mask & (1 << lane) != 0 {
+                    if e.roi {
+                        '#'
+                    } else {
+                        '+'
+                    }
+                } else {
+                    '.'
+                };
+                out.push(ch);
+            }
+            let _ = writeln!(out, "  {}/{}:{}", e.func, e.block, e.inst);
+        }
+        out
+    }
+
+    /// Average active lanes over the issues of one warp (a quick
+    /// efficiency readout from the trace alone).
+    pub fn warp_occupancy(&self, warp: usize) -> f64 {
+        let (mut issues, mut active) = (0u64, 0u64);
+        for e in self.events.iter().filter(|e| e.warp == warp) {
+            issues += 1;
+            active += u64::from(e.mask.count_ones());
+        }
+        if issues == 0 {
+            return 0.0;
+        }
+        active as f64 / issues as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, mask: u64, roi: bool) -> TraceEvent {
+        TraceEvent { cycle, warp: 0, func: FuncId(0), block: BlockId(0), inst: 0, mask, cost: 1, roi }
+    }
+
+    #[test]
+    fn renders_masks() {
+        let mut t = Trace::new(4);
+        t.push(ev(0, 0b1111, false));
+        t.push(ev(1, 0b0010, true));
+        let s = t.render_lanes(0, 10);
+        assert!(s.contains("++++"));
+        assert!(s.contains(".#.."));
+    }
+
+    #[test]
+    fn truncates_long_traces() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(ev(i, 0b11, false));
+        }
+        let s = t.render_lanes(0, 3);
+        assert!(s.contains("2 more issues"));
+    }
+
+    #[test]
+    fn occupancy_average() {
+        let mut t = Trace::new(4);
+        t.push(ev(0, 0b1111, false));
+        t.push(ev(1, 0b0011, false));
+        assert!((t.warp_occupancy(0) - 3.0).abs() < 1e-12);
+        assert_eq!(t.warp_occupancy(1), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The L1 cache cost model: hits are cheap, misses pay full latency,
+//! stores/atomics invalidate, and values are never affected.
+
+use simt_ir::{parse_and_link, Value};
+use simt_sim::{run, CacheConfig, Launch, SimConfig};
+
+fn cfg_with_cache() -> SimConfig {
+    SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() }
+}
+
+#[test]
+fn repeated_loads_hit_and_get_cheaper() {
+    // Every thread loads the same line 50 times.
+    let m = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r1 = load global[3]\n  %r0 = add %r0, 1\n  %r2 = lt %r0, 50\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut l = Launch::new("k", 1);
+    l.global_mem = vec![Value::I64(7); 16];
+
+    let cold = run(&m, &SimConfig::default(), &l).unwrap();
+    let warm = run(&m, &cfg_with_cache(), &l).unwrap();
+    assert!(
+        warm.metrics.cycles < cold.metrics.cycles,
+        "cache should cut cycles: {} vs {}",
+        warm.metrics.cycles,
+        cold.metrics.cycles
+    );
+    assert!(warm.metrics.cache_hits >= 49, "hits {}", warm.metrics.cache_hits);
+    assert_eq!(warm.metrics.cache_misses, 1);
+}
+
+#[test]
+fn values_are_unaffected_by_the_cache() {
+    let m = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  %r1 = load global[%r0]\n  %r2 = mul %r1, 2\n  store global[%r0], %r2\n  %r3 = load global[%r0]\n  store global[%r0], %r3\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut l = Launch::new("k", 2);
+    l.global_mem = (0..64).map(Value::I64).collect();
+    let plain = run(&m, &SimConfig::default(), &l).unwrap();
+    let cached = run(&m, &cfg_with_cache(), &l).unwrap();
+    assert_eq!(plain.global_mem, cached.global_mem);
+    for t in 0..64 {
+        assert_eq!(cached.global_mem[t], Value::I64(2 * t as i64));
+    }
+}
+
+#[test]
+fn conflicting_lines_evict() {
+    // Two addresses mapping to the same direct-mapped slot, alternated:
+    // every access misses.
+    let cache = CacheConfig { lines: 4, cells_per_line: 16, hit_cost: 2 };
+    let cfg = SimConfig { cache: Some(cache), ..SimConfig::default() };
+    // line(0)=0 -> slot 0; line(64*16=1024)=64 -> slot 0 as well (64 % 4 == 0).
+    let m = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r1 = load global[0]\n  %r1 = load global[1024]\n  %r0 = add %r0, 1\n  %r2 = lt %r0, 10\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut l = Launch::new("k", 1);
+    l.global_mem = vec![Value::I64(0); 1025];
+    let out = run(&m, &cfg, &l).unwrap();
+    assert_eq!(out.metrics.cache_hits, 0, "ping-pong eviction leaves no hits");
+    assert_eq!(out.metrics.cache_misses, 20);
+}
+
+#[test]
+fn stores_invalidate_cached_lines() {
+    // load (miss) -> load (hit) -> store same line -> load (miss again).
+    let m = parse_and_link(
+        "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = load global[5]\n  %r1 = load global[5]\n  store global[5], 9\n  %r2 = load global[5]\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut l = Launch::new("k", 1);
+    l.global_mem = vec![Value::I64(1); 16];
+    let out = run(&m, &cfg_with_cache(), &l).unwrap();
+    // load miss, load hit, store (hits the cached line, then
+    // invalidates it), load miss again.
+    assert_eq!(out.metrics.cache_hits, 2, "hits {}", out.metrics.cache_hits);
+    assert_eq!(out.metrics.cache_misses, 2, "misses {}", out.metrics.cache_misses);
+    assert_eq!(out.global_mem[5], Value::I64(9));
+}
+
+#[test]
+fn atomics_invalidate_across_warps() {
+    // Warp threads cache cell 0, then atomics bump it; a later load still
+    // returns the true value and pays a miss.
+    let m = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = load global[0]\n  %r1 = atomic_add [0], 1\n  %r2 = load global[0]\n  %r3 = special.tid\n  %r3 = add %r3, 1\n  store global[%r3], %r2\n  exit\n}\n",
+    )
+    .unwrap();
+    let mut l = Launch::new("k", 2);
+    l.global_mem = vec![Value::I64(0); 65];
+    let out = run(&m, &cfg_with_cache(), &l).unwrap();
+    assert_eq!(out.global_mem[0], Value::I64(64), "all 64 atomics landed");
+}

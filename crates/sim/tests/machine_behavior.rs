@@ -1,0 +1,375 @@
+//! Behavioral tests of the warp machine: divergence serialization,
+//! convergence-barrier semantics, deadlock detection, calls, memory
+//! coalescing, and scheduler-policy invariance.
+
+use simt_ir::{parse_and_link, Module, Value};
+use simt_sim::{run, Launch, SchedulerPolicy, SimConfig, SimError};
+
+fn module(src: &str) -> Module {
+    parse_and_link(src).expect("test module parses")
+}
+
+fn launch_with_mem(kernel: &str, warps: usize, mem: usize) -> Launch {
+    let mut l = Launch::new(kernel, warps);
+    l.global_mem = vec![Value::I64(0); mem];
+    l
+}
+
+#[test]
+fn convergent_kernel_is_fully_efficient() {
+    let m = module(
+        "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  %r1 = add %r0, 100\n  store global[%r0], %r1\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 2, 64)).unwrap();
+    assert_eq!(out.metrics.simt_efficiency(), 1.0);
+    assert_eq!(out.global_mem[63], Value::I64(163));
+}
+
+#[test]
+fn divergent_branch_halves_efficiency_in_branch_arms() {
+    // Even lanes do extra work in bb1; odd lanes go straight to bb2.
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb2, bb1\n\
+         bb1 (roi):\n  work 10\n  jmp bb2\n\
+         bb2:\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    // The roi block ran with exactly half the lanes.
+    assert!((out.metrics.roi_simt_efficiency() - 0.5).abs() < 1e-9);
+    // Overall efficiency is below 1 but above 0.5.
+    let e = out.metrics.simt_efficiency();
+    assert!(e < 1.0 && e > 0.5, "efficiency {e}");
+}
+
+#[test]
+fn diamond_reconvergence_depends_on_scheduler_without_barriers() {
+    // After the diamond both sides fall into bb3. With no barriers, a
+    // per-instruction interleaving scheduler (MinPc) happens to align the
+    // groups at bb3, but the hardware-like greedy scheduler runs one side
+    // through bb3 first — reconvergence is NOT free on real machines,
+    // which is exactly why the PDOM barriers exist.
+    let src = "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  nop\n  jmp bb3\n\
+         bb2:\n  nop\n  jmp bb3\n\
+         bb3 (roi):\n  work 5\n  exit\n}\n";
+    let m = module(src);
+    let minpc = SimConfig { scheduler: SchedulerPolicy::MinPc, ..SimConfig::default() };
+    let out = run(&m, &minpc, &launch_with_mem("k", 1, 0)).unwrap();
+    assert_eq!(out.metrics.roi_simt_efficiency(), 1.0);
+
+    let greedy = SimConfig::default();
+    let out = run(&m, &greedy, &launch_with_mem("k", 1, 0)).unwrap();
+    assert!(out.metrics.roi_simt_efficiency() < 1.0, "greedy must not align for free");
+
+    // Adding the PDOM barrier restores reconvergence under greedy.
+    let barriered = module(
+        "kernel @k(params=0, regs=3, barriers=1, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  join b0\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  nop\n  jmp bb3\n\
+         bb2:\n  nop\n  jmp bb3\n\
+         bb3:\n  wait b0\n  jmp bb4\n\
+         bb4 (roi):\n  work 5\n  exit\n}\n",
+    );
+    let out = run(&barriered, &greedy, &launch_with_mem("k", 1, 0)).unwrap();
+    assert_eq!(out.metrics.roi_simt_efficiency(), 1.0);
+}
+
+#[test]
+fn wait_blocks_until_all_participants_arrive() {
+    // All lanes join b0. Odd lanes spin through extra work before waiting.
+    // The release must happen only when everyone waits, so the roi block
+    // after the wait executes fully converged.
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=1, entry=bb0) {\n\
+         bb0:\n  join b0\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  work 30\n  jmp bb2\n\
+         bb2:\n  wait b0\n  jmp bb3\n\
+         bb3 (roi):\n  work 5\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    assert_eq!(out.metrics.roi_simt_efficiency(), 1.0);
+}
+
+#[test]
+fn cancel_releases_waiting_threads() {
+    // Odd lanes join and wait; even lanes join then cancel. Waiters must
+    // be released once all even lanes cancel.
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=1, entry=bb0) {\n\
+         bb0:\n  join b0\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  wait b0\n  jmp bb3\n\
+         bb2:\n  cancel b0\n  jmp bb3\n\
+         bb3:\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    assert!(out.metrics.issues > 0);
+}
+
+#[test]
+fn exit_releases_waiting_threads() {
+    // Even lanes exit immediately; odd lanes wait on a barrier whose mask
+    // includes the exiting lanes. Volta's forward-progress rule (EXIT
+    // drops threads from barriers) must release the waiters.
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=1, entry=bb0) {\n\
+         bb0:\n  join b0\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  wait b0\n  jmp bb3\n\
+         bb2:\n  exit\n\
+         bb3:\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    assert!(out.metrics.issues > 0);
+}
+
+#[test]
+fn crossed_waits_deadlock_and_are_reported() {
+    // Everyone joins b0 and b1; half wait on b0, half on b1: classic
+    // crossed barrier deadlock.
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=2, entry=bb0) {\n\
+         bb0:\n  join b0\n  join b1\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  wait b0\n  jmp bb3\n\
+         bb2:\n  wait b1\n  jmp bb3\n\
+         bb3:\n  exit\n}\n",
+    );
+    let err = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap_err();
+    match err {
+        SimError::Deadlock { waiting, .. } => {
+            assert_eq!(waiting.len(), 32);
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn pdom_loop_barrier_collects_divergent_exits() {
+    // Threads loop a lane-dependent number of iterations (lane+1). With a
+    // join in the preheader and a wait at the loop exit, early finishers
+    // block until the longest-running lane exits; the epilog then runs
+    // converged.
+    let m = module(
+        "kernel @k(params=0, regs=4, barriers=1, entry=bb0) {\n\
+         bb0:\n  join b0\n  %r0 = special.lane\n  %r1 = add %r0, 1\n  %r2 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r2 = add %r2, 1\n  %r3 = lt %r2, %r1\n  brdiv %r3, bb1, bb2\n\
+         bb2:\n  wait b0\n  jmp bb3\n\
+         bb3 (roi):\n  work 5\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    assert_eq!(out.metrics.roi_simt_efficiency(), 1.0);
+    // The loop itself ran divergently, so overall efficiency is well
+    // below 1.
+    assert!(out.metrics.simt_efficiency() < 0.9);
+}
+
+#[test]
+fn device_calls_return_values() {
+    let m = module(
+        "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  call @double(%r0) -> (%r1)\n  store global[%r0], %r1\n  exit\n}\n\
+         device @double(params=1, regs=2, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r1 = mul %r0, 2\n  ret %r1\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 32)).unwrap();
+    assert_eq!(out.global_mem[5], Value::I64(10));
+    assert_eq!(out.metrics.simt_efficiency(), 1.0);
+}
+
+#[test]
+fn function_bodies_group_across_call_sites() {
+    // Lanes call @f from two different call sites. Inside @f the PCs are
+    // identical, so lanes *can* group there once aligned in time; we at
+    // least check results are right and the kernel terminates quickly.
+    let m = module(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  call @f(%r0) -> (%r2)\n  jmp bb3\n\
+         bb2:\n  call @f(%r0) -> (%r2)\n  jmp bb3\n\
+         bb3:\n  %r3 = special.tid\n  store global[%r3], %r2\n  exit\n}\n\
+         device @f(params=1, regs=2, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r1 = add %r0, 7\n  ret %r1\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 32)).unwrap();
+    assert_eq!(out.global_mem[4], Value::I64(11));
+    assert_eq!(out.global_mem[5], Value::I64(12));
+}
+
+#[test]
+fn scattered_loads_cost_more_than_coalesced() {
+    let coalesced = module(
+        "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = load global[%r0]\n  exit\n}\n",
+    );
+    let scattered = module(
+        "kernel @k(params=0, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r2 = mul %r0, 64\n  %r1 = load global[%r2]\n  exit\n}\n",
+    );
+    let cfg = SimConfig::default();
+    let out_c = run(&coalesced, &cfg, &launch_with_mem("k", 1, 4096)).unwrap();
+    let out_s = run(&scattered, &cfg, &launch_with_mem("k", 1, 4096)).unwrap();
+    assert!(
+        out_s.metrics.cycles > out_c.metrics.cycles,
+        "scattered {} vs coalesced {}",
+        out_s.metrics.cycles,
+        out_c.metrics.cycles
+    );
+}
+
+#[test]
+fn work_amount_scales_cycles() {
+    let mk = |amount: u32| {
+        module(&format!(
+            "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {{\nbb0:\n  work {amount}\n  exit\n}}\n"
+        ))
+    };
+    let cfg = SimConfig::default();
+    let small = run(&mk(10), &cfg, &Launch::new("k", 1)).unwrap().metrics.cycles;
+    let big = run(&mk(200), &cfg, &Launch::new("k", 1)).unwrap().metrics.cycles;
+    assert!(big >= small + 180, "work cost not reflected: {small} vs {big}");
+}
+
+#[test]
+fn arrived_count_and_copy_release_dance() {
+    // Soft-barrier building blocks: lane 0 joins bCount(b1) and waits on
+    // bTemp(b2) whose mask is everyone (copied from b0). The other lanes
+    // then join b1 too; the last one copies b1 into b2, shrinking the mask
+    // to the arrived set, and waits — releasing the whole group together.
+    let m = module(
+        "kernel @k(params=0, regs=4, barriers=3, entry=bb0) {\n\
+         bb0:\n  join b0\n  bcopy b2, b0\n  %r0 = special.lane\n  %r1 = eq %r0, 0\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  join b1\n  wait b2\n  jmp bb4\n\
+         bb2:\n  work 20\n  join b1\n  %r2 = arrived b1\n  %r3 = ge %r2, 32\n  brdiv %r3, bb3, bb1\n\
+         bb3:\n  bcopy b2, b1\n  wait b2\n  jmp bb4\n\
+         bb4 (roi):\n  work 5\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 0)).unwrap();
+    assert_eq!(out.metrics.roi_simt_efficiency(), 1.0, "all lanes should release together");
+}
+
+#[test]
+fn results_invariant_across_scheduler_policies() {
+    // A mildly divergent kernel writing per-thread results: every policy
+    // must produce identical memory contents.
+    let src = "kernel @k(params=0, regs=5, barriers=1, entry=bb0) {\n\
+         bb0:\n  join b0\n  %r0 = special.tid\n  %r1 = rem %r0, 3\n  %r2 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r2 = add %r2, %r0\n  %r1 = sub %r1, 1\n  %r3 = ge %r1, 0\n  brdiv %r3, bb1, bb2\n\
+         bb2:\n  wait b0\n  jmp bb3\n\
+         bb3:\n  store global[%r0], %r2\n  exit\n}\n";
+    let m = module(src);
+    let mut reference: Option<Vec<Value>> = None;
+    for policy in [
+        SchedulerPolicy::Greedy,
+        SchedulerPolicy::MinPc,
+        SchedulerPolicy::MaxPc,
+        SchedulerPolicy::MostThreads,
+        SchedulerPolicy::RoundRobin,
+    ] {
+        let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
+        let out = run(&m, &cfg, &launch_with_mem("k", 2, 64)).unwrap();
+        match &reference {
+            None => reference = Some(out.global_mem),
+            Some(r) => assert_eq!(r, &out.global_mem, "policy {policy:?} changed results"),
+        }
+    }
+}
+
+#[test]
+fn atomic_work_queue_distributes_all_tasks_once() {
+    // Cell 0 is the queue head; cells 1..=64 are task slots. 64 tasks for
+    // 64 threads over 2 warps: every task claimed exactly once.
+    let m = module(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = atomic_add [0], 1\n  %r1 = lt %r0, 64\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  %r2 = add %r0, 1\n  %r3 = add %r0, 1000\n  store global[%r2], %r3\n  jmp bb0\n\
+         bb2:\n  exit\n}\n",
+    );
+    let out = run(&m, &SimConfig::default(), &launch_with_mem("k", 2, 65)).unwrap();
+    for i in 0..64 {
+        assert_eq!(out.global_mem[1 + i], Value::I64(1000 + i as i64), "task {i}");
+    }
+}
+
+#[test]
+fn out_of_range_store_faults_with_location() {
+    let m = module(
+        "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\n\
+         bb0:\n  store global[99], 1\n  exit\n}\n",
+    );
+    let err = run(&m, &SimConfig::default(), &launch_with_mem("k", 1, 4)).unwrap_err();
+    match err {
+        SimError::MemoryFault { addr, size, .. } => {
+            assert_eq!(addr, 99);
+            assert_eq!(size, 4);
+        }
+        other => panic!("expected memory fault, got {other}"),
+    }
+}
+
+#[test]
+fn max_cycles_guard_fires_on_infinite_loop() {
+    let m = module(
+        "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\n\
+         bb0:\n  nop\n  jmp bb0\n}\n",
+    );
+    let cfg = SimConfig { max_cycles: 1000, ..SimConfig::default() };
+    let err = run(&m, &cfg, &Launch::new("k", 1)).unwrap_err();
+    assert!(matches!(err, SimError::MaxCyclesExceeded { limit: 1000 }));
+}
+
+#[test]
+fn trace_records_and_renders() {
+    let m = module(
+        "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1 (roi):\n  work 3\n  jmp bb2\n\
+         bb2:\n  exit\n}\n",
+    );
+    let cfg = SimConfig { trace: true, ..SimConfig::default() };
+    let out = run(&m, &cfg, &Launch::new("k", 1)).unwrap();
+    let trace = out.trace.expect("trace enabled");
+    assert!(!trace.events().is_empty());
+    let rendered = trace.render_lanes(0, 100);
+    assert!(rendered.contains('#'), "roi lanes rendered:\n{rendered}");
+    assert!(rendered.contains('+'));
+}
+
+#[test]
+fn launch_seed_changes_rng_results_deterministically() {
+    let m = module(
+        "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.tid\n  %r1 = rng.u63\n  store global[%r0], %r1\n  exit\n}\n",
+    );
+    let cfg = SimConfig::default();
+    let mut l1 = launch_with_mem("k", 1, 32);
+    l1.seed = 1;
+    let mut l2 = launch_with_mem("k", 1, 32);
+    l2.seed = 2;
+    let a = run(&m, &cfg, &l1).unwrap().global_mem;
+    let a2 = run(&m, &cfg, &l1).unwrap().global_mem;
+    let b = run(&m, &cfg, &l2).unwrap().global_mem;
+    assert_eq!(a, a2, "same seed must reproduce");
+    assert_ne!(a, b, "different seeds must differ");
+}
+
+#[test]
+fn kernel_args_are_broadcast() {
+    let m = module(
+        "kernel @k(params=2, regs=3, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r2 = add %r0, %r1\n  store global[0], %r2\n  exit\n}\n",
+    );
+    let mut l = launch_with_mem("k", 1, 1);
+    l.args = vec![Value::I64(40), Value::I64(2)];
+    let out = run(&m, &SimConfig::default(), &l).unwrap();
+    assert_eq!(out.global_mem[0], Value::I64(42));
+}
+
+#[test]
+fn missing_kernel_is_reported() {
+    let m = module(
+        "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  exit\n}\n",
+    );
+    let err = run(&m, &SimConfig::default(), &Launch::new("ghost", 1)).unwrap_err();
+    assert!(matches!(err, SimError::NoSuchKernel(n) if n == "ghost"));
+}

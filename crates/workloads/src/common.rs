@@ -1,0 +1,142 @@
+//! Shared scaffolding for the benchmark kernels.
+//!
+//! All Table-2 workloads are *persistent-thread* kernels (the thread
+//! coarsening of §3 / Figure 3 applied): threads fetch task indices from
+//! an atomic work queue until it drains. [`begin_task_loop`] builds that
+//! scaffold; each workload then writes its task body and jumps back to the
+//! fetch block.
+
+use simt_ir::{BinOp, BlockId, FunctionBuilder, Operand, Reg};
+
+/// Global-memory cell used as the work-queue counter by every coarsened
+/// workload. Workload tables start above [`MEM_BASE`].
+pub const QUEUE_ADDR: i64 = 0;
+
+/// First global cell available for workload tables/results.
+pub const MEM_BASE: i64 = 1;
+
+/// Handles into the persistent-thread scaffold of a kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskLoop {
+    /// Register holding the current task index inside the body.
+    pub task: Reg,
+    /// The fetch block — the back-edge target for the task body, and the
+    /// natural `Predict` region entry for Loop Merge.
+    pub fetch: BlockId,
+    /// The drained-queue exit block.
+    pub done: BlockId,
+    /// First block of the task body (the builder cursor is placed here).
+    pub body: BlockId,
+}
+
+/// Builds the task-fetch scaffold on `b`:
+///
+/// ```text
+/// entry: (cursor was here)        fetch: task = atomic_add [queue], 1
+///   ... caller's prolog ...              brdiv task < num_tasks, body, done
+///   jmp fetch                     done:  exit
+/// ```
+///
+/// The caller must currently be on an *unterminated* block (typically the
+/// entry); its code runs once per thread before the task loop. On return
+/// the cursor sits on the `body` block; the caller writes the per-task
+/// code and ends it with `b.jmp(task_loop.fetch)`.
+pub fn begin_task_loop(
+    b: &mut FunctionBuilder,
+    num_tasks: impl Into<Operand>,
+) -> TaskLoop {
+    let fetch = b.block("task_fetch");
+    let done = b.block("task_done");
+    let body = b.block("task_body");
+
+    b.jmp(fetch);
+
+    b.switch_to(fetch);
+    let task = b.atomic_add(QUEUE_ADDR, 1i64);
+    let in_range = b.bin(BinOp::Lt, task, num_tasks.into());
+    b.br_div(in_range, body, done);
+
+    b.switch_to(done);
+    b.exit();
+
+    b.switch_to(body);
+    // Counter-based RNG: the task's random stream is a function of the
+    // task id, not of the thread that happens to run it — so results are
+    // identical across compiler configurations and schedulers.
+    b.seed_rng(task);
+    TaskLoop { task, fetch, done, body }
+}
+
+/// Emits a cheap integer hash of `x` (xorshift-multiply), used by
+/// workloads to derive pseudo-structured indices from task ids without
+/// consuming RNG state.
+pub fn emit_hash(b: &mut FunctionBuilder, x: Reg) -> Reg {
+    let s1 = b.bin(BinOp::Shr, x, 12i64);
+    let x1 = b.bin(BinOp::Xor, x, s1);
+    let m1 = b.bin(BinOp::Mul, x1, 0x2545F491_i64);
+    let s2 = b.bin(BinOp::Shr, m1, 19i64);
+    let x2 = b.bin(BinOp::Xor, m1, s2);
+    b.bin(BinOp::And, x2, i64::MAX)
+}
+
+/// Emits `base + (index % len)` — a bounded table index.
+pub fn emit_table_index(
+    b: &mut FunctionBuilder,
+    base: i64,
+    index: impl Into<Operand>,
+    len: i64,
+) -> Reg {
+    let m = b.bin(BinOp::Rem, index.into(), len);
+    b.bin(BinOp::Add, m, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{FuncKind, Module, Value};
+    use simt_sim::{run, Launch, SimConfig};
+
+    #[test]
+    fn task_loop_drains_queue_exactly_once_per_task() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        let tl = begin_task_loop(&mut b, 50i64);
+        // body: result[task+1] += 1
+        let slot = b.bin(BinOp::Add, tl.task, 1i64);
+        let old = b.load_global(slot);
+        let new = b.bin(BinOp::Add, old, 1i64);
+        b.store_global(new, slot);
+        b.jmp(tl.fetch);
+        let f = b.finish();
+        let mut m = Module::new();
+        m.add_function(f);
+        simt_ir::assert_verified(&m);
+
+        let mut launch = Launch::new("k", 2);
+        launch.global_mem = vec![Value::I64(0); 51];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        for t in 1..=50 {
+            assert_eq!(out.global_mem[t], Value::I64(1), "task {t}");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_and_is_bounded() {
+        let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+        let tid = b.special(simt_ir::SpecialValue::Tid);
+        let h = emit_hash(&mut b, tid);
+        let idx = emit_table_index(&mut b, 10, h, 7);
+        let v = b.mov(idx);
+        b.store_global(v, tid);
+        b.exit();
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let mut launch = Launch::new("k", 1);
+        launch.global_mem = vec![Value::I64(0); 32];
+        let out = run(&m, &SimConfig::default(), &launch).unwrap();
+        let values: Vec<i64> = out.global_mem.iter().map(|v| v.as_i64()).collect();
+        assert!(values.iter().all(|&v| (10..17).contains(&v)), "{values:?}");
+        // Different lanes land on different table slots at least sometimes.
+        let distinct: std::collections::HashSet<i64> = values.iter().copied().collect();
+        assert!(distinct.len() > 2, "hash failed to spread: {values:?}");
+    }
+}

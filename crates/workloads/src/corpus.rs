@@ -1,0 +1,266 @@
+//! Synthetic application corpus for the §5.4 study.
+//!
+//! The paper scans a database of 520 CUDA applications: 75 had SIMT
+//! efficiency below ~80%, the detector found non-trivial opportunity in
+//! 16, and 5 showed significant improvement. We reproduce the *funnel*
+//! with a seeded synthetic corpus whose composition mirrors the paper's
+//! observation that divergent workloads are a small fraction of GPU
+//! applications: most kernels are convergent or mildly divergent, a
+//! minority exhibit the §3 patterns with varying profitability.
+
+use crate::common::{begin_task_loop, emit_hash};
+use crate::{DivergencePattern, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simt_ir::{BinOp, FuncKind, FunctionBuilder, Module, Value};
+use simt_sim::Launch;
+
+/// The composition classes of synthetic kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Straight-line or uniformly-branching kernels: fully convergent.
+    Convergent,
+    /// A divergent branch with only trivial code behind it: low
+    /// efficiency impact, nothing to gain.
+    MildlyDivergent,
+    /// Iteration-Delay pattern with an expensive divergent block.
+    IterationDelayRich,
+    /// Iteration-Delay pattern with a cheap divergent block (detected as
+    /// a pattern, but unprofitable).
+    IterationDelayPoor,
+    /// Loop-Merge pattern with an expensive inner loop.
+    LoopMergeRich,
+}
+
+/// One corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Synthetic application id.
+    pub id: usize,
+    /// Which class the generator drew.
+    pub class: KernelClass,
+    /// The runnable workload.
+    pub workload: Workload,
+}
+
+/// Generates a corpus of `size` kernels with the paper-like composition;
+/// deterministic in `seed`.
+///
+/// Composition (matching §5.4's funnel proportions): ~85% convergent or
+/// mildly divergent, ~15% carrying a detectable pattern, of which a
+/// minority are actually profitable.
+pub fn generate(size: usize, seed: u64) -> Vec<CorpusEntry> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(size);
+    for id in 0..size {
+        let roll: f64 = rng.gen();
+        let class = if roll < 0.80 {
+            KernelClass::Convergent
+        } else if roll < 0.885 {
+            KernelClass::MildlyDivergent
+        } else if roll < 0.905 {
+            KernelClass::IterationDelayRich
+        } else if roll < 0.985 {
+            KernelClass::IterationDelayPoor
+        } else {
+            KernelClass::LoopMergeRich
+        };
+        let workload = build_kernel(id, class, &mut rng);
+        out.push(CorpusEntry { id, class, workload });
+    }
+    out
+}
+
+fn build_kernel(id: usize, class: KernelClass, rng: &mut SmallRng) -> Workload {
+    match class {
+        KernelClass::Convergent => convergent_kernel(id, rng),
+        KernelClass::MildlyDivergent => divergent_condition_kernel(id, rng, 2, false),
+        KernelClass::IterationDelayRich => {
+            let work = rng.gen_range(45..90);
+            divergent_condition_kernel(id, rng, work, true)
+        }
+        KernelClass::IterationDelayPoor => {
+            let work = rng.gen_range(2..6);
+            divergent_condition_kernel(id, rng, work, true)
+        }
+        KernelClass::LoopMergeRich => loop_merge_kernel(id, rng),
+    }
+}
+
+/// A convergent streaming kernel: uniform loop, coalesced accesses.
+fn convergent_kernel(id: usize, rng: &mut SmallRng) -> Workload {
+    let iters = rng.gen_range(8..24) as i64;
+    let mut b = FunctionBuilder::new(format!("corpus_{id}"), FuncKind::Kernel, 0);
+    let tid = b.special(simt_ir::SpecialValue::Tid);
+    let acc = b.mov(0i64);
+    let i = b.mov(0i64);
+    let l = b.block("loop");
+    let out = b.block("out");
+    b.jmp(l);
+    b.switch_to(l);
+    let t = b.bin(BinOp::Mul, i, 3i64);
+    b.bin_into(acc, BinOp::Add, acc, t);
+    b.work(4);
+    b.bin_into(i, BinOp::Add, i, 1i64);
+    let more = b.bin(BinOp::Lt, i, iters);
+    b.br(more, l, out); // uniform: every thread runs `iters` iterations
+    b.switch_to(out);
+    let slot = b.bin(BinOp::Add, tid, 1i64);
+    b.store_global(acc, slot);
+    b.exit();
+    finish(id, b, rng, "convergent streaming kernel")
+}
+
+/// A loop with a divergent condition; `work` controls the common-code
+/// cost; `annotatable` leaves the loop un-synchronized so the detector
+/// may fire.
+fn divergent_condition_kernel(
+    id: usize,
+    rng: &mut SmallRng,
+    work: u32,
+    annotatable: bool,
+) -> Workload {
+    let iters = rng.gen_range(12..28) as i64;
+    let p: f64 = rng.gen_range(0.15..0.4);
+    let mut b = FunctionBuilder::new(format!("corpus_{id}"), FuncKind::Kernel, 0);
+    let tid = b.special(simt_ir::SpecialValue::Tid);
+    let h = emit_hash(&mut b, tid);
+    b.seed_rng(h);
+    let acc = b.mov(0i64);
+    let i = b.mov(0i64);
+    let l = b.block("loop");
+    let expensive = b.block("expensive");
+    let epilog = b.block("epilog");
+    let out = b.block("out");
+    b.jmp(l);
+    b.switch_to(l);
+    let u = b.rng_unit();
+    let taken = b.bin(BinOp::Lt, u, p);
+    b.br_div(taken, expensive, epilog);
+    b.switch_to(expensive);
+    b.mark_roi();
+    b.work(work);
+    b.bin_into(acc, BinOp::Add, acc, 7i64);
+    b.jmp(epilog);
+    b.switch_to(epilog);
+    b.bin_into(i, BinOp::Add, i, 1i64);
+    let more = b.bin(BinOp::Lt, i, iters);
+    b.br_div(more, l, out);
+    b.switch_to(out);
+    let slot = b.bin(BinOp::Add, tid, 1i64);
+    b.store_global(acc, slot);
+    b.exit();
+    let _ = annotatable;
+    finish(id, b, rng, "loop with a divergent condition")
+}
+
+/// A nested loop with a divergent trip count around an expensive body —
+/// the RSBench shape: heavy-tailed trip counts, several tasks per thread,
+/// a compute-dense inner body, and a thin prolog.
+fn loop_merge_kernel(id: usize, rng: &mut SmallRng) -> Workload {
+    let tasks = 256i64;
+    let max_trip = rng.gen_range(32..96) as i64;
+    let work = rng.gen_range(25..55);
+    let mut b = FunctionBuilder::new(format!("corpus_{id}"), FuncKind::Kernel, 0);
+    let tl = begin_task_loop(&mut b, tasks);
+    let h = emit_hash(&mut b, tl.task);
+    // Quadratic skew: most tasks are short, a few are very long.
+    let t0 = b.bin(BinOp::Rem, h, max_trip);
+    let tsq = b.bin(BinOp::Mul, t0, t0);
+    let tskew = b.bin(BinOp::Div, tsq, max_trip);
+    let trip = b.bin(BinOp::Add, tskew, 1i64);
+    let acc = b.mov(0i64);
+    let j = b.mov(0i64);
+    let inner = b.block("inner");
+    let epilog = b.block("epilog");
+    b.jmp(inner);
+    b.switch_to(inner);
+    b.mark_roi();
+    b.work(work);
+    b.bin_into(acc, BinOp::Add, acc, j);
+    b.bin_into(j, BinOp::Add, j, 1i64);
+    let more = b.bin(BinOp::Lt, j, trip);
+    b.br_div(more, inner, epilog);
+    b.switch_to(epilog);
+    let slot = b.bin(BinOp::Add, tl.task, 1i64);
+    b.store_global(acc, slot);
+    b.jmp(tl.fetch);
+    finish_sized(id, b, rng, "nested loop with divergent trip count", 257)
+}
+
+fn finish(
+    id: usize,
+    b: FunctionBuilder,
+    rng: &mut SmallRng,
+    desc: &'static str,
+) -> Workload {
+    finish_sized(id, b, rng, desc, 257)
+}
+
+fn finish_sized(
+    id: usize,
+    b: FunctionBuilder,
+    rng: &mut SmallRng,
+    desc: &'static str,
+    mem_len: usize,
+) -> Workload {
+    let f = b.finish();
+    let kernel = f.name.clone();
+    let mut module = Module::new();
+    module.add_function(f);
+    let mut launch = Launch::new(kernel, 2);
+    launch.seed = rng.gen();
+    launch.global_mem = vec![Value::I64(0); mem_len.max(1 + 256)];
+    let _ = id;
+    Workload {
+        name: "corpus",
+        description: desc,
+        pattern: DivergencePattern::IterationDelay,
+        module,
+        launch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let a = generate(40, 7);
+        let b = generate(40, 7);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.workload.module, y.workload.module);
+        }
+    }
+
+    #[test]
+    fn composition_is_mostly_convergent() {
+        let corpus = generate(200, 42);
+        let convergent = corpus
+            .iter()
+            .filter(|e| {
+                matches!(e.class, KernelClass::Convergent | KernelClass::MildlyDivergent)
+            })
+            .count();
+        assert!(
+            convergent > 150,
+            "divergent workloads should be a small fraction, got {convergent}/200 convergent"
+        );
+    }
+
+    #[test]
+    fn every_corpus_kernel_verifies_and_runs() {
+        use simt_sim::{run, SimConfig};
+        use specrecon_core::{compile, CompileOptions};
+        for e in generate(24, 3) {
+            simt_ir::assert_verified(&e.workload.module);
+            let compiled = compile(&e.workload.module, &CompileOptions::baseline()).unwrap();
+            let out = run(&compiled.module, &SimConfig::default(), &e.workload.launch)
+                .unwrap_or_else(|err| panic!("corpus kernel {} failed: {err}", e.id));
+            assert!(out.metrics.issues > 0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Evaluation harness: compile a workload under different configurations,
+//! run it, and compare — with an output-equality check, since Speculative
+//! Reconvergence must never change results.
+
+use crate::Workload;
+use simt_sim::{run, Metrics, SimConfig, SimError};
+use specrecon_core::{compile, CompileOptions, PassError};
+use std::fmt;
+
+/// Error from the evaluation harness.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Compilation failed.
+    Compile(PassError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// The transformed kernel produced different memory contents than the
+    /// baseline — a correctness bug.
+    ResultMismatch {
+        /// Workload name.
+        workload: String,
+        /// First differing cell.
+        first_diff: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Compile(e) => write!(f, "compile error: {e}"),
+            EvalError::Sim(e) => write!(f, "simulation error: {e}"),
+            EvalError::ResultMismatch { workload, first_diff } => write!(
+                f,
+                "{workload}: transformed kernel changed results (first diff at cell {first_diff})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<PassError> for EvalError {
+    fn from(e: PassError) -> Self {
+        EvalError::Compile(e)
+    }
+}
+
+impl From<SimError> for EvalError {
+    fn from(e: SimError) -> Self {
+        EvalError::Sim(e)
+    }
+}
+
+/// Metrics digest of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Overall SIMT efficiency.
+    pub simt_eff: f64,
+    /// SIMT efficiency inside the workload's region of interest.
+    pub roi_eff: f64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic barrier operations (overhead indicator).
+    pub barrier_ops: u64,
+}
+
+impl From<&Metrics> for RunSummary {
+    fn from(m: &Metrics) -> Self {
+        Self {
+            simt_eff: m.simt_efficiency(),
+            roi_eff: m.roi_simt_efficiency(),
+            cycles: m.cycles,
+            barrier_ops: m.barrier_ops,
+        }
+    }
+}
+
+/// Compiles the workload with `opts` and runs it; returns the metrics
+/// digest and the final memory (for cross-configuration checks).
+pub fn run_config(
+    w: &Workload,
+    opts: &CompileOptions,
+    cfg: &SimConfig,
+) -> Result<(RunSummary, Vec<simt_ir::Value>), EvalError> {
+    let compiled = compile(&w.module, opts)?;
+    let out = run(&compiled.module, cfg, &w.launch)?;
+    Ok(((&out.metrics).into(), out.global_mem))
+}
+
+/// Baseline-vs-speculative comparison for one workload (the Figure 7/8
+/// measurement).
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Workload name.
+    pub name: String,
+    /// PDOM baseline run.
+    pub baseline: RunSummary,
+    /// Speculative Reconvergence run.
+    pub speculative: RunSummary,
+}
+
+impl Comparison {
+    /// Relative SIMT-efficiency improvement (1.0 = unchanged).
+    pub fn efficiency_gain(&self) -> f64 {
+        self.speculative.simt_eff / self.baseline.simt_eff
+    }
+
+    /// Speedup (1.0 = unchanged; above 1 = speculative is faster).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.cycles as f64 / self.speculative.cycles as f64
+    }
+}
+
+/// Runs the workload under the baseline and the paper's speculative
+/// configuration and checks result equality.
+///
+/// # Errors
+///
+/// Any compile or simulation failure, or differing kernel output between
+/// configurations.
+pub fn compare(w: &Workload, cfg: &SimConfig) -> Result<Comparison, EvalError> {
+    compare_with(w, &CompileOptions::speculative(), cfg)
+}
+
+/// Like [`compare`] but with a custom speculative-side configuration
+/// (soft-barrier thresholds, static deconfliction, automatic mode, ...).
+pub fn compare_with(
+    w: &Workload,
+    spec_opts: &CompileOptions,
+    cfg: &SimConfig,
+) -> Result<Comparison, EvalError> {
+    let (base, base_mem) = run_config(w, &CompileOptions::baseline(), cfg)?;
+    let (spec, spec_mem) = run_config(w, spec_opts, cfg)?;
+    if let Some(first_diff) = first_difference(&base_mem, &spec_mem) {
+        return Err(EvalError::ResultMismatch { workload: w.name.to_string(), first_diff });
+    }
+    Ok(Comparison { name: w.name.to_string(), baseline: base, speculative: spec })
+}
+
+fn first_difference(a: &[simt_ir::Value], b: &[simt_ir::Value]) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| match (x, y) {
+        (simt_ir::Value::F64(p), simt_ir::Value::F64(q)) => {
+            // Atomic accumulation order may differ between configurations;
+            // tolerate float rounding.
+            (p - q).abs() > 1e-9 * (1.0 + p.abs().max(q.abs()))
+        }
+        _ => x != y,
+    })
+}
+
+/// Applies the workload's recommended soft-barrier threshold to its
+/// predictions, returning a modified clone (used by the Figure 9 sweep).
+pub fn with_threshold(w: &Workload, threshold: u32) -> Workload {
+    let mut w2 = w.clone();
+    for (_, f) in w2.module.functions.iter_mut() {
+        for p in &mut f.predictions {
+            p.threshold = Some(threshold);
+        }
+    }
+    w2
+}
+
+/// A reduced-size variant of the workload for fast tests: shrinks the warp
+/// count.
+pub fn with_warps(w: &Workload, warps: usize) -> Workload {
+    let mut w2 = w.clone();
+    w2.launch.num_warps = warps;
+    w2
+}
+
+/// Convenience: the default launch with a different seed (determinism and
+/// variance testing).
+pub fn with_seed(w: &Workload, seed: u64) -> Workload {
+    let mut w2 = w.clone();
+    w2.launch.seed = seed;
+    w2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsbench;
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = EvalError::ResultMismatch { workload: "x".into(), first_diff: 7 };
+        assert!(e.to_string().contains("cell 7"));
+    }
+
+    #[test]
+    fn first_difference_tolerates_float_rounding() {
+        use simt_ir::Value;
+        let a = vec![Value::F64(1.0), Value::I64(2)];
+        let b = vec![Value::F64(1.0 + 1e-12), Value::I64(2)];
+        assert_eq!(first_difference(&a, &b), None);
+        let c = vec![Value::F64(1.1), Value::I64(2)];
+        assert_eq!(first_difference(&a, &c), Some(0));
+        let short = vec![Value::F64(1.0)];
+        assert_eq!(first_difference(&a, &short), Some(1));
+    }
+
+    #[test]
+    fn with_threshold_sets_every_prediction() {
+        let w = rsbench::build(&rsbench::Params::default());
+        let wt = with_threshold(&w, 12);
+        for (_, f) in wt.module.functions.iter() {
+            for p in &f.predictions {
+                assert_eq!(p.threshold, Some(12));
+            }
+        }
+        // Original untouched.
+        let kernel = w.module.function_by_name("rsbench").unwrap();
+        assert_eq!(w.module.functions[kernel].predictions[0].threshold, None);
+    }
+
+    #[test]
+    fn with_helpers_adjust_launch() {
+        let w = rsbench::build(&rsbench::Params::default());
+        assert_eq!(with_warps(&w, 2).launch.num_warps, 2);
+        assert_eq!(with_seed(&w, 9).launch.seed, 9);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let mk = |cycles, eff| RunSummary { simt_eff: eff, roi_eff: eff, cycles, barrier_ops: 0 };
+        let c = Comparison { name: "t".into(), baseline: mk(200, 0.2), speculative: mk(100, 0.5) };
+        assert!((c.speedup() - 2.0).abs() < 1e-12);
+        assert!((c.efficiency_gain() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! # workloads — the CGO'20 benchmark suite, in simt-ir
+//!
+//! Models of the nine applications of Table 2 of *Speculative
+//! Reconvergence for Improved SIMT Efficiency*, plus the Figure 2(c)
+//! common-function-call microbenchmark and the §5.4 synthetic corpus.
+//!
+//! The real applications are CUDA programs; what the paper's results
+//! depend on is their *divergence structure* — inner-loop trip-count
+//! distributions, the cost split between the common code and the
+//! prolog/epilog (task refill), and compute-vs-memory balance. Each model
+//! here reproduces those properties with seeded randomness and documents
+//! its parameters; `DESIGN.md` records the substitution rationale.
+//!
+//! ```
+//! use workloads::{registry, eval};
+//! use simt_sim::SimConfig;
+//!
+//! let workloads = registry();
+//! assert_eq!(workloads.len(), 9);
+//! let small = eval::with_warps(&workloads[0], 1);
+//! let cmp = eval::compare(&small, &SimConfig::default()).unwrap();
+//! assert!(cmp.speedup() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod corpus;
+pub mod eval;
+pub mod gpumcml;
+pub mod mcb;
+pub mod mcgpu;
+pub mod meiyamd5;
+pub mod microbench;
+pub mod mummer;
+pub mod optix;
+pub mod pathtracer;
+pub mod reference;
+pub mod rsbench;
+pub mod xsbench;
+
+use simt_ir::Module;
+use simt_sim::Launch;
+
+/// Which §3 divergence pattern a workload exhibits (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergencePattern {
+    /// Divergent condition within a loop (Figure 2(a)).
+    IterationDelay,
+    /// Loop trip-count divergence (Figure 2(b)).
+    LoopMerge,
+    /// Common function call across divergent paths (Figure 2(c)).
+    CommonFunctionCall,
+}
+
+impl std::fmt::Display for DivergencePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergencePattern::IterationDelay => write!(f, "iteration delay"),
+            DivergencePattern::LoopMerge => write!(f, "loop merge"),
+            DivergencePattern::CommonFunctionCall => write!(f, "common function call"),
+        }
+    }
+}
+
+/// A ready-to-run benchmark: annotated module plus its default launch.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name (matches the paper's Table 2).
+    pub name: &'static str,
+    /// Table-2 description.
+    pub description: &'static str,
+    /// The divergence pattern the workload exercises.
+    pub pattern: DivergencePattern,
+    /// The kernel module, carrying its `Predict` annotations.
+    pub module: Module,
+    /// Default launch (memory tables initialized, seed fixed).
+    pub launch: Launch,
+}
+
+/// All Table-2 workloads at their default parameters, in the paper's
+/// order.
+pub fn registry() -> Vec<Workload> {
+    vec![
+        rsbench::build(&rsbench::Params::default()),
+        xsbench::build(&xsbench::Params::default()),
+        mcb::build(&mcb::Params::default()),
+        pathtracer::build(&pathtracer::Params::default()),
+        mcgpu::build(&mcgpu::Params::default()),
+        mummer::build(&mummer::Params::default()),
+        meiyamd5::build(&meiyamd5::Params::default()),
+        optix::build(&optix::Params::default()),
+        gpumcml::build(&gpumcml::Params::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_match_table_2() {
+        let names: Vec<&str> = registry().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "rsbench",
+                "xsbench",
+                "mcb",
+                "pathtracer",
+                "mc-gpu",
+                "mummer",
+                "meiyamd5",
+                "optix",
+                "gpu-mcml"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_verifies_and_has_predictions() {
+        for w in registry() {
+            simt_ir::assert_verified(&w.module);
+            let kernel = w.module.function_by_name(&w.launch.kernel).expect("kernel exists");
+            let f = &w.module.functions[kernel];
+            assert!(
+                !f.predictions.is_empty(),
+                "{}: workloads carry their paper annotation",
+                w.name
+            );
+            assert!(!w.description.is_empty());
+        }
+    }
+}

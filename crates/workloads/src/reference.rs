@@ -1,0 +1,129 @@
+//! Host-side reference models of the deterministic workload kernels.
+//!
+//! These are independent Rust reimplementations of the arithmetic the IR
+//! kernels perform — used by the validation tests
+//! (`tests/host_reference.rs`) to check the simulated kernels
+//! cell-by-cell, and available to downstream users who want ground truth
+//! for their own experiments.
+
+use crate::{meiyamd5, mummer, rsbench};
+
+/// Host replica of [`crate::common::emit_hash`]: xorshift-multiply on
+/// `i64` with the sign bit cleared.
+pub fn hash(x: i64) -> i64 {
+    let s1 = ((x as u64) >> 12) as i64;
+    let x1 = x ^ s1;
+    let m1 = x1.wrapping_mul(0x2545F491);
+    let s2 = ((m1 as u64) >> 19) as i64;
+    (m1 ^ s2) & i64::MAX
+}
+
+/// 32-bit mask used by the MD5 model.
+pub const MASK32: i64 = 0xFFFF_FFFF;
+
+/// Host replica of MeiyaMD5's round function:
+/// `a = b + rotl(a + F(b,c,d) + x + k, s)` with
+/// `F(b,c,d) = (b & c) | (!b & d)`, in 32-bit arithmetic.
+pub fn md5_round(a: &mut i64, b: i64, c: i64, d: i64, x: i64, k: i64, s: i64) {
+    let f = (b & c) | ((b ^ MASK32) & d);
+    let t = a.wrapping_add(f).wrapping_add(x).wrapping_add(k) & MASK32;
+    let hi = ((t as u64) << (s as u64 & 63)) as i64;
+    let lo = ((t as u64) >> ((32 - s) as u64 & 63)) as i64;
+    *a = b.wrapping_add((hi | lo) & MASK32) & MASK32;
+}
+
+/// Expected MeiyaMD5 result for one task: the best (max) digest over the
+/// task's candidate batch.
+pub fn meiyamd5_digest(p: &meiyamd5::Params, task: i64) -> i64 {
+    let h = hash(task);
+    let m0 = h % p.max_candidates;
+    let count = (m0 * m0) / p.max_candidates + 1;
+    let mut best: i64 = 0;
+    for i in 0..count {
+        let x = (i.wrapping_mul(2654435761) ^ h) & MASK32;
+        let mut a: i64 = 0x67452301;
+        let b: i64 = 0xefcdab89;
+        let c: i64 = 0x98badcfe;
+        let mut d: i64 = 0x10325476;
+        for r in 0..p.rounds {
+            md5_round(&mut a, b, c, d, x, 0xd76aa478 + r * 0x1000, 7 + (r % 4) * 5);
+            md5_round(&mut d, a, b, c, x, 0xe8c7b756 - r * 0x333, 12);
+        }
+        best = best.max(a);
+    }
+    best
+}
+
+/// Expected MUMmer match length for one task, given the reference
+/// sequence the launch built.
+pub fn mummer_match_length(p: &mummer::Params, ref_seq: &[i64], task: i64) -> i64 {
+    let h = hash(task);
+    let qlen0 = h % (p.max_query_len - 4);
+    let qlen = (qlen0 * qlen0) / (p.max_query_len - 4) + 4;
+    let start = h % p.ref_len;
+    (0..qlen)
+        .filter(|&depth| {
+            let rsym = ref_seq[((start + depth) % p.ref_len) as usize];
+            let qsym = (depth.wrapping_mul(1099087573) ^ h) & 3;
+            rsym == qsym
+        })
+        .count() as i64
+}
+
+/// Expected RSBench accumulator for one task, given the cross-section
+/// table the launch built.
+pub fn rsbench_accumulator(p: &rsbench::Params, data: &[f64], task: i64) -> f64 {
+    let h = hash(task);
+    let mat = h % rsbench::NUCLIDE_COUNTS.len() as i64;
+    let count = rsbench::NUCLIDE_COUNTS[mat as usize];
+    (0..count)
+        .map(|j| {
+            let idx = (mat * 131 + j * 17) % p.data_len;
+            let pole = data[idx as usize];
+            (pole * pole).sqrt() + 0.5
+        })
+        .sum()
+}
+
+/// The material (index into [`rsbench::NUCLIDE_COUNTS`]) a task draws.
+pub fn rsbench_material(task: i64) -> usize {
+    (hash(task) % rsbench::NUCLIDE_COUNTS.len() as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_nonnegative_and_spreads() {
+        let vals: Vec<i64> = (0..64).map(hash).collect();
+        assert!(vals.iter().all(|&v| v >= 0));
+        let distinct: std::collections::HashSet<i64> = vals.iter().copied().collect();
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
+    fn md5_round_stays_in_32_bits() {
+        let mut a = 0x67452301;
+        md5_round(&mut a, 0xefcdab89, 0x98badcfe, 0x10325476, 0x1234, 0xd76aa478, 7);
+        assert!((0..=MASK32).contains(&a));
+        // Deterministic.
+        let mut a2 = 0x67452301;
+        md5_round(&mut a2, 0xefcdab89, 0x98badcfe, 0x10325476, 0x1234, 0xd76aa478, 7);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn digests_are_deterministic_per_task() {
+        let p = crate::meiyamd5::Params::default();
+        assert_eq!(meiyamd5_digest(&p, 5), meiyamd5_digest(&p, 5));
+        assert_ne!(meiyamd5_digest(&p, 5), meiyamd5_digest(&p, 6));
+    }
+
+    #[test]
+    fn material_indices_in_range() {
+        for t in 0..256 {
+            assert!(rsbench_material(t) < crate::rsbench::NUCLIDE_COUNTS.len());
+        }
+    }
+}

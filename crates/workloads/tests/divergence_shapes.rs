@@ -1,0 +1,144 @@
+//! Distribution checks: each workload's divergence profile actually has
+//! the shape its Table-2 description claims (trip-count spreads, branch
+//! probabilities, load imbalance). These catch silent parameter drift that
+//! would invalidate the figure reproductions.
+
+use simt_ir::Value;
+use simt_sim::{run, SimConfig};
+use specrecon_core::{compile, CompileOptions};
+use workloads::{gpumcml, mcb, meiyamd5, mummer, pathtracer, rsbench};
+
+use workloads::reference::hash as host_hash;
+
+#[test]
+fn rsbench_materials_cover_the_4_to_321_range() {
+    // Over a reasonable task count, the hash-based material pick must hit
+    // both the 321-nuclide and the single-digit-nuclide materials — the
+    // paper's "4 to 321 iterations per thread".
+    let p = rsbench::Params::default();
+    let mut counts_seen = std::collections::HashSet::new();
+    for task in 0..p.num_tasks {
+        let mat = host_hash(task) % rsbench::NUCLIDE_COUNTS.len() as i64;
+        counts_seen.insert(rsbench::NUCLIDE_COUNTS[mat as usize]);
+    }
+    assert!(counts_seen.contains(&321), "the heavy material must occur");
+    assert!(counts_seen.contains(&9), "a light material must occur");
+    assert!(counts_seen.len() >= 10, "most materials sampled: {counts_seen:?}");
+}
+
+#[test]
+fn meiyamd5_batch_sizes_are_heavily_imbalanced() {
+    let p = meiyamd5::Params::default();
+    let sizes: Vec<i64> = (0..p.num_tasks)
+        .map(|t| {
+            let m0 = host_hash(t) % p.max_candidates;
+            (m0 * m0) / p.max_candidates + 1
+        })
+        .collect();
+    let max = *sizes.iter().max().unwrap();
+    let mean = sizes.iter().sum::<i64>() as f64 / sizes.len() as f64;
+    assert!(
+        max as f64 > 2.5 * mean,
+        "quadratic skew expected: max {max} vs mean {mean:.1}"
+    );
+}
+
+#[test]
+fn mummer_query_lengths_span_and_skew() {
+    let p = mummer::Params::default();
+    let lens: Vec<i64> = (0..p.num_queries)
+        .map(|t| {
+            let q0 = host_hash(t) % (p.max_query_len - 4);
+            (q0 * q0) / (p.max_query_len - 4) + 4
+        })
+        .collect();
+    let min = *lens.iter().min().unwrap();
+    let max = *lens.iter().max().unwrap();
+    assert!(min >= 4);
+    assert!(max > p.max_query_len / 2, "long reads present: max {max}");
+    let mean = lens.iter().sum::<i64>() as f64 / lens.len() as f64;
+    assert!(mean < 0.6 * max as f64, "skewed toward short reads: mean {mean:.1}, max {max}");
+}
+
+#[test]
+fn pathtracer_bounce_depths_look_geometric() {
+    // Run the kernel and read per-sample radiance as a bounce-count proxy
+    // is fragile; instead re-derive bounce statistics from the step
+    // output of gpu-mcml-style counting — here we re-run pathtracer with
+    // a tiny scale and check termination spread via cycles shape:
+    // geometric roulette must yield wide variance in baseline efficiency.
+    let p = pathtracer::Params { num_samples: 128, num_warps: 1, ..pathtracer::Params::default() };
+    let w = pathtracer::build(&p);
+    let compiled = compile(&w.module, &CompileOptions::baseline()).unwrap();
+    let out = run(&compiled.module, &SimConfig::default(), &w.launch).unwrap();
+    let eff = out.metrics.simt_efficiency();
+    assert!(
+        (0.15..0.75).contains(&eff),
+        "roulette termination should leave mid-range baseline efficiency, got {eff}"
+    );
+}
+
+#[test]
+fn gpumcml_step_counts_have_wide_spread() {
+    let p = gpumcml::Params { num_photons: 128, num_warps: 1, ..gpumcml::Params::default() };
+    let w = gpumcml::build(&p);
+    let compiled = compile(&w.module, &CompileOptions::baseline()).unwrap();
+    let out = run(&compiled.module, &SimConfig::default(), &w.launch).unwrap();
+    let l = gpumcml::layout(&p);
+    let steps: Vec<i64> = (0..p.num_photons as usize)
+        .map(|t| out.global_mem[(l.result_base as usize) + t].as_i64())
+        .collect();
+    let min = *steps.iter().min().unwrap();
+    let max = *steps.iter().max().unwrap();
+    assert!(min >= 1, "every photon takes at least one step");
+    assert!(max >= 2 * min.max(1), "lifetimes vary: {min}..{max}");
+    assert!(max <= p.max_steps, "cap respected");
+}
+
+#[test]
+fn mcb_tallies_are_positive_and_varied() {
+    let p = mcb::Params { num_particles: 128, num_warps: 1, ..mcb::Params::default() };
+    let w = mcb::build(&p);
+    let compiled = compile(&w.module, &CompileOptions::baseline()).unwrap();
+    let out = run(&compiled.module, &SimConfig::default(), &w.launch).unwrap();
+    let l = mcb::layout(&p);
+    let tallies: Vec<f64> = (0..p.num_particles as usize)
+        .map(|t| out.global_mem[(l.result_base as usize) + t].as_f64())
+        .collect();
+    assert!(tallies.iter().all(|&t| t > 0.0), "free flight always accumulates");
+    let distinct: std::collections::HashSet<u64> =
+        tallies.iter().map(|t| t.to_bits()).collect();
+    assert!(distinct.len() > 100, "tallies should be distinct per particle");
+}
+
+#[test]
+fn seeds_change_monte_carlo_outputs_but_not_table_driven_ones() {
+    // rsbench is fully table/hash-driven: different launch seeds leave
+    // results identical. mcb is RNG-driven per task (seeded by task id),
+    // so its results are ALSO seed-independent — the launch seed only
+    // affects pre-seed draws, of which our kernels have none. Verify both,
+    // documenting the counter-based design.
+    let pr = rsbench::Params { num_tasks: 48, num_warps: 1, ..rsbench::Params::default() };
+    let wr = rsbench::build(&pr);
+    let compiled = compile(&wr.module, &CompileOptions::baseline()).unwrap();
+    let mut l1 = wr.launch.clone();
+    l1.seed = 1;
+    let mut l2 = wr.launch.clone();
+    l2.seed = 2;
+    let cfg = SimConfig::default();
+    let a = run(&compiled.module, &cfg, &l1).unwrap().global_mem;
+    let b = run(&compiled.module, &cfg, &l2).unwrap().global_mem;
+    assert_eq!(a, b, "table-driven workload must be launch-seed independent");
+
+    let pm = mcb::Params { num_particles: 48, num_warps: 1, ..mcb::Params::default() };
+    let wm = mcb::build(&pm);
+    let compiled = compile(&wm.module, &CompileOptions::baseline()).unwrap();
+    let mut l1 = wm.launch.clone();
+    l1.seed = 1;
+    let mut l2 = wm.launch.clone();
+    l2.seed = 2;
+    let a = run(&compiled.module, &cfg, &l1).unwrap().global_mem;
+    let b = run(&compiled.module, &cfg, &l2).unwrap().global_mem;
+    assert_eq!(a, b, "task-seeded RNG makes results launch-seed independent");
+    let _ = Value::I64(0);
+}

@@ -1,0 +1,28 @@
+//! The committed `examples/kernels/*.sr` fixtures must stay in sync with
+//! the workload generators (regenerate with
+//! `cargo run -p specrecon-bench --bin dump-kernels`).
+
+use simt_ir::parse_module;
+use workloads::{microbench, registry};
+
+#[test]
+fn kernel_fixtures_match_generators() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/kernels");
+    let mut all = registry();
+    all.push(microbench::build_common_call(&microbench::Params::default()));
+    all.push(microbench::build_fig2a(&microbench::Fig2Params::default()));
+    all.push(microbench::build_fig2b(&microbench::Fig2Params::default()));
+    for w in all {
+        let path = dir.join(format!("{}.sr", w.name.replace('-', "_")));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{}: fixture missing ({e}); run dump-kernels", path.display())
+        });
+        let parsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: fixture does not parse: {e}", path.display()));
+        assert_eq!(
+            parsed, w.module,
+            "{}: fixture out of date; rerun dump-kernels",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Every workload module (annotations included) survives a print→parse
+//! round trip: the textual IR is a complete serialization of the suite.
+
+use simt_ir::parse_and_link;
+use workloads::{microbench, registry};
+
+#[test]
+fn all_workloads_round_trip_through_text() {
+    let mut all = registry();
+    all.push(microbench::build_common_call(&microbench::Params::default()));
+    for w in all {
+        let printed = w.module.to_string();
+        let reparsed = parse_and_link(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", w.name));
+        assert_eq!(w.module, reparsed, "{}: round trip changed the module", w.name);
+    }
+}
+
+#[test]
+fn compiled_workloads_round_trip_too() {
+    use specrecon_core::{compile, CompileOptions};
+    for w in registry().into_iter().take(3) {
+        let compiled = compile(&w.module, &CompileOptions::speculative()).unwrap();
+        let printed = compiled.module.to_string();
+        let reparsed = parse_and_link(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        assert_eq!(compiled.module, reparsed, "{}", w.name);
+    }
+}

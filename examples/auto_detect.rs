@@ -1,0 +1,53 @@
+//! Automatic Speculative Reconvergence (§4.5): run the detector on an
+//! unannotated kernel, inspect the candidates and their cost scores, and
+//! compare the automatically transformed kernel against the baseline and
+//! the hand-annotated variant.
+//!
+//! Run with: `cargo run --release --example auto_detect`
+
+use specrecon::passes::{compile, detect, CompileOptions, DetectOptions};
+use specrecon::sim::{run, SimConfig};
+use specrecon::workloads::rsbench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let annotated = rsbench::build(&rsbench::Params::default());
+
+    // Strip the user annotation — pretend the programmer never read §4.1.
+    let mut bare = annotated.clone();
+    for (_, f) in bare.module.functions.iter_mut() {
+        f.predictions.clear();
+    }
+
+    // What does the detector see?
+    let kernel = bare.module.function_by_name("rsbench").expect("kernel");
+    let candidates = detect(&bare.module.functions[kernel], &DetectOptions::default());
+    println!("detector candidates:");
+    for c in &candidates {
+        println!(
+            "  {:?} at {} (region start {}): common-code cost {}, overhead {}, score {:.2}",
+            c.kind, c.target, c.region_start, c.expensive_cost, c.overhead_cost, c.score
+        );
+    }
+
+    let cfg = SimConfig::default();
+    let runs = [
+        ("baseline", compile(&bare.module, &CompileOptions::baseline())?),
+        ("auto SR", compile(&bare.module, &CompileOptions::automatic(DetectOptions::default()))?),
+        ("user SR", compile(&annotated.module, &CompileOptions::speculative())?),
+    ];
+    println!();
+    for (name, compiled) in &runs {
+        let out = run(&compiled.module, &cfg, &bare.launch)?;
+        println!(
+            "{name:<9} SIMT efficiency {:>5.1}%  cycles {:>8}",
+            out.metrics.simt_efficiency() * 100.0,
+            out.metrics.cycles
+        );
+    }
+    println!(
+        "\nOn this kernel automatic detection finds the same Loop-Merge point the\n\
+         paper's authors annotated by hand (§5.4: \"automatic Speculative\n\
+         Reconvergence performs the same as programmer-annotated variants\")."
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the paper's Listing 1 end to end.
+//!
+//! Builds the motivating kernel (a loop whose divergent condition guards
+//! an expensive block) from the textual IR, compiles it with the baseline
+//! PDOM pipeline and with Speculative Reconvergence, runs both on the
+//! warp simulator, and prints the metrics plus a lane-occupancy timeline —
+//! the textual version of the paper's Figure 1 cartoons.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use specrecon::ir::parse_module;
+use specrecon::passes::{compile, CompileOptions};
+use specrecon::sim::{run, Launch, SimConfig};
+
+const LISTING1: &str = r#"
+kernel @listing1(params=0, regs=4, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  work 60
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  brdiv %r1, bb1, bb4
+bb4:
+  exit
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse_module(LISTING1)?;
+    println!("Input kernel (Listing 1 of the paper):\n{module}");
+
+    let cfg = SimConfig { trace: true, ..SimConfig::default() };
+    let launch = Launch::new("listing1", 1);
+
+    for (name, opts) in [
+        ("PDOM baseline", CompileOptions::baseline()),
+        ("Speculative Reconvergence", CompileOptions::speculative()),
+    ] {
+        let compiled = compile(&module, &opts)?;
+        let out = run(&compiled.module, &cfg, &launch)?;
+        println!("=== {name} ===");
+        println!("{}", out.metrics);
+        println!(
+            "\nLane timeline (`#` = lane active in the expensive block, `+` = active elsewhere):"
+        );
+        let trace = out.trace.expect("trace enabled");
+        // Show only the expensive-block issues to keep the cartoon short.
+        // Only the `work` issues (cost ≥ 10): the barrier bookkeeping in
+        // the same block would clutter the cartoon.
+        let mut shown = 0;
+        for e in trace.events() {
+            if !e.roi || e.cost < 10 || shown >= 12 {
+                continue;
+            }
+            let mut row = String::new();
+            for lane in 0..32 {
+                row.push(if e.mask & (1 << lane) != 0 { '#' } else { '.' });
+            }
+            println!("  cycle {:>6}  {row}", e.cycle);
+            shown += 1;
+        }
+        println!();
+    }
+
+    println!(
+        "The baseline executes the expensive block with whatever sub-mask took the\n\
+         branch each iteration; Speculative Reconvergence collects threads across\n\
+         iterations and runs it (nearly) full — compare the `#` densities above."
+    );
+    Ok(())
+}

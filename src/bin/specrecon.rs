@@ -1,0 +1,269 @@
+//! `specrecon` — command-line driver for the textual kernel IR.
+//!
+//! ```text
+//! specrecon verify  FILE                      parse + verify
+//! specrecon compile FILE [MODE]               print the transformed module
+//! specrecon detect  FILE                      print §4.5 candidates
+//! specrecon run     FILE [MODE] [options]     compile, simulate, report
+//! specrecon dot     FILE [MODE]               emit a Graphviz CFG
+//! specrecon explain FILE                      show predictions, regions, candidates
+//!
+//! MODE:      --baseline | --speculative (default) | --auto | --pgo
+//!            (--pgo profiles a baseline run, then applies profile-guided
+//!             §4.5 detection — run options also shape the profiling run)
+//! options:   --kernel NAME    kernel to launch (default: first kernel)
+//!            --warps N        warps (default 4)
+//!            --mem N          global memory cells, zero-initialized (default 1024)
+//!            --seed S         RNG seed (default 0xC0FFEE)
+//!            --trace          print a lane-occupancy timeline
+//!            --hot            print the hottest blocks (per-block profile)
+//! ```
+
+use specrecon::analysis::DomTree;
+use specrecon::ir::{
+    module_to_dot, parse_and_link, verify_module, FuncKind, Module, PredictTarget, Value,
+};
+use specrecon::passes::compute_region;
+use specrecon::passes::{
+    compile, compile_profile_guided, detect, CompileOptions, DetectOptions,
+};
+use specrecon::sim::{run, Launch, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("specrecon: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: specrecon <verify|compile|detect|run|dot|explain> FILE [options] \
+                    (see `src/bin/specrecon.rs` header for details)"
+            .to_string());
+    };
+    let file = args.get(1).ok_or("missing FILE argument")?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let module = parse_and_link(&src).map_err(|e| e.to_string())?;
+    verify_module(&module).map_err(|errs| {
+        let mut m = String::from("verification failed:\n");
+        for e in errs {
+            m.push_str(&format!("  - {e}\n"));
+        }
+        m
+    })?;
+
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "verify" => {
+            println!(
+                "{file}: ok ({} function(s), {} block(s))",
+                module.functions.len(),
+                module.functions.iter().map(|(_, f)| f.blocks.len()).sum::<usize>()
+            );
+            Ok(())
+        }
+        "compile" => {
+            let compiled = compile_by_mode(&module, rest)?;
+            print!("{}", compiled.module);
+            Ok(())
+        }
+        "detect" => {
+            let mut found = false;
+            for (_, f) in module.functions.iter() {
+                if f.kind != FuncKind::Kernel {
+                    continue;
+                }
+                for c in detect(f, &DetectOptions::default()) {
+                    found = true;
+                    println!(
+                        "@{}: {:?} at {} (region start {}), common-code cost {}, \
+                         overhead {}, score {:.2}{}",
+                        f.name,
+                        c.kind,
+                        c.target,
+                        c.region_start,
+                        c.expensive_cost,
+                        c.overhead_cost,
+                        c.score,
+                        if c.score >= 1.0 { "  <- profitable" } else { "" }
+                    );
+                }
+            }
+            if !found {
+                println!("no reconvergence opportunities detected");
+            }
+            Ok(())
+        }
+        "run" => run_cmd(&module, rest),
+        "explain" => explain_cmd(&module),
+        "dot" => {
+            let compiled = compile_by_mode(&module, rest)?;
+            print!("{}", module_to_dot(&compiled.module));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Compiles according to the mode flags, including `--pgo` (which needs a
+/// launch for the profiling run, shaped by the same run options).
+fn compile_by_mode(
+    module: &Module,
+    args: &[String],
+) -> Result<specrecon::passes::Compiled, String> {
+    if args.iter().any(|a| a == "--pgo") {
+        let (cfg, launch) = launch_from_args(module, args)?;
+        compile_profile_guided(module, &CompileOptions::speculative(), &DetectOptions::default(), &cfg, &launch)
+            .map_err(|e| e.to_string())
+    } else {
+        let opts = mode_options(args)?;
+        compile(module, &opts).map_err(|e| e.to_string())
+    }
+}
+
+/// Prints what the compiler would do with each prediction: the resolved
+/// region, its escape edges, the exit convergence point, and the §4.5
+/// detector's view of the kernel.
+fn explain_cmd(module: &Module) -> Result<(), String> {
+    for (_, f) in module.functions.iter() {
+        if f.kind != FuncKind::Kernel {
+            continue;
+        }
+        println!("kernel @{} ({} blocks, {} regs)", f.name, f.blocks.len(), f.num_regs);
+        let pdt = DomTree::post_dominators(f);
+
+        if f.predictions.is_empty() {
+            println!("  no user predictions");
+        }
+        for (i, p) in f.predictions.iter().enumerate() {
+            match &p.target {
+                PredictTarget::Label(l) => {
+                    let Some(target) = f.block_by_label(l) else {
+                        println!("  prediction {i}: label `{l}` NOT FOUND");
+                        continue;
+                    };
+                    let region = compute_region(f, &pdt, p.region_start, &[target]);
+                    let blocks: Vec<String> =
+                        region.blocks.iter().map(|b| format!("bb{b}")).collect();
+                    println!(
+                        "  prediction {i}: reconverge at {target} (`{l}`), region start {}{}",
+                        p.region_start,
+                        p.threshold.map_or(String::new(), |t| format!(", soft threshold {t}"))
+                    );
+                    println!("    region: {}", blocks.join(" "));
+                    for (from, to) in &region.escape_edges {
+                        println!("    escape edge: {from} -> {to} (cancel here)");
+                    }
+                    match region.exit_convergence {
+                        Some(x) => println!("    exit convergence: {x}"),
+                        None => println!("    exit convergence: none (threads exit)"),
+                    }
+                }
+                PredictTarget::Function(fr) => {
+                    println!(
+                        "  prediction {i}: interprocedural, reconverge at entry of {fr}                          (region start {})",
+                        p.region_start
+                    );
+                }
+            }
+        }
+
+        let candidates = detect(f, &DetectOptions::default());
+        if candidates.is_empty() {
+            println!("  detector: no opportunities");
+        }
+        for c in candidates {
+            println!(
+                "  detector: {:?} at {} (start {}), cost {} vs overhead {}, score {:.2}{}",
+                c.kind,
+                c.target,
+                c.region_start,
+                c.expensive_cost,
+                c.overhead_cost,
+                c.score,
+                if c.score >= 1.0 { " — profitable" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn mode_options(args: &[String]) -> Result<CompileOptions, String> {
+    let mut opts = CompileOptions::speculative();
+    for a in args {
+        match a.as_str() {
+            "--baseline" => opts = CompileOptions::baseline(),
+            "--speculative" => opts = CompileOptions::speculative(),
+            "--auto" => opts = CompileOptions::automatic(DetectOptions::default()),
+            _ => {}
+        }
+    }
+    Ok(opts)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Builds the simulator configuration and launch from the run options.
+fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Launch), String> {
+    let kernel = match flag_value(args, "--kernel") {
+        Some(k) => k.to_string(),
+        None => module
+            .functions
+            .iter()
+            .find(|(_, f)| f.kind == FuncKind::Kernel)
+            .map(|(_, f)| f.name.clone())
+            .ok_or("module has no kernel")?,
+    };
+    let warps: usize = flag_value(args, "--warps").unwrap_or("4").parse().map_err(|_| "--warps expects a number")?;
+    let mem: usize = flag_value(args, "--mem").unwrap_or("1024").parse().map_err(|_| "--mem expects a number")?;
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
+        None => 0xC0FFEE,
+    };
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let want_hot = args.iter().any(|a| a == "--hot");
+    let cfg = SimConfig { trace: want_trace, profile: want_hot, ..SimConfig::default() };
+    let mut launch = Launch::new(kernel, warps);
+    launch.global_mem = vec![Value::I64(0); mem];
+    launch.seed = seed;
+    Ok((cfg, launch))
+}
+
+fn run_cmd(module: &Module, args: &[String]) -> Result<(), String> {
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let want_hot = args.iter().any(|a| a == "--hot");
+    let compiled = compile_by_mode(module, args)?;
+    let (cfg, launch) = launch_from_args(module, args)?;
+
+    let out = run(&compiled.module, &cfg, &launch).map_err(|e| e.to_string())?;
+    println!("{}", out.metrics);
+
+    if want_hot {
+        if let Some(profile) = &out.profile {
+            println!("\nhottest blocks:");
+            for ((func, block), stats) in profile.hottest(8) {
+                let fname = &compiled.module.functions[func].name;
+                println!(
+                    "  @{fname}/{block}: {} issues, {} cycles, avg {:.1} lanes",
+                    stats.issues,
+                    stats.cost,
+                    stats.active_lanes as f64 / stats.issues.max(1) as f64
+                );
+            }
+        }
+    }
+    if want_trace {
+        if let Some(trace) = &out.trace {
+            println!("\nlane timeline (warp 0):\n{}", trace.render_lanes(0, 40));
+        }
+    }
+    Ok(())
+}

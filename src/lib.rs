@@ -1,0 +1,20 @@
+//! # specrecon — umbrella crate for the Speculative Reconvergence reproduction
+//!
+//! Reproduction of *Speculative Reconvergence for Improved SIMT Efficiency*
+//! (Damani et al., CGO 2020). This crate re-exports the workspace members
+//! so examples, integration tests, and downstream users can depend on a
+//! single crate:
+//!
+//! - [`ir`] — the kernel IR ([`simt_ir`]);
+//! - [`analysis`] — CFG analyses ([`simt_analysis`]);
+//! - [`sim`] — the SIMT warp simulator ([`simt_sim`]);
+//! - [`passes`] — the paper's compiler passes ([`specrecon_core`]);
+//! - [`workloads`] — the nine benchmarks and the synthetic corpus.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use simt_analysis as analysis;
+pub use simt_ir as ir;
+pub use simt_sim as sim;
+pub use specrecon_core as passes;
+pub use workloads;

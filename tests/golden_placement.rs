@@ -1,0 +1,145 @@
+//! Golden-snapshot tests: the exact synchronization the passes emit for
+//! the paper's Listing 1, pinned as text. Any change to barrier placement
+//! shows up as a readable diff here — the compiler-side equivalent of the
+//! paper's Figure 4(d).
+
+use specrecon::ir::parse_module;
+use specrecon::passes::{compile, CompileOptions};
+
+const LISTING1: &str = r#"
+kernel @listing1(params=0, regs=4, barriers=0, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  work 60
+  jmp bb3
+bb3:
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  brdiv %r1, bb1, bb4
+bb4:
+  exit
+}
+"#;
+
+/// Baseline: one PDOM barrier per divergent branch — join at the branch,
+/// wait at its immediate post-dominator.
+const EXPECTED_BASELINE: &str = "\
+kernel @listing1(params=0, regs=4, barriers=2, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  join b0
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  work 60
+  jmp bb3
+bb3:
+  wait b0
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  join b1
+  brdiv %r1, bb1, bb4
+bb4:
+  wait b1
+  exit
+}
+";
+
+/// Speculative: Figure 4(d) — wait+rejoin at L1 (b2), cancel at the
+/// region escape, the orthogonal region-exit barrier (b3), and dynamic
+/// deconfliction's cancel of the conflicting PDOM barrier (b0) before the
+/// speculative wait.
+const EXPECTED_SPECULATIVE: &str = "\
+kernel @listing1(params=0, regs=4, barriers=4, entry=bb0) {
+  predict bb0 -> label L1
+bb0:
+  %r2 = mov 0
+  join b2
+  join b3
+  jmp bb1
+bb1:
+  %r0 = rng.unit
+  %r1 = lt %r0, 0.2f
+  join b0
+  brdiv %r1, bb2, bb3
+bb2 (label=L1, roi):
+  cancel b0
+  wait b2
+  rejoin b2
+  work 60
+  jmp bb3
+bb3:
+  wait b0
+  %r2 = add %r2, 1
+  %r1 = lt %r2, 20
+  join b1
+  brdiv %r1, bb1, bb4
+bb4:
+  cancel b2
+  wait b3
+  wait b1
+  exit
+}
+";
+
+fn normalized(s: &str) -> String {
+    s.trim().to_string()
+}
+
+#[test]
+fn baseline_placement_is_pinned() {
+    let m = parse_module(LISTING1).unwrap();
+    let compiled = compile(&m, &CompileOptions::baseline()).unwrap();
+    assert_eq!(
+        normalized(&compiled.module.to_string()),
+        normalized(EXPECTED_BASELINE),
+        "PDOM placement changed"
+    );
+}
+
+#[test]
+fn speculative_placement_is_pinned() {
+    let m = parse_module(LISTING1).unwrap();
+    let compiled = compile(&m, &CompileOptions::speculative()).unwrap();
+    assert_eq!(
+        normalized(&compiled.module.to_string()),
+        normalized(EXPECTED_SPECULATIVE),
+        "speculative placement changed"
+    );
+}
+
+#[test]
+fn soft_barrier_lowering_structure_is_pinned() {
+    // With a threshold, the reconvergence block becomes the Figure-6
+    // prologue. Pin the structural facts rather than full text (the block
+    // split allocates fresh ids).
+    let src = LISTING1.replace("label L1", "label L1 threshold=16");
+    let m = parse_module(&src).unwrap();
+    let compiled = compile(&m, &CompileOptions::speculative()).unwrap();
+    let printed = compiled.module.to_string();
+
+    for needle in [
+        "join b3",       // bCount join at the reconvergence point
+        "= arrived b3",  // threshold read
+        "bcopy b4, b3",  // trip side shrinks the release mask
+        "bcopy b4, b2",  // re-arm with the membership mask
+        "cancel b3",     // leave the counting barrier after release
+        "wait b4",       // both sides block on bTemp
+    ] {
+        assert!(printed.contains(needle), "missing `{needle}` in:\n{printed}");
+    }
+    // Threshold comparison against the literal 16.
+    assert!(printed.contains("lt %r"), "threshold compare present");
+    assert!(printed.contains(", 16"), "threshold constant present:\n{printed}");
+}

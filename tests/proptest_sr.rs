@@ -1,0 +1,431 @@
+//! Property-based tests across the whole stack:
+//!
+//! 1. **Deadlock freedom + semantics preservation**: for randomly shaped
+//!    divergent kernels with random predictions and thresholds, the full
+//!    pipeline never deadlocks and never changes kernel output.
+//! 2. **Parser round-trip**: printing and re-parsing random functions is
+//!    the identity.
+//! 3. **Dominator correctness**: `DomTree` agrees with brute-force path
+//!    enumeration on random CFGs.
+
+use proptest::prelude::*;
+use specrecon::analysis::DomTree;
+use specrecon::ir::{
+    parse_module, BinOp, BlockId, FuncKind, Function, FunctionBuilder, Inst, Module, Operand,
+    Terminator, UnOp, Value,
+};
+use specrecon::passes::{compile, CompileOptions, DeconflictMode};
+use specrecon::sim::{run, Launch, SchedulerPolicy, SimConfig};
+
+// ---------------------------------------------------------------------------
+// 1. Random structured kernels through the full pipeline
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct KernelShape {
+    outer_iters: i64,
+    branch_p: f64,
+    then_work: u32,
+    epilog_work: u32,
+    inner_trip_max: i64, // 0 = no inner loop in the then-branch
+    predict_inner: bool,
+    threshold: Option<u32>,
+    seed: u64,
+    policy: SchedulerPolicy,
+}
+
+fn shape_strategy() -> impl Strategy<Value = KernelShape> {
+    (
+        2i64..16,
+        0.05f64..0.9,
+        0u32..60,
+        0u32..12,
+        0i64..12,
+        any::<bool>(),
+        prop_oneof![Just(None), (0u32..35).prop_map(Some)],
+        any::<u64>(),
+        prop_oneof![
+            Just(SchedulerPolicy::Greedy),
+            Just(SchedulerPolicy::MinPc),
+            Just(SchedulerPolicy::MaxPc),
+            Just(SchedulerPolicy::MostThreads),
+            Just(SchedulerPolicy::RoundRobin),
+        ],
+    )
+        .prop_map(
+            |(outer_iters, branch_p, then_work, epilog_work, inner_trip_max, predict_inner, threshold, seed, policy)| {
+                KernelShape {
+                    outer_iters,
+                    branch_p,
+                    then_work,
+                    epilog_work,
+                    inner_trip_max,
+                    predict_inner,
+                    threshold,
+                    seed,
+                    policy,
+                }
+            },
+        )
+}
+
+/// Builds: outer loop { if rng < p { then_work; optional inner loop } ;
+/// epilog } with a prediction targeting either the then-block or the
+/// inner-loop header, and a per-thread checksum store at the end.
+fn build_kernel(s: &KernelShape) -> Module {
+    let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
+    let has_inner = s.inner_trip_max > 0;
+    let target_label = if s.predict_inner && has_inner { "inner" } else { "then" };
+    b.predict_label(target_label, s.threshold);
+
+    let tid = b.special(specrecon::ir::SpecialValue::Tid);
+    b.seed_rng(tid);
+    let acc = b.mov(0i64);
+    let i = b.mov(0i64);
+    let header = b.block("header");
+    let then_blk = b.block("then");
+    let inner = b.block("inner");
+    let epilog = b.block("epilog");
+    let out = b.block("out");
+    b.jmp(header);
+
+    b.switch_to(header);
+    let u = b.rng_unit();
+    let taken = b.bin(BinOp::Lt, u, s.branch_p);
+    b.br_div(taken, then_blk, epilog);
+
+    b.switch_to(then_blk);
+    if target_label == "then" {
+        b.label_current("then");
+    }
+    b.work(s.then_work);
+    b.bin_into(acc, BinOp::Add, acc, 13i64);
+    if has_inner {
+        let j = b.mov(0i64);
+        let t0 = b.rng_u63();
+        let trip = b.bin(BinOp::Rem, t0, s.inner_trip_max);
+        b.jmp(inner);
+        b.switch_to(inner);
+        b.bin_into(acc, BinOp::Add, acc, j);
+        b.bin_into(j, BinOp::Add, j, 1i64);
+        let more = b.bin(BinOp::Le, j, trip);
+        b.br_div(more, inner, epilog);
+    } else {
+        b.jmp(epilog);
+        // The inner block is unreachable; terminate it anyway.
+        b.switch_to(inner);
+        b.exit();
+    }
+
+    b.switch_to(epilog);
+    b.work(s.epilog_work);
+    b.bin_into(i, BinOp::Add, i, 1i64);
+    let more = b.bin(BinOp::Lt, i, s.outer_iters);
+    b.br_div(more, header, out);
+
+    b.switch_to(out);
+    b.store_global(acc, tid);
+    b.exit();
+
+    let mut m = Module::new();
+    m.add_function(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_never_deadlocks_and_preserves_results(shape in shape_strategy()) {
+        // Skip shapes whose prediction targets the unreachable inner block.
+        prop_assume!(!(shape.predict_inner && shape.inner_trip_max == 0));
+        let module = build_kernel(&shape);
+        let cfg = SimConfig {
+            max_cycles: 50_000_000,
+            scheduler: shape.policy,
+            ..SimConfig::default()
+        };
+        let mut launch = Launch::new("k", 2);
+        launch.seed = shape.seed;
+        launch.global_mem = vec![Value::I64(0); 64];
+
+        let base = compile(&module, &CompileOptions::baseline()).unwrap();
+        let base_out = run(&base.module, &cfg, &launch).expect("baseline must run");
+
+        for (name, opts) in [
+            ("dynamic", CompileOptions::speculative()),
+            ("static", CompileOptions {
+                deconflict: DeconflictMode::Static,
+                ..CompileOptions::speculative()
+            }),
+        ] {
+            let spec = compile(&module, &opts)
+                .unwrap_or_else(|e| panic!("{name} compile failed on {shape:?}: {e}"));
+            let out = run(&spec.module, &cfg, &launch)
+                .unwrap_or_else(|e| panic!("{name} run failed on {shape:?}: {e}"));
+            prop_assert_eq!(
+                &base_out.global_mem, &out.global_mem,
+                "{} changed results for {:?}", name, &shape
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Parser round-trip on random functions
+// ---------------------------------------------------------------------------
+
+fn imm_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Operand::imm_i64),
+        (-1000i64..1000).prop_map(|v| Operand::imm_f64(v as f64 / 8.0)),
+        (0u32..6).prop_map(|r| Operand::Reg(specrecon::ir::Reg(r))),
+    ]
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    use specrecon::ir::{BarrierId, BarrierOp, MemSpace, RngKind, SpecialValue};
+    let reg = (0u32..6).prop_map(specrecon::ir::Reg);
+    let bar = (0u32..3).prop_map(BarrierId);
+    let space = prop_oneof![Just(MemSpace::Global), Just(MemSpace::Local)];
+    prop_oneof![
+        (reg.clone(), 0usize..BinOp::all().len(), imm_strategy(), imm_strategy()).prop_map(
+            |(dst, op, lhs, rhs)| Inst::Bin { op: BinOp::all()[op], dst, lhs, rhs }
+        ),
+        (reg.clone(), 0usize..UnOp::all().len(), imm_strategy())
+            .prop_map(|(dst, op, src)| Inst::Un { op: UnOp::all()[op], dst, src }),
+        (reg.clone(), imm_strategy()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
+        (reg.clone(), imm_strategy(), imm_strategy(), imm_strategy()).prop_map(
+            |(dst, cond, if_true, if_false)| Inst::Sel { dst, cond, if_true, if_false }
+        ),
+        (0u32..200).prop_map(|amount| Inst::Work { amount }),
+        Just(Inst::Nop),
+        imm_strategy().prop_map(|src| Inst::SeedRng { src }),
+        (reg.clone(), imm_strategy()).prop_map(|(dst, pred)| Inst::Vote { dst, pred }),
+        (reg.clone(), space.clone(), imm_strategy())
+            .prop_map(|(dst, space, addr)| Inst::Load { dst, space, addr }),
+        (space, imm_strategy(), imm_strategy())
+            .prop_map(|(space, addr, value)| Inst::Store { space, addr, value }),
+        (reg.clone(), imm_strategy(), imm_strategy())
+            .prop_map(|(dst, addr, value)| Inst::AtomicAdd { dst, addr, value }),
+        (reg.clone(), prop_oneof![
+            Just(SpecialValue::Tid),
+            Just(SpecialValue::LaneId),
+            Just(SpecialValue::WarpId),
+            Just(SpecialValue::NumThreads),
+            Just(SpecialValue::WarpWidth),
+        ])
+        .prop_map(|(dst, kind)| Inst::Special { dst, kind }),
+        (reg.clone(), prop_oneof![Just(RngKind::U63), Just(RngKind::Unit)])
+            .prop_map(|(dst, kind)| Inst::Rng { dst, kind }),
+        bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Join(b))),
+        bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Wait(b))),
+        bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Cancel(b))),
+        bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Rejoin(b))),
+        (bar.clone(), bar.clone()).prop_map(|(dst, src)| Inst::Barrier(BarrierOp::Copy { dst, src })),
+        (reg, bar).prop_map(|(dst, bar)| Inst::Barrier(BarrierOp::ArrivedCount { dst, bar })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_round_trip(
+        blocks in prop::collection::vec(prop::collection::vec(inst_strategy(), 0..6), 1..4),
+        links in prop::collection::vec((0usize..4, 0usize..4), 4),
+    ) {
+        let mut f = Function::new("rt", FuncKind::Kernel, 0);
+        f.num_regs = 6;
+        f.num_barriers = 3;
+        // First block is the entry created by Function::new.
+        for _ in 1..blocks.len() {
+            f.add_block(None);
+        }
+        let n = blocks.len();
+        for (bi, insts) in blocks.iter().enumerate() {
+            let id = BlockId::new(bi);
+            f.blocks[id].insts = insts.clone();
+            let (a, b) = links[bi];
+            f.blocks[id].term = if bi + 1 < n {
+                Terminator::Branch {
+                    cond: Operand::imm_i64((a % 2) as i64),
+                    then_bb: BlockId::new(a % n),
+                    else_bb: BlockId::new(b % n),
+                    divergent: a % 2 == 0,
+                }
+            } else {
+                Terminator::Exit
+            };
+        }
+        let mut m = Module::new();
+        m.add_function(f);
+        let printed = m.to_string();
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(m, reparsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Dominators vs brute force
+// ---------------------------------------------------------------------------
+
+fn reachable_avoiding(f: &Function, avoid: Option<BlockId>, to: BlockId) -> bool {
+    if Some(f.entry) == avoid {
+        return false;
+    }
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![f.entry];
+    seen[f.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        if b == to {
+            return true;
+        }
+        for s in f.successors(b) {
+            if Some(s) == avoid || seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    false
+}
+
+/// Can `from` reach any exit block, avoiding `avoid`?
+fn exits_avoiding(f: &Function, avoid: Option<BlockId>, from: BlockId) -> bool {
+    if Some(from) == avoid {
+        return false;
+    }
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        if f.successors(b).is_empty() {
+            return true;
+        }
+        for s in f.successors(b) {
+            if Some(s) == avoid || seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn post_dominators_match_brute_force(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 8),
+    ) {
+        let mut f = Function::new("pd", FuncKind::Kernel, 0);
+        for _ in 1..n {
+            f.add_block(None);
+        }
+        for bi in 0..n {
+            let id = BlockId::new(bi);
+            let (a, b, is_branch) = edges[bi % edges.len()];
+            f.blocks[id].term = if bi == n - 1 {
+                Terminator::Exit
+            } else if is_branch {
+                Terminator::Branch {
+                    cond: Operand::imm_i64(1),
+                    then_bb: BlockId::new(a % n),
+                    else_bb: BlockId::new(b % n),
+                    divergent: false,
+                }
+            } else {
+                Terminator::Jump(BlockId::new(a % n))
+            };
+        }
+        let pdt = DomTree::post_dominators(&f);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (BlockId::new(a), BlockId::new(b));
+                // Scope: blocks that can reach an exit (the tree's
+                // reachable set in the reverse direction).
+                if !exits_avoiding(&f, None, a) || !exits_avoiding(&f, None, b) {
+                    continue;
+                }
+                // a post-dominates b iff removing a cuts b off from every
+                // exit.
+                let brute = a == b || !exits_avoiding(&f, Some(a), b);
+                prop_assert_eq!(
+                    pdt.dominates(a, b),
+                    brute,
+                    "post-dominates({}, {}) mismatch on:\n{}", a, b, &f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_match_brute_force(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 8),
+    ) {
+        let mut f = Function::new("d", FuncKind::Kernel, 0);
+        for _ in 1..n {
+            f.add_block(None);
+        }
+        for bi in 0..n {
+            let id = BlockId::new(bi);
+            let (a, b, is_branch) = edges[bi % edges.len()];
+            // Last block always exits so post-dominance has a root.
+            f.blocks[id].term = if bi == n - 1 {
+                Terminator::Exit
+            } else if is_branch {
+                Terminator::Branch {
+                    cond: Operand::imm_i64(1),
+                    then_bb: BlockId::new(a % n),
+                    else_bb: BlockId::new(b % n),
+                    divergent: false,
+                }
+            } else {
+                Terminator::Jump(BlockId::new(a % n))
+            };
+        }
+        let dt = DomTree::dominators(&f);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (BlockId::new(a), BlockId::new(b));
+                if !reachable_avoiding(&f, None, b) || !reachable_avoiding(&f, None, a) {
+                    continue; // unreachable blocks are out of scope
+                }
+                let brute = a == b || !reachable_avoiding(&f, Some(a), b);
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    brute,
+                    "dominates({}, {}) mismatch on:\n{}", a, b, &f
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Parser never panics on arbitrary input
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,400}") {
+        // Any byte soup yields Ok or a line-numbered error — never a panic.
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ir_like_soup(
+        src in "(kernel|device|bb[0-9]|%r[0-9]|b[0-9]|join|wait|predict|@k|[(){}=:,;.\n ]|[0-9]|work|exit){0,200}"
+    ) {
+        let _ = parse_module(&src);
+    }
+}
