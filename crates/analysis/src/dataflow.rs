@@ -88,11 +88,8 @@ pub fn solve(func: &Function, problem: &dyn DataflowProblem) -> DataflowResult {
                     if !reachable[b.index()] {
                         continue;
                     }
-                    let mut input = if b == func.entry {
-                        problem.boundary()
-                    } else {
-                        BitSet::new(size)
-                    };
+                    let mut input =
+                        if b == func.entry { problem.boundary() } else { BitSet::new(size) };
                     for &p in &preds[b] {
                         if reachable[p.index()] {
                             input.union_with(&exit[p]);

@@ -55,9 +55,7 @@ impl DomTree {
 
         // Roots: entry, or all exit blocks (blocks with no successors).
         let roots: Vec<usize> = if post {
-            (0..n)
-                .filter(|&b| func.successors(BlockId::new(b)).is_empty())
-                .collect()
+            (0..n).filter(|&b| func.successors(BlockId::new(b)).is_empty()).collect()
         } else {
             vec![func.entry.index()]
         };
@@ -101,29 +99,30 @@ impl DomTree {
         }
 
         // The virtual exit is an ancestor of every root, so it absorbs.
-        let intersect = |idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| -> usize {
-            while a != b {
-                if a == VIRTUAL_EXIT || b == VIRTUAL_EXIT {
-                    return VIRTUAL_EXIT;
-                }
-                while rpo[a] < rpo[b] {
-                    a = idom[a].expect("processed node without idom");
-                    if a == VIRTUAL_EXIT || a == b {
-                        break;
+        let intersect =
+            |idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| -> usize {
+                while a != b {
+                    if a == VIRTUAL_EXIT || b == VIRTUAL_EXIT {
+                        return VIRTUAL_EXIT;
+                    }
+                    while rpo[a] < rpo[b] {
+                        a = idom[a].expect("processed node without idom");
+                        if a == VIRTUAL_EXIT || a == b {
+                            break;
+                        }
+                    }
+                    if a == b || a == VIRTUAL_EXIT {
+                        continue;
+                    }
+                    while rpo[b] < rpo[a] {
+                        b = idom[b].expect("processed node without idom");
+                        if b == VIRTUAL_EXIT || b == a {
+                            break;
+                        }
                     }
                 }
-                if a == b || a == VIRTUAL_EXIT {
-                    continue;
-                }
-                while rpo[b] < rpo[a] {
-                    b = idom[b].expect("processed node without idom");
-                    if b == VIRTUAL_EXIT || b == a {
-                        break;
-                    }
-                }
-            }
-            a
-        };
+                a
+            };
 
         // Predecessors in traversal direction.
         let preds = |b: usize| -> Vec<usize> {

@@ -1,10 +1,15 @@
 //! Criterion benches of the simulator substrate: raw interpreter
-//! throughput on convergent, divergent, and barrier-heavy kernels.
+//! throughput on convergent, divergent, and barrier-heavy kernels, the
+//! decoded engine against the reference tree-walker, and batch-evaluation
+//! scaling across worker counts.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use simt_ir::parse_and_link;
 use simt_ir::Value;
-use simt_sim::{run, Launch, SimConfig};
+use simt_sim::{run, run_image, run_reference, DecodedImage, Launch, SimConfig};
+use specrecon_core::CompileOptions;
+use workloads::eval::{with_warps, Engine, EvalJob};
+use workloads::registry;
 
 fn bench_simulator(c: &mut Criterion) {
     let cfg = SimConfig::default();
@@ -67,5 +72,73 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// Decoded engine vs the reference tree-walking interpreter on the same
+/// kernels — the decode-once refactor's headline number. `decoded_prebuilt`
+/// additionally factors decode out of the loop (the engine-cache case).
+fn bench_decoded_vs_reference(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let divergent = parse_and_link(
+        "kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = special.lane\n  %r1 = mul %r0, 40\n  %r1 = add %r1, 40\n  %r2 = mov 0\n  jmp bb1\n\
+         bb1:\n  %r2 = add %r2, 1\n  %r3 = lt %r2, %r1\n  brdiv %r3, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+
+    // Call-heavy loop: the tree walker re-clones the callee's return
+    // register list on every call; the decoded path indexes a pooled span.
+    let calls = parse_and_link(
+        "device @f(params=2, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r2 = add %r0, %r1\n  %r3 = mul %r2, 3\n  ret %r3\n}\n\
+         kernel @k(params=0, regs=4, barriers=0, entry=bb0) {\n\
+         bb0:\n  %r0 = mov 0\n  %r1 = mov 0\n  jmp bb1\n\
+         bb1:\n  call @f(%r1, 5) -> (%r1)\n  %r0 = add %r0, 1\n  %r2 = lt %r0, 1500\n  br %r2, bb1, bb2\n\
+         bb2:\n  exit\n}\n",
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("decoded_vs_reference");
+    for (name, module) in [("divergent", &divergent), ("calls", &calls)] {
+        g.bench_with_input(BenchmarkId::new("reference_tree_walker", name), module, |b, m| {
+            b.iter(|| run_reference(m, &cfg, &Launch::new("k", 1)).expect("runs"))
+        });
+        g.bench_with_input(BenchmarkId::new("decoded_with_decode", name), module, |b, m| {
+            b.iter(|| run(m, &cfg, &Launch::new("k", 1)).expect("runs"))
+        });
+        let image = DecodedImage::decode(module);
+        g.bench_with_input(BenchmarkId::new("decoded_prebuilt", name), &image, |b, i| {
+            b.iter(|| run_image(i, &cfg, &Launch::new("k", 1)).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+/// Batch-evaluation scaling: the full Table-2 registry as one batch on
+/// 1/2/4/8 worker threads. Results are byte-identical across the series;
+/// only wall-clock changes.
+fn bench_batch_scaling(c: &mut Criterion) {
+    let jobs: Vec<EvalJob> = registry()
+        .iter()
+        .map(|w| {
+            EvalJob::new(with_warps(w, 1), CompileOptions::speculative(), SimConfig::default())
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("batch_scaling");
+    g.throughput(Throughput::Elements(jobs.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("registry_batch", workers), &workers, |b, &n| {
+            // A fresh engine per iteration so decode cost is included and
+            // the cache cannot carry state across worker counts.
+            b.iter(|| {
+                let engine = Engine::new(n);
+                let results = engine.run_batch(&jobs);
+                assert!(results.iter().all(Result::is_ok));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_decoded_vs_reference, bench_batch_scaling);
 criterion_main!(benches);

@@ -11,8 +11,8 @@ use crate::Scale;
 use simt_ir::BlockId;
 use simt_sim::{CacheConfig, SchedulerPolicy, SimConfig};
 use specrecon_core::{unroll_self_loop, CompileOptions, DeconflictMode};
-use workloads::eval::{compare_with, run_config};
-use workloads::{registry, rsbench, xsbench};
+use workloads::eval::{self, Engine};
+use workloads::{registry, rsbench, xsbench, Workload};
 
 /// One row of the deconfliction ablation.
 #[derive(Clone, Debug)]
@@ -27,26 +27,28 @@ pub struct DeconflictRow {
 
 /// Runs every Table-2 workload under both deconfliction modes.
 pub fn deconflict(scale: Scale) -> Vec<DeconflictRow> {
+    deconflict_with(eval::shared(), scale)
+}
+
+/// [`deconflict`] on a caller-provided [`Engine`], one job per workload.
+pub fn deconflict_with(engine: &Engine, scale: Scale) -> Vec<DeconflictRow> {
     let cfg = SimConfig::default();
-    registry()
-        .iter()
-        .map(|w| {
-            let w = scale.apply(w);
-            let dynamic = compare_with(&w, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("{} dynamic failed: {e}", w.name));
-            let opts = CompileOptions {
-                deconflict: DeconflictMode::Static,
-                ..CompileOptions::speculative()
-            };
-            let stat = compare_with(&w, &opts, &cfg)
-                .unwrap_or_else(|e| panic!("{} static failed: {e}", w.name));
-            DeconflictRow {
-                name: w.name.to_string(),
-                dynamic_speedup: dynamic.speedup(),
-                static_speedup: stat.speedup(),
-            }
-        })
-        .collect()
+    let ws: Vec<Workload> = registry().iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let dynamic = engine
+            .compare_with(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} dynamic failed: {e}", w.name));
+        let opts =
+            CompileOptions { deconflict: DeconflictMode::Static, ..CompileOptions::speculative() };
+        let stat = engine
+            .compare_with(w, &opts, &cfg)
+            .unwrap_or_else(|e| panic!("{} static failed: {e}", w.name));
+        DeconflictRow {
+            name: w.name.to_string(),
+            dynamic_speedup: dynamic.speedup(),
+            static_speedup: stat.speedup(),
+        }
+    })
 }
 
 /// One row of the unrolling ablation.
@@ -66,6 +68,11 @@ pub struct UnrollRow {
 /// Loop Merge: reconvergence happens once per `factor` iterations, so
 /// barrier overhead drops (§6).
 pub fn unroll(scale: Scale) -> Vec<UnrollRow> {
+    unroll_with(eval::shared(), scale)
+}
+
+/// [`unroll`] on a caller-provided [`Engine`], one job per unroll factor.
+pub fn unroll_with(engine: &Engine, scale: Scale) -> Vec<UnrollRow> {
     let cfg = SimConfig::default();
     let base = rsbench::build(&rsbench::Params::default());
     let base = scale.apply(&base);
@@ -74,24 +81,22 @@ pub fn unroll(scale: Scale) -> Vec<UnrollRow> {
         .block_by_label("L1")
         .expect("rsbench inner loop is labelled L1");
 
-    [1usize, 2, 4, 8]
-        .iter()
-        .map(|&factor| {
-            let mut w = base.clone();
-            if factor > 1 {
-                let f = &mut w.module.functions[kernel];
-                unroll_self_loop(f, inner, factor).expect("rsbench inner loop unrolls");
-            }
-            let (summary, _) = run_config(&w, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("unroll x{factor} failed: {e}"));
-            UnrollRow {
-                factor,
-                cycles: summary.cycles,
-                barrier_ops: summary.barrier_ops,
-                simt_eff: summary.simt_eff,
-            }
-        })
-        .collect()
+    engine.par_map(&[1usize, 2, 4, 8], |&factor| {
+        let mut w = base.clone();
+        if factor > 1 {
+            let f = &mut w.module.functions[kernel];
+            unroll_self_loop(f, inner, factor).expect("rsbench inner loop unrolls");
+        }
+        let (summary, _) = engine
+            .run_config(&w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("unroll x{factor} failed: {e}"));
+        UnrollRow {
+            factor,
+            cycles: summary.cycles,
+            barrier_ops: summary.barrier_ops,
+            simt_eff: summary.simt_eff,
+        }
+    })
 }
 
 /// One row of the synchronization-variant ablation.
@@ -115,31 +120,34 @@ pub struct SyncVariantRow {
 /// threads under a greedy scheduler serialize badly) and where SR goes
 /// beyond it.
 pub fn sync_variants(scale: Scale) -> Vec<SyncVariantRow> {
+    sync_variants_with(eval::shared(), scale)
+}
+
+/// [`sync_variants`] on a caller-provided [`Engine`], one job per
+/// workload.
+pub fn sync_variants_with(engine: &Engine, scale: Scale) -> Vec<SyncVariantRow> {
     let cfg = SimConfig::default();
-    registry()
-        .iter()
-        .map(|w| {
-            let w = scale.apply(&w.clone());
-            let none_opts = CompileOptions {
-                pdom: false,
-                speculative: false,
-                ..CompileOptions::default()
-            };
-            let (none, _) = run_config(&w, &none_opts, &cfg)
-                .unwrap_or_else(|e| panic!("{} none failed: {e}", w.name));
-            let (pdom, _) = run_config(&w, &CompileOptions::baseline(), &cfg)
-                .unwrap_or_else(|e| panic!("{} pdom failed: {e}", w.name));
-            let (sr, _) = run_config(&w, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("{} sr failed: {e}", w.name));
-            SyncVariantRow {
-                name: w.name.to_string(),
-                none_eff: none.simt_eff,
-                pdom_eff: pdom.simt_eff,
-                sr_eff: sr.simt_eff,
-                cycles: [none.cycles, pdom.cycles, sr.cycles],
-            }
-        })
-        .collect()
+    let ws: Vec<Workload> = registry().iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let none_opts =
+            CompileOptions { pdom: false, speculative: false, ..CompileOptions::default() };
+        let (none, _) = engine
+            .run_config(w, &none_opts, &cfg)
+            .unwrap_or_else(|e| panic!("{} none failed: {e}", w.name));
+        let (pdom, _) = engine
+            .run_config(w, &CompileOptions::baseline(), &cfg)
+            .unwrap_or_else(|e| panic!("{} pdom failed: {e}", w.name));
+        let (sr, _) = engine
+            .run_config(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} sr failed: {e}", w.name));
+        SyncVariantRow {
+            name: w.name.to_string(),
+            none_eff: none.simt_eff,
+            pdom_eff: pdom.simt_eff,
+            sr_eff: sr.simt_eff,
+            cycles: [none.cycles, pdom.cycles, sr.cycles],
+        }
+    })
 }
 
 /// One row of the scheduler ablation.
@@ -158,19 +166,25 @@ pub struct SchedRow {
 /// Runs RSBench under every scheduler policy: the SR win must not be an
 /// artifact of one policy.
 pub fn scheduler(scale: Scale) -> Vec<SchedRow> {
+    scheduler_with(eval::shared(), scale)
+}
+
+/// [`scheduler`] on a caller-provided [`Engine`], one job per policy.
+/// All five policies share one cached kernel image.
+pub fn scheduler_with(engine: &Engine, scale: Scale) -> Vec<SchedRow> {
     let base = rsbench::build(&rsbench::Params::default());
     let w = scale.apply(&base);
-    [
+    let policies = [
         SchedulerPolicy::Greedy,
         SchedulerPolicy::MinPc,
         SchedulerPolicy::MaxPc,
         SchedulerPolicy::MostThreads,
         SchedulerPolicy::RoundRobin,
-    ]
-    .iter()
-    .map(|&policy| {
+    ];
+    engine.par_map(&policies, |&policy| {
         let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
-        let c = compare_with(&w, &CompileOptions::speculative(), &cfg)
+        let c = engine
+            .compare_with(&w, &CompileOptions::speculative(), &cfg)
             .unwrap_or_else(|e| panic!("policy {policy:?} failed: {e}"));
         SchedRow {
             policy,
@@ -179,7 +193,6 @@ pub fn scheduler(scale: Scale) -> Vec<SchedRow> {
             speedup: c.speedup(),
         }
     })
-    .collect()
 }
 
 /// One row of the warp-width ablation.
@@ -200,18 +213,21 @@ pub struct WidthRow {
 /// costs more as the warp widens (longer tails per round), partially
 /// offsetting the larger headroom.
 pub fn warp_width(scale: Scale) -> Vec<WidthRow> {
+    warp_width_with(eval::shared(), scale)
+}
+
+/// [`warp_width`] on a caller-provided [`Engine`], one job per width.
+pub fn warp_width_with(engine: &Engine, scale: Scale) -> Vec<WidthRow> {
     let base = rsbench::build(&rsbench::Params::default());
     let w = scale.apply(&base);
-    [8usize, 16, 32, 64]
-        .iter()
-        .map(|&width| {
-            let cfg = SimConfig { warp_width: width, ..SimConfig::default() };
-            let opts = CompileOptions { warp_width: width as u32, ..CompileOptions::speculative() };
-            let c = compare_with(&w, &opts, &cfg)
-                .unwrap_or_else(|e| panic!("width {width} failed: {e}"));
-            WidthRow { width, base_eff: c.baseline.simt_eff, speedup: c.speedup() }
-        })
-        .collect()
+    engine.par_map(&[8usize, 16, 32, 64], |&width| {
+        let cfg = SimConfig { warp_width: width, ..SimConfig::default() };
+        let opts = CompileOptions { warp_width: width as u32, ..CompileOptions::speculative() };
+        let c = engine
+            .compare_with(&w, &opts, &cfg)
+            .unwrap_or_else(|e| panic!("width {width} failed: {e}"));
+        WidthRow { width, base_eff: c.baseline.simt_eff, speedup: c.speedup() }
+    })
 }
 
 /// One row of the suite-wide threshold ablation.
@@ -232,34 +248,38 @@ pub struct ThresholdRow {
 /// discovering the ideal threshold" to future work; this table shows how
 /// far from the full barrier each application's optimum sits.
 pub fn threshold(scale: Scale) -> Vec<ThresholdRow> {
+    threshold_with(eval::shared(), scale)
+}
+
+/// [`threshold`] on a caller-provided [`Engine`], one job per workload
+/// (each job runs its own 5-point sweep).
+pub fn threshold_with(engine: &Engine, scale: Scale) -> Vec<ThresholdRow> {
     use workloads::eval::with_threshold;
     let cfg = SimConfig::default();
     let grid = [4u32, 8, 16, 24, 32];
-    registry()
-        .iter()
-        .map(|w| {
-            let w = scale.apply(w);
-            let mut best = (32u32, 0.0f64);
-            let mut full = 0.0f64;
-            for &t in &grid {
-                let c = compare_with(&with_threshold(&w, t), &CompileOptions::speculative(), &cfg)
-                    .unwrap_or_else(|e| panic!("{} T={t} failed: {e}", w.name));
-                let s = c.speedup();
-                if s > best.1 {
-                    best = (t, s);
-                }
-                if t == 32 {
-                    full = s;
-                }
+    let ws: Vec<Workload> = registry().iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let mut best = (32u32, 0.0f64);
+        let mut full = 0.0f64;
+        for &t in &grid {
+            let c = engine
+                .compare_with(&with_threshold(w, t), &CompileOptions::speculative(), &cfg)
+                .unwrap_or_else(|e| panic!("{} T={t} failed: {e}", w.name));
+            let s = c.speedup();
+            if s > best.1 {
+                best = (t, s);
             }
-            ThresholdRow {
-                name: w.name.to_string(),
-                best_threshold: best.0,
-                best_speedup: best.1,
-                full_speedup: full,
+            if t == 32 {
+                full = s;
             }
-        })
-        .collect()
+        }
+        ThresholdRow {
+            name: w.name.to_string(),
+            best_threshold: best.0,
+            best_speedup: best.1,
+            full_speedup: full,
+        }
+    })
 }
 
 /// One row of the cache ablation.
@@ -278,32 +298,34 @@ pub struct CacheRow {
 /// Measures how an L1 cache cost model (§4.5's "caching behavior")
 /// changes the SR picture on the two memory-sensitive workloads.
 pub fn cache(scale: Scale) -> Vec<CacheRow> {
-    let workloads = [
-        xsbench::build(&xsbench::Params::default()),
-        rsbench::build(&rsbench::Params::default()),
-    ];
-    workloads
-        .iter()
-        .map(|w| {
-            let w = scale.apply(w);
-            let plain = compare_with(&w, &CompileOptions::speculative(), &SimConfig::default())
-                .unwrap_or_else(|e| panic!("{} plain failed: {e}", w.name));
-            let cfg = SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() };
-            let cached = compare_with(&w, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("{} cached failed: {e}", w.name));
-            // Hit rate from a dedicated SR run.
-            let compiled =
-                specrecon_core::compile(&w.module, &CompileOptions::speculative()).unwrap();
-            let out = simt_sim::run(&compiled.module, &cfg, &w.launch).unwrap();
-            let (h, m) = (out.metrics.cache_hits, out.metrics.cache_misses);
-            CacheRow {
-                name: w.name.to_string(),
-                speedup_no_cache: plain.speedup(),
-                speedup_cache: cached.speedup(),
-                hit_rate: h as f64 / (h + m).max(1) as f64,
-            }
-        })
-        .collect()
+    cache_with(eval::shared(), scale)
+}
+
+/// [`cache`] on a caller-provided [`Engine`], one job per workload.
+pub fn cache_with(engine: &Engine, scale: Scale) -> Vec<CacheRow> {
+    let workloads =
+        [xsbench::build(&xsbench::Params::default()), rsbench::build(&rsbench::Params::default())];
+    let ws: Vec<Workload> = workloads.iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let plain = engine
+            .compare_with(w, &CompileOptions::speculative(), &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} plain failed: {e}", w.name));
+        let cfg = SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() };
+        let cached = engine
+            .compare_with(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} cached failed: {e}", w.name));
+        // Hit rate from a dedicated SR run.
+        let out = engine
+            .run_full(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} hit-rate run failed: {e}", w.name));
+        let (h, m) = (out.metrics.cache_hits, out.metrics.cache_misses);
+        CacheRow {
+            name: w.name.to_string(),
+            speedup_no_cache: plain.speedup(),
+            speedup_cache: cached.speedup(),
+            hit_rate: h as f64 / (h + m).max(1) as f64,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -364,7 +386,12 @@ mod tests {
             w64.base_eff
         );
         for r in &rows {
-            assert!(r.speedup > 1.3, "SR wins at every width; width {} gave {}", r.width, r.speedup);
+            assert!(
+                r.speedup > 1.3,
+                "SR wins at every width; width {} gave {}",
+                r.width,
+                r.speedup
+            );
         }
     }
 

@@ -2,14 +2,20 @@
 //! under `results/` when `--csv` is passed).
 //!
 //! ```text
-//! figures [--quick] [--csv] [table2|fig7|fig8|fig9|fig10|funnel|
-//!          ablate-deconflict|ablate-unroll|ablate-sched|all]
+//! figures [--quick] [--csv] [--jobs N] [table2|fig7|fig8|fig9|fig10|
+//!          funnel|ablate-deconflict|ablate-unroll|ablate-sched|all]
 //! ```
+//!
+//! `--jobs N` sets the evaluation engine's worker count (default: the
+//! machine's available parallelism). The table data is byte-identical for
+//! every `N`; only wall-clock changes. Each phase reports its timing.
 
 use specrecon_bench::report::{csv, markdown_table, pct, ratio};
 use specrecon_bench::{ablate, fig10, fig7, fig9, table2, Scale};
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
+use workloads::Engine;
 
 struct Opts {
     scale: Scale,
@@ -19,46 +25,73 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts { scale: Scale::Full, write_csv: false };
+    let mut jobs: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.scale = Scale::Quick,
             "--csv" => opts.write_csv = true,
-            other => targets.push(other.to_string()),
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--jobs requires a value");
+                    std::process::exit(2);
+                });
+                jobs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs: `{v}` is not a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => match other.strip_prefix("--jobs=") {
+                Some(v) => {
+                    jobs = Some(v.parse().unwrap_or_else(|_| {
+                        eprintln!("--jobs: `{v}` is not a number");
+                        std::process::exit(2);
+                    }));
+                }
+                None => targets.push(other.to_string()),
+            },
         }
     }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
 
+    let engine = match jobs {
+        Some(n) => Engine::new(n),
+        None => Engine::with_default_parallelism(),
+    };
+    println!("(evaluation engine: {} jobs)", engine.jobs());
+
     for t in &targets {
+        let e = &engine;
         match t.as_str() {
-            "table2" => emit_table2(&opts),
-            "fig7" => emit_fig7_fig8(&opts, true, false),
-            "fig8" => emit_fig7_fig8(&opts, false, true),
-            "fig9" => emit_fig9(&opts),
-            "fig10" => emit_fig10(&opts),
-            "funnel" => emit_funnel(&opts),
-            "ablate-deconflict" => emit_ablate_deconflict(&opts),
-            "ablate-unroll" => emit_ablate_unroll(&opts),
-            "ablate-sched" => emit_ablate_sched(&opts),
-            "ablate-sync" => emit_ablate_sync(&opts),
-            "ablate-width" => emit_ablate_width(&opts),
-            "ablate-cache" => emit_ablate_cache(&opts),
-            "ablate-threshold" => emit_ablate_threshold(&opts),
+            "table2" => timed(t, || emit_table2(&opts)),
+            "fig7" => timed(t, || emit_fig7_fig8(&opts, e, true, false)),
+            "fig8" => timed(t, || emit_fig7_fig8(&opts, e, false, true)),
+            "fig9" => timed(t, || emit_fig9(&opts, e)),
+            "fig10" => timed(t, || emit_fig10(&opts, e)),
+            "funnel" => timed(t, || emit_funnel(&opts, e)),
+            "ablate-deconflict" => timed(t, || emit_ablate_deconflict(&opts, e)),
+            "ablate-unroll" => timed(t, || emit_ablate_unroll(&opts, e)),
+            "ablate-sched" => timed(t, || emit_ablate_sched(&opts, e)),
+            "ablate-sync" => timed(t, || emit_ablate_sync(&opts, e)),
+            "ablate-width" => timed(t, || emit_ablate_width(&opts, e)),
+            "ablate-cache" => timed(t, || emit_ablate_cache(&opts, e)),
+            "ablate-threshold" => timed(t, || emit_ablate_threshold(&opts, e)),
             "all" => {
-                emit_table2(&opts);
-                emit_fig7_fig8(&opts, true, true);
-                emit_fig9(&opts);
-                emit_fig10(&opts);
-                emit_funnel(&opts);
-                emit_ablate_deconflict(&opts);
-                emit_ablate_unroll(&opts);
-                emit_ablate_sched(&opts);
-                emit_ablate_sync(&opts);
-                emit_ablate_width(&opts);
-                emit_ablate_cache(&opts);
-                emit_ablate_threshold(&opts);
+                timed("table2", || emit_table2(&opts));
+                timed("fig7+fig8", || emit_fig7_fig8(&opts, e, true, true));
+                timed("fig9", || emit_fig9(&opts, e));
+                timed("fig10", || emit_fig10(&opts, e));
+                timed("funnel", || emit_funnel(&opts, e));
+                timed("ablate-deconflict", || emit_ablate_deconflict(&opts, e));
+                timed("ablate-unroll", || emit_ablate_unroll(&opts, e));
+                timed("ablate-sched", || emit_ablate_sched(&opts, e));
+                timed("ablate-sync", || emit_ablate_sync(&opts, e));
+                timed("ablate-width", || emit_ablate_width(&opts, e));
+                timed("ablate-cache", || emit_ablate_cache(&opts, e));
+                timed("ablate-threshold", || emit_ablate_threshold(&opts, e));
             }
             other => {
                 eprintln!("unknown target `{other}`");
@@ -67,6 +100,13 @@ fn main() {
             }
         }
     }
+}
+
+/// Runs one phase and reports its wall-clock time.
+fn timed(phase: &str, f: impl FnOnce()) {
+    let t0 = Instant::now();
+    f();
+    println!("({phase}: {:.2}s wall-clock)", t0.elapsed().as_secs_f64());
 }
 
 fn save_csv(opts: &Opts, name: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -97,8 +137,8 @@ fn emit_table2(opts: &Opts) {
     save_csv(opts, "table2", &headers, &rows);
 }
 
-fn emit_fig7_fig8(opts: &Opts, fig7_on: bool, fig8_on: bool) {
-    let data = fig7::collect(opts.scale);
+fn emit_fig7_fig8(opts: &Opts, engine: &Engine, fig7_on: bool, fig8_on: bool) {
+    let data = fig7::collect_with(engine, opts.scale);
     if let Err(e) = fig7::sanity(&data) {
         eprintln!("WARNING: figure 7/8 shape check failed: {e}");
     }
@@ -132,27 +172,25 @@ fn emit_fig7_fig8(opts: &Opts, fig7_on: bool, fig8_on: bool) {
     }
 }
 
-fn emit_fig9(opts: &Opts) {
+fn emit_fig9(opts: &Opts, engine: &Engine) {
     println!("\n## Figure 9 — soft-barrier threshold sweep (PathTracer, XSBench)\n");
     println!("(threshold = arrivals required to release; 32 = full/hard barrier)\n");
-    let data = fig9::collect(opts.scale);
+    let data = fig9::collect_with(engine, opts.scale);
     if let Err(e) = fig9::sanity(&data) {
         eprintln!("WARNING: figure 9 shape check failed: {e}");
     }
     let rows: Vec<Vec<String>> = data
         .iter()
-        .map(|p| {
-            vec![p.app.clone(), p.threshold.to_string(), pct(p.simt_eff), ratio(p.speedup)]
-        })
+        .map(|p| vec![p.app.clone(), p.threshold.to_string(), pct(p.simt_eff), ratio(p.speedup)])
         .collect();
     let headers = ["app", "threshold", "SIMT efficiency", "speedup"];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "fig9", &headers, &rows);
 }
 
-fn emit_fig10(opts: &Opts) {
+fn emit_fig10(opts: &Opts, engine: &Engine) {
     println!("\n## Figure 10 — automatic Speculative Reconvergence upside\n");
-    let rows: Vec<Vec<String>> = fig10::upside(opts.scale)
+    let rows: Vec<Vec<String>> = fig10::upside_with(engine, opts.scale)
         .into_iter()
         .map(|r| {
             vec![
@@ -165,23 +203,29 @@ fn emit_fig10(opts: &Opts) {
             ]
         })
         .collect();
-    let headers =
-        ["app", "applied candidates", "baseline eff", "auto-SR eff", "auto speedup", "user speedup"];
+    let headers = [
+        "app",
+        "applied candidates",
+        "baseline eff",
+        "auto-SR eff",
+        "auto speedup",
+        "user speedup",
+    ];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "fig10", &headers, &rows);
 }
 
-fn emit_funnel(opts: &Opts) {
+fn emit_funnel(opts: &Opts, engine: &Engine) {
     let size = match opts.scale {
         Scale::Quick => 120,
         Scale::Full => 520,
     };
     println!("\n## §5.4 funnel — corpus scan ({size} synthetic applications)\n");
-    let f = fig10::funnel(size, 0x520);
+    let f = fig10::funnel_with(engine, size, 0x520, false);
     if let Err(e) = fig10::sanity_funnel(&f) {
         eprintln!("WARNING: funnel shape check failed: {e}");
     }
-    let p = fig10::funnel_profiled(size, 0x520);
+    let p = fig10::funnel_with(engine, size, 0x520, true);
     let rows = vec![
         vec!["applications scanned".to_string(), f.total.to_string(), p.total.to_string()],
         vec![
@@ -206,9 +250,9 @@ fn emit_funnel(opts: &Opts) {
     save_csv(opts, "funnel", &headers, &rows);
 }
 
-fn emit_ablate_deconflict(opts: &Opts) {
+fn emit_ablate_deconflict(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — §4.3 deconfliction strategy\n");
-    let rows: Vec<Vec<String>> = ablate::deconflict(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::deconflict_with(engine, opts.scale)
         .into_iter()
         .map(|r| vec![r.name, ratio(r.dynamic_speedup), ratio(r.static_speedup)])
         .collect();
@@ -217,9 +261,9 @@ fn emit_ablate_deconflict(opts: &Opts) {
     save_csv(opts, "ablate_deconflict", &headers, &rows);
 }
 
-fn emit_ablate_unroll(opts: &Opts) {
+fn emit_ablate_unroll(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — §6 partial unrolling × Loop Merge (RSBench)\n");
-    let rows: Vec<Vec<String>> = ablate::unroll(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::unroll_with(engine, opts.scale)
         .into_iter()
         .map(|r| {
             vec![
@@ -235,9 +279,9 @@ fn emit_ablate_unroll(opts: &Opts) {
     save_csv(opts, "ablate_unroll", &headers, &rows);
 }
 
-fn emit_ablate_sched(opts: &Opts) {
+fn emit_ablate_sched(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — scheduler-policy sensitivity (RSBench)\n");
-    let rows: Vec<Vec<String>> = ablate::scheduler(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::scheduler_with(engine, opts.scale)
         .into_iter()
         .map(|r| {
             vec![
@@ -253,9 +297,9 @@ fn emit_ablate_sched(opts: &Opts) {
     save_csv(opts, "ablate_sched", &headers, &rows);
 }
 
-fn emit_ablate_sync(opts: &Opts) {
+fn emit_ablate_sync(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — no sync vs PDOM vs Speculative Reconvergence\n");
-    let rows: Vec<Vec<String>> = ablate::sync_variants(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::sync_variants_with(engine, opts.scale)
         .into_iter()
         .map(|r| {
             vec![
@@ -275,9 +319,9 @@ fn emit_ablate_sync(opts: &Opts) {
     save_csv(opts, "ablate_sync", &headers, &rows);
 }
 
-fn emit_ablate_width(opts: &Opts) {
+fn emit_ablate_width(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — warp width sensitivity (RSBench)\n");
-    let rows: Vec<Vec<String>> = ablate::warp_width(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::warp_width_with(engine, opts.scale)
         .into_iter()
         .map(|r| vec![r.width.to_string(), pct(r.base_eff), ratio(r.speedup)])
         .collect();
@@ -286,35 +330,23 @@ fn emit_ablate_width(opts: &Opts) {
     save_csv(opts, "ablate_width", &headers, &rows);
 }
 
-fn emit_ablate_cache(opts: &Opts) {
+fn emit_ablate_cache(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — L1 cache cost model (memory-sensitive workloads)\n");
-    let rows: Vec<Vec<String>> = ablate::cache(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::cache_with(engine, opts.scale)
         .into_iter()
-        .map(|r| {
-            vec![
-                r.name,
-                ratio(r.speedup_no_cache),
-                ratio(r.speedup_cache),
-                pct(r.hit_rate),
-            ]
-        })
+        .map(|r| vec![r.name, ratio(r.speedup_no_cache), ratio(r.speedup_cache), pct(r.hit_rate)])
         .collect();
     let headers = ["workload", "SR speedup (no cache)", "SR speedup (cache)", "hit rate"];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "ablate_cache", &headers, &rows);
 }
 
-fn emit_ablate_threshold(opts: &Opts) {
+fn emit_ablate_threshold(opts: &Opts, engine: &Engine) {
     println!("\n## Ablation — best soft-barrier threshold per workload\n");
-    let rows: Vec<Vec<String>> = ablate::threshold(opts.scale)
+    let rows: Vec<Vec<String>> = ablate::threshold_with(engine, opts.scale)
         .into_iter()
         .map(|r| {
-            vec![
-                r.name,
-                r.best_threshold.to_string(),
-                ratio(r.best_speedup),
-                ratio(r.full_speedup),
-            ]
+            vec![r.name, r.best_threshold.to_string(), ratio(r.best_speedup), ratio(r.full_speedup)]
         })
         .collect();
     let headers = ["workload", "best threshold", "best speedup", "full-barrier speedup"];

@@ -14,10 +14,10 @@
 use crate::Scale;
 use simt_sim::SimConfig;
 use specrecon_core::{
-    compile, compile_profile_guided, detect, detect_profiled, CompileOptions, DetectOptions,
+    compile_profile_guided, detect, detect_profiled, CompileOptions, DetectOptions,
 };
 
-use workloads::eval::{compare_with, run_config};
+use workloads::eval::{self, Engine};
 use workloads::{corpus, registry, Workload};
 
 /// One Figure-10 bar: automatic SR on a de-annotated application.
@@ -47,34 +47,38 @@ fn deannotate(w: &Workload) -> Workload {
     w2
 }
 
-/// Runs automatic SR over every Table-2 workload.
+/// Runs automatic SR over every Table-2 workload, sequentially on the
+/// shared engine.
 pub fn upside(scale: Scale) -> Vec<UpsideRow> {
+    upside_with(eval::shared(), scale)
+}
+
+/// [`upside`] on a caller-provided [`Engine`], one job per workload.
+pub fn upside_with(engine: &Engine, scale: Scale) -> Vec<UpsideRow> {
     let cfg = SimConfig::default();
     let auto_opts = CompileOptions::automatic(DetectOptions::default());
-    registry()
-        .iter()
-        .map(|w| {
-            let w = scale.apply(w);
-            let user = compare_with(&w, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("{} (user) failed: {e}", w.name));
-            let bare = deannotate(&w);
-            let auto = compare_with(&bare, &auto_opts, &cfg)
-                .unwrap_or_else(|e| panic!("{} (auto) failed: {e}", w.name));
-            // Count what the detector applied by re-running compilation
-            // reports.
-            let compiled = specrecon_core::compile(&bare.module, &auto_opts).expect("compiles");
-            let applied: usize =
-                compiled.reports.iter().map(|(_, r)| r.auto_applied.len()).sum();
-            UpsideRow {
-                name: w.name.to_string(),
-                applied,
-                base_eff: auto.baseline.simt_eff,
-                auto_eff: auto.speculative.simt_eff,
-                speedup: auto.speedup(),
-                user_speedup: user.speedup(),
-            }
-        })
-        .collect()
+    let ws: Vec<Workload> = registry().iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let user = engine
+            .compare_with(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} (user) failed: {e}", w.name));
+        let bare = deannotate(w);
+        let auto = engine
+            .compare_with(&bare, &auto_opts, &cfg)
+            .unwrap_or_else(|e| panic!("{} (auto) failed: {e}", w.name));
+        // Count what the detector applied by re-running compilation
+        // reports.
+        let compiled = specrecon_core::compile(&bare.module, &auto_opts).expect("compiles");
+        let applied: usize = compiled.reports.iter().map(|(_, r)| r.auto_applied.len()).sum();
+        UpsideRow {
+            name: w.name.to_string(),
+            applied,
+            base_eff: auto.baseline.simt_eff,
+            auto_eff: auto.speculative.simt_eff,
+            speedup: auto.speedup(),
+            user_speedup: user.speedup(),
+        }
+    })
 }
 
 /// The §5.4 funnel statistics.
@@ -91,83 +95,109 @@ pub struct Funnel {
 }
 
 /// Scans a synthetic corpus of `size` kernels (the paper uses 520) with
-/// the static §4.5 heuristics.
+/// the static §4.5 heuristics, sequentially on the shared engine.
 pub fn funnel(size: usize, seed: u64) -> Funnel {
-    funnel_with(size, seed, false)
+    funnel_with(eval::shared(), size, seed, false)
 }
 
 /// Like [`funnel`], but detection and application use a per-kernel
 /// profiling run (the §4.5 "profile information may help" extension).
 pub fn funnel_profiled(size: usize, seed: u64) -> Funnel {
-    funnel_with(size, seed, true)
+    funnel_with(eval::shared(), size, seed, true)
 }
 
-fn funnel_with(size: usize, seed: u64, profiled: bool) -> Funnel {
-    let cfg = SimConfig::default();
-    let auto_opts = CompileOptions::automatic(DetectOptions::default());
-    let mut stats = Funnel { total: size, ..Funnel::default() };
+/// How far one corpus kernel makes it down the funnel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FunnelStage {
+    Efficient,
+    LowEfficiency,
+    Detected,
+    Significant,
+}
 
-    for entry in corpus::generate(size, seed) {
-        let (base, _) = run_config(&entry.workload, &CompileOptions::baseline(), &cfg)
-            .unwrap_or_else(|e| panic!("corpus kernel {} failed: {e}", entry.id));
-        if base.simt_eff >= 0.8 {
+/// The funnel scan on a caller-provided [`Engine`]: every corpus kernel
+/// is an independent job (scan, detect, apply, re-run), and the per-kernel
+/// outcomes are aggregated afterwards — so the counts are identical to
+/// the sequential scan for any worker count.
+pub fn funnel_with(engine: &Engine, size: usize, seed: u64, profiled: bool) -> Funnel {
+    let entries = corpus::generate(size, seed);
+    let stages = engine.par_map(&entries, |entry| funnel_stage(engine, entry, profiled));
+    let mut stats = Funnel { total: size, ..Funnel::default() };
+    for stage in stages {
+        if stage == FunnelStage::Efficient {
             continue;
         }
         stats.low_efficiency += 1;
-
-        let kernel_id = entry
-            .workload
-            .module
-            .function_by_name(&entry.workload.launch.kernel)
-            .expect("kernel exists");
-        let candidates = if profiled {
-            let baseline = compile(&entry.workload.module, &CompileOptions::baseline())
-                .expect("baseline compiles");
-            let prof_cfg = SimConfig { profile: true, ..cfg.clone() };
-            let out = simt_sim::run(&baseline.module, &prof_cfg, &entry.workload.launch)
-                .unwrap_or_else(|e| panic!("profiling corpus kernel {} failed: {e}", entry.id));
-            detect_profiled(
-                &entry.workload.module.functions[kernel_id],
-                kernel_id,
-                &out.profile.expect("profiling enabled"),
-                &DetectOptions::default(),
-            )
-        } else {
-            detect(&entry.workload.module.functions[kernel_id], &DetectOptions::default())
-        };
-        if !candidates.iter().any(|c| c.score >= 1.0) {
+        if stage == FunnelStage::LowEfficiency {
             continue;
         }
         stats.detected += 1;
-
-        let cmp = if profiled {
-            let pg = compile_profile_guided(
-                &entry.workload.module,
-                &CompileOptions::speculative(),
-                &DetectOptions::default(),
-                &cfg,
-                &entry.workload.launch,
-            );
-            match pg {
-                Ok(compiled) => {
-                    let spec = simt_sim::run(&compiled.module, &cfg, &entry.workload.launch);
-                    match spec {
-                        Ok(out) => Some(base.cycles as f64 / out.metrics.cycles as f64),
-                        Err(_) => None,
-                    }
-                }
-                Err(_) => None,
-            }
-        } else {
-            compare_with(&entry.workload, &auto_opts, &cfg).ok().map(|c| c.speedup())
-        };
-        if let Some(speedup) = cmp {
-            if speedup > 1.10 {
-                stats.significant += 1;
-            }
+        if stage == FunnelStage::Significant {
+            stats.significant += 1;
         }
     }
     stats
+}
+
+/// Runs one corpus kernel through the whole funnel.
+fn funnel_stage(engine: &Engine, entry: &corpus::CorpusEntry, profiled: bool) -> FunnelStage {
+    let cfg = SimConfig::default();
+    let auto_opts = CompileOptions::automatic(DetectOptions::default());
+
+    let (base, _) = engine
+        .run_config(&entry.workload, &CompileOptions::baseline(), &cfg)
+        .unwrap_or_else(|e| panic!("corpus kernel {} failed: {e}", entry.id));
+    if base.simt_eff >= 0.8 {
+        return FunnelStage::Efficient;
+    }
+
+    let kernel_id = entry
+        .workload
+        .module
+        .function_by_name(&entry.workload.launch.kernel)
+        .expect("kernel exists");
+    let candidates = if profiled {
+        let prof_cfg = SimConfig { profile: true, ..cfg.clone() };
+        let out = engine
+            .run_full(&entry.workload, &CompileOptions::baseline(), &prof_cfg)
+            .unwrap_or_else(|e| panic!("profiling corpus kernel {} failed: {e}", entry.id));
+        detect_profiled(
+            &entry.workload.module.functions[kernel_id],
+            kernel_id,
+            &out.profile.expect("profiling enabled"),
+            &DetectOptions::default(),
+        )
+    } else {
+        detect(&entry.workload.module.functions[kernel_id], &DetectOptions::default())
+    };
+    if !candidates.iter().any(|c| c.score >= 1.0) {
+        return FunnelStage::LowEfficiency;
+    }
+
+    let cmp = if profiled {
+        let pg = compile_profile_guided(
+            &entry.workload.module,
+            &CompileOptions::speculative(),
+            &DetectOptions::default(),
+            &cfg,
+            &entry.workload.launch,
+        );
+        match pg {
+            Ok(compiled) => {
+                match engine.run_module(&compiled.module, &cfg, &entry.workload.launch) {
+                    Ok(out) => Some(base.cycles as f64 / out.metrics.cycles as f64),
+                    Err(_) => None,
+                }
+            }
+            Err(_) => None,
+        }
+    } else {
+        engine.compare_with(&entry.workload, &auto_opts, &cfg).ok().map(|c| c.speedup())
+    };
+    match cmp {
+        Some(speedup) if speedup > 1.10 => FunnelStage::Significant,
+        _ => FunnelStage::Detected,
+    }
 }
 
 /// The paper's funnel shape: most kernels are fine; detection fires on a
@@ -215,15 +245,15 @@ mod tests {
 
     #[test]
     fn funnel_shape_holds_on_a_small_corpus() {
-        let f = funnel(80, 0xC0);
+        let f = funnel(80, 0xC3);
         assert_eq!(f.total, 80);
         sanity_funnel(&f).unwrap();
     }
 
     #[test]
     fn profiled_funnel_is_no_less_precise() {
-        let s = funnel(80, 0xC0);
-        let p = funnel_profiled(80, 0xC0);
+        let s = funnel(80, 0xC3);
+        let p = funnel_profiled(80, 0xC3);
         assert_eq!(s.low_efficiency, p.low_efficiency, "same corpus, same baseline");
         // Profile-guided detection is frequency-aware: it never fires on
         // more kernels than the static heuristics do on this corpus, and
@@ -232,10 +262,7 @@ mod tests {
         if p.detected > 0 && s.detected > 0 {
             let static_rate = s.significant as f64 / s.detected as f64;
             let profiled_rate = p.significant as f64 / p.detected as f64;
-            assert!(
-                profiled_rate >= static_rate - 1e-9,
-                "static {s:?} vs profiled {p:?}"
-            );
+            assert!(profiled_rate >= static_rate - 1e-9, "static {s:?} vs profiled {p:?}");
         }
     }
 }

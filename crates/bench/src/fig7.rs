@@ -3,8 +3,8 @@
 
 use crate::Scale;
 use simt_sim::SimConfig;
-use workloads::eval::{compare, Comparison};
-use workloads::registry;
+use workloads::eval::{self, Comparison, Engine};
+use workloads::{registry, Workload};
 
 /// One bar pair of Figure 7 / one point of Figure 8.
 #[derive(Clone, Debug)]
@@ -39,23 +39,28 @@ impl From<Comparison> for Row {
     }
 }
 
-/// Computes the Figure 7/8 data for every Table-2 workload.
+/// Computes the Figure 7/8 data for every Table-2 workload, sequentially
+/// on the shared engine. See [`collect_with`] for parallel batches.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to compile, run, or preserve results —
 /// all of which the test suite guards.
 pub fn collect(scale: Scale) -> Vec<Row> {
+    collect_with(eval::shared(), scale)
+}
+
+/// [`collect`] on a caller-provided [`Engine`]: the nine workloads are
+/// independent jobs, so they run on the engine's worker pool. Row order
+/// (and every value) is identical regardless of worker count.
+pub fn collect_with(engine: &Engine, scale: Scale) -> Vec<Row> {
     let cfg = SimConfig::default();
-    registry()
-        .iter()
-        .map(|w| {
-            let w = scale.apply(w);
-            let c = compare(&w, &cfg)
-                .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name));
-            Row::from(c)
-        })
-        .collect()
+    let ws: Vec<Workload> = registry().iter().map(|w| scale.apply(w)).collect();
+    engine.par_map(&ws, |w| {
+        let c =
+            engine.compare(w, &cfg).unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name));
+        Row::from(c)
+    })
 }
 
 /// The paper's headline check: every workload improves, the best by
@@ -70,7 +75,10 @@ pub fn sanity(rows: &[Row]) -> Result<(), String> {
             return Err(format!("{}: SIMT efficiency gain collapsed ({:.2}x)", r.name, r.eff_gain));
         }
         if r.speedup < 0.95 {
-            return Err(format!("{}: speculative reconvergence slowed it down ({:.2}x)", r.name, r.speedup));
+            return Err(format!(
+                "{}: speculative reconvergence slowed it down ({:.2}x)",
+                r.name, r.speedup
+            ));
         }
         // "SIMT efficiency improvement serves roughly as an upper bound on
         // speedup" (§5.2) — allow slack for second-order effects.

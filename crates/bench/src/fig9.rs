@@ -12,7 +12,7 @@
 use crate::Scale;
 use simt_sim::SimConfig;
 use specrecon_core::CompileOptions;
-use workloads::eval::{compare_with, with_threshold};
+use workloads::eval::{self, with_threshold, Engine};
 use workloads::{pathtracer, xsbench, Workload};
 
 /// One point of a Figure 9 curve.
@@ -32,35 +32,45 @@ pub struct Point {
 /// 4, with 32 = full barrier).
 pub const THRESHOLDS: [u32; 9] = [2, 4, 8, 12, 16, 20, 24, 28, 32];
 
-/// Sweeps both Figure 9 applications over [`THRESHOLDS`].
+/// Sweeps both Figure 9 applications over [`THRESHOLDS`], sequentially
+/// on the shared engine.
 pub fn collect(scale: Scale) -> Vec<Point> {
+    collect_with(eval::shared(), scale)
+}
+
+/// [`collect`] on a caller-provided [`Engine`]: every (app, threshold)
+/// point is an independent job on the engine's worker pool.
+pub fn collect_with(engine: &Engine, scale: Scale) -> Vec<Point> {
     let mut out = Vec::new();
     for w in [
         pathtracer::build(&pathtracer::Params::default()),
         xsbench::build(&xsbench::Params::default()),
     ] {
-        out.extend(sweep(&scale.apply(&w), &THRESHOLDS));
+        out.extend(sweep_with(engine, &scale.apply(&w), &THRESHOLDS));
     }
     out
 }
 
 /// Sweeps one workload over the given thresholds.
 pub fn sweep(w: &Workload, thresholds: &[u32]) -> Vec<Point> {
+    sweep_with(eval::shared(), w, thresholds)
+}
+
+/// [`sweep`] on a caller-provided [`Engine`], one job per threshold.
+pub fn sweep_with(engine: &Engine, w: &Workload, thresholds: &[u32]) -> Vec<Point> {
     let cfg = SimConfig::default();
-    thresholds
-        .iter()
-        .map(|&t| {
-            let wt = with_threshold(w, t);
-            let c = compare_with(&wt, &CompileOptions::speculative(), &cfg)
-                .unwrap_or_else(|e| panic!("{} at threshold {t} failed: {e}", w.name));
-            Point {
-                app: w.name.to_string(),
-                threshold: t,
-                simt_eff: c.speculative.simt_eff,
-                speedup: c.speedup(),
-            }
-        })
-        .collect()
+    engine.par_map(thresholds, |&t| {
+        let wt = with_threshold(w, t);
+        let c = engine
+            .compare_with(&wt, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} at threshold {t} failed: {e}", w.name));
+        Point {
+            app: w.name.to_string(),
+            threshold: t,
+            simt_eff: c.speculative.simt_eff,
+            speedup: c.speedup(),
+        }
+    })
 }
 
 /// The paper's qualitative Figure-9 claim: PathTracer is best at the full

@@ -232,8 +232,7 @@ fn detect_impl(
     for (li, l) in loops.loops.iter().enumerate() {
         for idx in l.body.iter() {
             let b = BlockId::new(idx);
-            let Terminator::Branch { then_bb, else_bb, divergent, .. } = func.blocks[b].term
-            else {
+            let Terminator::Branch { then_bb, else_bb, divergent, .. } = func.blocks[b].term else {
                 continue;
             };
             if !divergent || then_bb == else_bb {
@@ -417,8 +416,7 @@ mod tests {
     fn detects_iteration_delay_with_expensive_then() {
         let f = iteration_delay_kernel(60);
         let cands = detect(&f, &DetectOptions::default());
-        let id: Vec<_> =
-            cands.iter().filter(|c| c.kind == PatternKind::IterationDelay).collect();
+        let id: Vec<_> = cands.iter().filter(|c| c.kind == PatternKind::IterationDelay).collect();
         assert_eq!(id.len(), 1);
         assert_eq!(id[0].target, BlockId(2));
         assert_eq!(id[0].region_start, BlockId(0));

@@ -164,10 +164,9 @@ pub fn allocate_barriers(
                     BarrierOp::Wait(b) => BarrierOp::Wait(mapping[b.index()]),
                     BarrierOp::Cancel(b) => BarrierOp::Cancel(mapping[b.index()]),
                     BarrierOp::Rejoin(b) => BarrierOp::Rejoin(mapping[b.index()]),
-                    BarrierOp::Copy { dst, src } => BarrierOp::Copy {
-                        dst: mapping[dst.index()],
-                        src: mapping[src.index()],
-                    },
+                    BarrierOp::Copy { dst, src } => {
+                        BarrierOp::Copy { dst: mapping[dst.index()], src: mapping[src.index()] }
+                    }
                     BarrierOp::ArrivedCount { dst, bar } => {
                         BarrierOp::ArrivedCount { dst, bar: mapping[bar.index()] }
                     }
@@ -190,10 +189,9 @@ fn rewrite_function(func: &mut Function, mapping: &[BarrierId], after: usize) {
                     BarrierOp::Wait(b) => BarrierOp::Wait(mapping[b.index()]),
                     BarrierOp::Cancel(b) => BarrierOp::Cancel(mapping[b.index()]),
                     BarrierOp::Rejoin(b) => BarrierOp::Rejoin(mapping[b.index()]),
-                    BarrierOp::Copy { dst, src } => BarrierOp::Copy {
-                        dst: mapping[dst.index()],
-                        src: mapping[src.index()],
-                    },
+                    BarrierOp::Copy { dst, src } => {
+                        BarrierOp::Copy { dst: mapping[dst.index()], src: mapping[src.index()] }
+                    }
                     BarrierOp::ArrivedCount { dst, bar } => {
                         BarrierOp::ArrivedCount { dst, bar: mapping[bar.index()] }
                     }

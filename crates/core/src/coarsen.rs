@@ -97,7 +97,12 @@ pub fn coarsen(func: &mut Function, queue_addr: i64, num_tasks: Operand) -> Coar
             addr: Operand::imm_i64(queue_addr),
             value: Operand::imm_i64(1),
         });
-        fb.insts.push(Inst::Bin { op: BinOp::Lt, dst: cond, lhs: Operand::Reg(task), rhs: num_tasks });
+        fb.insts.push(Inst::Bin {
+            op: BinOp::Lt,
+            dst: cond,
+            lhs: Operand::Reg(task),
+            rhs: num_tasks,
+        });
         fb.term = Terminator::Branch {
             cond: Operand::Reg(cond),
             then_bb: old_entry,
@@ -156,10 +161,7 @@ mod tests {
         let report = coarsen(&mut f, 0, Operand::imm_i64(10));
         assert_eq!(f.entry, report.fetch_block);
         assert_eq!(f.blocks[report.done_block].term, Terminator::Exit);
-        assert!(matches!(
-            f.blocks[report.fetch_block].insts[0],
-            Inst::AtomicAdd { .. }
-        ));
+        assert!(matches!(f.blocks[report.fetch_block].insts[0], Inst::AtomicAdd { .. }));
     }
 
     #[test]

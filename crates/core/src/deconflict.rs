@@ -158,7 +158,10 @@ bb4:
         }
         assert!(checked > 0, "at least one conflict involves the L1 wait");
         // Nothing was deleted.
-        assert!(f.blocks[l1].insts.iter().any(|i| matches!(i, Inst::Barrier(BarrierOp::Rejoin(_)))));
+        assert!(f.blocks[l1]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Barrier(BarrierOp::Rejoin(_)))));
     }
 
     #[test]
@@ -187,7 +190,10 @@ bb4:
             // The retained PDOM barriers (dynamic mode) cost some
             // collection efficiency relative to bare SR, but the result
             // must stay far above the PDOM-only baseline (~0.2).
-            assert!(roi > 0.35, "{mode:?}: expected SR benefit to survive deconfliction, got {roi}");
+            assert!(
+                roi > 0.35,
+                "{mode:?}: expected SR benefit to survive deconfliction, got {roi}"
+            );
         }
     }
 

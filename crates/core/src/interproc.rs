@@ -85,9 +85,9 @@ fn apply_one(
             .blocks
             .iter()
             .filter(|(_, b)| {
-                b.insts.iter().any(
-                    |i| matches!(i, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee),
-                )
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee))
             })
             .map(|(id, _)| id)
             .collect()
@@ -115,9 +115,7 @@ fn apply_one(
     let needed = module.functions[caller_id].num_barriers;
     let callee_func = &mut module.functions[callee];
     callee_func.num_barriers = callee_func.num_barriers.max(needed);
-    callee_func.blocks[callee_func.entry]
-        .insts
-        .insert(0, Inst::Barrier(BarrierOp::Wait(bar)));
+    callee_func.blocks[callee_func.entry].insts.insert(0, Inst::Barrier(BarrierOp::Wait(bar)));
 
     let caller = &mut module.functions[caller_id];
     caller.blocks[region_start].insts.push(Inst::Barrier(BarrierOp::Join(bar)));
@@ -207,7 +205,8 @@ pub fn make_wrapper(module: &mut Module, callee: &str) -> FuncId {
         (f.num_params, arity)
     };
 
-    let mut wrapper = Function::new(format!("{callee}_reconv_wrapper"), FuncKind::Device, num_params);
+    let mut wrapper =
+        Function::new(format!("{callee}_reconv_wrapper"), FuncKind::Device, num_params);
     let args: Vec<simt_ir::Operand> =
         (0..num_params).map(|i| simt_ir::Operand::Reg(simt_ir::Reg::new(i))).collect();
     let rets: Vec<simt_ir::Reg> = (0..ret_arity).map(|_| wrapper.alloc_reg()).collect();
@@ -226,8 +225,8 @@ pub fn make_wrapper(module: &mut Module, callee: &str) -> FuncId {
 mod tests {
     use super::*;
     use simt_ir::parse_and_link;
-    use simt_sim::{run, Launch, SimConfig};
     use simt_ir::Value;
+    use simt_sim::{run, Launch, SimConfig};
 
     /// Figure 2(c): foo() called from both sides of a divergent branch.
     fn fig2c() -> Module {

@@ -57,7 +57,7 @@ pub use deconflict::{deconflict, DeconflictMode, DeconflictReport};
 pub use error::PassError;
 pub use interproc::{apply_interprocedural, make_wrapper, InterprocReport};
 pub use pdom::{insert_pdom_sync, PdomOptions, PdomReport};
-pub use pipeline::{compile, compile_profile_guided, Compiled, CompileOptions, FunctionReport};
+pub use pipeline::{compile, compile_profile_guided, CompileOptions, Compiled, FunctionReport};
 pub use region::{compute_region, Region};
 pub use specrecon::{apply_speculative, SpecReport};
 pub use unroll::{unroll_self_loop, UnrollError};

@@ -128,8 +128,7 @@ pub struct Compiled {
 /// [`CompileOptions::verify`]) IR verification failures.
 pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassError> {
     let mut m = module.clone();
-    m.resolve_calls()
-        .map_err(|n| PassError::Module(format!("call to undefined function @{n}")))?;
+    m.resolve_calls().map_err(|n| PassError::Module(format!("call to undefined function @{n}")))?;
 
     let func_ids: Vec<FuncId> = m.functions.ids().collect();
     let mut reports: Vec<(FuncId, FunctionReport)> = Vec::new();
@@ -169,19 +168,15 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
             // arbitrate by annotation order (§6's exclusive-predictions
             // case); otherwise surface them.
             if opts.spec_deconflict {
-                let priority = |b: &BarrierId| {
-                    spec_barriers.iter().position(|x| x == b).unwrap_or(usize::MAX)
-                };
+                let priority =
+                    |b: &BarrierId| spec_barriers.iter().position(|x| x == b).unwrap_or(usize::MAX);
                 loop {
-                    let pair = find_conflicts(&m.functions[id]).into_iter().find(|c| {
-                        spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b)
-                    });
+                    let pair = find_conflicts(&m.functions[id])
+                        .into_iter()
+                        .find(|c| spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b));
                     let Some(c) = pair else { break };
-                    let (winner, loser) = if priority(&c.a) <= priority(&c.b) {
-                        (c.a, c.b)
-                    } else {
-                        (c.b, c.a)
-                    };
+                    let (winner, loser) =
+                        if priority(&c.a) <= priority(&c.b) { (c.a, c.b) } else { (c.b, c.a) };
                     let r = deconflict(
                         &mut m.functions[id],
                         &[winner],
@@ -376,7 +371,8 @@ bb4:
     #[test]
     fn static_deconfliction_also_compiles_and_runs() {
         let m = parse_module(LISTING1).unwrap();
-        let opts = CompileOptions { deconflict: DeconflictMode::Static, ..CompileOptions::default() };
+        let opts =
+            CompileOptions { deconflict: DeconflictMode::Static, ..CompileOptions::default() };
         let spec = compile(&m, &opts).unwrap();
         let out = run(&spec.module, &SimConfig::default(), &launch()).unwrap();
         assert!(out.metrics.roi_simt_efficiency() > 0.4);

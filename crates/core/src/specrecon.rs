@@ -29,8 +29,7 @@ use crate::error::PassError;
 use crate::region::{compute_region, Region};
 use simt_analysis::{BarrierJoined, BarrierLiveness, DomTree};
 use simt_ir::{
-    BarrierId, BarrierOp, BinOp, BlockId, Function, Inst, Operand, PredictTarget, Terminator,
-    Value,
+    BarrierId, BarrierOp, BinOp, BlockId, Function, Inst, Operand, PredictTarget, Terminator, Value,
 };
 
 /// Barrier registers created for one soft-barrier lowering.
@@ -231,17 +230,14 @@ fn lower_soft_barrier(
     let b_temp = func.alloc_barrier();
 
     // Region start: remember the full membership mask in bTemp.
-    func.blocks[region.start]
-        .insts
-        .push(Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_in }));
+    func.blocks[region.start].insts.push(Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_in }));
 
     // Split the reconvergence block: its original content moves to a new
     // `post` block; `target` keeps its label and becomes the barrier
     // prologue.
     let post = func.add_block(None);
     let original_insts = std::mem::take(&mut func.blocks[target].insts);
-    let original_term =
-        std::mem::replace(&mut func.blocks[target].term, Terminator::Exit);
+    let original_term = std::mem::replace(&mut func.blocks[target].term, Terminator::Exit);
     let was_roi = func.blocks[target].roi;
     func.blocks[target].roi = false;
     func.blocks[post].insts = original_insts;
@@ -275,18 +271,14 @@ fn lower_soft_barrier(
 
     // Threshold met: shrink the release mask to the arrived set, then
     // block — which releases the whole arrived set together.
-    func.blocks[trip_side]
-        .insts
-        .push(Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_count }));
+    func.blocks[trip_side].insts.push(Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_count }));
     func.blocks[trip_side].insts.push(Inst::Barrier(BarrierOp::Wait(b_temp)));
     func.blocks[trip_side].term = Terminator::Jump(post);
 
     // After release: leave the counting barrier and re-arm the mask
     // register for the next round.
     func.blocks[post].insts.insert(0, Inst::Barrier(BarrierOp::Cancel(b_count)));
-    func.blocks[post]
-        .insts
-        .insert(1, Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_in }));
+    func.blocks[post].insts.insert(1, Inst::Barrier(BarrierOp::Copy { dst: b_temp, src: b_in }));
 
     // Escaping threads withdraw from every soft mask so stragglers can
     // still release.

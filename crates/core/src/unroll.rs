@@ -149,11 +149,8 @@ mod tests {
         let cfg = SimConfig { trace: true, ..SimConfig::default() };
         let out = run(&m, &cfg, &launch).unwrap();
         let trace = out.trace.unwrap();
-        let header_entries = trace
-            .events()
-            .iter()
-            .filter(|e| e.block == BlockId(1) && e.inst == 0)
-            .count();
+        let header_entries =
+            trace.events().iter().filter(|e| e.block == BlockId(1) && e.inst == 0).count();
         // lane 31 iterates 32 times; header entered ~32/4 = 8 times per
         // straggler path, far fewer than 32.
         assert!(header_entries < 20, "header entered {header_entries} times");

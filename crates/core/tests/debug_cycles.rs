@@ -33,7 +33,9 @@ bb4:
 #[ignore]
 fn profile() {
     let m = parse_module(LISTING1).unwrap();
-    for (name, opts) in [("baseline", CompileOptions::baseline()), ("spec", CompileOptions::speculative())] {
+    for (name, opts) in
+        [("baseline", CompileOptions::baseline()), ("spec", CompileOptions::speculative())]
+    {
         let c = compile(&m, &opts).unwrap();
         let cfg = SimConfig { trace: true, ..Default::default() };
         let mut l = Launch::new("k", 1);
@@ -49,6 +51,8 @@ fn profile() {
         println!("== {name}: cycles={} issues={}", out.metrics.cycles, out.metrics.issues);
         let mut ks: Vec<_> = per_block.into_iter().collect();
         ks.sort();
-        for (b, (cost, n)) in ks { println!("  bb{b}: cost={cost} issues={n}"); }
+        for (b, (cost, n)) in ks {
+            println!("  bb{b}: cost={cost} issues={n}");
+        }
     }
 }

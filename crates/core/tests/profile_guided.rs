@@ -98,11 +98,7 @@ fn profile_rescues_hidden_hot_inner_loop() {
         .into_iter()
         .find(|c| c.kind == PatternKind::LoopMerge)
         .expect("pattern still detected");
-    assert!(
-        dyn_lm.score > 1.0,
-        "profiled score should see ~60 iterations, got {}",
-        dyn_lm.score
-    );
+    assert!(dyn_lm.score > 1.0, "profiled score should see ~60 iterations, got {}", dyn_lm.score);
 }
 
 #[test]
@@ -164,10 +160,7 @@ fn compile_profile_guided_declines_marginal_candidates() {
     .unwrap();
     let pg_out = run(&pg.module, &cfg, &launch).unwrap();
 
-    assert_eq!(
-        pg.module, base.module,
-        "profile-guided mode should decline the cold candidate"
-    );
+    assert_eq!(pg.module, base.module, "profile-guided mode should decline the cold candidate");
     assert_eq!(pg_out.metrics.cycles, base_out.metrics.cycles);
 }
 

@@ -3,9 +3,7 @@
 
 use simt_ir::{parse_and_link, parse_module, BarrierOp, FuncId, Inst};
 use simt_sim::{run, Launch, SimConfig};
-use specrecon_core::{
-    allocate_barriers_module, compile, detect, CompileOptions, DetectOptions,
-};
+use specrecon_core::{allocate_barriers_module, compile, detect, CompileOptions, DetectOptions};
 
 #[test]
 fn module_allocation_renames_consistently_across_functions() {

@@ -123,7 +123,13 @@ impl FunctionBuilder {
     }
 
     /// Emits a binary operation into an existing register.
-    pub fn bin_into(&mut self, dst: Reg, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+    pub fn bin_into(
+        &mut self,
+        dst: Reg,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) {
         self.push(Inst::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
     }
 
@@ -310,11 +316,7 @@ impl FunctionBuilder {
     ///
     /// Panics if the current block was left unterminated.
     pub fn finish(self) -> Function {
-        assert!(
-            self.terminated,
-            "finish: block {} was left unterminated",
-            self.current
-        );
+        assert!(self.terminated, "finish: block {} was left unterminated", self.current);
         self.func
     }
 
@@ -363,10 +365,7 @@ mod tests {
         b.exit();
         let f = b.finish();
         assert_eq!(f.blocks.len(), 3);
-        assert!(matches!(
-            f.blocks[f.entry].term,
-            Terminator::Branch { divergent: true, .. }
-        ));
+        assert!(matches!(f.blocks[f.entry].term, Terminator::Branch { divergent: true, .. }));
     }
 
     #[test]

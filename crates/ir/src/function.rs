@@ -128,10 +128,7 @@ impl Function {
 
     /// Finds the block with the given label.
     pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .find(|(_, b)| b.label.as_deref() == Some(label))
-            .map(|(id, _)| id)
+        self.blocks.iter().find(|(_, b)| b.label.as_deref() == Some(label)).map(|(id, _)| id)
     }
 
     /// Successors of a block.
@@ -230,7 +227,9 @@ impl Function {
         for id in self.blocks.ids().collect::<Vec<BlockId>>() {
             if !reachable[id.index()] {
                 let block = &mut self.blocks[id];
-                if !block.insts.is_empty() || block.term != Terminator::Exit || block.label.is_some()
+                if !block.insts.is_empty()
+                    || block.term != Terminator::Exit
+                    || block.label.is_some()
                 {
                     block.insts.clear();
                     block.term = Terminator::Exit;
@@ -263,20 +262,13 @@ impl Module {
     ///
     /// Panics if a function with the same name already exists.
     pub fn add_function(&mut self, f: Function) -> FuncId {
-        assert!(
-            self.function_by_name(&f.name).is_none(),
-            "duplicate function name {:?}",
-            f.name
-        );
+        assert!(self.function_by_name(&f.name).is_none(), "duplicate function name {:?}", f.name);
         self.functions.push(f)
     }
 
     /// Looks up a function id by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .find(|(_, f)| f.name == name)
-            .map(|(id, _)| id)
+        self.functions.iter().find(|(_, f)| f.name == name).map(|(id, _)| id)
     }
 
     /// Resolves every by-name [`FuncRef`] (in call instructions and in
@@ -287,11 +279,8 @@ impl Module {
     /// Returns the unresolved name if any reference does not match a
     /// function in the module.
     pub fn resolve_calls(&mut self) -> Result<(), String> {
-        let names: HashMap<String, FuncId> = self
-            .functions
-            .iter()
-            .map(|(id, f)| (f.name.clone(), id))
-            .collect();
+        let names: HashMap<String, FuncId> =
+            self.functions.iter().map(|(id, f)| (f.name.clone(), id)).collect();
         let resolve = |fr: &mut FuncRef| -> Result<(), String> {
             if let FuncRef::Name(n) = fr {
                 match names.get(n.as_str()) {

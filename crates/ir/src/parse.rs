@@ -169,7 +169,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                         let digits: String =
                             rest.chars().take_while(|c| c.is_ascii_digit()).collect();
                         if digits.is_empty() {
-                            return Err(ParseError::new(line_num, "expected register number after %r"));
+                            return Err(ParseError::new(
+                                line_num,
+                                "expected register number after %r",
+                            ));
                         }
                         let n: u32 = digits
                             .parse()
@@ -194,7 +197,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     out.push((line_num, Tok::Ident(word)));
                 }
                 other => {
-                    return Err(ParseError::new(line_num, format!("unexpected character {other:?}")))
+                    return Err(ParseError::new(
+                        line_num,
+                        format!("unexpected character {other:?}"),
+                    ))
                 }
             }
         }
@@ -259,10 +265,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map_or(0, |(l, _)| *l)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(0, |(l, _)| *l)
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
@@ -323,7 +326,8 @@ impl Parser {
     fn expect_block_ref(&mut self) -> Result<BlockId, ParseError> {
         let line = self.line();
         let id = self.expect_ident()?;
-        parse_bb_name(&id).ok_or_else(|| ParseError::new(line, format!("expected bb<N>, found `{id}`")))
+        parse_bb_name(&id)
+            .ok_or_else(|| ParseError::new(line, format!("expected bb<N>, found `{id}`")))
     }
 
     fn expect_barrier_ref(&mut self) -> Result<BarrierId, ParseError> {
@@ -417,7 +421,10 @@ fn parse_function(p: &mut Parser) -> Result<Function, ParseError> {
         "kernel" => FuncKind::Kernel,
         "device" => FuncKind::Device,
         other => {
-            return Err(ParseError::new(line, format!("expected `kernel` or `device`, found `{other}`")))
+            return Err(ParseError::new(
+                line,
+                format!("expected `kernel` or `device`, found `{other}`"),
+            ))
         }
     };
     p.expect(Tok::At)?;
@@ -454,7 +461,10 @@ fn parse_function(p: &mut Parser) -> Result<Function, ParseError> {
                 PredictTarget::Function(parse_func_ref(p.expect_ident()?))
             }
             other => {
-                return Err(ParseError::new(line, format!("expected `label` or `func`, found `{other}`")))
+                return Err(ParseError::new(
+                    line,
+                    format!("expected `label` or `func`, found `{other}`"),
+                ))
             }
         };
         let threshold = if p.peek() == Some(&Tok::Ident("threshold".to_string())) {
@@ -522,10 +532,22 @@ fn parse_function(p: &mut Parser) -> Result<Function, ParseError> {
         return Err(ParseError::new(0, format!("function @{name} has no blocks")));
     }
     if entry.index() >= table.len() {
-        return Err(ParseError::new(0, format!("function @{name}: entry bb{} undefined", entry.index())));
+        return Err(ParseError::new(
+            0,
+            format!("function @{name}: entry bb{} undefined", entry.index()),
+        ));
     }
 
-    Ok(Function { name, kind, num_params, num_regs, num_barriers, blocks: table, entry, predictions })
+    Ok(Function {
+        name,
+        kind,
+        num_params,
+        num_regs,
+        num_barriers,
+        blocks: table,
+        entry,
+        predictions,
+    })
 }
 
 /// Parses instructions until a terminator; returns the terminator.
@@ -630,7 +652,10 @@ fn parse_block_body(p: &mut Parser, block: &mut Block) -> Result<Terminator, Par
                 block.insts.push(inst);
             }
             other => {
-                return Err(ParseError::new(line, format!("unexpected token {other} in block body")))
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected token {other} in block body"),
+                ))
             }
         }
     }
@@ -773,8 +798,14 @@ bb2:
         let src = "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\nbb0:\n  %r0 = mov -5\n  %r1 = mov 0.25f\n  exit\n}\n";
         let m = parse_module(src).unwrap();
         let f = &m.functions[crate::ids::FuncId(0)];
-        assert_eq!(f.blocks[f.entry].insts[0], Inst::Mov { dst: Reg(0), src: Operand::imm_i64(-5) });
-        assert_eq!(f.blocks[f.entry].insts[1], Inst::Mov { dst: Reg(1), src: Operand::imm_f64(0.25) });
+        assert_eq!(
+            f.blocks[f.entry].insts[0],
+            Inst::Mov { dst: Reg(0), src: Operand::imm_i64(-5) }
+        );
+        assert_eq!(
+            f.blocks[f.entry].insts[1],
+            Inst::Mov { dst: Reg(1), src: Operand::imm_f64(0.25) }
+        );
     }
 
     #[test]
@@ -794,7 +825,8 @@ bb2:
 
     #[test]
     fn duplicate_block_is_reported() {
-        let src = "kernel @k(params=0, regs=0, barriers=0, entry=bb0) {\nbb0:\n  exit\nbb0:\n  exit\n}\n";
+        let src =
+            "kernel @k(params=0, regs=0, barriers=0, entry=bb0) {\nbb0:\n  exit\nbb0:\n  exit\n}\n";
         let err = parse_module(src).unwrap_err();
         assert!(err.message.contains("duplicate block"));
     }

@@ -187,7 +187,10 @@ fn verify_function(
                         None => err(Some(bb), format!("call to out-of-range function {id}")),
                         Some(callee) => {
                             if callee.kind != FuncKind::Device {
-                                err(Some(bb), format!("call to non-device function @{}", callee.name));
+                                err(
+                                    Some(bb),
+                                    format!("call to non-device function @{}", callee.name),
+                                );
                             }
                             if args.len() != callee.num_params {
                                 err(
@@ -260,7 +263,10 @@ fn verify_function(
                 match ret_arity_here {
                     None => ret_arity_here = Some(vals.len()),
                     Some(a) if a != vals.len() => {
-                        err(Some(bb), format!("inconsistent return arity ({} vs {})", vals.len(), a));
+                        err(
+                            Some(bb),
+                            format!("inconsistent return arity ({} vs {})", vals.len(), a),
+                        );
                     }
                     Some(_) => {}
                 }
@@ -319,9 +325,7 @@ pub fn assert_verified(module: &Module) {
 ///
 /// Panics if no function with that name exists.
 pub fn expect_function(module: &Module, name: &str) -> FuncId {
-    module
-        .function_by_name(name)
-        .unwrap_or_else(|| panic!("module has no function named @{name}"))
+    module.function_by_name(name).unwrap_or_else(|| panic!("module has no function named @{name}"))
 }
 
 #[cfg(test)]
@@ -347,9 +351,7 @@ mod tests {
         let mut b = FunctionBuilder::new("k", FuncKind::Kernel, 0);
         b.exit();
         let mut f = b.finish();
-        f.blocks[f.entry]
-            .insts
-            .push(Inst::Mov { dst: Reg(99), src: Operand::imm_i64(0) });
+        f.blocks[f.entry].insts.push(Inst::Mov { dst: Reg(99), src: Operand::imm_i64(0) });
         let mut m = Module::new();
         m.add_function(f);
         let errs = verify_module(&m).unwrap_err();
@@ -408,7 +410,8 @@ mod tests {
 
     #[test]
     fn wait_on_never_joined_barrier_detected() {
-        let src = "kernel @k(params=0, regs=1, barriers=1, entry=bb0) {\nbb0:\n  wait b0\n  exit\n}\n";
+        let src =
+            "kernel @k(params=0, regs=1, barriers=1, entry=bb0) {\nbb0:\n  wait b0\n  exit\n}\n";
         let m = crate::parse::parse_module(src).unwrap();
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("ever joins")));

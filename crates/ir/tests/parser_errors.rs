@@ -70,7 +70,8 @@ fn wrong_function_keyword() {
 
 #[test]
 fn truncated_input() {
-    let err = parse_module("kernel @k(params=0, regs=0, barriers=0, entry=bb0) {\nbb0:\n").unwrap_err();
+    let err =
+        parse_module("kernel @k(params=0, regs=0, barriers=0, entry=bb0) {\nbb0:\n").unwrap_err();
     assert!(err.message.contains("unexpected end of input"));
 }
 

@@ -1,0 +1,141 @@
+//! Scalar ALU semantics shared by both interpreters (the decoded engine
+//! in [`crate::exec`] and the tree-walking oracle in [`crate::reference`]).
+//!
+//! Operations are polymorphic over [`Value`]: integer inputs use wrapping
+//! integer semantics, and if either input is a float the operation is
+//! performed in `f64`. Comparisons always produce an integer 0/1.
+
+use simt_ir::{BinOp, UnOp, Value};
+
+/// Evaluates a binary ALU operation.
+pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
+    use BinOp::*;
+    let float = !a.is_int() || !b.is_int();
+    Ok(match op {
+        Add | Sub | Mul | Div | Rem | Min | Max => {
+            if float {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                Value::F64(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Rem => x % y,
+                    Min => x.min(y),
+                    Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            } else {
+                let (x, y) = (a.as_i64(), b.as_i64());
+                Value::I64(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return Err("integer division by zero".into());
+                        }
+                        x.wrapping_div(y)
+                    }
+                    Rem => {
+                        if y == 0 {
+                            return Err("integer remainder by zero".into());
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    Min => x.min(y),
+                    Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+        }
+        And | Or | Xor | Shl | Shr => {
+            if float {
+                return Err(format!("bitwise `{}` applied to a float", op.mnemonic()));
+            }
+            let (x, y) = (a.as_i64(), b.as_i64());
+            Value::I64(match op {
+                And => x & y,
+                Or => x | y,
+                Xor => x ^ y,
+                Shl => ((x as u64) << (y as u64 & 63)) as i64,
+                Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+                _ => unreachable!(),
+            })
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let r = if float {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_i64(), b.as_i64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            };
+            Value::bool(r)
+        }
+    })
+}
+
+/// Evaluates a unary ALU operation.
+pub(crate) fn eval_un(op: UnOp, a: Value) -> Result<Value, String> {
+    Ok(match op {
+        UnOp::Not => {
+            if !a.is_int() {
+                return Err("bitwise `not` applied to a float".into());
+            }
+            Value::I64(!a.as_i64())
+        }
+        UnOp::Neg => match a {
+            Value::I64(v) => Value::I64(v.wrapping_neg()),
+            Value::F64(v) => Value::F64(-v),
+        },
+        UnOp::Sqrt => Value::F64(a.as_f64().sqrt()),
+        UnOp::Exp => Value::F64(a.as_f64().exp()),
+        UnOp::Log => Value::F64(a.as_f64().ln()),
+        UnOp::Abs => match a {
+            Value::I64(v) => Value::I64(v.wrapping_abs()),
+            Value::F64(v) => Value::F64(v.abs()),
+        },
+        UnOp::ItoF => Value::F64(a.as_f64()),
+        UnOp::FtoI => Value::I64(a.as_i64()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_bin_int_and_float() {
+        assert_eq!(eval_bin(BinOp::Add, Value::I64(2), Value::I64(3)).unwrap(), Value::I64(5));
+        assert_eq!(eval_bin(BinOp::Add, Value::I64(2), Value::F64(0.5)).unwrap(), Value::F64(2.5));
+        assert_eq!(eval_bin(BinOp::Lt, Value::I64(1), Value::I64(2)).unwrap(), Value::TRUE);
+        assert!(eval_bin(BinOp::Div, Value::I64(1), Value::I64(0)).is_err());
+        assert!(eval_bin(BinOp::And, Value::F64(1.0), Value::I64(1)).is_err());
+        assert_eq!(eval_bin(BinOp::Shl, Value::I64(1), Value::I64(4)).unwrap(), Value::I64(16));
+    }
+
+    #[test]
+    fn eval_un_cases() {
+        assert_eq!(eval_un(UnOp::Neg, Value::I64(3)).unwrap(), Value::I64(-3));
+        assert_eq!(eval_un(UnOp::Sqrt, Value::F64(4.0)).unwrap(), Value::F64(2.0));
+        assert_eq!(eval_un(UnOp::FtoI, Value::F64(2.9)).unwrap(), Value::I64(2));
+        assert!(eval_un(UnOp::Not, Value::F64(1.0)).is_err());
+    }
+}

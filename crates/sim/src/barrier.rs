@@ -1,0 +1,121 @@
+//! Convergence-barrier and `__syncthreads` semantics of the decoded
+//! engine.
+//!
+//! Barrier registers hold per-warp participation masks (one bit per
+//! lane). `Wait` blocks a thread until every live participant of the
+//! barrier is blocked on it, then releases them together and clears the
+//! register — which is how reconvergence happens. A thread's exit drops
+//! it from every mask so barriers never wait on departed threads
+//! (Volta's forward-progress guarantee). `__syncthreads` is the separate
+//! *correctness* barrier: every live thread of the warp must arrive
+//! before any proceeds.
+//!
+//! These methods live on [`Machine`] from [`crate::exec`]; they are split
+//! out because they are the part of the execution model the Speculative
+//! Reconvergence passes actually manipulate.
+
+use crate::exec::{Machine, Status};
+use simt_ir::{BarrierId, BarrierOp, Value};
+
+impl Machine<'_> {
+    /// Executes one barrier operation for the issued lanes.
+    pub(crate) fn exec_barrier(&mut self, w: usize, lanes: &[usize], op: BarrierOp) {
+        match op {
+            BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
+                for &l in lanes {
+                    self.warps[w].masks[b.index()] |= 1 << l;
+                    self.advance(w, l);
+                }
+            }
+            BarrierOp::Cancel(b) => {
+                for &l in lanes {
+                    self.warps[w].masks[b.index()] &= !(1 << l);
+                    self.advance(w, l);
+                }
+                self.release_check(w, b);
+            }
+            BarrierOp::Copy { dst, src } => {
+                self.warps[w].masks[dst.index()] = self.warps[w].masks[src.index()];
+                for &l in lanes {
+                    self.advance(w, l);
+                }
+                self.release_check(w, dst);
+            }
+            BarrierOp::ArrivedCount { dst, bar } => {
+                let n = self.warps[w].masks[bar.index()].count_ones() as i64;
+                for &l in lanes {
+                    self.set_reg(w, l, dst, Value::I64(n));
+                    self.advance(w, l);
+                }
+            }
+            BarrierOp::Wait(b) => {
+                // Block at the wait instruction; the PC advances on
+                // release.
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::Waiting(b);
+                }
+                self.release_check(w, b);
+            }
+        }
+    }
+
+    /// Releases the `__syncthreads` cohort once every live thread is at
+    /// one.
+    pub(crate) fn sync_release_check(&mut self, w: usize) {
+        let warp = &mut self.warps[w];
+        let all_at_sync =
+            warp.threads.iter().all(|t| matches!(t.status, Status::WaitingSync | Status::Exited));
+        let any = warp.threads.iter().any(|t| t.status == Status::WaitingSync);
+        if all_at_sync && any {
+            for t in warp.threads.iter_mut() {
+                if t.status == Status::WaitingSync {
+                    t.status = Status::Runnable;
+                    t.frame_mut().pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Releases barrier `b` if every live participant is blocked on it.
+    pub(crate) fn release_check(&mut self, w: usize, b: BarrierId) {
+        let warp = &mut self.warps[w];
+        let mut live_mask = 0u64;
+        let mut waiting_mask = 0u64;
+        for (l, t) in warp.threads.iter().enumerate() {
+            if t.status != Status::Exited {
+                live_mask |= 1 << l;
+            }
+            if t.status == Status::Waiting(b) {
+                waiting_mask |= 1 << l;
+            }
+        }
+        if waiting_mask == 0 {
+            return;
+        }
+        let participants = warp.masks[b.index()] & live_mask;
+        if participants & !waiting_mask == 0 {
+            // Release: all waiting lanes advance past their wait; the
+            // barrier register is consumed.
+            warp.masks[b.index()] = 0;
+            for l in 0..warp.threads.len() {
+                if waiting_mask & (1 << l) != 0 {
+                    warp.threads[l].status = Status::Runnable;
+                    warp.threads[l].frame_mut().pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops an exited lane from every barrier and re-checks releases —
+    /// the forward-progress rule.
+    pub(crate) fn on_exit(&mut self, w: usize, lane: usize) {
+        let nb = self.warps[w].masks.len();
+        for b in 0..nb {
+            self.warps[w].masks[b] &= !(1 << lane);
+        }
+        for b in 0..nb {
+            self.release_check(w, BarrierId::new(b));
+        }
+        self.sync_release_check(w);
+    }
+}

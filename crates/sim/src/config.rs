@@ -196,8 +196,18 @@ mod tests {
     #[test]
     fn issue_costs_follow_classes() {
         let lat = LatencyModel::default();
-        let add = Inst::Bin { op: BinOp::Add, dst: Reg(0), lhs: Operand::imm_i64(0), rhs: Operand::imm_i64(0) };
-        let mul = Inst::Bin { op: BinOp::Mul, dst: Reg(0), lhs: Operand::imm_i64(0), rhs: Operand::imm_i64(0) };
+        let add = Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg(0),
+            lhs: Operand::imm_i64(0),
+            rhs: Operand::imm_i64(0),
+        };
+        let mul = Inst::Bin {
+            op: BinOp::Mul,
+            dst: Reg(0),
+            lhs: Operand::imm_i64(0),
+            rhs: Operand::imm_i64(0),
+        };
         assert!(lat.issue_cost(&add) < lat.issue_cost(&mul));
         let work = Inst::Work { amount: 40 };
         assert_eq!(lat.issue_cost(&work), 40);

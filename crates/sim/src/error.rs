@@ -114,7 +114,8 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let loc = ThreadLocation { warp: 1, lane: 3, func: FuncId(0), block: BlockId(2), inst: 4 };
-        let e = SimError::MemoryFault { at: loc, addr: -5, size: 16, space: simt_ir::MemSpace::Global };
+        let e =
+            SimError::MemoryFault { at: loc, addr: -5, size: 16, space: simt_ir::MemSpace::Global };
         let s = e.to_string();
         assert!(s.contains("warp 1 lane 3"));
         assert!(s.contains("-5"));

@@ -1,0 +1,658 @@
+//! The decoded SIMT warp interpreter.
+//!
+//! This is the production execution engine: it runs a
+//! [`DecodedImage`] produced by [`DecodedImage::decode`] instead of
+//! walking the structured IR. The execution model is identical to the
+//! tree-walking oracle in [`crate::reference`] (Volta-style independent
+//! thread scheduling with convergence-barrier registers; see the module
+//! docs there), and the two are kept bit-for-bit equivalent — same
+//! metrics, memory, traces, profiles, RNG streams, and errors — which a
+//! property test enforces. What changes is the hot loop: a thread's PC is
+//! one flat `usize`, issuing indexes a dense `Vec<DecodedInst>` of `Copy`
+//! instructions, and per-issue costs come from a pre-resolved table, so an
+//! issue slot performs no map lookups and no allocation.
+
+use crate::config::SimConfig;
+use crate::decode::{DecodedImage, DecodedInst, PoolRange};
+use crate::error::{SimError, ThreadLocation};
+use crate::machine::{Launch, SimOutput};
+use crate::metrics::Metrics;
+use crate::profile::Profile;
+use crate::rng::SplitMix64;
+use crate::sched::select_group;
+use crate::trace::{Trace, TraceEvent};
+use simt_ir::{BarrierId, BinOp, BlockId, FuncId, MemSpace, RngKind, SpecialValue, Value};
+
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
+    pub(crate) pc: usize,
+    pub(crate) regs: Vec<Value>,
+    /// Caller registers (a [`DecodedImage::reg_pool`] span) that receive
+    /// this frame's return values.
+    ret_regs: PoolRange,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Waiting(BarrierId),
+    /// Blocked at `__syncthreads` until every live thread arrives.
+    WaitingSync,
+    Exited,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Thread {
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) status: Status,
+    rng: SplitMix64,
+    local: Vec<Value>,
+}
+
+impl Thread {
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("thread has no frame")
+    }
+    pub(crate) fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has no frame")
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Warp {
+    pub(crate) threads: Vec<Thread>,
+    /// Barrier participation masks, one bit per lane.
+    pub(crate) masks: Vec<u64>,
+    busy_until: u64,
+    rr_cursor: usize,
+    /// Lanes of the group issued last (greedy scheduling state).
+    last_lanes: u64,
+    /// Direct-mapped L1 tag array (line index -> cached line tag), when
+    /// the cache cost model is on.
+    cache_tags: Vec<Option<i64>>,
+    done: bool,
+}
+
+pub(crate) struct Machine<'m> {
+    image: &'m DecodedImage,
+    cfg: &'m SimConfig,
+    /// Per-pc issue costs, `image.resolve_costs(&cfg.latency)`.
+    costs: Vec<u32>,
+    pub(crate) warps: Vec<Warp>,
+    global: Vec<Value>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    profile: Option<Profile>,
+    cycle: u64,
+}
+
+/// Runs a kernel launch of a decoded image to completion.
+///
+/// Behaves exactly like [`run`](crate::machine::run) — which is
+/// implemented as decode followed by this function — but lets callers
+/// decode once and launch many times (the batch evaluation engine caches
+/// images this way).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on deadlock, memory/arithmetic faults, cycle
+/// budget exhaustion, or an invalid/unlinked module.
+pub fn run_image(
+    image: &DecodedImage,
+    cfg: &SimConfig,
+    launch: &Launch,
+) -> Result<SimOutput, SimError> {
+    let kernel = image
+        .func_by_name(&launch.kernel)
+        .ok_or_else(|| SimError::NoSuchKernel(launch.kernel.clone()))?;
+    let kfunc = image.funcs[kernel.index()];
+    if launch.args.len() > kfunc.num_params as usize {
+        return Err(SimError::InvalidModule(format!(
+            "kernel @{} takes {} params, launch provides {}",
+            image.func_names[kernel.index()],
+            kfunc.num_params,
+            launch.args.len()
+        )));
+    }
+
+    let width = cfg.warp_width;
+    assert!(width <= 64, "warp width above 64 lanes is not supported");
+    let mut warps = Vec::with_capacity(launch.num_warps);
+    for w in 0..launch.num_warps {
+        let mut threads = Vec::with_capacity(width);
+        for lane in 0..width {
+            let tid = (w * width + lane) as u64;
+            let mut regs = vec![Value::default(); kfunc.num_regs as usize];
+            for (i, a) in launch.args.iter().enumerate() {
+                regs[i] = *a;
+            }
+            threads.push(Thread {
+                frames: vec![Frame {
+                    pc: kfunc.entry_pc as usize,
+                    regs,
+                    ret_regs: PoolRange::EMPTY,
+                }],
+                status: Status::Runnable,
+                rng: SplitMix64::for_thread(launch.seed, tid),
+                local: vec![Value::default(); launch.local_mem_size],
+            });
+        }
+        warps.push(Warp {
+            threads,
+            masks: vec![0; image.num_barriers],
+            busy_until: 0,
+            rr_cursor: 0,
+            last_lanes: 0,
+            cache_tags: cfg.cache.as_ref().map(|c| vec![None; c.lines]).unwrap_or_default(),
+            done: false,
+        });
+    }
+
+    let mut machine = Machine {
+        image,
+        cfg,
+        costs: image.resolve_costs(&cfg.latency),
+        warps,
+        global: launch.global_mem.clone(),
+        metrics: Metrics::new(launch.num_warps, width),
+        trace: if cfg.trace { Some(Trace::new(width)) } else { None },
+        profile: if cfg.profile { Some(Profile::new()) } else { None },
+        cycle: 0,
+    };
+    machine.run_to_completion()?;
+
+    let Machine { global, mut metrics, trace, profile, cycle, .. } = machine;
+    metrics.cycles = cycle;
+    Ok(SimOutput { metrics, global_mem: global, trace, profile })
+}
+
+impl Machine<'_> {
+    fn run_to_completion(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut next_ready = u64::MAX;
+            let mut all_done = true;
+            for w in 0..self.warps.len() {
+                if self.warps[w].done {
+                    continue;
+                }
+                all_done = false;
+                if self.warps[w].busy_until > self.cycle {
+                    next_ready = next_ready.min(self.warps[w].busy_until);
+                    continue;
+                }
+                match self.pick_group(w) {
+                    Some((pc, lanes)) => {
+                        let mut mask = 0u64;
+                        for &l in &lanes {
+                            mask |= 1 << l;
+                        }
+                        self.warps[w].last_lanes = mask;
+                        let cost = self.issue(w, pc, &lanes)?;
+                        self.warps[w].busy_until = self.cycle + u64::from(cost.max(1));
+                        next_ready = next_ready.min(self.warps[w].busy_until);
+                    }
+                    None => {
+                        // No runnable group. Either everyone exited, or
+                        // every live thread is blocked — since barriers
+                        // are warp-local and release checks already ran,
+                        // that is a deadlock.
+                        let live: Vec<usize> = (0..self.cfg.warp_width)
+                            .filter(|&l| self.warps[w].threads[l].status != Status::Exited)
+                            .collect();
+                        if live.is_empty() {
+                            self.warps[w].done = true;
+                        } else {
+                            let waiting = live
+                                .iter()
+                                .map(|&l| {
+                                    let t = &self.warps[w].threads[l];
+                                    let b = match t.status {
+                                        Status::Waiting(b) => b,
+                                        // WaitingSync reported as barrier 0
+                                        // (the diagnostic text carries the
+                                        // real story).
+                                        _ => BarrierId(0),
+                                    };
+                                    (self.location(w, l), b)
+                                })
+                                .collect();
+                            return Err(SimError::Deadlock { cycle: self.cycle, waiting });
+                        }
+                    }
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::MaxCyclesExceeded { limit: self.cfg.max_cycles });
+            }
+            if next_ready == u64::MAX {
+                // Every remaining warp became done this round.
+                continue;
+            }
+            self.cycle = next_ready.max(self.cycle + 1);
+        }
+    }
+
+    fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
+        let t = &self.warps[warp].threads[lane];
+        match t.frames.last() {
+            Some(f) => {
+                let o = self.image.origin[f.pc];
+                ThreadLocation { warp, lane, func: o.func, block: o.block, inst: o.inst as usize }
+            }
+            None => ThreadLocation { warp, lane, func: FuncId(0), block: BlockId(0), inst: 0 },
+        }
+    }
+
+    /// Groups runnable lanes by flat PC and applies the scheduler policy.
+    ///
+    /// Flat-pc order equals the tree-walker's `(func, block, inst)` order
+    /// by construction of the image layout, so every policy picks the same
+    /// group it would have picked there.
+    fn pick_group(&mut self, w: usize) -> Option<(usize, Vec<usize>)> {
+        let warp = &mut self.warps[w];
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (lane, t) in warp.threads.iter().enumerate() {
+            if t.status != Status::Runnable {
+                continue;
+            }
+            let pc = t.frame().pc;
+            match groups.iter_mut().find(|(k, _)| *k == pc) {
+                Some((_, lanes)) => lanes.push(lane),
+                None => groups.push((pc, vec![lane])),
+            }
+        }
+        select_group(self.cfg.scheduler, groups, warp.last_lanes, &mut warp.rr_cursor)
+    }
+
+    /// Issues one decoded instruction for the given group; returns its
+    /// cycle cost.
+    fn issue(&mut self, w: usize, pc: usize, lanes: &[usize]) -> Result<u32, SimError> {
+        let waiting_lanes =
+            self.warps[w].threads.iter().filter(|t| matches!(t.status, Status::Waiting(_))).count()
+                as u64;
+        self.metrics.stall_cycles += waiting_lanes;
+
+        let cost = self.exec(w, pc, lanes)?;
+
+        // Metrics (cost-weighted: see `Metrics::active_lane_sum`).
+        let weight = u64::from(cost.max(1));
+        let active = lanes.len() as u64 * weight;
+        self.metrics.issues += 1;
+        self.metrics.issue_weight += weight;
+        self.metrics.active_lane_sum += active;
+        self.metrics.lane_insts += lanes.len() as u64;
+        let (wi, wa) = self.metrics.per_warp[w];
+        self.metrics.per_warp[w] = (wi + weight, wa + active);
+        let roi = self.image.roi[pc];
+        if roi {
+            self.metrics.roi_issues += weight;
+            self.metrics.roi_active_lane_sum += active;
+        }
+
+        if self.profile.is_some() || self.trace.is_some() {
+            let o = self.image.origin[pc];
+            if let Some(profile) = &mut self.profile {
+                profile.record(o.func, o.block, o.inst as usize, lanes.len() as u64, cost);
+            }
+            if let Some(trace) = &mut self.trace {
+                let mut mask = 0u64;
+                for &l in lanes {
+                    mask |= 1 << l;
+                }
+                trace.push(TraceEvent {
+                    cycle: self.cycle,
+                    warp: w,
+                    func: o.func,
+                    block: o.block,
+                    inst: o.inst as usize,
+                    mask,
+                    cost,
+                    roi,
+                });
+            }
+        }
+        Ok(cost)
+    }
+
+    fn eval(&self, w: usize, lane: usize, op: simt_ir::Operand) -> Value {
+        match op {
+            simt_ir::Operand::Imm(v) => v,
+            simt_ir::Operand::Reg(r) => self.warps[w].threads[lane].frame().regs[r.index()],
+        }
+    }
+
+    pub(crate) fn set_reg(&mut self, w: usize, lane: usize, r: simt_ir::Reg, v: Value) {
+        self.warps[w].threads[lane].frame_mut().regs[r.index()] = v;
+    }
+
+    pub(crate) fn advance(&mut self, w: usize, lane: usize) {
+        self.warps[w].threads[lane].frame_mut().pc += 1;
+    }
+
+    fn exec(&mut self, w: usize, pc: usize, lanes: &[usize]) -> Result<u32, SimError> {
+        // Reborrow through the image's own lifetime so instruction/pool
+        // reads don't conflict with &mut self calls below; matching on the
+        // place copies only the fields each arm binds, never the whole
+        // instruction.
+        let image = self.image;
+        let inst = &image.insts[pc];
+        let mut cost = self.costs[pc];
+        match *inst {
+            DecodedInst::Bin { op, dst, lhs, rhs } => {
+                for &l in lanes {
+                    let a = self.eval(w, l, lhs);
+                    let b = self.eval(w, l, rhs);
+                    let v = crate::alu::eval_bin(op, a, b).map_err(|m| SimError::Arithmetic {
+                        at: self.location(w, l),
+                        message: m,
+                    })?;
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Un { op, dst, src } => {
+                for &l in lanes {
+                    let a = self.eval(w, l, src);
+                    let v = crate::alu::eval_un(op, a).map_err(|m| SimError::Arithmetic {
+                        at: self.location(w, l),
+                        message: m,
+                    })?;
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Mov { dst, src } => {
+                for &l in lanes {
+                    let v = self.eval(w, l, src);
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Sel { dst, cond, if_true, if_false } => {
+                for &l in lanes {
+                    let c = self.eval(w, l, cond);
+                    let v = if c.is_truthy() {
+                        self.eval(w, l, if_true)
+                    } else {
+                        self.eval(w, l, if_false)
+                    };
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Load { dst, space, addr } => {
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, addr).as_i64();
+                    addrs.push(a);
+                    let v = self.mem_read(w, l, space, a)?;
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+                if space == MemSpace::Global {
+                    cost = self.global_access_cost(w, &addrs, cost);
+                }
+            }
+            DecodedInst::Store { space, addr, value } => {
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, addr).as_i64();
+                    let v = self.eval(w, l, value);
+                    addrs.push(a);
+                    self.mem_write(w, l, space, a, v)?;
+                    self.advance(w, l);
+                }
+                if space == MemSpace::Global {
+                    // Stores write through: cost like a load, but the
+                    // touched lines are invalidated in every warp (they
+                    // now differ from any cached copy).
+                    cost = self.global_access_cost(w, &addrs, cost);
+                    self.invalidate_lines(&addrs);
+                }
+            }
+            DecodedInst::AtomicAdd { dst, addr, value } => {
+                // Lanes are serialized in lane order, like hardware atomics
+                // to the same address. Atomics bypass the cache and
+                // invalidate the lines they touch.
+                let mut atomic_addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, addr).as_i64();
+                    let v = self.eval(w, l, value);
+                    let old = self.mem_read(w, l, MemSpace::Global, a)?;
+                    let new = crate::alu::eval_bin(BinOp::Add, old, v).map_err(|m| {
+                        SimError::Arithmetic { at: self.location(w, l), message: m }
+                    })?;
+                    self.mem_write(w, l, MemSpace::Global, a, new)?;
+                    self.set_reg(w, l, dst, old);
+                    atomic_addrs.push(a);
+                    self.advance(w, l);
+                }
+                self.invalidate_lines(&atomic_addrs);
+            }
+            DecodedInst::Special { dst, kind } => {
+                let width = self.cfg.warp_width;
+                let n_threads = (self.warps.len() * width) as i64;
+                for &l in lanes {
+                    let v = match kind {
+                        SpecialValue::Tid => Value::I64((w * width + l) as i64),
+                        SpecialValue::LaneId => Value::I64(l as i64),
+                        SpecialValue::WarpId => Value::I64(w as i64),
+                        SpecialValue::NumThreads => Value::I64(n_threads),
+                        SpecialValue::WarpWidth => Value::I64(width as i64),
+                    };
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Rng { dst, kind } => {
+                for &l in lanes {
+                    let v = match kind {
+                        RngKind::U63 => Value::I64(self.warps[w].threads[l].rng.next_u63()),
+                        RngKind::Unit => Value::F64(self.warps[w].threads[l].rng.next_unit()),
+                    };
+                    self.set_reg(w, l, dst, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::SyncThreads => {
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::WaitingSync;
+                }
+                self.sync_release_check(w);
+            }
+            DecodedInst::Vote { dst, pred } => {
+                // Warp-synchronous: counts over the lanes issued together.
+                let mut count = 0i64;
+                for &l in lanes {
+                    if self.eval(w, l, pred).is_truthy() {
+                        count += 1;
+                    }
+                }
+                for &l in lanes {
+                    self.set_reg(w, l, dst, Value::I64(count));
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::SeedRng { src } => {
+                let launch_mix = 0x5EED_u64; // stream domain separator
+                for &l in lanes {
+                    let v = self.eval(w, l, src).as_i64() as u64;
+                    self.warps[w].threads[l].rng = SplitMix64::for_thread(v ^ launch_mix, v);
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Call { entry_pc, num_regs, args, rets } => {
+                let arg_ops = image.operands(args);
+                for &l in lanes {
+                    let mut regs = vec![Value::default(); num_regs as usize];
+                    for (i, a) in arg_ops.iter().enumerate() {
+                        regs[i] = self.eval(w, l, *a);
+                    }
+                    // Return to the instruction after the call.
+                    self.advance(w, l);
+                    self.warps[w].threads[l].frames.push(Frame {
+                        pc: entry_pc as usize,
+                        regs,
+                        ret_regs: rets,
+                    });
+                }
+            }
+            DecodedInst::UnresolvedCall { name } => {
+                return Err(SimError::UnresolvedCall {
+                    at: self.location(w, lanes[0]),
+                    callee: image.callee_names[name as usize].clone(),
+                });
+            }
+            DecodedInst::Barrier(op) => {
+                self.exec_barrier(w, lanes, op);
+                self.metrics.barrier_ops += lanes.len() as u64;
+            }
+            DecodedInst::Skip => {
+                for &l in lanes {
+                    self.advance(w, l);
+                }
+            }
+            DecodedInst::Jump { target } => {
+                for &l in lanes {
+                    self.warps[w].threads[l].frame_mut().pc = target as usize;
+                }
+            }
+            DecodedInst::Branch { cond, then_pc, else_pc } => {
+                for &l in lanes {
+                    let c = self.eval(w, l, cond);
+                    let f = self.warps[w].threads[l].frame_mut();
+                    f.pc = if c.is_truthy() { then_pc as usize } else { else_pc as usize };
+                }
+            }
+            DecodedInst::Return { values } => {
+                let value_ops = image.operands(values);
+                for &l in lanes {
+                    let vals: Vec<Value> = value_ops.iter().map(|v| self.eval(w, l, *v)).collect();
+                    let thread = &mut self.warps[w].threads[l];
+                    let frame = thread.frames.pop().expect("return without frame");
+                    if thread.frames.is_empty() {
+                        // Returning from the kernel frame behaves as exit
+                        // (the verifier rejects this statically, but stay
+                        // safe at runtime).
+                        thread.status = Status::Exited;
+                        thread.frames.push(frame);
+                        self.on_exit(w, l);
+                        continue;
+                    }
+                    let ret_regs = image.regs(frame.ret_regs);
+                    let caller = thread.frames.last_mut().expect("caller frame");
+                    for (r, v) in ret_regs.iter().zip(vals) {
+                        caller.regs[r.index()] = v;
+                    }
+                }
+            }
+            DecodedInst::Exit => {
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::Exited;
+                    self.on_exit(w, l);
+                }
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Cost of a global access over the given cell addresses: coalescing
+    /// segments, filtered through the optional L1 cache cost model (the
+    /// cache serves no data — values always come from memory).
+    fn global_access_cost(&mut self, w: usize, addrs: &[i64], base_cost: u32) -> u32 {
+        let lat = &self.cfg.latency;
+        let Some(cache) = &self.cfg.cache else {
+            return base_cost + lat.mem_segment * lat.segments(addrs).saturating_sub(1);
+        };
+        // Unique lines touched by the access.
+        let cells = cache.cells_per_line.max(1) as i64;
+        let mut lines: Vec<i64> = addrs.iter().map(|a| a.div_euclid(cells)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut misses = 0u32;
+        let warp = &mut self.warps[w];
+        for &line in &lines {
+            let slot = (line.rem_euclid(cache.lines as i64)) as usize;
+            if warp.cache_tags[slot] == Some(line) {
+                self.metrics.cache_hits += 1;
+            } else {
+                warp.cache_tags[slot] = Some(line);
+                self.metrics.cache_misses += 1;
+                misses += 1;
+            }
+        }
+        if misses == 0 {
+            cache.hit_cost.max(1)
+        } else {
+            // Pay full latency once plus a segment penalty per extra
+            // missing line.
+            self.cfg.latency.mem_base + self.cfg.latency.mem_segment * (misses - 1)
+        }
+    }
+
+    /// Drops the lines covering `addrs` from every warp's cache (stores
+    /// and atomics write through).
+    fn invalidate_lines(&mut self, addrs: &[i64]) {
+        let Some(cache) = &self.cfg.cache else { return };
+        let cells = cache.cells_per_line.max(1) as i64;
+        for warp in &mut self.warps {
+            for &a in addrs {
+                let line = a.div_euclid(cells);
+                let slot = (line.rem_euclid(cache.lines as i64)) as usize;
+                if warp.cache_tags[slot] == Some(line) {
+                    warp.cache_tags[slot] = None;
+                }
+            }
+        }
+    }
+
+    fn mem_read(
+        &self,
+        w: usize,
+        lane: usize,
+        space: MemSpace,
+        addr: i64,
+    ) -> Result<Value, SimError> {
+        let (mem, size) = match space {
+            MemSpace::Global => (&self.global, self.global.len()),
+            MemSpace::Local => {
+                let t = &self.warps[w].threads[lane];
+                (&t.local, t.local.len())
+            }
+        };
+        if addr < 0 || addr as usize >= size {
+            return Err(SimError::MemoryFault { at: self.location(w, lane), addr, size, space });
+        }
+        Ok(mem[addr as usize])
+    }
+
+    fn mem_write(
+        &mut self,
+        w: usize,
+        lane: usize,
+        space: MemSpace,
+        addr: i64,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let at = self.location(w, lane);
+        let (mem, size) = match space {
+            MemSpace::Global => {
+                let size = self.global.len();
+                (&mut self.global, size)
+            }
+            MemSpace::Local => {
+                let t = &mut self.warps[w].threads[lane];
+                let size = t.local.len();
+                (&mut t.local, size)
+            }
+        };
+        if addr < 0 || addr as usize >= size {
+            return Err(SimError::MemoryFault { at, addr, size, space });
+        }
+        mem[addr as usize] = value;
+        Ok(())
+    }
+}

@@ -28,17 +28,26 @@
 
 #![warn(missing_docs)]
 
+mod alu;
+mod barrier;
 pub mod config;
+pub mod decode;
 pub mod error;
+pub mod exec;
 pub mod machine;
 pub mod metrics;
 pub mod profile;
+pub mod reference;
 pub mod rng;
+mod sched;
 pub mod trace;
 
 pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
+pub use decode::DecodedImage;
 pub use error::{SimError, ThreadLocation};
+pub use exec::run_image;
 pub use machine::{run, run_sequence, Launch, SimOutput};
 pub use metrics::Metrics;
 pub use profile::{BlockStats, Profile};
+pub use reference::run_reference;
 pub use trace::{Trace, TraceEvent};

@@ -42,14 +42,7 @@ impl Profile {
     }
 
     /// Records one issue (called by the machine).
-    pub fn record(
-        &mut self,
-        func: FuncId,
-        block: BlockId,
-        inst_idx: usize,
-        lanes: u64,
-        cost: u32,
-    ) {
+    pub fn record(&mut self, func: FuncId, block: BlockId, inst_idx: usize, lanes: u64, cost: u32) {
         let e = self.map.entry((func, block)).or_default();
         e.issues += 1;
         e.cost += u64::from(cost);

@@ -1,0 +1,793 @@
+//! The tree-walking reference interpreter (the semantic oracle).
+//!
+//! This is the original interpreter the decoded engine in [`crate::exec`]
+//! was refactored from. It executes the structured [`Module`] directly —
+//! frames carry `(func, block, inst)` triples and every issue slot walks
+//! the `IdVec`s — and is kept as the executable specification of the
+//! execution model: a property test asserts that
+//! [`run_image`](crate::exec::run_image) on a decoded image produces
+//! bit-identical metrics, memory, traces, profiles, and errors to
+//! [`run_reference`] on the same module.
+//!
+//! Execution model (a software rendition of Volta's *independent thread
+//! scheduling*):
+//!
+//! - every thread has its own PC (a frame stack, actually — device calls
+//!   push frames) and register file;
+//! - each issue slot, a warp groups its runnable threads by PC and issues
+//!   **one** instruction for **one** group — divergence therefore
+//!   serializes execution and is directly visible in the SIMT-efficiency
+//!   metric;
+//! - convergence-barrier registers hold per-warp participation masks;
+//!   `Wait` blocks a thread until every live participant of the barrier is
+//!   blocked on it, then releases them together (and clears the register),
+//!   which is how reconvergence happens;
+//! - a thread's `Exit` drops it from every mask, so barriers never wait on
+//!   departed threads (Volta's forward-progress guarantee).
+//!
+//! Warps only interact through global memory (including the atomic
+//! work-queue counter used by thread coarsening); barrier state is
+//! strictly per-warp.
+
+use crate::alu::{eval_bin, eval_un};
+use crate::config::SimConfig;
+use crate::error::{SimError, ThreadLocation};
+use crate::machine::{Launch, SimOutput};
+use crate::metrics::Metrics;
+use crate::profile::Profile;
+use crate::rng::SplitMix64;
+use crate::sched::select_group;
+use crate::trace::{Trace, TraceEvent};
+use simt_ir::{
+    BarrierId, BarrierOp, BinOp, BlockId, FuncId, FuncRef, Inst, MemSpace, Module, Operand, Reg,
+    RngKind, SpecialValue, Terminator, Value,
+};
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst: usize,
+    regs: Vec<Value>,
+    /// Caller registers that receive this frame's return values.
+    ret_regs: Vec<Reg>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Waiting(BarrierId),
+    /// Blocked at `__syncthreads` until every live thread arrives.
+    WaitingSync,
+    Exited,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    frames: Vec<Frame>,
+    status: Status,
+    rng: SplitMix64,
+    local: Vec<Value>,
+}
+
+impl Thread {
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("thread has no frame")
+    }
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has no frame")
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Warp {
+    threads: Vec<Thread>,
+    /// Barrier participation masks, one bit per lane.
+    masks: Vec<u64>,
+    busy_until: u64,
+    rr_cursor: usize,
+    /// Lanes of the group issued last (greedy scheduling state).
+    last_lanes: u64,
+    /// Direct-mapped L1 tag array (line index -> cached line tag), when
+    /// the cache cost model is on.
+    cache_tags: Vec<Option<i64>>,
+    done: bool,
+}
+
+/// Key identifying a PC group: (function, block, instruction index).
+type GroupKey = (u32, u32, usize);
+
+struct Machine<'m> {
+    module: &'m Module,
+    cfg: &'m SimConfig,
+    warps: Vec<Warp>,
+    global: Vec<Value>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    profile: Option<Profile>,
+    cycle: u64,
+}
+
+/// Runs a kernel launch to completion on the tree-walking interpreter.
+///
+/// Prefer [`run`](crate::machine::run) (the decoded engine) — this entry
+/// point exists for differential testing and as the baseline side of the
+/// decoded-vs-reference benchmark.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on deadlock, memory/arithmetic faults, cycle
+/// budget exhaustion, or an invalid/unlinked module.
+pub fn run_reference(
+    module: &Module,
+    cfg: &SimConfig,
+    launch: &Launch,
+) -> Result<SimOutput, SimError> {
+    let kernel = module
+        .function_by_name(&launch.kernel)
+        .ok_or_else(|| SimError::NoSuchKernel(launch.kernel.clone()))?;
+    let kfunc = &module.functions[kernel];
+    if launch.args.len() > kfunc.num_params {
+        return Err(SimError::InvalidModule(format!(
+            "kernel @{} takes {} params, launch provides {}",
+            kfunc.name,
+            kfunc.num_params,
+            launch.args.len()
+        )));
+    }
+
+    let num_barriers =
+        module.functions.iter().map(|(_, f)| f.num_barriers).max().unwrap_or(0).max(1);
+
+    let width = cfg.warp_width;
+    assert!(width <= 64, "warp width above 64 lanes is not supported");
+    let mut warps = Vec::with_capacity(launch.num_warps);
+    for w in 0..launch.num_warps {
+        let mut threads = Vec::with_capacity(width);
+        for lane in 0..width {
+            let tid = (w * width + lane) as u64;
+            let mut regs = vec![Value::default(); kfunc.num_regs];
+            for (i, a) in launch.args.iter().enumerate() {
+                regs[i] = *a;
+            }
+            threads.push(Thread {
+                frames: vec![Frame {
+                    func: kernel,
+                    block: kfunc.entry,
+                    inst: 0,
+                    regs,
+                    ret_regs: Vec::new(),
+                }],
+                status: Status::Runnable,
+                rng: SplitMix64::for_thread(launch.seed, tid),
+                local: vec![Value::default(); launch.local_mem_size],
+            });
+        }
+        warps.push(Warp {
+            threads,
+            masks: vec![0; num_barriers],
+            busy_until: 0,
+            rr_cursor: 0,
+            last_lanes: 0,
+            cache_tags: cfg.cache.as_ref().map(|c| vec![None; c.lines]).unwrap_or_default(),
+            done: false,
+        });
+    }
+
+    let mut machine = Machine {
+        module,
+        cfg,
+        warps,
+        global: launch.global_mem.clone(),
+        metrics: Metrics::new(launch.num_warps, width),
+        trace: if cfg.trace { Some(Trace::new(width)) } else { None },
+        profile: if cfg.profile { Some(Profile::new()) } else { None },
+        cycle: 0,
+    };
+    machine.run_to_completion()?;
+
+    let Machine { global, mut metrics, trace, profile, cycle, .. } = machine;
+    metrics.cycles = cycle;
+    Ok(SimOutput { metrics, global_mem: global, trace, profile })
+}
+
+impl<'m> Machine<'m> {
+    fn run_to_completion(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut next_ready = u64::MAX;
+            let mut all_done = true;
+            for w in 0..self.warps.len() {
+                if self.warps[w].done {
+                    continue;
+                }
+                all_done = false;
+                if self.warps[w].busy_until > self.cycle {
+                    next_ready = next_ready.min(self.warps[w].busy_until);
+                    continue;
+                }
+                match self.pick_group(w) {
+                    Some((key, lanes)) => {
+                        let mut mask = 0u64;
+                        for &l in &lanes {
+                            mask |= 1 << l;
+                        }
+                        self.warps[w].last_lanes = mask;
+                        let cost = self.issue(w, key, &lanes)?;
+                        self.warps[w].busy_until = self.cycle + u64::from(cost.max(1));
+                        next_ready = next_ready.min(self.warps[w].busy_until);
+                    }
+                    None => {
+                        // No runnable group. Either everyone exited, or
+                        // every live thread is blocked — since barriers
+                        // are warp-local and release checks already ran,
+                        // that is a deadlock.
+                        let live: Vec<usize> = (0..self.cfg.warp_width)
+                            .filter(|&l| self.warps[w].threads[l].status != Status::Exited)
+                            .collect();
+                        if live.is_empty() {
+                            self.warps[w].done = true;
+                        } else {
+                            let waiting = live
+                                .iter()
+                                .map(|&l| {
+                                    let t = &self.warps[w].threads[l];
+                                    let b = match t.status {
+                                        Status::Waiting(b) => b,
+                                        // WaitingSync reported as barrier 0
+                                        // (the diagnostic text carries the
+                                        // real story).
+                                        _ => BarrierId(0),
+                                    };
+                                    (self.location(w, l), b)
+                                })
+                                .collect();
+                            return Err(SimError::Deadlock { cycle: self.cycle, waiting });
+                        }
+                    }
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::MaxCyclesExceeded { limit: self.cfg.max_cycles });
+            }
+            if next_ready == u64::MAX {
+                // Every remaining warp became done this round.
+                continue;
+            }
+            self.cycle = next_ready.max(self.cycle + 1);
+        }
+    }
+
+    fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
+        let t = &self.warps[warp].threads[lane];
+        match t.frames.last() {
+            Some(f) => ThreadLocation { warp, lane, func: f.func, block: f.block, inst: f.inst },
+            None => ThreadLocation { warp, lane, func: FuncId(0), block: BlockId(0), inst: 0 },
+        }
+    }
+
+    /// Groups runnable lanes by PC and applies the scheduler policy.
+    fn pick_group(&mut self, w: usize) -> Option<(GroupKey, Vec<usize>)> {
+        let warp = &mut self.warps[w];
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        for (lane, t) in warp.threads.iter().enumerate() {
+            if t.status != Status::Runnable {
+                continue;
+            }
+            let f = t.frame();
+            let key = (f.func.0, f.block.0, f.inst);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, lanes)) => lanes.push(lane),
+                None => groups.push((key, vec![lane])),
+            }
+        }
+        select_group(self.cfg.scheduler, groups, warp.last_lanes, &mut warp.rr_cursor)
+    }
+
+    /// Issues one instruction (or terminator) for the given group; returns
+    /// its cycle cost.
+    fn issue(&mut self, w: usize, key: GroupKey, lanes: &[usize]) -> Result<u32, SimError> {
+        let (func_id, block_id, inst_idx) = (FuncId(key.0), BlockId(key.1), key.2);
+        // Reborrow through the module's own lifetime so the instruction
+        // stays borrowed (not cloned) across the &mut self calls below.
+        let module: &'m Module = self.module;
+        let block = &module.functions[func_id].blocks[block_id];
+
+        let waiting_lanes =
+            self.warps[w].threads.iter().filter(|t| matches!(t.status, Status::Waiting(_))).count()
+                as u64;
+        self.metrics.stall_cycles += waiting_lanes;
+
+        let cost = if inst_idx < block.insts.len() {
+            self.exec_inst(w, lanes, &block.insts[inst_idx])?
+        } else {
+            self.exec_term(w, lanes, &block.term)?;
+            self.cfg.latency.control
+        };
+
+        // Metrics (cost-weighted: see `Metrics::active_lane_sum`).
+        let weight = u64::from(cost.max(1));
+        let active = lanes.len() as u64 * weight;
+        self.metrics.issues += 1;
+        self.metrics.issue_weight += weight;
+        self.metrics.active_lane_sum += active;
+        self.metrics.lane_insts += lanes.len() as u64;
+        let (wi, wa) = self.metrics.per_warp[w];
+        self.metrics.per_warp[w] = (wi + weight, wa + active);
+        if block.roi {
+            self.metrics.roi_issues += weight;
+            self.metrics.roi_active_lane_sum += active;
+        }
+
+        if let Some(profile) = &mut self.profile {
+            profile.record(func_id, block_id, inst_idx, lanes.len() as u64, cost);
+        }
+        if let Some(trace) = &mut self.trace {
+            let mut mask = 0u64;
+            for &l in lanes {
+                mask |= 1 << l;
+            }
+            trace.push(TraceEvent {
+                cycle: self.cycle,
+                warp: w,
+                func: func_id,
+                block: block_id,
+                inst: inst_idx,
+                mask,
+                cost,
+                roi: block.roi,
+            });
+        }
+        Ok(cost)
+    }
+
+    fn eval(&self, w: usize, lane: usize, op: Operand) -> Value {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.warps[w].threads[lane].frame().regs[r.index()],
+        }
+    }
+
+    fn set_reg(&mut self, w: usize, lane: usize, r: Reg, v: Value) {
+        self.warps[w].threads[lane].frame_mut().regs[r.index()] = v;
+    }
+
+    fn advance(&mut self, w: usize, lane: usize) {
+        self.warps[w].threads[lane].frame_mut().inst += 1;
+    }
+
+    fn exec_inst(&mut self, w: usize, lanes: &[usize], inst: &Inst) -> Result<u32, SimError> {
+        let lat = &self.cfg.latency;
+        let mut cost = lat.issue_cost(inst);
+        match inst {
+            Inst::Bin { op, dst, lhs, rhs } => {
+                for &l in lanes {
+                    let a = self.eval(w, l, *lhs);
+                    let b = self.eval(w, l, *rhs);
+                    let v = eval_bin(*op, a, b).map_err(|m| SimError::Arithmetic {
+                        at: self.location(w, l),
+                        message: m,
+                    })?;
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Un { op, dst, src } => {
+                for &l in lanes {
+                    let a = self.eval(w, l, *src);
+                    let v = eval_un(*op, a).map_err(|m| SimError::Arithmetic {
+                        at: self.location(w, l),
+                        message: m,
+                    })?;
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Mov { dst, src } => {
+                for &l in lanes {
+                    let v = self.eval(w, l, *src);
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Sel { dst, cond, if_true, if_false } => {
+                for &l in lanes {
+                    let c = self.eval(w, l, *cond);
+                    let v = if c.is_truthy() {
+                        self.eval(w, l, *if_true)
+                    } else {
+                        self.eval(w, l, *if_false)
+                    };
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Load { dst, space, addr } => {
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, *addr).as_i64();
+                    addrs.push(a);
+                    let v = self.mem_read(w, l, *space, a)?;
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+                if *space == MemSpace::Global {
+                    cost = self.global_access_cost(w, &addrs, cost);
+                }
+            }
+            Inst::Store { space, addr, value } => {
+                let mut addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, *addr).as_i64();
+                    let v = self.eval(w, l, *value);
+                    addrs.push(a);
+                    self.mem_write(w, l, *space, a, v)?;
+                    self.advance(w, l);
+                }
+                if *space == MemSpace::Global {
+                    // Stores write through: cost like a load, but the
+                    // touched lines are invalidated in every warp (they
+                    // now differ from any cached copy).
+                    cost = self.global_access_cost(w, &addrs, cost);
+                    self.invalidate_lines(&addrs);
+                }
+            }
+            Inst::AtomicAdd { dst, addr, value } => {
+                // Lanes are serialized in lane order, like hardware atomics
+                // to the same address. Atomics bypass the cache and
+                // invalidate the lines they touch.
+                let mut atomic_addrs = Vec::with_capacity(lanes.len());
+                for &l in lanes {
+                    let a = self.eval(w, l, *addr).as_i64();
+                    let v = self.eval(w, l, *value);
+                    let old = self.mem_read(w, l, MemSpace::Global, a)?;
+                    let new = eval_bin(BinOp::Add, old, v).map_err(|m| SimError::Arithmetic {
+                        at: self.location(w, l),
+                        message: m,
+                    })?;
+                    self.mem_write(w, l, MemSpace::Global, a, new)?;
+                    self.set_reg(w, l, *dst, old);
+                    atomic_addrs.push(a);
+                    self.advance(w, l);
+                }
+                self.invalidate_lines(&atomic_addrs);
+            }
+            Inst::Special { dst, kind } => {
+                let width = self.cfg.warp_width;
+                let n_threads = (self.warps.len() * width) as i64;
+                for &l in lanes {
+                    let v = match kind {
+                        SpecialValue::Tid => Value::I64((w * width + l) as i64),
+                        SpecialValue::LaneId => Value::I64(l as i64),
+                        SpecialValue::WarpId => Value::I64(w as i64),
+                        SpecialValue::NumThreads => Value::I64(n_threads),
+                        SpecialValue::WarpWidth => Value::I64(width as i64),
+                    };
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Rng { dst, kind } => {
+                for &l in lanes {
+                    let v = match kind {
+                        RngKind::U63 => Value::I64(self.warps[w].threads[l].rng.next_u63()),
+                        RngKind::Unit => Value::F64(self.warps[w].threads[l].rng.next_unit()),
+                    };
+                    self.set_reg(w, l, *dst, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::SyncThreads => {
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::WaitingSync;
+                }
+                self.sync_release_check(w);
+            }
+            Inst::Vote { dst, pred } => {
+                // Warp-synchronous: counts over the lanes issued together.
+                let mut count = 0i64;
+                for &l in lanes {
+                    if self.eval(w, l, *pred).is_truthy() {
+                        count += 1;
+                    }
+                }
+                for &l in lanes {
+                    self.set_reg(w, l, *dst, Value::I64(count));
+                    self.advance(w, l);
+                }
+            }
+            Inst::SeedRng { src } => {
+                let launch_mix = 0x5EED_u64; // stream domain separator
+                for &l in lanes {
+                    let v = self.eval(w, l, *src).as_i64() as u64;
+                    self.warps[w].threads[l].rng = SplitMix64::for_thread(v ^ launch_mix, v);
+                    self.advance(w, l);
+                }
+            }
+            Inst::Call { func, args, rets } => {
+                let callee = match func {
+                    FuncRef::Id(id) => *id,
+                    FuncRef::Name(n) => {
+                        return Err(SimError::UnresolvedCall {
+                            at: self.location(w, lanes[0]),
+                            callee: n.clone(),
+                        })
+                    }
+                };
+                let cf = &self.module.functions[callee];
+                let (entry, num_regs) = (cf.entry, cf.num_regs);
+                for &l in lanes {
+                    let mut regs = vec![Value::default(); num_regs];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = self.eval(w, l, *a);
+                    }
+                    // Return to the instruction after the call.
+                    self.advance(w, l);
+                    self.warps[w].threads[l].frames.push(Frame {
+                        func: callee,
+                        block: entry,
+                        inst: 0,
+                        regs,
+                        ret_regs: rets.clone(),
+                    });
+                }
+            }
+            Inst::Barrier(op) => self.exec_barrier(w, lanes, *op),
+            Inst::Work { .. } | Inst::Nop => {
+                for &l in lanes {
+                    self.advance(w, l);
+                }
+            }
+        }
+        if inst.is_barrier() {
+            self.metrics.barrier_ops += lanes.len() as u64;
+        }
+        Ok(cost)
+    }
+
+    fn exec_barrier(&mut self, w: usize, lanes: &[usize], op: BarrierOp) {
+        match op {
+            BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
+                for &l in lanes {
+                    self.warps[w].masks[b.index()] |= 1 << l;
+                    self.advance(w, l);
+                }
+            }
+            BarrierOp::Cancel(b) => {
+                for &l in lanes {
+                    self.warps[w].masks[b.index()] &= !(1 << l);
+                    self.advance(w, l);
+                }
+                self.release_check(w, b);
+            }
+            BarrierOp::Copy { dst, src } => {
+                self.warps[w].masks[dst.index()] = self.warps[w].masks[src.index()];
+                for &l in lanes {
+                    self.advance(w, l);
+                }
+                self.release_check(w, dst);
+            }
+            BarrierOp::ArrivedCount { dst, bar } => {
+                let n = self.warps[w].masks[bar.index()].count_ones() as i64;
+                for &l in lanes {
+                    self.set_reg(w, l, dst, Value::I64(n));
+                    self.advance(w, l);
+                }
+            }
+            BarrierOp::Wait(b) => {
+                // Block at the wait instruction; the PC advances on
+                // release.
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::Waiting(b);
+                }
+                self.release_check(w, b);
+            }
+        }
+    }
+
+    /// Releases the `__syncthreads` cohort once every live thread is at
+    /// one.
+    fn sync_release_check(&mut self, w: usize) {
+        let warp = &mut self.warps[w];
+        let all_at_sync =
+            warp.threads.iter().all(|t| matches!(t.status, Status::WaitingSync | Status::Exited));
+        let any = warp.threads.iter().any(|t| t.status == Status::WaitingSync);
+        if all_at_sync && any {
+            for t in warp.threads.iter_mut() {
+                if t.status == Status::WaitingSync {
+                    t.status = Status::Runnable;
+                    t.frame_mut().inst += 1;
+                }
+            }
+        }
+    }
+
+    /// Releases barrier `b` if every live participant is blocked on it.
+    fn release_check(&mut self, w: usize, b: BarrierId) {
+        let warp = &mut self.warps[w];
+        let mut live_mask = 0u64;
+        let mut waiting_mask = 0u64;
+        for (l, t) in warp.threads.iter().enumerate() {
+            if t.status != Status::Exited {
+                live_mask |= 1 << l;
+            }
+            if t.status == Status::Waiting(b) {
+                waiting_mask |= 1 << l;
+            }
+        }
+        if waiting_mask == 0 {
+            return;
+        }
+        let participants = warp.masks[b.index()] & live_mask;
+        if participants & !waiting_mask == 0 {
+            // Release: all waiting lanes advance past their wait; the
+            // barrier register is consumed.
+            warp.masks[b.index()] = 0;
+            for l in 0..warp.threads.len() {
+                if waiting_mask & (1 << l) != 0 {
+                    warp.threads[l].status = Status::Runnable;
+                    warp.threads[l].frame_mut().inst += 1;
+                }
+            }
+        }
+    }
+
+    fn exec_term(&mut self, w: usize, lanes: &[usize], term: &Terminator) -> Result<(), SimError> {
+        match term {
+            Terminator::Jump(t) => {
+                for &l in lanes {
+                    let f = self.warps[w].threads[l].frame_mut();
+                    f.block = *t;
+                    f.inst = 0;
+                }
+            }
+            Terminator::Branch { cond, then_bb, else_bb, .. } => {
+                for &l in lanes {
+                    let c = self.eval(w, l, *cond);
+                    let f = self.warps[w].threads[l].frame_mut();
+                    f.block = if c.is_truthy() { *then_bb } else { *else_bb };
+                    f.inst = 0;
+                }
+            }
+            Terminator::Return(values) => {
+                for &l in lanes {
+                    let vals: Vec<Value> = values.iter().map(|v| self.eval(w, l, *v)).collect();
+                    let thread = &mut self.warps[w].threads[l];
+                    let frame = thread.frames.pop().expect("return without frame");
+                    if thread.frames.is_empty() {
+                        // Returning from the kernel frame behaves as exit
+                        // (the verifier rejects this statically, but stay
+                        // safe at runtime).
+                        thread.status = Status::Exited;
+                        thread.frames.push(frame);
+                        self.on_exit(w, l);
+                        continue;
+                    }
+                    let caller = thread.frames.last_mut().expect("caller frame");
+                    for (r, v) in frame.ret_regs.iter().zip(vals) {
+                        caller.regs[r.index()] = v;
+                    }
+                }
+            }
+            Terminator::Exit => {
+                for &l in lanes {
+                    self.warps[w].threads[l].status = Status::Exited;
+                    self.on_exit(w, l);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops an exited lane from every barrier and re-checks releases —
+    /// the forward-progress rule.
+    fn on_exit(&mut self, w: usize, lane: usize) {
+        let nb = self.warps[w].masks.len();
+        for b in 0..nb {
+            self.warps[w].masks[b] &= !(1 << lane);
+        }
+        for b in 0..nb {
+            self.release_check(w, BarrierId::new(b));
+        }
+        self.sync_release_check(w);
+    }
+
+    /// Cost of a global access over the given cell addresses: coalescing
+    /// segments, filtered through the optional L1 cache cost model (the
+    /// cache serves no data — values always come from memory).
+    fn global_access_cost(&mut self, w: usize, addrs: &[i64], base_cost: u32) -> u32 {
+        let lat = &self.cfg.latency;
+        let Some(cache) = &self.cfg.cache else {
+            return base_cost + lat.mem_segment * lat.segments(addrs).saturating_sub(1);
+        };
+        // Unique lines touched by the access.
+        let cells = cache.cells_per_line.max(1) as i64;
+        let mut lines: Vec<i64> = addrs.iter().map(|a| a.div_euclid(cells)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut misses = 0u32;
+        let warp = &mut self.warps[w];
+        for &line in &lines {
+            let slot = (line.rem_euclid(cache.lines as i64)) as usize;
+            if warp.cache_tags[slot] == Some(line) {
+                self.metrics.cache_hits += 1;
+            } else {
+                warp.cache_tags[slot] = Some(line);
+                self.metrics.cache_misses += 1;
+                misses += 1;
+            }
+        }
+        if misses == 0 {
+            cache.hit_cost.max(1)
+        } else {
+            // Pay full latency once plus a segment penalty per extra
+            // missing line.
+            self.cfg.latency.mem_base + self.cfg.latency.mem_segment * (misses - 1)
+        }
+    }
+
+    /// Drops the lines covering `addrs` from every warp's cache (stores
+    /// and atomics write through).
+    fn invalidate_lines(&mut self, addrs: &[i64]) {
+        let Some(cache) = &self.cfg.cache else { return };
+        let cells = cache.cells_per_line.max(1) as i64;
+        for warp in &mut self.warps {
+            for &a in addrs {
+                let line = a.div_euclid(cells);
+                let slot = (line.rem_euclid(cache.lines as i64)) as usize;
+                if warp.cache_tags[slot] == Some(line) {
+                    warp.cache_tags[slot] = None;
+                }
+            }
+        }
+    }
+
+    fn mem_read(
+        &self,
+        w: usize,
+        lane: usize,
+        space: MemSpace,
+        addr: i64,
+    ) -> Result<Value, SimError> {
+        let (mem, size) = match space {
+            MemSpace::Global => (&self.global, self.global.len()),
+            MemSpace::Local => {
+                let t = &self.warps[w].threads[lane];
+                (&t.local, t.local.len())
+            }
+        };
+        if addr < 0 || addr as usize >= size {
+            return Err(SimError::MemoryFault { at: self.location(w, lane), addr, size, space });
+        }
+        Ok(mem[addr as usize])
+    }
+
+    fn mem_write(
+        &mut self,
+        w: usize,
+        lane: usize,
+        space: MemSpace,
+        addr: i64,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let at = self.location(w, lane);
+        let (mem, size) = match space {
+            MemSpace::Global => {
+                let size = self.global.len();
+                (&mut self.global, size)
+            }
+            MemSpace::Local => {
+                let t = &mut self.warps[w].threads[lane];
+                let size = t.local.len();
+                (&mut t.local, size)
+            }
+        };
+        if addr < 0 || addr as usize >= size {
+            return Err(SimError::MemoryFault { at, addr, size, space });
+        }
+        mem[addr as usize] = value;
+        Ok(())
+    }
+}

@@ -1,0 +1,120 @@
+//! Warp scheduling: the policy that picks which PC-group of runnable
+//! lanes issues next.
+//!
+//! Both interpreters ([`crate::exec`] and [`crate::reference`]) group
+//! runnable lanes by program counter and delegate the choice to
+//! [`select_group`]. The function is generic over the PC key type —
+//! `(func, block, inst)` tuples for the tree-walker, flat `usize` PCs
+//! for the decoded engine — but keys must order identically in both
+//! representations so every policy makes the same choice.
+
+use crate::config::SchedulerPolicy;
+
+/// Applies `policy` to the candidate groups and returns the chosen one.
+///
+/// Groups are sorted by key first, so `MinPc`/`MaxPc` pick the ends,
+/// `Greedy` breaks ties toward the lowest PC, and `MostThreads` keeps
+/// the first (lowest-PC) group on size ties. `rr_cursor` is advanced
+/// when the `RoundRobin` policy is used. Returns `None` when no lane is
+/// runnable.
+pub(crate) fn select_group<K: Ord + Copy>(
+    policy: SchedulerPolicy,
+    mut groups: Vec<(K, Vec<usize>)>,
+    last_lanes: u64,
+    rr_cursor: &mut usize,
+) -> Option<(K, Vec<usize>)> {
+    if groups.is_empty() {
+        return None;
+    }
+    groups.sort_by_key(|(k, _)| *k);
+    let idx = match policy {
+        SchedulerPolicy::Greedy => {
+            // Stick with the lanes issued last: pick the group with
+            // the largest overlap with them; fresh start → MinPc.
+            let mut best = 0;
+            let mut best_overlap = 0u32;
+            for (i, (_, lanes)) in groups.iter().enumerate() {
+                let mut mask = 0u64;
+                for &l in lanes {
+                    mask |= 1 << l;
+                }
+                let overlap = (mask & last_lanes).count_ones();
+                if overlap > best_overlap {
+                    best = i;
+                    best_overlap = overlap;
+                }
+            }
+            best
+        }
+        SchedulerPolicy::MinPc => 0,
+        SchedulerPolicy::MaxPc => groups.len() - 1,
+        SchedulerPolicy::MostThreads => {
+            let mut best = 0;
+            for (i, (_, lanes)) in groups.iter().enumerate() {
+                if lanes.len() > groups[best].1.len() {
+                    best = i;
+                }
+            }
+            best
+        }
+        SchedulerPolicy::RoundRobin => {
+            let idx = *rr_cursor % groups.len();
+            *rr_cursor = rr_cursor.wrapping_add(1);
+            idx
+        }
+    };
+    Some(groups.swap_remove(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups() -> Vec<(usize, Vec<usize>)> {
+        // Deliberately unsorted: select_group must sort by key itself.
+        vec![(7, vec![3]), (2, vec![0, 1]), (5, vec![2, 4, 5])]
+    }
+
+    #[test]
+    fn min_and_max_pc_pick_the_ends() {
+        let mut rr = 0;
+        let (k, _) = select_group(SchedulerPolicy::MinPc, groups(), 0, &mut rr).unwrap();
+        assert_eq!(k, 2);
+        let (k, _) = select_group(SchedulerPolicy::MaxPc, groups(), 0, &mut rr).unwrap();
+        assert_eq!(k, 7);
+    }
+
+    #[test]
+    fn greedy_follows_last_lanes_and_defaults_to_min_pc() {
+        let mut rr = 0;
+        // Lane 3 issued last → stick with group at PC 7.
+        let (k, _) = select_group(SchedulerPolicy::Greedy, groups(), 1 << 3, &mut rr).unwrap();
+        assert_eq!(k, 7);
+        // No overlap anywhere → lowest PC.
+        let (k, _) = select_group(SchedulerPolicy::Greedy, groups(), 1 << 9, &mut rr).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn most_threads_prefers_the_biggest_group() {
+        let mut rr = 0;
+        let (k, lanes) = select_group(SchedulerPolicy::MostThreads, groups(), 0, &mut rr).unwrap();
+        assert_eq!((k, lanes.len()), (5, 3));
+    }
+
+    #[test]
+    fn round_robin_cycles_in_key_order() {
+        let mut rr = 0;
+        let picks: Vec<usize> = (0..4)
+            .map(|_| select_group(SchedulerPolicy::RoundRobin, groups(), 0, &mut rr).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![2, 5, 7, 2]);
+    }
+
+    #[test]
+    fn empty_groups_yield_none() {
+        let mut rr = 0;
+        let g: Vec<(usize, Vec<usize>)> = Vec::new();
+        assert!(select_group(SchedulerPolicy::Greedy, g, 0, &mut rr).is_none());
+    }
+}

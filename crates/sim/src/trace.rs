@@ -100,7 +100,16 @@ mod tests {
     use super::*;
 
     fn ev(cycle: u64, mask: u64, roi: bool) -> TraceEvent {
-        TraceEvent { cycle, warp: 0, func: FuncId(0), block: BlockId(0), inst: 0, mask, cost: 1, roi }
+        TraceEvent {
+            cycle,
+            warp: 0,
+            func: FuncId(0),
+            block: BlockId(0),
+            inst: 0,
+            mask,
+            cost: 1,
+            roi,
+        }
     }
 
     #[test]

@@ -367,9 +367,7 @@ fn kernel_args_are_broadcast() {
 
 #[test]
 fn missing_kernel_is_reported() {
-    let m = module(
-        "kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  exit\n}\n",
-    );
+    let m = module("kernel @k(params=0, regs=1, barriers=0, entry=bb0) {\nbb0:\n  exit\n}\n");
     let err = run(&m, &SimConfig::default(), &Launch::new("ghost", 1)).unwrap_err();
     assert!(matches!(err, SimError::NoSuchKernel(n) if n == "ghost"));
 }

@@ -41,10 +41,7 @@ pub struct TaskLoop {
 /// entry); its code runs once per thread before the task loop. On return
 /// the cursor sits on the `body` block; the caller writes the per-task
 /// code and ends it with `b.jmp(task_loop.fetch)`.
-pub fn begin_task_loop(
-    b: &mut FunctionBuilder,
-    num_tasks: impl Into<Operand>,
-) -> TaskLoop {
+pub fn begin_task_loop(b: &mut FunctionBuilder, num_tasks: impl Into<Operand>) -> TaskLoop {
     let fetch = b.block("task_fetch");
     let done = b.block("task_done");
     let body = b.block("task_body");

@@ -188,12 +188,7 @@ fn loop_merge_kernel(id: usize, rng: &mut SmallRng) -> Workload {
     finish_sized(id, b, rng, "nested loop with divergent trip count", 257)
 }
 
-fn finish(
-    id: usize,
-    b: FunctionBuilder,
-    rng: &mut SmallRng,
-    desc: &'static str,
-) -> Workload {
+fn finish(id: usize, b: FunctionBuilder, rng: &mut SmallRng, desc: &'static str) -> Workload {
     finish_sized(id, b, rng, desc, 257)
 }
 
@@ -241,9 +236,7 @@ mod tests {
         let corpus = generate(200, 42);
         let convergent = corpus
             .iter()
-            .filter(|e| {
-                matches!(e.class, KernelClass::Convergent | KernelClass::MildlyDivergent)
-            })
+            .filter(|e| matches!(e.class, KernelClass::Convergent | KernelClass::MildlyDivergent))
             .count();
         assert!(
             convergent > 150,

@@ -1,11 +1,23 @@
 //! Evaluation harness: compile a workload under different configurations,
 //! run it, and compare — with an output-equality check, since Speculative
 //! Reconvergence must never change results.
+//!
+//! The harness is built around [`Engine`], which caches compiled kernels
+//! as decoded execution images (keyed by module text and
+//! [`CompileOptions`]) and runs independent jobs on scoped worker
+//! threads. The module-level free functions ([`run_config`], [`compare`],
+//! [`compare_with`]) delegate to a process-wide single-job engine, so
+//! existing callers keep their exact behavior while repeated runs of the
+//! same kernel skip recompilation and redecoding.
 
 use crate::Workload;
-use simt_sim::{run, Metrics, SimConfig, SimError};
+use simt_ir::Module;
+use simt_sim::{run_image, DecodedImage, Launch, Metrics, SimConfig, SimError, SimOutput};
 use specrecon_core::{compile, CompileOptions, PassError};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Error from the evaluation harness.
 #[derive(Debug)]
@@ -75,16 +87,243 @@ impl From<&Metrics> for RunSummary {
     }
 }
 
+/// One independent simulation job for [`Engine::run_batch`]: a workload
+/// compiled under `opts` and executed under `cfg`.
+#[derive(Clone, Debug)]
+pub struct EvalJob {
+    /// Workload to compile and run (its launch is used as-is).
+    pub workload: Workload,
+    /// Compiler configuration.
+    pub opts: CompileOptions,
+    /// Machine configuration.
+    pub cfg: SimConfig,
+}
+
+impl EvalJob {
+    /// Convenience constructor.
+    pub fn new(workload: Workload, opts: CompileOptions, cfg: SimConfig) -> Self {
+        Self { workload, opts, cfg }
+    }
+}
+
+/// Batch evaluation engine: a compiled-kernel cache plus a worker pool.
+///
+/// Compilation and decode are deterministic, and a [`DecodedImage`] is
+/// independent of [`SimConfig`] (issue costs are resolved per run), so the
+/// cache is keyed only by the module's textual form and the
+/// [`CompileOptions`] — two workloads that lower to the same kernel share
+/// one image.
+///
+/// [`Engine::run_batch`] and [`Engine::par_map`] execute independent jobs
+/// on `std::thread::scope` worker threads. Results are merged by job
+/// index, so output order — and, because each simulation is a pure
+/// function of `(image, cfg, launch)`, every byte of every result — is
+/// identical no matter how many workers run.
+pub struct Engine {
+    jobs: usize,
+    cache: Mutex<HashMap<String, Arc<DecodedImage>>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("jobs", &self.jobs)
+            .field("cached_images", &self.cached_images())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine that runs batches on `jobs` worker threads
+    /// (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1), cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Creates an engine sized to the machine's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Number of worker threads batches run on.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of distinct compiled kernels currently cached.
+    pub fn cached_images(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// Returns the cached decoded image for `(module, opts)`, compiling
+    /// and decoding on a miss. `opts: None` means "run the module as-is"
+    /// (the CLI path, which compiles itself).
+    fn image(
+        &self,
+        module: &Module,
+        opts: Option<&CompileOptions>,
+    ) -> Result<Arc<DecodedImage>, EvalError> {
+        // Key by full text, not by hash: collisions would silently run the
+        // wrong kernel. Modules are small; the memory cost is negligible.
+        let key = match opts {
+            Some(o) => format!("{module}\u{1}{o:?}"),
+            None => format!("{module}\u{1}raw"),
+        };
+        if let Some(img) = self.cache.lock().expect("engine cache poisoned").get(&key) {
+            return Ok(Arc::clone(img));
+        }
+        let img = Arc::new(match opts {
+            Some(o) => DecodedImage::decode(&compile(module, o)?.module),
+            None => DecodedImage::decode(module),
+        });
+        // A concurrent miss may insert first; both images are identical,
+        // so last-write-wins is fine.
+        self.cache.lock().expect("engine cache poisoned").insert(key, Arc::clone(&img));
+        Ok(img)
+    }
+
+    /// Runs an already-compiled module under `cfg`, caching its decoded
+    /// image. This is the entry for callers that drive compilation
+    /// themselves (the CLI, profile-guided flows).
+    pub fn run_module(
+        &self,
+        module: &Module,
+        cfg: &SimConfig,
+        launch: &Launch,
+    ) -> Result<SimOutput, EvalError> {
+        let image = self.image(module, None)?;
+        Ok(run_image(&image, cfg, launch)?)
+    }
+
+    /// Compiles the workload with `opts` and runs it, returning the full
+    /// [`SimOutput`] (including trace/profile when `cfg` requests them).
+    pub fn run_full(
+        &self,
+        w: &Workload,
+        opts: &CompileOptions,
+        cfg: &SimConfig,
+    ) -> Result<SimOutput, EvalError> {
+        let image = self.image(&w.module, Some(opts))?;
+        Ok(run_image(&image, cfg, &w.launch)?)
+    }
+
+    /// Compiles the workload with `opts` and runs it; returns the metrics
+    /// digest and the final memory (for cross-configuration checks).
+    pub fn run_config(
+        &self,
+        w: &Workload,
+        opts: &CompileOptions,
+        cfg: &SimConfig,
+    ) -> Result<(RunSummary, Vec<simt_ir::Value>), EvalError> {
+        let out = self.run_full(w, opts, cfg)?;
+        Ok(((&out.metrics).into(), out.global_mem))
+    }
+
+    /// Baseline-vs-speculative comparison (see the free [`compare`]).
+    pub fn compare(&self, w: &Workload, cfg: &SimConfig) -> Result<Comparison, EvalError> {
+        self.compare_with(w, &CompileOptions::speculative(), cfg)
+    }
+
+    /// Like [`Engine::compare`] but with a custom speculative-side
+    /// configuration.
+    pub fn compare_with(
+        &self,
+        w: &Workload,
+        spec_opts: &CompileOptions,
+        cfg: &SimConfig,
+    ) -> Result<Comparison, EvalError> {
+        let (base, base_mem) = self.run_config(w, &CompileOptions::baseline(), cfg)?;
+        let (spec, spec_mem) = self.run_config(w, spec_opts, cfg)?;
+        if let Some(first_diff) = first_difference(&base_mem, &spec_mem) {
+            return Err(EvalError::ResultMismatch { workload: w.name.to_string(), first_diff });
+        }
+        Ok(Comparison { name: w.name.to_string(), baseline: base, speculative: spec })
+    }
+
+    /// Runs independent jobs on the worker pool; the result vector is in
+    /// job order regardless of worker count.
+    pub fn run_batch(
+        &self,
+        jobs: &[EvalJob],
+    ) -> Vec<Result<(RunSummary, Vec<simt_ir::Value>), EvalError>> {
+        self.par_map(jobs, |j| self.run_config(&j.workload, &j.opts, &j.cfg))
+    }
+
+    /// Applies `f` to every item on the worker pool and returns results in
+    /// item order.
+    ///
+    /// Work is distributed by an atomic cursor (dynamic load balancing);
+    /// each worker records `(index, result)` pairs which are merged by
+    /// index after the scope joins, so the output is deterministic. With
+    /// one worker (or one item) this degenerates to a plain sequential
+    /// map on the calling thread.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|r| r.expect("engine worker skipped an item")).collect()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// The process-wide engine behind the module-level free functions:
+/// single-job (sequential), with the shared kernel cache. Exposed for
+/// callers that want the cache without constructing their own engine.
+pub fn shared() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::new(1))
+}
+
+fn default_engine() -> &'static Engine {
+    shared()
+}
+
 /// Compiles the workload with `opts` and runs it; returns the metrics
 /// digest and the final memory (for cross-configuration checks).
+///
+/// Delegates to a process-wide sequential [`Engine`], so repeated runs of
+/// the same kernel hit its compiled-image cache.
 pub fn run_config(
     w: &Workload,
     opts: &CompileOptions,
     cfg: &SimConfig,
 ) -> Result<(RunSummary, Vec<simt_ir::Value>), EvalError> {
-    let compiled = compile(&w.module, opts)?;
-    let out = run(&compiled.module, cfg, &w.launch)?;
-    Ok(((&out.metrics).into(), out.global_mem))
+    default_engine().run_config(w, opts, cfg)
 }
 
 /// Baseline-vs-speculative comparison for one workload (the Figure 7/8
@@ -119,7 +358,7 @@ impl Comparison {
 /// Any compile or simulation failure, or differing kernel output between
 /// configurations.
 pub fn compare(w: &Workload, cfg: &SimConfig) -> Result<Comparison, EvalError> {
-    compare_with(w, &CompileOptions::speculative(), cfg)
+    default_engine().compare(w, cfg)
 }
 
 /// Like [`compare`] but with a custom speculative-side configuration
@@ -129,12 +368,7 @@ pub fn compare_with(
     spec_opts: &CompileOptions,
     cfg: &SimConfig,
 ) -> Result<Comparison, EvalError> {
-    let (base, base_mem) = run_config(w, &CompileOptions::baseline(), cfg)?;
-    let (spec, spec_mem) = run_config(w, spec_opts, cfg)?;
-    if let Some(first_diff) = first_difference(&base_mem, &spec_mem) {
-        return Err(EvalError::ResultMismatch { workload: w.name.to_string(), first_diff });
-    }
-    Ok(Comparison { name: w.name.to_string(), baseline: base, speculative: spec })
+    default_engine().compare_with(w, spec_opts, cfg)
 }
 
 fn first_difference(a: &[simt_ir::Value], b: &[simt_ir::Value]) -> Option<usize> {
@@ -221,6 +455,68 @@ mod tests {
         let w = rsbench::build(&rsbench::Params::default());
         assert_eq!(with_warps(&w, 2).launch.num_warps, 2);
         assert_eq!(with_seed(&w, 9).launch.seed, 9);
+    }
+
+    #[test]
+    fn engine_caches_compiled_kernels() {
+        let engine = Engine::new(1);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 2);
+        let cfg = SimConfig::default();
+        assert_eq!(engine.cached_images(), 0);
+        let a = engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        assert_eq!(engine.cached_images(), 1);
+        let b = engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        assert_eq!(engine.cached_images(), 1, "second run must hit the cache");
+        assert_eq!(a, b);
+        // A different compile configuration is a different cache entry.
+        engine.run_config(&w, &CompileOptions::speculative(), &cfg).unwrap();
+        assert_eq!(engine.cached_images(), 2);
+    }
+
+    #[test]
+    fn engine_matches_free_functions() {
+        let engine = Engine::new(2);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 2);
+        let cfg = SimConfig::default();
+        let via_engine = engine.compare(&w, &cfg).unwrap();
+        let via_free = compare(&w, &cfg).unwrap();
+        assert_eq!(via_engine.baseline, via_free.baseline);
+        assert_eq!(via_engine.speculative, via_free.speculative);
+    }
+
+    #[test]
+    fn par_map_is_order_preserving_and_complete() {
+        for jobs in [1, 2, 3, 8] {
+            let engine = Engine::new(jobs);
+            let items: Vec<usize> = (0..25).collect();
+            let out = engine.par_map(&items, |&i| i * i);
+            assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+        // Empty input short-circuits.
+        assert_eq!(Engine::new(4).par_map(&[] as &[usize], |&i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_batch_order_matches_job_order() {
+        let engine = Engine::new(4);
+        let base = rsbench::build(&rsbench::Params::default());
+        let jobs: Vec<EvalJob> = [1usize, 2, 3]
+            .iter()
+            .map(|&warps| {
+                EvalJob::new(
+                    with_warps(&base, warps),
+                    CompileOptions::baseline(),
+                    SimConfig::default(),
+                )
+            })
+            .collect();
+        let results = engine.run_batch(&jobs);
+        assert_eq!(results.len(), 3);
+        for (job, result) in jobs.iter().zip(&results) {
+            let (summary, _) = result.as_ref().unwrap();
+            let (expected, _) = run_config(&job.workload, &job.opts, &job.cfg).unwrap();
+            assert_eq!(summary, &expected, "warps={}", job.workload.launch.num_warps);
+        }
     }
 
     #[test]

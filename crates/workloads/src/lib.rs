@@ -39,6 +39,8 @@ pub mod reference;
 pub mod rsbench;
 pub mod xsbench;
 
+pub use eval::{Engine, EvalJob};
+
 use simt_ir::Module;
 use simt_sim::Launch;
 

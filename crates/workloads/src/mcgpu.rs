@@ -184,9 +184,8 @@ mod tests {
         )
         .unwrap();
         let l = layout(&Params { num_photons: 96, num_warps: 1, ..Params::default() });
-        let touched = (0..1024)
-            .filter(|i| mem[(l.grid_base as usize) + i] != Value::I64(0))
-            .count();
+        let touched =
+            (0..1024).filter(|i| mem[(l.grid_base as usize) + i] != Value::I64(0)).count();
         assert!(touched > 100, "dose grid barely touched: {touched}");
     }
 }

@@ -34,13 +34,7 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Self {
-            num_tasks: 384,
-            num_warps: 4,
-            max_candidates: 48,
-            rounds: 4,
-            seed: 0x5EED_0007,
-        }
+        Self { num_tasks: 384, num_warps: 4, max_candidates: 48, rounds: 4, seed: 0x5EED_0007 }
     }
 }
 

@@ -29,8 +29,8 @@ fn all_workloads_fit_in_volta_barrier_registers() {
         assert!(a.after <= VOLTA_BARRIER_REGISTERS, "{}: {} registers", w.name, a.after);
         assert!(a.after <= a.before);
 
-        let a = run(&plain.module, &cfg, &w.launch)
-            .unwrap_or_else(|e| panic!("{} plain: {e}", w.name));
+        let a =
+            run(&plain.module, &cfg, &w.launch).unwrap_or_else(|e| panic!("{} plain: {e}", w.name));
         let b = run(&allocated.module, &cfg, &w.launch)
             .unwrap_or_else(|e| panic!("{} allocated: {e}", w.name));
         assert_eq!(a.global_mem, b.global_mem, "{}: allocation changed results", w.name);

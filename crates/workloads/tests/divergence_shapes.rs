@@ -37,10 +37,7 @@ fn meiyamd5_batch_sizes_are_heavily_imbalanced() {
         .collect();
     let max = *sizes.iter().max().unwrap();
     let mean = sizes.iter().sum::<i64>() as f64 / sizes.len() as f64;
-    assert!(
-        max as f64 > 2.5 * mean,
-        "quadratic skew expected: max {max} vs mean {mean:.1}"
-    );
+    assert!(max as f64 > 2.5 * mean, "quadratic skew expected: max {max} vs mean {mean:.1}");
 }
 
 #[test]
@@ -106,8 +103,7 @@ fn mcb_tallies_are_positive_and_varied() {
         .map(|t| out.global_mem[(l.result_base as usize) + t].as_f64())
         .collect();
     assert!(tallies.iter().all(|&t| t > 0.0), "free flight always accumulates");
-    let distinct: std::collections::HashSet<u64> =
-        tallies.iter().map(|t| t.to_bits()).collect();
+    let distinct: std::collections::HashSet<u64> = tallies.iter().map(|t| t.to_bits()).collect();
     assert!(distinct.len() > 100, "tallies should be distinct per particle");
 }
 

@@ -1,0 +1,74 @@
+//! The batch engine must be bit-deterministic: for every registry
+//! workload, running with one worker and with many workers must produce
+//! byte-identical metrics and final memory. Parallelism may only change
+//! wall-clock, never results.
+
+use simt_sim::SimConfig;
+use specrecon_core::CompileOptions;
+use workloads::eval::{with_warps, Engine, EvalJob};
+use workloads::registry;
+
+fn jobs_for(opts: CompileOptions) -> Vec<EvalJob> {
+    registry()
+        .iter()
+        .map(|w| EvalJob::new(with_warps(w, 2), opts.clone(), SimConfig::default()))
+        .collect()
+}
+
+#[test]
+fn batch_results_are_identical_for_any_worker_count() {
+    for opts in [CompileOptions::baseline(), CompileOptions::speculative()] {
+        let jobs = jobs_for(opts);
+        let sequential = Engine::new(1).run_batch(&jobs);
+        assert_eq!(sequential.len(), jobs.len());
+        for n in [2, 4, 8] {
+            let parallel = Engine::new(n).run_batch(&jobs);
+            assert_eq!(sequential.len(), parallel.len());
+            for ((s, p), job) in sequential.iter().zip(&parallel).zip(&jobs) {
+                let (s_summary, s_mem) = s.as_ref().expect("sequential run succeeded");
+                let (p_summary, p_mem) = p.as_ref().expect("parallel run succeeded");
+                assert_eq!(
+                    s_summary, p_summary,
+                    "{}: metrics digest diverged at {n} workers",
+                    job.workload.name
+                );
+                assert_eq!(
+                    s_mem, p_mem,
+                    "{}: final memory diverged at {n} workers",
+                    job.workload.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_metrics_are_identical_across_engines() {
+    // Beyond the digest: the complete Metrics struct (stall cycles, cache
+    // counters, per-warp breakdowns) must match between independent
+    // engines, proving the cache and worker pool leak no state into runs.
+    let cfg = SimConfig::default();
+    let a = Engine::new(1);
+    let b = Engine::new(4);
+    for w in registry() {
+        let w = with_warps(&w, 2);
+        let out_a = a.run_full(&w, &CompileOptions::speculative(), &cfg).expect("runs");
+        let out_b = b.run_full(&w, &CompileOptions::speculative(), &cfg).expect("runs");
+        assert_eq!(out_a.metrics, out_b.metrics, "{}", w.name);
+        assert_eq!(out_a.global_mem, out_b.global_mem, "{}", w.name);
+    }
+}
+
+#[test]
+fn cache_hits_do_not_change_results() {
+    // Two runs through one engine: the second hits the image cache; both
+    // must equal a run through a fresh engine.
+    let cfg = SimConfig::default();
+    let engine = Engine::new(2);
+    let w = with_warps(&registry().remove(0), 2);
+    let first = engine.run_config(&w, &CompileOptions::speculative(), &cfg).expect("runs");
+    let second = engine.run_config(&w, &CompileOptions::speculative(), &cfg).expect("runs");
+    let fresh = Engine::new(1).run_config(&w, &CompileOptions::speculative(), &cfg).expect("runs");
+    assert_eq!(first, second);
+    assert_eq!(first, fresh);
+}

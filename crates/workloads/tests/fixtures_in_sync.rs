@@ -19,10 +19,6 @@ fn kernel_fixtures_match_generators() {
         });
         let parsed = parse_module(&text)
             .unwrap_or_else(|e| panic!("{}: fixture does not parse: {e}", path.display()));
-        assert_eq!(
-            parsed, w.module,
-            "{}: fixture out of date; rerun dump-kernels",
-            w.name
-        );
+        assert_eq!(parsed, w.module, "{}: fixture out of date; rerun dump-kernels", w.name);
     }
 }

@@ -60,10 +60,7 @@ fn rsbench_accumulators_match_host_model() {
     for task in 0..p.num_tasks {
         let acc = rsbench_accumulator(&p, &data, task);
         let got = out.global_mem[(l.result_base + task) as usize].as_f64();
-        assert!(
-            (got - acc).abs() < 1e-9 * (1.0 + acc.abs()),
-            "task {task}: {got} vs host {acc}"
-        );
+        assert!((got - acc).abs() < 1e-9 * (1.0 + acc.abs()), "task {task}: {got} vs host {acc}");
     }
 }
 

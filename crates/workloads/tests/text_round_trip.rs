@@ -22,8 +22,8 @@ fn compiled_workloads_round_trip_too() {
     for w in registry().into_iter().take(3) {
         let compiled = compile(&w.module, &CompileOptions::speculative()).unwrap();
         let printed = compiled.module.to_string();
-        let reparsed = parse_and_link(&printed)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        let reparsed =
+            parse_and_link(&printed).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
         assert_eq!(compiled.module, reparsed, "{}", w.name);
     }
 }

@@ -25,12 +25,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = specrecon::sim::SimConfig::default();
     let cmp = compare(&workload, &cfg)?;
-    println!("baseline (PDOM):          SIMT efficiency {:>5.1}%, {:>8} cycles",
-        cmp.baseline.simt_eff * 100.0, cmp.baseline.cycles);
-    println!("speculative reconvergence: SIMT efficiency {:>5.1}%, {:>8} cycles",
-        cmp.speculative.simt_eff * 100.0, cmp.speculative.cycles);
-    println!("=> efficiency gain {:.2}x, speedup {:.2}x (results verified identical)\n",
-        cmp.efficiency_gain(), cmp.speedup());
+    println!(
+        "baseline (PDOM):          SIMT efficiency {:>5.1}%, {:>8} cycles",
+        cmp.baseline.simt_eff * 100.0,
+        cmp.baseline.cycles
+    );
+    println!(
+        "speculative reconvergence: SIMT efficiency {:>5.1}%, {:>8} cycles",
+        cmp.speculative.simt_eff * 100.0,
+        cmp.speculative.cycles
+    );
+    println!(
+        "=> efficiency gain {:.2}x, speedup {:.2}x (results verified identical)\n",
+        cmp.efficiency_gain(),
+        cmp.speedup()
+    );
 
     println!("soft-barrier thresholds (release once N threads arrive):");
     for t in [8u32, 16, 24, 32] {

@@ -21,12 +21,7 @@ fn sweep(w: &Workload) -> Result<(), Box<dyn std::error::Error>> {
             best = (t, c.speedup());
         }
         let marker = if t == 32 { "  (full barrier)" } else { "" };
-        println!(
-            "{:>9} {:>9.1}% {:>7.2}x{marker}",
-            t,
-            c.speculative.simt_eff * 100.0,
-            c.speedup()
-        );
+        println!("{:>9} {:>9.1}% {:>7.2}x{marker}", t, c.speculative.simt_eff * 100.0, c.speedup());
     }
     println!("best threshold: {} ({:.2}x)\n", best.0, best.1);
     Ok(())

@@ -73,10 +73,7 @@ fn main() {
     // Stage 1: one task per thread — 512 tasks need 16 warps.
     let flat = one_task_per_thread();
     println!("stage 1: one task per thread (no outer loop, nothing to merge)");
-    let cands = detect(
-        &flat.functions[specrecon::ir::FuncId(0)],
-        &DetectOptions::default(),
-    );
+    let cands = detect(&flat.functions[specrecon::ir::FuncId(0)], &DetectOptions::default());
     println!("  detector candidates: {}", cands.len());
     report("  baseline", &flat, &CompileOptions::baseline(), 16);
 

@@ -15,19 +15,25 @@
 //!            --warps N        warps (default 4)
 //!            --mem N          global memory cells, zero-initialized (default 1024)
 //!            --seed S         RNG seed (default 0xC0FFEE)
+//!            --seeds N        run N launches at seeds S..S+N and report each
+//!                             plus an aggregate (variance check)
+//!            --jobs N         worker threads for multi-seed runs (default:
+//!                             available parallelism)
 //!            --trace          print a lane-occupancy timeline
 //!            --hot            print the hottest blocks (per-block profile)
 //! ```
+//!
+//! `run` executes on the batch evaluation engine: the kernel is decoded
+//! once into a flat execution image and every launch runs against it.
 
 use specrecon::analysis::DomTree;
 use specrecon::ir::{
     module_to_dot, parse_and_link, verify_module, FuncKind, Module, PredictTarget, Value,
 };
 use specrecon::passes::compute_region;
-use specrecon::passes::{
-    compile, compile_profile_guided, detect, CompileOptions, DetectOptions,
-};
-use specrecon::sim::{run, Launch, SimConfig};
+use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
+use specrecon::sim::{Launch, SimConfig, SimOutput};
+use specrecon::workloads::Engine;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -119,8 +125,14 @@ fn compile_by_mode(
 ) -> Result<specrecon::passes::Compiled, String> {
     if args.iter().any(|a| a == "--pgo") {
         let (cfg, launch) = launch_from_args(module, args)?;
-        compile_profile_guided(module, &CompileOptions::speculative(), &DetectOptions::default(), &cfg, &launch)
-            .map_err(|e| e.to_string())
+        compile_profile_guided(
+            module,
+            &CompileOptions::speculative(),
+            &DetectOptions::default(),
+            &cfg,
+            &launch,
+        )
+        .map_err(|e| e.to_string())
     } else {
         let opts = mode_options(args)?;
         compile(module, &opts).map_err(|e| e.to_string())
@@ -222,8 +234,14 @@ fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Laun
             .map(|(_, f)| f.name.clone())
             .ok_or("module has no kernel")?,
     };
-    let warps: usize = flag_value(args, "--warps").unwrap_or("4").parse().map_err(|_| "--warps expects a number")?;
-    let mem: usize = flag_value(args, "--mem").unwrap_or("1024").parse().map_err(|_| "--mem expects a number")?;
+    let warps: usize = flag_value(args, "--warps")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--warps expects a number")?;
+    let mem: usize = flag_value(args, "--mem")
+        .unwrap_or("1024")
+        .parse()
+        .map_err(|_| "--mem expects a number")?;
     let seed: u64 = match flag_value(args, "--seed") {
         Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
         None => 0xC0FFEE,
@@ -240,10 +258,23 @@ fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Laun
 fn run_cmd(module: &Module, args: &[String]) -> Result<(), String> {
     let want_trace = args.iter().any(|a| a == "--trace");
     let want_hot = args.iter().any(|a| a == "--hot");
+    let jobs: usize = match flag_value(args, "--jobs") {
+        Some(v) => v.parse().map_err(|_| "--jobs expects a number")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let seeds: u64 = match flag_value(args, "--seeds") {
+        Some(v) => v.parse().map_err(|_| "--seeds expects a number")?,
+        None => 1,
+    };
     let compiled = compile_by_mode(module, args)?;
     let (cfg, launch) = launch_from_args(module, args)?;
+    let engine = Engine::new(jobs);
 
-    let out = run(&compiled.module, &cfg, &launch).map_err(|e| e.to_string())?;
+    if seeds > 1 {
+        return run_seed_batch(&engine, &compiled.module, &cfg, &launch, seeds);
+    }
+
+    let out = engine.run_module(&compiled.module, &cfg, &launch).map_err(|e| e.to_string())?;
     println!("{}", out.metrics);
 
     if want_hot {
@@ -266,4 +297,62 @@ fn run_cmd(module: &Module, args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Runs `seeds` launches (seeds S..S+N) as a parallel batch on the engine
+/// and reports per-seed metrics plus an aggregate.
+fn run_seed_batch(
+    engine: &Engine,
+    module: &Module,
+    cfg: &SimConfig,
+    launch: &Launch,
+    seeds: u64,
+) -> Result<(), String> {
+    let launches: Vec<Launch> = (0..seeds)
+        .map(|i| {
+            let mut l = launch.clone();
+            l.seed = launch.seed.wrapping_add(i);
+            l
+        })
+        .collect();
+    let outs: Vec<Result<SimOutput, _>> =
+        engine.par_map(&launches, |l| engine.run_module(module, cfg, l));
+
+    println!("{} seeds on {} worker(s):", seeds, engine.jobs());
+    let mut ok = Vec::new();
+    let mut first_err = None;
+    for (l, r) in launches.iter().zip(outs) {
+        match r {
+            Ok(out) => {
+                println!(
+                    "  seed {:#x}: {} cycles, SIMT efficiency {:.1}%, {} barrier ops",
+                    l.seed,
+                    out.metrics.cycles,
+                    100.0 * out.metrics.simt_efficiency(),
+                    out.metrics.barrier_ops
+                );
+                ok.push(out);
+            }
+            Err(e) => {
+                println!("  seed {:#x}: FAILED: {e}", l.seed);
+                first_err.get_or_insert_with(|| e.to_string());
+            }
+        }
+    }
+    if !ok.is_empty() {
+        let n = ok.len() as f64;
+        let mean_cycles = ok.iter().map(|o| o.metrics.cycles as f64).sum::<f64>() / n;
+        let mean_eff = ok.iter().map(|o| o.metrics.simt_efficiency()).sum::<f64>() / n;
+        let min = ok.iter().map(|o| o.metrics.cycles).min().unwrap_or(0);
+        let max = ok.iter().map(|o| o.metrics.cycles).max().unwrap_or(0);
+        println!(
+            "aggregate: mean {:.0} cycles (min {min}, max {max}), mean SIMT efficiency {:.1}%",
+            mean_cycles,
+            100.0 * mean_eff
+        );
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }

@@ -130,12 +130,12 @@ fn soft_barrier_lowering_structure_is_pinned() {
     let printed = compiled.module.to_string();
 
     for needle in [
-        "join b3",       // bCount join at the reconvergence point
-        "= arrived b3",  // threshold read
-        "bcopy b4, b3",  // trip side shrinks the release mask
-        "bcopy b4, b2",  // re-arm with the membership mask
-        "cancel b3",     // leave the counting barrier after release
-        "wait b4",       // both sides block on bTemp
+        "join b3",      // bCount join at the reconvergence point
+        "= arrived b3", // threshold read
+        "bcopy b4, b3", // trip side shrinks the release mask
+        "bcopy b4, b2", // re-arm with the membership mask
+        "cancel b3",    // leave the counting barrier after release
+        "wait b4",      // both sides block on bTemp
     ] {
         assert!(printed.contains(needle), "missing `{needle}` in:\n{printed}");
     }

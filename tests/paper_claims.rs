@@ -63,10 +63,9 @@ fn figure9_crossover_holds() {
     });
     let (xs_best, xs_peak) = best_threshold(&xs);
     assert_ne!(xs_best, 32, "xsbench should peak below the full barrier");
-    let xs_full =
-        compare_with(&with_threshold(&xs, 32), &CompileOptions::speculative(), &cfg)
-            .unwrap()
-            .speedup();
+    let xs_full = compare_with(&with_threshold(&xs, 32), &CompileOptions::speculative(), &cfg)
+        .unwrap()
+        .speedup();
     assert!(xs_peak > xs_full, "partial threshold {xs_peak:.3} must beat full {xs_full:.3}");
 }
 

@@ -62,10 +62,7 @@ fn all_option_combinations_agree_on_results() {
             CompileOptions { deconflict: DeconflictMode::Static, ..CompileOptions::speculative() },
         ),
         ("automatic", CompileOptions::automatic(DetectOptions::default())),
-        (
-            "no-pdom-spec",
-            CompileOptions { pdom: false, ..CompileOptions::speculative() },
-        ),
+        ("no-pdom-spec", CompileOptions { pdom: false, ..CompileOptions::speculative() }),
     ];
     for (name, opts) in combos {
         let compiled = compile(&module, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -108,18 +105,11 @@ fn runs_are_bit_deterministic() {
 fn speculative_improves_this_kernel() {
     let module = parse_module(LISTING1).unwrap();
     let cfg = SimConfig::default();
-    let base = run(
-        &compile(&module, &CompileOptions::baseline()).unwrap().module,
-        &cfg,
-        &launch(),
-    )
-    .unwrap();
-    let spec = run(
-        &compile(&module, &CompileOptions::speculative()).unwrap().module,
-        &cfg,
-        &launch(),
-    )
-    .unwrap();
+    let base = run(&compile(&module, &CompileOptions::baseline()).unwrap().module, &cfg, &launch())
+        .unwrap();
+    let spec =
+        run(&compile(&module, &CompileOptions::speculative()).unwrap().module, &cfg, &launch())
+            .unwrap();
     assert!(
         spec.metrics.roi_simt_efficiency() > base.metrics.roi_simt_efficiency() + 0.2,
         "roi: {} -> {}",

@@ -17,9 +17,7 @@
 
 use proptest::prelude::*;
 use specrecon::analysis::{BarrierJoined, BarrierLiveness};
-use specrecon::ir::{
-    BarrierId, BarrierOp, BlockId, FuncKind, Function, Inst, Operand, Terminator,
-};
+use specrecon::ir::{BarrierId, BarrierOp, BlockId, FuncKind, Function, Inst, Operand, Terminator};
 
 const NB: usize = 3;
 
@@ -116,8 +114,7 @@ fn brute_live_in(f: &Function, max_visits: usize) -> Vec<[bool; NB]> {
     let n = f.blocks.len();
     let mut result = vec![[false; NB]; n];
     // Enumerate paths as block sequences ending at an exit.
-    let mut stack: Vec<(BlockId, Vec<BlockId>, Vec<usize>)> =
-        vec![(f.entry, vec![], vec![0; n])];
+    let mut stack: Vec<(BlockId, Vec<BlockId>, Vec<usize>)> = vec![(f.entry, vec![], vec![0; n])];
     while let Some((b, mut path, mut visits)) = stack.pop() {
         if visits[b.index()] >= max_visits {
             continue;

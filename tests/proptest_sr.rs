@@ -53,7 +53,17 @@ fn shape_strategy() -> impl Strategy<Value = KernelShape> {
         ],
     )
         .prop_map(
-            |(outer_iters, branch_p, then_work, epilog_work, inner_trip_max, predict_inner, threshold, seed, policy)| {
+            |(
+                outer_iters,
+                branch_p,
+                then_work,
+                epilog_work,
+                inner_trip_max,
+                predict_inner,
+                threshold,
+                seed,
+                policy,
+            )| {
                 KernelShape {
                     outer_iters,
                     branch_p,
@@ -189,40 +199,48 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
     let bar = (0u32..3).prop_map(BarrierId);
     let space = prop_oneof![Just(MemSpace::Global), Just(MemSpace::Local)];
     prop_oneof![
-        (reg.clone(), 0usize..BinOp::all().len(), imm_strategy(), imm_strategy()).prop_map(
-            |(dst, op, lhs, rhs)| Inst::Bin { op: BinOp::all()[op], dst, lhs, rhs }
-        ),
+        (reg.clone(), 0usize..BinOp::all().len(), imm_strategy(), imm_strategy())
+            .prop_map(|(dst, op, lhs, rhs)| Inst::Bin { op: BinOp::all()[op], dst, lhs, rhs }),
         (reg.clone(), 0usize..UnOp::all().len(), imm_strategy())
             .prop_map(|(dst, op, src)| Inst::Un { op: UnOp::all()[op], dst, src }),
         (reg.clone(), imm_strategy()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
-        (reg.clone(), imm_strategy(), imm_strategy(), imm_strategy()).prop_map(
-            |(dst, cond, if_true, if_false)| Inst::Sel { dst, cond, if_true, if_false }
-        ),
+        (reg.clone(), imm_strategy(), imm_strategy(), imm_strategy())
+            .prop_map(|(dst, cond, if_true, if_false)| Inst::Sel { dst, cond, if_true, if_false }),
         (0u32..200).prop_map(|amount| Inst::Work { amount }),
         Just(Inst::Nop),
         imm_strategy().prop_map(|src| Inst::SeedRng { src }),
         (reg.clone(), imm_strategy()).prop_map(|(dst, pred)| Inst::Vote { dst, pred }),
-        (reg.clone(), space.clone(), imm_strategy())
-            .prop_map(|(dst, space, addr)| Inst::Load { dst, space, addr }),
-        (space, imm_strategy(), imm_strategy())
-            .prop_map(|(space, addr, value)| Inst::Store { space, addr, value }),
+        (reg.clone(), space.clone(), imm_strategy()).prop_map(|(dst, space, addr)| Inst::Load {
+            dst,
+            space,
+            addr
+        }),
+        (space, imm_strategy(), imm_strategy()).prop_map(|(space, addr, value)| Inst::Store {
+            space,
+            addr,
+            value
+        }),
         (reg.clone(), imm_strategy(), imm_strategy())
             .prop_map(|(dst, addr, value)| Inst::AtomicAdd { dst, addr, value }),
-        (reg.clone(), prop_oneof![
-            Just(SpecialValue::Tid),
-            Just(SpecialValue::LaneId),
-            Just(SpecialValue::WarpId),
-            Just(SpecialValue::NumThreads),
-            Just(SpecialValue::WarpWidth),
-        ])
-        .prop_map(|(dst, kind)| Inst::Special { dst, kind }),
+        (
+            reg.clone(),
+            prop_oneof![
+                Just(SpecialValue::Tid),
+                Just(SpecialValue::LaneId),
+                Just(SpecialValue::WarpId),
+                Just(SpecialValue::NumThreads),
+                Just(SpecialValue::WarpWidth),
+            ]
+        )
+            .prop_map(|(dst, kind)| Inst::Special { dst, kind }),
         (reg.clone(), prop_oneof![Just(RngKind::U63), Just(RngKind::Unit)])
             .prop_map(|(dst, kind)| Inst::Rng { dst, kind }),
         bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Join(b))),
         bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Wait(b))),
         bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Cancel(b))),
         bar.clone().prop_map(|b| Inst::Barrier(BarrierOp::Rejoin(b))),
-        (bar.clone(), bar.clone()).prop_map(|(dst, src)| Inst::Barrier(BarrierOp::Copy { dst, src })),
+        (bar.clone(), bar.clone())
+            .prop_map(|(dst, src)| Inst::Barrier(BarrierOp::Copy { dst, src })),
         (reg, bar).prop_map(|(dst, bar)| Inst::Barrier(BarrierOp::ArrivedCount { dst, bar })),
     ]
 }

@@ -1,0 +1,327 @@
+//! Offline drop-in subset of the `criterion` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and
+//! the `criterion_group!` / `criterion_main!` entry points.
+//!
+//! Measurement is a plain wall-clock harness: warm up, calibrate an
+//! iteration count against a time target, then report mean ns/iter
+//! (plus element throughput when annotated). No statistics, plots, or
+//! baselines — the point is comparable numbers in CI logs, not
+//! publication-grade confidence intervals.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque hint that prevents the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How many logical items one iteration processes, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// display parameter (e.g. a workload name or job count).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher<'a> {
+    total: &'a mut Duration,
+    iters: &'a mut u64,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, choosing an iteration count to fill the
+    /// measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one timed call sizes the batch.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let n = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        *self.total = start.elapsed();
+        *self.iters = n;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes iteration
+    /// counts from the time target instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_benchmark_id(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.full);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut bencher = Bencher {
+            total: &mut total,
+            iters: &mut iters,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut bencher);
+        report(&full, total, iters, self.throughput);
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, total: Duration, iters: u64, throughput: Option<Throughput>) {
+    if iters == 0 {
+        println!("{name:<50} (not measured)");
+        return;
+    }
+    let per_iter_ns = total.as_nanos() as f64 / iters as f64;
+    let time = human_time(per_iter_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e9 / per_iter_ns;
+            println!(
+                "{name:<50} time: {time:>12}/iter   thrpt: {:>14}",
+                human_rate(rate, "elem/s")
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e9 / per_iter_ns;
+            println!("{name:<50} time: {time:>12}/iter   thrpt: {:>14}", human_rate(rate, "B/s"));
+        }
+        None => println!("{name:<50} time: {time:>12}/iter"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Conversions accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// The benchmark harness handle passed to every group function.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Creates a handle configured from command-line arguments
+    /// (`cargo bench` flags are accepted; a bare string filters by
+    /// substring).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // cargo/libtest plumbing: accept and ignore.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" | "-v" => {}
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        c.measurement_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip (and its value if present).
+                }
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup { criterion: self, name: String::new(), throughput: None };
+        g.run(name.into_benchmark_id(), f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut c = Criterion { filter: None, measurement_time: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("demo");
+        let mut ran = 0u64;
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran > 0, "bench body never executed");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("demo");
+        let mut ran = false;
+        g.bench_function("skipped", |b| {
+            b.iter(|| ran = true);
+        });
+        g.finish();
+        assert!(!ran, "filtered bench should not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("baseline", "rsbench");
+        assert_eq!(id.full, "baseline/rsbench");
+    }
+}

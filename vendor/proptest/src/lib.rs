@@ -1,0 +1,663 @@
+//! Offline drop-in subset of the `proptest` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` its test suites actually use:
+//! [`Strategy`] with `prop_map`, tuple/range/`Just`/`any` strategies,
+//! `prop_oneof!`, `prop::collection::vec`, regex-subset string
+//! strategies, and the `proptest!`/`prop_assert*`/`prop_assume!`
+//! macros driven by a deterministic runner.
+//!
+//! Differences from upstream are deliberate: no shrinking (a failing
+//! case reports the assertion message and the case seed instead of a
+//! minimized input), and value streams are deterministic per test name
+//! rather than matching upstream byte-for-byte.
+
+pub mod strategy {
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use rand::Rng as _;
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Object-safe: combinators that need `Self: Sized` say so, letting
+    /// `prop_oneof!` erase heterogeneous strategies behind
+    /// `Arc<dyn Strategy<Value = V>>`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives; the engine
+    /// behind `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<Arc<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `options`; panics if empty.
+        pub fn new(options: Vec<Arc<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone() }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i32, i64, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns for this type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for primitives, parameterized by type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty => |$rng:ident| $gen:expr),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+
+                fn arbitrary() -> Any<$t> {
+                    Any(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_any! {
+        bool => |rng| rng.gen(),
+        u8 => |rng| rng.gen::<u64>() as u8,
+        u32 => |rng| rng.gen::<u32>(),
+        u64 => |rng| rng.gen::<u64>(),
+        i64 => |rng| rng.gen::<u64>() as i64,
+        usize => |rng| rng.gen::<u64>() as usize,
+        f64 => |rng| rng.gen::<f64>(),
+    }
+
+    /// Returns the canonical strategy for `T` (`any::<bool>()`, ...).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// String literals are regex-subset strategies generating matching
+    /// strings.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::Rng as _;
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Number of elements for a collection strategy: an exact size or a
+    /// half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range must be non-empty");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+mod string {
+    //! Generator for the regex subset the workspace's string strategies
+    //! use: literals, `\`-escapes, character classes with ranges,
+    //! alternation groups, and `{m}` / `{m,n}` repetition.
+
+    use rand::Rng as _;
+
+    use super::test_runner::TestRng;
+
+    enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(pos == chars.len(), "unsupported regex pattern: {pattern:?}");
+        let mut out = String::new();
+        emit(&node, rng, &mut out);
+        out
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(parts) => parts.iter().for_each(|p| emit(p, rng, out)),
+            Node::Alt(opts) => emit(&opts[rng.gen_range(0..opts.len())], rng, out),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                out.push(char::from_u32(rng.gen_range(lo as u32..hi as u32 + 1)).unwrap());
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Repeat(inner, min, max) => {
+                let n = rng.gen_range(*min..max + 1);
+                (0..n).for_each(|_| emit(inner, rng, out));
+            }
+        }
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+        let mut options = vec![parse_seq(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            options.push(parse_seq(chars, pos));
+        }
+        if options.len() == 1 {
+            options.pop().unwrap()
+        } else {
+            Node::Alt(options)
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+        let mut parts = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos);
+            parts.push(parse_quantifier(chars, pos, atom));
+        }
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Node::Seq(parts)
+        }
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos);
+                assert!(chars.get(*pos) == Some(&')'), "unclosed group in pattern");
+                *pos += 1;
+                inner
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while chars[*pos] != ']' {
+                    let lo = parse_class_char(chars, pos);
+                    if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        *pos += 1;
+                        let hi = parse_class_char(chars, pos);
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                *pos += 1;
+                Node::Class(ranges)
+            }
+            '\\' => {
+                *pos += 1;
+                let c = unescape(chars[*pos]);
+                *pos += 1;
+                Node::Lit(c)
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        }
+    }
+
+    fn parse_class_char(chars: &[char], pos: &mut usize) -> char {
+        if chars[*pos] == '\\' {
+            *pos += 1;
+            let c = unescape(chars[*pos]);
+            *pos += 1;
+            c
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+        if chars.get(*pos) != Some(&'{') {
+            return atom;
+        }
+        *pos += 1;
+        let min = parse_number(chars, pos);
+        let max = if chars[*pos] == ',' {
+            *pos += 1;
+            parse_number(chars, pos)
+        } else {
+            min
+        };
+        assert!(chars[*pos] == '}', "unclosed quantifier in pattern");
+        *pos += 1;
+        Node::Repeat(Box::new(atom), min, max)
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize) -> usize {
+        let mut n = 0usize;
+        while chars[*pos].is_ascii_digit() {
+            n = n * 10 + chars[*pos] as usize - '0' as usize;
+            *pos += 1;
+        }
+        n
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic random source handed to strategies.
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        pub(crate) fn from_seed(seed: u64) -> Self {
+            TestRng { inner: SmallRng::seed_from_u64(seed) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Runner configuration; construct with functional update syntax:
+    /// `ProptestConfig { cases: 48, ..ProptestConfig::default() }`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property: runs `body` until `cfg.cases` successes,
+    /// retrying rejections, panicking on the first failure.
+    pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while passed < cfg.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= cfg.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: case {passed} failed (seed {seed:#018x}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::sync::Arc::new($strat)
+                as ::std::sync::Arc<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($fmt $(, $args)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: ",
+                    $fmt
+                ),
+                l,
+                r
+                $(, $args)*
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; the runner retries
+/// with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn` body runs against `cases` random
+/// input tuples drawn from its `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&cfg, stringify!($name), |rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_strategy_matches_class_pattern() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[ -~\n]{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_alternation_pattern() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"(ab|cd[0-9]|x){1,5}", &mut rng);
+            assert!(!s.is_empty());
+            assert!(s.chars().all(|c| "abcdx0123456789".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macros_drive_generated_tuples(
+            x in 1i64..100,
+            v in prop::collection::vec(0u32..10, 0..4),
+            choice in prop_oneof![Just(0u32), (1u32..4).prop_map(|b| b)],
+        ) {
+            prop_assume!(x != 41);
+            prop_assert!((1..100).contains(&x), "x out of range: {}", x);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(choice < 4u32);
+        }
+    }
+}
