@@ -1,0 +1,33 @@
+//! The `hot_loop` Criterion group: decoded-executor throughput on the
+//! divergent workload registry.
+//!
+//! One benchmark per Table-2 workload, run as-is (no pass pipeline — the
+//! measurement isolates the simulator's cycle loop) on a pre-decoded
+//! image, annotated with simulated cycles per run so the report prints
+//! cycles/sec. This is the Criterion-side view of the number `perfbench`
+//! snapshots into `BENCH_<n>.json` and `perfgate` defends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_sim::{run_image, SimConfig};
+use workloads::eval::{with_warps, Engine};
+use workloads::registry;
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let engine = Engine::new(1);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("hot_loop");
+    for w in registry() {
+        let w = with_warps(&w, 2);
+        let image = engine.decoded(&w.module, None).expect("registry workload decodes");
+        let cycles =
+            run_image(&image, &cfg, &w.launch).expect("registry workload runs").metrics.cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_with_input(BenchmarkId::new("registry", w.name), &w, |b, w| {
+            b.iter(|| run_image(&image, &cfg, &w.launch).expect("runs"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_loop);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! `perfbench` — records a `BENCH_<n>.json` hot-loop throughput snapshot.
+//!
+//! Runs every registry workload on the decoded executor and measures
+//! simulated cycles per wall-clock second (see `perf::measure_hot_loop`).
+//! The snapshot lands at the next free `BENCH_<n>.json` in the current
+//! directory unless `--out` says otherwise; `perfgate` compares two such
+//! snapshots and fails on regression.
+//!
+//! ```text
+//! perfbench [--label TEXT] [--warps N] [--min-time SECS] [--out PATH]
+//! ```
+
+use specrecon_bench::perf;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    label: String,
+    warps: usize,
+    min_time: Duration,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        label: "registry hot loop".to_string(),
+        warps: 2,
+        min_time: Duration::from_secs_f64(0.4),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--label" => args.label = value("--label")?,
+            "--warps" => {
+                args.warps = value("--warps")?.parse().map_err(|e| format!("bad --warps: {e}"))?;
+            }
+            "--min-time" => {
+                let secs: f64 =
+                    value("--min-time")?.parse().map_err(|e| format!("bad --min-time: {e}"))?;
+                args.min_time = Duration::from_secs_f64(secs);
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "perfbench [--label TEXT] [--warps N] [--min-time SECS] [--out PATH]\n\
+                     Records a BENCH_<n>.json hot-loop throughput snapshot."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = args.out.unwrap_or_else(|| perf::next_snapshot_path(std::path::Path::new(".")));
+    eprintln!(
+        "perfbench: measuring registry hot loop (warps={}, min-time={:?}) ...",
+        args.warps, args.min_time
+    );
+    let snapshot = perf::measure_hot_loop(&args.label, args.warps, args.min_time);
+    println!("{:<12} {:>14} {:>8} {:>16}", "workload", "cycles/run", "runs", "cycles/sec");
+    for r in &snapshot.results {
+        println!(
+            "{:<12} {:>14} {:>8} {:>16.3e}",
+            r.name, r.cycles_per_run, r.runs, r.cycles_per_sec
+        );
+    }
+    println!("{:<12} {:>14} {:>8} {:>16.3e}", "geomean", "", "", snapshot.geomean_cycles_per_sec());
+    if let Err(e) = std::fs::write(&out_path, snapshot.to_json()) {
+        eprintln!("perfbench: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perfbench: wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}

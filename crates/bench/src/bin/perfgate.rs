@@ -1,0 +1,166 @@
+//! `perfgate` — fails the build when hot-loop throughput regresses.
+//!
+//! Compares the two most recent `BENCH_<n>.json` snapshots (or an
+//! explicit `--old`/`--new` pair) and exits non-zero when any workload
+//! lost more than the threshold (default 10%) of its cycles/sec.
+//!
+//! ```text
+//! perfgate [--old PATH] [--new PATH] [--threshold FRACTION]
+//! perfgate --check-format [PATH ...]
+//! ```
+//!
+//! `--check-format` only validates that the snapshots parse against the
+//! current schema — the CI smoke job runs it so the format cannot rot.
+
+use specrecon_bench::perf;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn load(path: &PathBuf) -> Result<perf::Snapshot, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    perf::Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn check_format(paths: Vec<PathBuf>) -> ExitCode {
+    let paths = if paths.is_empty() {
+        let found: Vec<PathBuf> =
+            perf::snapshot_files(std::path::Path::new(".")).into_iter().map(|(_, p)| p).collect();
+        if found.is_empty() {
+            eprintln!("perfgate: no BENCH_<n>.json snapshots found in the current directory");
+            return ExitCode::FAILURE;
+        }
+        found
+    } else {
+        paths
+    };
+    let mut ok = true;
+    for p in &paths {
+        match load(p) {
+            Ok(s) => {
+                println!("{}: ok ({} workloads, label {:?})", p.display(), s.results.len(), s.label)
+            }
+            Err(e) => {
+                eprintln!("perfgate: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut old: Option<PathBuf> = None;
+    let mut new: Option<PathBuf> = None;
+    let mut threshold = perf::DEFAULT_THRESHOLD;
+    let mut format_only = false;
+    let mut positional: Vec<PathBuf> = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--old" => old = Some(PathBuf::from(value("--old")?)),
+                "--new" => new = Some(PathBuf::from(value("--new")?)),
+                "--threshold" => {
+                    threshold = value("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold: {e}"))?;
+                }
+                "--check-format" => format_only = true,
+                "--help" | "-h" => {
+                    println!(
+                        "perfgate [--old PATH] [--new PATH] [--threshold FRACTION]\n\
+                         perfgate --check-format [PATH ...]\n\
+                         Compares the two most recent BENCH_<n>.json snapshots and fails\n\
+                         when any workload regressed beyond the threshold (default 10%)."
+                    );
+                    std::process::exit(0);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown argument {other:?}"));
+                }
+                path => positional.push(PathBuf::from(path)),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if format_only {
+        return check_format(positional);
+    }
+
+    let (old_path, new_path) = match (old, new) {
+        (Some(o), Some(n)) => (o, n),
+        (o, n) => {
+            let found = perf::snapshot_files(std::path::Path::new("."));
+            if found.len() < 2 && (o.is_none() || n.is_none()) {
+                eprintln!(
+                    "perfgate: need two BENCH_<n>.json snapshots to compare \
+                     (found {}); record one with `cargo run --release -p specrecon-bench \
+                     --bin perfbench`",
+                    found.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut tail = found.into_iter().rev();
+            let latest = tail.next().map(|(_, p)| p);
+            let previous = tail.next().map(|(_, p)| p);
+            (
+                o.or(previous).expect("previous snapshot present"),
+                n.or(latest).expect("latest snapshot present"),
+            )
+        }
+    };
+
+    let (old_snap, new_snap) = match (load(&old_path), load(&new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for e in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("perfgate: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "perfgate: {} ({:?}) -> {} ({:?}), threshold {:.0}%",
+        old_path.display(),
+        old_snap.label,
+        new_path.display(),
+        new_snap.label,
+        threshold * 100.0
+    );
+    let report = perf::gate(&old_snap, &new_snap, threshold);
+    println!("{:<12} {:>14} {:>14} {:>9}", "workload", "old c/s", "new c/s", "ratio");
+    for l in &report.lines {
+        println!(
+            "{:<12} {:>14.3e} {:>14.3e} {:>8.2}x{}",
+            l.name,
+            l.old,
+            l.new,
+            l.ratio,
+            if l.regressed { "  REGRESSED" } else { "" }
+        );
+    }
+    for name in &report.unmatched {
+        println!("{name:<12} (only in one snapshot, not gated)");
+    }
+    println!("geomean ratio: {:.2}x", report.geomean_ratio);
+    if report.passed() {
+        println!("perfgate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: FAIL — throughput regressed beyond {:.0}%", threshold * 100.0);
+        ExitCode::FAILURE
+    }
+}

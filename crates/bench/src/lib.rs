@@ -23,6 +23,7 @@ pub mod ablate;
 pub mod fig10;
 pub mod fig7;
 pub mod fig9;
+pub mod perf;
 pub mod report;
 pub mod table2;
 

@@ -1,0 +1,608 @@
+//! Perf-regression snapshots: the `BENCH_<n>.json` format and the gate.
+//!
+//! The `perfbench` binary times the simulator hot loop on the workload
+//! registry and writes a [`Snapshot`]; the `perfgate` binary compares the
+//! two most recent snapshots and fails when throughput regresses beyond a
+//! threshold. Both live here so the format and the comparison rule are
+//! unit-tested, and so the vendored-workspace constraint (no serde) is
+//! confined to one small hand-rolled JSON layer.
+//!
+//! Throughput is reported in *simulated cycles per wall-clock second* —
+//! the figure sweeps are bounded by how fast the machine burns simulated
+//! cycles, so that is the number the gate protects.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use simt_sim::{run_image, SimConfig};
+use workloads::eval::{with_warps, Engine};
+use workloads::registry;
+
+/// Schema tag written into every snapshot (bump on breaking changes).
+pub const SCHEMA: &str = "specrecon-perf-v1";
+
+/// Default regression threshold: fail when a workload loses more than
+/// this fraction of its throughput.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// Hot-loop throughput of one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadPerf {
+    /// Workload name (registry name).
+    pub name: String,
+    /// Simulated cycles one run of the workload takes.
+    pub cycles_per_run: u64,
+    /// Timed runs behind the measurement.
+    pub runs: u64,
+    /// Total wall-clock time of the timed runs, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// One `BENCH_<n>.json` perf snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Free-form label (e.g. "seed" or a change description).
+    pub label: String,
+    /// Warps per workload launch the measurement used.
+    pub warps: usize,
+    /// Per-workload results, in registry order.
+    pub results: Vec<WorkloadPerf>,
+}
+
+impl Snapshot {
+    /// Geometric-mean throughput across all workloads (0.0 when empty).
+    pub fn geomean_cycles_per_sec(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self.results.iter().map(|r| r.cycles_per_sec.max(1.0).ln()).sum();
+        (log_sum / self.results.len() as f64).exp()
+    }
+
+    /// Serializes to the `BENCH_<n>.json` format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+        let _ = writeln!(s, "  \"label\": {},", json_str(&self.label));
+        let _ = writeln!(s, "  \"warps\": {},", self.warps);
+        let _ = writeln!(s, "  \"geomean_cycles_per_sec\": {:?},", self.geomean_cycles_per_sec());
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"cycles_per_run\": {}, \"runs\": {}, \
+                 \"elapsed_ns\": {}, \"cycles_per_sec\": {:?}}}",
+                json_str(&r.name),
+                r.cycles_per_run,
+                r.runs,
+                r.elapsed_ns,
+                r.cycles_per_sec
+            );
+            s.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a snapshot, validating the schema tag and required fields.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a wrong/missing schema tag, or missing fields.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let schema = get(obj, "schema")?.as_str().ok_or("schema must be a string")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
+        }
+        let label = get(obj, "label")?.as_str().ok_or("label must be a string")?.to_string();
+        let warps = get(obj, "warps")?.as_u64().ok_or("warps must be a non-negative integer")?;
+        let results = get(obj, "results")?
+            .as_arr()
+            .ok_or("results must be an array")?
+            .iter()
+            .map(|r| {
+                let o = r.as_obj().ok_or("each result must be an object")?;
+                Ok(WorkloadPerf {
+                    name: get(o, "name")?.as_str().ok_or("name must be a string")?.to_string(),
+                    cycles_per_run: get(o, "cycles_per_run")?
+                        .as_u64()
+                        .ok_or("cycles_per_run must be an integer")?,
+                    runs: get(o, "runs")?.as_u64().ok_or("runs must be an integer")?,
+                    elapsed_ns: get(o, "elapsed_ns")?
+                        .as_u64()
+                        .ok_or("elapsed_ns must be an integer")?,
+                    cycles_per_sec: get(o, "cycles_per_sec")?
+                        .as_f64()
+                        .ok_or("cycles_per_sec must be a number")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Snapshot { label, warps: warps as usize, results })
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// Times the simulator hot loop on every registry workload and returns a
+/// snapshot.
+///
+/// Each workload's module is decoded once (run as-is, no pass pipeline —
+/// the measurement isolates the simulator) and then launched repeatedly
+/// with `warps` warps until `min_time` of wall clock accumulates, with at
+/// least three timed runs. Throughput is `simulated cycles / wall time`.
+///
+/// # Panics
+///
+/// Panics if a registry workload fails to decode or run — they are all
+/// known-good programs, so a failure is a harness bug.
+pub fn measure_hot_loop(label: &str, warps: usize, min_time: Duration) -> Snapshot {
+    let engine = Engine::new(1);
+    let cfg = SimConfig::default();
+    let mut results = Vec::new();
+    for w in registry() {
+        let w = with_warps(&w, warps);
+        let image = engine.decoded(&w.module, None).expect("registry workload decodes");
+        // Warm-up run: fills caches/pools and yields the per-run cycle
+        // count (deterministic for a fixed launch).
+        let out = run_image(&image, &cfg, &w.launch).expect("registry workload runs");
+        let cycles_per_run = out.metrics.cycles;
+        let mut runs = 0u64;
+        let start = Instant::now();
+        let mut elapsed;
+        loop {
+            std::hint::black_box(run_image(&image, &cfg, &w.launch).expect("workload runs"));
+            runs += 1;
+            elapsed = start.elapsed();
+            if runs >= 3 && elapsed >= min_time {
+                break;
+            }
+        }
+        let elapsed_ns = elapsed.as_nanos() as u64;
+        let cycles_per_sec = (cycles_per_run * runs) as f64 * 1e9 / elapsed_ns.max(1) as f64;
+        results.push(WorkloadPerf {
+            name: w.name.to_string(),
+            cycles_per_run,
+            runs,
+            elapsed_ns,
+            cycles_per_sec,
+        });
+    }
+    Snapshot { label: label.to_string(), warps, results }
+}
+
+/// Outcome of gating one workload of the new snapshot against the old.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateLine {
+    /// Workload name.
+    pub name: String,
+    /// Old throughput (cycles/sec).
+    pub old: f64,
+    /// New throughput (cycles/sec).
+    pub new: f64,
+    /// `new / old` (above 1.0 = faster).
+    pub ratio: f64,
+    /// Whether this line violates the threshold.
+    pub regressed: bool,
+}
+
+/// Result of comparing two snapshots.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Per-workload comparisons (workloads present in both snapshots).
+    pub lines: Vec<GateLine>,
+    /// Workloads only in one of the snapshots (reported, never fatal).
+    pub unmatched: Vec<String>,
+    /// Geomean ratio `new / old` over the matched workloads.
+    pub geomean_ratio: f64,
+    /// The threshold the comparison used.
+    pub threshold: f64,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no workload regressed beyond threshold).
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| !l.regressed)
+    }
+}
+
+/// Compares `new` against `old`: a workload regresses when its throughput
+/// ratio drops below `1 - threshold`.
+pub fn gate(old: &Snapshot, new: &Snapshot, threshold: f64) -> GateReport {
+    let mut lines = Vec::new();
+    let mut unmatched = Vec::new();
+    for o in &old.results {
+        match new.results.iter().find(|n| n.name == o.name) {
+            Some(n) => {
+                let ratio =
+                    if o.cycles_per_sec > 0.0 { n.cycles_per_sec / o.cycles_per_sec } else { 1.0 };
+                lines.push(GateLine {
+                    name: o.name.clone(),
+                    old: o.cycles_per_sec,
+                    new: n.cycles_per_sec,
+                    ratio,
+                    regressed: ratio < 1.0 - threshold,
+                });
+            }
+            None => unmatched.push(o.name.clone()),
+        }
+    }
+    for n in &new.results {
+        if old.results.iter().all(|o| o.name != n.name) {
+            unmatched.push(n.name.clone());
+        }
+    }
+    let geomean_ratio = if lines.is_empty() {
+        1.0
+    } else {
+        (lines.iter().map(|l| l.ratio.max(1e-12).ln()).sum::<f64>() / lines.len() as f64).exp()
+    };
+    GateReport { lines, unmatched, geomean_ratio, threshold }
+}
+
+/// Finds every `BENCH_<n>.json` in `dir`, sorted by `n`.
+pub fn snapshot_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return found };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        {
+            found.push((n, entry.path()));
+        }
+    }
+    found.sort_by_key(|(n, _)| *n);
+    found
+}
+
+/// The path the next snapshot should be written to: `BENCH_<n+1>.json`
+/// after the highest existing `n` (or `BENCH_0.json` on a fresh tree).
+pub fn next_snapshot_path(dir: &Path) -> PathBuf {
+    let next = snapshot_files(dir).last().map_or(0, |(n, _)| n + 1);
+    dir.join(format!("BENCH_{next}.json"))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the snapshot format (the workspace has no
+/// crates.io access, hence no serde).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            out.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?} at {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            label: "seed \"quoted\"".into(),
+            warps: 2,
+            results: vec![
+                WorkloadPerf {
+                    name: "rsbench".into(),
+                    cycles_per_run: 120_000,
+                    runs: 40,
+                    elapsed_ns: 1_000_000,
+                    cycles_per_sec: 4.8e9,
+                },
+                WorkloadPerf {
+                    name: "mummer".into(),
+                    cycles_per_run: 7,
+                    runs: 3,
+                    elapsed_ns: 21,
+                    cycles_per_sec: 1e9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = sample();
+        let parsed = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample().to_json().replace(SCHEMA, "other-v0");
+        let err = Snapshot::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Snapshot::from_json("{\"schema\":").is_err());
+        assert!(Snapshot::from_json("[]").is_err());
+        assert!(Snapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn gate_flags_regressions_beyond_threshold() {
+        let old = sample();
+        let mut new = sample();
+        new.results[0].cycles_per_sec = old.results[0].cycles_per_sec * 0.85; // -15%
+        new.results[1].cycles_per_sec = old.results[1].cycles_per_sec * 0.95; // -5%
+        let report = gate(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!report.passed());
+        assert!(report.lines[0].regressed);
+        assert!(!report.lines[1].regressed);
+        // Within threshold everywhere → passes.
+        let report = gate(&old, &new, 0.20);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn gate_reports_unmatched_workloads_without_failing() {
+        let old = sample();
+        let mut new = sample();
+        new.results[1].name = "renamed".into();
+        let report = gate(&old, &new, DEFAULT_THRESHOLD);
+        assert_eq!(report.lines.len(), 1);
+        assert_eq!(report.unmatched, vec!["mummer".to_string(), "renamed".to_string()]);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let old = sample();
+        let mut new = sample();
+        new.results[0].cycles_per_sec = old.results[0].cycles_per_sec * 2.0;
+        new.results[1].cycles_per_sec = old.results[1].cycles_per_sec * 0.5;
+        let report = gate(&old, &new, 0.9);
+        assert!((report.geomean_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_numbering() {
+        let dir = std::env::temp_dir().join(format!("specrecon-perf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_snapshot_path(&dir), dir.join("BENCH_0.json"));
+        std::fs::write(dir.join("BENCH_0.json"), "x").unwrap();
+        std::fs::write(dir.join("BENCH_3.json"), "x").unwrap();
+        assert_eq!(snapshot_files(&dir).len(), 2);
+        assert_eq!(next_snapshot_path(&dir), dir.join("BENCH_4.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

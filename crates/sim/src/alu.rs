@@ -8,6 +8,7 @@
 use simt_ir::{BinOp, UnOp, Value};
 
 /// Evaluates a binary ALU operation.
+#[inline]
 pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
     use BinOp::*;
     let float = !a.is_int() || !b.is_int();
@@ -93,6 +94,7 @@ pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
 }
 
 /// Evaluates a unary ALU operation.
+#[inline]
 pub(crate) fn eval_un(op: UnOp, a: Value) -> Result<Value, String> {
     Ok(match op {
         UnOp::Not => {

@@ -10,40 +10,47 @@
 //! *correctness* barrier: every live thread of the warp must arrive
 //! before any proceeds.
 //!
+//! Everything here is mask-form: the issued group arrives as a `u64`
+//! lane mask, participation updates are single OR/AND-NOT operations,
+//! and the warp's incremental `runnable`/`waiting`/`at_sync`/`exited`
+//! masks are maintained at each status transition so the scheduler
+//! never re-scans thread statuses.
+//!
 //! These methods live on [`Machine`] from [`crate::exec`]; they are split
 //! out because they are the part of the execution model the Speculative
 //! Reconvergence passes actually manipulate.
 
 use crate::exec::{Machine, Status};
+use crate::sched::lanes;
 use simt_ir::{BarrierId, BarrierOp, Value};
 
 impl Machine<'_> {
-    /// Executes one barrier operation for the issued lanes.
-    pub(crate) fn exec_barrier(&mut self, w: usize, lanes: &[usize], op: BarrierOp) {
+    /// Executes one barrier operation for the issued lane mask.
+    pub(crate) fn exec_barrier(&mut self, w: usize, mask: u64, op: BarrierOp) {
         match op {
             BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
-                for &l in lanes {
-                    self.warps[w].masks[b.index()] |= 1 << l;
+                self.warps[w].masks[b.index()] |= mask;
+                for l in lanes(mask) {
                     self.advance(w, l);
                 }
             }
             BarrierOp::Cancel(b) => {
-                for &l in lanes {
-                    self.warps[w].masks[b.index()] &= !(1 << l);
+                self.warps[w].masks[b.index()] &= !mask;
+                for l in lanes(mask) {
                     self.advance(w, l);
                 }
                 self.release_check(w, b);
             }
             BarrierOp::Copy { dst, src } => {
                 self.warps[w].masks[dst.index()] = self.warps[w].masks[src.index()];
-                for &l in lanes {
+                for l in lanes(mask) {
                     self.advance(w, l);
                 }
                 self.release_check(w, dst);
             }
             BarrierOp::ArrivedCount { dst, bar } => {
                 let n = self.warps[w].masks[bar.index()].count_ones() as i64;
-                for &l in lanes {
+                for l in lanes(mask) {
                     self.set_reg(w, l, dst, Value::I64(n));
                     self.advance(w, l);
                 }
@@ -51,9 +58,12 @@ impl Machine<'_> {
             BarrierOp::Wait(b) => {
                 // Block at the wait instruction; the PC advances on
                 // release.
-                for &l in lanes {
-                    self.warps[w].threads[l].status = Status::Waiting(b);
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.threads[l].status = Status::Waiting(b);
                 }
+                warp.runnable &= !mask;
+                warp.waiting |= mask;
                 self.release_check(w, b);
             }
         }
@@ -63,55 +73,64 @@ impl Machine<'_> {
     /// one.
     pub(crate) fn sync_release_check(&mut self, w: usize) {
         let warp = &mut self.warps[w];
-        let all_at_sync =
-            warp.threads.iter().all(|t| matches!(t.status, Status::WaitingSync | Status::Exited));
-        let any = warp.threads.iter().any(|t| t.status == Status::WaitingSync);
-        if all_at_sync && any {
-            for t in warp.threads.iter_mut() {
-                if t.status == Status::WaitingSync {
-                    t.status = Status::Runnable;
-                    t.frame_mut().pc += 1;
-                }
-            }
+        // All live threads are at the sync exactly when nothing is
+        // runnable or barrier-blocked and at least one lane arrived.
+        if warp.runnable != 0 || warp.waiting != 0 || warp.at_sync == 0 {
+            return;
         }
+        let releasing = warp.at_sync;
+        for l in lanes(releasing) {
+            warp.threads[l].status = Status::Runnable;
+            warp.pcs[l] += 1;
+        }
+        warp.at_sync = 0;
+        warp.runnable |= releasing;
     }
 
     /// Releases barrier `b` if every live participant is blocked on it.
     pub(crate) fn release_check(&mut self, w: usize, b: BarrierId) {
         let warp = &mut self.warps[w];
-        let mut live_mask = 0u64;
-        let mut waiting_mask = 0u64;
-        for (l, t) in warp.threads.iter().enumerate() {
-            if t.status != Status::Exited {
-                live_mask |= 1 << l;
-            }
-            if t.status == Status::Waiting(b) {
-                waiting_mask |= 1 << l;
+        // Lanes blocked on *this* barrier: scan only the waiting mask
+        // (statuses carry which barrier each waiting lane is parked on).
+        let mut waiting_b = 0u64;
+        for l in lanes(warp.waiting) {
+            if warp.threads[l].status == Status::Waiting(b) {
+                waiting_b |= 1 << l;
             }
         }
-        if waiting_mask == 0 {
+        if waiting_b == 0 {
             return;
         }
-        let participants = warp.masks[b.index()] & live_mask;
-        if participants & !waiting_mask == 0 {
+        let live = warp.lane_mask & !warp.exited;
+        let participants = warp.masks[b.index()] & live;
+        if participants & !waiting_b == 0 {
             // Release: all waiting lanes advance past their wait; the
             // barrier register is consumed.
             warp.masks[b.index()] = 0;
-            for l in 0..warp.threads.len() {
-                if waiting_mask & (1 << l) != 0 {
-                    warp.threads[l].status = Status::Runnable;
-                    warp.threads[l].frame_mut().pc += 1;
-                }
+            for l in lanes(waiting_b) {
+                warp.threads[l].status = Status::Runnable;
+                warp.pcs[l] += 1;
             }
+            warp.waiting &= !waiting_b;
+            warp.runnable |= waiting_b;
         }
     }
 
-    /// Drops an exited lane from every barrier and re-checks releases —
-    /// the forward-progress rule.
-    pub(crate) fn on_exit(&mut self, w: usize, lane: usize) {
-        let nb = self.warps[w].masks.len();
+    /// Drops exited lanes from every barrier and re-checks releases —
+    /// the forward-progress rule. The caller has already set each
+    /// thread's status to [`Status::Exited`]. Batched over a mask:
+    /// releases are monotone in removed participants, so clearing the
+    /// whole cohort before one re-check pass releases exactly the
+    /// barriers that per-lane processing would.
+    pub(crate) fn on_exit_mask(&mut self, w: usize, mask: u64) {
+        let warp = &mut self.warps[w];
+        warp.runnable &= !mask;
+        warp.waiting &= !mask;
+        warp.at_sync &= !mask;
+        warp.exited |= mask;
+        let nb = warp.masks.len();
         for b in 0..nb {
-            self.warps[w].masks[b] &= !(1 << lane);
+            warp.masks[b] &= !mask;
         }
         for b in 0..nb {
             self.release_check(w, BarrierId::new(b));

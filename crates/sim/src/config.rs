@@ -121,11 +121,39 @@ impl LatencyModel {
     /// Number of `segment_bytes` segments touched by the given cell
     /// addresses (the coalescing model).
     pub fn segments(&self, addrs: &[i64]) -> u32 {
+        let mut scratch = Vec::new();
+        self.segments_in(addrs, &mut scratch)
+    }
+
+    /// Allocation-free [`segments`](Self::segments): the caller supplies
+    /// a reusable scratch buffer (cleared here, capacity retained). The
+    /// executor's hot loop calls this once per global access, so the
+    /// buffer must not be rebuilt per call.
+    pub fn segments_in(&self, addrs: &[i64], scratch: &mut Vec<i64>) -> u32 {
         let cells_per_seg = (self.segment_bytes / self.cell_bytes).max(1) as i64;
-        let mut segs: Vec<i64> = addrs.iter().map(|a| a.div_euclid(cells_per_seg)).collect();
-        segs.sort_unstable();
-        segs.dedup();
-        segs.len() as u32
+        // Linear dedup instead of sort+dedup: accesses touch few unique
+        // segments (a coalesced warp touches one or two), so scanning the
+        // short unique list per address beats sorting the address vector.
+        // Segment geometry is a power of two in practice; an arithmetic
+        // shift is floor division, sparing a hardware divide per lane.
+        scratch.clear();
+        if cells_per_seg.count_ones() == 1 {
+            let shift = cells_per_seg.trailing_zeros();
+            for &a in addrs {
+                let seg = a >> shift;
+                if !scratch.contains(&seg) {
+                    scratch.push(seg);
+                }
+            }
+        } else {
+            for &a in addrs {
+                let seg = a.div_euclid(cells_per_seg);
+                if !scratch.contains(&seg) {
+                    scratch.push(seg);
+                }
+            }
+        }
+        scratch.len() as u32
     }
 }
 

@@ -447,8 +447,17 @@ impl DecodedImage {
                         )
                     }
                     FuncRef::Name(n) => {
-                        let name = self.callee_names.len() as u32;
-                        self.callee_names.push(n.clone());
+                        // Interned: repeated unresolved references to the
+                        // same callee share one pool entry, and the
+                        // executor reports errors by index — the string
+                        // is cloned here at decode time, never per issue.
+                        let name = match self.callee_names.iter().position(|e| e == n) {
+                            Some(i) => i as u32,
+                            None => {
+                                self.callee_names.push(n.clone());
+                                (self.callee_names.len() - 1) as u32
+                            }
+                        };
                         (CostClass::Call, DecodedInst::UnresolvedCall { name })
                     }
                 }
@@ -583,6 +592,29 @@ mod tests {
             lat.control,  // exit (terminator)
         ];
         assert_eq!(costs, expected);
+    }
+
+    #[test]
+    fn unresolved_callee_names_are_interned() {
+        // Unlinked on purpose: only `parse_module` leaves by-name calls
+        // unresolved for decode to poison.
+        let m = simt_ir::parse_module(
+            "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\n\
+             bb0:\n  call @ghost(1) -> (%r0)\n  call @ghost(2) -> (%r0)\n  \
+             call @phantom(3) -> (%r1)\n  exit\n}\n",
+        )
+        .unwrap();
+        let img = DecodedImage::decode(&m);
+        assert_eq!(img.callee_names, vec!["ghost".to_string(), "phantom".to_string()]);
+        let ids: Vec<u32> = img
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                DecodedInst::UnresolvedCall { name } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 0, 1]);
     }
 
     #[test]

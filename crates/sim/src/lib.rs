@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(test)]
+mod alloc_count;
 mod alu;
 mod barrier;
 pub mod config;
@@ -41,6 +43,14 @@ pub mod reference;
 pub mod rng;
 mod sched;
 pub mod trace;
+
+/// The unit-test binary counts heap allocations to prove the decoded
+/// engine's steady-state loop never touches the allocator; see
+/// [`alloc_count`] and the `step_is_allocation_free_in_steady_state`
+/// test in [`exec`].
+#[cfg(test)]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
 
 pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
 pub use decode::DecodedImage;

@@ -70,6 +70,39 @@ impl Metrics {
         self.roi_active_lane_sum as f64 / (self.roi_issues as f64 * self.warp_width as f64)
     }
 
+    /// Records one warp-instruction issue from its active-lane mask.
+    ///
+    /// This is the hot-loop accounting path: everything derives from
+    /// `mask.count_ones()` so the executor never materialises a lane
+    /// list just to count it. `waiting_lanes` is the number of lanes
+    /// parked on a convergence barrier at issue time (the stall-bubble
+    /// indicator), captured by the caller *before* executing the
+    /// instruction to match the reference engine's sampling point.
+    #[inline]
+    pub(crate) fn record_issue(
+        &mut self,
+        warp: usize,
+        mask: u64,
+        cost: u32,
+        roi: bool,
+        waiting_lanes: u32,
+    ) {
+        let active = u64::from(mask.count_ones());
+        let cost = u64::from(cost);
+        self.issues += 1;
+        self.issue_weight += cost;
+        self.active_lane_sum += active * cost;
+        self.lane_insts += active;
+        self.stall_cycles += u64::from(waiting_lanes);
+        if roi {
+            self.roi_issues += cost;
+            self.roi_active_lane_sum += active * cost;
+        }
+        let pw = &mut self.per_warp[warp];
+        pw.0 += cost;
+        pw.1 += active * cost;
+    }
+
     /// SIMT efficiency of one warp.
     ///
     /// # Panics

@@ -1,14 +1,107 @@
 //! Warp scheduling: the policy that picks which PC-group of runnable
 //! lanes issues next.
 //!
-//! Both interpreters ([`crate::exec`] and [`crate::reference`]) group
-//! runnable lanes by program counter and delegate the choice to
-//! [`select_group`]. The function is generic over the PC key type —
-//! `(func, block, inst)` tuples for the tree-walker, flat `usize` PCs
-//! for the decoded engine — but keys must order identically in both
-//! representations so every policy makes the same choice.
+//! Both interpreters group runnable lanes by program counter and
+//! delegate the choice to a selection function. The decoded engine
+//! ([`crate::exec`]) is bitmask-native: its groups are `(flat pc,
+//! u64 lane mask)` pairs, pre-sorted by pc, chosen by
+//! [`select_group_mask`] without allocating. The tree-walking oracle
+//! ([`crate::reference`]) keeps the original [`select_group`] over
+//! `(key, Vec<usize>)` groups with `(func, block, inst)` keys. Flat-pc
+//! order equals the tuple order by construction of the image layout,
+//! and a property test below pins the two formulations to the same
+//! choice for every policy.
 
 use crate::config::SchedulerPolicy;
+
+/// Iterates the set lanes of a mask in ascending order.
+///
+/// `trailing_zeros` plus clear-lowest-bit: the decoded engine's
+/// replacement for walking `Vec<usize>` lane lists. Ascending order is
+/// load-bearing — atomics serialize in lane order.
+pub(crate) fn lanes(mask: u64) -> Lanes {
+    Lanes(mask)
+}
+
+/// Iterator over the set bits of a lane mask (see [`lanes`]).
+pub(crate) struct Lanes(u64);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let l = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(l)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+/// Applies `policy` to mask-form candidate groups and returns the chosen
+/// one.
+///
+/// `groups` must be sorted by pc ascending with unique pcs (the decoded
+/// engine's `pick_group` produces them that way), which replaces the
+/// sort [`select_group`] performs: `MinPc`/`MaxPc` pick the ends,
+/// `Greedy` breaks ties toward the lowest pc, `MostThreads` keeps the
+/// first (lowest-pc) group on popcount ties, and `RoundRobin` advances
+/// `rr_cursor`. Returns `None` when no lane is runnable. Never
+/// allocates.
+pub(crate) fn select_group_mask(
+    policy: SchedulerPolicy,
+    groups: &[(usize, u64)],
+    last_lanes: u64,
+    rr_cursor: &mut usize,
+) -> Option<(usize, u64)> {
+    if groups.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        groups.windows(2).all(|p| p[0].0 < p[1].0),
+        "mask groups must be sorted by pc with unique keys"
+    );
+    let idx = match policy {
+        SchedulerPolicy::Greedy => {
+            // Stick with the lanes issued last: pick the group with
+            // the largest overlap with them; fresh start → MinPc.
+            let mut best = 0;
+            let mut best_overlap = 0u32;
+            for (i, &(_, mask)) in groups.iter().enumerate() {
+                let overlap = (mask & last_lanes).count_ones();
+                if overlap > best_overlap {
+                    best = i;
+                    best_overlap = overlap;
+                }
+            }
+            best
+        }
+        SchedulerPolicy::MinPc => 0,
+        SchedulerPolicy::MaxPc => groups.len() - 1,
+        SchedulerPolicy::MostThreads => {
+            let mut best = 0;
+            for (i, &(_, mask)) in groups.iter().enumerate() {
+                if mask.count_ones() > groups[best].1.count_ones() {
+                    best = i;
+                }
+            }
+            best
+        }
+        SchedulerPolicy::RoundRobin => {
+            let idx = *rr_cursor % groups.len();
+            *rr_cursor = rr_cursor.wrapping_add(1);
+            idx
+        }
+    };
+    Some(groups[idx])
+}
 
 /// Applies `policy` to the candidate groups and returns the chosen one.
 ///
@@ -116,5 +209,120 @@ mod tests {
         let mut rr = 0;
         let g: Vec<(usize, Vec<usize>)> = Vec::new();
         assert!(select_group(SchedulerPolicy::Greedy, g, 0, &mut rr).is_none());
+        assert!(select_group_mask(SchedulerPolicy::Greedy, &[], 0, &mut rr).is_none());
+    }
+
+    #[test]
+    fn lanes_iterates_set_bits_ascending() {
+        assert_eq!(lanes(0).collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(lanes(0b1011).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(lanes(1 << 63).collect::<Vec<_>>(), vec![63]);
+        assert_eq!(lanes(u64::MAX).count(), 64);
+    }
+
+    fn to_mask(lanes: &[usize]) -> u64 {
+        lanes.iter().fold(0u64, |m, &l| m | 1 << l)
+    }
+
+    /// Mask groups in the form `pick_group` produces: sorted by key.
+    fn mask_groups(groups: &[(usize, Vec<usize>)]) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = groups.iter().map(|(k, ls)| (*k, to_mask(ls))).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    const ALL_POLICIES: [SchedulerPolicy; 5] = [
+        SchedulerPolicy::Greedy,
+        SchedulerPolicy::MinPc,
+        SchedulerPolicy::MaxPc,
+        SchedulerPolicy::MostThreads,
+        SchedulerPolicy::RoundRobin,
+    ];
+
+    #[test]
+    fn mask_selection_matches_vec_selection_on_fixtures() {
+        for policy in ALL_POLICIES {
+            for last in [0u64, 1 << 3, (1 << 2) | (1 << 4), u64::MAX] {
+                let mut rr_vec = 5;
+                let mut rr_mask = 5;
+                let vec_pick = select_group(policy, groups(), last, &mut rr_vec).unwrap();
+                let mask_pick =
+                    select_group_mask(policy, &mask_groups(&groups()), last, &mut rr_mask).unwrap();
+                assert_eq!(mask_pick.0, vec_pick.0, "{policy:?} key, last={last:#x}");
+                assert_eq!(mask_pick.1, to_mask(&vec_pick.1), "{policy:?} lanes");
+                assert_eq!(rr_mask, rr_vec, "{policy:?} cursor");
+            }
+        }
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Lane pc in `0..IDLE` means runnable at that pc; `IDLE` marks
+        /// a non-runnable lane.
+        const IDLE: usize = 6;
+
+        /// Random warp occupancy: each lane is either idle or parked at
+        /// one of a handful of pcs. Grouping mirrors `pick_group`: the
+        /// vec form collects lanes in ascending order per first-seen
+        /// key, the mask form is key-sorted `(pc, mask)`.
+        fn occupancy() -> impl Strategy<Value = Vec<usize>> {
+            proptest::collection::vec(0usize..IDLE + 1, 1..65)
+        }
+
+        fn vec_groups(occ: &[usize]) -> Vec<(usize, Vec<usize>)> {
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (lane, &pc) in occ.iter().enumerate() {
+                if pc == IDLE {
+                    continue;
+                }
+                match groups.iter_mut().find(|(k, _)| *k == pc) {
+                    Some((_, lanes)) => lanes.push(lane),
+                    None => groups.push((pc, vec![lane])),
+                }
+            }
+            groups
+        }
+
+        proptest! {
+            /// The satellite contract: for every scheduler policy, the
+            /// mask formulation picks the same group (same key, same
+            /// lane set — hence same popcount) as the original
+            /// `Vec<usize>` formulation, and advances the round-robin
+            /// cursor identically.
+            #[test]
+            fn mask_and_vec_formulations_agree(
+                occ in occupancy(),
+                last_lanes in any::<u64>(),
+                rr_start in any::<usize>(),
+            ) {
+                let vg = vec_groups(&occ);
+                let mg = mask_groups(&vg);
+                for policy in ALL_POLICIES {
+                    let mut rr_vec = rr_start;
+                    let mut rr_mask = rr_start;
+                    let vec_pick = select_group(policy, vg.clone(), last_lanes, &mut rr_vec);
+                    let mask_pick = select_group_mask(policy, &mg, last_lanes, &mut rr_mask);
+                    prop_assert_eq!(rr_vec, rr_mask, "cursor diverged under {:?}", policy);
+                    match (vec_pick, mask_pick) {
+                        (None, None) => {}
+                        (Some((vk, vl)), Some((mk, mm))) => {
+                            prop_assert_eq!(vk, mk, "key diverged under {:?}", policy);
+                            prop_assert_eq!(
+                                to_mask(&vl), mm, "lane set diverged under {:?}", policy
+                            );
+                            prop_assert_eq!(
+                                vl.len() as u32, mm.count_ones(),
+                                "popcount diverged under {:?}", policy
+                            );
+                        }
+                        (v, m) => prop_assert!(
+                            false, "one formulation empty under {:?}: {:?} vs {:?}", policy, v, m
+                        ),
+                    }
+                }
+            }
+        }
     }
 }

@@ -182,6 +182,26 @@ impl Engine {
         Ok(img)
     }
 
+    /// Returns the cached decoded execution image for `module` compiled
+    /// under `opts` (`None` runs the module as-is), compiling and
+    /// decoding on a miss.
+    ///
+    /// This is the entry for callers that drive
+    /// [`run_image`](simt_sim::run_image) themselves in a tight loop —
+    /// the perf harness, for one — and must not pay the cache lock per
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures (when `opts` is `Some`).
+    pub fn decoded(
+        &self,
+        module: &Module,
+        opts: Option<&CompileOptions>,
+    ) -> Result<Arc<DecodedImage>, EvalError> {
+        self.image(module, opts)
+    }
+
     /// Runs an already-compiled module under `cfg`, caching its decoded
     /// image. This is the entry for callers that drive compilation
     /// themselves (the CLI, profile-guided flows).

@@ -232,7 +232,10 @@ impl Criterion {
             match arg.as_str() {
                 // cargo/libtest plumbing: accept and ignore.
                 "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" | "-v" => {}
-                "--measurement-time" => {
+                // `--profile-time` (real criterion: run without stats for
+                // profiling) is treated as a plain time target here — CI
+                // smoke jobs use it to bound bench wall time.
+                "--measurement-time" | "--profile-time" => {
                     if let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) {
                         c.measurement_time = Duration::from_secs_f64(secs);
                     }
