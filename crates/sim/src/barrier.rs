@@ -21,6 +21,7 @@
 //! Reconvergence passes actually manipulate.
 
 use crate::exec::{Machine, Status};
+use crate::journal::JournalEvent;
 use crate::sched::lanes;
 use simt_ir::{BarrierId, BarrierOp, Value};
 
@@ -33,12 +34,24 @@ impl Machine<'_> {
                 for l in lanes(mask) {
                     self.advance(w, l);
                 }
+                self.journal_push(JournalEvent::BarrierJoin {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
             }
             BarrierOp::Cancel(b) => {
                 self.warps[w].masks[b.index()] &= !mask;
                 for l in lanes(mask) {
                     self.advance(w, l);
                 }
+                self.journal_push(JournalEvent::BarrierCancel {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
                 self.release_check(w, b);
             }
             BarrierOp::Copy { dst, src } => {
@@ -64,6 +77,12 @@ impl Machine<'_> {
                 }
                 warp.runnable &= !mask;
                 warp.waiting |= mask;
+                self.journal_push(JournalEvent::BarrierWait {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
                 self.release_check(w, b);
             }
         }
@@ -85,6 +104,11 @@ impl Machine<'_> {
         }
         warp.at_sync = 0;
         warp.runnable |= releasing;
+        self.journal_push(JournalEvent::SyncRelease {
+            cycle: self.cycle,
+            warp: w,
+            mask: releasing,
+        });
     }
 
     /// Releases barrier `b` if every live participant is blocked on it.
@@ -113,6 +137,12 @@ impl Machine<'_> {
             }
             warp.waiting &= !waiting_b;
             warp.runnable |= waiting_b;
+            self.journal_push(JournalEvent::BarrierRelease {
+                cycle: self.cycle,
+                warp: w,
+                barrier: b,
+                mask: waiting_b,
+            });
         }
     }
 

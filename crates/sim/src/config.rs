@@ -1,6 +1,7 @@
 //! Simulator configuration: machine shape, scheduler policy, and the
 //! instruction cost model.
 
+use crate::journal::JournalConfig;
 use simt_ir::{BinOp, Inst, UnOp};
 
 /// Which runnable PC-group the warp scheduler issues next when a warp has
@@ -200,6 +201,10 @@ pub struct SimConfig {
     /// Optional L1 cache cost model (off by default; affects timing only,
     /// never values).
     pub cache: Option<CacheConfig>,
+    /// Record a structured divergence-event journal (off by default).
+    /// Like tracing, this disables straight-line batching — events carry
+    /// issue cycles — so leave it off for timing-sensitive runs.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for SimConfig {
@@ -212,6 +217,7 @@ impl Default for SimConfig {
             trace: false,
             profile: false,
             cache: None,
+            journal: None,
         }
     }
 }

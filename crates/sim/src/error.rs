@@ -28,6 +28,19 @@ impl fmt::Display for ThreadLocation {
     }
 }
 
+/// State of one barrier register of the deadlocked warp, captured when
+/// the deadlock is detected. Only barriers with live participants or
+/// waiters are reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BarrierState {
+    /// Which barrier register.
+    pub barrier: BarrierId,
+    /// Live lanes still registered as participants.
+    pub participants: u64,
+    /// Lanes currently blocked waiting on the barrier.
+    pub waiters: u64,
+}
+
 /// Errors surfaced by the simulator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
@@ -37,8 +50,12 @@ pub enum SimError {
     Deadlock {
         /// Cycle at which the deadlock was detected.
         cycle: u64,
-        /// The blocked threads and the barrier each waits on.
+        /// The blocked threads and the barrier each waits on (threads
+        /// parked at `__syncthreads` are reported against barrier 0;
+        /// the register dump carries the real story).
         waiting: Vec<(ThreadLocation, BarrierId)>,
+        /// Barrier-register dump of the deadlocked warp.
+        barriers: Vec<BarrierState>,
     },
     /// The configured cycle limit was exceeded.
     MaxCyclesExceeded {
@@ -78,13 +95,33 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoSuchKernel(name) => write!(f, "no kernel named @{name}"),
-            SimError::Deadlock { cycle, waiting } => {
+            SimError::Deadlock { cycle, waiting, barriers } => {
                 writeln!(f, "deadlock at cycle {cycle}: all live threads blocked")?;
-                for (loc, b) in waiting.iter().take(8) {
+                for (loc, b) in waiting {
                     writeln!(f, "  {loc} waiting on {b}")?;
                 }
-                if waiting.len() > 8 {
-                    writeln!(f, "  ... and {} more", waiting.len() - 8)?;
+                // Per-barrier waiter counts, in full.
+                let mut counts: Vec<(BarrierId, usize)> = Vec::new();
+                for (_, b) in waiting {
+                    match counts.iter_mut().find(|(id, _)| id == b) {
+                        Some((_, n)) => *n += 1,
+                        None => counts.push((*b, 1)),
+                    }
+                }
+                counts.sort_by_key(|&(b, _)| b.0);
+                writeln!(f, "waiters per barrier:")?;
+                for (b, n) in counts {
+                    writeln!(f, "  {b}: {n} waiter(s)")?;
+                }
+                if !barriers.is_empty() {
+                    writeln!(f, "barrier registers:")?;
+                    for s in barriers {
+                        writeln!(
+                            f,
+                            "  {}: participants={:#x} waiting={:#x}",
+                            s.barrier, s.participants, s.waiters
+                        )?;
+                    }
                 }
                 Ok(())
             }
@@ -123,11 +160,32 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_display_truncates() {
+    fn deadlock_display_reports_all_waiters() {
         let loc = ThreadLocation { warp: 0, lane: 0, func: FuncId(0), block: BlockId(0), inst: 0 };
-        let waiting = vec![(loc, BarrierId(0)); 12];
-        let e = SimError::Deadlock { cycle: 10, waiting };
+        let mut waiting = vec![(loc, BarrierId(0)); 12];
+        waiting.push((loc, BarrierId(2)));
+        let e = SimError::Deadlock { cycle: 10, waiting, barriers: Vec::new() };
         let s = e.to_string();
-        assert!(s.contains("and 4 more"));
+        assert_eq!(s.matches("waiting on").count(), 13, "no waiter is elided:\n{s}");
+        assert!(!s.contains("more"), "the old 8-waiter cap is gone:\n{s}");
+        assert!(s.contains("b0: 12 waiter(s)"), "{s}");
+        assert!(s.contains("b2: 1 waiter(s)"), "{s}");
+    }
+
+    #[test]
+    fn deadlock_display_dumps_barrier_registers() {
+        let loc = ThreadLocation { warp: 0, lane: 3, func: FuncId(0), block: BlockId(1), inst: 2 };
+        let e = SimError::Deadlock {
+            cycle: 99,
+            waiting: vec![(loc, BarrierId(1))],
+            barriers: vec![BarrierState {
+                barrier: BarrierId(1),
+                participants: 0b1111,
+                waiters: 0b1000,
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("barrier registers:"), "{s}");
+        assert!(s.contains("b1: participants=0xf waiting=0x8"), "{s}");
     }
 }

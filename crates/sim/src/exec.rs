@@ -31,7 +31,8 @@
 
 use crate::config::{SchedulerPolicy, SimConfig};
 use crate::decode::{DecodedImage, DecodedInst, PoolRange};
-use crate::error::{SimError, ThreadLocation};
+use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::journal::{Journal, JournalEvent};
 use crate::machine::{Launch, SimOutput};
 use crate::metrics::Metrics;
 use crate::profile::Profile;
@@ -244,8 +245,9 @@ pub(crate) struct Machine<'m> {
     metrics: Metrics,
     trace: Option<Trace>,
     profile: Option<Profile>,
+    pub(crate) journal: Option<Journal>,
     scratch: Scratch,
-    cycle: u64,
+    pub(crate) cycle: u64,
 }
 
 /// Runs a kernel launch of a decoded image to completion.
@@ -341,6 +343,7 @@ impl<'m> Machine<'m> {
             metrics: Metrics::new(launch.num_warps, width),
             trace: if cfg.trace { Some(Trace::new(width)) } else { None },
             profile: if cfg.profile { Some(Profile::new()) } else { None },
+            journal: cfg.journal.as_ref().map(Journal::new),
             scratch: Scratch::default(),
             cycle: 0,
         })
@@ -383,6 +386,24 @@ impl<'m> Machine<'m> {
             };
             match picked {
                 Some((pc, mask)) => {
+                    // Reconvergence by pc collision: the pick strictly
+                    // grew the group issued last — stragglers reached
+                    // the same pc and merged back in.
+                    if self.journal.is_some() {
+                        let last = self.warps[w].last_lanes;
+                        if last != 0 && mask != last && mask & last == last {
+                            let o = self.image.origin[pc];
+                            self.journal_push(JournalEvent::GroupMerge {
+                                cycle: self.cycle,
+                                warp: w,
+                                func: o.func,
+                                block: o.block,
+                                inst: o.inst as usize,
+                                mask,
+                                absorbed: mask & !last,
+                            });
+                        }
+                    }
                     self.warps[w].last_lanes = mask;
                     let cost = self.issue(w, pc, mask)?;
                     let mut busy = self.cycle + u64::from(cost.max(1));
@@ -397,8 +418,9 @@ impl<'m> Machine<'m> {
                     // cost accounting; `last_lanes` re-sticks to the
                     // same mask; RoundRobin consumes a cursor slot per
                     // issue exactly as the converged pick would).
-                    // Tracing disables it — trace events carry the issue
-                    // cycle, which batching would misstamp.
+                    // Tracing and journaling disable it — their events
+                    // carry the issue cycle, which batching would
+                    // misstamp.
                     //
                     // A *divergent* group batches too, but only under
                     // Greedy: its full overlap with `last_lanes` beats
@@ -411,6 +433,7 @@ impl<'m> Machine<'m> {
                     // policies re-rank groups as pcs move, so a
                     // divergent group only batches when converged.
                     if self.trace.is_none()
+                        && self.journal.is_none()
                         && keeps_lockstep(&self.image.insts[pc])
                         && (mask == self.warps[w].runnable
                             || self.cfg.scheduler == SchedulerPolicy::Greedy)
@@ -501,7 +524,12 @@ impl<'m> Machine<'m> {
                                 (self.location(w, l), b)
                             })
                             .collect();
-                        return Err(SimError::Deadlock { cycle: self.cycle, waiting });
+                        self.journal_push(JournalEvent::DeadlockOnset {
+                            cycle: self.cycle,
+                            warp: w,
+                        });
+                        let barriers = self.barrier_dump(w);
+                        return Err(SimError::Deadlock { cycle: self.cycle, waiting, barriers });
                     }
                 }
             }
@@ -522,9 +550,39 @@ impl<'m> Machine<'m> {
 
     /// Finalizes the run into its output (consumes the machine).
     pub(crate) fn into_output(self) -> SimOutput {
-        let Machine { global, mut metrics, trace, profile, cycle, .. } = self;
+        let Machine { global, mut metrics, trace, profile, journal, cycle, .. } = self;
         metrics.cycles = cycle;
-        SimOutput { metrics, global_mem: global, trace, profile }
+        SimOutput { metrics, global_mem: global, trace, profile, journal }
+    }
+
+    /// Records one journal event, if journaling is on.
+    #[inline]
+    pub(crate) fn journal_push(&mut self, e: JournalEvent) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(e);
+        }
+    }
+
+    /// Snapshot of every barrier register of warp `w` that still has
+    /// live participants or waiters (the deadlock diagnostic dump).
+    fn barrier_dump(&self, w: usize) -> Vec<BarrierState> {
+        let warp = &self.warps[w];
+        let live = warp.lane_mask & !warp.exited;
+        let mut out = Vec::new();
+        for (i, &m) in warp.masks.iter().enumerate() {
+            let b = BarrierId::new(i);
+            let mut waiters = 0u64;
+            for l in lanes(warp.waiting) {
+                if warp.threads[l].status == Status::Waiting(b) {
+                    waiters |= 1 << l;
+                }
+            }
+            let participants = m & live;
+            if participants != 0 || waiters != 0 {
+                out.push(BarrierState { barrier: b, participants, waiters });
+            }
+        }
+        out
     }
 
     fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
@@ -633,6 +691,18 @@ impl<'m> Machine<'m> {
         // reference engine: lanes parked on a convergence barrier at
         // the moment this group issues.
         let waiting_lanes = self.warps[w].waiting.count_ones();
+        if self.journal.is_some() {
+            // Split the same sample by barrier for the journal's
+            // attribution (which barrier keeps lanes parked).
+            let Machine { warps, journal, .. } = &mut *self;
+            let warp = &warps[w];
+            let j = journal.as_mut().expect("journal is on");
+            for l in lanes(warp.waiting) {
+                if let Status::Waiting(b) = warp.threads[l].status {
+                    j.note_stall(b, 1);
+                }
+            }
+        }
 
         let cost = self.exec(w, pc, mask)?;
 
@@ -821,6 +891,7 @@ impl<'m> Machine<'m> {
                 }
                 warp.runnable &= !mask;
                 warp.at_sync |= mask;
+                self.journal_push(JournalEvent::SyncArrive { cycle: self.cycle, warp: w, mask });
                 self.sync_release_check(w);
             }
             DecodedInst::Vote { dst, pred } => {
@@ -906,13 +977,28 @@ impl<'m> Machine<'m> {
             }
             DecodedInst::Branch { cond, then_pc, else_pc } => {
                 let warp = &mut self.warps[w];
+                let mut taken = 0u64;
                 for l in lanes(mask) {
                     let f = warp.threads[l].frame();
                     warp.pcs[l] = if eval_in(f, cond).is_truthy() {
+                        taken |= 1 << l;
                         then_pc as usize
                     } else {
                         else_pc as usize
                     };
+                }
+                let not_taken = mask & !taken;
+                if taken != 0 && not_taken != 0 && self.journal.is_some() {
+                    let o = image.origin[pc];
+                    self.journal_push(JournalEvent::BranchDiverge {
+                        cycle: self.cycle,
+                        warp: w,
+                        func: o.func,
+                        block: o.block,
+                        inst: o.inst as usize,
+                        taken,
+                        not_taken,
+                    });
                 }
             }
             DecodedInst::Return { values } => {

@@ -36,6 +36,8 @@ pub mod config;
 pub mod decode;
 pub mod error;
 pub mod exec;
+pub mod export;
+pub mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod profile;
@@ -54,8 +56,10 @@ static COUNTING_ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAll
 
 pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
 pub use decode::DecodedImage;
-pub use error::{SimError, ThreadLocation};
+pub use error::{BarrierState, SimError, ThreadLocation};
 pub use exec::run_image;
+pub use export::{chrome_trace, jsonl};
+pub use journal::{BarrierStats, Journal, JournalConfig, JournalEvent, JournalWriter};
 pub use machine::{run, run_sequence, Launch, SimOutput};
 pub use metrics::Metrics;
 pub use profile::{BlockStats, Profile};

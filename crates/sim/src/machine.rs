@@ -15,6 +15,7 @@
 use crate::config::SimConfig;
 use crate::decode::DecodedImage;
 use crate::error::SimError;
+use crate::journal::Journal;
 use crate::metrics::Metrics;
 use crate::profile::Profile;
 use crate::trace::Trace;
@@ -63,6 +64,8 @@ pub struct SimOutput {
     pub trace: Option<Trace>,
     /// Per-block execution profile, when [`SimConfig::profile`] was set.
     pub profile: Option<Profile>,
+    /// Divergence-event journal, when [`SimConfig::journal`] was set.
+    pub journal: Option<Journal>,
 }
 
 /// Runs a kernel launch to completion.

@@ -115,6 +115,24 @@ impl Metrics {
         }
         active as f64 / (issues as f64 * self.warp_width as f64)
     }
+
+    /// Cost-weighted lane-cycles lost to divergence: the gap between a
+    /// fully-converged run of the same issues and what actually executed.
+    /// The absolute quantity the efficiency ratio hides — attribution
+    /// reports rank by it.
+    pub fn lost_lane_weight(&self) -> u64 {
+        (self.issue_weight * self.warp_width as u64).saturating_sub(self.active_lane_sum)
+    }
+
+    /// Per-warp [`lost_lane_weight`](Self::lost_lane_weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` is out of range.
+    pub fn warp_lost_lane_weight(&self, warp: usize) -> u64 {
+        let (issues, active) = self.per_warp[warp];
+        (issues * self.warp_width as u64).saturating_sub(active)
+    }
 }
 
 impl fmt::Display for Metrics {
@@ -156,6 +174,18 @@ mod tests {
         m.per_warp[1] = (4, 64);
         assert!((m.warp_simt_efficiency(0) - 1.0).abs() < 1e-12);
         assert!((m.warp_simt_efficiency(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_lane_weight_is_the_efficiency_gap() {
+        let mut m = Metrics::new(2, 32);
+        m.issue_weight = 8;
+        m.active_lane_sum = 192;
+        m.per_warp[0] = (4, 128);
+        m.per_warp[1] = (4, 64);
+        assert_eq!(m.lost_lane_weight(), 8 * 32 - 192);
+        assert_eq!(m.warp_lost_lane_weight(0), 0);
+        assert_eq!(m.warp_lost_lane_weight(1), 64);
     }
 
     #[test]

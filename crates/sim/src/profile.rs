@@ -27,6 +27,28 @@ pub struct BlockStats {
     /// branch-probability estimation need (a lone straggler entering a
     /// block is 1 lane-entry, not a full visit).
     pub lane_entries: u64,
+    /// Cost-weighted active-lane sum (active lanes × issue cost, summed),
+    /// the per-block analogue of `Metrics::active_lane_sum` — the
+    /// numerator of the block's SIMT efficiency.
+    pub active_lane_cost: u64,
+}
+
+impl BlockStats {
+    /// SIMT efficiency of this block alone (cost-weighted average
+    /// fraction of active lanes per issue).
+    pub fn simt_efficiency(&self, warp_width: usize) -> f64 {
+        if self.cost == 0 {
+            return 1.0;
+        }
+        self.active_lane_cost as f64 / (self.cost as f64 * warp_width as f64)
+    }
+
+    /// Cost-weighted lane-cycles this block lost to divergence — the
+    /// attribution currency: summing it over blocks recovers the
+    /// machine-level efficiency gap.
+    pub fn lost_lane_cycles(&self, warp_width: usize) -> u64 {
+        (self.cost * warp_width as u64).saturating_sub(self.active_lane_cost)
+    }
 }
 
 /// A per-block execution profile of one launch.
@@ -47,6 +69,7 @@ impl Profile {
         e.issues += 1;
         e.cost += u64::from(cost);
         e.active_lanes += lanes;
+        e.active_lane_cost += lanes * u64::from(cost);
         if inst_idx == 0 {
             e.entries += 1;
             e.lane_entries += lanes;
@@ -90,6 +113,18 @@ impl Profile {
         v.truncate(n);
         v
     }
+
+    /// Divergence attribution: the `n` blocks that lost the most
+    /// lane-cycles to divergence, worst first (ties broken by block id
+    /// for a deterministic report). This ranks *where* the machine-level
+    /// efficiency gap comes from, which `hottest` (raw cost) cannot —
+    /// a hot but fully-converged block attributes nothing.
+    pub fn attribution(&self, warp_width: usize, n: usize) -> Vec<((FuncId, BlockId), BlockStats)> {
+        let mut v: Vec<_> = self.map.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|&((f, b), s)| (std::cmp::Reverse(s.lost_lane_cycles(warp_width)), f.0, b.0));
+        v.truncate(n);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +155,26 @@ mod tests {
         p.record(FuncId(0), BlockId(1), 0, 1, 100);
         let h = p.hottest(1);
         assert_eq!(h[0].0 .1, BlockId(1));
+    }
+
+    #[test]
+    fn attribution_ranks_by_lost_lane_cycles() {
+        let mut p = Profile::new();
+        // bb0: expensive but fully converged (width 4) — loses nothing.
+        p.record(FuncId(0), BlockId(0), 0, 4, 100);
+        // bb1: cheap but one lane active — loses 3 lanes × 10 cycles.
+        p.record(FuncId(0), BlockId(1), 0, 1, 10);
+        // bb2: two lanes for 4 cycles — loses 2 × 4.
+        p.record(FuncId(0), BlockId(2), 0, 2, 4);
+        let a = p.attribution(4, 10);
+        assert_eq!(a[0].0 .1, BlockId(1));
+        assert_eq!(a[0].1.lost_lane_cycles(4), 30);
+        assert_eq!(a[1].0 .1, BlockId(2));
+        assert_eq!(a[2].0 .1, BlockId(0));
+        assert_eq!(a[2].1.lost_lane_cycles(4), 0);
+        assert!((a[2].1.simt_efficiency(4) - 1.0).abs() < 1e-12);
+        // The per-block losses sum to the whole gap.
+        let total: u64 = a.iter().map(|(_, s)| s.lost_lane_cycles(4)).sum();
+        assert_eq!(total, 38);
     }
 }

@@ -31,7 +31,8 @@
 
 use crate::alu::{eval_bin, eval_un};
 use crate::config::SimConfig;
-use crate::error::{SimError, ThreadLocation};
+use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::journal::{Journal, JournalEvent};
 use crate::machine::{Launch, SimOutput};
 use crate::metrics::Metrics;
 use crate::profile::Profile;
@@ -105,6 +106,7 @@ struct Machine<'m> {
     metrics: Metrics,
     trace: Option<Trace>,
     profile: Option<Profile>,
+    journal: Option<Journal>,
     cycle: u64,
 }
 
@@ -182,13 +184,14 @@ pub fn run_reference(
         metrics: Metrics::new(launch.num_warps, width),
         trace: if cfg.trace { Some(Trace::new(width)) } else { None },
         profile: if cfg.profile { Some(Profile::new()) } else { None },
+        journal: cfg.journal.as_ref().map(Journal::new),
         cycle: 0,
     };
     machine.run_to_completion()?;
 
-    let Machine { global, mut metrics, trace, profile, cycle, .. } = machine;
+    let Machine { global, mut metrics, trace, profile, journal, cycle, .. } = machine;
     metrics.cycles = cycle;
-    Ok(SimOutput { metrics, global_mem: global, trace, profile })
+    Ok(SimOutput { metrics, global_mem: global, trace, profile, journal })
 }
 
 impl<'m> Machine<'m> {
@@ -210,6 +213,23 @@ impl<'m> Machine<'m> {
                         let mut mask = 0u64;
                         for &l in &lanes {
                             mask |= 1 << l;
+                        }
+                        // Reconvergence by pc collision: the pick strictly
+                        // grew the group issued last — stragglers reached
+                        // the same pc and merged back in.
+                        if self.journal.is_some() {
+                            let last = self.warps[w].last_lanes;
+                            if last != 0 && mask != last && mask & last == last {
+                                self.journal_push(JournalEvent::GroupMerge {
+                                    cycle: self.cycle,
+                                    warp: w,
+                                    func: FuncId(key.0),
+                                    block: BlockId(key.1),
+                                    inst: key.2,
+                                    mask,
+                                    absorbed: mask & !last,
+                                });
+                            }
                         }
                         self.warps[w].last_lanes = mask;
                         let cost = self.issue(w, key, &lanes)?;
@@ -241,7 +261,16 @@ impl<'m> Machine<'m> {
                                     (self.location(w, l), b)
                                 })
                                 .collect();
-                            return Err(SimError::Deadlock { cycle: self.cycle, waiting });
+                            self.journal_push(JournalEvent::DeadlockOnset {
+                                cycle: self.cycle,
+                                warp: w,
+                            });
+                            let barriers = self.barrier_dump(w);
+                            return Err(SimError::Deadlock {
+                                cycle: self.cycle,
+                                waiting,
+                                barriers,
+                            });
                         }
                     }
                 }
@@ -258,6 +287,40 @@ impl<'m> Machine<'m> {
             }
             self.cycle = next_ready.max(self.cycle + 1);
         }
+    }
+
+    /// Records one journal event, if journaling is on.
+    fn journal_push(&mut self, e: JournalEvent) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(e);
+        }
+    }
+
+    /// Snapshot of every barrier register of warp `w` that still has
+    /// live participants or waiters (the deadlock diagnostic dump).
+    fn barrier_dump(&self, w: usize) -> Vec<BarrierState> {
+        let warp = &self.warps[w];
+        let mut live = 0u64;
+        for (l, t) in warp.threads.iter().enumerate() {
+            if t.status != Status::Exited {
+                live |= 1 << l;
+            }
+        }
+        let mut out = Vec::new();
+        for (i, &m) in warp.masks.iter().enumerate() {
+            let b = BarrierId::new(i);
+            let mut waiters = 0u64;
+            for (l, t) in warp.threads.iter().enumerate() {
+                if t.status == Status::Waiting(b) {
+                    waiters |= 1 << l;
+                }
+            }
+            let participants = m & live;
+            if participants != 0 || waiters != 0 {
+                out.push(BarrierState { barrier: b, participants, waiters });
+            }
+        }
+        out
     }
 
     fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
@@ -299,11 +362,20 @@ impl<'m> Machine<'m> {
             self.warps[w].threads.iter().filter(|t| matches!(t.status, Status::Waiting(_))).count()
                 as u64;
         self.metrics.stall_cycles += waiting_lanes;
+        if self.journal.is_some() {
+            let Machine { warps, journal, .. } = &mut *self;
+            let j = journal.as_mut().expect("journal is on");
+            for t in &warps[w].threads {
+                if let Status::Waiting(b) = t.status {
+                    j.note_stall(b, 1);
+                }
+            }
+        }
 
         let cost = if inst_idx < block.insts.len() {
             self.exec_inst(w, lanes, &block.insts[inst_idx])?
         } else {
-            self.exec_term(w, lanes, &block.term)?;
+            self.exec_term(w, key, lanes, &block.term)?;
             self.cfg.latency.control
         };
 
@@ -480,9 +552,12 @@ impl<'m> Machine<'m> {
                 }
             }
             Inst::SyncThreads => {
+                let mut mask = 0u64;
                 for &l in lanes {
                     self.warps[w].threads[l].status = Status::WaitingSync;
+                    mask |= 1 << l;
                 }
+                self.journal_push(JournalEvent::SyncArrive { cycle: self.cycle, warp: w, mask });
                 self.sync_release_check(w);
             }
             Inst::Vote { dst, pred } => {
@@ -548,18 +623,34 @@ impl<'m> Machine<'m> {
     }
 
     fn exec_barrier(&mut self, w: usize, lanes: &[usize], op: BarrierOp) {
+        let mut mask = 0u64;
+        for &l in lanes {
+            mask |= 1 << l;
+        }
         match op {
             BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
                 for &l in lanes {
                     self.warps[w].masks[b.index()] |= 1 << l;
                     self.advance(w, l);
                 }
+                self.journal_push(JournalEvent::BarrierJoin {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
             }
             BarrierOp::Cancel(b) => {
                 for &l in lanes {
                     self.warps[w].masks[b.index()] &= !(1 << l);
                     self.advance(w, l);
                 }
+                self.journal_push(JournalEvent::BarrierCancel {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
                 self.release_check(w, b);
             }
             BarrierOp::Copy { dst, src } => {
@@ -582,6 +673,12 @@ impl<'m> Machine<'m> {
                 for &l in lanes {
                     self.warps[w].threads[l].status = Status::Waiting(b);
                 }
+                self.journal_push(JournalEvent::BarrierWait {
+                    cycle: self.cycle,
+                    warp: w,
+                    barrier: b,
+                    mask,
+                });
                 self.release_check(w, b);
             }
         }
@@ -595,12 +692,19 @@ impl<'m> Machine<'m> {
             warp.threads.iter().all(|t| matches!(t.status, Status::WaitingSync | Status::Exited));
         let any = warp.threads.iter().any(|t| t.status == Status::WaitingSync);
         if all_at_sync && any {
-            for t in warp.threads.iter_mut() {
+            let mut releasing = 0u64;
+            for (l, t) in warp.threads.iter_mut().enumerate() {
                 if t.status == Status::WaitingSync {
                     t.status = Status::Runnable;
                     t.frame_mut().inst += 1;
+                    releasing |= 1 << l;
                 }
             }
+            self.journal_push(JournalEvent::SyncRelease {
+                cycle: self.cycle,
+                warp: w,
+                mask: releasing,
+            });
         }
     }
 
@@ -631,10 +735,22 @@ impl<'m> Machine<'m> {
                     warp.threads[l].frame_mut().inst += 1;
                 }
             }
+            self.journal_push(JournalEvent::BarrierRelease {
+                cycle: self.cycle,
+                warp: w,
+                barrier: b,
+                mask: waiting_mask,
+            });
         }
     }
 
-    fn exec_term(&mut self, w: usize, lanes: &[usize], term: &Terminator) -> Result<(), SimError> {
+    fn exec_term(
+        &mut self,
+        w: usize,
+        key: GroupKey,
+        lanes: &[usize],
+        term: &Terminator,
+    ) -> Result<(), SimError> {
         match term {
             Terminator::Jump(t) => {
                 for &l in lanes {
@@ -644,14 +760,35 @@ impl<'m> Machine<'m> {
                 }
             }
             Terminator::Branch { cond, then_bb, else_bb, .. } => {
+                let mut taken = 0u64;
+                let mut mask = 0u64;
                 for &l in lanes {
+                    mask |= 1 << l;
                     let c = self.eval(w, l, *cond);
                     let f = self.warps[w].threads[l].frame_mut();
-                    f.block = if c.is_truthy() { *then_bb } else { *else_bb };
+                    f.block = if c.is_truthy() {
+                        taken |= 1 << l;
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
                     f.inst = 0;
+                }
+                let not_taken = mask & !taken;
+                if taken != 0 && not_taken != 0 && self.journal.is_some() {
+                    self.journal_push(JournalEvent::BranchDiverge {
+                        cycle: self.cycle,
+                        warp: w,
+                        func: FuncId(key.0),
+                        block: BlockId(key.1),
+                        inst: key.2,
+                        taken,
+                        not_taken,
+                    });
                 }
             }
             Terminator::Return(values) => {
+                let mut exited = 0u64;
                 for &l in lanes {
                     let vals: Vec<Value> = values.iter().map(|v| self.eval(w, l, *v)).collect();
                     let thread = &mut self.warps[w].threads[l];
@@ -662,7 +799,7 @@ impl<'m> Machine<'m> {
                         // safe at runtime).
                         thread.status = Status::Exited;
                         thread.frames.push(frame);
-                        self.on_exit(w, l);
+                        exited |= 1 << l;
                         continue;
                     }
                     let caller = thread.frames.last_mut().expect("caller frame");
@@ -670,23 +807,33 @@ impl<'m> Machine<'m> {
                         caller.regs[r.index()] = v;
                     }
                 }
+                if exited != 0 {
+                    self.on_exit_mask(w, exited);
+                }
             }
             Terminator::Exit => {
+                let mut mask = 0u64;
                 for &l in lanes {
                     self.warps[w].threads[l].status = Status::Exited;
-                    self.on_exit(w, l);
+                    mask |= 1 << l;
                 }
+                self.on_exit_mask(w, mask);
             }
         }
         Ok(())
     }
 
-    /// Drops an exited lane from every barrier and re-checks releases —
-    /// the forward-progress rule.
-    fn on_exit(&mut self, w: usize, lane: usize) {
+    /// Drops exited lanes from every barrier and re-checks releases —
+    /// the forward-progress rule. Batched over a mask so the releases
+    /// (and their journal events) fire in the same order as the decoded
+    /// engine's [`Machine::on_exit_mask`](crate::exec::Machine): releases
+    /// are monotone in removed participants, so clearing the whole
+    /// cohort before one re-check pass releases exactly the barriers
+    /// that per-lane processing would.
+    fn on_exit_mask(&mut self, w: usize, mask: u64) {
         let nb = self.warps[w].masks.len();
         for b in 0..nb {
-            self.warps[w].masks[b] &= !(1 << lane);
+            self.warps[w].masks[b] &= !mask;
         }
         for b in 0..nb {
             self.release_check(w, BarrierId::new(b));

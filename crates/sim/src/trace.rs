@@ -48,6 +48,33 @@ impl Trace {
         &self.events
     }
 
+    /// Warp width the trace was recorded with.
+    pub fn warp_width(&self) -> usize {
+        self.warp_width
+    }
+
+    /// Number of warps with at least one recorded event (highest warp
+    /// index + 1).
+    pub fn num_warps(&self) -> usize {
+        self.events.iter().map(|e| e.warp + 1).max().unwrap_or(0)
+    }
+
+    /// Warps that recorded at least one divergent issue (an active mask
+    /// narrower than the full warp), in ascending order. The default
+    /// warp selection for trace rendering: converged warps produce only
+    /// dense rows, so showing them is noise.
+    pub fn divergent_warps(&self) -> Vec<usize> {
+        let full = if self.warp_width >= 64 { u64::MAX } else { (1u64 << self.warp_width) - 1 };
+        let mut out: Vec<usize> = Vec::new();
+        for e in &self.events {
+            if e.mask != full && !out.contains(&e.warp) {
+                out.push(e.warp);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Renders a lane-occupancy timeline for one warp: one row per issue,
     /// one column per lane; `#` marks an active lane in a
     /// region-of-interest block, `+` an active lane elsewhere, and `.` an
@@ -55,13 +82,18 @@ impl Trace {
     /// rows) versus convergence (dense rows), like the cartoons in
     /// Figure 1 of the paper.
     pub fn render_lanes(&self, warp: usize, max_rows: usize) -> String {
+        // One pass: render up to `max_rows` rows and keep counting past
+        // the cap instead of re-scanning the event list for the
+        // truncation message.
         let mut out = String::new();
-        for (rows, e) in self.events.iter().filter(|e| e.warp == warp).enumerate() {
+        let mut rows = 0usize;
+        let mut skipped = 0usize;
+        for e in self.events.iter().filter(|e| e.warp == warp) {
             if rows >= max_rows {
-                let remaining = self.events.iter().filter(|e| e.warp == warp).count() - rows;
-                let _ = writeln!(out, "... ({remaining} more issues)");
-                break;
+                skipped += 1;
+                continue;
             }
+            rows += 1;
             let _ = write!(out, "{:>8} ", e.cycle);
             for lane in 0..self.warp_width {
                 let ch = if e.mask & (1 << lane) != 0 {
@@ -76,6 +108,9 @@ impl Trace {
                 out.push(ch);
             }
             let _ = writeln!(out, "  {}/{}:{}", e.func, e.block, e.inst);
+        }
+        if skipped > 0 {
+            let _ = writeln!(out, "... ({skipped} more issues)");
         }
         out
     }
@@ -130,6 +165,28 @@ mod tests {
         }
         let s = t.render_lanes(0, 3);
         assert!(s.contains("2 more issues"));
+    }
+
+    #[test]
+    fn multi_warp_rendering_and_truncation() {
+        let mut t = Trace::new(2);
+        // Warp 0: 4 issues; warp 1: 2 issues, interleaved.
+        for i in 0..4u64 {
+            t.push(TraceEvent { warp: 0, ..ev(i, 0b11, false) });
+            if i < 2 {
+                t.push(TraceEvent { warp: 1, ..ev(i, 0b01, true) });
+            }
+        }
+        let w0 = t.render_lanes(0, 3);
+        assert_eq!(w0.lines().count(), 4, "3 rows + truncation line:\n{w0}");
+        assert!(w0.contains("1 more issues"), "{w0}");
+        let w1 = t.render_lanes(1, 10);
+        assert_eq!(w1.lines().count(), 2, "all of warp 1, no truncation:\n{w1}");
+        assert!(w1.contains("#."), "{w1}");
+        assert!(!w1.contains("more issues"), "{w1}");
+        assert_eq!(t.num_warps(), 2);
+        assert_eq!(t.divergent_warps(), vec![1]);
+        assert_eq!(t.warp_width(), 2);
     }
 
     #[test]

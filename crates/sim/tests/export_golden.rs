@@ -1,0 +1,179 @@
+//! Golden-file test of the Chrome-trace exporter, plus a JSON
+//! well-formedness check for both exporters.
+//!
+//! The golden file pins the exporter's byte-exact output for the
+//! `fig2a` example kernel (the paper's iteration-delay divergence
+//! pattern): simulation is deterministic and the exporters promise
+//! deterministic rendering, so any diff is a real format change —
+//! update `tests/golden/fig2a.chrome.json` deliberately when the format
+//! evolves (run with `UPDATE_GOLDEN=1` to regenerate).
+//!
+//! The JSON validator below is a minimal recursive-descent recognizer
+//! (the workspace has no serde): it proves the output a Chrome trace
+//! viewer would actually load is syntactically valid JSON.
+
+use simt_ir::{parse_and_link, Value};
+use simt_sim::{chrome_trace, jsonl, run, JournalConfig, Launch, SimConfig};
+
+const KERNEL: &str = include_str!("../../../examples/kernels/fig2a.sr");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig2a.chrome.json");
+
+fn fig2a_export() -> (String, String) {
+    let module = parse_and_link(KERNEL).expect("fig2a parses");
+    let cfg = SimConfig {
+        trace: true,
+        journal: Some(JournalConfig::default()),
+        warp_width: 8,
+        ..SimConfig::default()
+    };
+    let mut launch = Launch::new("fig2a", 2);
+    launch.global_mem = vec![Value::I64(0); 32];
+    let out = run(&module, &cfg, &launch).expect("fig2a runs");
+    (chrome_trace(&out, None), jsonl(&out, None))
+}
+
+// --- minimal JSON recognizer -------------------------------------------
+
+struct Json<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                if self.peek() == Some(b'}') {
+                    return self.eat(b'}');
+                }
+                loop {
+                    self.string()?;
+                    self.eat(b':')?;
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => return self.eat(b'}'),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    return self.eat(b']');
+                }
+                loop {
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => return self.eat(b']'),
+                    }
+                }
+            }
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                while let Some(&c) = self.s.get(self.i) {
+                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&c) = self.s.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => self.i += 1,
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+fn assert_valid_json(text: &str) {
+    let mut p = Json { s: text.as_bytes(), i: 0 };
+    p.value().unwrap_or_else(|e| panic!("invalid JSON: {e}\n{text}"));
+    p.ws();
+    assert_eq!(p.i, p.s.len(), "trailing garbage after JSON document");
+}
+
+// -----------------------------------------------------------------------
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let (chrome, _) = fig2a_export();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &chrome).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert_eq!(
+        chrome, golden,
+        "Chrome export changed; regenerate with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn chrome_export_is_valid_trace_json() {
+    let (chrome, _) = fig2a_export();
+    assert_valid_json(&chrome);
+    // The shape a trace viewer needs: a traceEvents array with per-warp
+    // metadata, slices, counters, and journal instants.
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    for needle in [r#""ph":"M""#, r#""ph":"X""#, r#""ph":"C""#, r#""ph":"i""#, r#""name":"warp 1""#]
+    {
+        assert!(chrome.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn jsonl_export_lines_are_valid_json() {
+    let (_, lines) = fig2a_export();
+    assert!(!lines.is_empty());
+    for line in lines.lines() {
+        assert_valid_json(line);
+    }
+    assert!(lines.contains(r#""type":"issue""#));
+    assert!(lines.contains(r#""type":"branch-diverge""#));
+    assert!(lines.contains(r#""type":"group-merge""#));
+}

@@ -1,0 +1,246 @@
+//! Observability must never perturb execution, and both engines must
+//! narrate it identically.
+//!
+//! Three properties over random structured kernels across every
+//! scheduler policy:
+//!
+//! 1. Toggling `trace`, `profile`, or `journal` (in any combination)
+//!    leaves the decoded engine's metrics, cycle counts, and final
+//!    memory bit-identical. Tracing/journaling disable straight-line
+//!    batching, so this doubles as a batched-vs-unbatched differential
+//!    test of the executor itself.
+//! 2. The decoded engine and the tree-walking reference emit
+//!    *identical* journals (same events in the same order, same
+//!    per-barrier attribution) and identical traces.
+//! 3. A deadlocking kernel reports the same enriched error — including
+//!    the barrier-register dump — and streams the same journal events
+//!    through the writer callback from both engines.
+
+use proptest::prelude::*;
+use simt_ir::{parse_and_link, Value};
+use simt_sim::{
+    run, run_reference, JournalConfig, JournalEvent, JournalWriter, Launch, SchedulerPolicy,
+    SimConfig,
+};
+use std::sync::{Arc, Mutex};
+
+/// Everything that shapes one random kernel + run.
+#[derive(Clone, Debug)]
+struct Case {
+    outer_iters: i64,
+    branch_p: f64,
+    then_work: u32,
+    inner_trip_max: i64,
+    use_barrier: bool,
+    use_sync: bool,
+    seed: u64,
+    policy: SchedulerPolicy,
+    warps: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        (1i64..6, 0.05f64..0.95, 0u32..30, 1i64..6),
+        (any::<bool>(), any::<bool>(), any::<u64>()),
+        prop_oneof![
+            Just(SchedulerPolicy::Greedy),
+            Just(SchedulerPolicy::MinPc),
+            Just(SchedulerPolicy::MaxPc),
+            Just(SchedulerPolicy::MostThreads),
+            Just(SchedulerPolicy::RoundRobin),
+        ],
+        1usize..3,
+    )
+        .prop_map(
+            |(
+                (outer_iters, branch_p, then_work, inner_trip_max),
+                (use_barrier, use_sync, seed),
+                policy,
+                warps,
+            )| Case {
+                outer_iters,
+                branch_p,
+                then_work,
+                inner_trip_max,
+                use_barrier,
+                use_sync,
+                seed,
+                policy,
+                warps,
+            },
+        )
+}
+
+/// Divergent kernel exercising every journal event source: branch
+/// divergence, a data-dependent inner loop (group merges), optional
+/// convergence barrier and `syncthreads` reconvergence, atomics.
+fn kernel_src(c: &Case) -> String {
+    let join = if c.use_barrier { "  join b0\n" } else { "" };
+    let wait = if c.use_barrier { "  wait b0\n" } else { "" };
+    let sync = if c.use_sync { "  syncthreads\n" } else { "" };
+    format!(
+        "kernel @k(params=0, regs=12, barriers=1, entry=bb0) {{\n\
+         bb0:\n\
+         \x20 %r0 = special.tid\n\
+         \x20 rngseed %r0\n\
+         \x20 %r1 = mov 0\n\
+         \x20 %r2 = mov 0\n\
+         {join}\
+         \x20 jmp bb1\n\
+         bb1:\n\
+         \x20 %r3 = rng.unit\n\
+         \x20 %r4 = lt %r3, {p}\n\
+         \x20 brdiv %r4, bb2, bb3\n\
+         bb2:\n\
+         \x20 work {wt}\n\
+         \x20 %r1 = add %r1, 13\n\
+         \x20 %r6 = mov 0\n\
+         \x20 %r7 = rng.u63\n\
+         \x20 %r8 = rem %r7, {im}\n\
+         \x20 jmp bb4\n\
+         bb4:\n\
+         \x20 %r1 = add %r1, %r6\n\
+         \x20 %r6 = add %r6, 1\n\
+         \x20 %r9 = le %r6, %r8\n\
+         \x20 brdiv %r9, bb4, bb3\n\
+         bb3:\n\
+         \x20 %r10 = atomic_add [60], 1\n\
+         \x20 %r2 = add %r2, 1\n\
+         \x20 %r4 = lt %r2, {outer}\n\
+         \x20 brdiv %r4, bb1, bb5\n\
+         bb5:\n\
+         {wait}\
+         {sync}\
+         \x20 store global[%r0], %r1\n\
+         \x20 exit\n}}\n",
+        p = c.branch_p,
+        wt = c.then_work,
+        im = c.inner_trip_max,
+        outer = c.outer_iters,
+    )
+}
+
+fn base_config(c: &Case) -> SimConfig {
+    SimConfig { max_cycles: 50_000_000, scheduler: c.policy, ..SimConfig::default() }
+}
+
+fn launch_for(c: &Case) -> Launch {
+    let mut launch = Launch::new("k", c.warps);
+    launch.seed = c.seed;
+    launch.global_mem = vec![Value::I64(0); 64];
+    launch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn observability_toggles_never_perturb_execution(case in case_strategy()) {
+        let module = parse_and_link(&kernel_src(&case))
+            .unwrap_or_else(|e| panic!("generated kernel must parse: {e}"));
+        let launch = launch_for(&case);
+        let base = run(&module, &base_config(&case), &launch)
+            .unwrap_or_else(|e| panic!("base run failed on {case:?}: {e}"));
+
+        let variants: [(&str, SimConfig); 4] = [
+            ("trace", SimConfig { trace: true, ..base_config(&case) }),
+            ("profile", SimConfig { profile: true, ..base_config(&case) }),
+            (
+                "journal",
+                SimConfig { journal: Some(JournalConfig::default()), ..base_config(&case) },
+            ),
+            (
+                "trace+profile+journal",
+                SimConfig {
+                    trace: true,
+                    profile: true,
+                    journal: Some(JournalConfig::default()),
+                    ..base_config(&case)
+                },
+            ),
+        ];
+        for (name, cfg) in variants {
+            let out = run(&module, &cfg, &launch)
+                .unwrap_or_else(|e| panic!("{name} run failed on {case:?}: {e}"));
+            prop_assert_eq!(
+                &out.metrics, &base.metrics,
+                "metrics changed with {} on {:?}", name, &case
+            );
+            prop_assert_eq!(
+                &out.global_mem, &base.global_mem,
+                "memory changed with {} on {:?}", name, &case
+            );
+        }
+    }
+
+    #[test]
+    fn engines_emit_identical_journals_and_traces(case in case_strategy()) {
+        let module = parse_and_link(&kernel_src(&case))
+            .unwrap_or_else(|e| panic!("generated kernel must parse: {e}"));
+        let launch = launch_for(&case);
+        let cfg = SimConfig {
+            trace: true,
+            journal: Some(JournalConfig::default()),
+            ..base_config(&case)
+        };
+        let decoded = run(&module, &cfg, &launch)
+            .unwrap_or_else(|e| panic!("decoded run failed on {case:?}: {e}"));
+        let reference = run_reference(&module, &cfg, &launch)
+            .unwrap_or_else(|e| panic!("reference run failed on {case:?}: {e}"));
+        prop_assert_eq!(
+            &decoded.metrics, &reference.metrics,
+            "metrics diverged on {:?}", &case
+        );
+        let dt = decoded.trace.as_ref().expect("decoded trace");
+        let rt = reference.trace.as_ref().expect("reference trace");
+        prop_assert_eq!(dt.events(), rt.events(), "traces diverged on {:?}", &case);
+        let dj = decoded.journal.as_ref().expect("decoded journal");
+        let rj = reference.journal.as_ref().expect("reference journal");
+        prop_assert_eq!(dj, rj, "journals diverged on {:?}", &case);
+    }
+}
+
+/// Crossed barrier waits: both engines must report the same enriched
+/// deadlock (full waiter list, per-barrier counts, barrier-register
+/// dump) and stream the same journal events — the ring buffer goes down
+/// with the failed run, so the writer callback is the only witness.
+#[test]
+fn deadlock_reports_and_journals_identically() {
+    let module = parse_and_link(
+        "kernel @k(params=0, regs=3, barriers=2, entry=bb0) {\n\
+         bb0:\n  join b0\n  join b1\n  %r0 = special.lane\n  %r1 = and %r0, 1\n  brdiv %r1, bb1, bb2\n\
+         bb1:\n  wait b0\n  jmp bb3\n\
+         bb2:\n  wait b1\n  jmp bb3\n\
+         bb3:\n  exit\n}\n",
+    )
+    .unwrap();
+    let capture = |events: &Arc<Mutex<Vec<JournalEvent>>>| -> JournalWriter {
+        let sink = Arc::clone(events);
+        Arc::new(move |e: &JournalEvent| sink.lock().unwrap().push(*e))
+    };
+    let decoded_events = Arc::new(Mutex::new(Vec::new()));
+    let reference_events = Arc::new(Mutex::new(Vec::new()));
+    let cfg_for = |w: JournalWriter| SimConfig {
+        journal: Some(JournalConfig { writer: Some(w), ..JournalConfig::default() }),
+        ..SimConfig::default()
+    };
+    let launch = Launch::new("k", 1);
+    let decoded = run(&module, &cfg_for(capture(&decoded_events)), &launch).unwrap_err();
+    let reference =
+        run_reference(&module, &cfg_for(capture(&reference_events)), &launch).unwrap_err();
+
+    let msg = decoded.to_string();
+    assert_eq!(msg, reference.to_string(), "deadlock reports diverged");
+    assert!(msg.contains("barrier registers:"), "{msg}");
+    assert!(msg.contains("waiters per barrier:"), "{msg}");
+
+    let de = decoded_events.lock().unwrap();
+    let re = reference_events.lock().unwrap();
+    assert!(!de.is_empty(), "the writer saw events");
+    assert_eq!(*de, *re, "journal streams diverged");
+    assert!(
+        matches!(de.last(), Some(JournalEvent::DeadlockOnset { .. })),
+        "the last event is the deadlock onset: {:?}",
+        de.last()
+    );
+}

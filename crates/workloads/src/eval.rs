@@ -269,6 +269,16 @@ impl Engine {
         self.par_map(jobs, |j| self.run_config(&j.workload, &j.opts, &j.cfg))
     }
 
+    /// Like [`Engine::run_batch`] but returning each job's full
+    /// [`SimOutput`] — traces, profiles, and journals included when the
+    /// job's config requests them. This is the batch entry for
+    /// observability sweeps (e.g. exporting a Chrome trace per workload);
+    /// journal writer callbacks run on the worker threads, which is why
+    /// [`simt_sim::JournalWriter`] requires `Send + Sync`.
+    pub fn run_batch_full(&self, jobs: &[EvalJob]) -> Vec<Result<SimOutput, EvalError>> {
+        self.par_map(jobs, |j| self.run_full(&j.workload, &j.opts, &j.cfg))
+    }
+
     /// Applies `f` to every item on the worker pool and returns results in
     /// item order.
     ///
@@ -537,6 +547,33 @@ mod tests {
             let (expected, _) = run_config(&job.workload, &job.opts, &job.cfg).unwrap();
             assert_eq!(summary, &expected, "warps={}", job.workload.launch.num_warps);
         }
+    }
+
+    #[test]
+    fn run_batch_full_threads_trace_and_journal_requests() {
+        use simt_sim::JournalConfig;
+        let engine = Engine::new(2);
+        let base = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let observed = SimConfig {
+            trace: true,
+            journal: Some(JournalConfig::default()),
+            ..SimConfig::default()
+        };
+        let jobs = vec![
+            EvalJob::new(base.clone(), CompileOptions::baseline(), observed),
+            EvalJob::new(base.clone(), CompileOptions::baseline(), SimConfig::default()),
+        ];
+        let results = engine.run_batch_full(&jobs);
+        assert_eq!(results.len(), 2);
+        let traced = results[0].as_ref().unwrap();
+        assert!(traced.trace.is_some(), "trace request survives the batch path");
+        let journal = traced.journal.as_ref().expect("journal request survives the batch path");
+        assert!(journal.recorded() > 0, "a divergent workload journals events");
+        let plain = results[1].as_ref().unwrap();
+        assert!(plain.trace.is_none() && plain.journal.is_none());
+        // Observability off/on agree on the execution itself.
+        assert_eq!(traced.metrics, plain.metrics);
+        assert_eq!(traced.global_mem, plain.global_mem);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! specrecon compile FILE [MODE]               print the transformed module
 //! specrecon detect  FILE                      print §4.5 candidates
 //! specrecon run     FILE [MODE] [options]     compile, simulate, report
+//! specrecon trace   FILE [MODE] [options]     simulate and export the trace
 //! specrecon dot     FILE [MODE]               emit a Graphviz CFG
 //! specrecon explain FILE                      show predictions, regions, candidates
 //!
@@ -20,7 +21,19 @@
 //!            --jobs N         worker threads for multi-seed runs (default:
 //!                             available parallelism)
 //!            --trace          print a lane-occupancy timeline
-//!            --hot            print the hottest blocks (per-block profile)
+//!            --warp N|all     warps to show with --trace and `trace`
+//!                             (`run --trace` defaults to the warps that
+//!                             diverged; `trace` defaults to all)
+//!            --hot            print the hottest blocks plus divergence
+//!                             attribution (per-block profile)
+//!
+//! trace-only options:
+//!            --format F       lanes (default) | jsonl | chrome
+//!                             `lanes` prints timelines plus the journal
+//!                             summary; `jsonl` streams issues + journal
+//!                             events; `chrome` writes a chrome://tracing
+//!                             document
+//!            --out FILE       write the export to FILE instead of stdout
 //! ```
 //!
 //! `run` executes on the batch evaluation engine: the kernel is decoded
@@ -32,7 +45,7 @@ use specrecon::ir::{
 };
 use specrecon::passes::compute_region;
 use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
-use specrecon::sim::{Launch, SimConfig, SimOutput};
+use specrecon::sim::{chrome_trace, jsonl, JournalConfig, Launch, SimConfig, SimOutput, Trace};
 use specrecon::workloads::Engine;
 use std::process::ExitCode;
 
@@ -49,9 +62,11 @@ fn main() -> ExitCode {
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: specrecon <verify|compile|detect|run|dot|explain> FILE [options] \
+        return Err(
+            "usage: specrecon <verify|compile|detect|run|trace|dot|explain> FILE [options] \
                     (see `src/bin/specrecon.rs` header for details)"
-            .to_string());
+                .to_string(),
+        );
     };
     let file = args.get(1).ok_or("missing FILE argument")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -107,6 +122,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => run_cmd(&module, rest),
+        "trace" => trace_cmd(&module, rest),
         "explain" => explain_cmd(&module),
         "dot" => {
             let compiled = compile_by_mode(&module, rest)?;
@@ -289,12 +305,92 @@ fn run_cmd(module: &Module, args: &[String]) -> Result<(), String> {
                     stats.active_lanes as f64 / stats.issues.max(1) as f64
                 );
             }
+            println!("\ndivergence attribution (lost lane-cycles):");
+            for ((func, block), stats) in profile.attribution(cfg.warp_width, 8) {
+                let fname = &compiled.module.functions[func].name;
+                println!(
+                    "  @{fname}/{block}: {} lost lane-cycles, {:.1}% SIMT efficiency",
+                    stats.lost_lane_cycles(cfg.warp_width),
+                    100.0 * stats.simt_efficiency(cfg.warp_width)
+                );
+            }
         }
     }
     if want_trace {
         if let Some(trace) = &out.trace {
-            println!("\nlane timeline (warp 0):\n{}", trace.render_lanes(0, 40));
+            for w in select_warps(trace, flag_value(args, "--warp"))? {
+                println!("\nlane timeline (warp {w}):\n{}", trace.render_lanes(w, 40));
+            }
         }
+    }
+    Ok(())
+}
+
+/// Resolves the `--warp` selector against a recorded trace: an explicit
+/// warp index, `all`, or — by default — every warp that diverged
+/// (falling back to warp 0 when none did, so `--trace` always shows
+/// something).
+fn select_warps(trace: &Trace, selector: Option<&str>) -> Result<Vec<usize>, String> {
+    match selector {
+        Some("all") => Ok((0..trace.num_warps()).collect()),
+        Some(n) => {
+            let w: usize = n.parse().map_err(|_| "--warp expects a warp index or `all`")?;
+            Ok(vec![w])
+        }
+        None => {
+            let divergent = trace.divergent_warps();
+            Ok(if divergent.is_empty() { vec![0] } else { divergent })
+        }
+    }
+}
+
+/// The `trace` subcommand: compile, simulate with tracing + journaling
+/// forced on, and export the result in the requested format.
+fn trace_cmd(module: &Module, args: &[String]) -> Result<(), String> {
+    let compiled = compile_by_mode(module, args)?;
+    let (mut cfg, launch) = launch_from_args(module, args)?;
+    cfg.trace = true;
+    cfg.journal = Some(JournalConfig::default());
+    let engine = Engine::new(1);
+    let out = engine.run_module(&compiled.module, &cfg, &launch).map_err(|e| e.to_string())?;
+
+    let warps: Option<Vec<usize>> = match flag_value(args, "--warp") {
+        Some("all") | None => None,
+        Some(n) => {
+            let w: usize = n.parse().map_err(|_| "--warp expects a warp index or `all`")?;
+            Some(vec![w])
+        }
+    };
+    let rendered = match flag_value(args, "--format").unwrap_or("lanes") {
+        "lanes" => {
+            let trace = out.trace.as_ref().ok_or("simulator returned no trace")?;
+            let mut text = String::new();
+            let shown = match &warps {
+                Some(ws) => ws.clone(),
+                None => select_warps(trace, None)?,
+            };
+            for w in shown {
+                text.push_str(&format!(
+                    "lane timeline (warp {w}):\n{}\n",
+                    trace.render_lanes(w, 40)
+                ));
+            }
+            if let Some(journal) = &out.journal {
+                text.push_str(&format!("\n{}", journal.render_summary()));
+            }
+            text
+        }
+        "jsonl" => jsonl(&out, warps.as_deref()),
+        "chrome" => chrome_trace(&out, warps.as_deref()),
+        other => return Err(format!("unknown --format {other:?} (lanes | jsonl | chrome)")),
+    };
+
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", rendered.len());
+        }
+        None => print!("{rendered}"),
     }
     Ok(())
 }
