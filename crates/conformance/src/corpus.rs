@@ -1,0 +1,203 @@
+//! Fixed, named corpus of edge-case programs.
+//!
+//! Unlike the random stream, these specs pin down shapes that have
+//! historically been fragile (or that the paper calls out explicitly)
+//! so every test run exercises them regardless of the seed schedule:
+//! empty else-arms, predictions whose Join lands in a loop preheader,
+//! bounded recursive common calls, degenerate soft-barrier thresholds,
+//! and overlapping prediction pairs.
+
+use crate::program::{CalleeSpec, Cond, Escape, PredSpec, PredTarget, ProgramSpec, Shape, Stmt};
+
+fn base(seed: u64, shape: Shape) -> ProgramSpec {
+    ProgramSpec {
+        seed,
+        shape,
+        warps: 2,
+        warp_width: 4,
+        callee: None,
+        stmts: Vec::new(),
+        predictions: Vec::new(),
+    }
+}
+
+/// The named corpus; names are stable and show up in failure output.
+pub fn corpus() -> Vec<(&'static str, ProgramSpec)> {
+    let mut out = Vec::new();
+
+    // A predicted branch whose else-arm is empty: the reconvergence
+    // point is the branch's own immediate post-dominator, and the ROI
+    // side is the only interesting arm.
+    let mut s = base(1, Shape::IterationDelay);
+    s.stmts = vec![
+        Stmt::AccAdd(5),
+        Stmt::Loop {
+            trips: 4,
+            rng_trips: false,
+            early: None,
+            body: vec![Stmt::If {
+                cond: Cond::RngLt(30),
+                then_b: vec![Stmt::Work(32), Stmt::AccAdd(1)],
+                else_b: vec![],
+                id: 0,
+            }],
+            id: 1,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("empty_else_arm", s));
+
+    // Prediction targeting a loop header: the speculative Join is
+    // placed in the preheader (the region runs from kernel entry), so
+    // the barrier is joined exactly once but waited every iteration.
+    let mut s = base(2, Shape::LoopMerge);
+    s.stmts = vec![
+        Stmt::AccXorTid,
+        Stmt::Loop {
+            trips: 4,
+            rng_trips: true,
+            early: None,
+            body: vec![Stmt::Work(24), Stmt::AccAdd(3)],
+            id: 0,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("barrier_in_loop_preheader", s));
+
+    // Bounded recursive common call: the callee recurses, so the
+    // interprocedural pass must NOT be pointed at it (a speculative
+    // Wait re-executing in inner frames could deadlock); instead the
+    // surrounding branch is predicted.
+    let mut s = base(3, Shape::CommonCall);
+    s.callee =
+        Some(CalleeSpec { stmts: vec![Stmt::Work(16), Stmt::AccAdd(7)], recursion: Some(2) });
+    s.stmts = vec![
+        Stmt::If {
+            cond: Cond::TidBit(0),
+            then_b: vec![Stmt::Work(8), Stmt::CallShared],
+            else_b: vec![Stmt::CallShared, Stmt::AccXor(5)],
+            id: 0,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("recursive_common_call", s));
+
+    // Non-recursive common call with an interprocedural prediction —
+    // the paper's Figure 2b shape (§4.4).
+    let mut s = base(4, Shape::CommonCall);
+    s.callee = Some(CalleeSpec { stmts: vec![Stmt::Work(24), Stmt::AccAdd(11)], recursion: None });
+    s.stmts = vec![
+        Stmt::If {
+            cond: Cond::RngLt(45),
+            then_b: vec![Stmt::AccAdd(1), Stmt::CallShared],
+            else_b: vec![Stmt::CallShared],
+            id: 0,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Callee, threshold: None }];
+    out.push(("interproc_common_call", s));
+
+    // Soft barrier with a meaningful threshold plus the degenerate
+    // values that must fall back to a hard barrier (§4.6).
+    for (name, threshold) in [
+        ("threshold_soft", Some(2u32)),
+        ("threshold_zero_hard_fallback", Some(0)),
+        ("threshold_full_width_hard_fallback", Some(4)),
+    ] {
+        let mut s = base(5, Shape::IterationDelay);
+        s.stmts = vec![
+            Stmt::Loop {
+                trips: 3,
+                rng_trips: false,
+                early: None,
+                body: vec![Stmt::If {
+                    cond: Cond::RngLt(25),
+                    then_b: vec![Stmt::Work(40)],
+                    else_b: vec![Stmt::AccAdd(1)],
+                    id: 0,
+                }],
+                id: 1,
+            },
+            Stmt::StoreAcc,
+        ];
+        s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold }];
+        out.push((name, s));
+    }
+
+    // Two predictions over nested constructs — exercises speculative
+    // conflict handling and the dynamic-deconfliction retry.
+    let mut s = base(6, Shape::Mixed);
+    s.stmts = vec![
+        Stmt::Loop {
+            trips: 3,
+            rng_trips: false,
+            early: None,
+            body: vec![Stmt::If {
+                cond: Cond::RngLt(35),
+                then_b: vec![Stmt::Work(28)],
+                else_b: vec![],
+                id: 0,
+            }],
+            id: 1,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![
+        PredSpec { target: PredTarget::Construct(0), threshold: None },
+        PredSpec { target: PredTarget::Construct(1), threshold: None },
+    ];
+    out.push(("two_predictions_nested", s));
+
+    // Early escapes out of a predicted loop: a Break (region escape
+    // edge) and a ThreadExit (exit-path cancellation).
+    let mut s = base(7, Shape::LoopMerge);
+    s.stmts = vec![
+        Stmt::Loop {
+            trips: 5,
+            rng_trips: false,
+            early: Some((Cond::RngLt(20), Escape::Break)),
+            body: vec![Stmt::Work(16), Stmt::AccAdd(2)],
+            id: 0,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("early_break_escape", s));
+
+    let mut s = base(8, Shape::LoopMerge);
+    s.stmts = vec![
+        Stmt::Loop {
+            trips: 5,
+            rng_trips: false,
+            early: Some((Cond::RngLt(15), Escape::ThreadExit)),
+            body: vec![Stmt::Work(12), Stmt::AccXorTid],
+            id: 0,
+        },
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("thread_exit_escape", s));
+
+    // A block-wide sync after reconvergence plus shared atomics —
+    // stresses the interaction between syncthreads and SR barriers.
+    let mut s = base(9, Shape::Mixed);
+    s.stmts = vec![
+        Stmt::If {
+            cond: Cond::TidBit(1),
+            then_b: vec![Stmt::Work(20), Stmt::AtomicBump(0)],
+            else_b: vec![Stmt::AtomicBump(1)],
+            id: 0,
+        },
+        Stmt::Sync,
+        Stmt::LoadMix,
+        Stmt::StoreAcc,
+    ];
+    s.predictions = vec![PredSpec { target: PredTarget::Construct(0), threshold: None }];
+    out.push(("sync_after_divergence", s));
+
+    out
+}

@@ -1,0 +1,248 @@
+//! Semantic-equivalence oracle.
+//!
+//! For one [`ProgramSpec`] the oracle:
+//!
+//! 1. compiles the PDOM **baseline** and runs it under every scheduler
+//!    policy × two launch seeds, checking the baseline itself is
+//!    schedule-invariant (final global memory identical);
+//! 2. compiles every applicable SR **variant** — soft/hard speculative
+//!    barriers, static/dynamic deconfliction, barrier allocation,
+//!    autodetect — and runs each under the same policy × seed matrix;
+//! 3. asserts each variant's final global memory (which encodes every
+//!    thread's architectural result, since the kernel epilogue stores
+//!    the accumulator to `global[tid]`) is bit-identical to the
+//!    baseline, that every run terminates, and that the transformed
+//!    module is clean under the barrier-safety lint.
+//!
+//! A variant that the compiler legitimately rejects (`BadPrediction`
+//! for a prediction outside a reducible region, or a
+//! `SpeculativeConflict` that survives the dynamic-deconfliction
+//! retry) is *skipped*, not failed — the oracle checks semantics of
+//! accepted programs, not acceptance itself.
+
+use crate::build::{build_module, mem_cells};
+use crate::program::ProgramSpec;
+use simt_ir::{Module, Value};
+use simt_sim::{run, Launch, SchedulerPolicy, SimConfig};
+use specrecon_core::{
+    compile, lint_errors, CompileOptions, Compiled, DeconflictMode, DetectOptions, PassError,
+};
+
+/// Every scheduler policy the simulator offers.
+pub const POLICIES: [SchedulerPolicy; 5] = [
+    SchedulerPolicy::Greedy,
+    SchedulerPolicy::MinPc,
+    SchedulerPolicy::MaxPc,
+    SchedulerPolicy::MostThreads,
+    SchedulerPolicy::RoundRobin,
+];
+
+/// Cycle budget per run; generated programs finish in well under this,
+/// so hitting it means a transform introduced a deadlock or livelock.
+const MAX_CYCLES: u64 = 5_000_000;
+
+/// What the oracle did for one spec.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Variant names that compiled and ran through the full matrix.
+    pub variants_run: Vec<String>,
+    /// Variant names skipped with the compiler's rejection reason.
+    pub variants_skipped: Vec<(String, String)>,
+}
+
+fn sim_config(spec: &ProgramSpec, policy: SchedulerPolicy) -> SimConfig {
+    SimConfig {
+        warp_width: spec.warp_width,
+        scheduler: policy,
+        max_cycles: MAX_CYCLES,
+        ..SimConfig::default()
+    }
+}
+
+fn launch(spec: &ProgramSpec, seed: u64) -> Launch {
+    let mut l = Launch::new("main", spec.warps);
+    l.global_mem = vec![Value::I64(0); mem_cells(spec)];
+    l.seed = seed;
+    l
+}
+
+fn launch_seeds(spec: &ProgramSpec) -> [u64; 2] {
+    [spec.seed ^ 0xA5A5_5A5A_A5A5_5A5A, spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1]
+}
+
+fn with_warp_width(mut opts: CompileOptions, spec: &ProgramSpec) -> CompileOptions {
+    opts.warp_width = spec.warp_width as u32;
+    // The oracle checks the lint explicitly (release builds included),
+    // so keep the pipeline's own debug-assert stage out of the way.
+    opts.lint = false;
+    opts
+}
+
+/// Outcome of trying to compile one variant.
+enum VariantOutcome {
+    Ready(Compiled),
+    Skipped(String),
+}
+
+/// Compiles `module` with `opts`, retrying with dynamic run-time
+/// deconfliction when static analysis reports an irreconcilable
+/// speculative conflict (§4.3's escape hatch).
+fn compile_variant(module: &Module, opts: &CompileOptions) -> Result<VariantOutcome, String> {
+    match compile(module, opts) {
+        Ok(c) => Ok(VariantOutcome::Ready(c)),
+        Err(PassError::BadPrediction(msg)) => Ok(VariantOutcome::Skipped(msg)),
+        Err(PassError::SpeculativeConflict(msg)) if !opts.spec_deconflict => {
+            let mut retry = opts.clone();
+            retry.spec_deconflict = true;
+            match compile(module, &retry) {
+                Ok(c) => Ok(VariantOutcome::Ready(c)),
+                Err(PassError::BadPrediction(m) | PassError::SpeculativeConflict(m)) => {
+                    Ok(VariantOutcome::Skipped(format!("{msg}; retry: {m}")))
+                }
+                Err(e) => Err(format!("dynamic-deconfliction retry failed: {e}")),
+            }
+        }
+        Err(PassError::SpeculativeConflict(msg)) => Ok(VariantOutcome::Skipped(msg)),
+        Err(e) => Err(format!("variant failed to compile: {e}")),
+    }
+}
+
+/// Strips soft-barrier thresholds, turning every prediction into a
+/// hard-barrier one.
+fn strip_thresholds(module: &Module) -> Module {
+    let mut m = module.clone();
+    for (_, f) in m.functions.iter_mut() {
+        for p in &mut f.predictions {
+            p.threshold = None;
+        }
+    }
+    m
+}
+
+/// Strips predictions entirely (input for the autodetect variant).
+fn strip_predictions(module: &Module) -> Module {
+    let mut m = module.clone();
+    for (_, f) in m.functions.iter_mut() {
+        f.predictions.clear();
+    }
+    m
+}
+
+/// The variant matrix for `spec`: name, source module, options.
+fn variants(spec: &ProgramSpec, module: &Module) -> Vec<(String, Module, CompileOptions)> {
+    let spec_opts = with_warp_width(CompileOptions::speculative(), spec);
+    let mut out = vec![("spec-dynamic".to_string(), module.clone(), spec_opts.clone())];
+
+    let mut st = spec_opts.clone();
+    st.deconflict = DeconflictMode::Static;
+    out.push(("spec-static".to_string(), module.clone(), st));
+
+    let mut alloc = spec_opts.clone();
+    alloc.barrier_allocation = true;
+    // The oracle checks semantics, not hardware fit: deeply nested
+    // generated programs may legitimately need more registers than Volta
+    // exposes once the allocator declines every unsound merge.
+    alloc.barrier_limit = None;
+    out.push(("spec-alloc".to_string(), module.clone(), alloc));
+
+    if spec.predictions.iter().any(|p| p.threshold.is_some()) {
+        out.push(("spec-hard".to_string(), strip_thresholds(module), spec_opts));
+    }
+
+    out.push((
+        "auto".to_string(),
+        strip_predictions(module),
+        with_warp_width(CompileOptions::automatic(DetectOptions::default()), spec),
+    ));
+    out
+}
+
+fn render_mem(mem: &[Value]) -> String {
+    mem.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Runs `compiled` across the policy × seed matrix, comparing final
+/// memory against `reference` (one snapshot per launch seed).
+fn run_matrix(
+    name: &str,
+    spec: &ProgramSpec,
+    compiled: &Compiled,
+    reference: Option<&[Vec<Value>]>,
+) -> Result<Vec<Vec<Value>>, String> {
+    let seeds = launch_seeds(spec);
+    let mut snapshots: Vec<Vec<Value>> = Vec::new();
+    for (si, &ls) in seeds.iter().enumerate() {
+        for &policy in &POLICIES {
+            let out = run(&compiled.module, &sim_config(spec, policy), &launch(spec, ls)).map_err(
+                |e| {
+                    format!(
+                        "[{name}] run failed under {policy:?} (launch seed {ls:#x}): {e}\n\
+                         transformed module:\n{}",
+                        compiled.module
+                    )
+                },
+            )?;
+            if let Some(reference) = reference {
+                if out.global_mem != reference[si] {
+                    return Err(format!(
+                        "[{name}] memory mismatch vs baseline under {policy:?} \
+                         (launch seed {ls:#x}):\n  baseline: {}\n  variant:  {}\n\
+                         transformed module:\n{}",
+                        render_mem(&reference[si]),
+                        render_mem(&out.global_mem),
+                        compiled.module
+                    ));
+                }
+            }
+            match snapshots.get(si) {
+                None => snapshots.push(out.global_mem),
+                Some(first) => {
+                    if *first != out.global_mem {
+                        return Err(format!(
+                            "[{name}] not schedule-invariant: {policy:?} disagrees with \
+                             {:?} (launch seed {ls:#x}):\n  first: {}\n  now:   {}",
+                            POLICIES[0],
+                            render_mem(first),
+                            render_mem(&out.global_mem)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(snapshots)
+}
+
+/// Checks one spec end to end. `Err` carries a human-readable
+/// violation report (including the offending module text).
+pub fn check(spec: &ProgramSpec) -> Result<OracleReport, String> {
+    let module = build_module(spec);
+
+    let base_opts = with_warp_width(CompileOptions::baseline(), spec);
+    let baseline = compile(&module, &base_opts)
+        .map_err(|e| format!("[baseline] compile failed: {e}\nsource module:\n{module}"))?;
+    let reference = run_matrix("baseline", spec, &baseline, None)?;
+
+    let mut report = OracleReport::default();
+    for (name, source, opts) in variants(spec, &module) {
+        match compile_variant(&source, &opts)
+            .map_err(|e| format!("[{name}] {e}\nsource module:\n{source}"))?
+        {
+            VariantOutcome::Skipped(reason) => report.variants_skipped.push((name, reason)),
+            VariantOutcome::Ready(compiled) => {
+                let lint = lint_errors(&compiled);
+                if !lint.is_empty() {
+                    return Err(format!(
+                        "[{name}] barrier-safety lint rejected the transformed module:\n{}\n\
+                         transformed module:\n{}",
+                        lint.join("\n"),
+                        compiled.module
+                    ));
+                }
+                run_matrix(&name, spec, &compiled, Some(&reference))?;
+                report.variants_run.push(name);
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,341 @@
+//! Regression-corpus ingestion (satellite of the conformance suite).
+//!
+//! The repository's root proptest suite persists minimized failure
+//! cases to `tests/proptest_barrier_oracle.proptest-regressions`. The
+//! vendored proptest core replays the *seed hashes* in that file, but
+//! the hashes are only meaningful to the strategy that produced them.
+//! The human-readable `# shrinks to …` annotation, however, fully
+//! describes the minimized CFG — so this module parses those
+//! annotations, rebuilds each CFG exactly as the original test did,
+//! and re-checks both §4.2.1 dataflow analyses against the same
+//! path-enumeration oracles. The corpus is embedded at compile time;
+//! regressions stay pinned even if the proptest seed format changes.
+
+use simt_analysis::{BarrierJoined, BarrierLiveness};
+use simt_ir::{BarrierId, BarrierOp, BlockId, FuncKind, Function, Inst, Operand, Terminator};
+
+/// Barriers per CFG, matching the original test's `NB`.
+pub const NB: usize = 3;
+
+/// The embedded regression corpus file.
+const CORPUS: &str = include_str!("../../../tests/proptest_barrier_oracle.proptest-regressions");
+
+/// One minimized regression case: the arguments the shrunk test ran
+/// with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegressionCase {
+    /// Number of blocks actually instantiated.
+    pub n: usize,
+    /// Instruction templates, indexed modulo their length.
+    pub blocks: Vec<Vec<Inst>>,
+    /// `(then, else, is_branch)` link templates, indexed modulo length.
+    pub links: Vec<(usize, usize, bool)>,
+}
+
+fn parse_inst(tok: &str) -> Result<Inst, String> {
+    let tok = tok.trim();
+    if tok == "Nop" {
+        return Ok(Inst::Nop);
+    }
+    let inner = tok
+        .strip_prefix("Barrier(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("unrecognized instruction token {tok:?}"))?;
+    let (op, rest) =
+        inner.split_once('(').ok_or_else(|| format!("malformed barrier op {inner:?}"))?;
+    let idx: u32 = rest
+        .strip_suffix(')')
+        .and_then(|s| s.strip_prefix('b'))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed barrier id in {inner:?}"))?;
+    let b = BarrierId(idx);
+    Ok(Inst::Barrier(match op {
+        "Join" => BarrierOp::Join(b),
+        "Rejoin" => BarrierOp::Rejoin(b),
+        "Wait" => BarrierOp::Wait(b),
+        "Cancel" => BarrierOp::Cancel(b),
+        other => return Err(format!("unknown barrier op {other:?}")),
+    }))
+}
+
+/// Splits the contents of a bracketed list at top-level commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' | '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Extracts `key = [...]`, returning the bracketed body.
+fn extract_list<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("{key} = [");
+    let start = line.find(&pat).ok_or_else(|| format!("missing {key:?} in {line:?}"))? + pat.len();
+    let mut depth = 1usize;
+    for (off, c) in line[start..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&line[start..start + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unterminated {key:?} list in {line:?}"))
+}
+
+fn parse_case(annotation: &str) -> Result<RegressionCase, String> {
+    let n: usize = annotation
+        .split("n = ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| format!("missing n in {annotation:?}"))?;
+
+    let blocks_src = extract_list(annotation, "blocks")?;
+    let mut blocks = Vec::new();
+    for item in split_top_level(blocks_src) {
+        let body = item
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("malformed block list {item:?}"))?;
+        let insts = if body.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(body).iter().map(|t| parse_inst(t)).collect::<Result<_, _>>()?
+        };
+        blocks.push(insts);
+    }
+    if blocks.is_empty() {
+        return Err(format!("empty blocks list in {annotation:?}"));
+    }
+
+    let links_src = extract_list(annotation, "links")?;
+    let mut links = Vec::new();
+    for item in split_top_level(links_src) {
+        let body = item
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| format!("malformed link tuple {item:?}"))?;
+        let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(format!("link tuple arity != 3 in {item:?}"));
+        }
+        let a = parts[0].parse().map_err(|_| format!("bad link index {:?}", parts[0]))?;
+        let b = parts[1].parse().map_err(|_| format!("bad link index {:?}", parts[1]))?;
+        let branch = match parts[2] {
+            "true" => true,
+            "false" => false,
+            other => return Err(format!("bad link flag {other:?}")),
+        };
+        links.push((a, b, branch));
+    }
+    if links.is_empty() {
+        return Err(format!("empty links list in {annotation:?}"));
+    }
+
+    Ok(RegressionCase { n, blocks, links })
+}
+
+/// Parses every `# shrinks to …` annotation out of the embedded
+/// corpus.
+pub fn cases() -> Result<Vec<RegressionCase>, String> {
+    let mut out = Vec::new();
+    for line in CORPUS.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some((_, annotation)) = line.split_once("# shrinks to ") else {
+            continue;
+        };
+        out.push(parse_case(annotation)?);
+    }
+    Ok(out)
+}
+
+/// Rebuilds the CFG exactly as `tests/proptest_barrier_oracle.rs` does.
+pub fn build_cfg(case: &RegressionCase) -> Function {
+    let RegressionCase { n, blocks, links } = case;
+    let n = *n;
+    let mut f = Function::new("oracle", FuncKind::Kernel, 0);
+    f.num_barriers = NB;
+    for _ in 1..n {
+        f.add_block(None);
+    }
+    for bi in 0..n {
+        let id = BlockId::new(bi);
+        f.blocks[id].insts = blocks[bi % blocks.len()].clone();
+        let (a, b, branch) = links[bi % links.len()];
+        f.blocks[id].term = if bi == n - 1 {
+            Terminator::Exit
+        } else if branch {
+            Terminator::Branch {
+                cond: Operand::imm_i64(1),
+                then_bb: BlockId::new(a % n),
+                else_bb: BlockId::new(b % n),
+                divergent: false,
+            }
+        } else {
+            Terminator::Jump(BlockId::new(a % n))
+        };
+    }
+    f
+}
+
+fn apply_forward_ops(insts: &[Inst], state: &mut [bool; NB]) {
+    for inst in insts {
+        if let Inst::Barrier(op) = inst {
+            match op {
+                BarrierOp::Join(b) | BarrierOp::Rejoin(b) => state[b.index()] = true,
+                BarrierOp::Wait(b) | BarrierOp::Cancel(b) => state[b.index()] = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn brute_joined_in(f: &Function, max_visits: usize) -> Vec<[bool; NB]> {
+    let n = f.blocks.len();
+    let mut result = vec![[false; NB]; n];
+    let mut stack: Vec<(BlockId, [bool; NB], Vec<usize>)> =
+        vec![(f.entry, [false; NB], vec![0; n])];
+    while let Some((b, state, mut visits)) = stack.pop() {
+        if visits[b.index()] >= max_visits {
+            continue;
+        }
+        visits[b.index()] += 1;
+        for (i, &on) in state.iter().enumerate() {
+            result[b.index()][i] |= on;
+        }
+        let mut out = state;
+        apply_forward_ops(&f.blocks[b].insts, &mut out);
+        for s in f.successors(b) {
+            stack.push((s, out, visits.clone()));
+        }
+    }
+    result
+}
+
+fn apply_backward_ops(insts: &[Inst], state: &mut [bool; NB]) {
+    for inst in insts.iter().rev() {
+        if let Inst::Barrier(op) = inst {
+            match op {
+                BarrierOp::Wait(b) => state[b.index()] = true,
+                BarrierOp::Join(b) | BarrierOp::Rejoin(b) => state[b.index()] = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn brute_live_in(f: &Function, max_visits: usize) -> Vec<[bool; NB]> {
+    let n = f.blocks.len();
+    let mut result = vec![[false; NB]; n];
+    let mut stack: Vec<(BlockId, Vec<BlockId>, Vec<usize>)> = vec![(f.entry, vec![], vec![0; n])];
+    while let Some((b, mut path, mut visits)) = stack.pop() {
+        if visits[b.index()] >= max_visits {
+            continue;
+        }
+        visits[b.index()] += 1;
+        path.push(b);
+        let succs = f.successors(b);
+        if succs.is_empty() {
+            let mut state = [false; NB];
+            for &blk in path.iter().rev() {
+                apply_backward_ops(&f.blocks[blk].insts, &mut state);
+                for (i, &on) in state.iter().enumerate() {
+                    result[blk.index()][i] |= on;
+                }
+            }
+        } else {
+            for s in succs {
+                stack.push((s, path.clone(), visits.clone()));
+            }
+        }
+    }
+    result
+}
+
+/// Re-checks one regression case against both analyses; `Err` carries
+/// the first disagreement.
+#[allow(clippy::needless_range_loop)] // indices name blocks/barriers in the error text
+pub fn replay(case: &RegressionCase) -> Result<(), String> {
+    let f = build_cfg(case);
+    let joined = BarrierJoined::analyze(&f);
+    let brute_joined = brute_joined_in(&f, 4);
+    for b in 0..case.n {
+        let id = BlockId::new(b);
+        if brute_joined[b] == [false; NB] && joined.joined_in(id).is_empty() {
+            continue;
+        }
+        for bar in 0..NB {
+            if joined.joined_in(id).contains(bar) != brute_joined[b][bar] {
+                return Err(format!("joined_in(bb{b}, b{bar}) mismatch on:\n{f}"));
+            }
+        }
+    }
+    let live = BarrierLiveness::analyze(&f);
+    let brute_live = brute_live_in(&f, 3);
+    for b in 0..case.n {
+        let id = BlockId::new(b);
+        for bar in 0..NB {
+            if brute_live[b][bar] && !live.live_in(id).contains(bar) {
+                return Err(format!("live_in(bb{b}, b{bar}) missing on:\n{f}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_is_nonempty() {
+        let cs = cases().unwrap();
+        assert!(!cs.is_empty(), "regression corpus should contain at least one case");
+        let first = &cs[0];
+        assert_eq!(first.n, 4);
+        assert_eq!(first.blocks, vec![vec![Inst::Barrier(BarrierOp::Join(BarrierId(0)))]]);
+        assert_eq!(first.links.len(), 6);
+        assert_eq!(first.links[0], (3, 3, false));
+    }
+
+    #[test]
+    fn parse_inst_handles_all_ops() {
+        assert_eq!(parse_inst("Nop").unwrap(), Inst::Nop);
+        assert_eq!(
+            parse_inst("Barrier(Wait(b2))").unwrap(),
+            Inst::Barrier(BarrierOp::Wait(BarrierId(2)))
+        );
+        assert_eq!(
+            parse_inst("Barrier(Rejoin(b1))").unwrap(),
+            Inst::Barrier(BarrierOp::Rejoin(BarrierId(1)))
+        );
+        assert!(parse_inst("Barrier(Explode(b9))").is_err());
+    }
+}

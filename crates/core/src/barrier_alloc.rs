@@ -3,27 +3,257 @@
 //! The passes allocate a fresh virtual barrier register per insertion
 //! site, but hardware barrier registers are a scarce physical resource —
 //! Volta exposes **16** per warp. A production implementation of the
-//! paper must therefore recycle registers whose live (joined) ranges do
-//! not overlap, exactly like ordinary register allocation. This pass:
+//! paper must therefore recycle registers whose lifetimes cannot
+//! overlap, exactly like ordinary register allocation — except that the
+//! notion of "overlap" is *warp-temporal*, not path-based: barrier
+//! registers are warp-global, and on a machine without implicit
+//! reconvergence the two sides of a divergent branch execute
+//! interleaved. A register live only on the then-side and one live only
+//! on the else-side never coexist on any path, yet their participation
+//! masks occupy the machine at the same time.
 //!
-//! 1. computes instruction-granularity joined sets (Eq. 1 refined to
-//!    program points);
-//! 2. builds an interference graph — two barriers interfere if some
-//!    point has both joined (their participation masks would collide in
-//!    one physical register);
-//! 3. greedily colors it and rewrites every barrier operand;
-//! 4. optionally enforces a hardware limit.
+//! Two registers are therefore allowed to share a color only when a
+//! **warp-wide fence** provably orders their lifetimes: a `wait` whose
+//! barrier was joined once at a point dominating it, is never cancelled,
+//! rejoined or copied into, sits outside any cycle, and whose block
+//! post-dominates the entry. Every thread of the warp must arrive at
+//! such a wait before any thread proceeds, so everything before it is
+//! warp-temporally ordered before everything after. Register `a` may
+//! reuse `b`'s color when some fence `w` has: all of `a`'s references
+//! before `w` and not reachable from it, `a`'s mask provably drained at
+//! `w` (by a cancel-insensitive may-populated dataflow — `cancel` only
+//! removes the executing lane, so it never counts as a drain), and all
+//! of `b`'s references dominated by `w`.
 //!
 //! Barriers the function never populates (no join/rejoin/copy-dst) keep
 //! distinct colors after the used ones, so even degenerate inputs stay
 //! verifiable.
 
 use crate::error::PassError;
-use simt_analysis::BarrierJoined;
-use simt_ir::{BarrierId, BarrierOp, FuncKind, Function, Inst, Module};
+use simt_analysis::{solve, BitSet, DataflowProblem, Direction, DomTree};
+use simt_ir::{BarrierId, BarrierOp, BlockId, FuncKind, Function, Inst, Module};
 
 /// The number of convergence-barrier registers a Volta warp exposes.
 pub const VOLTA_BARRIER_REGISTERS: usize = 16;
+
+/// One instruction's effect on allocation live ranges. `Join`/`Rejoin`
+/// populate a mask; a `bcopy` writes its destination register whatever
+/// the source holds (so the destination is live from the copy); `wait`
+/// releases only once the mask is empty, so downstream of a wait the
+/// register is free. `cancel` is deliberately NOT a kill: it removes
+/// just the executing lane, and diverged lanes elsewhere in the warp
+/// may still be participants.
+fn alloc_range_step(inst: &Inst, state: &mut BitSet) {
+    if let Inst::Barrier(op) = inst {
+        match op {
+            BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
+                state.insert(b.index());
+            }
+            BarrierOp::Copy { dst, .. } => {
+                state.insert(dst.index());
+            }
+            BarrierOp::Wait(b) => {
+                state.remove(b.index());
+            }
+            BarrierOp::Cancel(_) | BarrierOp::ArrivedCount { .. } => {}
+        }
+    }
+}
+
+/// The cancel-insensitive may-live analysis driving interference.
+struct AllocRanges<'a> {
+    func: &'a Function,
+    nb: usize,
+}
+
+impl DataflowProblem for AllocRanges<'_> {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn domain_size(&self) -> usize {
+        self.nb
+    }
+
+    fn transfer(&self, block: BlockId, input: &BitSet) -> BitSet {
+        let mut state = input.clone();
+        for inst in &self.func.blocks[block].insts {
+            alloc_range_step(inst, &mut state);
+        }
+        state
+    }
+}
+
+/// A program point: block plus instruction index within it.
+type Point = (BlockId, usize);
+
+/// Per-barrier reference classification for fence detection.
+struct BarrierRefs {
+    /// Every instruction referencing the register.
+    refs: Vec<Vec<Point>>,
+    /// `Join` sites only.
+    joins: Vec<Vec<Point>>,
+    /// `Wait` sites only.
+    waits: Vec<Vec<Point>>,
+    /// Whether a rejoin/cancel/copy-into disqualifies the register from
+    /// acting as a fence (its membership is no longer "everyone joined
+    /// once, everyone waits once").
+    dirty: Vec<bool>,
+}
+
+fn collect_refs(func: &Function, nb: usize) -> BarrierRefs {
+    let mut r = BarrierRefs {
+        refs: vec![Vec::new(); nb],
+        joins: vec![Vec::new(); nb],
+        waits: vec![Vec::new(); nb],
+        dirty: vec![false; nb],
+    };
+    for (block, data) in func.blocks.iter() {
+        for (i, inst) in data.insts.iter().enumerate() {
+            let pt = (block, i);
+            if let Inst::Barrier(op) = inst {
+                match op {
+                    BarrierOp::Join(b) => {
+                        r.joins[b.index()].push(pt);
+                        r.refs[b.index()].push(pt);
+                    }
+                    BarrierOp::Wait(b) => {
+                        r.waits[b.index()].push(pt);
+                        r.refs[b.index()].push(pt);
+                    }
+                    BarrierOp::Rejoin(b) | BarrierOp::Cancel(b) => {
+                        r.dirty[b.index()] = true;
+                        r.refs[b.index()].push(pt);
+                    }
+                    BarrierOp::Copy { dst, src } => {
+                        r.dirty[dst.index()] = true;
+                        r.refs[dst.index()].push(pt);
+                        r.refs[src.index()].push(pt);
+                    }
+                    BarrierOp::ArrivedCount { bar, .. } => {
+                        r.refs[bar.index()].push(pt);
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+/// Blocks reachable from `from`'s terminator (i.e. strictly after the
+/// end of `from`), as a dense membership vector.
+fn reachable_after(func: &Function, from: BlockId) -> Vec<bool> {
+    let mut seen = vec![false; func.blocks.len()];
+    let mut work: Vec<BlockId> = func.successors(from);
+    while let Some(b) = work.pop() {
+        if !seen[b.index()] {
+            seen[b.index()] = true;
+            work.extend(func.successors(b));
+        }
+    }
+    seen
+}
+
+/// A warp-wide fence: the `wait` of a barrier every thread joins exactly
+/// once beforehand and can neither skip nor revisit.
+struct Fence {
+    /// The fence barrier's register index.
+    bar: usize,
+    /// The wait instruction's location.
+    at: Point,
+    /// Blocks strictly after the fence.
+    after: Vec<bool>,
+    /// May-populated registers at the fence (cancel-insensitive).
+    populated: BitSet,
+}
+
+impl Fence {
+    /// Is `pt` strictly after this fence in warp time?
+    fn is_after(&self, pt: Point) -> bool {
+        self.after[pt.0.index()] || (pt.0 == self.at.0 && pt.1 > self.at.1)
+    }
+
+    /// Is `pt` strictly before this fence (every path to it then passes
+    /// the fence before any post-fence code runs)? Dominance of the
+    /// fence block over the point's block is enough: leaving the fence
+    /// block means having executed the wait.
+    fn is_dominated(&self, dom: &DomTree, pt: Point) -> bool {
+        if pt.0 == self.at.0 {
+            return pt.1 > self.at.1;
+        }
+        dom.dominates(self.at.0, pt.0)
+    }
+}
+
+/// Marks every pair of *warp-temporally overlapping* barriers in `func`
+/// as interfering: two registers interfere unless some warp-wide fence
+/// separates their lifetimes. Path-based liveness alone would be unsound
+/// here — registers live on opposite sides of a divergent branch never
+/// meet on a path but coexist in the machine.
+fn mark_interference(func: &Function, nb: usize, interferes: &mut [Vec<bool>]) {
+    let refs = collect_refs(func, nb);
+    let ranges = solve(func, &AllocRanges { func, nb });
+
+    // Fences only make sense in kernels: a wait inside a device function
+    // synchronizes only the lanes that happen to call it.
+    let mut fences: Vec<Fence> = Vec::new();
+    if func.kind == FuncKind::Kernel {
+        let dom = DomTree::dominators(func);
+        let pdt = DomTree::post_dominators(func);
+        for b in 0..nb {
+            if refs.dirty[b] || refs.joins[b].len() != 1 || refs.waits[b].len() != 1 {
+                continue;
+            }
+            let (jb, ji) = refs.joins[b][0];
+            let (wb, wi) = refs.waits[b][0];
+            let join_dominates = if jb == wb { ji < wi } else { dom.dominates(jb, wb) };
+            // Every thread joins before arriving, every thread arrives
+            // (the wait post-dominates entry), and the wait runs once
+            // (its block is outside any cycle).
+            if !join_dominates || !pdt.dominates(wb, func.entry) {
+                continue;
+            }
+            let after = reachable_after(func, wb);
+            if after[wb.index()] {
+                continue;
+            }
+            let mut populated = ranges.entry[wb].clone();
+            for inst in func.blocks[wb].insts.iter().take(wi) {
+                alloc_range_step(inst, &mut populated);
+            }
+            fences.push(Fence { bar: b, at: (wb, wi), after, populated });
+        }
+    }
+
+    let dom = DomTree::dominators(func);
+    // `a` may precede `b` across fence `f` when all of `a`'s references
+    // are pre-fence and its mask is drained there, and all of `b`'s
+    // references execute strictly after the fence.
+    let precedes = |a: usize, b: usize| -> bool {
+        fences.iter().any(|f| {
+            let drained = a == f.bar || !f.populated.contains(a);
+            drained
+                && refs.refs[a].iter().all(|&pt| !f.is_after(pt))
+                && refs.refs[b].iter().all(|&pt| f.is_dominated(&dom, pt))
+        })
+    };
+
+    #[allow(clippy::needless_range_loop)] // symmetric writes at [a][b] and [b][a]
+    for a in 0..nb {
+        if refs.refs[a].is_empty() {
+            continue;
+        }
+        for b in (a + 1)..nb {
+            if refs.refs[b].is_empty() {
+                continue;
+            }
+            if !precedes(a, b) && !precedes(b, a) {
+                interferes[a][b] = true;
+                interferes[b][a] = true;
+            }
+        }
+    }
+}
 
 /// Result of barrier allocation on one function.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,33 +303,11 @@ pub fn allocate_barriers(
         return Ok(BarrierAllocReport { before: 0, after: 0, mapping: Vec::new() });
     }
 
-    // Instruction-level interference from the joined analysis: walk each
-    // block from its joined-in set; after every instruction, all
-    // currently-joined barriers mutually interfere. A `bcopy` also makes
-    // dst and src interfere (both masks are materialized at the copy).
-    let joined = BarrierJoined::analyze(func);
+    // Instruction-level interference from the cancel-insensitive live
+    // ranges (see `alloc_range_step` for why `cancel` must not end a
+    // range under divergence).
     let mut interferes = vec![vec![false; nb]; nb];
-    let mark_all = |set: &simt_analysis::BitSet, interferes: &mut Vec<Vec<bool>>| {
-        let members: Vec<usize> = set.iter().collect();
-        for (i, &x) in members.iter().enumerate() {
-            for &y in &members[i + 1..] {
-                interferes[x][y] = true;
-                interferes[y][x] = true;
-            }
-        }
-    };
-    for block in func.blocks.ids().collect::<Vec<_>>() {
-        let mut state = joined.joined_in(block).clone();
-        mark_all(&state, &mut interferes);
-        for (idx, inst) in func.blocks[block].insts.iter().enumerate() {
-            if let Inst::Barrier(BarrierOp::Copy { dst, src }) = inst {
-                interferes[dst.index()][src.index()] = true;
-                interferes[src.index()][dst.index()] = true;
-            }
-            state = joined.joined_before(func, block, idx + 1);
-            mark_all(&state, &mut interferes);
-        }
-    }
+    mark_interference(func, nb, &mut interferes);
 
     // Which barriers are ever populated?
     let mut used = vec![false; nb];
@@ -235,24 +443,10 @@ pub fn allocate_barriers_module(
         if func.num_barriers == 0 {
             continue;
         }
-        let joined = BarrierJoined::analyze(func);
-        fn mark_all(set: &simt_analysis::BitSet, interferes: &mut [Vec<bool>]) {
-            let members: Vec<usize> = set.iter().collect();
-            for (i, &x) in members.iter().enumerate() {
-                for &y in &members[i + 1..] {
-                    interferes[x][y] = true;
-                    interferes[y][x] = true;
-                }
-            }
-        }
-        for block in func.blocks.ids().collect::<Vec<_>>() {
-            mark_all(joined.joined_in(block), &mut interferes);
-            for (idx, inst) in func.blocks[block].insts.iter().enumerate() {
+        mark_interference(func, nb, &mut interferes);
+        for (_, block) in func.blocks.iter() {
+            for inst in &block.insts {
                 if let Inst::Barrier(op) = inst {
-                    if let Inst::Barrier(BarrierOp::Copy { dst, src }) = inst {
-                        interferes[dst.index()][src.index()] = true;
-                        interferes[src.index()][dst.index()] = true;
-                    }
                     match op {
                         BarrierOp::Join(b) | BarrierOp::Rejoin(b) => used[b.index()] = true,
                         BarrierOp::Copy { dst, .. } => used[dst.index()] = true,
@@ -268,7 +462,6 @@ pub fn allocate_barriers_module(
                         }
                     }
                 }
-                mark_all(&joined.joined_before(func, block, idx + 1), &mut interferes);
             }
         }
     }

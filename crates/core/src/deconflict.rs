@@ -15,7 +15,7 @@
 //!   the speculative point actually executes.
 
 use simt_analysis::find_conflicts;
-use simt_ir::{BarrierId, BarrierOp, Function, Inst};
+use simt_ir::{BarrierId, BarrierOp, FuncId, FuncRef, Function, Inst};
 
 /// Deconfliction strategy (§4.3).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,8 +48,49 @@ pub fn deconflict(
     pdom: &[BarrierId],
     mode: DeconflictMode,
 ) -> DeconflictReport {
+    deconflict_with_calls(func, speculative, pdom, &[], mode)
+}
+
+/// An interprocedural (§4.4) barrier waits at the *callee's entry*, so
+/// its wait is invisible to a per-function conflict analysis. This view
+/// materializes the call-graph summary the paper describes: a clone of
+/// `func` with every call to a predicted callee replaced by an explicit
+/// wait on that prediction's barrier — from the caller's perspective,
+/// the call *is* where the thread may block.
+pub(crate) fn call_wait_view(func: &Function, interproc: &[(FuncId, BarrierId)]) -> Function {
+    let mut view = func.clone();
+    for (_, block) in view.blocks.iter_mut() {
+        for inst in &mut block.insts {
+            if let Inst::Call { func: FuncRef::Id(id), .. } = inst {
+                if let Some(&(_, bar)) = interproc.iter().find(|(callee, _)| callee == id) {
+                    *inst = Inst::Barrier(BarrierOp::Wait(bar));
+                }
+            }
+        }
+    }
+    view
+}
+
+/// [`deconflict`], with §4.4 interprocedural predictions taken into
+/// account: `interproc` maps each predicted callee to the barrier joined
+/// in this caller and waited on at the callee's entry. Conflicts are
+/// found on the [`call_wait_view`]; dynamic resolution places the
+/// `Cancel` before the call site, so a thread withdraws from the losing
+/// PDOM barrier before it can block inside the callee.
+pub fn deconflict_with_calls(
+    func: &mut Function,
+    speculative: &[BarrierId],
+    pdom: &[BarrierId],
+    interproc: &[(FuncId, BarrierId)],
+    mode: DeconflictMode,
+) -> DeconflictReport {
     let mut report = DeconflictReport::default();
-    for c in find_conflicts(func) {
+    let conflicts = if interproc.is_empty() {
+        find_conflicts(func)
+    } else {
+        find_conflicts(&call_wait_view(func, interproc))
+    };
+    for c in conflicts {
         let pair = if speculative.contains(&c.a) && pdom.contains(&c.b) {
             Some((c.a, c.b))
         } else if speculative.contains(&c.b) && pdom.contains(&c.a) {
@@ -61,7 +102,12 @@ pub fn deconflict(
             Some((s, p)) => {
                 match mode {
                     DeconflictMode::Static => remove_barrier_ops(func, p),
-                    DeconflictMode::Dynamic => cancel_before_waits(func, s, p),
+                    DeconflictMode::Dynamic => {
+                        cancel_before_waits(func, s, p);
+                        if let Some(&(callee, _)) = interproc.iter().find(|(_, b)| *b == s) {
+                            cancel_before_calls(func, callee, p);
+                        }
+                    }
                 }
                 report.resolved.push((s, p));
             }
@@ -78,6 +124,27 @@ fn remove_barrier_ops(func: &mut Function, b: BarrierId) {
             Inst::Barrier(op) => op.barrier() != Some(b),
             _ => true,
         });
+    }
+}
+
+/// Inserts `Cancel(p)` immediately before every call to `callee` — the
+/// interprocedural analogue of [`cancel_before_waits`]: the thread may
+/// block at the callee-entry wait, so it must leave the losing PDOM
+/// barrier before calling.
+fn cancel_before_calls(func: &mut Function, callee: FuncId, p: BarrierId) {
+    for (_, block) in func.blocks.iter_mut() {
+        let mut i = 0;
+        while i < block.insts.len() {
+            if matches!(&block.insts[i], Inst::Call { func: FuncRef::Id(id), .. } if *id == callee)
+            {
+                let already = i > 0 && block.insts[i - 1] == Inst::Barrier(BarrierOp::Cancel(p));
+                if !already {
+                    block.insts.insert(i, Inst::Barrier(BarrierOp::Cancel(p)));
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
     }
 }
 

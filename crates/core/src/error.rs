@@ -18,6 +18,9 @@ pub enum PassError {
     SpeculativeConflict(String),
     /// A module-level problem (unresolved calls, missing function, ...).
     Module(String),
+    /// The barrier-safety lint found an error-severity finding in the
+    /// transformed module (see [`crate::lint`]).
+    Lint(String),
 }
 
 impl fmt::Display for PassError {
@@ -38,6 +41,7 @@ impl fmt::Display for PassError {
                 write!(f, "conflicting speculative barriers: {msg}")
             }
             PassError::Module(msg) => write!(f, "module error: {msg}"),
+            PassError::Lint(msg) => write!(f, "barrier-safety lint failed:\n{msg}"),
         }
     }
 }

@@ -117,8 +117,19 @@ fn apply_one(
     callee_func.num_barriers = callee_func.num_barriers.max(needed);
     callee_func.blocks[callee_func.entry].insts.insert(0, Inst::Barrier(BarrierOp::Wait(bar)));
 
+    // Join in the caller at the region start — but if the region-start
+    // block itself contains a call to the callee, the join must precede
+    // it, or the callee-entry wait would run on a never-populated mask
+    // and reconverge nothing.
     let caller = &mut module.functions[caller_id];
-    caller.blocks[region_start].insts.push(Inst::Barrier(BarrierOp::Join(bar)));
+    let start_insts = &mut caller.blocks[region_start].insts;
+    let first_call = start_insts
+        .iter()
+        .position(|i| matches!(i, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee));
+    match first_call {
+        Some(i) => start_insts.insert(i, Inst::Barrier(BarrierOp::Join(bar))),
+        None => start_insts.push(Inst::Barrier(BarrierOp::Join(bar))),
+    }
 
     // "Call to callee lies ahead" — block-level backward reachability used
     // for both Rejoin (another call ahead after this one?) and Cancel (no

@@ -16,6 +16,8 @@
 //!   (Figure 3's preparation step);
 //! - [`barrier_alloc`] — barrier register allocation (recycling the 16
 //!   physical Volta barrier registers across non-overlapping regions);
+//! - [`mod@lint`] — flow-sensitive barrier-safety lint over the transformed
+//!   module (the pipeline's debug-assert stage, also `specrecon lint`);
 //! - [`unroll`] — partial unrolling for the §6 interaction study;
 //! - [`pipeline`] — [`compile`], tying it all together.
 //!
@@ -39,6 +41,7 @@ pub mod cost;
 pub mod deconflict;
 pub mod error;
 pub mod interproc;
+pub mod lint;
 pub mod pdom;
 pub mod pipeline;
 pub mod region;
@@ -53,9 +56,10 @@ pub use barrier_alloc::{
     allocate_barriers, allocate_barriers_module, BarrierAllocReport, VOLTA_BARRIER_REGISTERS,
 };
 pub use coarsen::{coarsen, CoarsenReport};
-pub use deconflict::{deconflict, DeconflictMode, DeconflictReport};
+pub use deconflict::{deconflict, deconflict_with_calls, DeconflictMode, DeconflictReport};
 pub use error::PassError;
 pub use interproc::{apply_interprocedural, make_wrapper, InterprocReport};
+pub use lint::{lint_compiled, lint_errors, lint_module, LintFinding, LintRule, LintSeverity};
 pub use pdom::{insert_pdom_sync, PdomOptions, PdomReport};
 pub use pipeline::{compile, compile_profile_guided, CompileOptions, Compiled, FunctionReport};
 pub use region::{compute_region, Region};

@@ -12,7 +12,7 @@
 
 use crate::autodetect::{auto_annotate, Candidate, DetectOptions};
 use crate::barrier_alloc::{allocate_barriers_module, BarrierAllocReport};
-use crate::deconflict::{deconflict, DeconflictMode, DeconflictReport};
+use crate::deconflict::{deconflict_with_calls, DeconflictMode, DeconflictReport};
 use crate::error::PassError;
 use crate::interproc::{apply_interprocedural, InterprocReport};
 use crate::pdom::{insert_pdom_sync, PdomOptions, PdomReport};
@@ -55,6 +55,11 @@ pub struct CompileOptions {
     /// Verify the IR after the pipeline (always recommended; tests rely
     /// on it).
     pub verify: bool,
+    /// Run the barrier-safety lint ([`crate::lint`]) after verification
+    /// and fail with [`PassError::Lint`] on error-severity findings. On
+    /// by default in debug builds (a debug-assert stage), off in release
+    /// builds.
+    pub lint: bool,
 }
 
 impl Default for CompileOptions {
@@ -70,6 +75,7 @@ impl Default for CompileOptions {
             barrier_allocation: false,
             barrier_limit: Some(crate::barrier_alloc::VOLTA_BARRIER_REGISTERS),
             verify: true,
+            lint: cfg!(debug_assertions),
         }
     }
 }
@@ -133,8 +139,23 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
     let func_ids: Vec<FuncId> = m.functions.ids().collect();
     let mut reports: Vec<(FuncId, FunctionReport)> = Vec::new();
 
+    // Barrier registers are warp-global and shared across call frames, so
+    // compiler-inserted barriers must be numbered module-globally: if a
+    // device function's PDOM pass reused the kernel's b0, a call from
+    // inside the kernel's barriered loop would join/wait the *kernel's*
+    // loop-reconvergence register from the callee frame and deadlock the
+    // warp. Pre-seeding each function's counter with the running maximum
+    // keeps every fresh allocation disjoint, without renumbering barriers
+    // already written in the source (deliberate cross-function sharing,
+    // as in §4.4 hand-written tests, must survive untouched). The
+    // optional allocation pass below compacts the numbering again.
+    let mut next_barrier = 0usize;
+
     for id in func_ids {
         let mut report = FunctionReport::default();
+        let orig_barriers = m.functions[id].num_barriers;
+        let preseeded = orig_barriers.max(next_barrier);
+        m.functions[id].num_barriers = preseeded;
 
         if let Some(detect_opts) = &opts.auto_detect {
             // Automatic detection defers to the user: functions that
@@ -161,8 +182,25 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
         if opts.speculative && !spec_barriers.is_empty() {
             let pdom_barriers: Vec<BarrierId> =
                 report.pdom.inserted.iter().map(|(_, _, b)| *b).collect();
-            report.deconflict =
-                deconflict(&mut m.functions[id], &spec_barriers, &pdom_barriers, opts.deconflict);
+            // §4.4 barriers wait at the callee's entry; conflict analysis
+            // must treat each call to the predicted callee as that
+            // barrier's wait (the call-wait view).
+            let interproc_calls: Vec<(FuncId, BarrierId)> =
+                report.interproc.iter().map(|r| (r.callee, r.barrier)).collect();
+            let conflicts_in = |f: &simt_ir::Function| {
+                if interproc_calls.is_empty() {
+                    find_conflicts(f)
+                } else {
+                    find_conflicts(&crate::deconflict::call_wait_view(f, &interproc_calls))
+                }
+            };
+            report.deconflict = deconflict_with_calls(
+                &mut m.functions[id],
+                &spec_barriers,
+                &pdom_barriers,
+                &interproc_calls,
+                opts.deconflict,
+            );
 
             // Speculative-speculative conflicts: with `spec_deconflict`,
             // arbitrate by annotation order (§6's exclusive-predictions
@@ -170,17 +208,29 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
             if opts.spec_deconflict {
                 let priority =
                     |b: &BarrierId| spec_barriers.iter().position(|x| x == b).unwrap_or(usize::MAX);
+                let soft_regs = report.speculative.soft_registers();
                 loop {
-                    let pair = find_conflicts(&m.functions[id])
+                    let pair = conflicts_in(&m.functions[id])
                         .into_iter()
                         .find(|c| spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b));
                     let Some(c) = pair else { break };
+                    // Soft-barrier registers cannot be arbitrated by
+                    // cancellation: the soft lowering's per-round re-arm
+                    // re-snapshots the membership mask, resurrecting any
+                    // deconfliction cancel and deadlocking stragglers.
+                    if soft_regs.contains(&c.a) || soft_regs.contains(&c.b) {
+                        return Err(PassError::SpeculativeConflict(format!(
+                            "@{}: {} vs {} (soft-barrier registers cannot be deconflicted)",
+                            m.functions[id].name, c.a, c.b
+                        )));
+                    }
                     let (winner, loser) =
                         if priority(&c.a) <= priority(&c.b) { (c.a, c.b) } else { (c.b, c.a) };
-                    let r = deconflict(
+                    let r = deconflict_with_calls(
                         &mut m.functions[id],
                         &[winner],
                         &[loser],
+                        &interproc_calls,
                         DeconflictMode::Dynamic,
                     );
                     if r.resolved.is_empty() {
@@ -193,7 +243,7 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
                     report.deconflict.resolved.extend(r.resolved);
                 }
             }
-            let spec_spec: Vec<String> = find_conflicts(&m.functions[id])
+            let spec_spec: Vec<String> = conflicts_in(&m.functions[id])
                 .into_iter()
                 .filter(|c| spec_barriers.contains(&c.a) && spec_barriers.contains(&c.b))
                 .map(|c| format!("@{}: {} vs {}", m.functions[id].name, c.a, c.b))
@@ -202,6 +252,15 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
                 return Err(PassError::SpeculativeConflict(spec_spec.join(", ")));
             }
         }
+
+        // If no pass allocated a barrier here, restore the original count
+        // so untouched functions keep their declared register footprint.
+        if m.functions[id].num_barriers == preseeded {
+            m.functions[id].num_barriers = orig_barriers;
+        }
+        // Interprocedural predictions allocate in this caller and can bump
+        // the callee too; track the module-wide maximum.
+        next_barrier = m.functions.iter().map(|(_, f)| f.num_barriers).max().unwrap_or(0);
 
         reports.push((id, report));
     }
@@ -216,7 +275,14 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
         verify_module(&m).map_err(|e| PassError::Verify("pipeline".to_string(), e))?;
     }
 
-    Ok(Compiled { module: m, reports, barrier_alloc })
+    let compiled = Compiled { module: m, reports, barrier_alloc };
+    if opts.lint {
+        let errors = crate::lint::lint_errors(&compiled);
+        if !errors.is_empty() {
+            return Err(PassError::Lint(errors.join("\n")));
+        }
+    }
+    Ok(compiled)
 }
 
 /// Profile-guided compilation (§4.5's "profile information may help

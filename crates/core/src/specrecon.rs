@@ -86,6 +86,24 @@ impl SpecReport {
         }
         out
     }
+
+    /// Registers belonging to soft-barrier lowerings: the membership mask
+    /// plus its count/temp auxiliaries. Cancel-based deconfliction cannot
+    /// arbitrate conflicts that touch these — the per-round re-arm
+    /// (`bcopy temp, main`) re-snapshots the membership mask and would
+    /// resurrect a deconfliction cancel, leaving a straggler waiting on
+    /// lanes that withdrew. Such conflicts are irreducible.
+    pub fn soft_registers(&self) -> Vec<BarrierId> {
+        let mut out = Vec::new();
+        for p in &self.predictions {
+            if let Some(s) = p.soft {
+                out.push(p.main_barrier);
+                out.push(s.count);
+                out.push(s.temp);
+            }
+        }
+        out
+    }
 }
 
 /// Applies the §4.2 synchronization algorithm to every *label* prediction

@@ -1,12 +1,11 @@
 //! The L1 cache cost model: hits are cheap, misses pay full latency,
 //! stores/atomics invalidate, and values are never affected.
 
+mod common;
+
+use common::cfg_with_cache;
 use simt_ir::{parse_and_link, Value};
 use simt_sim::{run, CacheConfig, Launch, SimConfig};
-
-fn cfg_with_cache() -> SimConfig {
-    SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() }
-}
 
 #[test]
 fn repeated_loads_hit_and_get_cheaper() {

@@ -1,0 +1,40 @@
+//! Helpers shared by the simulator's integration tests.
+//!
+//! Each test binary compiles its own copy via `mod common;`, so a
+//! helper unused by one binary is expected — hence the allow.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use simt_ir::{parse_and_link, Module, Value};
+use simt_sim::{CacheConfig, Launch, SchedulerPolicy, SimConfig};
+
+/// Every scheduler policy the simulator offers, for exhaustive sweeps.
+pub const ALL_POLICIES: [SchedulerPolicy; 5] = [
+    SchedulerPolicy::Greedy,
+    SchedulerPolicy::MinPc,
+    SchedulerPolicy::MaxPc,
+    SchedulerPolicy::MostThreads,
+    SchedulerPolicy::RoundRobin,
+];
+
+/// Parses and links a test module, panicking on malformed source.
+pub fn module(src: &str) -> Module {
+    parse_and_link(src).expect("test module parses")
+}
+
+/// A launch of `warps` warps with `mem` zeroed global-memory cells.
+pub fn launch_with_mem(kernel: &str, warps: usize, mem: usize) -> Launch {
+    let mut l = Launch::new(kernel, warps);
+    l.global_mem = vec![Value::I64(0); mem];
+    l
+}
+
+/// The default config with the L1 cache cost model enabled.
+pub fn cfg_with_cache() -> SimConfig {
+    SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() }
+}
+
+/// Proptest strategy drawing uniformly from [`ALL_POLICIES`].
+pub fn any_policy() -> impl Strategy<Value = SchedulerPolicy> {
+    (0..ALL_POLICIES.len()).prop_map(|i| ALL_POLICIES[i])
+}

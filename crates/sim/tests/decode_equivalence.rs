@@ -9,6 +9,8 @@
 //! across every scheduler policy, with calls, barriers, `syncthreads`,
 //! atomics, local memory, RNG streams, and the L1 cache model in play.
 
+mod common;
+
 use proptest::prelude::*;
 use simt_ir::{parse_and_link, parse_module, Value};
 use simt_sim::{run, run_reference, CacheConfig, Launch, SchedulerPolicy, SimConfig, SimOutput};
@@ -34,13 +36,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
     (
         (1i64..8, 0.05f64..0.95, 0u32..40, 0u32..10, 1i64..8),
         (any::<bool>(), any::<bool>(), any::<bool>(), any::<u64>()),
-        prop_oneof![
-            Just(SchedulerPolicy::Greedy),
-            Just(SchedulerPolicy::MinPc),
-            Just(SchedulerPolicy::MaxPc),
-            Just(SchedulerPolicy::MostThreads),
-            Just(SchedulerPolicy::RoundRobin),
-        ],
+        common::any_policy(),
         1usize..3,
         any::<bool>(),
     )

@@ -2,18 +2,11 @@
 //! convergence-barrier semantics, deadlock detection, calls, memory
 //! coalescing, and scheduler-policy invariance.
 
-use simt_ir::{parse_and_link, Module, Value};
+mod common;
+
+use common::{launch_with_mem, module, ALL_POLICIES};
+use simt_ir::Value;
 use simt_sim::{run, Launch, SchedulerPolicy, SimConfig, SimError};
-
-fn module(src: &str) -> Module {
-    parse_and_link(src).expect("test module parses")
-}
-
-fn launch_with_mem(kernel: &str, warps: usize, mem: usize) -> Launch {
-    let mut l = Launch::new(kernel, warps);
-    l.global_mem = vec![Value::I64(0); mem];
-    l
-}
 
 #[test]
 fn convergent_kernel_is_fully_efficient() {
@@ -259,13 +252,7 @@ fn results_invariant_across_scheduler_policies() {
          bb3:\n  store global[%r0], %r2\n  exit\n}\n";
     let m = module(src);
     let mut reference: Option<Vec<Value>> = None;
-    for policy in [
-        SchedulerPolicy::Greedy,
-        SchedulerPolicy::MinPc,
-        SchedulerPolicy::MaxPc,
-        SchedulerPolicy::MostThreads,
-        SchedulerPolicy::RoundRobin,
-    ] {
+    for policy in ALL_POLICIES {
         let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
         let out = run(&m, &cfg, &launch_with_mem("k", 2, 64)).unwrap();
         match &reference {

@@ -1,12 +1,11 @@
 //! Edge-case coverage of the warp machine: deep call stacks, barriers
 //! spanning frames, wide warps, local memory, and degenerate launches.
 
-use simt_ir::{parse_and_link, Module, Value};
-use simt_sim::{run, Launch, SimConfig, SimError};
+mod common;
 
-fn module(src: &str) -> Module {
-    parse_and_link(src).expect("test module parses")
-}
+use common::module;
+use simt_ir::Value;
+use simt_sim::{run, Launch, SimConfig, SimError};
 
 #[test]
 fn nested_device_calls_three_deep() {

@@ -16,6 +16,8 @@
 //!    the barrier-register dump — and streams the same journal events
 //!    through the writer callback from both engines.
 
+mod common;
+
 use proptest::prelude::*;
 use simt_ir::{parse_and_link, Value};
 use simt_sim::{
@@ -42,13 +44,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
     (
         (1i64..6, 0.05f64..0.95, 0u32..30, 1i64..6),
         (any::<bool>(), any::<bool>(), any::<u64>()),
-        prop_oneof![
-            Just(SchedulerPolicy::Greedy),
-            Just(SchedulerPolicy::MinPc),
-            Just(SchedulerPolicy::MaxPc),
-            Just(SchedulerPolicy::MostThreads),
-            Just(SchedulerPolicy::RoundRobin),
-        ],
+        common::any_policy(),
         1usize..3,
     )
         .prop_map(

@@ -6,6 +6,9 @@
 //! specrecon detect  FILE                      print §4.5 candidates
 //! specrecon run     FILE [MODE] [options]     compile, simulate, report
 //! specrecon trace   FILE [MODE] [options]     simulate and export the trace
+//! specrecon lint    FILE [MODE]               barrier-safety lint of the
+//!                                             compiled module (`--raw` lints
+//!                                             the input as-is, uncompiled)
 //! specrecon dot     FILE [MODE]               emit a Graphviz CFG
 //! specrecon explain FILE                      show predictions, regions, candidates
 //!
@@ -63,7 +66,7 @@ fn main() -> ExitCode {
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: specrecon <verify|compile|detect|run|trace|dot|explain> FILE [options] \
+            "usage: specrecon <verify|compile|detect|run|trace|lint|dot|explain> FILE [options] \
                     (see `src/bin/specrecon.rs` header for details)"
                 .to_string(),
         );
@@ -123,6 +126,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "run" => run_cmd(&module, rest),
         "trace" => trace_cmd(&module, rest),
+        "lint" => lint_cmd(&module, rest),
         "explain" => explain_cmd(&module),
         "dot" => {
             let compiled = compile_by_mode(&module, rest)?;
@@ -329,12 +333,18 @@ fn run_cmd(module: &Module, args: &[String]) -> Result<(), String> {
 /// Resolves the `--warp` selector against a recorded trace: an explicit
 /// warp index, `all`, or — by default — every warp that diverged
 /// (falling back to warp 0 when none did, so `--trace` always shows
-/// something).
+/// something). Explicit indices are validated against the trace.
 fn select_warps(trace: &Trace, selector: Option<&str>) -> Result<Vec<usize>, String> {
     match selector {
         Some("all") => Ok((0..trace.num_warps()).collect()),
         Some(n) => {
             let w: usize = n.parse().map_err(|_| "--warp expects a warp index or `all`")?;
+            if w >= trace.num_warps() {
+                return Err(format!(
+                    "--warp {w} out of range (the launch ran {} warp(s))",
+                    trace.num_warps()
+                ));
+            }
             Ok(vec![w])
         }
         None => {
@@ -342,6 +352,36 @@ fn select_warps(trace: &Trace, selector: Option<&str>) -> Result<Vec<usize>, Str
             Ok(if divergent.is_empty() { vec![0] } else { divergent })
         }
     }
+}
+
+/// The `lint` subcommand: run the barrier-safety lint over the compiled
+/// module (or, with `--raw`, over the input module as-is) and print every
+/// finding. Exits non-zero if any finding is error-severity.
+fn lint_cmd(module: &Module, args: &[String]) -> Result<(), String> {
+    use specrecon::passes::{lint_compiled, lint_module, LintSeverity};
+    let findings = if args.iter().any(|a| a == "--raw") {
+        lint_module(module)
+    } else {
+        // Disable the pipeline's own lint stage so findings are reported
+        // here in structured form instead of as a compile error.
+        let mut opts = mode_options(args)?;
+        opts.lint = false;
+        let compiled = compile(module, &opts).map_err(|e| e.to_string())?;
+        lint_compiled(&compiled)
+    };
+    if findings.is_empty() {
+        println!("lint: clean");
+        return Ok(());
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings.iter().filter(|f| f.severity == LintSeverity::Error).count();
+    if errors > 0 {
+        return Err(format!("{errors} error(s), {} finding(s) total", findings.len()));
+    }
+    println!("lint: {} warning(s), no errors", findings.len());
+    Ok(())
 }
 
 /// The `trace` subcommand: compile, simulate with tracing + journaling
@@ -358,6 +398,12 @@ fn trace_cmd(module: &Module, args: &[String]) -> Result<(), String> {
         Some("all") | None => None,
         Some(n) => {
             let w: usize = n.parse().map_err(|_| "--warp expects a warp index or `all`")?;
+            let num_warps = out.trace.as_ref().map_or(0, Trace::num_warps);
+            if w >= num_warps {
+                return Err(format!(
+                    "--warp {w} out of range (the launch ran {num_warps} warp(s))"
+                ));
+            }
             Some(vec![w])
         }
     };

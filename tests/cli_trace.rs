@@ -1,0 +1,106 @@
+//! Argument-parsing and output-shape tests for `specrecon trace`,
+//! driving the real binary against the `fig2a` example kernel.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const KERNEL: &str = "examples/kernels/fig2a.sr";
+
+fn trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_specrecon"))
+        .arg("trace")
+        .arg(KERNEL)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is utf-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is utf-8")
+}
+
+#[test]
+fn default_format_is_lane_timeline_with_journal_summary() {
+    let out = trace(&[]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("lane timeline (warp 0):"), "got:\n{text}");
+    // `trace` forces journaling on, so the summary rides along.
+    assert!(text.contains("event(s) recorded"), "journal summary missing, got:\n{text}");
+}
+
+#[test]
+fn jsonl_format_emits_one_object_per_line() {
+    let out = trace(&["--format", "jsonl"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object line: {line:?}");
+    }
+}
+
+#[test]
+fn chrome_format_emits_a_trace_events_document() {
+    let out = trace(&["--format", "chrome"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("{\"traceEvents\":["), "got: {}", &text[..text.len().min(80)]);
+    assert!(text.trim_end().ends_with('}'), "document must close");
+}
+
+#[test]
+fn warp_selector_restricts_lane_output() {
+    let out = trace(&["--warp", "1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("lane timeline (warp 1):"));
+    assert!(!text.contains("lane timeline (warp 0):"));
+}
+
+#[test]
+fn out_flag_writes_the_file_instead_of_stdout() {
+    let path = std::env::temp_dir().join("specrecon-cli-trace-test.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let out = trace(&["--format", "jsonl", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "export must go to the file");
+    assert!(stderr(&out).contains("wrote"), "confirmation goes to stderr");
+    let written = std::fs::read_to_string(&path).expect("file exists");
+    assert!(written.lines().next().unwrap_or("").starts_with('{'));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_format_is_rejected() {
+    let out = trace(&["--format", "bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown --format"), "got: {}", stderr(&out));
+}
+
+#[test]
+fn non_numeric_warp_is_rejected() {
+    let out = trace(&["--warp", "abc"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--warp expects a warp index or `all`"), "got: {}", stderr(&out));
+}
+
+#[test]
+fn out_of_range_warp_is_rejected_with_the_launch_size() {
+    let out = trace(&["--warp", "99"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("--warp 99 out of range"), "got: {err}");
+    assert!(err.contains("4 warp(s)"), "message names the actual launch size: {err}");
+}
+
+#[test]
+fn kernel_file_exists_where_the_test_expects_it() {
+    // The other tests run the binary from the package root; fail loudly
+    // here if the example moves rather than in every test above.
+    assert!(Path::new(KERNEL).exists(), "{KERNEL} missing");
+}
