@@ -1,0 +1,384 @@
+//! The `/v1/eval` request/response schema and its execution against the
+//! shared batch engine.
+//!
+//! A request names either a built-in workload (`"workload"`) or carries
+//! kernel source text (`"kernel"`), plus configuration knobs:
+//!
+//! ```json
+//! {
+//!   "workload": "rsbench",            // or "kernel": "kernel @k(...) { ... }"
+//!   "mode": "speculative",            // baseline | speculative | auto
+//!   "policy": "greedy",               // greedy | minpc | maxpc | mostthreads | roundrobin
+//!   "deconflict": "dynamic",          // dynamic | static
+//!   "barrier_alloc": false,           // run barrier register allocation
+//!   "threshold": 8,                   // soft-barrier threshold override
+//!   "warps": 4, "seed": 1, "seeds": 2,
+//!   "mem": 1024,                      // inline kernels only: global memory cells
+//!   "entry": "k",                     // inline kernels only: kernel to launch
+//!   "deadline_ms": 1000
+//! }
+//! ```
+//!
+//! The response carries per-seed metrics, an aggregate, and the engine's
+//! cache counters. All execution flows through the compiled-image cache
+//! and honors a cooperative [`CancelToken`].
+
+use crate::json::Json;
+use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
+use simt_sim::{run_image_with, CancelToken, Launch, SchedulerPolicy, SimConfig, SimError};
+use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
+use workloads::eval::{Engine, EvalError};
+use workloads::{microbench, registry};
+
+/// A structured failure answering an eval request.
+#[derive(Debug)]
+pub struct ApiError {
+    /// HTTP status the failure maps to.
+    pub status: u16,
+    /// Human-readable message (returned as `{"error": ...}`).
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError { status: 400, message: message.into() }
+    }
+}
+
+/// A validated eval request, ready to run.
+#[derive(Clone, Debug)]
+pub struct EvalRequest {
+    /// Module to run and the name reported back.
+    pub name: String,
+    /// Kernel module (workload's or parsed from inline source).
+    pub module: simt_ir::Module,
+    /// Launch template (seed is rewritten per run).
+    pub launch: Launch,
+    /// Compile configuration.
+    pub opts: CompileOptions,
+    /// Machine configuration.
+    pub cfg: SimConfig,
+    /// Mode string echoed in the response.
+    pub mode: String,
+    /// Policy string echoed in the response.
+    pub policy: String,
+    /// Number of launches (seeds `seed..seed+n`).
+    pub seeds: u64,
+    /// Client-requested deadline override, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates the JSON body of a `/v1/eval` request.
+pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not valid utf-8"))?;
+    let doc = Json::parse(text).map_err(|e| ApiError::bad_request(format!("bad json: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(ApiError::bad_request("request body must be a json object"));
+    }
+
+    let field_str = |key: &str| -> Result<Option<&str>, ApiError> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| ApiError::bad_request(format!("`{key}` must be a string"))),
+        }
+    };
+    let field_u64 = |key: &str| -> Result<Option<u64>, ApiError> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+            }),
+        }
+    };
+
+    let mode = field_str("mode")?.unwrap_or("speculative").to_string();
+    let policy = field_str("policy")?.unwrap_or("greedy").to_string();
+    let mut opts = match mode.as_str() {
+        "baseline" => CompileOptions::baseline(),
+        "speculative" => CompileOptions::speculative(),
+        "auto" => CompileOptions::automatic(DetectOptions::default()),
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "unknown mode {other:?} (baseline | speculative | auto)"
+            )))
+        }
+    };
+    match field_str("deconflict")? {
+        None => {}
+        Some("dynamic") => opts.deconflict = DeconflictMode::Dynamic,
+        Some("static") => opts.deconflict = DeconflictMode::Static,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown deconflict {other:?} (dynamic | static)"
+            )))
+        }
+    }
+    if let Some(Json::Bool(b)) = doc.get("barrier_alloc") {
+        opts.barrier_allocation = *b;
+    }
+    // Requests are untrusted input: always lint the compiled module so a
+    // soundness hole surfaces as a 400, not a wrong answer.
+    opts.lint = true;
+
+    let scheduler = match policy.as_str() {
+        "greedy" => SchedulerPolicy::Greedy,
+        "minpc" | "min-pc" => SchedulerPolicy::MinPc,
+        "maxpc" | "max-pc" => SchedulerPolicy::MaxPc,
+        "mostthreads" | "most-threads" => SchedulerPolicy::MostThreads,
+        "roundrobin" | "round-robin" => SchedulerPolicy::RoundRobin,
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "unknown policy {other:?} (greedy | minpc | maxpc | mostthreads | roundrobin)"
+            )))
+        }
+    };
+    let cfg = SimConfig { scheduler, ..SimConfig::default() };
+
+    let seeds = field_u64("seeds")?.unwrap_or(1).clamp(1, 64);
+    let warps = field_u64("warps")?.map(|w| w as usize);
+    if warps == Some(0) {
+        return Err(ApiError::bad_request("`warps` must be at least 1"));
+    }
+    let seed = field_u64("seed")?;
+    let threshold = field_u64("threshold")?.map(|t| t as u32);
+    let deadline_ms = field_u64("deadline_ms")?;
+
+    let named = field_str("workload")?;
+    let inline = field_str("kernel")?;
+    let (name, mut module, mut launch) = match (named, inline) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request("give `workload` or `kernel`, not both"))
+        }
+        (None, None) => {
+            return Err(ApiError::bad_request("missing `workload` (name) or `kernel` (source)"))
+        }
+        (Some(name), None) => {
+            let w = lookup_workload(name).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown workload {name:?} (known: {})",
+                    known_workloads().join(", ")
+                ))
+            })?;
+            // Echo the requested name (the microbench alias reports as
+            // asked, not as its internal "common-call" id).
+            (name.to_string(), w.module, w.launch)
+        }
+        (None, Some(src)) => {
+            let module = parse_and_link(src)
+                .map_err(|e| ApiError::bad_request(format!("kernel parse error: {e}")))?;
+            verify_module(&module).map_err(|errs| {
+                let lines: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                ApiError::bad_request(format!("kernel verification failed: {}", lines.join("; ")))
+            })?;
+            let kernel = match field_str("entry")? {
+                Some(k) => k.to_string(),
+                None => module
+                    .functions
+                    .iter()
+                    .find(|(_, f)| f.kind == FuncKind::Kernel)
+                    .map(|(_, f)| f.name.clone())
+                    .ok_or_else(|| ApiError::bad_request("kernel source has no kernel"))?,
+            };
+            if module.function_by_name(&kernel).is_none() {
+                return Err(ApiError::bad_request(format!("no kernel named @{kernel}")));
+            }
+            let mut launch = Launch::new(kernel, 4);
+            let mem = field_u64("mem")?.unwrap_or(1024).min(1 << 22) as usize;
+            launch.global_mem = vec![Value::I64(0); mem];
+            ("inline".to_string(), module, launch)
+        }
+    };
+
+    if let Some(w) = warps {
+        launch.num_warps = w.min(4096);
+    }
+    if let Some(s) = seed {
+        launch.seed = s;
+    }
+    if let Some(t) = threshold {
+        for (_, f) in module.functions.iter_mut() {
+            for p in &mut f.predictions {
+                p.threshold = Some(t);
+            }
+        }
+    }
+
+    Ok(EvalRequest { name, module, launch, opts, cfg, mode, policy, seeds, deadline_ms })
+}
+
+/// The workload names `/v1/eval` accepts.
+pub fn known_workloads() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry().iter().map(|w| w.name).collect();
+    names.push("microbench");
+    names
+}
+
+fn lookup_workload(name: &str) -> Option<workloads::Workload> {
+    if name == "microbench" {
+        return Some(microbench::build_common_call(&microbench::Params::default()));
+    }
+    registry().into_iter().find(|w| w.name == name)
+}
+
+/// Runs a validated request on `engine`, polling `cancel` between
+/// scheduling rounds.
+///
+/// # Errors
+///
+/// `400` for compile failures, `422` for simulation faults, `504` when
+/// the run was cancelled (deadline expiry or shutdown).
+pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Result<Json, ApiError> {
+    let image = engine.decoded(&req.module, Some(&req.opts)).map_err(|e| match e {
+        EvalError::Compile(e) => ApiError::bad_request(format!("compile error: {e}")),
+        other => ApiError { status: 500, message: other.to_string() },
+    })?;
+
+    let mut runs = Vec::with_capacity(req.seeds as usize);
+    let mut cycles = Vec::with_capacity(req.seeds as usize);
+    let mut effs = Vec::with_capacity(req.seeds as usize);
+    for i in 0..req.seeds {
+        if cancel.is_cancelled() {
+            return Err(ApiError { status: 504, message: "deadline exceeded".into() });
+        }
+        let mut launch = req.launch.clone();
+        launch.seed = req.launch.seed.wrapping_add(i);
+        let out = run_image_with(&image, &req.cfg, &launch, Some(cancel)).map_err(|e| match e {
+            SimError::Cancelled { .. } => {
+                ApiError { status: 504, message: "deadline exceeded".into() }
+            }
+            other => ApiError { status: 422, message: format!("simulation error: {other}") },
+        })?;
+        let m = &out.metrics;
+        cycles.push(m.cycles);
+        effs.push(m.simt_efficiency());
+        runs.push(Json::Obj(vec![
+            ("seed".into(), Json::u64(launch.seed)),
+            ("cycles".into(), Json::u64(m.cycles)),
+            ("simt_efficiency".into(), Json::num(m.simt_efficiency())),
+            ("roi_simt_efficiency".into(), Json::num(m.roi_simt_efficiency())),
+            ("barrier_ops".into(), Json::u64(m.barrier_ops)),
+        ]));
+    }
+
+    let n = cycles.len() as f64;
+    let aggregate = Json::Obj(vec![
+        ("mean_cycles".into(), Json::num(cycles.iter().sum::<u64>() as f64 / n)),
+        ("min_cycles".into(), Json::u64(cycles.iter().copied().min().unwrap_or(0))),
+        ("max_cycles".into(), Json::u64(cycles.iter().copied().max().unwrap_or(0))),
+        ("mean_simt_efficiency".into(), Json::num(effs.iter().sum::<f64>() / n)),
+    ]);
+    let cache = engine.cache_stats();
+    Ok(Json::Obj(vec![
+        ("workload".into(), Json::str(req.name.clone())),
+        ("mode".into(), Json::str(req.mode.clone())),
+        ("policy".into(), Json::str(req.policy.clone())),
+        ("warps".into(), Json::u64(req.launch.num_warps as u64)),
+        ("runs".into(), Json::Arr(runs)),
+        ("aggregate".into(), aggregate),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::u64(cache.hits)),
+                ("misses".into(), Json::u64(cache.misses)),
+                ("hit_rate".into(), Json::num(cache.hit_rate())),
+            ]),
+        ),
+    ]))
+}
+
+/// Renders an [`ApiError`] as the `{"error": ...}` body.
+pub fn error_body(e: &ApiError) -> String {
+    Json::Obj(vec![("error".into(), Json::str(e.message.clone()))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_named_workload_request() {
+        let req = parse_request(
+            br#"{"workload":"rsbench","mode":"baseline","policy":"minpc","warps":2,"seed":7,"seeds":3}"#,
+        )
+        .unwrap();
+        assert_eq!(req.name, "rsbench");
+        assert_eq!(req.launch.num_warps, 2);
+        assert_eq!(req.launch.seed, 7);
+        assert_eq!(req.seeds, 3);
+        assert_eq!(req.cfg.scheduler, SchedulerPolicy::MinPc);
+        assert!(!req.opts.speculative);
+    }
+
+    #[test]
+    fn parses_inline_kernel_request() {
+        let src = "kernel @k(params=0, regs=2, barriers=0, entry=bb0) {\nbb0:\n  %r0 = special.tid\n  %r1 = mul %r0, 2\n  store global[%r0], %r1\n  exit\n}\n";
+        let body = Json::Obj(vec![
+            ("kernel".into(), Json::str(src)),
+            ("warps".into(), Json::u64(1)),
+            ("mem".into(), Json::u64(64)),
+        ])
+        .render();
+        let req = parse_request(body.as_bytes()).unwrap();
+        assert_eq!(req.name, "inline");
+        assert_eq!(req.launch.kernel, "k");
+        assert_eq!(req.launch.global_mem.len(), 64);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_reasons() {
+        for (body, needle) in [
+            (&b"not json"[..], "bad json"),
+            (br#"{}"#, "missing `workload`"),
+            (br#"{"workload":"nope"}"#, "unknown workload"),
+            (br#"{"workload":"rsbench","mode":"turbo"}"#, "unknown mode"),
+            (br#"{"workload":"rsbench","policy":"fifo"}"#, "unknown policy"),
+            (br#"{"workload":"rsbench","warps":0}"#, "`warps`"),
+            (br#"{"workload":"rsbench","kernel":"x"}"#, "not both"),
+            (br#"{"kernel":"kernel @"}"#, "parse error"),
+        ] {
+            let err = parse_request(body).unwrap_err();
+            assert_eq!(err.status, 400, "{}", err.message);
+            assert!(err.message.contains(needle), "{:?} -> {}", body, err.message);
+        }
+    }
+
+    #[test]
+    fn executes_a_named_workload_end_to_end() {
+        let engine = Engine::new(1);
+        let req =
+            parse_request(br#"{"workload":"microbench","mode":"speculative","warps":1,"seeds":2}"#)
+                .unwrap();
+        let token = CancelToken::new();
+        let out = execute(&engine, &req, &token).unwrap();
+        assert_eq!(out.get("workload").unwrap().as_str(), Some("microbench"));
+        let runs = out.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        for r in runs {
+            assert!(r.get("cycles").unwrap().as_u64().unwrap() > 0);
+        }
+        // The response is valid JSON end to end.
+        Json::parse(&out.render()).unwrap();
+    }
+
+    #[test]
+    fn cancelled_execution_maps_to_504() {
+        let engine = Engine::new(1);
+        let req = parse_request(br#"{"workload":"microbench","warps":1}"#).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = execute(&engine, &req, &token).unwrap_err();
+        assert_eq!(err.status, 504);
+    }
+
+    #[test]
+    fn known_workloads_include_table2_and_microbench() {
+        let names = known_workloads();
+        assert!(names.contains(&"rsbench"));
+        assert!(names.contains(&"microbench"));
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,221 @@
+//! Service counters exported in the Prometheus text exposition format.
+//!
+//! Everything is lock-free atomics: request counters by status code,
+//! a cumulative-bucket latency histogram for `/v1/eval`, and gauges
+//! sampled at scrape time (queue depth, compiled-image cache counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::eval::CacheStats;
+
+/// Histogram bucket upper bounds, in seconds (Prometheus classic
+/// buckets, truncated to the service's realistic range).
+pub const LATENCY_BUCKETS: [f64; 12] =
+    [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+
+/// Status codes the service emits, in export order.
+const CODES: [u16; 9] = [200, 400, 404, 405, 413, 422, 500, 503, 504];
+
+/// Shared counter registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests answered, indexed like [`CODES`].
+    by_code: [AtomicU64; 9],
+    /// `/v1/eval` latency histogram: per-bucket counts (non-cumulative;
+    /// accumulated at render time) plus `+Inf`.
+    latency_buckets: [AtomicU64; 13],
+    /// Sum of observed latencies, in microseconds.
+    latency_sum_us: AtomicU64,
+    /// Count of observed latencies.
+    latency_count: AtomicU64,
+    /// Requests shed with 503 because the queue was full.
+    rejected_full: AtomicU64,
+    /// Requests shed with 503 because the server was draining.
+    rejected_draining: AtomicU64,
+    /// Requests that hit their deadline (504).
+    deadline_expired: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Records one answered request.
+    pub fn record_status(&self, status: u16) {
+        if let Some(i) = CODES.iter().position(|&c| c == status) {
+            self.by_code[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one `/v1/eval` latency observation.
+    pub fn record_latency(&self, seconds: f64) {
+        let idx =
+            LATENCY_BUCKETS.iter().position(|&ub| seconds <= ub).unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queue-full rejection.
+    pub fn record_rejected_full(&self) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a draining rejection.
+    pub fn record_rejected_draining(&self) {
+        self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadline expiry.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests answered with a 2xx status.
+    pub fn ok_count(&self) -> u64 {
+        self.by_code[0].load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition. Gauges (`queue_*`,
+    /// cache counters) are sampled by the caller at scrape time.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_peak: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP specrecon_requests_total Requests answered, by status code.\n");
+        out.push_str("# TYPE specrecon_requests_total counter\n");
+        for (i, &code) in CODES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "specrecon_requests_total{{code=\"{code}\"}} {}",
+                self.by_code[i].load(Ordering::Relaxed)
+            );
+        }
+
+        out.push_str(
+            "# HELP specrecon_rejected_total Requests shed with 503, by reason.\n\
+             # TYPE specrecon_rejected_total counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_rejected_total{{reason=\"queue_full\"}} {}",
+            self.rejected_full.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_rejected_total{{reason=\"draining\"}} {}",
+            self.rejected_draining.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP specrecon_deadline_expired_total Requests that hit their deadline.\n\
+             # TYPE specrecon_deadline_expired_total counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_deadline_expired_total {}",
+            self.deadline_expired.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP specrecon_queue_depth Evaluation jobs waiting in the bounded queue.\n\
+             # TYPE specrecon_queue_depth gauge\n",
+        );
+        let _ = writeln!(out, "specrecon_queue_depth {queue_depth}");
+        out.push_str(
+            "# HELP specrecon_queue_depth_peak High-water mark of the queue depth.\n\
+             # TYPE specrecon_queue_depth_peak gauge\n",
+        );
+        let _ = writeln!(out, "specrecon_queue_depth_peak {queue_peak}");
+        out.push_str(
+            "# HELP specrecon_queue_capacity Configured queue bound.\n\
+             # TYPE specrecon_queue_capacity gauge\n",
+        );
+        let _ = writeln!(out, "specrecon_queue_capacity {queue_capacity}");
+
+        out.push_str(
+            "# HELP specrecon_cache_hits_total Compiled-image cache hits.\n\
+             # TYPE specrecon_cache_hits_total counter\n",
+        );
+        let _ = writeln!(out, "specrecon_cache_hits_total {}", cache.hits);
+        out.push_str(
+            "# HELP specrecon_cache_misses_total Compiled-image cache misses.\n\
+             # TYPE specrecon_cache_misses_total counter\n",
+        );
+        let _ = writeln!(out, "specrecon_cache_misses_total {}", cache.misses);
+        out.push_str(
+            "# HELP specrecon_cache_evictions_total Compiled images evicted by the LRU bound.\n\
+             # TYPE specrecon_cache_evictions_total counter\n",
+        );
+        let _ = writeln!(out, "specrecon_cache_evictions_total {}", cache.evictions);
+        out.push_str(
+            "# HELP specrecon_cache_hit_rate Hit fraction of the compiled-image cache.\n\
+             # TYPE specrecon_cache_hit_rate gauge\n",
+        );
+        let _ = writeln!(out, "specrecon_cache_hit_rate {}", cache.hit_rate());
+
+        out.push_str(
+            "# HELP specrecon_eval_latency_seconds Wall-clock latency of /v1/eval requests.\n\
+             # TYPE specrecon_eval_latency_seconds histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, ub) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            let _ =
+                writeln!(out, "specrecon_eval_latency_seconds_bucket{{le=\"{ub}\"}} {cumulative}");
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "specrecon_eval_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "specrecon_eval_latency_seconds_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_eval_latency_seconds_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let m = ServerMetrics::default();
+        m.record_status(200);
+        m.record_status(200);
+        m.record_status(503);
+        m.record_rejected_full();
+        m.record_latency(0.003);
+        m.record_latency(0.3);
+        m.record_latency(30.0); // lands in +Inf
+        let text = m.render(2, 4, 8, CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1 });
+        assert!(text.contains("specrecon_requests_total{code=\"200\"} 2"), "{text}");
+        assert!(text.contains("specrecon_requests_total{code=\"503\"} 1"), "{text}");
+        assert!(text.contains("specrecon_rejected_total{reason=\"queue_full\"} 1"), "{text}");
+        assert!(text.contains("specrecon_queue_depth 2"), "{text}");
+        assert!(text.contains("specrecon_queue_depth_peak 4"), "{text}");
+        assert!(text.contains("specrecon_cache_hit_rate 0.75"), "{text}");
+        // Histogram buckets are cumulative and +Inf matches the count.
+        assert!(text.contains("specrecon_eval_latency_seconds_bucket{le=\"0.005\"} 1"), "{text}");
+        assert!(text.contains("specrecon_eval_latency_seconds_bucket{le=\"0.5\"} 2"), "{text}");
+        assert!(text.contains("specrecon_eval_latency_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("specrecon_eval_latency_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn ok_count_tracks_2xx() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.ok_count(), 0);
+        m.record_status(200);
+        m.record_status(404);
+        assert_eq!(m.ok_count(), 1);
+    }
+}

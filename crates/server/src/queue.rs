@@ -1,0 +1,162 @@
+//! A bounded MPMC work queue with explicit backpressure.
+//!
+//! `try_push` never blocks: when the queue is at capacity the caller
+//! gets its item back and turns that into `503 Retry-After` — the
+//! service sheds load at the door instead of buffering unboundedly.
+//! `pop` blocks until work arrives or the queue is closed and drained,
+//! which is exactly the worker-side contract a graceful shutdown needs:
+//! accepted work is finished, nothing new is admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of `items.len()` over the queue's lifetime.
+    peak: usize,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+/// Why [`Bounded::try_push`] refused an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; retry later (backpressure).
+    Full(T),
+    /// The queue is closed (shutdown); no new work is admitted.
+    Closed(T),
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false, peak: 0 }),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (pending items not yet popped).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Highest depth ever observed (proves the bound held).
+    pub fn peak(&self) -> usize {
+        self.state.lock().expect("queue poisoned").peak
+    }
+
+    /// Non-blocking enqueue; on refusal the item comes back so the
+    /// caller can answer the client.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        st.peak = st.peak.max(st.items.len());
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue. Returns `None` once the queue is closed *and*
+    /// drained — the worker-thread exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: no new pushes; pending items remain poppable.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounds_and_backpressure() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.peak(), 2, "peak never exceeded the capacity");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(Bounded::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first, second)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let (first, second) = popper.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

@@ -1,0 +1,85 @@
+//! Process-signal plumbing for graceful shutdown, with no crate
+//! dependencies.
+//!
+//! `std` exposes no signal API, but every Unix target already links the
+//! platform C library — so the handler is registered through a direct
+//! `signal(2)` FFI declaration, the same way the workspace hand-rolls
+//! HTTP and JSON instead of pulling crates. The handler itself only
+//! flips an atomic (the one async-signal-safe thing worth doing); the
+//! accept loop polls it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the server's accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has been received (or [`request_shutdown`]
+/// called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Programmatic equivalent of receiving SIGTERM (used by tests and the
+/// in-process shutdown handle).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Test/support hook: clears the flag so one process can start a server
+/// more than once.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    /// Linux/POSIX signal numbers (stable ABI on every Unix Rust
+    /// targets).
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the C library `std` already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The installed handler: flip the flag, nothing else (only
+    /// async-signal-safe operations are legal here).
+    extern "C" fn on_signal(_signum: i32) {
+        super::request_shutdown();
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-Unix targets run without signal-driven shutdown; ctrl-c
+    /// terminates the process the default way.
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_round_trip() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

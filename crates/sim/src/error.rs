@@ -62,6 +62,13 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The run was cancelled cooperatively via a
+    /// [`CancelToken`](crate::exec::CancelToken) (deadline expiry,
+    /// client disconnect, shutdown).
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
     /// Out-of-range memory access.
     MemoryFault {
         /// Offending thread.
@@ -127,6 +134,9 @@ impl fmt::Display for SimError {
             }
             SimError::MaxCyclesExceeded { limit } => {
                 write!(f, "exceeded the configured limit of {limit} cycles")
+            }
+            SimError::Cancelled { cycle } => {
+                write!(f, "run cancelled at cycle {cycle}")
             }
             SimError::MemoryFault { at, addr, size, space } => write!(
                 f,

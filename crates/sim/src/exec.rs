@@ -250,6 +250,33 @@ pub(crate) struct Machine<'m> {
     pub(crate) cycle: u64,
 }
 
+/// A cloneable cooperative-cancellation flag for in-flight simulations.
+///
+/// Hand one to [`run_image_with`] and flip it from another thread
+/// (deadline reaper, shutdown path, disconnected client) to stop the run
+/// at the next scheduling round with [`SimError::Cancelled`]. The check
+/// is a single relaxed atomic load per round, so the hot loop pays
+/// nothing measurable; runs that complete never observe the token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Runs a kernel launch of a decoded image to completion.
 ///
 /// Behaves exactly like [`run`](crate::machine::run) — which is
@@ -266,8 +293,37 @@ pub fn run_image(
     cfg: &SimConfig,
     launch: &Launch,
 ) -> Result<SimOutput, SimError> {
+    run_image_with(image, cfg, launch, None)
+}
+
+/// [`run_image`] with an optional cooperative [`CancelToken`].
+///
+/// The token is polled between scheduling rounds; a cancelled run stops
+/// with [`SimError::Cancelled`] carrying the cycle it was observed at.
+/// Cancellation never corrupts shared state — the machine is local to
+/// this call — so a caller (the evaluation service, for one) can keep
+/// reusing its compiled-image cache after a cancelled run.
+///
+/// # Errors
+///
+/// Everything [`run_image`] returns, plus [`SimError::Cancelled`].
+pub fn run_image_with(
+    image: &DecodedImage,
+    cfg: &SimConfig,
+    launch: &Launch,
+    cancel: Option<&CancelToken>,
+) -> Result<SimOutput, SimError> {
     let mut machine = Machine::new(image, cfg, launch)?;
-    while !machine.step()? {}
+    match cancel {
+        None => while !machine.step()? {},
+        Some(token) => {
+            while !machine.step()? {
+                if token.is_cancelled() {
+                    return Err(SimError::Cancelled { cycle: machine.cycle });
+                }
+            }
+        }
+    }
     Ok(machine.into_output())
 }
 

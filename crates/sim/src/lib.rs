@@ -57,7 +57,7 @@ static COUNTING_ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAll
 pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
 pub use decode::DecodedImage;
 pub use error::{BarrierState, SimError, ThreadLocation};
-pub use exec::run_image;
+pub use exec::{run_image, run_image_with, CancelToken};
 pub use export::{chrome_trace, jsonl};
 pub use journal::{BarrierStats, Journal, JournalConfig, JournalEvent, JournalWriter};
 pub use machine::{run, run_sequence, Launch, SimOutput};

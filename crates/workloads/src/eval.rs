@@ -12,7 +12,10 @@
 
 use crate::Workload;
 use simt_ir::Module;
-use simt_sim::{run_image, DecodedImage, Launch, Metrics, SimConfig, SimError, SimOutput};
+use simt_sim::{
+    run_image, run_image_with, CancelToken, DecodedImage, Launch, Metrics, SimConfig, SimError,
+    SimOutput,
+};
 use specrecon_core::{compile, CompileOptions, PassError};
 use std::collections::HashMap;
 use std::fmt;
@@ -60,6 +63,91 @@ impl From<PassError> for EvalError {
 impl From<SimError> for EvalError {
     fn from(e: SimError) -> Self {
         EvalError::Sim(e)
+    }
+}
+
+impl EvalError {
+    /// Whether this error is a cooperative cancellation (deadline expiry
+    /// or shutdown), as opposed to a compile/simulation failure.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EvalError::Sim(SimError::Cancelled { .. }))
+    }
+}
+
+/// Counters describing the compiled-image cache's effectiveness; see
+/// [`Engine::cache_stats`]. All counts are cumulative over the engine's
+/// lifetime except `entries`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile + decode.
+    pub misses: u64,
+    /// Entries discarded to stay under the capacity bound.
+    pub evictions: u64,
+    /// Distinct compiled kernels currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cached decoded image stamped with its last-use tick (for LRU
+/// eviction under a capacity bound).
+struct CacheEntry {
+    image: Arc<DecodedImage>,
+    last_used: u64,
+}
+
+/// The engine's compiled-image cache: map plus bookkeeping, all guarded
+/// by one mutex (lookups are rare next to the simulation work they
+/// front).
+#[derive(Default)]
+struct Cache {
+    map: HashMap<String, CacheEntry>,
+    /// Monotonic use counter driving `last_used` stamps.
+    tick: u64,
+    /// `None` = unbounded (the historical behavior).
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Cache {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Discards least-recently-used entries until the capacity bound
+    /// holds. A capacity of zero is clamped to one so an insert directly
+    /// followed by a lookup of the same key still hits.
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        let cap = cap.max(1);
+        while self.map.len() > cap {
+            let Some(oldest) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -121,7 +209,7 @@ impl EvalJob {
 /// identical no matter how many workers run.
 pub struct Engine {
     jobs: usize,
-    cache: Mutex<HashMap<String, Arc<DecodedImage>>>,
+    cache: Mutex<Cache>,
 }
 
 impl fmt::Debug for Engine {
@@ -135,9 +223,20 @@ impl fmt::Debug for Engine {
 
 impl Engine {
     /// Creates an engine that runs batches on `jobs` worker threads
-    /// (clamped to at least 1).
+    /// (clamped to at least 1). The compiled-image cache is unbounded;
+    /// use [`Engine::with_capacity`] for long-lived engines fed
+    /// arbitrary kernels (the evaluation service).
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1), cache: Mutex::new(HashMap::new()) }
+        Self { jobs: jobs.max(1), cache: Mutex::new(Cache::default()) }
+    }
+
+    /// Like [`Engine::new`] but bounds the compiled-image cache to
+    /// `capacity` entries, evicting least-recently-used images. A
+    /// capacity of zero is clamped to one.
+    pub fn with_capacity(jobs: usize, capacity: usize) -> Self {
+        let engine = Self::new(jobs);
+        engine.cache.lock().expect("engine cache poisoned").capacity = Some(capacity);
+        engine
     }
 
     /// Creates an engine sized to the machine's available parallelism.
@@ -152,7 +251,13 @@ impl Engine {
 
     /// Number of distinct compiled kernels currently cached.
     pub fn cached_images(&self) -> usize {
-        self.cache.lock().expect("engine cache poisoned").len()
+        self.cache.lock().expect("engine cache poisoned").map.len()
+    }
+
+    /// Hit/miss/eviction counters for the compiled-image cache (the
+    /// evaluation service exports these as Prometheus gauges).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("engine cache poisoned").stats()
     }
 
     /// Returns the cached decoded image for `(module, opts)`, compiling
@@ -169,8 +274,17 @@ impl Engine {
             Some(o) => format!("{module}\u{1}{o:?}"),
             None => format!("{module}\u{1}raw"),
         };
-        if let Some(img) = self.cache.lock().expect("engine cache poisoned").get(&key) {
-            return Ok(Arc::clone(img));
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.map.get_mut(&key) {
+                entry.last_used = tick;
+                let image = Arc::clone(&entry.image);
+                cache.hits += 1;
+                return Ok(image);
+            }
+            cache.misses += 1;
         }
         let img = Arc::new(match opts {
             Some(o) => DecodedImage::decode(&compile(module, o)?.module),
@@ -178,7 +292,11 @@ impl Engine {
         });
         // A concurrent miss may insert first; both images are identical,
         // so last-write-wins is fine.
-        self.cache.lock().expect("engine cache poisoned").insert(key, Arc::clone(&img));
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        cache.tick += 1;
+        let entry = CacheEntry { image: Arc::clone(&img), last_used: cache.tick };
+        cache.map.insert(key, entry);
+        cache.enforce_capacity();
         Ok(img)
     }
 
@@ -213,6 +331,35 @@ impl Engine {
     ) -> Result<SimOutput, EvalError> {
         let image = self.image(module, None)?;
         Ok(run_image(&image, cfg, launch)?)
+    }
+
+    /// [`Engine::run_module`] with a cooperative [`CancelToken`]: the
+    /// simulation polls the token between scheduling rounds and stops
+    /// with a [`SimError::Cancelled`] error once it flips. The cache is
+    /// untouched by cancellation — the image stays resident and the next
+    /// request for the same kernel hits.
+    pub fn run_module_with(
+        &self,
+        module: &Module,
+        cfg: &SimConfig,
+        launch: &Launch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SimOutput, EvalError> {
+        let image = self.image(module, None)?;
+        Ok(run_image_with(&image, cfg, launch, cancel)?)
+    }
+
+    /// [`Engine::run_full`] with a cooperative [`CancelToken`] (see
+    /// [`Engine::run_module_with`]).
+    pub fn run_full_with(
+        &self,
+        w: &Workload,
+        opts: &CompileOptions,
+        cfg: &SimConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SimOutput, EvalError> {
+        let image = self.image(&w.module, Some(opts))?;
+        Ok(run_image_with(&image, cfg, &w.launch, cancel)?)
     }
 
     /// Compiles the workload with `opts` and runs it, returning the full
@@ -574,6 +721,99 @@ mod tests {
         // Observability off/on agree on the execution itself.
         assert_eq!(traced.metrics, plain.metrics);
         assert_eq!(traced.global_mem, plain.global_mem);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let engine = Engine::new(1);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 2);
+        let cfg = SimConfig::default();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+        engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        engine.run_config(&w, &CompileOptions::speculative(), &cfg).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let engine = Engine::with_capacity(1, 2);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let cfg = SimConfig::default();
+        let base = CompileOptions::baseline();
+        let spec = CompileOptions::speculative();
+        let auto = CompileOptions::automatic(specrecon_core::DetectOptions::default());
+        engine.run_config(&w, &base, &cfg).unwrap(); // miss: {base}
+        engine.run_config(&w, &spec, &cfg).unwrap(); // miss: {base, spec}
+        engine.run_config(&w, &base, &cfg).unwrap(); // hit, refreshes base
+        engine.run_config(&w, &auto, &cfg).unwrap(); // miss: evicts spec (LRU)
+        let s = engine.cache_stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // base survived the eviction (it was refreshed), spec did not.
+        engine.run_config(&w, &base, &cfg).unwrap();
+        assert_eq!(engine.cache_stats().hits, 2, "base still resident");
+        engine.run_config(&w, &spec, &cfg).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!(s.misses, 4, "spec was evicted and re-compiles");
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one_entry() {
+        let engine = Engine::with_capacity(1, 0);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let cfg = SimConfig::default();
+        engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        engine.run_config(&w, &CompileOptions::baseline(), &cfg).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.entries), (1, 1));
+    }
+
+    #[test]
+    fn cancellation_mid_batch_leaves_cache_usable() {
+        let engine = Engine::new(2);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 2);
+        let cfg = SimConfig::default();
+        let opts = CompileOptions::baseline();
+        // Pre-cancelled token: the run compiles + caches, then stops at
+        // the first scheduling round.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine.run_full_with(&w, &opts, &cfg, Some(&token)).unwrap_err();
+        assert!(err.is_cancelled(), "got {err}");
+        assert_eq!(engine.cached_images(), 1, "the image outlives the cancelled run");
+        // The same kernel still runs to completion from the cache, and a
+        // parallel batch over it matches an un-cancelled engine.
+        let fresh = Engine::new(1);
+        let cancelled_then_ok = engine.run_config(&w, &opts, &cfg).unwrap();
+        let clean = fresh.run_config(&w, &opts, &cfg).unwrap();
+        assert_eq!(cancelled_then_ok, clean);
+        assert_eq!(engine.cache_stats().hits, 1, "the rerun hit the cache");
+        let jobs: Vec<EvalJob> =
+            (1..=3).map(|s| EvalJob::new(with_seed(&w, s), opts.clone(), cfg.clone())).collect();
+        for r in engine.run_batch(&jobs) {
+            r.expect("batch after cancellation succeeds");
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let engine = Engine::new(1);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 2);
+        let cfg = SimConfig::default();
+        let opts = CompileOptions::baseline();
+        let token = CancelToken::new();
+        let with_token = engine.run_full_with(&w, &opts, &cfg, Some(&token)).unwrap();
+        let without = engine.run_full(&w, &opts, &cfg).unwrap();
+        assert_eq!(with_token.metrics, without.metrics);
+        assert_eq!(with_token.global_mem, without.global_mem);
     }
 
     #[test]

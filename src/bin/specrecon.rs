@@ -11,6 +11,8 @@
 //!                                             the input as-is, uncompiled)
 //! specrecon dot     FILE [MODE]               emit a Graphviz CFG
 //! specrecon explain FILE                      show predictions, regions, candidates
+//! specrecon serve   [serve options]           HTTP evaluation service
+//! specrecon loadgen [loadgen options]         benchmark a running service
 //!
 //! MODE:      --baseline | --speculative (default) | --auto | --pgo
 //!            (--pgo profiles a baseline run, then applies profile-guided
@@ -37,6 +39,26 @@
 //!                             events; `chrome` writes a chrome://tracing
 //!                             document
 //!            --out FILE       write the export to FILE instead of stdout
+//!
+//! serve options:
+//!            --addr A:P       bind address (default 127.0.0.1:8077; port 0
+//!                             picks a free port; the bound address is
+//!                             printed as `listening on ADDR`)
+//!            --workers N      eval worker threads (default: available
+//!                             parallelism)
+//!            --queue-depth N  bounded queue size; overflow answers 503
+//!                             with Retry-After (default 64)
+//!            --deadline-ms N  default per-request deadline (default 30000)
+//!            --cache N        compiled-image cache capacity (default 128)
+//!            --quiet          suppress per-request logs
+//!
+//! loadgen options:
+//!            --addr A:P       server to drive (default 127.0.0.1:8077)
+//!            --connections N  concurrent connections (default 4)
+//!            --requests N     requests per connection (default 25)
+//!            --workload NAME  workload to request (default microbench)
+//!            --warps N        warps per launch (default 1)
+//!            --deadline-ms N  per-request deadline (default 10000)
 //! ```
 //!
 //! `run` executes on the batch evaluation engine: the kernel is decoded
@@ -48,6 +70,7 @@ use specrecon::ir::{
 };
 use specrecon::passes::compute_region;
 use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
+use specrecon::server::{self, LoadgenConfig, ServeConfig, Server};
 use specrecon::sim::{chrome_trace, jsonl, JournalConfig, Launch, SimConfig, SimOutput, Trace};
 use specrecon::workloads::Engine;
 use std::process::ExitCode;
@@ -67,10 +90,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(
             "usage: specrecon <verify|compile|detect|run|trace|lint|dot|explain> FILE [options] \
+                    | specrecon <serve|loadgen> [options] \
                     (see `src/bin/specrecon.rs` header for details)"
                 .to_string(),
         );
     };
+    // `serve` and `loadgen` take no FILE; dispatch them before the
+    // module-loading path below.
+    match cmd.as_str() {
+        "serve" => return serve_cmd(&args[1..]),
+        "loadgen" => return loadgen_cmd(&args[1..]),
+        _ => {}
+    }
     let file = args.get(1).ok_or("missing FILE argument")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let module = parse_and_link(&src).map_err(|e| e.to_string())?;
@@ -437,6 +468,75 @@ fn trace_cmd(module: &Module, args: &[String]) -> Result<(), String> {
             eprintln!("wrote {} bytes to {path}", rendered.len());
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// The `serve` subcommand: boot the HTTP evaluation service and run its
+/// accept loop until SIGTERM/SIGINT, then drain gracefully.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v.parse().map_err(|_| "--workers expects a number")?;
+    }
+    if let Some(v) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = v.parse().map_err(|_| "--queue-depth expects a number")?;
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        cfg.default_deadline_ms = v.parse().map_err(|_| "--deadline-ms expects a number")?;
+    }
+    if let Some(v) = flag_value(args, "--cache") {
+        cfg.cache_capacity = v.parse().map_err(|_| "--cache expects a number")?;
+    }
+    if args.iter().any(|a| a == "--quiet") {
+        cfg.log = false;
+    }
+
+    server::signal::install();
+    let srv = Server::start(cfg.clone()).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    println!("listening on {}", srv.addr());
+    println!(
+        "workers={} queue-depth={} deadline-ms={} cache={}",
+        cfg.workers, cfg.queue_depth, cfg.default_deadline_ms, cfg.cache_capacity
+    );
+    let report = srv.run().map_err(|e| format!("serve failed: {e}"))?;
+    println!(
+        "shutdown: drained {} in-flight request(s), {} request(s) served",
+        report.drained, report.ok
+    );
+    Ok(())
+}
+
+/// The `loadgen` subcommand: drive a running service and report
+/// throughput plus the latency distribution.
+fn loadgen_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = LoadgenConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(v) = flag_value(args, "--connections") {
+        cfg.connections = v.parse().map_err(|_| "--connections expects a number")?;
+    }
+    if let Some(v) = flag_value(args, "--requests") {
+        cfg.requests = v.parse().map_err(|_| "--requests expects a number")?;
+    }
+    if let Some(w) = flag_value(args, "--workload") {
+        cfg.workload = w.to_string();
+    }
+    if let Some(v) = flag_value(args, "--warps") {
+        cfg.warps = v.parse().map_err(|_| "--warps expects a number")?;
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        cfg.deadline_ms = v.parse().map_err(|_| "--deadline-ms expects a number")?;
+    }
+
+    let report = server::loadgen::run(&cfg)?;
+    print!("{}", report.render());
+    if report.ok == 0 {
+        return Err("no request succeeded".to_string());
     }
     Ok(())
 }

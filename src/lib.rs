@@ -9,7 +9,9 @@
 //! - [`analysis`] — CFG analyses ([`simt_analysis`]);
 //! - [`sim`] — the SIMT warp simulator ([`simt_sim`]);
 //! - [`passes`] — the paper's compiler passes ([`specrecon_core`]);
-//! - [`workloads`] — the nine benchmarks and the synthetic corpus.
+//! - [`workloads`] — the nine benchmarks and the synthetic corpus;
+//! - [`server`] — the `specrecon serve` HTTP evaluation service and its
+//!   `loadgen` client ([`specrecon_server`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -17,4 +19,5 @@ pub use simt_analysis as analysis;
 pub use simt_ir as ir;
 pub use simt_sim as sim;
 pub use specrecon_core as passes;
+pub use specrecon_server as server;
 pub use workloads;
