@@ -1,0 +1,54 @@
+//! The `seed_sweep` Criterion group: lockstep multi-seed cohort
+//! throughput against the scalar per-seed baseline.
+//!
+//! Two benchmarks per Monte Carlo workload — `sweep/<name>` runs one
+//! 32-seed cohort, `scalar/<name>` runs the same 32 seeds as independent
+//! scalar machines — both annotated with the summed simulated cycles so
+//! the report prints comparable cycles/sec. This is the Criterion-side
+//! view of the `sweep/*` / `sweep_scalar/*` entries `perfbench` snapshots
+//! into `BENCH_<n>.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_sim::{run_image, run_sweep_image, SimConfig, SweepLaunch, DEFAULT_SEED};
+use specrecon_bench::perf::MONTE_CARLO;
+use workloads::eval::{with_warps, Engine};
+use workloads::registry;
+
+const SEEDS: u64 = 32;
+
+fn bench_seed_sweep(c: &mut Criterion) {
+    let engine = Engine::new(1);
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("seed_sweep");
+    for w in registry() {
+        if !MONTE_CARLO.contains(&w.name) {
+            continue;
+        }
+        let w = with_warps(&w, 2);
+        let image = engine.decoded(&w.module, None).expect("registry workload decodes");
+        let sweep = SweepLaunch::new(w.launch.clone(), DEFAULT_SEED, DEFAULT_SEED + SEEDS);
+        let out = run_sweep_image(&image, &cfg, &sweep, None).expect("sweep runs");
+        let cycles: u64 = out
+            .runs
+            .iter()
+            .map(|r| r.result.as_ref().expect("seed run succeeds").metrics.cycles)
+            .sum();
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_with_input(BenchmarkId::new("sweep", w.name), &sweep, |b, sweep| {
+            b.iter(|| run_sweep_image(&image, &cfg, sweep, None).expect("sweep runs"));
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", w.name), &w, |b, w| {
+            b.iter(|| {
+                for s in 0..SEEDS {
+                    let mut launch = w.launch.clone();
+                    launch.seed = DEFAULT_SEED + s;
+                    run_image(&image, &cfg, &launch).expect("runs");
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seed_sweep);
+criterion_main!(benches);

@@ -1,14 +1,19 @@
-//! `perfbench` — records a `BENCH_<n>.json` hot-loop throughput snapshot.
+//! `perfbench` — records a `BENCH_<n>.json` throughput snapshot.
 //!
 //! Runs every registry workload on the decoded executor and measures
-//! simulated cycles per wall-clock second (see `perf::measure_hot_loop`).
-//! The snapshot lands at the next free `BENCH_<n>.json` in the current
-//! directory unless `--out` says otherwise; `perfgate` compares two such
-//! snapshots and fails on regression.
+//! simulated cycles per wall-clock second (see `perf::measure_hot_loop`),
+//! then times the lockstep seed-sweep engine against its scalar per-seed
+//! baseline on the Monte Carlo workloads (`perf::measure_seed_sweep`,
+//! the `sweep/<name>` / `sweep_scalar/<name>` entries). The snapshot
+//! lands at the next free `BENCH_<n>.json` in the current directory
+//! unless `--out` says otherwise; `perfgate` compares two such snapshots
+//! and fails on regression.
 //!
 //! ```text
-//! perfbench [--label TEXT] [--warps N] [--min-time SECS] [--out PATH]
+//! perfbench [--label TEXT] [--warps N] [--seeds N] [--min-time SECS] [--out PATH]
 //! ```
+//!
+//! `--seeds 0` skips the seed-sweep group entirely.
 
 use specrecon_bench::perf;
 use std::path::PathBuf;
@@ -18,6 +23,7 @@ use std::time::Duration;
 struct Args {
     label: String,
     warps: usize,
+    seeds: u64,
     min_time: Duration,
     out: Option<PathBuf>,
 }
@@ -26,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         label: "registry hot loop".to_string(),
         warps: 2,
+        seeds: 32,
         min_time: Duration::from_secs_f64(0.4),
         out: None,
     };
@@ -37,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
             "--warps" => {
                 args.warps = value("--warps")?.parse().map_err(|e| format!("bad --warps: {e}"))?;
             }
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?;
+            }
             "--min-time" => {
                 let secs: f64 =
                     value("--min-time")?.parse().map_err(|e| format!("bad --min-time: {e}"))?;
@@ -45,8 +55,10 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => {
                 println!(
-                    "perfbench [--label TEXT] [--warps N] [--min-time SECS] [--out PATH]\n\
-                     Records a BENCH_<n>.json hot-loop throughput snapshot."
+                    "perfbench [--label TEXT] [--warps N] [--seeds N] [--min-time SECS] \
+                     [--out PATH]\n\
+                     Records a BENCH_<n>.json throughput snapshot: the registry hot loop\n\
+                     plus the seed-sweep vs scalar-baseline group (--seeds 0 skips it)."
                 );
                 std::process::exit(0);
             }
@@ -69,15 +81,26 @@ fn main() -> ExitCode {
         "perfbench: measuring registry hot loop (warps={}, min-time={:?}) ...",
         args.warps, args.min_time
     );
-    let snapshot = perf::measure_hot_loop(&args.label, args.warps, args.min_time);
-    println!("{:<12} {:>14} {:>8} {:>16}", "workload", "cycles/run", "runs", "cycles/sec");
+    let mut snapshot = perf::measure_hot_loop(&args.label, args.warps, args.min_time);
+    let geomean = snapshot.geomean_cycles_per_sec();
+    if args.seeds > 0 {
+        eprintln!(
+            "perfbench: measuring seed sweeps vs scalar baselines ({} seeds) ...",
+            args.seeds
+        );
+        snapshot.results.extend(perf::measure_seed_sweep(args.warps, args.seeds, args.min_time));
+    }
+    println!("{:<20} {:>14} {:>8} {:>16}", "workload", "cycles/run", "runs", "cycles/sec");
     for r in &snapshot.results {
         println!(
-            "{:<12} {:>14} {:>8} {:>16.3e}",
+            "{:<20} {:>14} {:>8} {:>16.3e}",
             r.name, r.cycles_per_run, r.runs, r.cycles_per_sec
         );
     }
-    println!("{:<12} {:>14} {:>8} {:>16.3e}", "geomean", "", "", snapshot.geomean_cycles_per_sec());
+    println!("{:<20} {:>14} {:>8} {:>16.3e}", "hot-loop geomean", "", "", geomean);
+    for (name, speedup) in perf::sweep_speedups(&snapshot) {
+        println!("sweep speedup {name:<12} {speedup:>6.2}x");
+    }
     if let Err(e) = std::fs::write(&out_path, snapshot.to_json()) {
         eprintln!("perfbench: cannot write {}: {e}", out_path.display());
         return ExitCode::FAILURE;

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use simt_sim::{run_image, SimConfig};
+use simt_sim::{run_image, run_sweep_image, SimConfig, SweepLaunch, DEFAULT_SEED};
 use workloads::eval::{with_warps, Engine};
 use workloads::registry;
 
@@ -176,6 +176,115 @@ pub fn measure_hot_loop(label: &str, warps: usize, min_time: Duration) -> Snapsh
         });
     }
     Snapshot { label: label.to_string(), warps, results }
+}
+
+/// The Monte Carlo registry workloads — the programs where a seed sweep
+/// is the natural experiment (every run draws from the RNG), and the set
+/// the `seed_sweep` measurement covers.
+pub const MONTE_CARLO: &[&str] = &["rsbench", "xsbench", "mcb", "mc-gpu", "gpu-mcml"];
+
+/// Times the lockstep seed-sweep engine against a scalar per-seed
+/// baseline on the Monte Carlo workloads.
+///
+/// For each workload in [`MONTE_CARLO`] this produces two entries:
+/// `sweep/<name>` runs one [`run_sweep_image`] cohort over
+/// `[DEFAULT_SEED, DEFAULT_SEED + seeds)`, and `sweep_scalar/<name>` runs
+/// the same seeds as independent [`run_image`] launches. Both report the
+/// same `cycles_per_run` (total simulated cycles across the whole seed
+/// batch — the sweep is bit-identical to the scalar runs, so the cycle
+/// sums agree by construction), which makes their `cycles_per_sec` ratio
+/// the sweep speedup. Pair them back up with [`sweep_speedups`].
+///
+/// # Panics
+///
+/// Panics when `seeds` is 0 or exceeds the cohort width, or if a
+/// registry workload fails to decode or run (harness bug).
+pub fn measure_seed_sweep(warps: usize, seeds: u64, min_time: Duration) -> Vec<WorkloadPerf> {
+    assert!(
+        seeds >= 1 && seeds <= simt_sim::sweep::COHORT_SLOTS as u64,
+        "seed batch must fit one cohort (1..={})",
+        simt_sim::sweep::COHORT_SLOTS
+    );
+    let engine = Engine::new(1);
+    let cfg = SimConfig::default();
+    let mut results = Vec::new();
+    for w in registry() {
+        if !MONTE_CARLO.contains(&w.name) {
+            continue;
+        }
+        let w = with_warps(&w, warps);
+        let image = engine.decoded(&w.module, None).expect("registry workload decodes");
+        let sweep = SweepLaunch::new(w.launch.clone(), DEFAULT_SEED, DEFAULT_SEED + seeds);
+        // Warm-up sweep: fills pools and yields the batch cycle count.
+        let out = run_sweep_image(&image, &cfg, &sweep, None).expect("sweep runs");
+        let cycles_per_run: u64 = out
+            .runs
+            .iter()
+            .map(|r| r.result.as_ref().expect("sweep instance runs").metrics.cycles)
+            .sum();
+        let (runs, elapsed_ns) = timed_loop(min_time, || {
+            std::hint::black_box(run_sweep_image(&image, &cfg, &sweep, None).expect("sweep runs"));
+        });
+        results.push(perf_entry(format!("sweep/{}", w.name), cycles_per_run, runs, elapsed_ns));
+        let (runs, elapsed_ns) = timed_loop(min_time, || {
+            for seed in sweep.seed_lo..sweep.seed_hi {
+                let mut launch = w.launch.clone();
+                launch.seed = seed;
+                std::hint::black_box(run_image(&image, &cfg, &launch).expect("workload runs"));
+            }
+        });
+        results.push(perf_entry(
+            format!("sweep_scalar/{}", w.name),
+            cycles_per_run,
+            runs,
+            elapsed_ns,
+        ));
+    }
+    results
+}
+
+/// Runs `body` until `min_time` of wall clock accumulates (at least three
+/// times) and returns `(runs, elapsed_ns)`.
+fn timed_loop(min_time: Duration, mut body: impl FnMut()) -> (u64, u64) {
+    let mut runs = 0u64;
+    let start = Instant::now();
+    let mut elapsed;
+    loop {
+        body();
+        runs += 1;
+        elapsed = start.elapsed();
+        if runs >= 3 && elapsed >= min_time {
+            break;
+        }
+    }
+    (runs, elapsed.as_nanos() as u64)
+}
+
+fn perf_entry(name: String, cycles_per_run: u64, runs: u64, elapsed_ns: u64) -> WorkloadPerf {
+    let cycles_per_sec = (cycles_per_run * runs) as f64 * 1e9 / elapsed_ns.max(1) as f64;
+    WorkloadPerf { name, cycles_per_run, runs, elapsed_ns, cycles_per_sec }
+}
+
+/// Pairs every `sweep/<name>` entry in a snapshot with its
+/// `sweep_scalar/<name>` baseline and returns `(name, speedup)` where
+/// speedup is `sweep cycles/sec ÷ scalar cycles/sec`. Entries without a
+/// matching baseline are skipped.
+pub fn sweep_speedups(snapshot: &Snapshot) -> Vec<(String, f64)> {
+    snapshot
+        .results
+        .iter()
+        .filter_map(|r| {
+            let name = r.name.strip_prefix("sweep/")?;
+            let baseline = format!("sweep_scalar/{name}");
+            let scalar = snapshot.results.iter().find(|s| s.name == baseline)?;
+            let speedup = if scalar.cycles_per_sec > 0.0 {
+                r.cycles_per_sec / scalar.cycles_per_sec
+            } else {
+                f64::INFINITY
+            };
+            Some((name.to_string(), speedup))
+        })
+        .collect()
 }
 
 /// Outcome of gating one workload of the new snapshot against the old.
@@ -592,6 +701,54 @@ mod tests {
         new.results[1].cycles_per_sec = old.results[1].cycles_per_sec * 0.5;
         let report = gate(&old, &new, 0.9);
         assert!((report.geomean_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_sweep_measures_every_monte_carlo_workload_in_pairs() {
+        let results = measure_seed_sweep(1, 2, Duration::ZERO);
+        assert_eq!(results.len(), 2 * MONTE_CARLO.len());
+        for (pair, name) in results.chunks(2).zip(MONTE_CARLO) {
+            assert_eq!(pair[0].name, format!("sweep/{name}"));
+            assert_eq!(pair[1].name, format!("sweep_scalar/{name}"));
+            // Bit-identity means both sides burn the same simulated
+            // cycles per seed batch.
+            assert_eq!(pair[0].cycles_per_run, pair[1].cycles_per_run);
+            assert!(pair[0].cycles_per_run > 0);
+            assert!(pair[0].cycles_per_sec > 0.0 && pair[1].cycles_per_sec > 0.0);
+        }
+        let snapshot = Snapshot { label: "t".into(), warps: 1, results };
+        let speedups = sweep_speedups(&snapshot);
+        assert_eq!(speedups.len(), MONTE_CARLO.len());
+        assert!(speedups.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed batch must fit one cohort")]
+    fn seed_sweep_rejects_batches_wider_than_the_cohort() {
+        measure_seed_sweep(1, simt_sim::sweep::COHORT_SLOTS as u64 + 1, Duration::ZERO);
+    }
+
+    #[test]
+    fn sweep_speedups_skips_unpaired_entries() {
+        let entry = |name: &str, cps: f64| WorkloadPerf {
+            name: name.into(),
+            cycles_per_run: 100,
+            runs: 3,
+            elapsed_ns: 1_000,
+            cycles_per_sec: cps,
+        };
+        let snapshot = Snapshot {
+            label: "t".into(),
+            warps: 2,
+            results: vec![
+                entry("sweep/mcb", 4.0e9),
+                entry("sweep_scalar/mcb", 1.0e9),
+                entry("sweep/orphan", 2.0e9),
+                entry("rsbench", 3.0e9),
+            ],
+        };
+        let speedups = sweep_speedups(&snapshot);
+        assert_eq!(speedups, vec![("mcb".to_string(), 4.0)]);
     }
 
     #[test]

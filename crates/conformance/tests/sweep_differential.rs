@@ -1,0 +1,128 @@
+//! Differential conformance for the lockstep seed-sweep engine.
+//!
+//! For random programs from the conformance genome, runs a seed sweep
+//! ([`simt_sim::run_sweep`]) and N independent scalar runs of the same
+//! seeds under **every scheduler policy**, and asserts the sweep's
+//! per-seed results are bit-identical: metrics, final global memory,
+//! and errors. This is the enforcement teeth behind the sweep engine's
+//! exactness contract — lockstep execution, detach fallback, and
+//! group-merge rejoin must be unobservable.
+//!
+//! Case count defaults to 96 and is capped by `CONFORMANCE_CASES`,
+//! like the main fuzz loop.
+
+use conformance::oracle::POLICIES;
+use conformance::program::spec_strategy;
+use conformance::{build_module, ProgramSpec};
+use proptest::prelude::*;
+use simt_sim::{run, run_sweep, Launch, SimConfig, SweepLaunch, DEFAULT_SEED};
+
+/// Instances per sweep: enough to exercise detach/rejoin across a
+/// cohort, small enough to keep the case budget useful.
+const INSTANCES: u64 = 6;
+
+/// Cycle budget per run (mirrors the oracle's).
+const MAX_CYCLES: u64 = 5_000_000;
+
+fn check_sweep(spec: &ProgramSpec) -> Result<(), String> {
+    let module = build_module(spec);
+    // Root the range at the shared default seed, displaced per spec so
+    // different programs sweep different seed neighborhoods.
+    let seed_lo = DEFAULT_SEED.wrapping_add(spec.seed & 0xFFFF);
+    for policy in POLICIES {
+        let cfg = SimConfig {
+            warp_width: spec.warp_width,
+            scheduler: policy,
+            max_cycles: MAX_CYCLES,
+            ..SimConfig::default()
+        };
+        let mut base = Launch::new("main", spec.warps);
+        base.global_mem = vec![simt_ir::Value::I64(0); conformance::build::mem_cells(spec)];
+        let sweep = SweepLaunch::new(base.clone(), seed_lo, seed_lo + INSTANCES);
+        let out = run_sweep(&module, &cfg, &sweep)
+            .map_err(|e| format!("{policy:?}: whole sweep failed: {e}"))?;
+        if out.runs.len() != INSTANCES as usize {
+            return Err(format!("{policy:?}: {} runs for {INSTANCES} seeds", out.runs.len()));
+        }
+        for run_entry in &out.runs {
+            let mut launch = base.clone();
+            launch.seed = run_entry.seed;
+            let scalar = run(&module, &cfg, &launch);
+            match (&run_entry.result, &scalar) {
+                (Ok(s), Ok(r)) => {
+                    if s.metrics != r.metrics {
+                        return Err(format!(
+                            "{policy:?} seed {}: metrics diverge\nsweep:  {:?}\nscalar: {:?}",
+                            run_entry.seed, s.metrics, r.metrics
+                        ));
+                    }
+                    if s.global_mem != r.global_mem {
+                        let cell = s
+                            .global_mem
+                            .iter()
+                            .zip(&r.global_mem)
+                            .position(|(a, b)| a != b)
+                            .unwrap_or(usize::MAX);
+                        return Err(format!(
+                            "{policy:?} seed {}: global memory diverges at cell {cell}",
+                            run_entry.seed
+                        ));
+                    }
+                }
+                (Err(a), Err(b)) => {
+                    if a != b {
+                        return Err(format!(
+                            "{policy:?} seed {}: errors diverge\nsweep:  {a}\nscalar: {b}",
+                            run_entry.seed
+                        ));
+                    }
+                }
+                (a, b) => {
+                    return Err(format!(
+                        "{policy:?} seed {}: sweep {} but scalar {}",
+                        run_entry.seed,
+                        if a.is_ok() { "succeeded" } else { "failed" },
+                        if b.is_ok() { "succeeded" } else { "failed" },
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: conformance::configured_cases(96),
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sweep_is_bit_identical_to_independent_runs(spec in spec_strategy()) {
+        if let Err(violation) = check_sweep(&spec) {
+            prop_assert!(
+                false,
+                "generator seed {:#018x} violated sweep exactness:\n{violation}",
+                spec.seed
+            );
+        }
+    }
+}
+
+/// Replays a single genome seed from `CONFORMANCE_SEED` against the
+/// sweep differential (mirrors `fuzz_equivalence::replay_env_seed`).
+#[test]
+fn replay_env_seed() {
+    let Some(seed) = std::env::var("CONFORMANCE_SEED").ok().and_then(|v| {
+        let v = v.trim();
+        v.strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or_else(|| v.parse().ok())
+    }) else {
+        return;
+    };
+    let spec = ProgramSpec::generate(seed);
+    if let Err(violation) = check_sweep(&spec) {
+        panic!("seed {seed:#018x}:\n{violation}");
+    }
+}

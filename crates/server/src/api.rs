@@ -12,7 +12,7 @@
 //!   "deconflict": "dynamic",          // dynamic | static
 //!   "barrier_alloc": false,           // run barrier register allocation
 //!   "threshold": 8,                   // soft-barrier threshold override
-//!   "warps": 4, "seed": 1, "seeds": 2,
+//!   "warps": 4, "seed": 1, "seeds": 2,  // or "seeds": [lo, hi) for a lockstep sweep
 //!   "mem": 1024,                      // inline kernels only: global memory cells
 //!   "entry": "k",                     // inline kernels only: kernel to launch
 //!   "deadline_ms": 1000
@@ -22,10 +22,20 @@
 //! The response carries per-seed metrics, an aggregate, and the engine's
 //! cache counters. All execution flows through the compiled-image cache
 //! and honors a cooperative [`CancelToken`].
+//!
+//! `"seeds"` takes either a count `N` (runs seeds `seed..seed+N`, one
+//! scalar simulation each — the historical form) or a half-open range
+//! `[lo, hi]`, which compiles once and runs the whole range through the
+//! lockstep sweep engine ([`simt_sim::run_sweep_image`]); the response
+//! then adds a `"sweep"` object with the engine's lockstep/detach/rejoin
+//! counters. Both forms answer with the same per-seed `"runs"` entries.
 
 use crate::json::Json;
 use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
-use simt_sim::{run_image_with, CancelToken, Launch, SchedulerPolicy, SimConfig, SimError};
+use simt_sim::{
+    run_image_with, run_sweep_image, CancelToken, Launch, SchedulerPolicy, SimConfig, SimError,
+    SweepLaunch,
+};
 use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
 use workloads::eval::{Engine, EvalError};
 use workloads::{microbench, registry};
@@ -64,6 +74,9 @@ pub struct EvalRequest {
     pub policy: String,
     /// Number of launches (seeds `seed..seed+n`).
     pub seeds: u64,
+    /// When set, run the half-open seed range `[lo, hi)` as one lockstep
+    /// sweep instead of `seeds` scalar launches.
+    pub sweep: Option<(u64, u64)>,
     /// Client-requested deadline override, in milliseconds.
     pub deadline_ms: Option<u64>,
 }
@@ -138,7 +151,30 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
     };
     let cfg = SimConfig { scheduler, ..SimConfig::default() };
 
-    let seeds = field_u64("seeds")?.unwrap_or(1).clamp(1, 64);
+    // `seeds` is a count (historical) or a half-open `[lo, hi]` range
+    // that runs as one lockstep sweep.
+    let (seeds, sweep) = match doc.get("seeds") {
+        None | Some(Json::Null) => (1, None),
+        Some(Json::Arr(range)) => {
+            let bad = || {
+                ApiError::bad_request(
+                    "`seeds` range must be [lo, hi] with lo < hi (half-open, at most 64 seeds)",
+                )
+            };
+            let [lo, hi] = range.as_slice() else { return Err(bad()) };
+            let (lo, hi) = (lo.as_u64().ok_or_else(bad)?, hi.as_u64().ok_or_else(bad)?);
+            if lo >= hi || hi - lo > 64 {
+                return Err(bad());
+            }
+            (hi - lo, Some((lo, hi)))
+        }
+        Some(v) => {
+            let n = v.as_u64().ok_or_else(|| {
+                ApiError::bad_request("`seeds` must be a count or a [lo, hi] range")
+            })?;
+            (n.clamp(1, 64), None)
+        }
+    };
     let warps = field_u64("warps")?.map(|w| w as usize);
     if warps == Some(0) {
         return Err(ApiError::bad_request("`warps` must be at least 1"));
@@ -207,7 +243,7 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
         }
     }
 
-    Ok(EvalRequest { name, module, launch, opts, cfg, mode, policy, seeds, deadline_ms })
+    Ok(EvalRequest { name, module, launch, opts, cfg, mode, policy, seeds, sweep, deadline_ms })
 }
 
 /// The workload names `/v1/eval` accepts.
@@ -237,31 +273,54 @@ pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Resu
         other => ApiError { status: 500, message: other.to_string() },
     })?;
 
-    let mut runs = Vec::with_capacity(req.seeds as usize);
-    let mut cycles = Vec::with_capacity(req.seeds as usize);
-    let mut effs = Vec::with_capacity(req.seeds as usize);
-    for i in 0..req.seeds {
-        if cancel.is_cancelled() {
-            return Err(ApiError { status: 504, message: "deadline exceeded".into() });
-        }
-        let mut launch = req.launch.clone();
-        launch.seed = req.launch.seed.wrapping_add(i);
-        let out = run_image_with(&image, &req.cfg, &launch, Some(cancel)).map_err(|e| match e {
-            SimError::Cancelled { .. } => {
-                ApiError { status: 504, message: "deadline exceeded".into() }
-            }
-            other => ApiError { status: 422, message: format!("simulation error: {other}") },
-        })?;
-        let m = &out.metrics;
-        cycles.push(m.cycles);
-        effs.push(m.simt_efficiency());
-        runs.push(Json::Obj(vec![
-            ("seed".into(), Json::u64(launch.seed)),
+    let sim_error = |e: &SimError| match e {
+        SimError::Cancelled { .. } => ApiError { status: 504, message: "deadline exceeded".into() },
+        other => ApiError { status: 422, message: format!("simulation error: {other}") },
+    };
+    let run_entry = |seed: u64, m: &simt_sim::Metrics| {
+        Json::Obj(vec![
+            ("seed".into(), Json::u64(seed)),
             ("cycles".into(), Json::u64(m.cycles)),
             ("simt_efficiency".into(), Json::num(m.simt_efficiency())),
             ("roi_simt_efficiency".into(), Json::num(m.roi_simt_efficiency())),
             ("barrier_ops".into(), Json::u64(m.barrier_ops)),
-        ]));
+        ])
+    };
+
+    let mut runs = Vec::with_capacity(req.seeds as usize);
+    let mut cycles = Vec::with_capacity(req.seeds as usize);
+    let mut effs = Vec::with_capacity(req.seeds as usize);
+    let mut sweep_stats = None;
+    if let Some((lo, hi)) = req.sweep {
+        // The range runs as one lockstep cohort: compile once, step all
+        // seeds together, report each seed exactly as a standalone run.
+        let sweep = SweepLaunch::new(req.launch.clone(), lo, hi);
+        let out = run_sweep_image(&image, &req.cfg, &sweep, Some(cancel)).map_err(|e| match e {
+            SimError::SweepUnsupported { .. } => ApiError::bad_request(e.to_string()),
+            other => sim_error(&other),
+        })?;
+        for entry in out.runs {
+            let seed_out = entry.result.map_err(|e| sim_error(&e))?;
+            let m = &seed_out.metrics;
+            cycles.push(m.cycles);
+            effs.push(m.simt_efficiency());
+            runs.push(run_entry(entry.seed, m));
+        }
+        sweep_stats = Some(out.stats);
+    } else {
+        for i in 0..req.seeds {
+            if cancel.is_cancelled() {
+                return Err(ApiError { status: 504, message: "deadline exceeded".into() });
+            }
+            let mut launch = req.launch.clone();
+            launch.seed = req.launch.seed.wrapping_add(i);
+            let out = run_image_with(&image, &req.cfg, &launch, Some(cancel))
+                .map_err(|e| sim_error(&e))?;
+            let m = &out.metrics;
+            cycles.push(m.cycles);
+            effs.push(m.simt_efficiency());
+            runs.push(run_entry(launch.seed, m));
+        }
     }
 
     let n = cycles.len() as f64;
@@ -272,7 +331,7 @@ pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Resu
         ("mean_simt_efficiency".into(), Json::num(effs.iter().sum::<f64>() / n)),
     ]);
     let cache = engine.cache_stats();
-    Ok(Json::Obj(vec![
+    let mut body = vec![
         ("workload".into(), Json::str(req.name.clone())),
         ("mode".into(), Json::str(req.mode.clone())),
         ("policy".into(), Json::str(req.policy.clone())),
@@ -287,7 +346,20 @@ pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Resu
                 ("hit_rate".into(), Json::num(cache.hit_rate())),
             ]),
         ),
-    ]))
+    ];
+    if let Some(s) = sweep_stats {
+        body.push((
+            "sweep".into(),
+            Json::Obj(vec![
+                ("instances".into(), Json::u64(s.instances as u64)),
+                ("lockstep_issues".into(), Json::u64(s.lockstep_issues)),
+                ("detaches".into(), Json::u64(s.detaches)),
+                ("rejoins".into(), Json::u64(s.rejoins)),
+                ("scalar_steps".into(), Json::u64(s.scalar_steps)),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(body))
 }
 
 /// Renders an [`ApiError`] as the `{"error": ...}` body.
@@ -361,6 +433,65 @@ mod tests {
             assert!(r.get("cycles").unwrap().as_u64().unwrap() > 0);
         }
         // The response is valid JSON end to end.
+        Json::parse(&out.render()).unwrap();
+    }
+
+    #[test]
+    fn parses_seed_range_request() {
+        let req = parse_request(br#"{"workload":"rsbench","seeds":[10,14]}"#).unwrap();
+        assert_eq!(req.sweep, Some((10, 14)));
+        assert_eq!(req.seeds, 4);
+        // The count form stays a count.
+        let req = parse_request(br#"{"workload":"rsbench","seeds":3}"#).unwrap();
+        assert_eq!(req.sweep, None);
+        assert_eq!(req.seeds, 3);
+    }
+
+    #[test]
+    fn rejects_bad_seed_ranges() {
+        for body in [
+            &br#"{"workload":"rsbench","seeds":[5]}"#[..],
+            br#"{"workload":"rsbench","seeds":[5,5]}"#,
+            br#"{"workload":"rsbench","seeds":[9,3]}"#,
+            br#"{"workload":"rsbench","seeds":[0,65]}"#,
+            br#"{"workload":"rsbench","seeds":[1,2,3]}"#,
+            br#"{"workload":"rsbench","seeds":"many"}"#,
+        ] {
+            let err = parse_request(body).unwrap_err();
+            assert_eq!(err.status, 400, "{:?}: {}", body, err.message);
+            assert!(err.message.contains("`seeds`"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn seed_range_executes_as_a_sweep_with_per_seed_runs() {
+        let engine = Engine::new(1);
+        let req = parse_request(
+            br#"{"workload":"microbench","mode":"baseline","warps":1,"seeds":[20,25]}"#,
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        let out = execute(&engine, &req, &token).unwrap();
+        let runs = out.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 5, "one entry per seed in the range");
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.get("seed").unwrap().as_u64(), Some(20 + i as u64));
+            assert!(r.get("cycles").unwrap().as_u64().unwrap() > 0);
+        }
+        let sweep = out.get("sweep").expect("sweep responses carry engine counters");
+        assert_eq!(sweep.get("instances").unwrap().as_u64(), Some(5));
+        assert!(sweep.get("lockstep_issues").unwrap().as_u64().unwrap() > 0);
+        // Per-seed metrics are bit-identical to the scalar path run of
+        // the same seed.
+        let scalar_req = parse_request(
+            br#"{"workload":"microbench","mode":"baseline","warps":1,"seed":20,"seeds":5}"#,
+        )
+        .unwrap();
+        let scalar = execute(&engine, &scalar_req, &token).unwrap();
+        assert_eq!(
+            Json::Arr(runs.to_vec()).render(),
+            Json::Arr(scalar.get("runs").unwrap().as_arr().unwrap().to_vec()).render()
+        );
         Json::parse(&out.render()).unwrap();
     }
 

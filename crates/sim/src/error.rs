@@ -96,6 +96,15 @@ pub enum SimError {
     },
     /// Module failed IR verification before execution.
     InvalidModule(String),
+    /// A seed-sweep request the lockstep sweep engine cannot honor
+    /// exactly — e.g. trace/profile/journal collection over more than
+    /// one instance (events would be misattributed across instances),
+    /// or a cohort wider than the 64-slot mask. Sweeps fail loudly with
+    /// this instead of producing silently-wrong observability output.
+    SweepUnsupported {
+        /// What the request asked for that the engine rejects.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -148,6 +157,9 @@ impl fmt::Display for SimError {
                 write!(f, "{at}: unresolved call to @{callee} (run Module::resolve_calls)")
             }
             SimError::InvalidModule(msg) => write!(f, "invalid module: {msg}"),
+            SimError::SweepUnsupported { reason } => {
+                write!(f, "seed sweep unsupported: {reason}")
+            }
         }
     }
 }

@@ -53,7 +53,7 @@ pub(crate) struct Frame {
     pub(crate) regs: Vec<Value>,
     /// Caller registers (a [`DecodedImage::reg_pool`] span) that receive
     /// this frame's return values.
-    ret_regs: PoolRange,
+    pub(crate) ret_regs: PoolRange,
 }
 
 /// Evaluates an operand against one frame's register file.
@@ -68,7 +68,7 @@ fn eval_in(frame: &Frame, op: Operand) -> Value {
 /// Cap on how many extra issues one scheduling slot may run ahead.
 /// Bounds how far the clock can overshoot the per-round `max_cycles`
 /// check (the error raised is identical either way).
-const BATCH_LIMIT: usize = 64;
+pub(crate) const BATCH_LIMIT: usize = 64;
 
 /// Ops the straight-line batcher may run ahead through. They must be
 /// warp-local (no global-memory traffic another warp could observe),
@@ -80,7 +80,7 @@ const BATCH_LIMIT: usize = 64;
 /// mutate only this warp's participation masks and advance every lane,
 /// and — unlike `cancel`/`copy`/`wait` — never run a release check, so
 /// no blocked lane can become runnable mid-batch.
-fn is_warp_local(inst: &DecodedInst) -> bool {
+pub(crate) fn is_warp_local(inst: &DecodedInst) -> bool {
     matches!(
         inst,
         DecodedInst::Bin { .. }
@@ -104,7 +104,7 @@ fn is_warp_local(inst: &DecodedInst) -> bool {
 /// straight-line batcher to trust `pcs[lead]` for the whole group.
 /// Branches (lanes may split), returns (per-lane call sites), and
 /// anything that blocks or exits lanes disqualify the slot.
-fn keeps_lockstep(inst: &DecodedInst) -> bool {
+pub(crate) fn keeps_lockstep(inst: &DecodedInst) -> bool {
     is_warp_local(inst)
         || matches!(
             inst,
@@ -158,16 +158,16 @@ pub(crate) enum Status {
 pub(crate) struct Thread {
     pub(crate) frames: Vec<Frame>,
     pub(crate) status: Status,
-    rng: SplitMix64,
-    local: Vec<Value>,
+    pub(crate) rng: SplitMix64,
+    pub(crate) local: Vec<Value>,
     /// Popped call frames held for reuse: a call pops one here before
     /// allocating, so call/return cycles stop churning the heap once the
     /// pool matches the kernel's call depth.
-    spare: Vec<Frame>,
+    pub(crate) spare: Vec<Frame>,
 }
 
 impl Thread {
-    fn frame(&self) -> &Frame {
+    pub(crate) fn frame(&self) -> &Frame {
         self.frames.last().expect("thread has no frame")
     }
     pub(crate) fn frame_mut(&mut self) -> &mut Frame {
@@ -195,27 +195,27 @@ pub(crate) struct Warp {
     pub(crate) at_sync: u64,
     /// Lanes that exited ([`Status::Exited`]).
     pub(crate) exited: u64,
-    busy_until: u64,
-    rr_cursor: usize,
+    pub(crate) busy_until: u64,
+    pub(crate) rr_cursor: usize,
     /// Lanes of the group issued last (greedy scheduling state).
-    last_lanes: u64,
+    pub(crate) last_lanes: u64,
     /// What the next [`Machine::pick_group`] call would provably return,
     /// recorded when a straight-line batch ends with its group intact
     /// (it broke on a non-batchable instruction, not on a split or a
     /// group merge). Nothing outside this warp's own issues can change
     /// its scheduling state, so the next slot issues directly and skips
     /// the grouping scan. Consumed (and re-proved) every slot.
-    pick_hint: Option<(usize, u64)>,
+    pub(crate) pick_hint: Option<(usize, u64)>,
     /// After a divergent pick: the pcs of the groups that were *not*
     /// chosen. The straight-line batcher stops before the running
     /// group's pc collides with one (the scheduler would merge them).
     /// Per-warp — only this warp's own issues can invalidate it, so it
     /// stays valid across a [`Warp::pick_hint`] chain.
-    other_pcs: Vec<usize>,
+    pub(crate) other_pcs: Vec<usize>,
     /// Direct-mapped L1 tag array (line index -> cached line tag), when
     /// the cache cost model is on.
-    cache_tags: Vec<Option<i64>>,
-    done: bool,
+    pub(crate) cache_tags: Vec<Option<i64>>,
+    pub(crate) done: bool,
 }
 
 /// Reusable hot-loop buffers owned by the [`Machine`].
@@ -224,7 +224,7 @@ pub(crate) struct Warp {
 /// lives here and is cleared — never dropped — between uses, so `step()`
 /// stops allocating once each buffer has grown to its high-water mark.
 #[derive(Debug, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Grouped `(pc, lane mask)` scheduler candidates.
     groups: Vec<(usize, u64)>,
     /// Per-access cell addresses for the coalescing/cache cost model.
@@ -236,17 +236,17 @@ struct Scratch {
 }
 
 pub(crate) struct Machine<'m> {
-    image: &'m DecodedImage,
-    cfg: &'m SimConfig,
+    pub(crate) image: &'m DecodedImage,
+    pub(crate) cfg: &'m SimConfig,
     /// Per-pc issue costs, `image.resolve_costs(&cfg.latency)`.
-    costs: Vec<u32>,
+    pub(crate) costs: Vec<u32>,
     pub(crate) warps: Vec<Warp>,
-    global: Vec<Value>,
-    metrics: Metrics,
-    trace: Option<Trace>,
-    profile: Option<Profile>,
+    pub(crate) global: Vec<Value>,
+    pub(crate) metrics: Metrics,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) profile: Option<Profile>,
     pub(crate) journal: Option<Journal>,
-    scratch: Scratch,
+    pub(crate) scratch: Scratch,
     pub(crate) cycle: u64,
 }
 

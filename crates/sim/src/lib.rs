@@ -44,6 +44,7 @@ pub mod profile;
 pub mod reference;
 pub mod rng;
 mod sched;
+pub mod sweep;
 pub mod trace;
 
 /// The unit-test binary counts heap allocations to prove the decoded
@@ -60,8 +61,9 @@ pub use error::{BarrierState, SimError, ThreadLocation};
 pub use exec::{run_image, run_image_with, CancelToken};
 pub use export::{chrome_trace, jsonl};
 pub use journal::{BarrierStats, Journal, JournalConfig, JournalEvent, JournalWriter};
-pub use machine::{run, run_sequence, Launch, SimOutput};
+pub use machine::{run, run_sequence, Launch, SimOutput, DEFAULT_SEED};
 pub use metrics::Metrics;
 pub use profile::{BlockStats, Profile};
 pub use reference::run_reference;
+pub use sweep::{run_sweep, run_sweep_image, SeedRun, SweepLaunch, SweepOutput, SweepStats};
 pub use trace::{Trace, TraceEvent};

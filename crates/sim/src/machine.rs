@@ -21,6 +21,12 @@ use crate::profile::Profile;
 use crate::trace::Trace;
 use simt_ir::{Module, Value};
 
+/// The default launch seed used everywhere a caller does not pick one:
+/// [`Launch::new`], the CLI's `--seed` default, the eval server's launch
+/// template, and the conformance harness. One shared constant instead of
+/// scattered literals, so "the default seed" means one thing.
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
 /// Parameters of one kernel launch.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Launch {
@@ -48,7 +54,7 @@ impl Launch {
             args: Vec::new(),
             global_mem: Vec::new(),
             local_mem_size: 0,
-            seed: 0xC0FFEE,
+            seed: DEFAULT_SEED,
         }
     }
 }

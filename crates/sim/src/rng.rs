@@ -27,6 +27,17 @@ impl SplitMix64 {
         s
     }
 
+    /// Creates the stream for thread `tid` of instance `instance` of a
+    /// seed sweep starting at `seed_lo`.
+    ///
+    /// Defined as exactly the stream a standalone launch with seed
+    /// `seed_lo + instance` gives the thread — the sweep engine's
+    /// bit-identity contract hinges on this equality, and a test pins
+    /// it.
+    pub fn for_sweep_instance(seed_lo: u64, instance: u64, tid: u64) -> Self {
+        Self::for_thread(seed_lo.wrapping_add(instance), tid)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -79,6 +90,17 @@ mod tests {
             }
         }
         assert!((350..650).contains(&below_half), "suspicious spread: {below_half}");
+    }
+
+    #[test]
+    fn sweep_instance_stream_equals_standalone_launch_stream() {
+        for inst in [0u64, 1, 7, 63] {
+            let mut sweep = SplitMix64::for_sweep_instance(100, inst, 5);
+            let mut standalone = SplitMix64::for_thread(100 + inst, 5);
+            for _ in 0..8 {
+                assert_eq!(sweep.next_u64(), standalone.next_u64());
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! order equals the tuple order by construction of the image layout,
 //! and a property test below pins the two formulations to the same
 //! choice for every policy.
+//!
+//! The seed-sweep cohort ([`crate::sweep`]) schedules its shared
+//! control plane through the same [`select_group_mask`] (its
+//! `pick_group_c` mirrors the decoded engine's grouping and converged
+//! fast path exactly), which is what makes a detached scalar machine's
+//! picks provably identical to the cohort's while their control planes
+//! agree — the property the sweep's rejoin logic rests on.
 
 use crate::config::SchedulerPolicy;
 

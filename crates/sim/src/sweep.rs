@@ -1,0 +1,2500 @@
+//! Lockstep multi-seed execution: the seed dimension as a second SIMD
+//! axis.
+//!
+//! Monte Carlo sweeps run one [`DecodedImage`] over many seeds that
+//! differ only in RNG-dependent data. This module executes up to 64
+//! seed-*instances* of one launch in lockstep: control state (PCs,
+//! status masks, barrier registers, the scheduler's pick state, the
+//! clock) is stored **once** and shared by the whole cohort, while data
+//! state (register files, local memory, RNG streams, global memory,
+//! cache tags) is stored structure-of-arrays — flat columns indexed
+//! `[cell * nslots + slot]` with no per-instance pointers. One
+//! scheduling decision, one instruction decode, one cost lookup, and
+//! one metrics update then serve every live instance; only the raw
+//! value compute is paid per `(lane, slot)`.
+//!
+//! # Lockstep, fallback, rejoin
+//!
+//! Lockstep is exact while control flow is uniform across instances.
+//! The three places instance data can steer control are checked every
+//! issue:
+//!
+//! - **branches**: per-slot taken masks are computed first; slots that
+//!   disagree with the largest group *detach* before the branch applies;
+//! - **global accesses**: the coalescing/cache cost model makes the
+//!   issue cost (and cache-counter deltas) data-dependent, so per-slot
+//!   `(cost, hits, misses)` triples are computed without mutation and
+//!   mismatching slots detach with their pre-access state intact;
+//! - **faults**: a slot whose lane faults (OOB access, division by
+//!   zero) resolves to that seed's own `Err`, exactly as its scalar run
+//!   would.
+//!
+//! A detached slot falls back to an ordinary scalar [`Machine`] built
+//! from its column of the SoA state and steps cycle-synchronously with
+//! the cohort. At every round boundary where the clocks align, a
+//! `group-merge`-style rejoin compares the scalar machine's control
+//! state against the cohort's shared plane; on a match the machine's
+//! data plane is absorbed back into its column and the slot resumes
+//! lockstep execution.
+//!
+//! # Exactness
+//!
+//! Sweep outputs are **bit-identical** to N independent scalar runs —
+//! metrics, final global memory, RNG streams, and errors — which the
+//! conformance differential suite enforces across the generative kernel
+//! genome and every scheduler policy. Per-instance observability
+//! (trace, profile, journal) cannot be attributed exactly from shared
+//! control, so sweeps of more than one instance reject those configs
+//! with [`SimError::SweepUnsupported`] instead of emitting misstamped
+//! events.
+
+use crate::config::{SchedulerPolicy, SimConfig};
+use crate::decode::{DecodedImage, DecodedInst, PoolRange};
+use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::exec::{
+    is_warp_local, keeps_lockstep, run_image_with, CancelToken, Frame, Machine, Scratch, Status,
+    Thread, Warp, BATCH_LIMIT,
+};
+use crate::machine::{Launch, SimOutput};
+use crate::metrics::Metrics;
+use crate::rng::SplitMix64;
+use crate::sched::{lanes, select_group_mask};
+use simt_ir::{BarrierId, BarrierOp, BinOp, MemSpace, Operand, RngKind, SpecialValue, Value};
+
+/// Width of one lockstep cohort: slots are tracked in a `u64` mask,
+/// mirroring the lane-mask machinery one level down.
+pub const COHORT_SLOTS: usize = 64;
+
+/// A seed sweep: one launch template run over the half-open seed range
+/// `[seed_lo, seed_hi)`. The template's own [`Launch::seed`] is ignored
+/// — each instance `i` runs with seed `seed_lo + i`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepLaunch {
+    /// The launch every instance shares (kernel, warps, args, memory).
+    pub base: Launch,
+    /// First seed of the sweep (inclusive).
+    pub seed_lo: u64,
+    /// End of the seed range (exclusive).
+    pub seed_hi: u64,
+}
+
+impl SweepLaunch {
+    /// A sweep of `base` over `[seed_lo, seed_hi)`.
+    pub fn new(base: Launch, seed_lo: u64, seed_hi: u64) -> Self {
+        Self { base, seed_lo, seed_hi }
+    }
+
+    /// Number of seed instances in the range.
+    pub fn instances(&self) -> u64 {
+        self.seed_hi.saturating_sub(self.seed_lo)
+    }
+}
+
+/// Outcome of one seed instance of a sweep — exactly what a standalone
+/// [`run_image`](crate::exec::run_image) of that seed would return.
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    /// The seed this instance ran with.
+    pub seed: u64,
+    /// The instance's own result: output or its own fault/deadlock.
+    pub result: Result<SimOutput, SimError>,
+}
+
+/// Execution counters of the sweep engine itself (not part of the
+/// simulated outputs; those live in each [`SeedRun`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of seed instances the sweep ran.
+    pub instances: usize,
+    /// Instruction issues executed once for the whole cohort.
+    pub lockstep_issues: u64,
+    /// Times an instance left the cohort for scalar stepping.
+    pub detaches: u64,
+    /// Times a detached instance's control realigned and it rejoined.
+    pub rejoins: u64,
+    /// Scheduling rounds stepped by detached scalar machines.
+    pub scalar_steps: u64,
+}
+
+/// Result of a whole sweep: per-seed outcomes in seed order, plus
+/// engine counters.
+#[derive(Clone, Debug)]
+pub struct SweepOutput {
+    /// One entry per seed, ordered `seed_lo..seed_hi`.
+    pub runs: Vec<SeedRun>,
+    /// Lockstep/fallback counters.
+    pub stats: SweepStats,
+}
+
+/// Runs a seed sweep of a decoded image.
+///
+/// Instances execute in lockstep where control flow is uniform and fall
+/// back to per-instance scalar stepping where it is not (see the module
+/// docs); every [`SeedRun::result`] is bit-identical to a standalone
+/// run of that seed.
+///
+/// # Errors
+///
+/// - [`SimError::SweepUnsupported`] when the range holds more than
+///   [`COHORT_SLOTS`] seeds, or when `cfg` requests trace/profile/
+///   journal collection for a sweep of more than one instance.
+/// - Launch validation errors ([`SimError::NoSuchKernel`],
+///   [`SimError::InvalidModule`]) — these would fail every instance
+///   identically.
+/// - [`SimError::Cancelled`] when the token fires; per-instance faults
+///   and deadlocks are *not* whole-sweep errors — they are reported in
+///   the failing instance's [`SeedRun`].
+pub fn run_sweep_image(
+    image: &DecodedImage,
+    cfg: &SimConfig,
+    sweep: &SweepLaunch,
+    cancel: Option<&CancelToken>,
+) -> Result<SweepOutput, SimError> {
+    let n = sweep.instances();
+    if n == 0 {
+        return Ok(SweepOutput { runs: Vec::new(), stats: SweepStats::default() });
+    }
+    if n == 1 {
+        // A single instance is an ordinary run: full observability is
+        // allowed and exactness is trivial.
+        let mut launch = sweep.base.clone();
+        launch.seed = sweep.seed_lo;
+        let result = match run_image_with(image, cfg, &launch, cancel) {
+            Err(e @ SimError::Cancelled { .. }) => return Err(e),
+            r => r,
+        };
+        let stats = SweepStats { instances: 1, ..SweepStats::default() };
+        return Ok(SweepOutput { runs: vec![SeedRun { seed: sweep.seed_lo, result }], stats });
+    }
+    if n > COHORT_SLOTS as u64 {
+        return Err(SimError::SweepUnsupported {
+            reason: format!(
+                "{n} seeds exceed the {COHORT_SLOTS}-slot cohort; chunk the seed range"
+            ),
+        });
+    }
+    if cfg.trace || cfg.profile || cfg.journal.is_some() {
+        return Err(SimError::SweepUnsupported {
+            reason: format!(
+                "trace/profile/journal collection is per-instance; \
+                 run the {n} seeds individually"
+            ),
+        });
+    }
+    Cohort::new(image, cfg, sweep, n as usize)?.run(cancel)
+}
+
+/// [`run_sweep_image`] for callers that have not decoded the module
+/// themselves.
+///
+/// # Errors
+///
+/// Everything [`run_sweep_image`] returns.
+pub fn run_sweep(
+    module: &simt_ir::Module,
+    cfg: &SimConfig,
+    sweep: &SweepLaunch,
+) -> Result<SweepOutput, SimError> {
+    let image = DecodedImage::decode(module);
+    run_sweep_image(&image, cfg, sweep, None)
+}
+
+/// Stack-frame metadata shared by every slot: structure (where the
+/// frame's register window sits in the SoA arena) is control, the
+/// register *values* inside the window are data.
+#[derive(Clone, Copy, Debug)]
+struct FrameMeta {
+    /// Saved pc; authoritative only while the frame is suspended,
+    /// exactly like [`Frame::pc`].
+    pc: usize,
+    /// Caller registers receiving this frame's return values.
+    ret_regs: PoolRange,
+    /// First register offset of this frame in the lane's value arena.
+    base: usize,
+    /// Number of registers in the frame.
+    len: usize,
+}
+
+/// One lane's SoA state: shared frame structure plus per-slot value
+/// columns.
+#[derive(Clone, Debug)]
+struct CLane {
+    frames: Vec<FrameMeta>,
+    status: Status,
+    /// Register values, `[reg_offset * nslots + slot]`; a bump arena
+    /// over the frame stack (frame `i` owns offsets
+    /// `frames[i].base .. frames[i].base + frames[i].len`).
+    vals: Vec<Value>,
+    /// Arena high-water offset (== top frame's `base + len`).
+    top: usize,
+    /// Per-slot RNG streams.
+    rng: Vec<SplitMix64>,
+    /// Local memory, `[cell * nslots + slot]`.
+    local: Vec<Value>,
+}
+
+/// An operand resolved against one lane's frame: either an immediate
+/// broadcast to every slot or the start of a register's slot column in
+/// the value arena. Hoists the `(base + reg) * nslots` arithmetic out of
+/// the slot-inner loops.
+#[derive(Clone, Copy)]
+enum Row {
+    Imm(Value),
+    At(usize),
+}
+
+impl CLane {
+    /// Register base offset of the top (live) frame.
+    #[inline]
+    fn cur_base(&self) -> usize {
+        self.frames.last().expect("lane has no frame").base
+    }
+
+    /// Resolves an operand to a [`Row`] against the frame at `base`.
+    #[inline]
+    fn row(&self, ns: usize, base: usize, op: Operand) -> Row {
+        match op {
+            Operand::Imm(v) => Row::Imm(v),
+            Operand::Reg(r) => Row::At((base + r.index()) * ns),
+        }
+    }
+
+    /// Reads a resolved operand for one slot.
+    #[inline]
+    fn get(&self, row: Row, slot: usize) -> Value {
+        match row {
+            Row::Imm(v) => v,
+            Row::At(i) => self.vals[i + slot],
+        }
+    }
+
+    /// Writes a register of the frame at `base` for one slot.
+    #[inline]
+    fn set(&mut self, ns: usize, base: usize, r: usize, slot: usize, v: Value) {
+        self.vals[(base + r) * ns + slot] = v;
+    }
+
+    /// Evaluates an operand against the frame at `base` for one slot.
+    #[inline]
+    fn eval(&self, ns: usize, base: usize, op: Operand, slot: usize) -> Value {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.vals[(base + r.index()) * ns + slot],
+        }
+    }
+
+    /// Pushes a callee frame: extends the arena by `num_regs` offsets
+    /// (every slot's new registers default-initialized, matching the
+    /// scalar engine's fresh frame).
+    fn push_frame(&mut self, ns: usize, pc: usize, ret_regs: PoolRange, num_regs: usize) {
+        let base = self.top;
+        self.top += num_regs;
+        let want = self.top * ns;
+        if self.vals.len() < want {
+            self.vals.resize(want, Value::default());
+        }
+        for v in &mut self.vals[base * ns..want] {
+            *v = Value::default();
+        }
+        self.frames.push(FrameMeta { pc, ret_regs, base, len: num_regs });
+    }
+
+    /// Pops the top frame, releasing its arena window.
+    fn pop_frame(&mut self) -> FrameMeta {
+        let m = self.frames.pop().expect("return without frame");
+        self.top = m.base;
+        m
+    }
+}
+
+/// One warp's shared control plane plus its lanes' SoA data.
+#[derive(Clone, Debug)]
+struct CWarp {
+    lanes_v: Vec<CLane>,
+    /// Live pc of each lane's top frame (shared across slots).
+    pcs: Vec<usize>,
+    /// Barrier participation masks.
+    masks: Vec<u64>,
+    lane_mask: u64,
+    runnable: u64,
+    waiting: u64,
+    at_sync: u64,
+    exited: u64,
+    busy_until: u64,
+    rr_cursor: usize,
+    last_lanes: u64,
+    done: bool,
+    /// Direct-mapped L1 tags, `[line_index * nslots + slot]` — cache
+    /// *contents* are per-slot data (global addresses diverge), only
+    /// the resulting cost/hit/miss triple must stay uniform.
+    cache_tags: Vec<Option<i64>>,
+}
+
+/// What one issue needs to know to materialize a scalar machine
+/// mid-round: which warp is issuing and its pre-pick scheduler fields
+/// (the pick already advanced them; a detached machine must re-run the
+/// pick itself).
+#[derive(Clone, Copy)]
+struct IssueCtx {
+    w: usize,
+    pre_last_lanes: u64,
+    pre_rr_cursor: usize,
+    /// The issuing warp's `busy_until` at the moment an *unbatched*
+    /// scalar run would pick this instruction. For the round's first
+    /// issue that is the warp's stored value; for the i-th batched
+    /// issue it is `round cycle + Σ costs of the batch prefix` — the
+    /// exact cycle the unbatched timeline reaches that pick, so a slot
+    /// detaching mid-batch replays on the true clock.
+    pre_busy_until: u64,
+}
+
+/// Per-access fault captured during a cohort issue, resolved to the
+/// owning seed's `Err` after the hot borrows end.
+enum SlotFault {
+    Oob { lane: usize, addr: i64, size: usize, space: MemSpace },
+    Arith { lane: usize, message: String },
+}
+
+/// The lockstep sweep machine: shared control plane + SoA data plane.
+struct Cohort<'m> {
+    image: &'m DecodedImage,
+    cfg: &'m SimConfig,
+    /// Per-pc issue costs, shared by cohort and detached machines.
+    costs: Vec<u32>,
+    /// Cohort width (number of seed instances), fixed for the whole
+    /// run: columns keep stride `nslots` even after slots detach.
+    nslots: usize,
+    /// Slots currently executing in lockstep.
+    live: u64,
+    seed_lo: u64,
+    warps: Vec<CWarp>,
+    /// Global memory, `[addr * nslots + slot]`.
+    global: Vec<Value>,
+    global_len: usize,
+    local_len: usize,
+    /// Shared metrics accumulator: every counter a scalar run would
+    /// bump is bumped once here while instances are in lockstep.
+    /// `cycles` stays 0 until finalization.
+    metrics: Metrics,
+    /// Per-slot metrics deltas (wrapping): a slot's true metrics are
+    /// `metrics + bases[slot]`. Zero while a slot has never detached.
+    bases: Vec<Metrics>,
+    /// Detached scalar machines, stepped cycle-synchronously.
+    detached: Vec<Option<Machine<'m>>>,
+    /// Slots with a machine in `detached` (hot-loop early-out).
+    detached_mask: u64,
+    /// Final per-seed results, filled as instances resolve.
+    results: Vec<Option<Result<SimOutput, SimError>>>,
+    stats: SweepStats,
+    cycle: u64,
+    // Reusable hot-loop buffers.
+    groups: Vec<(usize, u64)>,
+    /// Pcs of the groups the last pick did *not* choose — the cohort
+    /// twin of [`Scratch::other_pcs`], consulted by the straight-line
+    /// batcher's merge guard (empty after a converged pick).
+    other_pcs: Vec<usize>,
+    /// Per-slot address staging for global accesses,
+    /// `[slot * lanes_in_mask + idx]`.
+    addr_buf: Vec<i64>,
+    /// Line/segment ids derived from one slot's addresses.
+    lines_buf: Vec<i64>,
+    /// Deduped cache lines of every slot of one access, concatenated
+    /// (indexed by per-slot spans); computed once in the cost phase and
+    /// reused for tag updates and write-through invalidation.
+    lines_all: Vec<i64>,
+    /// Staged call arguments / return values, `[idx * nslots + slot]`.
+    stage: Vec<Value>,
+}
+
+impl<'m> Cohort<'m> {
+    /// Validates the launch (identically to [`Machine::new`]) and
+    /// builds the initial SoA state for `nslots` instances.
+    fn new(
+        image: &'m DecodedImage,
+        cfg: &'m SimConfig,
+        sweep: &SweepLaunch,
+        nslots: usize,
+    ) -> Result<Cohort<'m>, SimError> {
+        let launch = &sweep.base;
+        let kernel = image
+            .func_by_name(&launch.kernel)
+            .ok_or_else(|| SimError::NoSuchKernel(launch.kernel.clone()))?;
+        let kfunc = image.funcs[kernel.index()];
+        if launch.args.len() > kfunc.num_params as usize {
+            return Err(SimError::InvalidModule(format!(
+                "kernel @{} takes {} params, launch provides {}",
+                image.func_names[kernel.index()],
+                kfunc.num_params,
+                launch.args.len()
+            )));
+        }
+
+        let width = cfg.warp_width;
+        assert!(width <= 64, "warp width above 64 lanes is not supported");
+        let lane_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let num_regs = kfunc.num_regs as usize;
+        let entry = kfunc.entry_pc as usize;
+        let cache_lines = cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
+
+        let mut warps = Vec::with_capacity(launch.num_warps);
+        for w in 0..launch.num_warps {
+            let mut lanes_v = Vec::with_capacity(width);
+            for lane in 0..width {
+                let tid = (w * width + lane) as u64;
+                let mut vals = vec![Value::default(); num_regs * nslots];
+                for (i, a) in launch.args.iter().enumerate() {
+                    for s in 0..nslots {
+                        vals[i * nslots + s] = *a;
+                    }
+                }
+                lanes_v.push(CLane {
+                    frames: vec![FrameMeta {
+                        pc: entry,
+                        ret_regs: PoolRange::EMPTY,
+                        base: 0,
+                        len: num_regs,
+                    }],
+                    status: Status::Runnable,
+                    vals,
+                    top: num_regs,
+                    rng: (0..nslots)
+                        .map(|s| SplitMix64::for_sweep_instance(sweep.seed_lo, s as u64, tid))
+                        .collect(),
+                    local: vec![Value::default(); launch.local_mem_size * nslots],
+                });
+            }
+            warps.push(CWarp {
+                lanes_v,
+                pcs: vec![entry; width],
+                masks: vec![0; image.num_barriers],
+                lane_mask,
+                runnable: lane_mask,
+                waiting: 0,
+                at_sync: 0,
+                exited: 0,
+                busy_until: 0,
+                rr_cursor: 0,
+                last_lanes: 0,
+                done: false,
+                cache_tags: vec![None; cache_lines * nslots],
+            });
+        }
+
+        let mut global = vec![Value::default(); launch.global_mem.len() * nslots];
+        for (a, v) in launch.global_mem.iter().enumerate() {
+            for s in 0..nslots {
+                global[a * nslots + s] = *v;
+            }
+        }
+
+        let live = if nslots == 64 { u64::MAX } else { (1u64 << nslots) - 1 };
+        Ok(Cohort {
+            image,
+            cfg,
+            costs: image.resolve_costs(&cfg.latency),
+            nslots,
+            live,
+            seed_lo: sweep.seed_lo,
+            warps,
+            global,
+            global_len: launch.global_mem.len(),
+            local_len: launch.local_mem_size,
+            metrics: Metrics::new(launch.num_warps, width),
+            bases: vec![Metrics::new(launch.num_warps, width); nslots],
+            detached: (0..nslots).map(|_| None).collect(),
+            detached_mask: 0,
+            results: vec![None; nslots],
+            stats: SweepStats { instances: nslots, ..SweepStats::default() },
+            cycle: 0,
+            groups: Vec::new(),
+            other_pcs: Vec::new(),
+            addr_buf: Vec::new(),
+            lines_buf: Vec::new(),
+            lines_all: Vec::new(),
+            stage: Vec::new(),
+        })
+    }
+
+    /// Drives the cohort and its detached machines to completion.
+    fn run(mut self, cancel: Option<&CancelToken>) -> Result<SweepOutput, SimError> {
+        loop {
+            if let Some(t) = cancel {
+                if t.is_cancelled() {
+                    return Err(SimError::Cancelled { cycle: self.cycle });
+                }
+            }
+            if self.live == 0 {
+                break;
+            }
+            // Catch detached machines up to the cohort clock and rejoin
+            // any whose control realigned at this round boundary.
+            self.drive_detached();
+            if self.round() {
+                self.finalize_live();
+                break;
+            }
+        }
+        self.finish_detached(cancel)?;
+        let runs = self
+            .results
+            .iter_mut()
+            .enumerate()
+            .map(|(s, r)| SeedRun {
+                seed: self.seed_lo.wrapping_add(s as u64),
+                result: r.take().expect("every slot resolved"),
+            })
+            .collect();
+        Ok(SweepOutput { runs, stats: self.stats })
+    }
+
+    /// Marks a slot resolved with its own terminal error.
+    fn resolve_err(&mut self, s: usize, e: SimError) {
+        self.live &= !(1u64 << s);
+        self.results[s] = Some(Err(e));
+    }
+
+    /// Resolves every live slot with one shared error (deadlock, cycle
+    /// budget): these arise purely from shared control state, so every
+    /// instance's scalar run would fail identically.
+    fn resolve_all_live(&mut self, e: &SimError) {
+        for s in lanes(self.live) {
+            self.results[s] = Some(Err(e.clone()));
+        }
+        self.live = 0;
+    }
+
+    /// One scheduling round over the shared control plane — the cohort
+    /// mirror of [`Machine::step`], including the straight-line batcher
+    /// (batched and unbatched execution are equivalent in every
+    /// observable; the cohort batches so the per-round scheduling cost
+    /// it amortizes across slots matches the scalar baseline's).
+    /// Returns `true` once every warp has finished.
+    fn round(&mut self) -> bool {
+        let mut next_ready = u64::MAX;
+        let mut all_done = true;
+        for w in 0..self.warps.len() {
+            if self.warps[w].done {
+                continue;
+            }
+            all_done = false;
+            if self.warps[w].busy_until > self.cycle {
+                next_ready = next_ready.min(self.warps[w].busy_until);
+                continue;
+            }
+            let ctx = IssueCtx {
+                w,
+                pre_last_lanes: self.warps[w].last_lanes,
+                pre_rr_cursor: self.warps[w].rr_cursor,
+                pre_busy_until: self.warps[w].busy_until,
+            };
+            match self.pick_group_c(w) {
+                Some((pc, mask)) => {
+                    self.warps[w].last_lanes = mask;
+                    // Stall pressure samples before execution, exactly
+                    // like the scalar engine's issue path.
+                    let waiting_lanes = self.warps[w].waiting.count_ones();
+                    let cost = self.exec_c(pc, mask, ctx);
+                    if self.live == 0 {
+                        // Every remaining instance detached or faulted
+                        // mid-round; the shared plane is abandoned and
+                        // the detached machines replay from their own
+                        // consistent snapshots.
+                        return false;
+                    }
+                    let roi = self.image.roi[pc];
+                    self.metrics.record_issue(w, mask, cost.max(1), roi, waiting_lanes);
+                    self.stats.lockstep_issues += 1;
+                    let mut busy = self.cycle + u64::from(cost.max(1));
+                    // Straight-line batching, mirroring the scalar
+                    // engine's run-ahead (see [`Machine::step`]): a
+                    // group that is provably re-picked unchanged
+                    // executes warp-local ops within this slot. The
+                    // cohort never carries trace/journal (multi-
+                    // instance sweeps reject them), so those disablers
+                    // don't apply; batched ops never touch statuses, so
+                    // the stall-pressure sample stays valid for every
+                    // issue in the batch. Each batched issue builds its
+                    // own [`IssueCtx`] — `last_lanes` re-sticks to the
+                    // mask, the RoundRobin cursor is consumed per issue
+                    // exactly as the converged pick would, and
+                    // `pre_busy_until` carries the unbatched clock — so
+                    // a slot detaching mid-batch (cross-seed branch
+                    // divergence) still materializes the exact scalar
+                    // state an unbatched run would reach at that pick.
+                    // Faultable ops only batch when every (lane, slot)
+                    // operand is provably safe: per-seed faults must
+                    // surface at their precise round.
+                    if keeps_lockstep(&self.image.insts[pc])
+                        && (mask == self.warps[w].runnable
+                            || self.cfg.scheduler == SchedulerPolicy::Greedy)
+                    {
+                        let lead = mask.trailing_zeros() as usize;
+                        let round_robin = self.cfg.scheduler == SchedulerPolicy::RoundRobin;
+                        for _ in 0..BATCH_LIMIT {
+                            let npc = self.warps[w].pcs[lead];
+                            let inst = &self.image.insts[npc];
+                            let branch = matches!(inst, DecodedInst::Branch { .. });
+                            if self.other_pcs.contains(&npc) {
+                                // Pending merge with a frozen group:
+                                // the next real round must re-group.
+                                break;
+                            }
+                            if !(branch || is_warp_local(inst))
+                                || !self.batch_fault_free_c(w, mask, inst)
+                            {
+                                break;
+                            }
+                            let bctx = IssueCtx {
+                                w,
+                                pre_last_lanes: mask,
+                                pre_rr_cursor: self.warps[w].rr_cursor,
+                                pre_busy_until: busy,
+                            };
+                            if round_robin {
+                                let rr = &mut self.warps[w].rr_cursor;
+                                *rr = rr.wrapping_add(1);
+                            }
+                            let c = self.exec_c(npc, mask, bctx);
+                            if self.live == 0 {
+                                return false;
+                            }
+                            self.metrics.record_issue(
+                                w,
+                                mask,
+                                c.max(1),
+                                self.image.roi[npc],
+                                waiting_lanes,
+                            );
+                            self.stats.lockstep_issues += 1;
+                            busy += u64::from(c.max(1));
+                            if branch {
+                                let warp = &self.warps[w];
+                                let tpc = warp.pcs[lead];
+                                if lanes(mask).any(|l| warp.pcs[l] != tpc) {
+                                    // The group split; the next round
+                                    // re-groups exactly as unbatched
+                                    // execution would here.
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    self.warps[w].busy_until = busy;
+                    next_ready = next_ready.min(busy);
+                }
+                None => {
+                    let live_lanes = self.warps[w].lane_mask & !self.warps[w].exited;
+                    if live_lanes == 0 {
+                        self.warps[w].done = true;
+                    } else {
+                        // Deadlock is a property of shared control:
+                        // every live instance fails with the identical
+                        // diagnostic its scalar run would build here.
+                        let waiting = lanes(live_lanes)
+                            .map(|l| {
+                                let b = match self.warps[w].lanes_v[l].status {
+                                    Status::Waiting(b) => b,
+                                    _ => BarrierId(0),
+                                };
+                                (self.location(w, l), b)
+                            })
+                            .collect();
+                        let barriers = self.barrier_dump(w);
+                        let e = SimError::Deadlock { cycle: self.cycle, waiting, barriers };
+                        self.resolve_all_live(&e);
+                        return false;
+                    }
+                }
+            }
+        }
+        if all_done {
+            return true;
+        }
+        if self.cycle >= self.cfg.max_cycles {
+            let e = SimError::MaxCyclesExceeded { limit: self.cfg.max_cycles };
+            self.resolve_all_live(&e);
+            return false;
+        }
+        if next_ready != u64::MAX {
+            self.cycle = next_ready.max(self.cycle + 1);
+        }
+        false
+    }
+
+    /// Finalizes every still-live slot into its output at the cohort's
+    /// finish cycle.
+    fn finalize_live(&mut self) {
+        let ns = self.nslots;
+        for s in lanes(self.live) {
+            let mut metrics = metrics_sum(&self.metrics, &self.bases[s]);
+            metrics.cycles = self.cycle;
+            let global_mem = (0..self.global_len).map(|a| self.global[a * ns + s]).collect();
+            self.results[s] = Some(Ok(SimOutput {
+                metrics,
+                global_mem,
+                trace: None,
+                profile: None,
+                journal: None,
+            }));
+        }
+        self.live = 0;
+    }
+
+    /// Steps every detached machine up to the cohort clock, resolving
+    /// the ones that finish or fail, and rejoins any whose control
+    /// plane matches the cohort's at this round boundary.
+    fn drive_detached(&mut self) {
+        if self.detached_mask == 0 {
+            return;
+        }
+        for s in lanes(self.detached_mask) {
+            let Some(mut m) = self.detached[s].take() else { continue };
+            let mut finished = false;
+            let mut err = None;
+            while m.cycle < self.cycle {
+                self.stats.scalar_steps += 1;
+                match m.step() {
+                    Ok(false) => {}
+                    Ok(true) => {
+                        finished = true;
+                        break;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if finished {
+                self.results[s] = Some(Ok(m.into_output()));
+                self.detached_mask &= !(1u64 << s);
+            } else if let Some(e) = err {
+                self.results[s] = Some(Err(e));
+                self.detached_mask &= !(1u64 << s);
+            } else if m.cycle == self.cycle && self.control_matches(&m) {
+                self.absorb(s, m);
+                self.detached_mask &= !(1u64 << s);
+            } else {
+                self.detached[s] = Some(m);
+            }
+        }
+    }
+
+    /// Runs every remaining detached machine to completion (the cohort
+    /// is finished or abandoned; clock synchrony no longer matters).
+    fn finish_detached(&mut self, cancel: Option<&CancelToken>) -> Result<(), SimError> {
+        for s in 0..self.nslots {
+            let Some(mut m) = self.detached[s].take() else { continue };
+            let r = loop {
+                if let Some(t) = cancel {
+                    if t.is_cancelled() {
+                        return Err(SimError::Cancelled { cycle: m.cycle });
+                    }
+                }
+                self.stats.scalar_steps += 1;
+                match m.step() {
+                    Ok(false) => {}
+                    Ok(true) => break Ok(m.into_output()),
+                    Err(e) => break Err(e),
+                }
+            };
+            self.results[s] = Some(r);
+        }
+        Ok(())
+    }
+}
+
+/// Componentwise wrapping sum of two metrics snapshots (`per_warp`
+/// pairwise; `warp_width` copied from `a`).
+fn metrics_sum(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut m = Metrics::new(a.per_warp.len(), a.warp_width);
+    m.cycles = a.cycles.wrapping_add(b.cycles);
+    m.issues = a.issues.wrapping_add(b.issues);
+    m.active_lane_sum = a.active_lane_sum.wrapping_add(b.active_lane_sum);
+    m.issue_weight = a.issue_weight.wrapping_add(b.issue_weight);
+    m.roi_issues = a.roi_issues.wrapping_add(b.roi_issues);
+    m.roi_active_lane_sum = a.roi_active_lane_sum.wrapping_add(b.roi_active_lane_sum);
+    m.stall_cycles = a.stall_cycles.wrapping_add(b.stall_cycles);
+    m.barrier_ops = a.barrier_ops.wrapping_add(b.barrier_ops);
+    m.cache_hits = a.cache_hits.wrapping_add(b.cache_hits);
+    m.cache_misses = a.cache_misses.wrapping_add(b.cache_misses);
+    m.lane_insts = a.lane_insts.wrapping_add(b.lane_insts);
+    for (i, slot) in m.per_warp.iter_mut().enumerate() {
+        slot.0 = a.per_warp[i].0.wrapping_add(b.per_warp[i].0);
+        slot.1 = a.per_warp[i].1.wrapping_add(b.per_warp[i].1);
+    }
+    m
+}
+
+/// Componentwise wrapping difference `a - b` (the per-slot base such
+/// that `b + base == a`).
+fn metrics_delta(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut m = Metrics::new(a.per_warp.len(), a.warp_width);
+    m.cycles = a.cycles.wrapping_sub(b.cycles);
+    m.issues = a.issues.wrapping_sub(b.issues);
+    m.active_lane_sum = a.active_lane_sum.wrapping_sub(b.active_lane_sum);
+    m.issue_weight = a.issue_weight.wrapping_sub(b.issue_weight);
+    m.roi_issues = a.roi_issues.wrapping_sub(b.roi_issues);
+    m.roi_active_lane_sum = a.roi_active_lane_sum.wrapping_sub(b.roi_active_lane_sum);
+    m.stall_cycles = a.stall_cycles.wrapping_sub(b.stall_cycles);
+    m.barrier_ops = a.barrier_ops.wrapping_sub(b.barrier_ops);
+    m.cache_hits = a.cache_hits.wrapping_sub(b.cache_hits);
+    m.cache_misses = a.cache_misses.wrapping_sub(b.cache_misses);
+    m.lane_insts = a.lane_insts.wrapping_sub(b.lane_insts);
+    for (i, slot) in m.per_warp.iter_mut().enumerate() {
+        slot.0 = a.per_warp[i].0.wrapping_sub(b.per_warp[i].0);
+        slot.1 = a.per_warp[i].1.wrapping_sub(b.per_warp[i].1);
+    }
+    m
+}
+
+/// Appends the sorted, deduped cache-line ids covering `addrs` to
+/// `lines_out` and returns the span's start offset. Only the new tail is
+/// deduped — a whole-vec pass could merge the first line into an earlier
+/// span across the boundary.
+fn push_line_span(lines_out: &mut Vec<i64>, addrs: &[i64], cells: i64) -> usize {
+    let start = lines_out.len();
+    lines_out.extend(addrs.iter().map(|a| a.div_euclid(cells)));
+    lines_out[start..].sort_unstable();
+    let mut wr = start;
+    for rd in start..lines_out.len() {
+        if wr == start || lines_out[wr - 1] != lines_out[rd] {
+            lines_out[wr] = lines_out[rd];
+            wr += 1;
+        }
+    }
+    lines_out.truncate(wr);
+    start
+}
+
+/// Partitions live slots by a per-slot key: the largest class (ties
+/// broken toward the class containing the lowest slot) stays in the
+/// cohort; everyone else detaches. Returns the detach mask.
+fn partition_detach<K: PartialEq + Copy>(live: u64, key: impl Fn(usize) -> K) -> u64 {
+    // Divergence across seeds is rare and shallow; a linear class scan
+    // over at most 64 slots is plenty.
+    let mut classes: Vec<(K, u64, u32)> = Vec::new();
+    for s in lanes(live) {
+        let k = key(s);
+        match classes.iter_mut().find(|(ck, _, _)| *ck == k) {
+            Some((_, mask, n)) => {
+                *mask |= 1u64 << s;
+                *n += 1;
+            }
+            None => classes.push((k, 1u64 << s, 1)),
+        }
+    }
+    // First insertion order is lowest-slot order, so a plain max scan
+    // with strict `>` implements the tie-break.
+    let mut winner = 0u64;
+    let mut best = 0u32;
+    for &(_, mask, n) in &classes {
+        if n > best {
+            best = n;
+            winner = mask;
+        }
+    }
+    live & !winner
+}
+
+// Scheduling, control, and diagnostics over the shared plane — mirrors
+// of the scalar engine's methods, operating on `CWarp`.
+impl Cohort<'_> {
+    /// Debug-only invariant, mirroring [`Machine`]'s `check_masks`.
+    #[cfg(debug_assertions)]
+    fn check_masks(&self, w: usize) {
+        let warp = &self.warps[w];
+        let mut expect = (0u64, 0u64, 0u64, 0u64);
+        for (l, t) in warp.lanes_v.iter().enumerate() {
+            let bit = 1u64 << l;
+            match t.status {
+                Status::Runnable => expect.0 |= bit,
+                Status::Waiting(_) => expect.1 |= bit,
+                Status::WaitingSync => expect.2 |= bit,
+                Status::Exited => expect.3 |= bit,
+            }
+        }
+        assert_eq!(
+            (warp.runnable, warp.waiting, warp.at_sync, warp.exited),
+            expect,
+            "status masks out of sync with lane statuses in warp {w}"
+        );
+    }
+
+    /// Groups runnable lanes by pc and applies the scheduler policy —
+    /// the cohort twin of [`Machine`]'s `pick_group` (identical
+    /// converged fast path, group construction, and policy call, so a
+    /// scalar machine over the same control state picks identically).
+    fn pick_group_c(&mut self, w: usize) -> Option<(usize, u64)> {
+        #[cfg(debug_assertions)]
+        self.check_masks(w);
+        let runnable = self.warps[w].runnable;
+        if runnable == 0 {
+            return None;
+        }
+        let pcs = &self.warps[w].pcs;
+        let mut it = lanes(runnable);
+        let first = it.next().expect("runnable mask is non-empty");
+        let pc0 = pcs[first];
+        let mut rest = runnable & (runnable - 1);
+        let mut converged = true;
+        for l in lanes(rest) {
+            if pcs[l] != pc0 {
+                converged = false;
+                rest &= !((1u64 << l) - 1);
+                break;
+            }
+        }
+        if converged {
+            self.other_pcs.clear();
+            if self.cfg.scheduler == SchedulerPolicy::RoundRobin {
+                let warp = &mut self.warps[w];
+                warp.rr_cursor = warp.rr_cursor.wrapping_add(1);
+            }
+            return Some((pc0, runnable));
+        }
+        let groups = &mut self.groups;
+        groups.clear();
+        groups.push((pc0, runnable & !rest));
+        for l in lanes(rest) {
+            let pc = pcs[l];
+            match groups.iter().position(|&(p, _)| p >= pc) {
+                Some(i) if groups[i].0 == pc => groups[i].1 |= 1 << l,
+                Some(i) => groups.insert(i, (pc, 1 << l)),
+                None => groups.push((pc, 1 << l)),
+            }
+        }
+        let warp = &mut self.warps[w];
+        let picked =
+            select_group_mask(self.cfg.scheduler, groups, warp.last_lanes, &mut warp.rr_cursor);
+        self.other_pcs.clear();
+        if let Some((pc, _)) = picked {
+            self.other_pcs.extend(groups.iter().map(|&(p, _)| p).filter(|&p| p != pc));
+        }
+        picked
+    }
+
+    /// Whether executing `inst` over `mask` is guaranteed not to fault
+    /// in *any* live slot — the cohort twin of the scalar engine's
+    /// `batch_fault_free`, widened across the seed axis. A batched
+    /// issue must be infallible: a per-seed fault resolves that slot
+    /// with the exact error its scalar run would raise, and look-ahead
+    /// would misstamp its round. Faultable (lane, slot) operands leave
+    /// the instruction to execute in its own round.
+    fn batch_fault_free_c(&self, w: usize, mask: u64, inst: &DecodedInst) -> bool {
+        let ns = self.nslots;
+        let live = self.live;
+        let all = |lhs: Operand, rhs: Operand, f: &dyn Fn(Value, Value) -> bool| {
+            lanes(mask).all(|l| {
+                let cl = &self.warps[w].lanes_v[l];
+                let base = cl.cur_base();
+                let (lr, rr) = (cl.row(ns, base, lhs), cl.row(ns, base, rhs));
+                lanes(live).all(|s| f(cl.get(lr, s), cl.get(rr, s)))
+            })
+        };
+        match *inst {
+            DecodedInst::Bin { op: BinOp::Div | BinOp::Rem, lhs, rhs, .. } => {
+                all(lhs, rhs, &|a, b| !(a.is_int() && b.is_int() && b.as_i64() == 0))
+            }
+            DecodedInst::Bin {
+                op: BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr,
+                lhs,
+                rhs,
+                ..
+            } => all(lhs, rhs, &|a, b| a.is_int() && b.is_int()),
+            DecodedInst::Un { op: simt_ir::UnOp::Not, src, .. } => {
+                all(src, src, &|a, _| a.is_int())
+            }
+            _ => true,
+        }
+    }
+
+    fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
+        self.location_at(warp, lane, self.warps[warp].pcs[lane])
+    }
+
+    /// Thread location for a fault raised while issuing `pc` — the
+    /// shared pc array may already have advanced past the faulting
+    /// lane (the cohort advances once for the surviving slots), so
+    /// faults name the issued pc explicitly.
+    fn location_at(&self, warp: usize, lane: usize, pc: usize) -> ThreadLocation {
+        let o = self.image.origin[pc];
+        ThreadLocation { warp, lane, func: o.func, block: o.block, inst: o.inst as usize }
+    }
+
+    /// Barrier-register dump of warp `w` (deadlock diagnostics),
+    /// mirroring the scalar engine's.
+    fn barrier_dump(&self, w: usize) -> Vec<BarrierState> {
+        let warp = &self.warps[w];
+        let live = warp.lane_mask & !warp.exited;
+        let mut out = Vec::new();
+        for (i, &m) in warp.masks.iter().enumerate() {
+            let b = BarrierId::new(i);
+            let mut waiters = 0u64;
+            for l in lanes(warp.waiting) {
+                if warp.lanes_v[l].status == Status::Waiting(b) {
+                    waiters |= 1 << l;
+                }
+            }
+            let participants = m & live;
+            if participants != 0 || waiters != 0 {
+                out.push(BarrierState { barrier: b, participants, waiters });
+            }
+        }
+        out
+    }
+
+    /// Executes one barrier operation on the shared control plane —
+    /// barrier semantics are pure control, so one execution serves the
+    /// whole cohort (only `arrived` writes registers, broadcast to
+    /// every live slot).
+    fn exec_barrier_c(&mut self, w: usize, mask: u64, op: BarrierOp) {
+        match op {
+            BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
+                let warp = &mut self.warps[w];
+                warp.masks[b.index()] |= mask;
+                for l in lanes(mask) {
+                    warp.pcs[l] += 1;
+                }
+            }
+            BarrierOp::Cancel(b) => {
+                let warp = &mut self.warps[w];
+                warp.masks[b.index()] &= !mask;
+                for l in lanes(mask) {
+                    warp.pcs[l] += 1;
+                }
+                self.release_check_c(w, b);
+            }
+            BarrierOp::Copy { dst, src } => {
+                let warp = &mut self.warps[w];
+                warp.masks[dst.index()] = warp.masks[src.index()];
+                for l in lanes(mask) {
+                    warp.pcs[l] += 1;
+                }
+                self.release_check_c(w, dst);
+            }
+            BarrierOp::ArrivedCount { dst, bar } => {
+                let ns = self.nslots;
+                let live = self.live;
+                let warp = &mut self.warps[w];
+                let n = warp.masks[bar.index()].count_ones() as i64;
+                for l in lanes(mask) {
+                    let cl = &mut warp.lanes_v[l];
+                    let base = cl.cur_base();
+                    for s in lanes(live) {
+                        cl.set(ns, base, dst.index(), s, Value::I64(n));
+                    }
+                    warp.pcs[l] += 1;
+                }
+            }
+            BarrierOp::Wait(b) => {
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.lanes_v[l].status = Status::Waiting(b);
+                }
+                warp.runnable &= !mask;
+                warp.waiting |= mask;
+                self.release_check_c(w, b);
+            }
+        }
+    }
+
+    /// Releases the `__syncthreads` cohort once every live thread is at
+    /// one (control-plane twin of the scalar engine's check).
+    fn sync_release_check_c(&mut self, w: usize) {
+        let warp = &mut self.warps[w];
+        if warp.runnable != 0 || warp.waiting != 0 || warp.at_sync == 0 {
+            return;
+        }
+        let releasing = warp.at_sync;
+        for l in lanes(releasing) {
+            warp.lanes_v[l].status = Status::Runnable;
+            warp.pcs[l] += 1;
+        }
+        warp.at_sync = 0;
+        warp.runnable |= releasing;
+    }
+
+    /// Releases barrier `b` if every live participant is blocked on it.
+    fn release_check_c(&mut self, w: usize, b: BarrierId) {
+        let warp = &mut self.warps[w];
+        let mut waiting_b = 0u64;
+        for l in lanes(warp.waiting) {
+            if warp.lanes_v[l].status == Status::Waiting(b) {
+                waiting_b |= 1 << l;
+            }
+        }
+        if waiting_b == 0 {
+            return;
+        }
+        let live = warp.lane_mask & !warp.exited;
+        let participants = warp.masks[b.index()] & live;
+        if participants & !waiting_b == 0 {
+            warp.masks[b.index()] = 0;
+            for l in lanes(waiting_b) {
+                warp.lanes_v[l].status = Status::Runnable;
+                warp.pcs[l] += 1;
+            }
+            warp.waiting &= !waiting_b;
+            warp.runnable |= waiting_b;
+        }
+    }
+
+    /// Drops exited lanes from every barrier and re-checks releases.
+    fn on_exit_mask_c(&mut self, w: usize, mask: u64) {
+        let warp = &mut self.warps[w];
+        warp.runnable &= !mask;
+        warp.waiting &= !mask;
+        warp.at_sync &= !mask;
+        warp.exited |= mask;
+        let nb = warp.masks.len();
+        for b in 0..nb {
+            warp.masks[b] &= !mask;
+        }
+        for b in 0..nb {
+            self.release_check_c(w, BarrierId::new(b));
+        }
+        self.sync_release_check_c(w);
+    }
+}
+
+// Detach, rejoin, and the state projection between the SoA plane and
+// scalar machines.
+impl<'m> Cohort<'m> {
+    /// Detaches every slot in `mask` into scalar machines built from
+    /// their SoA columns. Called *before* the divergent instruction
+    /// mutates any state, so each machine replays the in-progress round
+    /// from a consistent snapshot: warps earlier in warp order already
+    /// issued (their `busy_until` moved past this cycle), the issuing
+    /// warp's scheduler fields are restored to their pre-pick values
+    /// (`ctx`), and later warps are untouched — exactly the state a
+    /// scalar run would be in when its round reaches the issuing warp.
+    fn detach_slots(&mut self, mask: u64, ctx: IssueCtx) {
+        for s in lanes(mask) {
+            let m = self.materialize(s, ctx);
+            self.detached[s] = Some(m);
+            self.detached_mask |= 1u64 << s;
+            self.live &= !(1u64 << s);
+            self.stats.detaches += 1;
+        }
+    }
+
+    /// Projects slot `s`'s column of the SoA state into a standalone
+    /// scalar [`Machine`].
+    fn materialize(&self, s: usize, ctx: IssueCtx) -> Machine<'m> {
+        let ns = self.nslots;
+        let cache_lines = self.cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
+        let warps = self
+            .warps
+            .iter()
+            .enumerate()
+            .map(|(wi, cw)| {
+                let threads = cw
+                    .lanes_v
+                    .iter()
+                    .map(|cl| Thread {
+                        frames: cl
+                            .frames
+                            .iter()
+                            .map(|fm| Frame {
+                                pc: fm.pc,
+                                regs: (0..fm.len)
+                                    .map(|r| cl.vals[(fm.base + r) * ns + s])
+                                    .collect(),
+                                ret_regs: fm.ret_regs,
+                            })
+                            .collect(),
+                        status: cl.status,
+                        rng: cl.rng[s],
+                        local: (0..self.local_len).map(|c| cl.local[c * ns + s]).collect(),
+                        spare: Vec::new(),
+                    })
+                    .collect();
+                Warp {
+                    threads,
+                    pcs: cw.pcs.clone(),
+                    masks: cw.masks.clone(),
+                    lane_mask: cw.lane_mask,
+                    runnable: cw.runnable,
+                    waiting: cw.waiting,
+                    at_sync: cw.at_sync,
+                    exited: cw.exited,
+                    busy_until: if wi == ctx.w { ctx.pre_busy_until } else { cw.busy_until },
+                    rr_cursor: if wi == ctx.w { ctx.pre_rr_cursor } else { cw.rr_cursor },
+                    last_lanes: if wi == ctx.w { ctx.pre_last_lanes } else { cw.last_lanes },
+                    pick_hint: None,
+                    other_pcs: Vec::new(),
+                    cache_tags: (0..cache_lines).map(|ln| cw.cache_tags[ln * ns + s]).collect(),
+                    done: cw.done,
+                }
+            })
+            .collect();
+        Machine {
+            image: self.image,
+            cfg: self.cfg,
+            costs: self.costs.clone(),
+            warps,
+            global: (0..self.global_len).map(|a| self.global[a * ns + s]).collect(),
+            metrics: metrics_sum(&self.metrics, &self.bases[s]),
+            trace: None,
+            profile: None,
+            journal: None,
+            scratch: Scratch::default(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Whether a detached machine's control plane equals the cohort's.
+    ///
+    /// Compared: per warp — pcs, barrier masks, status masks, per-lane
+    /// statuses, frame structure (depth, per-frame register count,
+    /// return-register spans, and the saved pc of *suspended* frames;
+    /// the top frame's `Frame::pc` is stale by design on both sides and
+    /// never read), `busy_until`, `rr_cursor`, `last_lanes`, `done`.
+    /// Ignored: `pick_hint`/`other_pcs` (scheduling hints are provably
+    /// behavior-neutral) and cache tags (per-slot data in the cohort).
+    fn control_matches(&self, m: &Machine<'_>) -> bool {
+        self.warps.iter().zip(m.warps.iter()).all(|(cw, mw)| {
+            if cw.done != mw.done
+                || cw.busy_until != mw.busy_until
+                || cw.rr_cursor != mw.rr_cursor
+                || cw.last_lanes != mw.last_lanes
+                || cw.runnable != mw.runnable
+                || cw.waiting != mw.waiting
+                || cw.at_sync != mw.at_sync
+                || cw.exited != mw.exited
+                || cw.pcs != mw.pcs
+                || cw.masks != mw.masks
+            {
+                return false;
+            }
+            cw.lanes_v.iter().zip(mw.threads.iter()).all(|(cl, t)| {
+                if cl.status != t.status || cl.frames.len() != t.frames.len() {
+                    return false;
+                }
+                let top = cl.frames.len() - 1;
+                cl.frames.iter().zip(t.frames.iter()).enumerate().all(|(i, (fm, f))| {
+                    fm.len == f.regs.len()
+                        && fm.ret_regs == f.ret_regs
+                        && (i == top || fm.pc == f.pc)
+                })
+            })
+        })
+    }
+
+    /// Rejoins a detached machine whose control realigned: copies its
+    /// data plane back into slot `s`'s columns and records the metrics
+    /// delta it accumulated while away.
+    fn absorb(&mut self, s: usize, m: Machine<'_>) {
+        let ns = self.nslots;
+        self.bases[s] = metrics_delta(&m.metrics, &self.metrics);
+        for (a, v) in m.global.iter().enumerate() {
+            self.global[a * ns + s] = *v;
+        }
+        let cache_lines = self.cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
+        for (cw, mw) in self.warps.iter_mut().zip(m.warps.iter()) {
+            for ln in 0..cache_lines {
+                cw.cache_tags[ln * ns + s] = mw.cache_tags[ln];
+            }
+            for (cl, t) in cw.lanes_v.iter_mut().zip(mw.threads.iter()) {
+                cl.rng[s] = t.rng;
+                for (c, v) in t.local.iter().enumerate() {
+                    cl.local[c * ns + s] = *v;
+                }
+                for (fm, f) in cl.frames.iter().zip(t.frames.iter()) {
+                    for (r, v) in f.regs.iter().enumerate() {
+                        cl.vals[(fm.base + r) * ns + s] = *v;
+                    }
+                }
+            }
+        }
+        self.live |= 1u64 << s;
+        self.stats.rejoins += 1;
+    }
+}
+
+// The cohort execute path: one instruction over (lane mask × live
+// slots). Control effects (pc updates, status transitions, barrier
+// bookkeeping) happen once; value effects happen per (lane, slot).
+impl Cohort<'_> {
+    /// Executes one decoded instruction for the issued group across
+    /// every live slot; returns the (uniform) issue cost. Slots whose
+    /// data would make the issue non-uniform detach or resolve to their
+    /// own error inside the arm — callers re-check `self.live`.
+    fn exec_c(&mut self, pc: usize, mask: u64, ctx: IssueCtx) -> u32 {
+        let image = self.image;
+        let inst = &image.insts[pc];
+        let w = ctx.w;
+        let cost = self.costs[pc];
+        match *inst {
+            DecodedInst::Bin { op, dst, lhs, rhs } => {
+                // The op (and in lockstep practice the operand types)
+                // is invariant across the slot columns, so dispatch it
+                // once out here: every arm instantiates `alu_c` with a
+                // tiny monomorphic kernel the slot loop can inline,
+                // instead of re-running `eval_bin`'s full op match per
+                // (lane, slot) element. Each kernel reproduces the
+                // corresponding `eval_bin` arm bit-for-bit, delegating
+                // back to it on the mixed-type/fault paths.
+                use simt_ir::BinOp::*;
+                macro_rules! arith {
+                    ($int:expr, $flt:expr) => {
+                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| {
+                            Ok(match (a, b) {
+                                (Value::I64(x), Value::I64(y)) => Value::I64($int(x, y)),
+                                _ => Value::F64($flt(a.as_f64(), b.as_f64())),
+                            })
+                        })
+                    };
+                }
+                macro_rules! cmp {
+                    ($int:expr, $flt:expr) => {
+                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| {
+                            Ok(Value::bool(match (a, b) {
+                                (Value::I64(x), Value::I64(y)) => $int(&x, &y),
+                                _ => $flt(&a.as_f64(), &b.as_f64()),
+                            }))
+                        })
+                    };
+                }
+                macro_rules! ints {
+                    ($f:expr) => {
+                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| match (a, b) {
+                            (Value::I64(x), Value::I64(y)) => $f(x, y),
+                            _ => crate::alu::eval_bin(op, a, b),
+                        })
+                    };
+                }
+                match op {
+                    Add => arith!(i64::wrapping_add, |x: f64, y: f64| x + y),
+                    Sub => arith!(i64::wrapping_sub, |x: f64, y: f64| x - y),
+                    Mul => arith!(i64::wrapping_mul, |x: f64, y: f64| x * y),
+                    Min => arith!(i64::min, f64::min),
+                    Max => arith!(i64::max, f64::max),
+                    Div => ints!(|x: i64, y: i64| if y == 0 {
+                        Err("integer division by zero".to_string())
+                    } else {
+                        Ok(Value::I64(x.wrapping_div(y)))
+                    }),
+                    Rem => ints!(|x: i64, y: i64| if y == 0 {
+                        Err("integer remainder by zero".to_string())
+                    } else {
+                        Ok(Value::I64(x.wrapping_rem(y)))
+                    }),
+                    And => ints!(|x: i64, y: i64| Ok(Value::I64(x & y))),
+                    Or => ints!(|x: i64, y: i64| Ok(Value::I64(x | y))),
+                    Xor => ints!(|x: i64, y: i64| Ok(Value::I64(x ^ y))),
+                    Shl => ints!(|x: i64, y: i64| Ok(Value::I64(
+                        ((x as u64) << (y as u64 & 63)) as i64
+                    ))),
+                    Shr => ints!(|x: i64, y: i64| Ok(Value::I64(
+                        ((x as u64) >> (y as u64 & 63)) as i64
+                    ))),
+                    Eq => cmp!(i64::eq, f64::eq),
+                    Ne => cmp!(i64::ne, f64::ne),
+                    Lt => cmp!(i64::lt, f64::lt),
+                    Le => cmp!(i64::le, f64::le),
+                    Gt => cmp!(i64::gt, f64::gt),
+                    Ge => cmp!(i64::ge, f64::ge),
+                }
+            }
+            DecodedInst::Un { op, dst, src } => {
+                let pad = Operand::Imm(Value::default());
+                use simt_ir::UnOp::*;
+                macro_rules! un {
+                    ($f:expr) => {
+                        self.alu_c(pc, mask, w, dst, src, pad, $f)
+                    };
+                }
+                match op {
+                    Not => un!(|a, _| crate::alu::eval_un(op, a)),
+                    Neg => un!(|a, _| Ok(match a {
+                        Value::I64(v) => Value::I64(v.wrapping_neg()),
+                        Value::F64(v) => Value::F64(-v),
+                    })),
+                    Sqrt => un!(|a, _| Ok(Value::F64(a.as_f64().sqrt()))),
+                    Exp => un!(|a, _| Ok(Value::F64(a.as_f64().exp()))),
+                    Log => un!(|a, _| Ok(Value::F64(a.as_f64().ln()))),
+                    Abs => un!(|a, _| Ok(match a {
+                        Value::I64(v) => Value::I64(v.wrapping_abs()),
+                        Value::F64(v) => Value::F64(v.abs()),
+                    })),
+                    ItoF => un!(|a, _| Ok(Value::F64(a.as_f64()))),
+                    FtoI => un!(|a, _| Ok(Value::I64(a.as_i64()))),
+                }
+            }
+            DecodedInst::Mov { dst, src } => {
+                let pad = Operand::Imm(Value::default());
+                self.alu_c(pc, mask, w, dst, src, pad, |a, _| Ok(a));
+            }
+            DecodedInst::Sel { dst, cond, if_true, if_false } => {
+                self.data_c(w, mask, |cl, ns, base, s, _l| {
+                    let pick =
+                        if cl.eval(ns, base, cond, s).is_truthy() { if_true } else { if_false };
+                    let v = cl.eval(ns, base, pick, s);
+                    cl.set(ns, base, dst.index(), s, v);
+                });
+            }
+            DecodedInst::Load { dst, space, addr } => match space {
+                MemSpace::Global => {
+                    return self.access_global_c(pc, mask, ctx, addr, None, Some(dst), cost);
+                }
+                MemSpace::Local => self.access_local_c(pc, mask, w, addr, None, Some(dst)),
+            },
+            DecodedInst::Store { space, addr, value } => match space {
+                MemSpace::Global => {
+                    return self.access_global_c(pc, mask, ctx, addr, Some(value), None, cost);
+                }
+                MemSpace::Local => self.access_local_c(pc, mask, w, addr, Some(value), None),
+            },
+            DecodedInst::AtomicAdd { dst, addr, value } => {
+                self.atomic_add_c(pc, mask, w, dst, addr, value);
+            }
+            DecodedInst::Special { dst, kind } => {
+                let width = self.cfg.warp_width;
+                let n_threads = (self.warps.len() * width) as i64;
+                self.data_c(w, mask, |cl, ns, base, s, l| {
+                    let v = match kind {
+                        SpecialValue::Tid => Value::I64((w * width + l) as i64),
+                        SpecialValue::LaneId => Value::I64(l as i64),
+                        SpecialValue::WarpId => Value::I64(w as i64),
+                        SpecialValue::NumThreads => Value::I64(n_threads),
+                        SpecialValue::WarpWidth => Value::I64(width as i64),
+                    };
+                    cl.set(ns, base, dst.index(), s, v);
+                });
+            }
+            DecodedInst::Rng { dst, kind } => {
+                let ns = self.nslots;
+                let live = self.live;
+                let dense = live.count_ones() as usize == ns;
+                let cw = &mut self.warps[w];
+                for l in lanes(mask) {
+                    let cl = &mut cw.lanes_v[l];
+                    let drow = (cl.cur_base() + dst.index()) * ns;
+                    if dense {
+                        for s in 0..ns {
+                            let v = match kind {
+                                RngKind::U63 => Value::I64(cl.rng[s].next_u63()),
+                                RngKind::Unit => Value::F64(cl.rng[s].next_unit()),
+                            };
+                            cl.vals[drow + s] = v;
+                        }
+                    } else {
+                        for s in lanes(live) {
+                            let v = match kind {
+                                RngKind::U63 => Value::I64(cl.rng[s].next_u63()),
+                                RngKind::Unit => Value::F64(cl.rng[s].next_unit()),
+                            };
+                            cl.vals[drow + s] = v;
+                        }
+                    }
+                    cw.pcs[l] += 1;
+                }
+            }
+            DecodedInst::SyncThreads => {
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.lanes_v[l].status = Status::WaitingSync;
+                }
+                warp.runnable &= !mask;
+                warp.at_sync |= mask;
+                self.sync_release_check_c(w);
+            }
+            DecodedInst::Vote { dst, pred } => {
+                // Warp-synchronous count — per slot, over the same
+                // issued mask.
+                let ns = self.nslots;
+                let live = self.live;
+                let mut counts = [0i64; COHORT_SLOTS];
+                {
+                    let cw = &self.warps[w];
+                    for l in lanes(mask) {
+                        let cl = &cw.lanes_v[l];
+                        let row = cl.row(ns, cl.cur_base(), pred);
+                        for s in lanes(live) {
+                            if cl.get(row, s).is_truthy() {
+                                counts[s] += 1;
+                            }
+                        }
+                    }
+                }
+                self.data_c(w, mask, |cl, ns, base, s, _l| {
+                    cl.set(ns, base, dst.index(), s, Value::I64(counts[s]));
+                });
+            }
+            DecodedInst::SeedRng { src } => {
+                let launch_mix = 0x5EED_u64; // stream domain separator
+                self.data_c(w, mask, |cl, ns, base, s, _l| {
+                    let v = cl.eval(ns, base, src, s).as_i64() as u64;
+                    cl.rng[s] = SplitMix64::for_thread(v ^ launch_mix, v);
+                });
+            }
+            DecodedInst::Call { entry_pc, num_regs, args, rets } => {
+                let arg_ops = image.operands(args);
+                let ns = self.nslots;
+                let live = self.live;
+                let Cohort { warps, stage, .. } = self;
+                let cw = &mut warps[w];
+                for l in lanes(mask) {
+                    let cl = &mut cw.lanes_v[l];
+                    let base = cl.cur_base();
+                    // Arguments evaluate in the caller frame, staged
+                    // before the callee frame extends the arena.
+                    stage.clear();
+                    for a in arg_ops {
+                        for s in 0..ns {
+                            stage.push(if (live >> s) & 1 == 1 {
+                                cl.eval(ns, base, *a, s)
+                            } else {
+                                Value::default()
+                            });
+                        }
+                    }
+                    // Suspend the caller: save its resume point.
+                    cl.frames.last_mut().expect("lane has no frame").pc = cw.pcs[l] + 1;
+                    cl.push_frame(ns, entry_pc as usize, rets, num_regs as usize);
+                    let nb = cl.cur_base();
+                    for i in 0..arg_ops.len() {
+                        for s in lanes(live) {
+                            cl.set(ns, nb, i, s, stage[i * ns + s]);
+                        }
+                    }
+                    cw.pcs[l] = entry_pc as usize;
+                }
+            }
+            DecodedInst::UnresolvedCall { name } => {
+                let at = self.location_at(w, mask.trailing_zeros() as usize, pc);
+                let e = SimError::UnresolvedCall {
+                    at,
+                    callee: image.callee_names[name as usize].clone(),
+                };
+                self.resolve_all_live(&e);
+            }
+            DecodedInst::Barrier(op) => {
+                self.exec_barrier_c(w, mask, op);
+                self.metrics.barrier_ops += u64::from(mask.count_ones());
+            }
+            DecodedInst::Skip => {
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.pcs[l] += 1;
+                }
+            }
+            DecodedInst::Jump { target } => {
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.pcs[l] = target as usize;
+                }
+            }
+            DecodedInst::Branch { cond, then_pc, else_pc } => {
+                // Per-slot taken masks; slots disagreeing with the
+                // largest class detach *before* the branch applies.
+                let ns = self.nslots;
+                let live = self.live;
+                let dense = live.count_ones() as usize == ns;
+                let mut takens = [0u64; COHORT_SLOTS];
+                {
+                    let cw = &self.warps[w];
+                    for l in lanes(mask) {
+                        let cl = &cw.lanes_v[l];
+                        let row = cl.row(ns, cl.cur_base(), cond);
+                        let bit = 1u64 << l;
+                        if dense {
+                            for (s, taken) in takens.iter_mut().enumerate().take(ns) {
+                                if cl.get(row, s).is_truthy() {
+                                    *taken |= bit;
+                                }
+                            }
+                        } else {
+                            for s in lanes(live) {
+                                if cl.get(row, s).is_truthy() {
+                                    takens[s] |= bit;
+                                }
+                            }
+                        }
+                    }
+                }
+                let detach = partition_detach(live, |s| takens[s]);
+                if detach != 0 {
+                    self.detach_slots(detach, ctx);
+                }
+                let rep = self.live.trailing_zeros() as usize;
+                let taken = takens[rep];
+                let cw = &mut self.warps[w];
+                for l in lanes(mask) {
+                    cw.pcs[l] =
+                        if taken & (1 << l) != 0 { then_pc as usize } else { else_pc as usize };
+                }
+            }
+            DecodedInst::Return { values } => {
+                let value_ops = image.operands(values);
+                let ns = self.nslots;
+                let live = self.live;
+                let mut exited = 0u64;
+                {
+                    let Cohort { warps, stage, .. } = self;
+                    let cw = &mut warps[w];
+                    for l in lanes(mask) {
+                        let cl = &mut cw.lanes_v[l];
+                        let base = cl.cur_base();
+                        stage.clear();
+                        for v in value_ops {
+                            for s in 0..ns {
+                                stage.push(if (live >> s) & 1 == 1 {
+                                    cl.eval(ns, base, *v, s)
+                                } else {
+                                    Value::default()
+                                });
+                            }
+                        }
+                        let fm = cl.pop_frame();
+                        if cl.frames.is_empty() {
+                            // Returning from the kernel frame behaves as
+                            // exit, like the scalar engine.
+                            cl.status = Status::Exited;
+                            cl.top = fm.base + fm.len;
+                            cl.frames.push(fm);
+                            exited |= 1 << l;
+                            continue;
+                        }
+                        let ret_regs = image.regs(fm.ret_regs);
+                        let cbase = cl.cur_base();
+                        for (i, r) in ret_regs.iter().enumerate() {
+                            if i >= value_ops.len() {
+                                break;
+                            }
+                            for s in lanes(live) {
+                                cl.set(ns, cbase, r.index(), s, stage[i * ns + s]);
+                            }
+                        }
+                        cw.pcs[l] = cl.frames.last().expect("caller frame").pc;
+                    }
+                }
+                if exited != 0 {
+                    self.on_exit_mask_c(w, exited);
+                }
+            }
+            DecodedInst::Exit => {
+                let warp = &mut self.warps[w];
+                for l in lanes(mask) {
+                    warp.lanes_v[l].status = Status::Exited;
+                }
+                self.on_exit_mask_c(w, mask);
+            }
+        }
+        cost
+    }
+
+    /// Shared loop shape for the fallible per-(lane, slot) ALU arms: a
+    /// failing slot resolves to its own `Arithmetic` error at the first
+    /// faulting lane in lane order, exactly like its scalar run. Operand
+    /// and destination rows are resolved once per lane, and a full live
+    /// mask takes a dense counted loop over the slot columns.
+    #[allow(clippy::too_many_arguments)]
+    fn alu_c(
+        &mut self,
+        pc: usize,
+        mask: u64,
+        w: usize,
+        dst: simt_ir::Reg,
+        lhs: Operand,
+        rhs: Operand,
+        f: impl Fn(Value, Value) -> Result<Value, String>,
+    ) {
+        let ns = self.nslots;
+        let live = self.live;
+        let dense = live.count_ones() as usize == ns;
+        let mut faults: Vec<(usize, usize, String)> = Vec::new();
+        let mut faulted = 0u64;
+        {
+            let cw = &mut self.warps[w];
+            for l in lanes(mask) {
+                let cl = &mut cw.lanes_v[l];
+                let base = cl.cur_base();
+                let lr = cl.row(ns, base, lhs);
+                let rr = cl.row(ns, base, rhs);
+                let drow = (base + dst.index()) * ns;
+                if dense && faulted == 0 {
+                    for s in 0..ns {
+                        match f(cl.get(lr, s), cl.get(rr, s)) {
+                            Ok(v) => cl.vals[drow + s] = v,
+                            Err(m) => {
+                                faulted |= 1 << s;
+                                faults.push((s, l, m));
+                            }
+                        }
+                    }
+                } else {
+                    for s in lanes(live & !faulted) {
+                        match f(cl.get(lr, s), cl.get(rr, s)) {
+                            Ok(v) => cl.vals[drow + s] = v,
+                            Err(m) => {
+                                faulted |= 1 << s;
+                                faults.push((s, l, m));
+                            }
+                        }
+                    }
+                }
+                cw.pcs[l] += 1;
+            }
+        }
+        for (s, l, message) in faults {
+            let at = self.location_at(w, l, pc);
+            self.resolve_err(s, SimError::Arithmetic { at, message });
+        }
+    }
+
+    /// Shared loop shape for the infallible per-(lane, slot) data arms.
+    fn data_c(
+        &mut self,
+        w: usize,
+        mask: u64,
+        mut f: impl FnMut(&mut CLane, usize, usize, usize, usize),
+    ) {
+        let ns = self.nslots;
+        let live = self.live;
+        let dense = live.count_ones() as usize == ns;
+        let cw = &mut self.warps[w];
+        for l in lanes(mask) {
+            let cl = &mut cw.lanes_v[l];
+            let base = cl.cur_base();
+            if dense {
+                for s in 0..ns {
+                    f(cl, ns, base, s, l);
+                }
+            } else {
+                for s in lanes(live) {
+                    f(cl, ns, base, s, l);
+                }
+            }
+            cw.pcs[l] += 1;
+        }
+    }
+
+    /// Resolves a per-slot access fault into the owning seed's error.
+    fn fault_to_err(&self, w: usize, pc: usize, f: SlotFault) -> SimError {
+        match f {
+            SlotFault::Oob { lane, addr, size, space } => {
+                SimError::MemoryFault { at: self.location_at(w, lane, pc), addr, size, space }
+            }
+            SlotFault::Arith { lane, message } => {
+                SimError::Arithmetic { at: self.location_at(w, lane, pc), message }
+            }
+        }
+    }
+
+    /// Global load/store: the issue cost is data-dependent (coalescing
+    /// segments, cache hits), so it runs in three phases.
+    ///
+    /// 1. Per slot, compute the lane addresses, the first fault (if
+    ///    any), and the `(cost, hits, misses)` triple — with **no**
+    ///    mutation, so a diverging slot's pre-access state is intact.
+    /// 2. Resolve faulted slots to their own errors; partition the rest
+    ///    by triple and detach the minority classes.
+    /// 3. Apply the access to the surviving slots (value movement,
+    ///    per-slot cache-tag updates, write-through invalidation) and
+    ///    return the now-uniform cost.
+    #[allow(clippy::too_many_arguments)]
+    fn access_global_c(
+        &mut self,
+        pc: usize,
+        mask: u64,
+        ctx: IssueCtx,
+        addr: Operand,
+        value: Option<Operand>,
+        dst: Option<simt_ir::Reg>,
+        base_cost: u32,
+    ) -> u32 {
+        let ns = self.nslots;
+        let w = ctx.w;
+        let k = mask.count_ones() as usize;
+        let mut faults: Vec<(usize, SlotFault)> = Vec::new();
+        let mut triples = [(0u32, 0u64, 0u64); COHORT_SLOTS];
+        let mut spans = [(0u32, 0u32); COHORT_SLOTS];
+        {
+            let glen = self.global_len;
+            let live = self.live;
+            let dense = live.count_ones() as usize == ns;
+            let Cohort { warps, addr_buf, lines_buf, lines_all, cfg, .. } = self;
+            let cw = &warps[w];
+            addr_buf.clear();
+            addr_buf.resize(ns * k, 0);
+            // Lane-major address staging: the operand row resolves once
+            // per lane, out-of-range slots are flagged and attributed to
+            // their first faulting lane below. Slot-uniform addresses
+            // (seed-independent access streams — the common case) are
+            // detected on the fly to share the line dedup below.
+            let mut oob = 0u64;
+            let mut uniform = true;
+            let rep = if live == 0 { 0 } else { live.trailing_zeros() as usize };
+            for (idx, l) in lanes(mask).enumerate() {
+                let cl = &cw.lanes_v[l];
+                let row = cl.row(ns, cl.cur_base(), addr);
+                let a0 = cl.get(row, rep).as_i64();
+                if dense {
+                    for s in 0..ns {
+                        let a = cl.get(row, s).as_i64();
+                        addr_buf[s * k + idx] = a;
+                        uniform &= a == a0;
+                        if a < 0 || a as usize >= glen {
+                            oob |= 1 << s;
+                        }
+                    }
+                } else {
+                    for s in lanes(live) {
+                        let a = cl.get(row, s).as_i64();
+                        addr_buf[s * k + idx] = a;
+                        uniform &= a == a0;
+                        if a < 0 || a as usize >= glen {
+                            oob |= 1 << s;
+                        }
+                    }
+                }
+            }
+            for s in lanes(oob) {
+                let (idx, l) = lanes(mask)
+                    .enumerate()
+                    .find(|&(idx, _)| {
+                        let a = addr_buf[s * k + idx];
+                        a < 0 || a as usize >= glen
+                    })
+                    .expect("faulted slot has a faulting lane");
+                let a = addr_buf[s * k + idx];
+                faults.push((
+                    s,
+                    SlotFault::Oob { lane: l, addr: a, size: glen, space: MemSpace::Global },
+                ));
+            }
+            lines_all.clear();
+            if uniform && oob == 0 && live != 0 {
+                // Every slot touches the same cells: dedup the line set
+                // once and share the span; only the per-slot tag lookups
+                // (histories may differ after rejoins) stay per slot.
+                let addrs = &addr_buf[rep * k..(rep + 1) * k];
+                match &cfg.cache {
+                    None => {
+                        let segs = cfg.latency.segments_in(addrs, lines_buf);
+                        let t =
+                            (base_cost + cfg.latency.mem_segment * segs.saturating_sub(1), 0, 0);
+                        for s in lanes(live) {
+                            triples[s] = t;
+                        }
+                    }
+                    Some(cache) => {
+                        let cells = cache.cells_per_line.max(1) as i64;
+                        let start = push_line_span(lines_all, addrs, cells);
+                        let span = (start as u32, (lines_all.len() - start) as u32);
+                        for s in lanes(live) {
+                            triples[s] =
+                                Self::overlay_triple(cfg, cache, cw, ns, s, &lines_all[start..]);
+                            spans[s] = span;
+                        }
+                    }
+                }
+            } else {
+                for s in lanes(live & !oob) {
+                    let addrs = &addr_buf[s * k..(s + 1) * k];
+                    let start = lines_all.len();
+                    triples[s] =
+                        Self::cost_triple(cfg, cw, ns, s, addrs, lines_buf, lines_all, base_cost);
+                    spans[s] = (start as u32, (lines_all.len() - start) as u32);
+                }
+            }
+        }
+        for (s, f) in faults {
+            let e = self.fault_to_err(w, pc, f);
+            self.resolve_err(s, e);
+        }
+        if self.live == 0 {
+            return base_cost;
+        }
+        let detach = partition_detach(self.live, |s| triples[s]);
+        if detach != 0 {
+            self.detach_slots(detach, ctx);
+        }
+        let winners = self.live;
+        let (cost, hits, misses) = triples[winners.trailing_zeros() as usize];
+        {
+            let cfg = self.cfg;
+            let Cohort { warps, addr_buf, lines_all, global, .. } = self;
+            let cw = &mut warps[w];
+            let dense = winners.count_ones() as usize == ns;
+            for (idx, l) in lanes(mask).enumerate() {
+                let cl = &mut cw.lanes_v[l];
+                let base = cl.cur_base();
+                if let Some(v) = value {
+                    let row = cl.row(ns, base, v);
+                    if dense {
+                        for s in 0..ns {
+                            let a = addr_buf[s * k + idx] as usize;
+                            global[a * ns + s] = cl.get(row, s);
+                        }
+                    } else {
+                        for s in lanes(winners) {
+                            let a = addr_buf[s * k + idx] as usize;
+                            global[a * ns + s] = cl.get(row, s);
+                        }
+                    }
+                } else if let Some(dst) = dst {
+                    let drow = (base + dst.index()) * ns;
+                    if dense {
+                        for s in 0..ns {
+                            let a = addr_buf[s * k + idx] as usize;
+                            cl.vals[drow + s] = global[a * ns + s];
+                        }
+                    } else {
+                        for s in lanes(winners) {
+                            let a = addr_buf[s * k + idx] as usize;
+                            cl.vals[drow + s] = global[a * ns + s];
+                        }
+                    }
+                }
+                cw.pcs[l] += 1;
+            }
+            // Per-slot tag updates over the deduped lines staged in the
+            // cost phase: setting each line's tag in order reproduces
+            // the scalar fill exactly (hits are no-op writes; colliding
+            // lines leave the last one resident).
+            if let Some(cache) = &cfg.cache {
+                let nl = cache.lines as i64;
+                for s in lanes(winners) {
+                    let (start, len) = spans[s];
+                    for &line in &lines_all[start as usize..(start + len) as usize] {
+                        let slot = line.rem_euclid(nl) as usize;
+                        cw.cache_tags[slot * ns + s] = Some(line);
+                    }
+                }
+            }
+        }
+        if value.is_some() {
+            self.invalidate_spans(winners, &spans);
+        }
+        self.metrics.cache_hits += hits;
+        self.metrics.cache_misses += misses;
+        cost
+    }
+
+    /// One slot's `(cost, cache hits, cache misses)` for a global
+    /// access, computed without touching the tag array. An overlay of
+    /// would-be tag writes models intra-access evictions (an earlier
+    /// missing line can evict the line a later one would have hit).
+    ///
+    /// With a cache configured, the slot's deduped line set is appended
+    /// to `lines_out` so the apply phase can replay tag updates and
+    /// write-through invalidation without recomputing it.
+    #[allow(clippy::too_many_arguments)]
+    fn cost_triple(
+        cfg: &SimConfig,
+        cw: &CWarp,
+        ns: usize,
+        s: usize,
+        addrs: &[i64],
+        seg_scratch: &mut Vec<i64>,
+        lines_out: &mut Vec<i64>,
+        base_cost: u32,
+    ) -> (u32, u64, u64) {
+        let lat = &cfg.latency;
+        let Some(cache) = &cfg.cache else {
+            let segs = lat.segments_in(addrs, seg_scratch);
+            return (base_cost + lat.mem_segment * segs.saturating_sub(1), 0, 0);
+        };
+        let cells = cache.cells_per_line.max(1) as i64;
+        let start = push_line_span(lines_out, addrs, cells);
+        Self::overlay_triple(cfg, cache, cw, ns, s, &lines_out[start..])
+    }
+
+    /// The overlay walk of [`Self::cost_triple`] over an already-deduped
+    /// line set: one slot's `(cost, hits, misses)` against its tag
+    /// column, without mutating the tags.
+    fn overlay_triple(
+        cfg: &SimConfig,
+        cache: &crate::config::CacheConfig,
+        cw: &CWarp,
+        ns: usize,
+        s: usize,
+        lines: &[i64],
+    ) -> (u32, u64, u64) {
+        let lat = &cfg.latency;
+        let mut overlay = [(0usize, 0i64); COHORT_SLOTS];
+        let mut overlay_n = 0usize;
+        let mut hits = 0u64;
+        let mut misses = 0u32;
+        for &line in lines {
+            let slot = line.rem_euclid(cache.lines as i64) as usize;
+            let tag = overlay[..overlay_n]
+                .iter()
+                .rev()
+                .find(|&&(sl, _)| sl == slot)
+                .map(|&(_, ln)| Some(ln))
+                .unwrap_or(cw.cache_tags[slot * ns + s]);
+            if tag == Some(line) {
+                hits += 1;
+            } else {
+                overlay[overlay_n] = (slot, line);
+                overlay_n += 1;
+                misses += 1;
+            }
+        }
+        let cost = if misses == 0 {
+            cache.hit_cost.max(1)
+        } else {
+            lat.mem_base + lat.mem_segment * (misses - 1)
+        };
+        (cost, hits, u64::from(misses))
+    }
+
+    /// Write-through invalidation over the deduped line spans staged by
+    /// the cost phase: drops each slot's touched lines from that slot's
+    /// tag column in **every** warp.
+    fn invalidate_spans(&mut self, slots: u64, spans: &[(u32, u32); COHORT_SLOTS]) {
+        let Some(cache) = &self.cfg.cache else { return };
+        let nl = cache.lines as i64;
+        let ns = self.nslots;
+        let Cohort { warps, lines_all, .. } = self;
+        for s in lanes(slots) {
+            let (start, len) = spans[s];
+            for &line in &lines_all[start as usize..(start + len) as usize] {
+                let slot = line.rem_euclid(nl) as usize;
+                for warp in warps.iter_mut() {
+                    if warp.cache_tags[slot * ns + s] == Some(line) {
+                        warp.cache_tags[slot * ns + s] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write-through invalidation: drops the lines covering each slot's
+    /// staged addresses (`addr_buf`, `k` per slot) from that slot's tag
+    /// column in **every** warp (the atomics path, which has no staged
+    /// line spans).
+    fn invalidate_lines_c(&mut self, slots: u64, k: usize) {
+        let Some(cache) = &self.cfg.cache else { return };
+        let cells = cache.cells_per_line.max(1) as i64;
+        let nl = cache.lines as i64;
+        let ns = self.nslots;
+        let Cohort { warps, addr_buf, .. } = self;
+        for s in lanes(slots) {
+            for idx in 0..k {
+                let line = addr_buf[s * k + idx].div_euclid(cells);
+                let slot = line.rem_euclid(nl) as usize;
+                for warp in warps.iter_mut() {
+                    if warp.cache_tags[slot * ns + s] == Some(line) {
+                        warp.cache_tags[slot * ns + s] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Local load/store: flat cost, so only per-slot OOB faults can
+    /// split the cohort (and they resolve, not detach).
+    fn access_local_c(
+        &mut self,
+        pc: usize,
+        mask: u64,
+        w: usize,
+        addr: Operand,
+        value: Option<Operand>,
+        dst: Option<simt_ir::Reg>,
+    ) {
+        let ns = self.nslots;
+        let llen = self.local_len;
+        let live = self.live;
+        let mut faults: Vec<(usize, SlotFault)> = Vec::new();
+        let mut faulted = 0u64;
+        {
+            let cw = &mut self.warps[w];
+            for l in lanes(mask) {
+                let cl = &mut cw.lanes_v[l];
+                let base = cl.cur_base();
+                let arow = cl.row(ns, base, addr);
+                let vrow = value.map(|v| cl.row(ns, base, v));
+                let drow = dst.map(|d| (base + d.index()) * ns);
+                for s in lanes(live & !faulted) {
+                    let a = cl.get(arow, s).as_i64();
+                    if a < 0 || a as usize >= llen {
+                        faulted |= 1 << s;
+                        faults.push((
+                            s,
+                            SlotFault::Oob { lane: l, addr: a, size: llen, space: MemSpace::Local },
+                        ));
+                        continue;
+                    }
+                    let cell = (a as usize) * ns + s;
+                    if let Some(vr) = vrow {
+                        cl.local[cell] = cl.get(vr, s);
+                    } else if let Some(dr) = drow {
+                        cl.vals[dr + s] = cl.local[cell];
+                    }
+                }
+                cw.pcs[l] += 1;
+            }
+        }
+        for (s, f) in faults {
+            let e = self.fault_to_err(w, pc, f);
+            self.resolve_err(s, e);
+        }
+    }
+
+    /// Atomic add: static cost (no coalescing model), lanes serialized
+    /// in lane order against each slot's own global column, touched
+    /// lines invalidated per slot.
+    fn atomic_add_c(
+        &mut self,
+        pc: usize,
+        mask: u64,
+        w: usize,
+        dst: simt_ir::Reg,
+        addr: Operand,
+        value: Operand,
+    ) {
+        let ns = self.nslots;
+        let k = mask.count_ones() as usize;
+        let mut faults: Vec<(usize, SlotFault)> = Vec::new();
+        let mut faulted = 0u64;
+        {
+            let glen = self.global_len;
+            let live = self.live;
+            let Cohort { warps, global, addr_buf, .. } = self;
+            let cw = &mut warps[w];
+            addr_buf.clear();
+            addr_buf.resize(ns * k, 0);
+            for s in lanes(live) {
+                for (idx, l) in lanes(mask).enumerate() {
+                    let cl = &mut cw.lanes_v[l];
+                    let base = cl.cur_base();
+                    let a = cl.eval(ns, base, addr, s).as_i64();
+                    let v = cl.eval(ns, base, value, s);
+                    if a < 0 || a as usize >= glen {
+                        faulted |= 1 << s;
+                        faults.push((
+                            s,
+                            SlotFault::Oob {
+                                lane: l,
+                                addr: a,
+                                size: glen,
+                                space: MemSpace::Global,
+                            },
+                        ));
+                        break;
+                    }
+                    let old = global[(a as usize) * ns + s];
+                    match crate::alu::eval_bin(BinOp::Add, old, v) {
+                        Ok(new) => global[(a as usize) * ns + s] = new,
+                        Err(m) => {
+                            faulted |= 1 << s;
+                            faults.push((s, SlotFault::Arith { lane: l, message: m }));
+                            break;
+                        }
+                    }
+                    cl.set(ns, base, dst.index(), s, old);
+                    addr_buf[s * k + idx] = a;
+                }
+            }
+            for l in lanes(mask) {
+                cw.pcs[l] += 1;
+            }
+        }
+        // Faulted slots' runs discard all state, so only the survivors'
+        // write-through invalidation is observable.
+        self.invalidate_lines_c(self.live & !faulted, k);
+        for (s, f) in faults {
+            let e = self.fault_to_err(w, pc, f);
+            self.resolve_err(s, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use simt_ir::parse_and_link;
+
+    /// Slot-uniform control: every seed takes the same path (branches key
+    /// off `tid`, not RNG), so the whole sweep stays in lockstep — but the
+    /// kernel is busy: divergent lanes, a loop, barriers, a call, an
+    /// atomic, RNG data, and global traffic.
+    const LOCKSTEP_KERNEL: &str = "\
+kernel @k(params=1, regs=8, barriers=1, entry=bb0) {
+bb0:
+  %r1 = special.tid
+  %r2 = rem %r1, 4
+  join b0
+  brdiv %r2, bb1, bb2
+bb1:
+  %r3 = rng.u63
+  %r4 = mul %r1, 3
+  %r5 = load global[%r4]
+  %r3 = rem %r3, 100
+  %r5 = add %r5, %r3
+  call @f(%r5, %r2) -> (%r5)
+  store global[%r4], %r5
+  jmp bb3
+bb2:
+  %r5 = atomic_add [0], 1
+  %r6 = vote %r2
+  jmp bb3
+bb3:
+  wait b0
+  %r0 = sub %r0, 1
+  brdiv %r0, bb0, bb4
+bb4:
+  syncthreads
+  exit
+}
+device @f(params=2, regs=4, barriers=0, entry=bb0) {
+bb0:
+  %r2 = add %r0, %r1
+  %r3 = mul %r2, 2
+  ret %r3
+}
+";
+
+    /// Seed-dependent *uniform* branch: the vote count is identical for
+    /// every lane of a warp but differs across seeds, so whole instances
+    /// disagree on the branch and the minority detaches. Both arms cost
+    /// the same, so detached instances realign at bb3 and rejoin.
+    const VOTE_DIVERGE_KERNEL: &str = "\
+kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = rng.u63
+  %r1 = rem %r0, 2
+  %r2 = vote %r1
+  %r3 = rem %r2, 2
+  brdiv %r3, bb1, bb2
+bb1:
+  %r4 = add %r2, 10
+  jmp bb3
+bb2:
+  %r4 = add %r2, 3
+  jmp bb3
+bb3:
+  %r5 = special.tid
+  store global[%r5], %r4
+  exit
+}
+";
+
+    /// Seed-dependent *lane-level* branch: per-lane RNG decides each
+    /// lane's direction, so the taken masks differ across seeds. The two
+    /// arms are cost-symmetric and reconverge through a barrier wait, so
+    /// detached instances realign after reconvergence.
+    const LANE_DIVERGE_KERNEL: &str = "\
+kernel @k(params=0, regs=8, barriers=1, entry=bb0) {
+bb0:
+  %r0 = rng.u63
+  %r1 = rem %r0, 2
+  join b0
+  brdiv %r1, bb1, bb2
+bb1:
+  %r4 = add %r1, 10
+  jmp bb3
+bb2:
+  %r4 = add %r1, 3
+  jmp bb3
+bb3:
+  wait b0
+  %r5 = special.tid
+  store global[%r5], %r4
+  exit
+}
+";
+
+    /// Seed-dependent addresses: lanes load `global[rng % 33]` against a
+    /// 32-cell memory, so some instances fault (address 32) and the rest
+    /// detach on coalescing-cost divergence.
+    const FAULTY_KERNEL: &str = "\
+kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = rng.u63
+  %r1 = rem %r0, 33
+  %r2 = load global[%r1]
+  %r3 = special.tid
+  store global[%r3], %r2
+  exit
+}
+";
+
+    fn launch(kernel: &str, num_warps: usize, cells: usize, args: Vec<Value>) -> Launch {
+        Launch {
+            kernel: kernel.into(),
+            num_warps,
+            args,
+            global_mem: vec![Value::I64(7); cells],
+            local_mem_size: 0,
+            seed: 0, // ignored by sweeps
+        }
+    }
+
+    /// Runs the sweep and asserts every [`SeedRun`] is bit-identical to
+    /// an independent scalar run of that seed. Returns the stats so
+    /// callers can assert on the lockstep/detach/rejoin counters.
+    fn assert_matches_scalar(src: &str, cfg: &SimConfig, sweep: &SweepLaunch) -> SweepStats {
+        let module = parse_and_link(src).expect("kernel parses");
+        let image = DecodedImage::decode(&module);
+        let out = run_sweep_image(&image, cfg, sweep, None).expect("sweep runs");
+        assert_eq!(out.runs.len(), sweep.instances() as usize);
+        assert_eq!(out.stats.instances, sweep.instances() as usize);
+        for (i, run) in out.runs.iter().enumerate() {
+            let seed = sweep.seed_lo + i as u64;
+            assert_eq!(run.seed, seed, "runs are in seed order");
+            let mut launch = sweep.base.clone();
+            launch.seed = seed;
+            let scalar = crate::exec::run_image(&image, cfg, &launch);
+            match (&run.result, &scalar) {
+                (Ok(s), Ok(r)) => {
+                    assert_eq!(s.metrics, r.metrics, "metrics differ for seed {seed}");
+                    assert_eq!(s.global_mem, r.global_mem, "global memory differs for seed {seed}");
+                    assert!(s.trace.is_none() && s.profile.is_none() && s.journal.is_none());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "errors differ for seed {seed}"),
+                (a, b) => panic!("seed {seed}: sweep returned {a:?}, scalar returned {b:?}"),
+            }
+        }
+        out.stats
+    }
+
+    fn all_policies() -> [SchedulerPolicy; 5] {
+        [
+            SchedulerPolicy::Greedy,
+            SchedulerPolicy::MinPc,
+            SchedulerPolicy::MaxPc,
+            SchedulerPolicy::MostThreads,
+            SchedulerPolicy::RoundRobin,
+        ]
+    }
+
+    #[test]
+    fn empty_range_yields_empty_output() {
+        let module = parse_and_link(VOTE_DIVERGE_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 9, 9);
+        let out = run_sweep_image(&image, &SimConfig::default(), &sweep, None).unwrap();
+        assert!(out.runs.is_empty());
+        assert_eq!(out.stats, SweepStats::default());
+    }
+
+    #[test]
+    fn single_seed_delegates_and_allows_observability() {
+        let module = parse_and_link(VOTE_DIVERGE_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let cfg = SimConfig { trace: true, ..SimConfig::default() };
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 5, 6);
+        let out = run_sweep_image(&image, &cfg, &sweep, None).unwrap();
+        assert_eq!(out.runs.len(), 1);
+        assert_eq!(out.runs[0].seed, 5);
+        let run = out.runs[0].result.as_ref().expect("run succeeds");
+        assert!(run.trace.is_some(), "single-instance sweeps keep full observability");
+    }
+
+    #[test]
+    fn rejects_ranges_wider_than_the_cohort() {
+        let module = parse_and_link(VOTE_DIVERGE_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 0, 65);
+        let err = run_sweep_image(&image, &SimConfig::default(), &sweep, None).unwrap_err();
+        assert!(matches!(err, SimError::SweepUnsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_observability_for_multi_instance_sweeps() {
+        let module = parse_and_link(VOTE_DIVERGE_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 0, 2);
+        for cfg in [
+            SimConfig { trace: true, ..SimConfig::default() },
+            SimConfig { profile: true, ..SimConfig::default() },
+            SimConfig {
+                journal: Some(crate::journal::JournalConfig::default()),
+                ..SimConfig::default()
+            },
+        ] {
+            let err = run_sweep_image(&image, &cfg, &sweep, None).unwrap_err();
+            assert!(matches!(err, SimError::SweepUnsupported { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_fails_the_whole_sweep() {
+        let module = parse_and_link(VOTE_DIVERGE_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let sweep = SweepLaunch::new(launch("nope", 1, 32, vec![]), 0, 4);
+        let err = run_sweep_image(&image, &SimConfig::default(), &sweep, None).unwrap_err();
+        assert_eq!(err, SimError::NoSuchKernel("nope".into()));
+    }
+
+    #[test]
+    fn lockstep_sweep_is_bit_identical_across_policies() {
+        for policy in all_policies() {
+            let cfg = SimConfig {
+                scheduler: policy,
+                cache: Some(CacheConfig::default()),
+                ..SimConfig::default()
+            };
+            let sweep = SweepLaunch::new(launch("k", 2, 256, vec![Value::I64(12)]), 100, 116);
+            let stats = assert_matches_scalar(LOCKSTEP_KERNEL, &cfg, &sweep);
+            assert!(stats.lockstep_issues > 0, "{policy:?}: cohort never issued");
+        }
+    }
+
+    #[test]
+    fn uniform_divergence_detaches_and_rejoins() {
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 0, 32);
+        let stats = assert_matches_scalar(VOTE_DIVERGE_KERNEL, &SimConfig::default(), &sweep);
+        assert!(stats.detaches > 0, "seeds disagree on the vote parity: {stats:?}");
+        assert!(stats.rejoins > 0, "cost-symmetric arms must realign: {stats:?}");
+        assert!(stats.scalar_steps > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn lane_divergence_detaches_and_rejoins_after_reconvergence() {
+        for policy in all_policies() {
+            let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
+            let sweep = SweepLaunch::new(launch("k", 2, 64, vec![]), 0, 24);
+            let stats = assert_matches_scalar(LANE_DIVERGE_KERNEL, &cfg, &sweep);
+            assert!(stats.detaches > 0, "{policy:?}: taken masks differ per seed: {stats:?}");
+            assert!(stats.rejoins > 0, "{policy:?}: barrier reconvergence realigns: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn faulting_instances_report_their_own_scalar_error() {
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 0, 24);
+        let module = parse_and_link(FAULTY_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let out = run_sweep_image(&image, &SimConfig::default(), &sweep, None).unwrap();
+        let faults = out.runs.iter().filter(|r| r.result.is_err()).count();
+        assert!(faults > 0, "rem 33 over 32 cells faults some seed");
+        assert!(faults < 24, "and spares some seed");
+        assert_matches_scalar(FAULTY_KERNEL, &SimConfig::default(), &sweep);
+    }
+
+    #[test]
+    fn faulting_sweep_matches_scalar_with_cache() {
+        let cfg = SimConfig { cache: Some(CacheConfig::default()), ..SimConfig::default() };
+        let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 40, 60);
+        assert_matches_scalar(FAULTY_KERNEL, &cfg, &sweep);
+    }
+
+    #[test]
+    fn cycle_limit_resolves_every_instance() {
+        let cfg = SimConfig { max_cycles: 50, ..SimConfig::default() };
+        let sweep = SweepLaunch::new(launch("k", 2, 256, vec![Value::I64(1_000_000)]), 0, 8);
+        assert_matches_scalar(LOCKSTEP_KERNEL, &cfg, &sweep);
+    }
+
+    #[test]
+    fn cancellation_fails_the_whole_sweep() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let module = parse_and_link(LOCKSTEP_KERNEL).unwrap();
+        let image = DecodedImage::decode(&module);
+        let sweep = SweepLaunch::new(launch("k", 1, 256, vec![Value::I64(50)]), 0, 4);
+        let err =
+            run_sweep_image(&image, &SimConfig::default(), &sweep, Some(&cancel)).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+    }
+}

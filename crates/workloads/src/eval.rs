@@ -13,8 +13,8 @@
 use crate::Workload;
 use simt_ir::Module;
 use simt_sim::{
-    run_image, run_image_with, CancelToken, DecodedImage, Launch, Metrics, SimConfig, SimError,
-    SimOutput,
+    run_image, run_image_with, run_sweep_image, CancelToken, DecodedImage, Launch, Metrics,
+    SimConfig, SimError, SimOutput, SweepLaunch, SweepOutput, SweepStats,
 };
 use specrecon_core::{compile, CompileOptions, PassError};
 use std::collections::HashMap;
@@ -426,6 +426,66 @@ impl Engine {
         self.par_map(jobs, |j| self.run_full(&j.workload, &j.opts, &j.cfg))
     }
 
+    /// Runs the workload over the seed range `[seed_lo, seed_hi)` with
+    /// the lockstep sweep engine
+    /// ([`run_sweep_image`](simt_sim::run_sweep_image)): the kernel is
+    /// compiled and decoded **once** (through the compiled-image cache),
+    /// the range is partitioned into cohort-sized chunks balanced across
+    /// the worker pool, and per-seed results come back in seed order —
+    /// each bit-identical to a standalone run of that seed.
+    ///
+    /// `opts: None` runs the module as-is (the CLI path).
+    ///
+    /// # Errors
+    ///
+    /// Compile failures, [`SimError::SweepUnsupported`] when `cfg`
+    /// requests trace/profile/journal collection, and
+    /// [`SimError::Cancelled`] when the token fires. Per-seed faults are
+    /// *not* errors here — they are reported in the failing seed's
+    /// [`SeedRun`](simt_sim::SeedRun).
+    pub fn run_sweep(
+        &self,
+        w: &Workload,
+        opts: Option<&CompileOptions>,
+        cfg: &SimConfig,
+        seed_lo: u64,
+        seed_hi: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SweepOutput, EvalError> {
+        let image = self.image(&w.module, opts)?;
+        let n = seed_hi.saturating_sub(seed_lo);
+        if n == 0 {
+            return Ok(SweepOutput { runs: Vec::new(), stats: SweepStats::default() });
+        }
+        // Chunk the range to fill the worker pool, but never wider than
+        // one cohort; a remainder chunk at the end is fine.
+        let per_worker = n.div_ceil(self.jobs as u64);
+        let chunk = per_worker.clamp(1, simt_sim::sweep::COHORT_SLOTS as u64);
+        let mut ranges = Vec::with_capacity(n.div_ceil(chunk) as usize);
+        let mut lo = seed_lo;
+        while lo < seed_hi {
+            let hi = seed_hi.min(lo.saturating_add(chunk));
+            ranges.push((lo, hi));
+            lo = hi;
+        }
+        let chunks = self.par_map(&ranges, |&(lo, hi)| {
+            let sweep = SweepLaunch::new(w.launch.clone(), lo, hi);
+            run_sweep_image(&image, cfg, &sweep, cancel)
+        });
+        let mut runs = Vec::with_capacity(n as usize);
+        let mut stats = SweepStats::default();
+        for chunk in chunks {
+            let out = chunk?;
+            runs.extend(out.runs);
+            stats.instances += out.stats.instances;
+            stats.lockstep_issues += out.stats.lockstep_issues;
+            stats.detaches += out.stats.detaches;
+            stats.rejoins += out.stats.rejoins;
+            stats.scalar_steps += out.stats.scalar_steps;
+        }
+        Ok(SweepOutput { runs, stats })
+    }
+
     /// Applies `f` to every item on the worker pool and returns results in
     /// item order.
     ///
@@ -562,32 +622,73 @@ fn first_difference(a: &[simt_ir::Value], b: &[simt_ir::Value]) -> Option<usize>
     })
 }
 
+/// A builder over a cloned [`Workload`], started by [`Workload::rebind`]:
+/// the one place launch and annotation adjustments live. The historical
+/// helpers ([`with_threshold`], [`with_warps`], [`with_seed`]) are thin
+/// wrappers over it, and sweep partitioning uses it to stamp per-chunk
+/// seeds.
+#[derive(Clone, Debug)]
+pub struct Rebind {
+    w: Workload,
+}
+
+impl Rebind {
+    /// Sets the soft-barrier threshold of every `Predict` annotation in
+    /// the module (the Figure 9 sweep axis).
+    pub fn threshold(mut self, threshold: u32) -> Self {
+        for (_, f) in self.w.module.functions.iter_mut() {
+            for p in &mut f.predictions {
+                p.threshold = Some(threshold);
+            }
+        }
+        self
+    }
+
+    /// Sets the launch's warp count (reduced-size variants for fast
+    /// tests).
+    pub fn warps(mut self, warps: usize) -> Self {
+        self.w.launch.num_warps = warps;
+        self
+    }
+
+    /// Sets the launch seed (determinism / variance testing, per-seed
+    /// sweep baselines).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.w.launch.seed = seed;
+        self
+    }
+
+    /// Finishes the rebind, yielding the adjusted workload.
+    pub fn done(self) -> Workload {
+        self.w
+    }
+}
+
+impl Workload {
+    /// Starts a builder-style rebind: a clone of this workload whose
+    /// launch (and prediction thresholds) can be adjusted fluently —
+    /// `w.rebind().warps(2).seed(7).done()`.
+    pub fn rebind(&self) -> Rebind {
+        Rebind { w: self.clone() }
+    }
+}
+
 /// Applies the workload's recommended soft-barrier threshold to its
 /// predictions, returning a modified clone (used by the Figure 9 sweep).
 pub fn with_threshold(w: &Workload, threshold: u32) -> Workload {
-    let mut w2 = w.clone();
-    for (_, f) in w2.module.functions.iter_mut() {
-        for p in &mut f.predictions {
-            p.threshold = Some(threshold);
-        }
-    }
-    w2
+    w.rebind().threshold(threshold).done()
 }
 
 /// A reduced-size variant of the workload for fast tests: shrinks the warp
 /// count.
 pub fn with_warps(w: &Workload, warps: usize) -> Workload {
-    let mut w2 = w.clone();
-    w2.launch.num_warps = warps;
-    w2
+    w.rebind().warps(warps).done()
 }
 
 /// Convenience: the default launch with a different seed (determinism and
 /// variance testing).
 pub fn with_seed(w: &Workload, seed: u64) -> Workload {
-    let mut w2 = w.clone();
-    w2.launch.seed = seed;
-    w2
+    w.rebind().seed(seed).done()
 }
 
 #[cfg(test)]
@@ -632,6 +733,59 @@ mod tests {
         let w = rsbench::build(&rsbench::Params::default());
         assert_eq!(with_warps(&w, 2).launch.num_warps, 2);
         assert_eq!(with_seed(&w, 9).launch.seed, 9);
+    }
+
+    #[test]
+    fn rebind_composes_and_leaves_the_original_untouched() {
+        let w = rsbench::build(&rsbench::Params::default());
+        let r = w.rebind().threshold(12).warps(3).seed(99).done();
+        assert_eq!(r.launch.num_warps, 3);
+        assert_eq!(r.launch.seed, 99);
+        for (_, f) in r.module.functions.iter() {
+            for p in &f.predictions {
+                assert_eq!(p.threshold, Some(12));
+            }
+        }
+        // One chain, one clone; the source workload is unchanged.
+        let kernel = w.module.function_by_name("rsbench").unwrap();
+        assert_eq!(w.module.functions[kernel].predictions[0].threshold, None);
+        assert_ne!(w.launch.seed, 99);
+    }
+
+    #[test]
+    fn run_sweep_matches_per_seed_runs_and_compiles_once() {
+        let engine = Engine::new(3);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let cfg = SimConfig::default();
+        let opts = CompileOptions::baseline();
+        // 5 seeds over 3 workers: chunked (2, 2, 1), merged in seed order.
+        let out = engine.run_sweep(&w, Some(&opts), &cfg, 10, 15, None).unwrap();
+        assert_eq!(out.runs.len(), 5);
+        assert_eq!(out.stats.instances, 5);
+        assert_eq!(engine.cache_stats().misses, 1, "the sweep compiles once");
+        for run in &out.runs {
+            let scalar = engine.run_full(&w.rebind().seed(run.seed).done(), &opts, &cfg).unwrap();
+            let swept = run.result.as_ref().expect("rsbench runs clean");
+            assert_eq!(swept.metrics, scalar.metrics, "seed {}", run.seed);
+            assert_eq!(swept.global_mem, scalar.global_mem, "seed {}", run.seed);
+        }
+        assert_eq!(
+            out.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            (10..15).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_sweep_empty_range_and_cancellation() {
+        let engine = Engine::new(2);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let cfg = SimConfig::default();
+        let out = engine.run_sweep(&w, None, &cfg, 7, 7, None).unwrap();
+        assert!(out.runs.is_empty());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine.run_sweep(&w, None, &cfg, 0, 4, Some(&token)).unwrap_err();
+        assert!(err.is_cancelled(), "got {err}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod reference;
 pub mod rsbench;
 pub mod xsbench;
 
-pub use eval::{Engine, EvalJob};
+pub use eval::{Engine, EvalJob, Rebind};
 
 use simt_ir::Module;
 use simt_sim::Launch;

@@ -11,6 +11,8 @@
 //!                                             the input as-is, uncompiled)
 //! specrecon dot     FILE [MODE]               emit a Graphviz CFG
 //! specrecon explain FILE                      show predictions, regions, candidates
+//! specrecon sweep   [sweep options]           lockstep multi-seed sweep of a
+//!                                             built-in workload
 //! specrecon serve   [serve options]           HTTP evaluation service
 //! specrecon loadgen [loadgen options]         benchmark a running service
 //!
@@ -39,6 +41,14 @@
 //!                             events; `chrome` writes a chrome://tracing
 //!                             document
 //!            --out FILE       write the export to FILE instead of stdout
+//!
+//! sweep options:
+//!            --workload NAME  built-in workload to sweep (Table-2 name or
+//!                             `microbench`)
+//!            --seeds LO..HI   half-open seed range to run (required)
+//!            --warps N        override the workload's warp count
+//!            --jobs N         worker threads (default: available parallelism)
+//!            MODE             --baseline | --speculative (default) | --auto
 //!
 //! serve options:
 //!            --addr A:P       bind address (default 127.0.0.1:8077; port 0
@@ -71,7 +81,9 @@ use specrecon::ir::{
 use specrecon::passes::compute_region;
 use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
 use specrecon::server::{self, LoadgenConfig, ServeConfig, Server};
-use specrecon::sim::{chrome_trace, jsonl, JournalConfig, Launch, SimConfig, SimOutput, Trace};
+use specrecon::sim::{
+    chrome_trace, jsonl, JournalConfig, Launch, SimConfig, SimOutput, Trace, DEFAULT_SEED,
+};
 use specrecon::workloads::Engine;
 use std::process::ExitCode;
 
@@ -95,9 +107,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     };
-    // `serve` and `loadgen` take no FILE; dispatch them before the
-    // module-loading path below.
+    // `sweep`, `serve`, and `loadgen` take no FILE; dispatch them before
+    // the module-loading path below.
     match cmd.as_str() {
+        "sweep" => return sweep_cmd(&args[1..]),
         "serve" => return serve_cmd(&args[1..]),
         "loadgen" => return loadgen_cmd(&args[1..]),
         _ => {}
@@ -295,7 +308,7 @@ fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Laun
         .map_err(|_| "--mem expects a number")?;
     let seed: u64 = match flag_value(args, "--seed") {
         Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
-        None => 0xC0FFEE,
+        None => DEFAULT_SEED,
     };
     let want_trace = args.iter().any(|a| a == "--trace");
     let want_hot = args.iter().any(|a| a == "--hot");
@@ -470,6 +483,100 @@ fn trace_cmd(module: &Module, args: &[String]) -> Result<(), String> {
         None => print!("{rendered}"),
     }
     Ok(())
+}
+
+/// Parses a half-open `LO..HI` seed range (decimal or `0x`-prefixed
+/// hex).
+fn parse_seed_range(s: &str) -> Result<(u64, u64), String> {
+    let parse_one = |v: &str| -> Result<u64, String> {
+        let v = v.trim();
+        match v.strip_prefix("0x") {
+            Some(h) => u64::from_str_radix(h, 16),
+            None => v.parse(),
+        }
+        .map_err(|_| format!("bad seed `{v}` in --seeds (expect LO..HI)"))
+    };
+    let (lo, hi) = s.split_once("..").ok_or("--seeds expects a half-open range LO..HI")?;
+    let (lo, hi) = (parse_one(lo)?, parse_one(hi)?);
+    if lo >= hi {
+        return Err(format!("--seeds range {lo}..{hi} is empty (LO must be below HI)"));
+    }
+    Ok((lo, hi))
+}
+
+/// The `sweep` subcommand: run a built-in workload over a seed range on
+/// the lockstep sweep engine and report per-seed plus aggregate SIMT
+/// efficiency.
+fn sweep_cmd(args: &[String]) -> Result<(), String> {
+    use specrecon::workloads::{eval, microbench, registry};
+    let name = flag_value(args, "--workload").ok_or("missing --workload NAME")?;
+    let (lo, hi) = parse_seed_range(flag_value(args, "--seeds").ok_or("missing --seeds LO..HI")?)?;
+    let jobs: usize = match flag_value(args, "--jobs") {
+        Some(v) => v.parse().map_err(|_| "--jobs expects a number")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let mut w = if name == "microbench" {
+        microbench::build_common_call(&microbench::Params::default())
+    } else {
+        registry().into_iter().find(|w| w.name == name).ok_or_else(|| {
+            let known: Vec<&str> = registry().iter().map(|w| w.name).collect();
+            format!("unknown workload `{name}` (known: {}, microbench)", known.join(", "))
+        })?
+    };
+    if let Some(v) = flag_value(args, "--warps") {
+        let warps: usize = v.parse().map_err(|_| "--warps expects a number")?;
+        w = w.rebind().warps(warps).done();
+    }
+    let opts = mode_options(args)?;
+    let engine = Engine::new(jobs);
+    let out = engine
+        .run_sweep(&w, Some(&opts), &SimConfig::default(), lo, hi, None)
+        .map_err(|e| e.to_string())?;
+
+    println!("{} over seeds {lo}..{hi} on {} worker(s):", name, engine.jobs());
+    let mut ok: Vec<eval::RunSummary> = Vec::new();
+    let mut first_err = None;
+    for run in &out.runs {
+        match &run.result {
+            Ok(o) => {
+                let s = eval::RunSummary::from(&o.metrics);
+                println!(
+                    "  seed {:#x}: {} cycles, SIMT efficiency {:.1}%, {} barrier ops",
+                    run.seed,
+                    s.cycles,
+                    100.0 * s.simt_eff,
+                    s.barrier_ops
+                );
+                ok.push(s);
+            }
+            Err(e) => {
+                println!("  seed {:#x}: FAILED: {e}", run.seed);
+                first_err.get_or_insert_with(|| e.to_string());
+            }
+        }
+    }
+    if !ok.is_empty() {
+        let n = ok.len() as f64;
+        let mean_cycles = ok.iter().map(|s| s.cycles as f64).sum::<f64>() / n;
+        let mean_eff = ok.iter().map(|s| s.simt_eff).sum::<f64>() / n;
+        let min = ok.iter().map(|s| s.cycles).min().unwrap_or(0);
+        let max = ok.iter().map(|s| s.cycles).max().unwrap_or(0);
+        println!(
+            "aggregate: mean {mean_cycles:.0} cycles (min {min}, max {max}), \
+             mean SIMT efficiency {:.1}%",
+            100.0 * mean_eff
+        );
+    }
+    let s = out.stats;
+    println!(
+        "sweep engine: {} instances, {} lockstep issues, {} detaches, {} rejoins, \
+         {} scalar steps",
+        s.instances, s.lockstep_issues, s.detaches, s.rejoins, s.scalar_steps
+    );
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// The `serve` subcommand: boot the HTTP evaluation service and run its

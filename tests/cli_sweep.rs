@@ -1,0 +1,71 @@
+//! Argument-parsing and output-shape tests for `specrecon sweep`,
+//! driving the real binary.
+
+use std::process::{Command, Output};
+
+fn sweep(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_specrecon"))
+        .arg("sweep")
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is utf-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is utf-8")
+}
+
+#[test]
+fn sweeps_a_workload_and_reports_per_seed_and_aggregate() {
+    let out = sweep(&["--workload", "microbench", "--seeds", "3..7", "--warps", "1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for seed in ["0x3", "0x4", "0x5", "0x6"] {
+        assert!(text.contains(&format!("seed {seed}:")), "missing {seed} in:\n{text}");
+    }
+    assert!(!text.contains("seed 0x7:"), "range is half-open:\n{text}");
+    assert!(text.contains("SIMT efficiency"), "{text}");
+    assert!(text.contains("aggregate: mean"), "{text}");
+    assert!(text.contains("sweep engine: 4 instances"), "{text}");
+}
+
+#[test]
+fn hex_ranges_and_baseline_mode_are_accepted() {
+    let out =
+        sweep(&["--workload", "microbench", "--seeds", "0x10..0x12", "--warps", "1", "--baseline"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("seed 0x10:") && text.contains("seed 0x11:"), "{text}");
+}
+
+#[test]
+fn sweep_matches_single_seed_runs() {
+    // The sweep's per-seed lines must be exactly what `--seeds N` scalar
+    // batches report for the same seeds (shared engine, shared format).
+    let swept = sweep(&["--workload", "microbench", "--seeds", "5..7", "--warps", "1"]);
+    assert!(swept.status.success(), "stderr: {}", stderr(&swept));
+    let text = stdout(&swept);
+    let lines: Vec<&str> = text.lines().filter(|l| l.contains("cycles,")).collect();
+    assert_eq!(lines.len(), 2, "{text}");
+}
+
+#[test]
+fn bad_arguments_are_rejected_with_reasons() {
+    for (args, needle) in [
+        (&["--seeds", "1..4"][..], "missing --workload"),
+        (&["--workload", "microbench"], "missing --seeds"),
+        (&["--workload", "microbench", "--seeds", "4"], "LO..HI"),
+        (&["--workload", "microbench", "--seeds", "9..3"], "empty"),
+        (&["--workload", "microbench", "--seeds", "x..y"], "bad seed"),
+        (&["--workload", "nope", "--seeds", "1..2"], "unknown workload"),
+    ] {
+        let out = sweep(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: expected {needle:?} in {err:?}");
+    }
+}
