@@ -1,18 +1,20 @@
 //! The `seed_sweep` Criterion group: lockstep multi-seed cohort
 //! throughput against the scalar per-seed baseline.
 //!
-//! Two benchmarks per Monte Carlo workload — `sweep/<name>` runs one
-//! 32-seed cohort, `scalar/<name>` runs the same 32 seeds as independent
-//! scalar machines — both annotated with the summed simulated cycles so
-//! the report prints comparable cycles/sec. This is the Criterion-side
-//! view of the `sweep/*` / `sweep_scalar/*` entries `perfbench` snapshots
-//! into `BENCH_<n>.json`.
+//! Two benchmarks per workload — `sweep/<name>` runs one 32-seed
+//! cohort, `scalar/<name>` runs the same 32 seeds as independent scalar
+//! machines — both annotated with the summed simulated cycles so the
+//! report prints comparable cycles/sec. Covered workloads are the Monte
+//! Carlo registry entries (lockstep fast path) plus the seed-divergent
+//! stressors (fork/merge path). This is the Criterion-side view of the
+//! `sweep/*` / `sweep_scalar/*` entries `perfbench` snapshots into
+//! `BENCH_<n>.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use simt_sim::{run_image, run_sweep_image, SimConfig, SweepLaunch, DEFAULT_SEED};
 use specrecon_bench::perf::MONTE_CARLO;
 use workloads::eval::{with_warps, Engine};
-use workloads::registry;
+use workloads::{registry, seedstorm};
 
 const SEEDS: u64 = 32;
 
@@ -20,10 +22,10 @@ fn bench_seed_sweep(c: &mut Criterion) {
     let engine = Engine::new(1);
     let cfg = SimConfig::default();
     let mut g = c.benchmark_group("seed_sweep");
-    for w in registry() {
-        if !MONTE_CARLO.contains(&w.name) {
-            continue;
-        }
+    let mut pool: Vec<workloads::Workload> =
+        registry().into_iter().filter(|w| MONTE_CARLO.contains(&w.name)).collect();
+    pool.push(seedstorm::build(&seedstorm::Params::default()));
+    for w in pool {
         let w = with_warps(&w, 2);
         let image = engine.decoded(&w.module, None).expect("registry workload decodes");
         let sweep = SweepLaunch::new(w.launch.clone(), DEFAULT_SEED, DEFAULT_SEED + SEEDS);

@@ -183,17 +183,25 @@ pub fn measure_hot_loop(label: &str, warps: usize, min_time: Duration) -> Snapsh
 /// the `seed_sweep` measurement covers.
 pub const MONTE_CARLO: &[&str] = &["rsbench", "xsbench", "mcb", "mc-gpu", "gpu-mcml"];
 
+/// Named workloads outside the Table-2 registry that the seed-sweep
+/// measurement also covers: seed-divergent stressors where the sweep
+/// engine's fork/merge path (not the lockstep fast path) is the thing
+/// under test.
+pub const SEED_DIVERGENT: &[&str] = &["seed-storm"];
+
 /// Times the lockstep seed-sweep engine against a scalar per-seed
-/// baseline on the Monte Carlo workloads.
+/// baseline on the Monte Carlo workloads plus the seed-divergent
+/// stressors.
 ///
-/// For each workload in [`MONTE_CARLO`] this produces two entries:
-/// `sweep/<name>` runs one [`run_sweep_image`] cohort over
-/// `[DEFAULT_SEED, DEFAULT_SEED + seeds)`, and `sweep_scalar/<name>` runs
-/// the same seeds as independent [`run_image`] launches. Both report the
-/// same `cycles_per_run` (total simulated cycles across the whole seed
-/// batch — the sweep is bit-identical to the scalar runs, so the cycle
-/// sums agree by construction), which makes their `cycles_per_sec` ratio
-/// the sweep speedup. Pair them back up with [`sweep_speedups`].
+/// For each workload in [`MONTE_CARLO`] and [`SEED_DIVERGENT`] this
+/// produces two entries: `sweep/<name>` runs one [`run_sweep_image`]
+/// cohort over `[DEFAULT_SEED, DEFAULT_SEED + seeds)`, and
+/// `sweep_scalar/<name>` runs the same seeds as independent
+/// [`run_image`] launches. Both report the same `cycles_per_run` (total
+/// simulated cycles across the whole seed batch — the sweep is
+/// bit-identical to the scalar runs, so the cycle sums agree by
+/// construction), which makes their `cycles_per_sec` ratio the sweep
+/// speedup. Pair them back up with [`sweep_speedups`].
 ///
 /// # Panics
 ///
@@ -208,10 +216,10 @@ pub fn measure_seed_sweep(warps: usize, seeds: u64, min_time: Duration) -> Vec<W
     let engine = Engine::new(1);
     let cfg = SimConfig::default();
     let mut results = Vec::new();
-    for w in registry() {
-        if !MONTE_CARLO.contains(&w.name) {
-            continue;
-        }
+    let mut pool: Vec<workloads::Workload> =
+        registry().into_iter().filter(|w| MONTE_CARLO.contains(&w.name)).collect();
+    pool.push(workloads::seedstorm::build(&workloads::seedstorm::Params::default()));
+    for w in pool {
         let w = with_warps(&w, warps);
         let image = engine.decoded(&w.module, None).expect("registry workload decodes");
         let sweep = SweepLaunch::new(w.launch.clone(), DEFAULT_SEED, DEFAULT_SEED + seeds);
@@ -706,8 +714,9 @@ mod tests {
     #[test]
     fn seed_sweep_measures_every_monte_carlo_workload_in_pairs() {
         let results = measure_seed_sweep(1, 2, Duration::ZERO);
-        assert_eq!(results.len(), 2 * MONTE_CARLO.len());
-        for (pair, name) in results.chunks(2).zip(MONTE_CARLO) {
+        let covered: Vec<&&str> = MONTE_CARLO.iter().chain(SEED_DIVERGENT).collect();
+        assert_eq!(results.len(), 2 * covered.len());
+        for (pair, name) in results.chunks(2).zip(&covered) {
             assert_eq!(pair[0].name, format!("sweep/{name}"));
             assert_eq!(pair[1].name, format!("sweep_scalar/{name}"));
             // Bit-identity means both sides burn the same simulated
@@ -718,8 +727,29 @@ mod tests {
         }
         let snapshot = Snapshot { label: "t".into(), warps: 1, results };
         let speedups = sweep_speedups(&snapshot);
-        assert_eq!(speedups.len(), MONTE_CARLO.len());
+        assert_eq!(speedups.len(), covered.len());
         assert!(speedups.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn monte_carlo_sweeps_never_take_the_scalar_escape_hatch() {
+        // The Monte Carlo registry sweeps are the benches the perfgate
+        // protects: the fork/merge engine must keep them fully masked
+        // (scalar_steps == 0), or the measurement is back to timing the
+        // scalar fallback.
+        let engine = Engine::new(1);
+        let cfg = SimConfig::default();
+        for w in registry() {
+            if !MONTE_CARLO.contains(&w.name) {
+                continue;
+            }
+            let image = engine.decoded(&w.module, None).unwrap();
+            let sweep = SweepLaunch::new(w.launch.clone(), DEFAULT_SEED, DEFAULT_SEED + 32);
+            let out = run_sweep_image(&image, &cfg, &sweep, None).unwrap();
+            println!("{:12} {:?} occ={:.2}", w.name, out.stats, out.stats.mean_occupancy());
+            assert_eq!(out.stats.scalar_steps, 0, "{}: {:?}", w.name, out.stats);
+            assert_eq!(out.stats.detaches, 0, "{}: {:?}", w.name, out.stats);
+        }
     }
 
     #[test]

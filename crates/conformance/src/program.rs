@@ -163,9 +163,15 @@ impl Gen {
     }
 
     fn cond(&mut self) -> Cond {
-        match self.rng.gen_range(0u32..4) {
-            0 | 1 => Cond::RngLt(self.rng.gen_range(15u32..60) as u8),
-            2 => Cond::TidBit(self.rng.gen_range(0u32..3) as u8),
+        // Biased 4/6 toward `RngLt`: the RNG stream is the only
+        // launch-seed-dependent input, so these are the branches where a
+        // seed sweep's instances disagree — the sub-cohort fork/merge
+        // paths the sweep differential exists to cross-check. `TidBit`
+        // and `AccBit` stay in the mix for launch-stable and
+        // data-dependent divergence.
+        match self.rng.gen_range(0u32..6) {
+            0..=3 => Cond::RngLt(self.rng.gen_range(15u32..60) as u8),
+            4 => Cond::TidBit(self.rng.gen_range(0u32..3) as u8),
             _ => Cond::AccBit(self.rng.gen_range(0u32..4) as u8),
         }
     }
@@ -189,10 +195,14 @@ impl Gen {
     }
 
     /// A random statement; depth caps nesting, `top_level` gates `Sync`
-    /// and `in_callee` gates calls/atomics/exits.
+    /// and `in_callee` gates calls/atomics/exits. Nesting runs to depth
+    /// 3 so branches-in-branches (and branches inside data-dependent
+    /// loops) are routine: nested divergence multiplies the sweep
+    /// engine's sub-cohort classes, which is exactly the regime the
+    /// sweep differential needs to stress.
     fn stmt(&mut self, depth: u32, top_level: bool, in_callee: bool) -> Stmt {
         let roll = self.rng.gen_range(0u32..100);
-        if depth >= 2 || roll < 45 {
+        if depth >= 3 || roll < 45 {
             return self.leaf(in_callee);
         }
         if top_level && roll < 50 {

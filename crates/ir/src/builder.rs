@@ -222,6 +222,15 @@ impl FunctionBuilder {
         self.push(Inst::SeedRng { src: src.into() });
     }
 
+    /// Warp-synchronous vote: every lane of the currently converged
+    /// group receives the count of group lanes whose predicate is
+    /// non-zero.
+    pub fn vote(&mut self, pred: impl Into<Operand>) -> Reg {
+        let dst = self.func.alloc_reg();
+        self.push(Inst::Vote { dst, pred: pred.into() });
+        dst
+    }
+
     /// Draws a uniform non-negative integer from the per-thread RNG.
     pub fn rng_u63(&mut self) -> Reg {
         let dst = self.func.alloc_reg();

@@ -27,8 +27,9 @@
 //! scalar simulation each — the historical form) or a half-open range
 //! `[lo, hi]`, which compiles once and runs the whole range through the
 //! lockstep sweep engine ([`simt_sim::run_sweep_image`]); the response
-//! then adds a `"sweep"` object with the engine's lockstep/detach/rejoin
-//! counters. Both forms answer with the same per-seed `"runs"` entries.
+//! then adds a `"sweep"` object with the engine's fork/merge/occupancy
+//! counters (plus the detach/rejoin escape-hatch counters). Both forms
+//! answer with the same per-seed `"runs"` entries.
 
 use crate::json::Json;
 use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
@@ -38,7 +39,7 @@ use simt_sim::{
 };
 use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
 use workloads::eval::{Engine, EvalError};
-use workloads::{microbench, registry};
+use workloads::{microbench, registry, seedstorm};
 
 /// A structured failure answering an eval request.
 #[derive(Debug)]
@@ -250,12 +251,16 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
 pub fn known_workloads() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = registry().iter().map(|w| w.name).collect();
     names.push("microbench");
+    names.push("seed-storm");
     names
 }
 
 fn lookup_workload(name: &str) -> Option<workloads::Workload> {
     if name == "microbench" {
         return Some(microbench::build_common_call(&microbench::Params::default()));
+    }
+    if name == "seed-storm" {
+        return Some(seedstorm::build(&seedstorm::Params::default()));
     }
     registry().into_iter().find(|w| w.name == name)
 }
@@ -267,7 +272,15 @@ fn lookup_workload(name: &str) -> Option<workloads::Workload> {
 ///
 /// `400` for compile failures, `422` for simulation faults, `504` when
 /// the run was cancelled (deadline expiry or shutdown).
-pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Result<Json, ApiError> {
+///
+/// Sweep requests fold the engine's fork/merge counters into `metrics`
+/// (when given) so `GET /metrics` exposes fleet-wide sweep health.
+pub fn execute(
+    engine: &Engine,
+    req: &EvalRequest,
+    cancel: &CancelToken,
+    metrics: Option<&crate::metrics::ServerMetrics>,
+) -> Result<Json, ApiError> {
     let image = engine.decoded(&req.module, Some(&req.opts)).map_err(|e| match e {
         EvalError::Compile(e) => ApiError::bad_request(format!("compile error: {e}")),
         other => ApiError { status: 500, message: other.to_string() },
@@ -305,6 +318,10 @@ pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Resu
             cycles.push(m.cycles);
             effs.push(m.simt_efficiency());
             runs.push(run_entry(entry.seed, m));
+        }
+        if let Some(m) = metrics {
+            let s = &out.stats;
+            m.record_sweep(s.forks, s.merges, s.scalar_steps, s.occupancy_sum, s.lockstep_issues);
         }
         sweep_stats = Some(out.stats);
     } else {
@@ -353,6 +370,10 @@ pub fn execute(engine: &Engine, req: &EvalRequest, cancel: &CancelToken) -> Resu
             Json::Obj(vec![
                 ("instances".into(), Json::u64(s.instances as u64)),
                 ("lockstep_issues".into(), Json::u64(s.lockstep_issues)),
+                ("forks".into(), Json::u64(s.forks)),
+                ("merges".into(), Json::u64(s.merges)),
+                ("peak_subcohorts".into(), Json::u64(u64::from(s.peak_subcohorts))),
+                ("mean_occupancy".into(), Json::num(s.mean_occupancy())),
                 ("detaches".into(), Json::u64(s.detaches)),
                 ("rejoins".into(), Json::u64(s.rejoins)),
                 ("scalar_steps".into(), Json::u64(s.scalar_steps)),
@@ -425,7 +446,7 @@ mod tests {
             parse_request(br#"{"workload":"microbench","mode":"speculative","warps":1,"seeds":2}"#)
                 .unwrap();
         let token = CancelToken::new();
-        let out = execute(&engine, &req, &token).unwrap();
+        let out = execute(&engine, &req, &token, None).unwrap();
         assert_eq!(out.get("workload").unwrap().as_str(), Some("microbench"));
         let runs = out.get("runs").unwrap().as_arr().unwrap();
         assert_eq!(runs.len(), 2);
@@ -471,7 +492,7 @@ mod tests {
         )
         .unwrap();
         let token = CancelToken::new();
-        let out = execute(&engine, &req, &token).unwrap();
+        let out = execute(&engine, &req, &token, None).unwrap();
         let runs = out.get("runs").unwrap().as_arr().unwrap();
         assert_eq!(runs.len(), 5, "one entry per seed in the range");
         for (i, r) in runs.iter().enumerate() {
@@ -487,7 +508,7 @@ mod tests {
             br#"{"workload":"microbench","mode":"baseline","warps":1,"seed":20,"seeds":5}"#,
         )
         .unwrap();
-        let scalar = execute(&engine, &scalar_req, &token).unwrap();
+        let scalar = execute(&engine, &scalar_req, &token, None).unwrap();
         assert_eq!(
             Json::Arr(runs.to_vec()).render(),
             Json::Arr(scalar.get("runs").unwrap().as_arr().unwrap().to_vec()).render()
@@ -501,7 +522,7 @@ mod tests {
         let req = parse_request(br#"{"workload":"microbench","warps":1}"#).unwrap();
         let token = CancelToken::new();
         token.cancel();
-        let err = execute(&engine, &req, &token).unwrap_err();
+        let err = execute(&engine, &req, &token, None).unwrap_err();
         assert_eq!(err.status, 504);
     }
 
@@ -510,6 +531,7 @@ mod tests {
         let names = known_workloads();
         assert!(names.contains(&"rsbench"));
         assert!(names.contains(&"microbench"));
-        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"seed-storm"));
+        assert_eq!(names.len(), 11);
     }
 }

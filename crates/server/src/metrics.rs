@@ -33,6 +33,19 @@ pub struct ServerMetrics {
     rejected_draining: AtomicU64,
     /// Requests that hit their deadline (504).
     deadline_expired: AtomicU64,
+    /// Sweep-engine sub-cohort forks across all sweep requests.
+    sweep_forks: AtomicU64,
+    /// Sweep-engine sub-cohort merges across all sweep requests.
+    sweep_merges: AtomicU64,
+    /// Scheduling rounds sweep instances spent on detached scalar
+    /// machines (the escape hatch; 0 in healthy fork/merge traffic).
+    sweep_scalar_steps: AtomicU64,
+    /// Lockstep issues across all sweep requests (occupancy denominator).
+    sweep_issues: AtomicU64,
+    /// Summed issue widths across all sweep requests (occupancy
+    /// numerator: `sweep_occupancy_sum / sweep_issues` is the mean
+    /// slots-per-issue).
+    sweep_occupancy_sum: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -65,6 +78,24 @@ impl ServerMetrics {
     /// Records a deadline expiry.
     pub fn record_deadline_expired(&self) {
         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one completed sweep's engine counters into the registry.
+    /// Takes the raw counters (not the stats struct) so the metrics
+    /// layer stays decoupled from the simulator types.
+    pub fn record_sweep(
+        &self,
+        forks: u64,
+        merges: u64,
+        scalar_steps: u64,
+        occupancy_sum: u64,
+        lockstep_issues: u64,
+    ) {
+        self.sweep_forks.fetch_add(forks, Ordering::Relaxed);
+        self.sweep_merges.fetch_add(merges, Ordering::Relaxed);
+        self.sweep_scalar_steps.fetch_add(scalar_steps, Ordering::Relaxed);
+        self.sweep_occupancy_sum.fetch_add(occupancy_sum, Ordering::Relaxed);
+        self.sweep_issues.fetch_add(lockstep_issues, Ordering::Relaxed);
     }
 
     /// Total requests answered with a 2xx status.
@@ -157,6 +188,38 @@ impl ServerMetrics {
         let _ = writeln!(out, "specrecon_cache_hit_rate {}", cache.hit_rate());
 
         out.push_str(
+            "# HELP specrecon_sweep_forks_total Sub-cohort forks across all seed sweeps.\n\
+             # TYPE specrecon_sweep_forks_total counter\n",
+        );
+        let _ = writeln!(out, "specrecon_sweep_forks_total {}", self.sweep_forks.load(Ordering::Relaxed));
+        out.push_str(
+            "# HELP specrecon_sweep_merges_total Sub-cohort merges across all seed sweeps.\n\
+             # TYPE specrecon_sweep_merges_total counter\n",
+        );
+        let _ =
+            writeln!(out, "specrecon_sweep_merges_total {}", self.sweep_merges.load(Ordering::Relaxed));
+        out.push_str(
+            "# HELP specrecon_sweep_scalar_steps_total Rounds sweeps spent on detached scalar machines (escape hatch).\n\
+             # TYPE specrecon_sweep_scalar_steps_total counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_sweep_scalar_steps_total {}",
+            self.sweep_scalar_steps.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP specrecon_sweep_mean_occupancy Mean slots per lockstep issue over all sweeps.\n\
+             # TYPE specrecon_sweep_mean_occupancy gauge\n",
+        );
+        let issues = self.sweep_issues.load(Ordering::Relaxed);
+        let occ = if issues == 0 {
+            0.0
+        } else {
+            self.sweep_occupancy_sum.load(Ordering::Relaxed) as f64 / issues as f64
+        };
+        let _ = writeln!(out, "specrecon_sweep_mean_occupancy {occ}");
+
+        out.push_str(
             "# HELP specrecon_eval_latency_seconds Wall-clock latency of /v1/eval requests.\n\
              # TYPE specrecon_eval_latency_seconds histogram\n",
         );
@@ -208,6 +271,23 @@ mod tests {
         assert!(text.contains("specrecon_eval_latency_seconds_bucket{le=\"0.5\"} 2"), "{text}");
         assert!(text.contains("specrecon_eval_latency_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("specrecon_eval_latency_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn sweep_counters_accumulate_and_render() {
+        let m = ServerMetrics::default();
+        let empty = CacheStats { hits: 0, misses: 0, evictions: 0, entries: 0 };
+        // Before any sweep, the occupancy gauge must not divide by zero.
+        let text = m.render(0, 0, 8, CacheStats { ..empty });
+        assert!(text.contains("specrecon_sweep_mean_occupancy 0"), "{text}");
+        m.record_sweep(3, 2, 0, 96, 4);
+        m.record_sweep(1, 1, 5, 32, 4);
+        let text = m.render(0, 0, 8, empty);
+        assert!(text.contains("specrecon_sweep_forks_total 4"), "{text}");
+        assert!(text.contains("specrecon_sweep_merges_total 3"), "{text}");
+        assert!(text.contains("specrecon_sweep_scalar_steps_total 5"), "{text}");
+        // (96 + 32) / (4 + 4) = 16 mean slots per issue.
+        assert!(text.contains("specrecon_sweep_mean_occupancy 16"), "{text}");
     }
 
     #[test]

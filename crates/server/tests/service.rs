@@ -159,6 +159,48 @@ fn healthz_metrics_and_eval_round_trip() {
 }
 
 #[test]
+fn sweep_requests_export_fork_merge_counters() {
+    let (addr, handle, runner) = start(local(8, 2));
+
+    // Seed-storm diverges on nearly every round of a seed sweep, so the
+    // fork/merge counters must move; the range form triggers the sweep
+    // engine.
+    let eval =
+        request(&addr, "POST", "/v1/eval", r#"{"workload":"seed-storm","seeds":[0,16]}"#);
+    assert_eq!(eval.status, 200, "sweep eval failed: {}", eval.body);
+    for key in ["\"sweep\"", "\"forks\"", "\"merges\"", "\"mean_occupancy\"", "\"scalar_steps\""] {
+        assert!(eval.body.contains(key), "missing {key} in {}", eval.body);
+    }
+
+    let metrics = request(&addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        scrape_gauge(&metrics.body, "specrecon_sweep_forks_total") > 0.0,
+        "seed-storm sweep must fork:\n{}",
+        metrics.body
+    );
+    assert!(
+        scrape_gauge(&metrics.body, "specrecon_sweep_merges_total") > 0.0,
+        "forked sub-cohorts must merge:\n{}",
+        metrics.body
+    );
+    assert_eq!(
+        scrape_gauge(&metrics.body, "specrecon_sweep_scalar_steps_total"),
+        0.0,
+        "2^warps classes fit the sub-cohort cap:\n{}",
+        metrics.body
+    );
+    assert!(
+        scrape_gauge(&metrics.body, "specrecon_sweep_mean_occupancy") > 1.0,
+        "divergent sweep still issues multiple slots per instruction:\n{}",
+        metrics.body
+    );
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
 fn error_statuses_are_mapped() {
     let (addr, handle, runner) = start(local(8, 2));
 

@@ -12,12 +12,16 @@
 //! and a property test below pins the two formulations to the same
 //! choice for every policy.
 //!
-//! The seed-sweep cohort ([`crate::sweep`]) schedules its shared
+//! The seed-sweep cohort ([`crate::sweep`]) schedules every sub-cohort
 //! control plane through the same [`select_group_mask`] (its
 //! `pick_group_c` mirrors the decoded engine's grouping and converged
-//! fast path exactly), which is what makes a detached scalar machine's
-//! picks provably identical to the cohort's while their control planes
-//! agree — the property the sweep's rejoin logic rests on.
+//! fast path exactly). That pick-equivalence is the invariant the
+//! sweep's fork/merge machinery rests on: two sub-cohorts (or a
+//! sub-cohort and a last-resort detached scalar machine) whose control
+//! planes are equal are guaranteed to pick identically forever after,
+//! so comparing control planes once at a round boundary is a sound
+//! merge test. The cohort's masked data loops iterate slot columns via
+//! [`mask_runs`], the contiguous-run twin of [`lanes`].
 
 use crate::config::SchedulerPolicy;
 
@@ -49,6 +53,43 @@ impl Iterator for Lanes {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = self.0.count_ones() as usize;
         (n, Some(n))
+    }
+}
+
+/// Iterates the maximal runs of consecutive set bits of a mask as
+/// half-open `(start, end)` ranges, ascending.
+///
+/// The seed-sweep engine's slot loops use this to stay dense under
+/// partial masks: a masked column operation becomes a few counted
+/// loops over contiguous slices of the SoA columns (autovectorizable)
+/// instead of one strided gather per set bit. A full mask yields the
+/// single run `(0, 64)`, reproducing the old dense fast path.
+pub(crate) fn mask_runs(mask: u64) -> MaskRuns {
+    MaskRuns(mask)
+}
+
+/// Iterator over maximal contiguous set-bit runs (see [`mask_runs`]).
+pub(crate) struct MaskRuns(u64);
+
+impl Iterator for MaskRuns {
+    type Item = (usize, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.0 == 0 {
+            return None;
+        }
+        let start = self.0.trailing_zeros() as usize;
+        // The run length is the number of trailing ones once the run is
+        // shifted down to bit 0 (all-ones → 64, only possible when
+        // start == 0).
+        let len = (!(self.0 >> start)).trailing_zeros() as usize;
+        if len >= 64 {
+            self.0 = 0;
+        } else {
+            self.0 &= !(((1u64 << len) - 1) << start);
+        }
+        Some((start, start + len))
     }
 }
 
@@ -225,6 +266,35 @@ mod tests {
         assert_eq!(lanes(0b1011).collect::<Vec<_>>(), vec![0, 1, 3]);
         assert_eq!(lanes(1 << 63).collect::<Vec<_>>(), vec![63]);
         assert_eq!(lanes(u64::MAX).count(), 64);
+    }
+
+    #[test]
+    fn mask_runs_yields_maximal_contiguous_ranges() {
+        assert_eq!(mask_runs(0).collect::<Vec<_>>(), Vec::<(usize, usize)>::new());
+        assert_eq!(mask_runs(0b1).collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(mask_runs(0b1011).collect::<Vec<_>>(), vec![(0, 2), (3, 4)]);
+        assert_eq!(mask_runs(u64::MAX).collect::<Vec<_>>(), vec![(0, 64)]);
+        assert_eq!(mask_runs(1 << 63).collect::<Vec<_>>(), vec![(63, 64)]);
+        assert_eq!(mask_runs(0b111 << 61).collect::<Vec<_>>(), vec![(61, 64)]);
+        assert_eq!(mask_runs(u64::MAX ^ (1 << 32)).collect::<Vec<_>>(), vec![(0, 32), (33, 64)]);
+    }
+
+    #[test]
+    fn mask_runs_covers_exactly_the_set_bits() {
+        // Runs must partition the mask: same bits, no overlap, ascending.
+        for mask in [0u64, 1, 0xF0F0_F0F0_F0F0_F0F0, 0x8000_0000_0000_0001, 0x5555, u64::MAX] {
+            let mut rebuilt = 0u64;
+            let mut prev_end = 0usize;
+            for (lo, hi) in mask_runs(mask) {
+                assert!(lo < hi && hi <= 64, "bad run ({lo}, {hi}) for {mask:#x}");
+                assert!(lo >= prev_end, "runs out of order for {mask:#x}");
+                prev_end = hi;
+                for b in lo..hi {
+                    rebuilt |= 1 << b;
+                }
+            }
+            assert_eq!(rebuilt, mask);
+        }
     }
 
     fn to_mask(lanes: &[usize]) -> u64 {

@@ -5,37 +5,58 @@
 //! differ only in RNG-dependent data. This module executes up to 64
 //! seed-*instances* of one launch in lockstep: control state (PCs,
 //! status masks, barrier registers, the scheduler's pick state, the
-//! clock) is stored **once** and shared by the whole cohort, while data
-//! state (register files, local memory, RNG streams, global memory,
-//! cache tags) is stored structure-of-arrays — flat columns indexed
-//! `[cell * nslots + slot]` with no per-instance pointers. One
-//! scheduling decision, one instruction decode, one cost lookup, and
-//! one metrics update then serve every live instance; only the raw
-//! value compute is paid per `(lane, slot)`.
+//! clock) is stored **once per sub-cohort** and shared by every
+//! instance in it, while data state (register files, local memory, RNG
+//! streams, global memory, cache tags) is stored structure-of-arrays —
+//! flat columns indexed `[cell * nslots + slot]` with no per-instance
+//! pointers. One scheduling decision, one instruction decode, one cost
+//! lookup, and one metrics update then serve every instance of a
+//! sub-cohort; only the raw value compute is paid per `(lane, slot)`.
 //!
-//! # Lockstep, fallback, rejoin
+//! # Fork, masked execution, merge
 //!
-//! Lockstep is exact while control flow is uniform across instances.
-//! The three places instance data can steer control are checked every
-//! issue:
+//! Lockstep is exact while control flow is uniform across a
+//! sub-cohort's instances. The three places instance data can steer
+//! control are checked every issue:
 //!
-//! - **branches**: per-slot taken masks are computed first; slots that
-//!   disagree with the largest group *detach* before the branch applies;
+//! - **branches**: per-slot taken masks are computed first; each class
+//!   of slots that disagrees with the largest group *forks* off as a
+//!   child sub-cohort before the branch applies;
 //! - **global accesses**: the coalescing/cache cost model makes the
 //!   issue cost (and cache-counter deltas) data-dependent, so per-slot
 //!   `(cost, hits, misses)` triples are computed without mutation and
-//!   mismatching slots detach with their pre-access state intact;
+//!   each mismatching class forks with its pre-access state intact;
 //! - **faults**: a slot whose lane faults (OOB access, division by
 //!   zero) resolves to that seed's own `Err`, exactly as its scalar run
 //!   would.
 //!
-//! A detached slot falls back to an ordinary scalar [`Machine`] built
-//! from its column of the SoA state and steps cycle-synchronously with
-//! the cohort. At every round boundary where the clocks align, a
-//! `group-merge`-style rejoin compares the scalar machine's control
-//! state against the cohort's shared plane; on a match the machine's
-//! data plane is absorbed back into its column and the slot resumes
-//! lockstep execution.
+//! A fork is speculative reconvergence applied one axis up: instead of
+//! abandoning the vector unit for scalar replay, the diverging class
+//! keeps executing under its slot mask. Only the *control plane* is
+//! copied (pcs, status masks, frame metadata, scheduler state, the
+//! clock) — the SoA value columns are already slot-indexed, so the
+//! child reads and writes the same data plane through its own slot
+//! mask and **no data moves on fork**. The child's control snapshot is
+//! taken before the divergent issue applies, with the issuing warp's
+//! scheduler fields rewound to their pre-pick values, so the child
+//! re-picks and re-executes that issue itself on the exact unbatched
+//! clock — the same replay argument the engine uses for mid-batch
+//! divergence.
+//!
+//! Sub-cohorts are scheduled min-clock-first: the sub-cohort with the
+//! smallest cycle runs its next round. At every round boundary,
+//! sub-cohorts whose clocks and control planes re-agree are *merged*
+//! (slot-mask union; the shared data plane needs no reconciliation),
+//! restoring full-width lockstep after reconvergent divergence. The
+//! control-plane comparison is sound because every sub-cohort
+//! schedules through the same pick path (see [`crate::sched`]): equal
+//! control planes pick identically forever after.
+//!
+//! The old detach-to-scalar path survives only as a last-resort escape
+//! hatch: when a fork would exceed [`MAX_SUBCOHORTS`], the minority
+//! class detaches into ordinary scalar [`Machine`]s that step
+//! cycle-synchronously and may rejoin a sub-cohort whose control plane
+//! matches (the same comparison as a merge).
 //!
 //! # Exactness
 //!
@@ -58,12 +79,41 @@ use crate::exec::{
 use crate::machine::{Launch, SimOutput};
 use crate::metrics::Metrics;
 use crate::rng::SplitMix64;
-use crate::sched::{lanes, select_group_mask};
+use crate::sched::{lanes, mask_runs, select_group_mask};
 use simt_ir::{BarrierId, BarrierOp, BinOp, MemSpace, Operand, RngKind, SpecialValue, Value};
 
 /// Width of one lockstep cohort: slots are tracked in a `u64` mask,
 /// mirroring the lane-mask machinery one level down.
 pub const COHORT_SLOTS: usize = 64;
+
+/// Cap on concurrently live sub-cohorts. Beyond it, a fork's minority
+/// class detaches to scalar machines instead: with divergence this
+/// pathological, the masked rounds' per-sub control overhead stops
+/// amortizing, and bounding the count keeps the merge scan O(cap²) in
+/// the worst round. The cap leaves headroom above the steady state for
+/// the fork/merge oscillation within one scheduling round: with `k`
+/// independently-diverging warps a sub-cohort can transiently split
+/// into `2^k` classes per branch level before the frontier merge scan
+/// folds the re-agreeing planes back together.
+pub const MAX_SUBCOHORTS: usize = 32;
+
+/// Number of buckets in [`SweepStats::occupancy_hist`]: widths 1, 2,
+/// 3–4, 5–8, 9–16, 17–32, 33–64.
+pub const OCCUPANCY_BUCKETS: usize = 7;
+
+/// Human-readable labels for [`SweepStats::occupancy_hist`] buckets.
+pub const OCCUPANCY_BUCKET_LABELS: [&str; OCCUPANCY_BUCKETS] =
+    ["1", "2", "3-4", "5-8", "9-16", "17-32", "33-64"];
+
+/// Histogram bucket of a per-issue sub-cohort width (`1..=64`).
+#[inline]
+fn occupancy_bucket(width: u32) -> usize {
+    if width <= 1 {
+        0
+    } else {
+        (32 - (width - 1).leading_zeros()) as usize
+    }
+}
 
 /// A seed sweep: one launch template run over the half-open seed range
 /// `[seed_lo, seed_hi)`. The template's own [`Launch::seed`] is ignored
@@ -106,14 +156,58 @@ pub struct SeedRun {
 pub struct SweepStats {
     /// Number of seed instances the sweep ran.
     pub instances: usize,
-    /// Instruction issues executed once for the whole cohort.
+    /// Instruction issues executed once for a whole sub-cohort.
     pub lockstep_issues: u64,
-    /// Times an instance left the cohort for scalar stepping.
+    /// Times a divergent slot class forked into a child sub-cohort.
+    pub forks: u64,
+    /// Times two sub-cohorts' control planes re-agreed and merged.
+    pub merges: u64,
+    /// Sum over lockstep issues of the issuing sub-cohort's width;
+    /// `occupancy_sum / lockstep_issues` is the mean occupancy.
+    pub occupancy_sum: u64,
+    /// Lockstep issues by issuing sub-cohort width: buckets 1, 2, 3–4,
+    /// 5–8, 9–16, 17–32, 33–64 (see [`OCCUPANCY_BUCKET_LABELS`]).
+    pub occupancy_hist: [u64; OCCUPANCY_BUCKETS],
+    /// Most sub-cohorts ever live at once.
+    pub peak_subcohorts: u32,
+    /// Times an instance left for scalar stepping (escape hatch: fork
+    /// past [`MAX_SUBCOHORTS`]).
     pub detaches: u64,
     /// Times a detached instance's control realigned and it rejoined.
     pub rejoins: u64,
     /// Scheduling rounds stepped by detached scalar machines.
     pub scalar_steps: u64,
+}
+
+impl SweepStats {
+    /// Mean sub-cohort width per lockstep issue (0 when nothing
+    /// issued).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.lockstep_issues == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.lockstep_issues as f64
+        }
+    }
+
+    /// Folds another sweep's counters into this one. Sums every counter
+    /// except `peak_subcohorts`, which is a high-water mark and takes
+    /// the max — chunked sweeps (one cohort per worker) aggregate to the
+    /// worst single cohort, not a fictitious combined peak.
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.instances += other.instances;
+        self.lockstep_issues += other.lockstep_issues;
+        self.forks += other.forks;
+        self.merges += other.merges;
+        self.occupancy_sum += other.occupancy_sum;
+        for (b, o) in self.occupancy_hist.iter_mut().zip(other.occupancy_hist) {
+            *b += o;
+        }
+        self.peak_subcohorts = self.peak_subcohorts.max(other.peak_subcohorts);
+        self.detaches += other.detaches;
+        self.rejoins += other.rejoins;
+        self.scalar_steps += other.scalar_steps;
+    }
 }
 
 /// Result of a whole sweep: per-seed outcomes in seed order, plus
@@ -122,14 +216,14 @@ pub struct SweepStats {
 pub struct SweepOutput {
     /// One entry per seed, ordered `seed_lo..seed_hi`.
     pub runs: Vec<SeedRun>,
-    /// Lockstep/fallback counters.
+    /// Fork/merge/occupancy counters.
     pub stats: SweepStats,
 }
 
 /// Runs a seed sweep of a decoded image.
 ///
-/// Instances execute in lockstep where control flow is uniform and fall
-/// back to per-instance scalar stepping where it is not (see the module
+/// Instances execute in masked lockstep sub-cohorts that fork where
+/// control flow diverges and merge where it re-agrees (see the module
 /// docs); every [`SeedRun::result`] is bit-identical to a standalone
 /// run of that seed.
 ///
@@ -199,9 +293,9 @@ pub fn run_sweep(
     run_sweep_image(&image, cfg, sweep, None)
 }
 
-/// Stack-frame metadata shared by every slot: structure (where the
-/// frame's register window sits in the SoA arena) is control, the
-/// register *values* inside the window are data.
+/// Stack-frame metadata shared by a sub-cohort's slots: structure
+/// (where the frame's register window sits in the SoA arena) is
+/// control, the register *values* inside the window are data.
 #[derive(Clone, Copy, Debug)]
 struct FrameMeta {
     /// Saved pc; authoritative only while the frame is suspended,
@@ -215,18 +309,26 @@ struct FrameMeta {
     len: usize,
 }
 
-/// One lane's SoA state: shared frame structure plus per-slot value
-/// columns.
+/// One lane's *control* state, owned per sub-cohort: the frame
+/// structure and thread status every slot of the sub-cohort shares.
 #[derive(Clone, Debug)]
-struct CLane {
+struct CtlLane {
     frames: Vec<FrameMeta>,
     status: Status,
-    /// Register values, `[reg_offset * nslots + slot]`; a bump arena
-    /// over the frame stack (frame `i` owns offsets
-    /// `frames[i].base .. frames[i].base + frames[i].len`).
-    vals: Vec<Value>,
     /// Arena high-water offset (== top frame's `base + len`).
     top: usize,
+}
+
+/// One lane's *data* columns, shared by every sub-cohort: sub-cohorts
+/// address disjoint slot sets, so masked access needs no locking and a
+/// fork moves nothing.
+#[derive(Clone, Debug)]
+struct DLane {
+    /// Register values, `[reg_offset * nslots + slot]`; a bump arena
+    /// over each sub-cohort's frame stack (frame `i` owns offsets
+    /// `frames[i].base .. frames[i].base + frames[i].len`). Sized to
+    /// the deepest sub-cohort; never shrinks.
+    vals: Vec<Value>,
     /// Per-slot RNG streams.
     rng: Vec<SplitMix64>,
     /// Local memory, `[cell * nslots + slot]`.
@@ -243,13 +345,52 @@ enum Row {
     At(usize),
 }
 
-impl CLane {
+impl CtlLane {
     /// Register base offset of the top (live) frame.
     #[inline]
     fn cur_base(&self) -> usize {
         self.frames.last().expect("lane has no frame").base
     }
 
+    /// Pushes a callee frame: extends the arena by `num_regs` offsets,
+    /// default-initializing the new window for `slots` only — other
+    /// sub-cohorts share the arena and may hold live values in these
+    /// rows' other columns.
+    fn push_frame(
+        &mut self,
+        d: &mut DLane,
+        ns: usize,
+        slots: u64,
+        pc: usize,
+        ret_regs: PoolRange,
+        num_regs: usize,
+    ) {
+        let base = self.top;
+        self.top += num_regs;
+        let want = self.top * ns;
+        if d.vals.len() < want {
+            d.vals.resize(want, Value::default());
+        }
+        for r in base..self.top {
+            let row = r * ns;
+            for (lo, hi) in mask_runs(slots) {
+                for v in &mut d.vals[row + lo..row + hi] {
+                    *v = Value::default();
+                }
+            }
+        }
+        self.frames.push(FrameMeta { pc, ret_regs, base, len: num_regs });
+    }
+
+    /// Pops the top frame, releasing its arena window.
+    fn pop_frame(&mut self) -> FrameMeta {
+        let m = self.frames.pop().expect("return without frame");
+        self.top = m.base;
+        m
+    }
+}
+
+impl DLane {
     /// Resolves an operand to a [`Row`] against the frame at `base`.
     #[inline]
     fn row(&self, ns: usize, base: usize, op: Operand) -> Row {
@@ -282,36 +423,14 @@ impl CLane {
             Operand::Reg(r) => self.vals[(base + r.index()) * ns + slot],
         }
     }
-
-    /// Pushes a callee frame: extends the arena by `num_regs` offsets
-    /// (every slot's new registers default-initialized, matching the
-    /// scalar engine's fresh frame).
-    fn push_frame(&mut self, ns: usize, pc: usize, ret_regs: PoolRange, num_regs: usize) {
-        let base = self.top;
-        self.top += num_regs;
-        let want = self.top * ns;
-        if self.vals.len() < want {
-            self.vals.resize(want, Value::default());
-        }
-        for v in &mut self.vals[base * ns..want] {
-            *v = Value::default();
-        }
-        self.frames.push(FrameMeta { pc, ret_regs, base, len: num_regs });
-    }
-
-    /// Pops the top frame, releasing its arena window.
-    fn pop_frame(&mut self) -> FrameMeta {
-        let m = self.frames.pop().expect("return without frame");
-        self.top = m.base;
-        m
-    }
 }
 
-/// One warp's shared control plane plus its lanes' SoA data.
+/// One warp's control plane, owned per sub-cohort.
 #[derive(Clone, Debug)]
 struct CWarp {
-    lanes_v: Vec<CLane>,
-    /// Live pc of each lane's top frame (shared across slots).
+    lanes_c: Vec<CtlLane>,
+    /// Live pc of each lane's top frame (shared across the sub-cohort's
+    /// slots).
     pcs: Vec<usize>,
     /// Barrier participation masks.
     masks: Vec<u64>,
@@ -324,16 +443,40 @@ struct CWarp {
     rr_cursor: usize,
     last_lanes: u64,
     done: bool,
+}
+
+/// One warp's data plane, shared by every sub-cohort.
+#[derive(Clone, Debug)]
+struct DWarp {
+    lanes_d: Vec<DLane>,
     /// Direct-mapped L1 tags, `[line_index * nslots + slot]` — cache
     /// *contents* are per-slot data (global addresses diverge), only
-    /// the resulting cost/hit/miss triple must stay uniform.
+    /// the resulting cost/hit/miss triple must stay uniform within a
+    /// sub-cohort.
     cache_tags: Vec<Option<i64>>,
 }
 
-/// What one issue needs to know to materialize a scalar machine
-/// mid-round: which warp is issuing and its pre-pick scheduler fields
-/// (the pick already advanced them; a detached machine must re-run the
-/// pick itself).
+/// One masked sub-cohort: a control plane plus the slot mask it
+/// governs and its own clock and metrics accumulator. Forked from its
+/// parent on control divergence; merged back when control re-agrees.
+#[derive(Clone, Debug)]
+struct SubCohort {
+    /// Slots executing under this control plane (disjoint across
+    /// sub-cohorts).
+    slots: u64,
+    cycle: u64,
+    /// Shared metrics accumulator: every counter a scalar run would
+    /// bump is bumped once here for the whole sub-cohort. A slot's true
+    /// metrics are `metrics + bases[slot]`. `cycles` stays 0 until
+    /// finalization.
+    metrics: Metrics,
+    warps: Vec<CWarp>,
+}
+
+/// What one issue needs to know to fork a child sub-cohort (or
+/// materialize a scalar machine) mid-round: which warp is issuing and
+/// its pre-pick scheduler fields (the pick already advanced them; the
+/// child must re-run the pick itself).
 #[derive(Clone, Copy)]
 struct IssueCtx {
     w: usize,
@@ -343,8 +486,8 @@ struct IssueCtx {
     /// scalar run would pick this instruction. For the round's first
     /// issue that is the warp's stored value; for the i-th batched
     /// issue it is `round cycle + Σ costs of the batch prefix` — the
-    /// exact cycle the unbatched timeline reaches that pick, so a slot
-    /// detaching mid-batch replays on the true clock.
+    /// exact cycle the unbatched timeline reaches that pick, so a class
+    /// forking mid-batch replays on the true clock.
     pre_busy_until: u64,
 }
 
@@ -355,43 +498,45 @@ enum SlotFault {
     Arith { lane: usize, message: String },
 }
 
-/// The lockstep sweep machine: shared control plane + SoA data plane.
+/// The lockstep sweep machine: forked control planes over one SoA data
+/// plane.
 struct Cohort<'m> {
     image: &'m DecodedImage,
     cfg: &'m SimConfig,
-    /// Per-pc issue costs, shared by cohort and detached machines.
+    /// Per-pc issue costs, shared by sub-cohorts and detached machines.
     costs: Vec<u32>,
     /// Cohort width (number of seed instances), fixed for the whole
-    /// run: columns keep stride `nslots` even after slots detach.
+    /// run: columns keep stride `nslots` even as slots fork and resolve.
     nslots: usize,
-    /// Slots currently executing in lockstep.
-    live: u64,
     seed_lo: u64,
-    warps: Vec<CWarp>,
+    /// Live sub-cohorts, unordered (the run loop picks min-clock).
+    subs: Vec<SubCohort>,
+    /// The shared data plane, one entry per warp.
+    data: Vec<DWarp>,
     /// Global memory, `[addr * nslots + slot]`.
     global: Vec<Value>,
     global_len: usize,
     local_len: usize,
-    /// Shared metrics accumulator: every counter a scalar run would
-    /// bump is bumped once here while instances are in lockstep.
-    /// `cycles` stays 0 until finalization.
-    metrics: Metrics,
-    /// Per-slot metrics deltas (wrapping): a slot's true metrics are
-    /// `metrics + bases[slot]`. Zero while a slot has never detached.
+    /// Per-slot metrics deltas (wrapping) relative to the owning
+    /// sub-cohort's accumulator: a slot's true metrics are
+    /// `sub.metrics + bases[slot]`. Zero until the slot's first
+    /// fork/merge/rejoin.
     bases: Vec<Metrics>,
-    /// Detached scalar machines, stepped cycle-synchronously.
+    /// Detached scalar machines (escape hatch), stepped
+    /// cycle-synchronously.
     detached: Vec<Option<Machine<'m>>>,
     /// Slots with a machine in `detached` (hot-loop early-out).
     detached_mask: u64,
     /// Final per-seed results, filled as instances resolve.
     results: Vec<Option<Result<SimOutput, SimError>>>,
     stats: SweepStats,
-    cycle: u64,
     // Reusable hot-loop buffers.
     groups: Vec<(usize, u64)>,
     /// Pcs of the groups the last pick did *not* choose — the cohort
     /// twin of [`Scratch::other_pcs`], consulted by the straight-line
-    /// batcher's merge guard (empty after a converged pick).
+    /// batcher's merge guard (empty after a converged pick). Per-pick
+    /// scratch: every round's pick rewrites it before the batcher
+    /// reads it, so it is safely shared across sub-cohorts.
     other_pcs: Vec<usize>,
     /// Per-slot address staging for global accesses,
     /// `[slot * lanes_in_mask + idx]`.
@@ -408,7 +553,8 @@ struct Cohort<'m> {
 
 impl<'m> Cohort<'m> {
     /// Validates the launch (identically to [`Machine::new`]) and
-    /// builds the initial SoA state for `nslots` instances.
+    /// builds the initial SoA state for `nslots` instances: one root
+    /// sub-cohort owning every slot, over one shared data plane.
     fn new(
         image: &'m DecodedImage,
         cfg: &'m SimConfig,
@@ -437,8 +583,10 @@ impl<'m> Cohort<'m> {
         let cache_lines = cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
 
         let mut warps = Vec::with_capacity(launch.num_warps);
+        let mut data = Vec::with_capacity(launch.num_warps);
         for w in 0..launch.num_warps {
-            let mut lanes_v = Vec::with_capacity(width);
+            let mut lanes_c = Vec::with_capacity(width);
+            let mut lanes_d = Vec::with_capacity(width);
             for lane in 0..width {
                 let tid = (w * width + lane) as u64;
                 let mut vals = vec![Value::default(); num_regs * nslots];
@@ -447,7 +595,7 @@ impl<'m> Cohort<'m> {
                         vals[i * nslots + s] = *a;
                     }
                 }
-                lanes_v.push(CLane {
+                lanes_c.push(CtlLane {
                     frames: vec![FrameMeta {
                         pc: entry,
                         ret_regs: PoolRange::EMPTY,
@@ -455,8 +603,10 @@ impl<'m> Cohort<'m> {
                         len: num_regs,
                     }],
                     status: Status::Runnable,
-                    vals,
                     top: num_regs,
+                });
+                lanes_d.push(DLane {
+                    vals,
                     rng: (0..nslots)
                         .map(|s| SplitMix64::for_sweep_instance(sweep.seed_lo, s as u64, tid))
                         .collect(),
@@ -464,7 +614,7 @@ impl<'m> Cohort<'m> {
                 });
             }
             warps.push(CWarp {
-                lanes_v,
+                lanes_c,
                 pcs: vec![entry; width],
                 masks: vec![0; image.num_barriers],
                 lane_mask,
@@ -476,8 +626,8 @@ impl<'m> Cohort<'m> {
                 rr_cursor: 0,
                 last_lanes: 0,
                 done: false,
-                cache_tags: vec![None; cache_lines * nslots],
             });
+            data.push(DWarp { lanes_d, cache_tags: vec![None; cache_lines * nslots] });
         }
 
         let mut global = vec![Value::default(); launch.global_mem.len() * nslots];
@@ -487,25 +637,32 @@ impl<'m> Cohort<'m> {
             }
         }
 
-        let live = if nslots == 64 { u64::MAX } else { (1u64 << nslots) - 1 };
+        let slots = if nslots == 64 { u64::MAX } else { (1u64 << nslots) - 1 };
         Ok(Cohort {
             image,
             cfg,
             costs: image.resolve_costs(&cfg.latency),
             nslots,
-            live,
             seed_lo: sweep.seed_lo,
-            warps,
+            subs: vec![SubCohort {
+                slots,
+                cycle: 0,
+                metrics: Metrics::new(launch.num_warps, width),
+                warps,
+            }],
+            data,
             global,
             global_len: launch.global_mem.len(),
             local_len: launch.local_mem_size,
-            metrics: Metrics::new(launch.num_warps, width),
             bases: vec![Metrics::new(launch.num_warps, width); nslots],
             detached: (0..nslots).map(|_| None).collect(),
             detached_mask: 0,
             results: vec![None; nslots],
-            stats: SweepStats { instances: nslots, ..SweepStats::default() },
-            cycle: 0,
+            stats: SweepStats {
+                instances: nslots,
+                peak_subcohorts: 1,
+                ..SweepStats::default()
+            },
             groups: Vec::new(),
             other_pcs: Vec::new(),
             addr_buf: Vec::new(),
@@ -515,23 +672,35 @@ impl<'m> Cohort<'m> {
         })
     }
 
-    /// Drives the cohort and its detached machines to completion.
+    /// Drives every sub-cohort and detached machine to completion:
+    /// min-clock-first over the sub-cohorts, with merge and rejoin
+    /// checks at each visited round boundary.
     fn run(mut self, cancel: Option<&CancelToken>) -> Result<SweepOutput, SimError> {
-        loop {
-            if let Some(t) = cancel {
-                if t.is_cancelled() {
-                    return Err(SimError::Cancelled { cycle: self.cycle });
+        while !self.subs.is_empty() {
+            let t = self.subs.iter().map(|sc| sc.cycle).min().expect("subs non-empty");
+            if let Some(tok) = cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled { cycle: t });
                 }
             }
-            if self.live == 0 {
-                break;
-            }
-            // Catch detached machines up to the cohort clock and rejoin
-            // any whose control realigned at this round boundary.
-            self.drive_detached();
-            if self.round() {
-                self.finalize_live();
-                break;
+            // Reconvergence checks happen at the frontier cycle before
+            // anything at it executes: merge sub-cohorts whose control
+            // re-agreed, then catch detached machines up and rejoin any
+            // whose control realigned.
+            self.merge_at(t);
+            self.drive_detached(t);
+            let si = self
+                .subs
+                .iter()
+                .position(|sc| sc.cycle == t)
+                .expect("a sub-cohort sits at the minimum cycle");
+            // The running sub-cohort is moved out of `subs` for the
+            // round so forked children can push into `subs` mid-issue.
+            let mut sub = self.subs.swap_remove(si);
+            if self.round(&mut sub) {
+                self.finalize_sub(&sub);
+            } else if sub.slots != 0 {
+                self.subs.push(sub);
             }
         }
         self.finish_detached(cancel)?;
@@ -547,64 +716,110 @@ impl<'m> Cohort<'m> {
         Ok(SweepOutput { runs, stats: self.stats })
     }
 
-    /// Marks a slot resolved with its own terminal error.
-    fn resolve_err(&mut self, s: usize, e: SimError) {
-        self.live &= !(1u64 << s);
+    /// Marks a slot of `sub` resolved with its own terminal error.
+    fn resolve_err(&mut self, sub: &mut SubCohort, s: usize, e: SimError) {
+        sub.slots &= !(1u64 << s);
         self.results[s] = Some(Err(e));
     }
 
-    /// Resolves every live slot with one shared error (deadlock, cycle
-    /// budget): these arise purely from shared control state, so every
-    /// instance's scalar run would fail identically.
-    fn resolve_all_live(&mut self, e: &SimError) {
-        for s in lanes(self.live) {
+    /// Resolves every slot of `sub` with one shared error (deadlock,
+    /// cycle budget): these arise purely from shared control state, so
+    /// every instance's scalar run would fail identically.
+    fn resolve_all(&mut self, sub: &mut SubCohort, e: &SimError) {
+        for s in lanes(sub.slots) {
             self.results[s] = Some(Err(e.clone()));
         }
-        self.live = 0;
+        sub.slots = 0;
     }
 
-    /// One scheduling round over the shared control plane — the cohort
-    /// mirror of [`Machine::step`], including the straight-line batcher
-    /// (batched and unbatched execution are equivalent in every
+    /// Records one lockstep issue by the sub-cohort currently `width`
+    /// slots wide.
+    #[inline]
+    fn note_issue(&mut self, width: u32) {
+        self.stats.lockstep_issues += 1;
+        self.stats.occupancy_sum += u64::from(width);
+        self.stats.occupancy_hist[occupancy_bucket(width)] += 1;
+    }
+
+    /// Merges every pair of sub-cohorts sitting at cycle `t` whose
+    /// control planes are equal: the merged group keeps one plane, the
+    /// other's slots fold in under their metrics delta, and the shared
+    /// data plane needs no reconciliation. Sound because equal control
+    /// planes pick identically forever (see [`crate::sched`]).
+    fn merge_at(&mut self, t: u64) {
+        if self.subs.len() < 2 {
+            return;
+        }
+        let mut i = 0;
+        while i < self.subs.len() {
+            if self.subs[i].cycle != t {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < self.subs.len() {
+                if self.subs[j].cycle == t && subs_match(&self.subs[i], &self.subs[j]) {
+                    let b = self.subs.swap_remove(j);
+                    let d = metrics_delta(&b.metrics, &self.subs[i].metrics);
+                    for s in lanes(b.slots) {
+                        self.bases[s] = metrics_sum(&self.bases[s], &d);
+                    }
+                    self.subs[i].slots |= b.slots;
+                    self.stats.merges += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// One scheduling round of `sub` over its control plane — the
+    /// cohort mirror of [`Machine::step`], including the straight-line
+    /// batcher (batched and unbatched execution are equivalent in every
     /// observable; the cohort batches so the per-round scheduling cost
     /// it amortizes across slots matches the scalar baseline's).
     /// Returns `true` once every warp has finished.
-    fn round(&mut self) -> bool {
+    fn round(&mut self, sub: &mut SubCohort) -> bool {
+        // `sub` is popped off `self.subs` while it runs, so a non-empty
+        // `subs` (or any detached machine) means the cohort is split.
+        let split = !self.subs.is_empty() || self.detached_mask != 0;
         let mut next_ready = u64::MAX;
         let mut all_done = true;
-        for w in 0..self.warps.len() {
-            if self.warps[w].done {
+        for w in 0..sub.warps.len() {
+            if sub.warps[w].done {
                 continue;
             }
             all_done = false;
-            if self.warps[w].busy_until > self.cycle {
-                next_ready = next_ready.min(self.warps[w].busy_until);
+            if sub.warps[w].busy_until > sub.cycle {
+                next_ready = next_ready.min(sub.warps[w].busy_until);
                 continue;
             }
             let ctx = IssueCtx {
                 w,
-                pre_last_lanes: self.warps[w].last_lanes,
-                pre_rr_cursor: self.warps[w].rr_cursor,
-                pre_busy_until: self.warps[w].busy_until,
+                pre_last_lanes: sub.warps[w].last_lanes,
+                pre_rr_cursor: sub.warps[w].rr_cursor,
+                pre_busy_until: sub.warps[w].busy_until,
             };
-            match self.pick_group_c(w) {
+            match self.pick_group_c(sub, w) {
                 Some((pc, mask)) => {
-                    self.warps[w].last_lanes = mask;
+                    sub.warps[w].last_lanes = mask;
                     // Stall pressure samples before execution, exactly
                     // like the scalar engine's issue path.
-                    let waiting_lanes = self.warps[w].waiting.count_ones();
-                    let cost = self.exec_c(pc, mask, ctx);
-                    if self.live == 0 {
-                        // Every remaining instance detached or faulted
-                        // mid-round; the shared plane is abandoned and
-                        // the detached machines replay from their own
-                        // consistent snapshots.
+                    let waiting_lanes = sub.warps[w].waiting.count_ones();
+                    let div0 = self.stats.forks + self.stats.detaches;
+                    let cost = self.exec_c(sub, pc, mask, ctx);
+                    if sub.slots == 0 {
+                        // Every instance of this sub-cohort forked,
+                        // detached, or faulted mid-round; its plane is
+                        // abandoned and the children replay from their
+                        // own consistent snapshots.
                         return false;
                     }
                     let roi = self.image.roi[pc];
-                    self.metrics.record_issue(w, mask, cost.max(1), roi, waiting_lanes);
-                    self.stats.lockstep_issues += 1;
-                    let mut busy = self.cycle + u64::from(cost.max(1));
+                    sub.metrics.record_issue(w, mask, cost.max(1), roi, waiting_lanes);
+                    self.note_issue(sub.slots.count_ones());
+                    let mut busy = sub.cycle + u64::from(cost.max(1));
                     // Straight-line batching, mirroring the scalar
                     // engine's run-ahead (see [`Machine::step`]): a
                     // group that is provably re-picked unchanged
@@ -618,57 +833,83 @@ impl<'m> Cohort<'m> {
                     // mask, the RoundRobin cursor is consumed per issue
                     // exactly as the converged pick would, and
                     // `pre_busy_until` carries the unbatched clock — so
-                    // a slot detaching mid-batch (cross-seed branch
-                    // divergence) still materializes the exact scalar
+                    // a class forking mid-batch (cross-seed branch
+                    // divergence) still snapshots the exact control
                     // state an unbatched run would reach at that pick.
                     // Faultable ops only batch when every (lane, slot)
                     // operand is provably safe: per-seed faults must
                     // surface at their precise round.
-                    if keeps_lockstep(&self.image.insts[pc])
-                        && (mask == self.warps[w].runnable
+                    // A divergent issue ends the batch (and skips
+                    // starting one): the sooner this sub returns to the
+                    // run loop, the sooner its frontier lines up with
+                    // the sibling it just forked from — letting
+                    // re-agreeing sub-cohorts merge after one arm
+                    // instead of forking again rounds ahead of the
+                    // merge scan. Cutting a batch short is always
+                    // equivalent to unbatched execution.
+                    if self.stats.forks + self.stats.detaches == div0
+                        && keeps_lockstep(&self.image.insts[pc])
+                        && (mask == sub.warps[w].runnable
                             || self.cfg.scheduler == SchedulerPolicy::Greedy)
                     {
                         let lead = mask.trailing_zeros() as usize;
                         let round_robin = self.cfg.scheduler == SchedulerPolicy::RoundRobin;
                         for _ in 0..BATCH_LIMIT {
-                            let npc = self.warps[w].pcs[lead];
+                            let npc = sub.warps[w].pcs[lead];
                             let inst = &self.image.insts[npc];
                             let branch = matches!(inst, DecodedInst::Branch { .. });
+                            if branch && split {
+                                // While the cohort is split, every sub
+                                // stops at every branch: forks and the
+                                // code between branches cost the same
+                                // in every sibling, so this keeps the
+                                // sub-cohorts' round boundaries on one
+                                // cadence — equal-cycle frontiers recur
+                                // and re-agreeing planes actually meet
+                                // in the merge scan instead of
+                                // leapfrogging each other forever.
+                                break;
+                            }
                             if self.other_pcs.contains(&npc) {
                                 // Pending merge with a frozen group:
                                 // the next real round must re-group.
                                 break;
                             }
                             if !(branch || is_warp_local(inst))
-                                || !self.batch_fault_free_c(w, mask, inst)
+                                || !self.batch_fault_free_c(sub, w, mask, inst)
                             {
                                 break;
                             }
                             let bctx = IssueCtx {
                                 w,
                                 pre_last_lanes: mask,
-                                pre_rr_cursor: self.warps[w].rr_cursor,
+                                pre_rr_cursor: sub.warps[w].rr_cursor,
                                 pre_busy_until: busy,
                             };
                             if round_robin {
-                                let rr = &mut self.warps[w].rr_cursor;
+                                let rr = &mut sub.warps[w].rr_cursor;
                                 *rr = rr.wrapping_add(1);
                             }
-                            let c = self.exec_c(npc, mask, bctx);
-                            if self.live == 0 {
+                            let divb = self.stats.forks + self.stats.detaches;
+                            let c = self.exec_c(sub, npc, mask, bctx);
+                            if sub.slots == 0 {
                                 return false;
                             }
-                            self.metrics.record_issue(
+                            let diverged = self.stats.forks + self.stats.detaches != divb;
+                            sub.metrics.record_issue(
                                 w,
                                 mask,
                                 c.max(1),
                                 self.image.roi[npc],
                                 waiting_lanes,
                             );
-                            self.stats.lockstep_issues += 1;
+                            self.note_issue(sub.slots.count_ones());
                             busy += u64::from(c.max(1));
+                            if diverged {
+                                break;
+                            }
                             if branch {
-                                let warp = &self.warps[w];
+                                let warp = &sub.warps[w];
                                 let tpc = warp.pcs[lead];
                                 if lanes(mask).any(|l| warp.pcs[l] != tpc) {
                                     // The group split; the next round
@@ -679,29 +920,29 @@ impl<'m> Cohort<'m> {
                             }
                         }
                     }
-                    self.warps[w].busy_until = busy;
+                    sub.warps[w].busy_until = busy;
                     next_ready = next_ready.min(busy);
                 }
                 None => {
-                    let live_lanes = self.warps[w].lane_mask & !self.warps[w].exited;
+                    let live_lanes = sub.warps[w].lane_mask & !sub.warps[w].exited;
                     if live_lanes == 0 {
-                        self.warps[w].done = true;
+                        sub.warps[w].done = true;
                     } else {
                         // Deadlock is a property of shared control:
                         // every live instance fails with the identical
                         // diagnostic its scalar run would build here.
                         let waiting = lanes(live_lanes)
                             .map(|l| {
-                                let b = match self.warps[w].lanes_v[l].status {
+                                let b = match sub.warps[w].lanes_c[l].status {
                                     Status::Waiting(b) => b,
                                     _ => BarrierId(0),
                                 };
-                                (self.location(w, l), b)
+                                (self.location_at(w, l, sub.warps[w].pcs[l]), b)
                             })
                             .collect();
-                        let barriers = self.barrier_dump(w);
-                        let e = SimError::Deadlock { cycle: self.cycle, waiting, barriers };
-                        self.resolve_all_live(&e);
+                        let barriers = Self::barrier_dump(&sub.warps[w]);
+                        let e = SimError::Deadlock { cycle: sub.cycle, waiting, barriers };
+                        self.resolve_all(sub, &e);
                         return false;
                     }
                 }
@@ -710,24 +951,24 @@ impl<'m> Cohort<'m> {
         if all_done {
             return true;
         }
-        if self.cycle >= self.cfg.max_cycles {
+        if sub.cycle >= self.cfg.max_cycles {
             let e = SimError::MaxCyclesExceeded { limit: self.cfg.max_cycles };
-            self.resolve_all_live(&e);
+            self.resolve_all(sub, &e);
             return false;
         }
         if next_ready != u64::MAX {
-            self.cycle = next_ready.max(self.cycle + 1);
+            sub.cycle = next_ready.max(sub.cycle + 1);
         }
         false
     }
 
-    /// Finalizes every still-live slot into its output at the cohort's
-    /// finish cycle.
-    fn finalize_live(&mut self) {
+    /// Finalizes every slot of a finished sub-cohort into its output at
+    /// the sub-cohort's finish cycle.
+    fn finalize_sub(&mut self, sub: &SubCohort) {
         let ns = self.nslots;
-        for s in lanes(self.live) {
-            let mut metrics = metrics_sum(&self.metrics, &self.bases[s]);
-            metrics.cycles = self.cycle;
+        for s in lanes(sub.slots) {
+            let mut metrics = metrics_sum(&sub.metrics, &self.bases[s]);
+            metrics.cycles = sub.cycle;
             let global_mem = (0..self.global_len).map(|a| self.global[a * ns + s]).collect();
             self.results[s] = Some(Ok(SimOutput {
                 metrics,
@@ -737,13 +978,12 @@ impl<'m> Cohort<'m> {
                 journal: None,
             }));
         }
-        self.live = 0;
     }
 
-    /// Steps every detached machine up to the cohort clock, resolving
-    /// the ones that finish or fail, and rejoins any whose control
-    /// plane matches the cohort's at this round boundary.
-    fn drive_detached(&mut self) {
+    /// Steps every detached machine up to the frontier cycle `t`,
+    /// resolving the ones that finish or fail, and rejoins any whose
+    /// control plane matches a sub-cohort's at this round boundary.
+    fn drive_detached(&mut self, t: u64) {
         if self.detached_mask == 0 {
             return;
         }
@@ -751,7 +991,7 @@ impl<'m> Cohort<'m> {
             let Some(mut m) = self.detached[s].take() else { continue };
             let mut finished = false;
             let mut err = None;
-            while m.cycle < self.cycle {
+            while m.cycle < t {
                 self.stats.scalar_steps += 1;
                 match m.step() {
                     Ok(false) => {}
@@ -771,8 +1011,12 @@ impl<'m> Cohort<'m> {
             } else if let Some(e) = err {
                 self.results[s] = Some(Err(e));
                 self.detached_mask &= !(1u64 << s);
-            } else if m.cycle == self.cycle && self.control_matches(&m) {
-                self.absorb(s, m);
+            } else if let Some(si) = self
+                .subs
+                .iter()
+                .position(|sc| sc.cycle == t && m.cycle == t && control_matches(sc, &m))
+            {
+                self.absorb(si, s, &m);
                 self.detached_mask &= !(1u64 << s);
             } else {
                 self.detached[s] = Some(m);
@@ -780,8 +1024,8 @@ impl<'m> Cohort<'m> {
         }
     }
 
-    /// Runs every remaining detached machine to completion (the cohort
-    /// is finished or abandoned; clock synchrony no longer matters).
+    /// Runs every remaining detached machine to completion (every
+    /// sub-cohort is finished; clock synchrony no longer matters).
     fn finish_detached(&mut self, cancel: Option<&CancelToken>) -> Result<(), SimError> {
         for s in 0..self.nslots {
             let Some(mut m) = self.detached[s].take() else { continue };
@@ -868,11 +1112,14 @@ fn push_line_span(lines_out: &mut Vec<i64>, addrs: &[i64], cells: i64) -> usize 
 }
 
 /// Partitions live slots by a per-slot key: the largest class (ties
-/// broken toward the class containing the lowest slot) stays in the
-/// cohort; everyone else detaches. Returns the detach mask.
-fn partition_detach<K: PartialEq + Copy>(live: u64, key: impl Fn(usize) -> K) -> u64 {
-    // Divergence across seeds is rare and shallow; a linear class scan
-    // over at most 64 slots is plenty.
+/// broken toward the class containing the lowest slot) keeps the
+/// current sub-cohort; every other class is returned to fork off.
+fn partition_classes<K: PartialEq + Copy>(
+    live: u64,
+    key: impl Fn(usize) -> K,
+) -> (u64, Vec<u64>) {
+    // Divergence across seeds is shallow in practice; a linear class
+    // scan over at most 64 slots is plenty.
     let mut classes: Vec<(K, u64, u32)> = Vec::new();
     for s in lanes(live) {
         let k = key(s);
@@ -894,18 +1141,90 @@ fn partition_detach<K: PartialEq + Copy>(live: u64, key: impl Fn(usize) -> K) ->
             winner = mask;
         }
     }
-    live & !winner
+    let minorities =
+        classes.iter().map(|&(_, mask, _)| mask).filter(|&m| m != winner).collect();
+    (winner, minorities)
 }
 
-// Scheduling, control, and diagnostics over the shared plane — mirrors
-// of the scalar engine's methods, operating on `CWarp`.
+/// Whether two sub-cohorts' control planes are equal — the merge test.
+///
+/// Compared: per warp — pcs, barrier masks, status masks, per-lane
+/// statuses, frame structure (depth, per-frame register count,
+/// return-register spans, and the saved pc of *suspended* frames; the
+/// top frame's [`FrameMeta::pc`] is stale by design on both sides and
+/// never read), `busy_until`, `rr_cursor`, `last_lanes`, `done`. Frame
+/// arena offsets (`base`, `top`) are implied by the per-frame lengths
+/// (the arena is a bump allocator), so equal lengths mean both planes
+/// address the same columns.
+fn subs_match(a: &SubCohort, b: &SubCohort) -> bool {
+    a.warps.iter().zip(b.warps.iter()).all(|(aw, bw)| {
+        if aw.done != bw.done
+            || aw.busy_until != bw.busy_until
+            || aw.rr_cursor != bw.rr_cursor
+            || aw.last_lanes != bw.last_lanes
+            || aw.runnable != bw.runnable
+            || aw.waiting != bw.waiting
+            || aw.at_sync != bw.at_sync
+            || aw.exited != bw.exited
+            || aw.pcs != bw.pcs
+            || aw.masks != bw.masks
+        {
+            return false;
+        }
+        aw.lanes_c.iter().zip(bw.lanes_c.iter()).all(|(al, bl)| {
+            if al.status != bl.status || al.frames.len() != bl.frames.len() {
+                return false;
+            }
+            let top = al.frames.len() - 1;
+            al.frames.iter().zip(bl.frames.iter()).enumerate().all(|(i, (af, bf))| {
+                af.len == bf.len && af.ret_regs == bf.ret_regs && (i == top || af.pc == bf.pc)
+            })
+        })
+    })
+}
+
+/// Whether a detached machine's control plane equals a sub-cohort's —
+/// the rejoin test, same comparison as [`subs_match`] against the
+/// scalar representation. Ignored: `pick_hint`/`other_pcs` (scheduling
+/// hints are provably behavior-neutral) and cache tags (per-slot data
+/// in the cohort).
+fn control_matches(sub: &SubCohort, m: &Machine<'_>) -> bool {
+    sub.warps.iter().zip(m.warps.iter()).all(|(cw, mw)| {
+        if cw.done != mw.done
+            || cw.busy_until != mw.busy_until
+            || cw.rr_cursor != mw.rr_cursor
+            || cw.last_lanes != mw.last_lanes
+            || cw.runnable != mw.runnable
+            || cw.waiting != mw.waiting
+            || cw.at_sync != mw.at_sync
+            || cw.exited != mw.exited
+            || cw.pcs != mw.pcs
+            || cw.masks != mw.masks
+        {
+            return false;
+        }
+        cw.lanes_c.iter().zip(mw.threads.iter()).all(|(cl, t)| {
+            if cl.status != t.status || cl.frames.len() != t.frames.len() {
+                return false;
+            }
+            let top = cl.frames.len() - 1;
+            cl.frames.iter().zip(t.frames.iter()).enumerate().all(|(i, (fm, f))| {
+                fm.len == f.regs.len()
+                    && fm.ret_regs == f.ret_regs
+                    && (i == top || fm.pc == f.pc)
+            })
+        })
+    })
+}
+
+// Scheduling, control, and diagnostics over a sub-cohort's plane —
+// mirrors of the scalar engine's methods, operating on `CWarp`.
 impl Cohort<'_> {
     /// Debug-only invariant, mirroring [`Machine`]'s `check_masks`.
     #[cfg(debug_assertions)]
-    fn check_masks(&self, w: usize) {
-        let warp = &self.warps[w];
+    fn check_masks(cw: &CWarp, w: usize) {
         let mut expect = (0u64, 0u64, 0u64, 0u64);
-        for (l, t) in warp.lanes_v.iter().enumerate() {
+        for (l, t) in cw.lanes_c.iter().enumerate() {
             let bit = 1u64 << l;
             match t.status {
                 Status::Runnable => expect.0 |= bit,
@@ -915,7 +1234,7 @@ impl Cohort<'_> {
             }
         }
         assert_eq!(
-            (warp.runnable, warp.waiting, warp.at_sync, warp.exited),
+            (cw.runnable, cw.waiting, cw.at_sync, cw.exited),
             expect,
             "status masks out of sync with lane statuses in warp {w}"
         );
@@ -923,16 +1242,17 @@ impl Cohort<'_> {
 
     /// Groups runnable lanes by pc and applies the scheduler policy —
     /// the cohort twin of [`Machine`]'s `pick_group` (identical
-    /// converged fast path, group construction, and policy call, so a
-    /// scalar machine over the same control state picks identically).
-    fn pick_group_c(&mut self, w: usize) -> Option<(usize, u64)> {
+    /// converged fast path, group construction, and policy call, so
+    /// any control plane equal to this one — another sub-cohort's or a
+    /// scalar machine's — picks identically).
+    fn pick_group_c(&mut self, sub: &mut SubCohort, w: usize) -> Option<(usize, u64)> {
         #[cfg(debug_assertions)]
-        self.check_masks(w);
-        let runnable = self.warps[w].runnable;
+        Self::check_masks(&sub.warps[w], w);
+        let runnable = sub.warps[w].runnable;
         if runnable == 0 {
             return None;
         }
-        let pcs = &self.warps[w].pcs;
+        let pcs = &sub.warps[w].pcs;
         let mut it = lanes(runnable);
         let first = it.next().expect("runnable mask is non-empty");
         let pc0 = pcs[first];
@@ -948,7 +1268,7 @@ impl Cohort<'_> {
         if converged {
             self.other_pcs.clear();
             if self.cfg.scheduler == SchedulerPolicy::RoundRobin {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 warp.rr_cursor = warp.rr_cursor.wrapping_add(1);
             }
             return Some((pc0, runnable));
@@ -964,7 +1284,7 @@ impl Cohort<'_> {
                 None => groups.push((pc, 1 << l)),
             }
         }
-        let warp = &mut self.warps[w];
+        let warp = &mut sub.warps[w];
         let picked =
             select_group_mask(self.cfg.scheduler, groups, warp.last_lanes, &mut warp.rr_cursor);
         self.other_pcs.clear();
@@ -975,21 +1295,21 @@ impl Cohort<'_> {
     }
 
     /// Whether executing `inst` over `mask` is guaranteed not to fault
-    /// in *any* live slot — the cohort twin of the scalar engine's
-    /// `batch_fault_free`, widened across the seed axis. A batched
-    /// issue must be infallible: a per-seed fault resolves that slot
-    /// with the exact error its scalar run would raise, and look-ahead
-    /// would misstamp its round. Faultable (lane, slot) operands leave
-    /// the instruction to execute in its own round.
-    fn batch_fault_free_c(&self, w: usize, mask: u64, inst: &DecodedInst) -> bool {
+    /// in *any* live slot of `sub` — the cohort twin of the scalar
+    /// engine's `batch_fault_free`, widened across the seed axis. A
+    /// batched issue must be infallible: a per-seed fault resolves that
+    /// slot with the exact error its scalar run would raise, and
+    /// look-ahead would misstamp its round. Faultable (lane, slot)
+    /// operands leave the instruction to execute in its own round.
+    fn batch_fault_free_c(&self, sub: &SubCohort, w: usize, mask: u64, inst: &DecodedInst) -> bool {
         let ns = self.nslots;
-        let live = self.live;
+        let slots = sub.slots;
         let all = |lhs: Operand, rhs: Operand, f: &dyn Fn(Value, Value) -> bool| {
             lanes(mask).all(|l| {
-                let cl = &self.warps[w].lanes_v[l];
-                let base = cl.cur_base();
-                let (lr, rr) = (cl.row(ns, base, lhs), cl.row(ns, base, rhs));
-                lanes(live).all(|s| f(cl.get(lr, s), cl.get(rr, s)))
+                let base = sub.warps[w].lanes_c[l].cur_base();
+                let dl = &self.data[w].lanes_d[l];
+                let (lr, rr) = (dl.row(ns, base, lhs), dl.row(ns, base, rhs));
+                lanes(slots).all(|s| f(dl.get(lr, s), dl.get(rr, s)))
             })
         };
         match *inst {
@@ -1009,10 +1329,6 @@ impl Cohort<'_> {
         }
     }
 
-    fn location(&self, warp: usize, lane: usize) -> ThreadLocation {
-        self.location_at(warp, lane, self.warps[warp].pcs[lane])
-    }
-
     /// Thread location for a fault raised while issuing `pc` — the
     /// shared pc array may already have advanced past the faulting
     /// lane (the cohort advances once for the surviving slots), so
@@ -1022,17 +1338,16 @@ impl Cohort<'_> {
         ThreadLocation { warp, lane, func: o.func, block: o.block, inst: o.inst as usize }
     }
 
-    /// Barrier-register dump of warp `w` (deadlock diagnostics),
+    /// Barrier-register dump of one warp (deadlock diagnostics),
     /// mirroring the scalar engine's.
-    fn barrier_dump(&self, w: usize) -> Vec<BarrierState> {
-        let warp = &self.warps[w];
-        let live = warp.lane_mask & !warp.exited;
+    fn barrier_dump(cw: &CWarp) -> Vec<BarrierState> {
+        let live = cw.lane_mask & !cw.exited;
         let mut out = Vec::new();
-        for (i, &m) in warp.masks.iter().enumerate() {
+        for (i, &m) in cw.masks.iter().enumerate() {
             let b = BarrierId::new(i);
             let mut waiters = 0u64;
-            for l in lanes(warp.waiting) {
-                if warp.lanes_v[l].status == Status::Waiting(b) {
+            for l in lanes(cw.waiting) {
+                if cw.lanes_c[l].status == Status::Waiting(b) {
                     waiters |= 1 << l;
                 }
             }
@@ -1044,71 +1359,73 @@ impl Cohort<'_> {
         out
     }
 
-    /// Executes one barrier operation on the shared control plane —
+    /// Executes one barrier operation on a sub-cohort's control plane —
     /// barrier semantics are pure control, so one execution serves the
-    /// whole cohort (only `arrived` writes registers, broadcast to
+    /// whole sub-cohort (only `arrived` writes registers, broadcast to
     /// every live slot).
-    fn exec_barrier_c(&mut self, w: usize, mask: u64, op: BarrierOp) {
+    fn exec_barrier_c(&mut self, sub: &mut SubCohort, w: usize, mask: u64, op: BarrierOp) {
         match op {
             BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 warp.masks[b.index()] |= mask;
                 for l in lanes(mask) {
                     warp.pcs[l] += 1;
                 }
             }
             BarrierOp::Cancel(b) => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 warp.masks[b.index()] &= !mask;
                 for l in lanes(mask) {
                     warp.pcs[l] += 1;
                 }
-                self.release_check_c(w, b);
+                Self::release_check_c(warp, b);
             }
             BarrierOp::Copy { dst, src } => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 warp.masks[dst.index()] = warp.masks[src.index()];
                 for l in lanes(mask) {
                     warp.pcs[l] += 1;
                 }
-                self.release_check_c(w, dst);
+                Self::release_check_c(warp, dst);
             }
             BarrierOp::ArrivedCount { dst, bar } => {
                 let ns = self.nslots;
-                let live = self.live;
-                let warp = &mut self.warps[w];
-                let n = warp.masks[bar.index()].count_ones() as i64;
+                let slots = sub.slots;
+                let cw = &mut sub.warps[w];
+                let dw = &mut self.data[w];
+                let n = cw.masks[bar.index()].count_ones() as i64;
                 for l in lanes(mask) {
-                    let cl = &mut warp.lanes_v[l];
-                    let base = cl.cur_base();
-                    for s in lanes(live) {
-                        cl.set(ns, base, dst.index(), s, Value::I64(n));
+                    let base = cw.lanes_c[l].cur_base();
+                    let dl = &mut dw.lanes_d[l];
+                    for (lo, hi) in mask_runs(slots) {
+                        for s in lo..hi {
+                            dl.set(ns, base, dst.index(), s, Value::I64(n));
+                        }
                     }
-                    warp.pcs[l] += 1;
+                    cw.pcs[l] += 1;
                 }
             }
             BarrierOp::Wait(b) => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 for l in lanes(mask) {
-                    warp.lanes_v[l].status = Status::Waiting(b);
+                    warp.lanes_c[l].status = Status::Waiting(b);
                 }
                 warp.runnable &= !mask;
                 warp.waiting |= mask;
-                self.release_check_c(w, b);
+                Self::release_check_c(warp, b);
             }
         }
     }
 
-    /// Releases the `__syncthreads` cohort once every live thread is at
+    /// Releases the `__syncthreads` group once every live thread is at
     /// one (control-plane twin of the scalar engine's check).
-    fn sync_release_check_c(&mut self, w: usize) {
-        let warp = &mut self.warps[w];
+    fn sync_release_check_c(warp: &mut CWarp) {
         if warp.runnable != 0 || warp.waiting != 0 || warp.at_sync == 0 {
             return;
         }
         let releasing = warp.at_sync;
         for l in lanes(releasing) {
-            warp.lanes_v[l].status = Status::Runnable;
+            warp.lanes_c[l].status = Status::Runnable;
             warp.pcs[l] += 1;
         }
         warp.at_sync = 0;
@@ -1116,11 +1433,10 @@ impl Cohort<'_> {
     }
 
     /// Releases barrier `b` if every live participant is blocked on it.
-    fn release_check_c(&mut self, w: usize, b: BarrierId) {
-        let warp = &mut self.warps[w];
+    fn release_check_c(warp: &mut CWarp, b: BarrierId) {
         let mut waiting_b = 0u64;
         for l in lanes(warp.waiting) {
-            if warp.lanes_v[l].status == Status::Waiting(b) {
+            if warp.lanes_c[l].status == Status::Waiting(b) {
                 waiting_b |= 1 << l;
             }
         }
@@ -1132,7 +1448,7 @@ impl Cohort<'_> {
         if participants & !waiting_b == 0 {
             warp.masks[b.index()] = 0;
             for l in lanes(waiting_b) {
-                warp.lanes_v[l].status = Status::Runnable;
+                warp.lanes_c[l].status = Status::Runnable;
                 warp.pcs[l] += 1;
             }
             warp.waiting &= !waiting_b;
@@ -1141,8 +1457,7 @@ impl Cohort<'_> {
     }
 
     /// Drops exited lanes from every barrier and re-checks releases.
-    fn on_exit_mask_c(&mut self, w: usize, mask: u64) {
-        let warp = &mut self.warps[w];
+    fn on_exit_mask_c(warp: &mut CWarp, mask: u64) {
         warp.runnable &= !mask;
         warp.waiting &= !mask;
         warp.at_sync &= !mask;
@@ -1152,61 +1467,91 @@ impl Cohort<'_> {
             warp.masks[b] &= !mask;
         }
         for b in 0..nb {
-            self.release_check_c(w, BarrierId::new(b));
+            Self::release_check_c(warp, BarrierId::new(b));
         }
-        self.sync_release_check_c(w);
+        Self::sync_release_check_c(warp);
     }
 }
 
-// Detach, rejoin, and the state projection between the SoA plane and
-// scalar machines.
+// Fork, detach, rejoin: control-plane duplication and the state
+// projection between the SoA plane and scalar machines.
 impl<'m> Cohort<'m> {
-    /// Detaches every slot in `mask` into scalar machines built from
-    /// their SoA columns. Called *before* the divergent instruction
-    /// mutates any state, so each machine replays the in-progress round
+    /// Splits `class` off `sub` at a divergent issue: forks a child
+    /// sub-cohort when under the cap, else detaches to scalar machines
+    /// (the escape hatch). Called *before* the divergent instruction
+    /// mutates any state, so the child replays the in-progress round
     /// from a consistent snapshot: warps earlier in warp order already
     /// issued (their `busy_until` moved past this cycle), the issuing
     /// warp's scheduler fields are restored to their pre-pick values
-    /// (`ctx`), and later warps are untouched — exactly the state a
-    /// scalar run would be in when its round reaches the issuing warp.
-    fn detach_slots(&mut self, mask: u64, ctx: IssueCtx) {
+    /// (`ctx`), and later warps are untouched — exactly the state an
+    /// independent run of those slots would be in when its round
+    /// reaches the issuing warp. The shared SoA data plane is untouched:
+    /// the child simply reads and writes it under its own slot mask.
+    fn split_off(&mut self, sub: &mut SubCohort, class: u64, ctx: IssueCtx) {
+        if self.subs.len() + 2 <= MAX_SUBCOHORTS {
+            let mut warps = sub.warps.clone();
+            let cw = &mut warps[ctx.w];
+            cw.last_lanes = ctx.pre_last_lanes;
+            cw.rr_cursor = ctx.pre_rr_cursor;
+            cw.busy_until = ctx.pre_busy_until;
+            self.subs.push(SubCohort {
+                slots: class,
+                cycle: sub.cycle,
+                metrics: sub.metrics.clone(),
+                warps,
+            });
+            sub.slots &= !class;
+            self.stats.forks += 1;
+            self.stats.peak_subcohorts =
+                self.stats.peak_subcohorts.max(self.subs.len() as u32 + 1);
+        } else {
+            self.detach_slots(sub, class, ctx);
+        }
+    }
+
+    /// Detaches every slot in `mask` into scalar machines built from
+    /// their SoA columns (same pre-application snapshot argument as
+    /// [`Self::split_off`]).
+    fn detach_slots(&mut self, sub: &mut SubCohort, mask: u64, ctx: IssueCtx) {
         for s in lanes(mask) {
-            let m = self.materialize(s, ctx);
+            let m = self.materialize(sub, s, ctx);
             self.detached[s] = Some(m);
             self.detached_mask |= 1u64 << s;
-            self.live &= !(1u64 << s);
+            sub.slots &= !(1u64 << s);
             self.stats.detaches += 1;
         }
     }
 
-    /// Projects slot `s`'s column of the SoA state into a standalone
-    /// scalar [`Machine`].
-    fn materialize(&self, s: usize, ctx: IssueCtx) -> Machine<'m> {
+    /// Projects slot `s`'s column of the SoA state under `sub`'s
+    /// control plane into a standalone scalar [`Machine`].
+    fn materialize(&self, sub: &SubCohort, s: usize, ctx: IssueCtx) -> Machine<'m> {
         let ns = self.nslots;
         let cache_lines = self.cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
-        let warps = self
+        let warps = sub
             .warps
             .iter()
+            .zip(self.data.iter())
             .enumerate()
-            .map(|(wi, cw)| {
+            .map(|(wi, (cw, dw))| {
                 let threads = cw
-                    .lanes_v
+                    .lanes_c
                     .iter()
-                    .map(|cl| Thread {
+                    .zip(dw.lanes_d.iter())
+                    .map(|(cl, dl)| Thread {
                         frames: cl
                             .frames
                             .iter()
                             .map(|fm| Frame {
                                 pc: fm.pc,
                                 regs: (0..fm.len)
-                                    .map(|r| cl.vals[(fm.base + r) * ns + s])
+                                    .map(|r| dl.vals[(fm.base + r) * ns + s])
                                     .collect(),
                                 ret_regs: fm.ret_regs,
                             })
                             .collect(),
                         status: cl.status,
-                        rng: cl.rng[s],
-                        local: (0..self.local_len).map(|c| cl.local[c * ns + s]).collect(),
+                        rng: dl.rng[s],
+                        local: (0..self.local_len).map(|c| dl.local[c * ns + s]).collect(),
                         spare: Vec::new(),
                     })
                     .collect();
@@ -1224,7 +1569,7 @@ impl<'m> Cohort<'m> {
                     last_lanes: if wi == ctx.w { ctx.pre_last_lanes } else { cw.last_lanes },
                     pick_hint: None,
                     other_pcs: Vec::new(),
-                    cache_tags: (0..cache_lines).map(|ln| cw.cache_tags[ln * ns + s]).collect(),
+                    cache_tags: (0..cache_lines).map(|ln| dw.cache_tags[ln * ns + s]).collect(),
                     done: cw.done,
                 }
             })
@@ -1235,93 +1580,61 @@ impl<'m> Cohort<'m> {
             costs: self.costs.clone(),
             warps,
             global: (0..self.global_len).map(|a| self.global[a * ns + s]).collect(),
-            metrics: metrics_sum(&self.metrics, &self.bases[s]),
+            metrics: metrics_sum(&sub.metrics, &self.bases[s]),
             trace: None,
             profile: None,
             journal: None,
             scratch: Scratch::default(),
-            cycle: self.cycle,
+            cycle: sub.cycle,
         }
     }
 
-    /// Whether a detached machine's control plane equals the cohort's.
-    ///
-    /// Compared: per warp — pcs, barrier masks, status masks, per-lane
-    /// statuses, frame structure (depth, per-frame register count,
-    /// return-register spans, and the saved pc of *suspended* frames;
-    /// the top frame's `Frame::pc` is stale by design on both sides and
-    /// never read), `busy_until`, `rr_cursor`, `last_lanes`, `done`.
-    /// Ignored: `pick_hint`/`other_pcs` (scheduling hints are provably
-    /// behavior-neutral) and cache tags (per-slot data in the cohort).
-    fn control_matches(&self, m: &Machine<'_>) -> bool {
-        self.warps.iter().zip(m.warps.iter()).all(|(cw, mw)| {
-            if cw.done != mw.done
-                || cw.busy_until != mw.busy_until
-                || cw.rr_cursor != mw.rr_cursor
-                || cw.last_lanes != mw.last_lanes
-                || cw.runnable != mw.runnable
-                || cw.waiting != mw.waiting
-                || cw.at_sync != mw.at_sync
-                || cw.exited != mw.exited
-                || cw.pcs != mw.pcs
-                || cw.masks != mw.masks
-            {
-                return false;
-            }
-            cw.lanes_v.iter().zip(mw.threads.iter()).all(|(cl, t)| {
-                if cl.status != t.status || cl.frames.len() != t.frames.len() {
-                    return false;
-                }
-                let top = cl.frames.len() - 1;
-                cl.frames.iter().zip(t.frames.iter()).enumerate().all(|(i, (fm, f))| {
-                    fm.len == f.regs.len()
-                        && fm.ret_regs == f.ret_regs
-                        && (i == top || fm.pc == f.pc)
-                })
-            })
-        })
-    }
-
-    /// Rejoins a detached machine whose control realigned: copies its
-    /// data plane back into slot `s`'s columns and records the metrics
-    /// delta it accumulated while away.
-    fn absorb(&mut self, s: usize, m: Machine<'_>) {
+    /// Rejoins a detached machine whose control realigned with sub
+    /// `si`: copies its data plane back into slot `s`'s columns and
+    /// records the metrics delta it accumulated while away.
+    fn absorb(&mut self, si: usize, s: usize, m: &Machine<'_>) {
         let ns = self.nslots;
-        self.bases[s] = metrics_delta(&m.metrics, &self.metrics);
-        for (a, v) in m.global.iter().enumerate() {
-            self.global[a * ns + s] = *v;
-        }
         let cache_lines = self.cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
-        for (cw, mw) in self.warps.iter_mut().zip(m.warps.iter()) {
+        let Cohort { subs, bases, global, data, .. } = self;
+        let sub = &mut subs[si];
+        bases[s] = metrics_delta(&m.metrics, &sub.metrics);
+        for (a, v) in m.global.iter().enumerate() {
+            global[a * ns + s] = *v;
+        }
+        for ((cw, dw), mw) in sub.warps.iter().zip(data.iter_mut()).zip(m.warps.iter()) {
             for ln in 0..cache_lines {
-                cw.cache_tags[ln * ns + s] = mw.cache_tags[ln];
+                dw.cache_tags[ln * ns + s] = mw.cache_tags[ln];
             }
-            for (cl, t) in cw.lanes_v.iter_mut().zip(mw.threads.iter()) {
-                cl.rng[s] = t.rng;
+            for ((cl, dl), t) in
+                cw.lanes_c.iter().zip(dw.lanes_d.iter_mut()).zip(mw.threads.iter())
+            {
+                dl.rng[s] = t.rng;
                 for (c, v) in t.local.iter().enumerate() {
-                    cl.local[c * ns + s] = *v;
+                    dl.local[c * ns + s] = *v;
                 }
                 for (fm, f) in cl.frames.iter().zip(t.frames.iter()) {
                     for (r, v) in f.regs.iter().enumerate() {
-                        cl.vals[(fm.base + r) * ns + s] = *v;
+                        dl.vals[(fm.base + r) * ns + s] = *v;
                     }
                 }
             }
         }
-        self.live |= 1u64 << s;
+        sub.slots |= 1u64 << s;
         self.stats.rejoins += 1;
     }
 }
 
 // The cohort execute path: one instruction over (lane mask × live
 // slots). Control effects (pc updates, status transitions, barrier
-// bookkeeping) happen once; value effects happen per (lane, slot).
+// bookkeeping) happen once per sub-cohort; value effects happen per
+// (lane, slot) over contiguous masked slot runs.
 impl Cohort<'_> {
     /// Executes one decoded instruction for the issued group across
-    /// every live slot; returns the (uniform) issue cost. Slots whose
-    /// data would make the issue non-uniform detach or resolve to their
-    /// own error inside the arm — callers re-check `self.live`.
-    fn exec_c(&mut self, pc: usize, mask: u64, ctx: IssueCtx) -> u32 {
+    /// every slot of `sub`; returns the (uniform) issue cost. Slots
+    /// whose data would make the issue non-uniform fork (or, past the
+    /// cap, detach) and faulting slots resolve to their own error
+    /// inside the arm — callers re-check `sub.slots`.
+    fn exec_c(&mut self, sub: &mut SubCohort, pc: usize, mask: u64, ctx: IssueCtx) -> u32 {
         let image = self.image;
         let inst = &image.insts[pc];
         let w = ctx.w;
@@ -1331,7 +1644,7 @@ impl Cohort<'_> {
                 // The op (and in lockstep practice the operand types)
                 // is invariant across the slot columns, so dispatch it
                 // once out here: every arm instantiates `alu_c` with a
-                // tiny monomorphic kernel the slot loop can inline,
+                // tiny monomorphic kernel the slot-run loop can inline,
                 // instead of re-running `eval_bin`'s full op match per
                 // (lane, slot) element. Each kernel reproduces the
                 // corresponding `eval_bin` arm bit-for-bit, delegating
@@ -1339,7 +1652,7 @@ impl Cohort<'_> {
                 use simt_ir::BinOp::*;
                 macro_rules! arith {
                     ($int:expr, $flt:expr) => {
-                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| {
+                        self.alu_c(sub, pc, mask, w, dst, lhs, rhs, |a, b| {
                             Ok(match (a, b) {
                                 (Value::I64(x), Value::I64(y)) => Value::I64($int(x, y)),
                                 _ => Value::F64($flt(a.as_f64(), b.as_f64())),
@@ -1349,7 +1662,7 @@ impl Cohort<'_> {
                 }
                 macro_rules! cmp {
                     ($int:expr, $flt:expr) => {
-                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| {
+                        self.alu_c(sub, pc, mask, w, dst, lhs, rhs, |a, b| {
                             Ok(Value::bool(match (a, b) {
                                 (Value::I64(x), Value::I64(y)) => $int(&x, &y),
                                 _ => $flt(&a.as_f64(), &b.as_f64()),
@@ -1359,7 +1672,7 @@ impl Cohort<'_> {
                 }
                 macro_rules! ints {
                     ($f:expr) => {
-                        self.alu_c(pc, mask, w, dst, lhs, rhs, |a, b| match (a, b) {
+                        self.alu_c(sub, pc, mask, w, dst, lhs, rhs, |a, b| match (a, b) {
                             (Value::I64(x), Value::I64(y)) => $f(x, y),
                             _ => crate::alu::eval_bin(op, a, b),
                         })
@@ -1403,7 +1716,7 @@ impl Cohort<'_> {
                 use simt_ir::UnOp::*;
                 macro_rules! un {
                     ($f:expr) => {
-                        self.alu_c(pc, mask, w, dst, src, pad, $f)
+                        self.alu_c(sub, pc, mask, w, dst, src, pad, $f)
                     };
                 }
                 match op {
@@ -1425,35 +1738,35 @@ impl Cohort<'_> {
             }
             DecodedInst::Mov { dst, src } => {
                 let pad = Operand::Imm(Value::default());
-                self.alu_c(pc, mask, w, dst, src, pad, |a, _| Ok(a));
+                self.alu_c(sub, pc, mask, w, dst, src, pad, |a, _| Ok(a));
             }
             DecodedInst::Sel { dst, cond, if_true, if_false } => {
-                self.data_c(w, mask, |cl, ns, base, s, _l| {
+                self.data_c(sub, w, mask, |dl, ns, base, s, _l| {
                     let pick =
-                        if cl.eval(ns, base, cond, s).is_truthy() { if_true } else { if_false };
-                    let v = cl.eval(ns, base, pick, s);
-                    cl.set(ns, base, dst.index(), s, v);
+                        if dl.eval(ns, base, cond, s).is_truthy() { if_true } else { if_false };
+                    let v = dl.eval(ns, base, pick, s);
+                    dl.set(ns, base, dst.index(), s, v);
                 });
             }
             DecodedInst::Load { dst, space, addr } => match space {
                 MemSpace::Global => {
-                    return self.access_global_c(pc, mask, ctx, addr, None, Some(dst), cost);
+                    return self.access_global_c(sub, pc, mask, ctx, addr, None, Some(dst), cost);
                 }
-                MemSpace::Local => self.access_local_c(pc, mask, w, addr, None, Some(dst)),
+                MemSpace::Local => self.access_local_c(sub, pc, mask, w, addr, None, Some(dst)),
             },
             DecodedInst::Store { space, addr, value } => match space {
                 MemSpace::Global => {
-                    return self.access_global_c(pc, mask, ctx, addr, Some(value), None, cost);
+                    return self.access_global_c(sub, pc, mask, ctx, addr, Some(value), None, cost);
                 }
-                MemSpace::Local => self.access_local_c(pc, mask, w, addr, Some(value), None),
+                MemSpace::Local => self.access_local_c(sub, pc, mask, w, addr, Some(value), None),
             },
             DecodedInst::AtomicAdd { dst, addr, value } => {
-                self.atomic_add_c(pc, mask, w, dst, addr, value);
+                self.atomic_add_c(sub, pc, mask, w, dst, addr, value);
             }
             DecodedInst::Special { dst, kind } => {
                 let width = self.cfg.warp_width;
-                let n_threads = (self.warps.len() * width) as i64;
-                self.data_c(w, mask, |cl, ns, base, s, l| {
+                let n_threads = (self.data.len() * width) as i64;
+                self.data_c(sub, w, mask, |dl, ns, base, s, l| {
                     let v = match kind {
                         SpecialValue::Tid => Value::I64((w * width + l) as i64),
                         SpecialValue::LaneId => Value::I64(l as i64),
@@ -1461,103 +1774,104 @@ impl Cohort<'_> {
                         SpecialValue::NumThreads => Value::I64(n_threads),
                         SpecialValue::WarpWidth => Value::I64(width as i64),
                     };
-                    cl.set(ns, base, dst.index(), s, v);
+                    dl.set(ns, base, dst.index(), s, v);
                 });
             }
             DecodedInst::Rng { dst, kind } => {
                 let ns = self.nslots;
-                let live = self.live;
-                let dense = live.count_ones() as usize == ns;
-                let cw = &mut self.warps[w];
+                let slots = sub.slots;
+                let cw = &mut sub.warps[w];
+                let dw = &mut self.data[w];
                 for l in lanes(mask) {
-                    let cl = &mut cw.lanes_v[l];
-                    let drow = (cl.cur_base() + dst.index()) * ns;
-                    if dense {
-                        for s in 0..ns {
+                    let base = cw.lanes_c[l].cur_base();
+                    let dl = &mut dw.lanes_d[l];
+                    let drow = (base + dst.index()) * ns;
+                    for (lo, hi) in mask_runs(slots) {
+                        for s in lo..hi {
                             let v = match kind {
-                                RngKind::U63 => Value::I64(cl.rng[s].next_u63()),
-                                RngKind::Unit => Value::F64(cl.rng[s].next_unit()),
+                                RngKind::U63 => Value::I64(dl.rng[s].next_u63()),
+                                RngKind::Unit => Value::F64(dl.rng[s].next_unit()),
                             };
-                            cl.vals[drow + s] = v;
-                        }
-                    } else {
-                        for s in lanes(live) {
-                            let v = match kind {
-                                RngKind::U63 => Value::I64(cl.rng[s].next_u63()),
-                                RngKind::Unit => Value::F64(cl.rng[s].next_unit()),
-                            };
-                            cl.vals[drow + s] = v;
+                            dl.vals[drow + s] = v;
                         }
                     }
                     cw.pcs[l] += 1;
                 }
             }
             DecodedInst::SyncThreads => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 for l in lanes(mask) {
-                    warp.lanes_v[l].status = Status::WaitingSync;
+                    warp.lanes_c[l].status = Status::WaitingSync;
                 }
                 warp.runnable &= !mask;
                 warp.at_sync |= mask;
-                self.sync_release_check_c(w);
+                Self::sync_release_check_c(warp);
             }
             DecodedInst::Vote { dst, pred } => {
                 // Warp-synchronous count — per slot, over the same
                 // issued mask.
                 let ns = self.nslots;
-                let live = self.live;
+                let slots = sub.slots;
                 let mut counts = [0i64; COHORT_SLOTS];
                 {
-                    let cw = &self.warps[w];
+                    let cw = &sub.warps[w];
+                    let dw = &self.data[w];
                     for l in lanes(mask) {
-                        let cl = &cw.lanes_v[l];
-                        let row = cl.row(ns, cl.cur_base(), pred);
-                        for s in lanes(live) {
-                            if cl.get(row, s).is_truthy() {
-                                counts[s] += 1;
+                        let base = cw.lanes_c[l].cur_base();
+                        let dl = &dw.lanes_d[l];
+                        let row = dl.row(ns, base, pred);
+                        for (lo, hi) in mask_runs(slots) {
+                            for s in lo..hi {
+                                if dl.get(row, s).is_truthy() {
+                                    counts[s] += 1;
+                                }
                             }
                         }
                     }
                 }
-                self.data_c(w, mask, |cl, ns, base, s, _l| {
-                    cl.set(ns, base, dst.index(), s, Value::I64(counts[s]));
+                self.data_c(sub, w, mask, |dl, ns, base, s, _l| {
+                    dl.set(ns, base, dst.index(), s, Value::I64(counts[s]));
                 });
             }
             DecodedInst::SeedRng { src } => {
                 let launch_mix = 0x5EED_u64; // stream domain separator
-                self.data_c(w, mask, |cl, ns, base, s, _l| {
-                    let v = cl.eval(ns, base, src, s).as_i64() as u64;
-                    cl.rng[s] = SplitMix64::for_thread(v ^ launch_mix, v);
+                self.data_c(sub, w, mask, |dl, ns, base, s, _l| {
+                    let v = dl.eval(ns, base, src, s).as_i64() as u64;
+                    dl.rng[s] = SplitMix64::for_thread(v ^ launch_mix, v);
                 });
             }
             DecodedInst::Call { entry_pc, num_regs, args, rets } => {
                 let arg_ops = image.operands(args);
                 let ns = self.nslots;
-                let live = self.live;
-                let Cohort { warps, stage, .. } = self;
-                let cw = &mut warps[w];
+                let slots = sub.slots;
+                let Cohort { data, stage, .. } = self;
+                let cw = &mut sub.warps[w];
+                let dw = &mut data[w];
                 for l in lanes(mask) {
-                    let cl = &mut cw.lanes_v[l];
+                    let ret_pc = cw.pcs[l] + 1;
+                    let cl = &mut cw.lanes_c[l];
+                    let dl = &mut dw.lanes_d[l];
                     let base = cl.cur_base();
                     // Arguments evaluate in the caller frame, staged
                     // before the callee frame extends the arena.
                     stage.clear();
-                    for a in arg_ops {
-                        for s in 0..ns {
-                            stage.push(if (live >> s) & 1 == 1 {
-                                cl.eval(ns, base, *a, s)
-                            } else {
-                                Value::default()
-                            });
+                    stage.resize(arg_ops.len() * ns, Value::default());
+                    for (i, a) in arg_ops.iter().enumerate() {
+                        for (lo, hi) in mask_runs(slots) {
+                            for s in lo..hi {
+                                stage[i * ns + s] = dl.eval(ns, base, *a, s);
+                            }
                         }
                     }
                     // Suspend the caller: save its resume point.
-                    cl.frames.last_mut().expect("lane has no frame").pc = cw.pcs[l] + 1;
-                    cl.push_frame(ns, entry_pc as usize, rets, num_regs as usize);
+                    cl.frames.last_mut().expect("lane has no frame").pc = ret_pc;
+                    cl.push_frame(dl, ns, slots, entry_pc as usize, rets, num_regs as usize);
                     let nb = cl.cur_base();
                     for i in 0..arg_ops.len() {
-                        for s in lanes(live) {
-                            cl.set(ns, nb, i, s, stage[i * ns + s]);
+                        for (lo, hi) in mask_runs(slots) {
+                            for s in lo..hi {
+                                dl.set(ns, nb, i, s, stage[i * ns + s]);
+                            }
                         }
                     }
                     cw.pcs[l] = entry_pc as usize;
@@ -1569,59 +1883,54 @@ impl Cohort<'_> {
                     at,
                     callee: image.callee_names[name as usize].clone(),
                 };
-                self.resolve_all_live(&e);
+                self.resolve_all(sub, &e);
             }
             DecodedInst::Barrier(op) => {
-                self.exec_barrier_c(w, mask, op);
-                self.metrics.barrier_ops += u64::from(mask.count_ones());
+                self.exec_barrier_c(sub, w, mask, op);
+                sub.metrics.barrier_ops += u64::from(mask.count_ones());
             }
             DecodedInst::Skip => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 for l in lanes(mask) {
                     warp.pcs[l] += 1;
                 }
             }
             DecodedInst::Jump { target } => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 for l in lanes(mask) {
                     warp.pcs[l] = target as usize;
                 }
             }
             DecodedInst::Branch { cond, then_pc, else_pc } => {
-                // Per-slot taken masks; slots disagreeing with the
-                // largest class detach *before* the branch applies.
+                // Per-slot taken masks; each class disagreeing with the
+                // largest one forks off *before* the branch applies.
                 let ns = self.nslots;
-                let live = self.live;
-                let dense = live.count_ones() as usize == ns;
+                let slots = sub.slots;
                 let mut takens = [0u64; COHORT_SLOTS];
                 {
-                    let cw = &self.warps[w];
+                    let cw = &sub.warps[w];
+                    let dw = &self.data[w];
                     for l in lanes(mask) {
-                        let cl = &cw.lanes_v[l];
-                        let row = cl.row(ns, cl.cur_base(), cond);
+                        let base = cw.lanes_c[l].cur_base();
+                        let dl = &dw.lanes_d[l];
+                        let row = dl.row(ns, base, cond);
                         let bit = 1u64 << l;
-                        if dense {
-                            for (s, taken) in takens.iter_mut().enumerate().take(ns) {
-                                if cl.get(row, s).is_truthy() {
-                                    *taken |= bit;
-                                }
-                            }
-                        } else {
-                            for s in lanes(live) {
-                                if cl.get(row, s).is_truthy() {
+                        for (lo, hi) in mask_runs(slots) {
+                            for s in lo..hi {
+                                if dl.get(row, s).is_truthy() {
                                     takens[s] |= bit;
                                 }
                             }
                         }
                     }
                 }
-                let detach = partition_detach(live, |s| takens[s]);
-                if detach != 0 {
-                    self.detach_slots(detach, ctx);
+                let (_winner, minorities) = partition_classes(slots, |s| takens[s]);
+                for class in minorities {
+                    self.split_off(sub, class, ctx);
                 }
-                let rep = self.live.trailing_zeros() as usize;
+                let rep = sub.slots.trailing_zeros() as usize;
                 let taken = takens[rep];
-                let cw = &mut self.warps[w];
+                let cw = &mut sub.warps[w];
                 for l in lanes(mask) {
                     cw.pcs[l] =
                         if taken & (1 << l) != 0 { then_pc as usize } else { else_pc as usize };
@@ -1630,22 +1939,23 @@ impl Cohort<'_> {
             DecodedInst::Return { values } => {
                 let value_ops = image.operands(values);
                 let ns = self.nslots;
-                let live = self.live;
+                let slots = sub.slots;
                 let mut exited = 0u64;
                 {
-                    let Cohort { warps, stage, .. } = self;
-                    let cw = &mut warps[w];
+                    let Cohort { data, stage, .. } = self;
+                    let cw = &mut sub.warps[w];
+                    let dw = &mut data[w];
                     for l in lanes(mask) {
-                        let cl = &mut cw.lanes_v[l];
+                        let cl = &mut cw.lanes_c[l];
+                        let dl = &mut dw.lanes_d[l];
                         let base = cl.cur_base();
                         stage.clear();
-                        for v in value_ops {
-                            for s in 0..ns {
-                                stage.push(if (live >> s) & 1 == 1 {
-                                    cl.eval(ns, base, *v, s)
-                                } else {
-                                    Value::default()
-                                });
+                        stage.resize(value_ops.len() * ns, Value::default());
+                        for (i, v) in value_ops.iter().enumerate() {
+                            for (lo, hi) in mask_runs(slots) {
+                                for s in lo..hi {
+                                    stage[i * ns + s] = dl.eval(ns, base, *v, s);
+                                }
                             }
                         }
                         let fm = cl.pop_frame();
@@ -1664,23 +1974,25 @@ impl Cohort<'_> {
                             if i >= value_ops.len() {
                                 break;
                             }
-                            for s in lanes(live) {
-                                cl.set(ns, cbase, r.index(), s, stage[i * ns + s]);
+                            for (lo, hi) in mask_runs(slots) {
+                                for s in lo..hi {
+                                    dl.set(ns, cbase, r.index(), s, stage[i * ns + s]);
+                                }
                             }
                         }
                         cw.pcs[l] = cl.frames.last().expect("caller frame").pc;
                     }
                 }
                 if exited != 0 {
-                    self.on_exit_mask_c(w, exited);
+                    Self::on_exit_mask_c(&mut sub.warps[w], exited);
                 }
             }
             DecodedInst::Exit => {
-                let warp = &mut self.warps[w];
+                let warp = &mut sub.warps[w];
                 for l in lanes(mask) {
-                    warp.lanes_v[l].status = Status::Exited;
+                    warp.lanes_c[l].status = Status::Exited;
                 }
-                self.on_exit_mask_c(w, mask);
+                Self::on_exit_mask_c(warp, mask);
             }
         }
         cost
@@ -1689,11 +2001,14 @@ impl Cohort<'_> {
     /// Shared loop shape for the fallible per-(lane, slot) ALU arms: a
     /// failing slot resolves to its own `Arithmetic` error at the first
     /// faulting lane in lane order, exactly like its scalar run. Operand
-    /// and destination rows are resolved once per lane, and a full live
-    /// mask takes a dense counted loop over the slot columns.
+    /// and destination rows are resolved once per lane, and the slot
+    /// loop walks contiguous runs of the slot mask so a full (or
+    /// fragmented-but-runny) mask takes dense counted inner loops over
+    /// the column slices — the shape the autovectorizer wants.
     #[allow(clippy::too_many_arguments)]
     fn alu_c(
         &mut self,
+        sub: &mut SubCohort,
         pc: usize,
         mask: u64,
         w: usize,
@@ -1703,32 +2018,22 @@ impl Cohort<'_> {
         f: impl Fn(Value, Value) -> Result<Value, String>,
     ) {
         let ns = self.nslots;
-        let live = self.live;
-        let dense = live.count_ones() as usize == ns;
+        let slots = sub.slots;
         let mut faults: Vec<(usize, usize, String)> = Vec::new();
         let mut faulted = 0u64;
         {
-            let cw = &mut self.warps[w];
+            let cw = &mut sub.warps[w];
+            let dw = &mut self.data[w];
             for l in lanes(mask) {
-                let cl = &mut cw.lanes_v[l];
-                let base = cl.cur_base();
-                let lr = cl.row(ns, base, lhs);
-                let rr = cl.row(ns, base, rhs);
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &mut dw.lanes_d[l];
+                let lr = dl.row(ns, base, lhs);
+                let rr = dl.row(ns, base, rhs);
                 let drow = (base + dst.index()) * ns;
-                if dense && faulted == 0 {
-                    for s in 0..ns {
-                        match f(cl.get(lr, s), cl.get(rr, s)) {
-                            Ok(v) => cl.vals[drow + s] = v,
-                            Err(m) => {
-                                faulted |= 1 << s;
-                                faults.push((s, l, m));
-                            }
-                        }
-                    }
-                } else {
-                    for s in lanes(live & !faulted) {
-                        match f(cl.get(lr, s), cl.get(rr, s)) {
-                            Ok(v) => cl.vals[drow + s] = v,
+                for (lo, hi) in mask_runs(slots & !faulted) {
+                    for s in lo..hi {
+                        match f(dl.get(lr, s), dl.get(rr, s)) {
+                            Ok(v) => dl.vals[drow + s] = v,
                             Err(m) => {
                                 faulted |= 1 << s;
                                 faults.push((s, l, m));
@@ -1741,31 +2046,28 @@ impl Cohort<'_> {
         }
         for (s, l, message) in faults {
             let at = self.location_at(w, l, pc);
-            self.resolve_err(s, SimError::Arithmetic { at, message });
+            self.resolve_err(sub, s, SimError::Arithmetic { at, message });
         }
     }
 
     /// Shared loop shape for the infallible per-(lane, slot) data arms.
     fn data_c(
         &mut self,
+        sub: &mut SubCohort,
         w: usize,
         mask: u64,
-        mut f: impl FnMut(&mut CLane, usize, usize, usize, usize),
+        mut f: impl FnMut(&mut DLane, usize, usize, usize, usize),
     ) {
         let ns = self.nslots;
-        let live = self.live;
-        let dense = live.count_ones() as usize == ns;
-        let cw = &mut self.warps[w];
+        let slots = sub.slots;
+        let cw = &mut sub.warps[w];
+        let dw = &mut self.data[w];
         for l in lanes(mask) {
-            let cl = &mut cw.lanes_v[l];
-            let base = cl.cur_base();
-            if dense {
-                for s in 0..ns {
-                    f(cl, ns, base, s, l);
-                }
-            } else {
-                for s in lanes(live) {
-                    f(cl, ns, base, s, l);
+            let base = cw.lanes_c[l].cur_base();
+            let dl = &mut dw.lanes_d[l];
+            for (lo, hi) in mask_runs(slots) {
+                for s in lo..hi {
+                    f(dl, ns, base, s, l);
                 }
             }
             cw.pcs[l] += 1;
@@ -1791,13 +2093,14 @@ impl Cohort<'_> {
     ///    any), and the `(cost, hits, misses)` triple — with **no**
     ///    mutation, so a diverging slot's pre-access state is intact.
     /// 2. Resolve faulted slots to their own errors; partition the rest
-    ///    by triple and detach the minority classes.
+    ///    by triple and fork off the minority classes.
     /// 3. Apply the access to the surviving slots (value movement,
     ///    per-slot cache-tag updates, write-through invalidation) and
     ///    return the now-uniform cost.
     #[allow(clippy::too_many_arguments)]
     fn access_global_c(
         &mut self,
+        sub: &mut SubCohort,
         pc: usize,
         mask: u64,
         ctx: IssueCtx,
@@ -1814,10 +2117,10 @@ impl Cohort<'_> {
         let mut spans = [(0u32, 0u32); COHORT_SLOTS];
         {
             let glen = self.global_len;
-            let live = self.live;
-            let dense = live.count_ones() as usize == ns;
-            let Cohort { warps, addr_buf, lines_buf, lines_all, cfg, .. } = self;
-            let cw = &warps[w];
+            let slots = sub.slots;
+            let Cohort { data, addr_buf, lines_buf, lines_all, cfg, .. } = self;
+            let cw = &sub.warps[w];
+            let dw = &data[w];
             addr_buf.clear();
             addr_buf.resize(ns * k, 0);
             // Lane-major address staging: the operand row resolves once
@@ -1827,23 +2130,15 @@ impl Cohort<'_> {
             // detected on the fly to share the line dedup below.
             let mut oob = 0u64;
             let mut uniform = true;
-            let rep = if live == 0 { 0 } else { live.trailing_zeros() as usize };
+            let rep = if slots == 0 { 0 } else { slots.trailing_zeros() as usize };
             for (idx, l) in lanes(mask).enumerate() {
-                let cl = &cw.lanes_v[l];
-                let row = cl.row(ns, cl.cur_base(), addr);
-                let a0 = cl.get(row, rep).as_i64();
-                if dense {
-                    for s in 0..ns {
-                        let a = cl.get(row, s).as_i64();
-                        addr_buf[s * k + idx] = a;
-                        uniform &= a == a0;
-                        if a < 0 || a as usize >= glen {
-                            oob |= 1 << s;
-                        }
-                    }
-                } else {
-                    for s in lanes(live) {
-                        let a = cl.get(row, s).as_i64();
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &dw.lanes_d[l];
+                let row = dl.row(ns, base, addr);
+                let a0 = dl.get(row, rep).as_i64();
+                for (lo, hi) in mask_runs(slots) {
+                    for s in lo..hi {
+                        let a = dl.get(row, s).as_i64();
                         addr_buf[s * k + idx] = a;
                         uniform &= a == a0;
                         if a < 0 || a as usize >= glen {
@@ -1867,17 +2162,18 @@ impl Cohort<'_> {
                 ));
             }
             lines_all.clear();
-            if uniform && oob == 0 && live != 0 {
+            if uniform && oob == 0 && slots != 0 {
                 // Every slot touches the same cells: dedup the line set
                 // once and share the span; only the per-slot tag lookups
-                // (histories may differ after rejoins) stay per slot.
+                // (histories may differ after forks and rejoins) stay
+                // per slot.
                 let addrs = &addr_buf[rep * k..(rep + 1) * k];
                 match &cfg.cache {
                     None => {
                         let segs = cfg.latency.segments_in(addrs, lines_buf);
                         let t =
                             (base_cost + cfg.latency.mem_segment * segs.saturating_sub(1), 0, 0);
-                        for s in lanes(live) {
+                        for s in lanes(slots) {
                             triples[s] = t;
                         }
                     }
@@ -1885,68 +2181,58 @@ impl Cohort<'_> {
                         let cells = cache.cells_per_line.max(1) as i64;
                         let start = push_line_span(lines_all, addrs, cells);
                         let span = (start as u32, (lines_all.len() - start) as u32);
-                        for s in lanes(live) {
+                        for s in lanes(slots) {
                             triples[s] =
-                                Self::overlay_triple(cfg, cache, cw, ns, s, &lines_all[start..]);
+                                Self::overlay_triple(cfg, cache, dw, ns, s, &lines_all[start..]);
                             spans[s] = span;
                         }
                     }
                 }
             } else {
-                for s in lanes(live & !oob) {
+                for s in lanes(slots & !oob) {
                     let addrs = &addr_buf[s * k..(s + 1) * k];
                     let start = lines_all.len();
                     triples[s] =
-                        Self::cost_triple(cfg, cw, ns, s, addrs, lines_buf, lines_all, base_cost);
+                        Self::cost_triple(cfg, dw, ns, s, addrs, lines_buf, lines_all, base_cost);
                     spans[s] = (start as u32, (lines_all.len() - start) as u32);
                 }
             }
         }
         for (s, f) in faults {
             let e = self.fault_to_err(w, pc, f);
-            self.resolve_err(s, e);
+            self.resolve_err(sub, s, e);
         }
-        if self.live == 0 {
+        if sub.slots == 0 {
             return base_cost;
         }
-        let detach = partition_detach(self.live, |s| triples[s]);
-        if detach != 0 {
-            self.detach_slots(detach, ctx);
+        let (_winner, minorities) = partition_classes(sub.slots, |s| triples[s]);
+        for class in minorities {
+            self.split_off(sub, class, ctx);
         }
-        let winners = self.live;
+        let winners = sub.slots;
         let (cost, hits, misses) = triples[winners.trailing_zeros() as usize];
         {
             let cfg = self.cfg;
-            let Cohort { warps, addr_buf, lines_all, global, .. } = self;
-            let cw = &mut warps[w];
-            let dense = winners.count_ones() as usize == ns;
+            let Cohort { data, addr_buf, lines_all, global, .. } = self;
+            let cw = &mut sub.warps[w];
+            let dw = &mut data[w];
             for (idx, l) in lanes(mask).enumerate() {
-                let cl = &mut cw.lanes_v[l];
-                let base = cl.cur_base();
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &mut dw.lanes_d[l];
                 if let Some(v) = value {
-                    let row = cl.row(ns, base, v);
-                    if dense {
-                        for s in 0..ns {
+                    let row = dl.row(ns, base, v);
+                    for (lo, hi) in mask_runs(winners) {
+                        for s in lo..hi {
                             let a = addr_buf[s * k + idx] as usize;
-                            global[a * ns + s] = cl.get(row, s);
-                        }
-                    } else {
-                        for s in lanes(winners) {
-                            let a = addr_buf[s * k + idx] as usize;
-                            global[a * ns + s] = cl.get(row, s);
+                            global[a * ns + s] = dl.get(row, s);
                         }
                     }
                 } else if let Some(dst) = dst {
                     let drow = (base + dst.index()) * ns;
-                    if dense {
-                        for s in 0..ns {
+                    for (lo, hi) in mask_runs(winners) {
+                        for s in lo..hi {
                             let a = addr_buf[s * k + idx] as usize;
-                            cl.vals[drow + s] = global[a * ns + s];
-                        }
-                    } else {
-                        for s in lanes(winners) {
-                            let a = addr_buf[s * k + idx] as usize;
-                            cl.vals[drow + s] = global[a * ns + s];
+                            dl.vals[drow + s] = global[a * ns + s];
                         }
                     }
                 }
@@ -1962,7 +2248,7 @@ impl Cohort<'_> {
                     let (start, len) = spans[s];
                     for &line in &lines_all[start as usize..(start + len) as usize] {
                         let slot = line.rem_euclid(nl) as usize;
-                        cw.cache_tags[slot * ns + s] = Some(line);
+                        dw.cache_tags[slot * ns + s] = Some(line);
                     }
                 }
             }
@@ -1970,8 +2256,8 @@ impl Cohort<'_> {
         if value.is_some() {
             self.invalidate_spans(winners, &spans);
         }
-        self.metrics.cache_hits += hits;
-        self.metrics.cache_misses += misses;
+        sub.metrics.cache_hits += hits;
+        sub.metrics.cache_misses += misses;
         cost
     }
 
@@ -1986,7 +2272,7 @@ impl Cohort<'_> {
     #[allow(clippy::too_many_arguments)]
     fn cost_triple(
         cfg: &SimConfig,
-        cw: &CWarp,
+        dw: &DWarp,
         ns: usize,
         s: usize,
         addrs: &[i64],
@@ -2001,7 +2287,7 @@ impl Cohort<'_> {
         };
         let cells = cache.cells_per_line.max(1) as i64;
         let start = push_line_span(lines_out, addrs, cells);
-        Self::overlay_triple(cfg, cache, cw, ns, s, &lines_out[start..])
+        Self::overlay_triple(cfg, cache, dw, ns, s, &lines_out[start..])
     }
 
     /// The overlay walk of [`Self::cost_triple`] over an already-deduped
@@ -2010,7 +2296,7 @@ impl Cohort<'_> {
     fn overlay_triple(
         cfg: &SimConfig,
         cache: &crate::config::CacheConfig,
-        cw: &CWarp,
+        dw: &DWarp,
         ns: usize,
         s: usize,
         lines: &[i64],
@@ -2027,7 +2313,7 @@ impl Cohort<'_> {
                 .rev()
                 .find(|&&(sl, _)| sl == slot)
                 .map(|&(_, ln)| Some(ln))
-                .unwrap_or(cw.cache_tags[slot * ns + s]);
+                .unwrap_or(dw.cache_tags[slot * ns + s]);
             if tag == Some(line) {
                 hits += 1;
             } else {
@@ -2051,14 +2337,14 @@ impl Cohort<'_> {
         let Some(cache) = &self.cfg.cache else { return };
         let nl = cache.lines as i64;
         let ns = self.nslots;
-        let Cohort { warps, lines_all, .. } = self;
+        let Cohort { data, lines_all, .. } = self;
         for s in lanes(slots) {
             let (start, len) = spans[s];
             for &line in &lines_all[start as usize..(start + len) as usize] {
                 let slot = line.rem_euclid(nl) as usize;
-                for warp in warps.iter_mut() {
-                    if warp.cache_tags[slot * ns + s] == Some(line) {
-                        warp.cache_tags[slot * ns + s] = None;
+                for dw in data.iter_mut() {
+                    if dw.cache_tags[slot * ns + s] == Some(line) {
+                        dw.cache_tags[slot * ns + s] = None;
                     }
                 }
             }
@@ -2074,14 +2360,14 @@ impl Cohort<'_> {
         let cells = cache.cells_per_line.max(1) as i64;
         let nl = cache.lines as i64;
         let ns = self.nslots;
-        let Cohort { warps, addr_buf, .. } = self;
+        let Cohort { data, addr_buf, .. } = self;
         for s in lanes(slots) {
             for idx in 0..k {
                 let line = addr_buf[s * k + idx].div_euclid(cells);
                 let slot = line.rem_euclid(nl) as usize;
-                for warp in warps.iter_mut() {
-                    if warp.cache_tags[slot * ns + s] == Some(line) {
-                        warp.cache_tags[slot * ns + s] = None;
+                for dw in data.iter_mut() {
+                    if dw.cache_tags[slot * ns + s] == Some(line) {
+                        dw.cache_tags[slot * ns + s] = None;
                     }
                 }
             }
@@ -2089,9 +2375,11 @@ impl Cohort<'_> {
     }
 
     /// Local load/store: flat cost, so only per-slot OOB faults can
-    /// split the cohort (and they resolve, not detach).
+    /// split the sub-cohort (and they resolve, not fork).
+    #[allow(clippy::too_many_arguments)]
     fn access_local_c(
         &mut self,
+        sub: &mut SubCohort,
         pc: usize,
         mask: u64,
         w: usize,
@@ -2101,19 +2389,20 @@ impl Cohort<'_> {
     ) {
         let ns = self.nslots;
         let llen = self.local_len;
-        let live = self.live;
+        let slots = sub.slots;
         let mut faults: Vec<(usize, SlotFault)> = Vec::new();
         let mut faulted = 0u64;
         {
-            let cw = &mut self.warps[w];
+            let cw = &mut sub.warps[w];
+            let dw = &mut self.data[w];
             for l in lanes(mask) {
-                let cl = &mut cw.lanes_v[l];
-                let base = cl.cur_base();
-                let arow = cl.row(ns, base, addr);
-                let vrow = value.map(|v| cl.row(ns, base, v));
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &mut dw.lanes_d[l];
+                let arow = dl.row(ns, base, addr);
+                let vrow = value.map(|v| dl.row(ns, base, v));
                 let drow = dst.map(|d| (base + d.index()) * ns);
-                for s in lanes(live & !faulted) {
-                    let a = cl.get(arow, s).as_i64();
+                for s in lanes(slots & !faulted) {
+                    let a = dl.get(arow, s).as_i64();
                     if a < 0 || a as usize >= llen {
                         faulted |= 1 << s;
                         faults.push((
@@ -2124,9 +2413,9 @@ impl Cohort<'_> {
                     }
                     let cell = (a as usize) * ns + s;
                     if let Some(vr) = vrow {
-                        cl.local[cell] = cl.get(vr, s);
+                        dl.local[cell] = dl.get(vr, s);
                     } else if let Some(dr) = drow {
-                        cl.vals[dr + s] = cl.local[cell];
+                        dl.vals[dr + s] = dl.local[cell];
                     }
                 }
                 cw.pcs[l] += 1;
@@ -2134,15 +2423,17 @@ impl Cohort<'_> {
         }
         for (s, f) in faults {
             let e = self.fault_to_err(w, pc, f);
-            self.resolve_err(s, e);
+            self.resolve_err(sub, s, e);
         }
     }
 
     /// Atomic add: static cost (no coalescing model), lanes serialized
     /// in lane order against each slot's own global column, touched
     /// lines invalidated per slot.
+    #[allow(clippy::too_many_arguments)]
     fn atomic_add_c(
         &mut self,
+        sub: &mut SubCohort,
         pc: usize,
         mask: u64,
         w: usize,
@@ -2152,21 +2443,22 @@ impl Cohort<'_> {
     ) {
         let ns = self.nslots;
         let k = mask.count_ones() as usize;
+        let slots = sub.slots;
         let mut faults: Vec<(usize, SlotFault)> = Vec::new();
         let mut faulted = 0u64;
         {
             let glen = self.global_len;
-            let live = self.live;
-            let Cohort { warps, global, addr_buf, .. } = self;
-            let cw = &mut warps[w];
+            let Cohort { data, global, addr_buf, .. } = self;
+            let cw = &mut sub.warps[w];
+            let dw = &mut data[w];
             addr_buf.clear();
             addr_buf.resize(ns * k, 0);
-            for s in lanes(live) {
+            for s in lanes(slots) {
                 for (idx, l) in lanes(mask).enumerate() {
-                    let cl = &mut cw.lanes_v[l];
-                    let base = cl.cur_base();
-                    let a = cl.eval(ns, base, addr, s).as_i64();
-                    let v = cl.eval(ns, base, value, s);
+                    let base = cw.lanes_c[l].cur_base();
+                    let dl = &mut dw.lanes_d[l];
+                    let a = dl.eval(ns, base, addr, s).as_i64();
+                    let v = dl.eval(ns, base, value, s);
                     if a < 0 || a as usize >= glen {
                         faulted |= 1 << s;
                         faults.push((
@@ -2189,7 +2481,7 @@ impl Cohort<'_> {
                             break;
                         }
                     }
-                    cl.set(ns, base, dst.index(), s, old);
+                    dl.set(ns, base, dst.index(), s, old);
                     addr_buf[s * k + idx] = a;
                 }
             }
@@ -2199,10 +2491,10 @@ impl Cohort<'_> {
         }
         // Faulted slots' runs discard all state, so only the survivors'
         // write-through invalidation is observable.
-        self.invalidate_lines_c(self.live & !faulted, k);
+        self.invalidate_lines_c(slots & !faulted, k);
         for (s, f) in faults {
             let e = self.fault_to_err(w, pc, f);
-            self.resolve_err(s, e);
+            self.resolve_err(sub, s, e);
         }
     }
 }
@@ -2255,8 +2547,9 @@ bb0:
 
     /// Seed-dependent *uniform* branch: the vote count is identical for
     /// every lane of a warp but differs across seeds, so whole instances
-    /// disagree on the branch and the minority detaches. Both arms cost
-    /// the same, so detached instances realign at bb3 and rejoin.
+    /// disagree on the branch and the minority forks off. Both arms cost
+    /// the same, so the sub-cohorts' control planes realign at bb3 and
+    /// they merge.
     const VOTE_DIVERGE_KERNEL: &str = "\
 kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
 bb0:
@@ -2279,9 +2572,11 @@ bb3:
 ";
 
     /// Seed-dependent *lane-level* branch: per-lane RNG decides each
-    /// lane's direction, so the taken masks differ across seeds. The two
-    /// arms are cost-symmetric and reconverge through a barrier wait, so
-    /// detached instances realign after reconvergence.
+    /// lane's direction, so the taken masks differ across nearly every
+    /// seed — far more classes than [`MAX_SUBCOHORTS`], driving the
+    /// scalar escape hatch alongside forking. The two arms are
+    /// cost-symmetric and reconverge through a barrier wait, so forked
+    /// sub-cohorts merge and detached instances rejoin.
     const LANE_DIVERGE_KERNEL: &str = "\
 kernel @k(params=0, regs=8, barriers=1, entry=bb0) {
 bb0:
@@ -2303,9 +2598,67 @@ bb3:
 }
 ";
 
+    /// Seed-dependent *call depth*: one sub-cohort enters `@f` while its
+    /// sibling stays in the kernel frame, then the sibling pushes a
+    /// frame over the same arena rows at bb3. Exercises the shared-arena
+    /// invariant that `push_frame` initializes the new register window
+    /// for the pushing sub-cohort's slots only.
+    const CALL_DIVERGE_KERNEL: &str = "\
+kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = rng.u63
+  %r1 = rem %r0, 2
+  %r2 = vote %r1
+  %r3 = rem %r2, 2
+  brdiv %r3, bb1, bb2
+bb1:
+  call @f(%r2) -> (%r4)
+  jmp bb3
+bb2:
+  %r4 = add %r2, 1
+  jmp bb3
+bb3:
+  call @f(%r4) -> (%r5)
+  %r6 = special.tid
+  store global[%r6], %r5
+  exit
+}
+device @f(params=1, regs=4, barriers=0, entry=bb0) {
+bb0:
+  %r1 = add %r0, 7
+  %r2 = mul %r1, 3
+  ret %r2
+}
+";
+
+    /// Seed-dependent *loop trip count* (uniform per instance via vote):
+    /// sub-cohorts fork at the loop header and never re-agree mid-loop,
+    /// finishing at different cycles — the no-merge worst case that
+    /// still must stay bit-identical and fully masked.
+    const LOOP_DIVERGE_KERNEL: &str = "\
+kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
+bb0:
+  %r0 = rng.u63
+  %r0 = rem %r0, 6
+  %r1 = special.tid
+  %r2 = vote %r0
+  %r0 = rem %r2, 4
+  jmp bb1
+bb1:
+  brdiv %r0, bb2, bb3
+bb2:
+  %r0 = sub %r0, 1
+  %r3 = add %r3, 2
+  jmp bb1
+bb3:
+  store global[%r1], %r3
+  exit
+}
+";
+
     /// Seed-dependent addresses: lanes load `global[rng % 33]` against a
     /// 32-cell memory, so some instances fault (address 32) and the rest
-    /// detach on coalescing-cost divergence.
+    /// split on coalescing-cost divergence.
     const FAULTY_KERNEL: &str = "\
 kernel @k(params=0, regs=8, barriers=0, entry=bb0) {
 bb0:
@@ -2331,13 +2684,18 @@ bb0:
 
     /// Runs the sweep and asserts every [`SeedRun`] is bit-identical to
     /// an independent scalar run of that seed. Returns the stats so
-    /// callers can assert on the lockstep/detach/rejoin counters.
+    /// callers can assert on the fork/merge/occupancy counters.
     fn assert_matches_scalar(src: &str, cfg: &SimConfig, sweep: &SweepLaunch) -> SweepStats {
         let module = parse_and_link(src).expect("kernel parses");
         let image = DecodedImage::decode(&module);
         let out = run_sweep_image(&image, cfg, sweep, None).expect("sweep runs");
         assert_eq!(out.runs.len(), sweep.instances() as usize);
         assert_eq!(out.stats.instances, sweep.instances() as usize);
+        assert_eq!(
+            out.stats.occupancy_hist.iter().sum::<u64>(),
+            out.stats.lockstep_issues,
+            "every lockstep issue lands in exactly one occupancy bucket"
+        );
         for (i, run) in out.runs.iter().enumerate() {
             let seed = sweep.seed_lo + i as u64;
             assert_eq!(run.seed, seed, "runs are in seed order");
@@ -2437,26 +2795,82 @@ bb0:
             let sweep = SweepLaunch::new(launch("k", 2, 256, vec![Value::I64(12)]), 100, 116);
             let stats = assert_matches_scalar(LOCKSTEP_KERNEL, &cfg, &sweep);
             assert!(stats.lockstep_issues > 0, "{policy:?}: cohort never issued");
+            assert_eq!(stats.forks, 0, "{policy:?}: uniform control never forks");
+            assert_eq!(stats.detaches, 0, "{policy:?}: {stats:?}");
+            assert_eq!(stats.scalar_steps, 0, "{policy:?}: {stats:?}");
+            assert_eq!(stats.peak_subcohorts, 1, "{policy:?}: {stats:?}");
+            assert!(
+                (stats.mean_occupancy() - 16.0).abs() < f64::EPSILON,
+                "{policy:?}: 16 instances in lockstep occupy every issue: {stats:?}"
+            );
         }
     }
 
     #[test]
-    fn uniform_divergence_detaches_and_rejoins() {
+    fn uniform_divergence_forks_and_merges_without_scalar_fallback() {
         let sweep = SweepLaunch::new(launch("k", 1, 32, vec![]), 0, 32);
         let stats = assert_matches_scalar(VOTE_DIVERGE_KERNEL, &SimConfig::default(), &sweep);
-        assert!(stats.detaches > 0, "seeds disagree on the vote parity: {stats:?}");
-        assert!(stats.rejoins > 0, "cost-symmetric arms must realign: {stats:?}");
-        assert!(stats.scalar_steps > 0, "{stats:?}");
+        assert!(stats.forks > 0, "seeds disagree on the vote parity: {stats:?}");
+        assert!(stats.merges > 0, "cost-symmetric arms must realign: {stats:?}");
+        assert_eq!(stats.detaches, 0, "two classes never exceed the cap: {stats:?}");
+        assert_eq!(stats.scalar_steps, 0, "{stats:?}");
+        assert!(stats.peak_subcohorts >= 2, "{stats:?}");
+        assert!(
+            stats.mean_occupancy() > 1.0,
+            "masked execution keeps width above scalar: {stats:?}"
+        );
     }
 
     #[test]
-    fn lane_divergence_detaches_and_rejoins_after_reconvergence() {
+    fn lane_divergence_forks_and_reconverges_across_policies() {
         for policy in all_policies() {
             let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
             let sweep = SweepLaunch::new(launch("k", 2, 64, vec![]), 0, 24);
             let stats = assert_matches_scalar(LANE_DIVERGE_KERNEL, &cfg, &sweep);
-            assert!(stats.detaches > 0, "{policy:?}: taken masks differ per seed: {stats:?}");
-            assert!(stats.rejoins > 0, "{policy:?}: barrier reconvergence realigns: {stats:?}");
+            assert!(stats.forks > 0, "{policy:?}: taken masks differ per seed: {stats:?}");
+            assert!(
+                stats.merges + stats.rejoins > 0,
+                "{policy:?}: barrier reconvergence realigns: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_explosion_past_the_cap_takes_the_scalar_escape_hatch() {
+        // 48 seeds × per-lane random taken masks ≈ 48 distinct classes
+        // at one branch: far more than MAX_SUBCOHORTS, so the engine
+        // must fork up to the cap and detach the rest — and still be
+        // bit-identical.
+        let sweep = SweepLaunch::new(launch("k", 2, 64, vec![]), 0, 48);
+        let stats = assert_matches_scalar(LANE_DIVERGE_KERNEL, &SimConfig::default(), &sweep);
+        assert!(stats.forks > 0, "{stats:?}");
+        assert!(stats.detaches > 0, "class count exceeds the cap: {stats:?}");
+        assert!(stats.scalar_steps > 0, "{stats:?}");
+        assert!(
+            stats.peak_subcohorts as usize <= MAX_SUBCOHORTS,
+            "the cap bounds live sub-cohorts: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_call_depths_share_the_arena_safely() {
+        for policy in all_policies() {
+            let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
+            let sweep = SweepLaunch::new(launch("k", 1, 64, vec![]), 0, 24);
+            let stats = assert_matches_scalar(CALL_DIVERGE_KERNEL, &cfg, &sweep);
+            assert!(stats.forks > 0, "{policy:?}: call-depth divergence forks: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn divergent_trip_counts_stay_masked_and_bit_identical() {
+        for policy in all_policies() {
+            let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
+            let sweep = SweepLaunch::new(launch("k", 1, 64, vec![]), 0, 32);
+            let stats = assert_matches_scalar(LOOP_DIVERGE_KERNEL, &cfg, &sweep);
+            assert!(stats.forks > 0, "{policy:?}: trip counts differ: {stats:?}");
+            assert_eq!(stats.detaches, 0, "{policy:?}: four classes fit the cap: {stats:?}");
+            assert_eq!(stats.scalar_steps, 0, "{policy:?}: {stats:?}");
         }
     }
 
@@ -2496,5 +2910,22 @@ bb0:
         let err =
             run_sweep_image(&image, &SimConfig::default(), &sweep, Some(&cancel)).unwrap_err();
         assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+    }
+
+    #[test]
+    fn occupancy_buckets_partition_the_width_range() {
+        assert_eq!(occupancy_bucket(1), 0);
+        assert_eq!(occupancy_bucket(2), 1);
+        assert_eq!(occupancy_bucket(3), 2);
+        assert_eq!(occupancy_bucket(4), 2);
+        assert_eq!(occupancy_bucket(5), 3);
+        assert_eq!(occupancy_bucket(8), 3);
+        assert_eq!(occupancy_bucket(9), 4);
+        assert_eq!(occupancy_bucket(16), 4);
+        assert_eq!(occupancy_bucket(17), 5);
+        assert_eq!(occupancy_bucket(32), 5);
+        assert_eq!(occupancy_bucket(33), 6);
+        assert_eq!(occupancy_bucket(64), 6);
+        assert_eq!(OCCUPANCY_BUCKET_LABELS.len(), OCCUPANCY_BUCKETS);
     }
 }

@@ -477,11 +477,7 @@ impl Engine {
         for chunk in chunks {
             let out = chunk?;
             runs.extend(out.runs);
-            stats.instances += out.stats.instances;
-            stats.lockstep_issues += out.stats.lockstep_issues;
-            stats.detaches += out.stats.detaches;
-            stats.rejoins += out.stats.rejoins;
-            stats.scalar_steps += out.stats.scalar_steps;
+            stats.merge(&out.stats);
         }
         Ok(SweepOutput { runs, stats })
     }

@@ -37,6 +37,7 @@ pub mod optix;
 pub mod pathtracer;
 pub mod reference;
 pub mod rsbench;
+pub mod seedstorm;
 pub mod xsbench;
 
 pub use eval::{Engine, EvalJob, Rebind};

@@ -508,7 +508,7 @@ fn parse_seed_range(s: &str) -> Result<(u64, u64), String> {
 /// the lockstep sweep engine and report per-seed plus aggregate SIMT
 /// efficiency.
 fn sweep_cmd(args: &[String]) -> Result<(), String> {
-    use specrecon::workloads::{eval, microbench, registry};
+    use specrecon::workloads::{eval, microbench, registry, seedstorm};
     let name = flag_value(args, "--workload").ok_or("missing --workload NAME")?;
     let (lo, hi) = parse_seed_range(flag_value(args, "--seeds").ok_or("missing --seeds LO..HI")?)?;
     let jobs: usize = match flag_value(args, "--jobs") {
@@ -517,10 +517,15 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
     };
     let mut w = if name == "microbench" {
         microbench::build_common_call(&microbench::Params::default())
+    } else if name == "seed-storm" {
+        seedstorm::build(&seedstorm::Params::default())
     } else {
         registry().into_iter().find(|w| w.name == name).ok_or_else(|| {
             let known: Vec<&str> = registry().iter().map(|w| w.name).collect();
-            format!("unknown workload `{name}` (known: {}, microbench)", known.join(", "))
+            format!(
+                "unknown workload `{name}` (known: {}, microbench, seed-storm)",
+                known.join(", ")
+            )
         })?
     };
     if let Some(v) = flag_value(args, "--warps") {
@@ -569,10 +574,21 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
     }
     let s = out.stats;
     println!(
-        "sweep engine: {} instances, {} lockstep issues, {} detaches, {} rejoins, \
-         {} scalar steps",
-        s.instances, s.lockstep_issues, s.detaches, s.rejoins, s.scalar_steps
+        "sweep engine: {} instances, {} lockstep issues, {} forks, {} merges, \
+         mean occupancy {:.1} (peak {} sub-cohorts)",
+        s.instances,
+        s.lockstep_issues,
+        s.forks,
+        s.merges,
+        s.mean_occupancy(),
+        s.peak_subcohorts
     );
+    if s.detaches > 0 {
+        println!(
+            "  escape hatch: {} detaches, {} rejoins, {} scalar steps",
+            s.detaches, s.rejoins, s.scalar_steps
+        );
+    }
     match first_err {
         Some(e) => Err(e),
         None => Ok(()),

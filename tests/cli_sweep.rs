@@ -31,6 +31,29 @@ fn sweeps_a_workload_and_reports_per_seed_and_aggregate() {
     assert!(text.contains("SIMT efficiency"), "{text}");
     assert!(text.contains("aggregate: mean"), "{text}");
     assert!(text.contains("sweep engine: 4 instances"), "{text}");
+    assert!(text.contains("forks") && text.contains("mean occupancy"), "{text}");
+    // Lockstep microbench sweeps never take the scalar escape hatch, so
+    // the detach/rejoin line stays suppressed.
+    assert!(!text.contains("escape hatch"), "{text}");
+}
+
+#[test]
+fn divergent_sweeps_report_fork_merge_occupancy() {
+    let out = sweep(&["--workload", "seed-storm", "--seeds", "0..16"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sweep engine: 16 instances"), "{text}");
+    let engine_line = text.lines().find(|l| l.starts_with("sweep engine:")).unwrap();
+    let grab = |suffix: &str| {
+        engine_line
+            .split(", ")
+            .find_map(|f| f.strip_suffix(suffix))
+            .and_then(|n| n.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no `{suffix}` field in {engine_line:?}"))
+    };
+    assert!(grab(" forks") > 0, "{engine_line}");
+    assert!(grab(" merges") > 0, "{engine_line}");
+    assert!(!text.contains("escape hatch"), "seed-storm fits the cap:\n{text}");
 }
 
 #[test]
