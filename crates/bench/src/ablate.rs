@@ -9,10 +9,10 @@
 
 use crate::Scale;
 use simt_ir::BlockId;
-use simt_sim::{CacheConfig, SchedulerPolicy, SimConfig};
+use simt_sim::{CacheConfig, MemHierarchy, SchedulerPolicy, SimConfig};
 use specrecon_core::{unroll_self_loop, CompileOptions, DeconflictMode};
 use workloads::eval::{self, Engine};
-use workloads::{registry, rsbench, xsbench, Workload};
+use workloads::{mummer, registry, rsbench, xsbench, Workload};
 
 /// One row of the deconfliction ablation.
 #[derive(Clone, Debug)]
@@ -328,9 +328,101 @@ pub fn cache_with(engine: &Engine, scale: Scale) -> Vec<CacheRow> {
     })
 }
 
+/// One row of the memory-hierarchy L1-capacity sweep.
+#[derive(Clone, Debug)]
+pub struct MemHierRow {
+    /// Workload name.
+    pub name: String,
+    /// L1 capacity at this point, in 16-cell lines.
+    pub l1_lines: usize,
+    /// SR speedup under the hierarchy (baseline cycles / SR cycles).
+    pub speedup: f64,
+    /// L1 hit rate in the SR run.
+    pub l1_hit_rate: f64,
+    /// MSHR penalty cycles (all levels) in the SR run.
+    pub mshr_stall_cycles: u64,
+    /// MSHR penalty cycles (all levels) in the baseline run.
+    pub baseline_mshr_stall_cycles: u64,
+}
+
+/// L1 capacities swept (16-cell lines), smallest first.
+pub const MEM_L1_POINTS: [usize; 5] = [2, 4, 8, 16, 64];
+
+/// Sweeps L1 capacity under the full L1/L2/DRAM hierarchy (tight MSHR
+/// files) on the memory-sensitive workloads and reports how the
+/// SR-vs-baseline verdict moves.
+pub fn mem_hier(scale: Scale) -> Vec<MemHierRow> {
+    mem_hier_with(eval::shared(), scale)
+}
+
+/// [`mem_hier`] on a caller-provided [`Engine`], one job per point.
+pub fn mem_hier_with(engine: &Engine, scale: Scale) -> Vec<MemHierRow> {
+    let workloads = [
+        xsbench::build(&xsbench::Params::default()),
+        rsbench::build(&rsbench::Params::default()),
+        mummer::build(&mummer::Params::default()),
+    ];
+    let jobs: Vec<(Workload, usize)> = workloads
+        .iter()
+        .map(|w| scale.apply(w))
+        .flat_map(|w| MEM_L1_POINTS.map(|lines| (w.clone(), lines)))
+        .collect();
+    engine.par_map(&jobs, |(w, lines)| {
+        let lat = SimConfig::default().latency;
+        let spec = format!(
+            "l1:lines={lines},cells=16,lat=2,mshrs=1;\
+             l2:lines=128,cells=16,lat=8,mshrs=2;\
+             dram:lat=48,extra=4"
+        );
+        let hier = MemHierarchy::parse(&spec, &lat).expect("mem-hier ablation spec");
+        let cfg = SimConfig { mem: Some(hier), ..SimConfig::default() };
+        let cmp = engine
+            .compare_with(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} @ L1={lines} failed: {e}", w.name));
+        let stalls = |opts: &CompileOptions| {
+            let out = engine
+                .run_full(w, opts, &cfg)
+                .unwrap_or_else(|e| panic!("{} @ L1={lines} counter run failed: {e}", w.name));
+            let l1 = out.metrics.mem.levels[0];
+            let total: u64 = out.metrics.mem.levels.iter().map(|l| l.mshr_stall_cycles).sum();
+            (l1.hits as f64 / (l1.hits + l1.misses).max(1) as f64, total)
+        };
+        let (l1_hit_rate, mshr_stall_cycles) = stalls(&CompileOptions::speculative());
+        let (_, baseline_mshr_stall_cycles) = stalls(&CompileOptions::baseline());
+        MemHierRow {
+            name: w.name.to_string(),
+            l1_lines: *lines,
+            speedup: cmp.speedup(),
+            l1_hit_rate,
+            mshr_stall_cycles,
+            baseline_mshr_stall_cycles,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mem_hier_sweep_covers_every_point() {
+        let rows = mem_hier(Scale::Quick);
+        assert_eq!(rows.len(), MEM_L1_POINTS.len() * 3, "one row per workload per L1 point");
+        for chunk in rows.chunks(MEM_L1_POINTS.len()) {
+            let (first, last) = (&chunk[0], &chunk[chunk.len() - 1]);
+            assert_eq!(first.name, last.name);
+            assert!(
+                last.l1_hit_rate > first.l1_hit_rate,
+                "{}: a 32x larger L1 must hit more ({} -> {})",
+                first.name,
+                first.l1_hit_rate,
+                last.l1_hit_rate
+            );
+            for r in chunk {
+                assert!(r.speedup > 0.0, "{} @ L1={}: degenerate speedup", r.name, r.l1_lines);
+            }
+        }
+    }
 
     #[test]
     fn both_deconfliction_modes_work_everywhere() {

@@ -78,6 +78,7 @@ fn main() {
             "ablate-sync" => timed(t, || emit_ablate_sync(&opts, e)),
             "ablate-width" => timed(t, || emit_ablate_width(&opts, e)),
             "ablate-cache" => timed(t, || emit_ablate_cache(&opts, e)),
+            "ablate-mem" => timed(t, || emit_ablate_mem(&opts, e)),
             "ablate-threshold" => timed(t, || emit_ablate_threshold(&opts, e)),
             "all" => {
                 timed("table2", || emit_table2(&opts));
@@ -91,11 +92,12 @@ fn main() {
                 timed("ablate-sync", || emit_ablate_sync(&opts, e));
                 timed("ablate-width", || emit_ablate_width(&opts, e));
                 timed("ablate-cache", || emit_ablate_cache(&opts, e));
+                timed("ablate-mem", || emit_ablate_mem(&opts, e));
                 timed("ablate-threshold", || emit_ablate_threshold(&opts, e));
             }
             other => {
                 eprintln!("unknown target `{other}`");
-                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-threshold all");
+                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-mem ablate-threshold all");
                 std::process::exit(2);
             }
         }
@@ -339,6 +341,33 @@ fn emit_ablate_cache(opts: &Opts, engine: &Engine) {
     let headers = ["workload", "SR speedup (no cache)", "SR speedup (cache)", "hit rate"];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "ablate_cache", &headers, &rows);
+}
+
+fn emit_ablate_mem(opts: &Opts, engine: &Engine) {
+    println!("\n## Ablation — memory-hierarchy L1 capacity sweep (tight MSHRs)\n");
+    let rows: Vec<Vec<String>> = ablate::mem_hier_with(engine, opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                r.l1_lines.to_string(),
+                ratio(r.speedup),
+                pct(r.l1_hit_rate),
+                r.mshr_stall_cycles.to_string(),
+                r.baseline_mshr_stall_cycles.to_string(),
+            ]
+        })
+        .collect();
+    let headers = [
+        "workload",
+        "L1 lines",
+        "SR speedup",
+        "SR L1 hit rate",
+        "SR mshr stalls",
+        "base mshr stalls",
+    ];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_mem", &headers, &rows);
 }
 
 fn emit_ablate_threshold(opts: &Opts, engine: &Engine) {

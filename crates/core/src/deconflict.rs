@@ -58,14 +58,27 @@ pub fn deconflict(
 /// wait on that prediction's barrier — from the caller's perspective,
 /// the call *is* where the thread may block.
 pub(crate) fn call_wait_view(func: &Function, interproc: &[(FuncId, BarrierId)]) -> Function {
+    // When the §4.4 pass armed the callee-entry Rejoin (some call site
+    // calls again), each call is a wait *followed by a rejoin* from the
+    // caller's perspective — the membership stays live across loop back
+    // edges, and the conflict analysis must see that.
+    let rejoining: Vec<bool> =
+        interproc.iter().map(|&(callee, _)| crate::interproc::calls_again(func, callee)).collect();
     let mut view = func.clone();
     for (_, block) in view.blocks.iter_mut() {
-        for inst in &mut block.insts {
-            if let Inst::Call { func: FuncRef::Id(id), .. } = inst {
-                if let Some(&(_, bar)) = interproc.iter().find(|(callee, _)| callee == id) {
-                    *inst = Inst::Barrier(BarrierOp::Wait(bar));
+        let insts = std::mem::take(&mut block.insts);
+        for inst in insts {
+            if let Inst::Call { func: FuncRef::Id(id), .. } = &inst {
+                if let Some(k) = interproc.iter().position(|(callee, _)| callee == id) {
+                    let bar = interproc[k].1;
+                    block.insts.push(Inst::Barrier(BarrierOp::Wait(bar)));
+                    if rejoining[k] {
+                        block.insts.push(Inst::Barrier(BarrierOp::Rejoin(bar)));
+                    }
+                    continue;
                 }
             }
+            block.insts.push(inst);
         }
     }
     view

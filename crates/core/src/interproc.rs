@@ -9,10 +9,13 @@
 //! sit at different PCs.
 //!
 //! Barrier state is warp-level and shared across frames, which is what
-//! makes the cross-function wait sound; the analysis side treats a call to
-//! the predicted function as the barrier's wait when placing
-//! `Rejoin`/`Cancel` (the call-graph summary propagation the paper
-//! describes).
+//! makes the cross-function wait sound. When the caller can call the
+//! predicted function again (a loop over the call site), membership is
+//! rebuilt by a `Rejoin` in the callee entry immediately after the wait
+//! — atomically with the release, since the released group is converged
+//! there — and region escapes `Cancel`. The analysis side treats a call
+//! to the predicted function as the barrier's wait-(and-rejoin) — the
+//! call-graph summary propagation the paper describes.
 
 use crate::error::PassError;
 use crate::region::compute_region;
@@ -31,8 +34,8 @@ pub struct InterprocReport {
     pub barrier: BarrierId,
     /// Caller blocks containing calls to the callee (the region targets).
     pub call_blocks: Vec<BlockId>,
-    /// Blocks that received a `RejoinBarrier` (after calls with another
-    /// call still ahead).
+    /// Callee blocks that received a `RejoinBarrier` (the callee entry,
+    /// right after its wait, when some call site will call again).
     pub rejoins: Vec<BlockId>,
     /// Blocks that received a `CancelBarrier` (region escapes).
     pub cancels: Vec<BlockId>,
@@ -132,52 +135,29 @@ fn apply_one(
     }
 
     // "Call to callee lies ahead" — block-level backward reachability used
-    // for both Rejoin (another call ahead after this one?) and Cancel (no
-    // call ahead at a region-escape target).
-    let n = caller.blocks.len();
-    let preds = caller.predecessors();
-    let mut call_ahead_in = vec![false; n]; // a call lies at/after block entry
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for b in caller.blocks.ids() {
-            let here = call_blocks.contains(&b);
-            let out = caller.successors(b).iter().any(|s| call_ahead_in[s.index()]);
-            let v = here || out;
-            if v != call_ahead_in[b.index()] {
-                call_ahead_in[b.index()] = v;
-                changed = true;
-            }
-        }
-    }
-    let _ = preds; // predecessors() kept for symmetry with other passes
+    // for both Rejoin (will some site call again?) and Cancel (no call
+    // ahead at a region-escape target).
+    let call_ahead_in = call_ahead_map(caller, callee);
 
-    // Rejoin after calls that will be followed by another call (loops over
-    // the call site).
+    // Rejoin when some call site will call again (loops over the call
+    // site). The rejoin must sit in the *callee*, immediately after the
+    // entry wait: the released group is converged at the wait's pc, so
+    // its very next issue re-registers every lane before anything else
+    // can run. Rejoining in the caller (after the call) is racy — one
+    // call site's group can rejoin, run the whole loop, and re-wait
+    // while the other site's group has not rejoined yet, so the barrier
+    // trips on the subset and the warp desynchronizes permanently.
+    // Lanes whose current call was their last leave through a region
+    // escape, where the Cancel below withdraws them.
     let mut rejoins = Vec::new();
-    for &cb in &call_blocks {
-        let block = &caller.blocks[cb];
-        // Does another call to the callee lie after instruction i?
-        let mut sites = Vec::new();
-        for (i, inst) in block.insts.iter().enumerate() {
-            if matches!(inst, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee) {
-                sites.push(i);
-            }
-        }
-        let out_ahead = caller.successors(cb).iter().any(|s| call_ahead_in[s.index()]);
-        let mut insertions = Vec::new();
-        for (k, &i) in sites.iter().enumerate() {
-            let another_later_in_block = k + 1 < sites.len();
-            if another_later_in_block || out_ahead {
-                insertions.push(i);
-            }
-        }
-        let block = &mut caller.blocks[cb];
-        for &i in insertions.iter().rev() {
-            block.insts.insert(i + 1, Inst::Barrier(BarrierOp::Rejoin(bar)));
-            rejoins.push(cb);
-        }
+    if calls_again(caller, callee) {
+        let callee_func = &mut module.functions[callee];
+        callee_func.blocks[callee_func.entry]
+            .insts
+            .insert(1, Inst::Barrier(BarrierOp::Rejoin(bar)));
+        rejoins.push(callee_func.entry);
     }
+    let caller = &mut module.functions[caller_id];
 
     // Cancel at region-escape targets where no call lies ahead.
     let mut cancels = Vec::new();
@@ -189,6 +169,46 @@ fn apply_one(
     }
 
     Ok(InterprocReport { callee, barrier: bar, call_blocks, rejoins, cancels })
+}
+
+/// Per-block "a call to `callee` lies at or after this block's entry" —
+/// block-level backward reachability over the caller's CFG.
+pub(crate) fn call_ahead_map(caller: &Function, callee: FuncId) -> Vec<bool> {
+    let mut ahead = vec![false; caller.blocks.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in caller.blocks.ids() {
+            let here = block_calls(caller, b, callee) > 0;
+            let out = caller.successors(b).iter().any(|s| ahead[s.index()]);
+            let v = here || out;
+            if v != ahead[b.index()] {
+                ahead[b.index()] = v;
+                changed = true;
+            }
+        }
+    }
+    ahead
+}
+
+/// Whether any call site in `caller` can reach another call to `callee`
+/// — the condition under which the §4.4 pass arms the callee-entry
+/// `Rejoin`. Shared with the call-wait view so per-function analyses
+/// model the same membership lifetime the pass emitted.
+pub(crate) fn calls_again(caller: &Function, callee: FuncId) -> bool {
+    let ahead = call_ahead_map(caller, callee);
+    caller.blocks.ids().any(|b| {
+        let sites = block_calls(caller, b, callee);
+        sites > 1 || (sites > 0 && caller.successors(b).iter().any(|s| ahead[s.index()]))
+    })
+}
+
+fn block_calls(caller: &Function, b: BlockId, callee: FuncId) -> usize {
+    caller.blocks[b]
+        .insts
+        .iter()
+        .filter(|i| matches!(i, Inst::Call { func: FuncRef::Id(id), .. } if *id == callee))
+        .count()
 }
 
 /// Creates a wrapper device function around `callee` and returns its id.
@@ -342,6 +362,13 @@ bb0:
         let reports = apply_interprocedural(&mut m, caller).unwrap();
         assert_eq!(reports[0].rejoins.len(), 1, "loop call must rejoin");
         assert_eq!(reports[0].cancels.len(), 1, "loop exit must cancel");
+        // The rejoin sits in the callee, right after the entry wait —
+        // membership is rebuilt by the released (converged) group's very
+        // next issue, before any lane can loop around and re-wait.
+        let foo = &m.functions[reports[0].callee];
+        let bar = reports[0].barrier;
+        assert_eq!(foo.blocks[foo.entry].insts[0], Inst::Barrier(BarrierOp::Wait(bar)));
+        assert_eq!(foo.blocks[foo.entry].insts[1], Inst::Barrier(BarrierOp::Rejoin(bar)));
         simt_ir::assert_verified(&m);
         let out = run(&m, &SimConfig::default(), &Launch::new("main", 1)).unwrap();
         assert!(out.metrics.issues > 0);

@@ -14,6 +14,8 @@
 //!   "threshold": 8,                   // soft-barrier threshold override
 //!   "warps": 4, "seed": 1, "seeds": 2,  // or "seeds": [lo, hi) for a lockstep sweep
 //!   "mem": 1024,                      // inline kernels only: global memory cells
+//!   "mem_hier": "l1:lines=64,cells=16,lat=2;dram:lat=24,extra=2",
+//!                                     // memory-hierarchy cost model (omit = flat)
 //!   "entry": "k",                     // inline kernels only: kernel to launch
 //!   "deadline_ms": 1000
 //! }
@@ -26,20 +28,33 @@
 //! `"seeds"` takes either a count `N` (runs seeds `seed..seed+N`, one
 //! scalar simulation each — the historical form) or a half-open range
 //! `[lo, hi]`, which compiles once and runs the whole range through the
-//! lockstep sweep engine ([`simt_sim::run_sweep_image`]); the response
+//! lockstep sweep engine via [`Engine::sweep_image_range`] (ranges wider
+//! than one cohort are chunked across the worker pool); the response
 //! then adds a `"sweep"` object with the engine's fork/merge/occupancy
 //! counters (plus the detach/rejoin escape-hatch counters). Both forms
-//! answer with the same per-seed `"runs"` entries.
+//! answer with the same per-seed `"runs"` entries, and both are bounded
+//! by [`MAX_SEEDS`] seeds per request.
+//!
+//! `"mem_hier"` selects the L1/L2/DRAM hierarchy cost model (same spec
+//! syntax as the CLI's `--mem-hier`, parsed by
+//! [`simt_sim::MemHierarchy::parse`]); the response then adds a `"mem"`
+//! object with per-level hit/miss/MSHR counters summed over the
+//! request's runs.
 
 use crate::json::Json;
 use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
 use simt_sim::{
-    run_image_with, run_sweep_image, CancelToken, Launch, SchedulerPolicy, SimConfig, SimError,
-    SweepLaunch,
+    run_image_with, CancelToken, Launch, MemHierarchy, MemStats, SchedulerPolicy, SimConfig,
+    SimError,
 };
 use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
 use workloads::eval::{Engine, EvalError};
 use workloads::{microbench, registry, seedstorm};
+
+/// Sanity bound on seeds per request (count or range form). The sweep
+/// engine chunks arbitrary ranges across the worker pool, so this is a
+/// resource guard, not an engine limit.
+pub const MAX_SEEDS: u64 = 400;
 
 /// A structured failure answering an eval request.
 #[derive(Debug)]
@@ -150,21 +165,28 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
             )))
         }
     };
-    let cfg = SimConfig { scheduler, ..SimConfig::default() };
+    let mut cfg = SimConfig { scheduler, ..SimConfig::default() };
+    if let Some(spec) = field_str("mem_hier")? {
+        cfg.mem = Some(
+            MemHierarchy::parse(spec, &cfg.latency)
+                .map_err(|e| ApiError::bad_request(format!("bad `mem_hier`: {e}")))?,
+        );
+    }
 
     // `seeds` is a count (historical) or a half-open `[lo, hi]` range
-    // that runs as one lockstep sweep.
+    // that runs as one lockstep sweep (chunked across the pool when
+    // wider than a cohort).
     let (seeds, sweep) = match doc.get("seeds") {
         None | Some(Json::Null) => (1, None),
         Some(Json::Arr(range)) => {
             let bad = || {
-                ApiError::bad_request(
-                    "`seeds` range must be [lo, hi] with lo < hi (half-open, at most 64 seeds)",
-                )
+                ApiError::bad_request(format!(
+                    "`seeds` range must be [lo, hi] with lo < hi (half-open, at most {MAX_SEEDS} seeds)",
+                ))
             };
             let [lo, hi] = range.as_slice() else { return Err(bad()) };
             let (lo, hi) = (lo.as_u64().ok_or_else(bad)?, hi.as_u64().ok_or_else(bad)?);
-            if lo >= hi || hi - lo > 64 {
+            if lo >= hi || hi - lo > MAX_SEEDS {
                 return Err(bad());
             }
             (hi - lo, Some((lo, hi)))
@@ -173,7 +195,7 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
             let n = v.as_u64().ok_or_else(|| {
                 ApiError::bad_request("`seeds` must be a count or a [lo, hi] range")
             })?;
-            (n.clamp(1, 64), None)
+            (n.clamp(1, MAX_SEEDS), None)
         }
     };
     let warps = field_u64("warps")?.map(|w| w as usize);
@@ -303,20 +325,25 @@ pub fn execute(
     let mut runs = Vec::with_capacity(req.seeds as usize);
     let mut cycles = Vec::with_capacity(req.seeds as usize);
     let mut effs = Vec::with_capacity(req.seeds as usize);
+    let mut mem = MemStats::default();
     let mut sweep_stats = None;
     if let Some((lo, hi)) = req.sweep {
-        // The range runs as one lockstep cohort: compile once, step all
-        // seeds together, report each seed exactly as a standalone run.
-        let sweep = SweepLaunch::new(req.launch.clone(), lo, hi);
-        let out = run_sweep_image(&image, &req.cfg, &sweep, Some(cancel)).map_err(|e| match e {
-            SimError::SweepUnsupported { .. } => ApiError::bad_request(e.to_string()),
-            other => sim_error(&other),
-        })?;
+        // The range runs as lockstep cohorts: compile once, step all
+        // seeds together (chunked across the worker pool when wider
+        // than one cohort), report each seed exactly as a standalone
+        // run.
+        let out = engine
+            .sweep_image_range(&image, &req.cfg, &req.launch, lo, hi, Some(cancel))
+            .map_err(|e| match e {
+                SimError::SweepUnsupported { .. } => ApiError::bad_request(e.to_string()),
+                other => sim_error(&other),
+            })?;
         for entry in out.runs {
             let seed_out = entry.result.map_err(|e| sim_error(&e))?;
             let m = &seed_out.metrics;
             cycles.push(m.cycles);
             effs.push(m.simt_efficiency());
+            mem = mem.saturating_add(&m.mem);
             runs.push(run_entry(entry.seed, m));
         }
         if let Some(m) = metrics {
@@ -336,8 +363,16 @@ pub fn execute(
             let m = &out.metrics;
             cycles.push(m.cycles);
             effs.push(m.simt_efficiency());
+            mem = mem.saturating_add(&m.mem);
             runs.push(run_entry(launch.seed, m));
         }
+    }
+    if let (Some(sm), false) = (metrics, mem.is_zero()) {
+        let levels = [0, 1, 2].map(|i| {
+            let l = &mem.levels[i];
+            [l.hits, l.misses, l.mshr_merges, l.mshr_stall_cycles]
+        });
+        sm.record_mem(&levels, mem.dram_accesses, mem.dram_segments);
     }
 
     let n = cycles.len() as f64;
@@ -364,6 +399,31 @@ pub fn execute(
             ]),
         ),
     ];
+    if !mem.is_zero() {
+        let mut fields = Vec::with_capacity(4);
+        for (i, l) in mem.levels.iter().enumerate() {
+            if l.hits == 0 && l.misses == 0 && l.mshr_merges == 0 && l.mshr_stall_cycles == 0 {
+                continue;
+            }
+            fields.push((
+                format!("l{}", i + 1),
+                Json::Obj(vec![
+                    ("hits".into(), Json::u64(l.hits)),
+                    ("misses".into(), Json::u64(l.misses)),
+                    ("mshr_merges".into(), Json::u64(l.mshr_merges)),
+                    ("mshr_stall_cycles".into(), Json::u64(l.mshr_stall_cycles)),
+                ]),
+            ));
+        }
+        fields.push((
+            "dram".into(),
+            Json::Obj(vec![
+                ("accesses".into(), Json::u64(mem.dram_accesses)),
+                ("segments".into(), Json::u64(mem.dram_segments)),
+            ]),
+        ));
+        body.push(("mem".into(), Json::Obj(fields)));
+    }
     if let Some(s) = sweep_stats {
         body.push((
             "sweep".into(),
@@ -474,7 +534,7 @@ mod tests {
             &br#"{"workload":"rsbench","seeds":[5]}"#[..],
             br#"{"workload":"rsbench","seeds":[5,5]}"#,
             br#"{"workload":"rsbench","seeds":[9,3]}"#,
-            br#"{"workload":"rsbench","seeds":[0,65]}"#,
+            br#"{"workload":"rsbench","seeds":[0,401]}"#,
             br#"{"workload":"rsbench","seeds":[1,2,3]}"#,
             br#"{"workload":"rsbench","seeds":"many"}"#,
         ] {
@@ -482,6 +542,59 @@ mod tests {
             assert_eq!(err.status, 400, "{:?}: {}", body, err.message);
             assert!(err.message.contains("`seeds`"), "{}", err.message);
         }
+    }
+
+    #[test]
+    fn seed_ranges_wider_than_a_cohort_parse() {
+        // The old hard cap was 64 seeds (one cohort); the engine chunks
+        // wider ranges, so anything up to the sanity bound is accepted.
+        let req = parse_request(br#"{"workload":"rsbench","seeds":[0,200]}"#).unwrap();
+        assert_eq!(req.sweep, Some((0, 200)));
+        assert_eq!(req.seeds, 200);
+        let req = parse_request(br#"{"workload":"rsbench","seeds":[0,400]}"#).unwrap();
+        assert_eq!(req.sweep, Some((0, 400)));
+    }
+
+    #[test]
+    fn parses_mem_hier_knob() {
+        let req = parse_request(
+            br#"{"workload":"rsbench","mem_hier":"l1:lines=8,cells=16,lat=2,mshrs=4;dram:lat=24,extra=2"}"#,
+        )
+        .unwrap();
+        let hier = req.cfg.mem.expect("mem_hier sets the hierarchy model");
+        assert_eq!(hier.levels.len(), 1);
+        assert_eq!(hier.levels[0].lines, 8);
+        assert_eq!(hier.mem_latency, 24);
+        // Omitted: flat model, as before.
+        let req = parse_request(br#"{"workload":"rsbench"}"#).unwrap();
+        assert!(req.cfg.mem.is_none());
+        // Malformed specs answer 400 with the parser's reason.
+        let err = parse_request(br#"{"workload":"rsbench","mem_hier":"l9:lines=1"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("mem_hier"), "{}", err.message);
+    }
+
+    #[test]
+    fn mem_hier_responses_carry_per_level_counters() {
+        let engine = Engine::new(1);
+        let req = parse_request(
+            br#"{"workload":"microbench","mode":"baseline","warps":1,"seeds":2,
+                "mem_hier":"l1:lines=16,cells=16,lat=2;dram:lat=24,extra=2"}"#,
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        let sm = crate::metrics::ServerMetrics::default();
+        let out = execute(&engine, &req, &token, Some(&sm)).unwrap();
+        let mem = out.get("mem").expect("hierarchy runs report a mem object");
+        let l1 = mem.get("l1").expect("configured L1 level present");
+        let touched =
+            l1.get("hits").unwrap().as_u64().unwrap() + l1.get("misses").unwrap().as_u64().unwrap();
+        assert!(touched > 0, "L1 saw traffic: {}", mem.render());
+        assert!(mem.get("dram").is_some());
+        // The same counters land in the Prometheus registry.
+        let text = sm.render(0, 0, 8, engine.cache_stats());
+        assert!(!text.contains("specrecon_mem_misses_total{level=\"L1\"} 0"), "{text}");
+        Json::parse(&out.render()).unwrap();
     }
 
     #[test]

@@ -37,9 +37,12 @@ impl Request {
     }
 
     /// Whether the client asked to close the connection after this
-    /// exchange.
+    /// exchange. `Connection` is a comma-separated token list (RFC 9110
+    /// §7.6.1), so `close` must be matched as a token — clients send
+    /// values like `keep-alive, close` or `close, TE`.
     pub fn wants_close(&self) -> bool {
-        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        self.header("connection")
+            .is_some_and(|v| v.split(',').any(|token| token.trim().eq_ignore_ascii_case("close")))
     }
 }
 
@@ -311,6 +314,20 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
         assert!(req.wants_close());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // `close` anywhere in the comma-separated list means close...
+        for value in ["close", "Close", " close ", "keep-alive, close", "close, TE", "te,close"] {
+            let req = parse_raw(&format!("GET / HTTP/1.1\r\nConnection: {value}\r\n\r\n")).unwrap();
+            assert!(req.wants_close(), "Connection: {value:?} must close");
+        }
+        // ...but `close` as a substring of another token does not.
+        for value in ["keep-alive", "closed", "not-close", "upgrade"] {
+            let req = parse_raw(&format!("GET / HTTP/1.1\r\nConnection: {value}\r\n\r\n")).unwrap();
+            assert!(!req.wants_close(), "Connection: {value:?} must keep alive");
+        }
     }
 
     #[test]

@@ -46,6 +46,19 @@ pub struct ServerMetrics {
     /// numerator: `sweep_occupancy_sum / sweep_issues` is the mean
     /// slots-per-issue).
     sweep_occupancy_sum: AtomicU64,
+    /// Cache hits per memory-hierarchy level (index 0 = L1) across all
+    /// hierarchy-model runs.
+    mem_hits: [AtomicU64; 3],
+    /// Cache misses per memory-hierarchy level.
+    mem_misses: [AtomicU64; 3],
+    /// Misses merged into an in-flight MSHR entry, per level.
+    mem_mshr_merges: [AtomicU64; 3],
+    /// MSHR penalty cycles (merge waits + full-file stalls), per level.
+    mem_mshr_stalls: [AtomicU64; 3],
+    /// Global accesses that missed every cache level.
+    mem_dram_accesses: AtomicU64,
+    /// DRAM segments serviced.
+    mem_dram_segments: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -96,6 +109,21 @@ impl ServerMetrics {
         self.sweep_scalar_steps.fetch_add(scalar_steps, Ordering::Relaxed);
         self.sweep_occupancy_sum.fetch_add(occupancy_sum, Ordering::Relaxed);
         self.sweep_issues.fetch_add(lockstep_issues, Ordering::Relaxed);
+    }
+
+    /// Folds one request's memory-hierarchy counters into the registry.
+    /// `levels` is `[hits, misses, mshr_merges, mshr_stall_cycles]` per
+    /// cache level (raw counters, like [`ServerMetrics::record_sweep`],
+    /// so the metrics layer stays decoupled from the simulator types).
+    pub fn record_mem(&self, levels: &[[u64; 4]; 3], dram_accesses: u64, dram_segments: u64) {
+        for (i, l) in levels.iter().enumerate() {
+            self.mem_hits[i].fetch_add(l[0], Ordering::Relaxed);
+            self.mem_misses[i].fetch_add(l[1], Ordering::Relaxed);
+            self.mem_mshr_merges[i].fetch_add(l[2], Ordering::Relaxed);
+            self.mem_mshr_stalls[i].fetch_add(l[3], Ordering::Relaxed);
+        }
+        self.mem_dram_accesses.fetch_add(dram_accesses, Ordering::Relaxed);
+        self.mem_dram_segments.fetch_add(dram_segments, Ordering::Relaxed);
     }
 
     /// Total requests answered with a 2xx status.
@@ -191,13 +219,20 @@ impl ServerMetrics {
             "# HELP specrecon_sweep_forks_total Sub-cohort forks across all seed sweeps.\n\
              # TYPE specrecon_sweep_forks_total counter\n",
         );
-        let _ = writeln!(out, "specrecon_sweep_forks_total {}", self.sweep_forks.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "specrecon_sweep_forks_total {}",
+            self.sweep_forks.load(Ordering::Relaxed)
+        );
         out.push_str(
             "# HELP specrecon_sweep_merges_total Sub-cohort merges across all seed sweeps.\n\
              # TYPE specrecon_sweep_merges_total counter\n",
         );
-        let _ =
-            writeln!(out, "specrecon_sweep_merges_total {}", self.sweep_merges.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "specrecon_sweep_merges_total {}",
+            self.sweep_merges.load(Ordering::Relaxed)
+        );
         out.push_str(
             "# HELP specrecon_sweep_scalar_steps_total Rounds sweeps spent on detached scalar machines (escape hatch).\n\
              # TYPE specrecon_sweep_scalar_steps_total counter\n",
@@ -218,6 +253,45 @@ impl ServerMetrics {
             self.sweep_occupancy_sum.load(Ordering::Relaxed) as f64 / issues as f64
         };
         let _ = writeln!(out, "specrecon_sweep_mean_occupancy {occ}");
+
+        for (what, help, counters) in [
+            ("hits", "Cache hits", &self.mem_hits),
+            ("misses", "Cache misses", &self.mem_misses),
+            ("mshr_merges", "Misses merged into an in-flight MSHR entry", &self.mem_mshr_merges),
+            ("mshr_stall_cycles", "MSHR penalty cycles", &self.mem_mshr_stalls),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP specrecon_mem_{what}_total {help}, per memory-hierarchy level.\n\
+                 # TYPE specrecon_mem_{what}_total counter"
+            );
+            for (i, c) in counters.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "specrecon_mem_{what}_total{{level=\"L{}\"}} {}",
+                    i + 1,
+                    c.load(Ordering::Relaxed)
+                );
+            }
+        }
+        out.push_str(
+            "# HELP specrecon_mem_dram_accesses_total Global accesses that missed every cache level.\n\
+             # TYPE specrecon_mem_dram_accesses_total counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_mem_dram_accesses_total {}",
+            self.mem_dram_accesses.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP specrecon_mem_dram_segments_total DRAM segments serviced.\n\
+             # TYPE specrecon_mem_dram_segments_total counter\n",
+        );
+        let _ = writeln!(
+            out,
+            "specrecon_mem_dram_segments_total {}",
+            self.mem_dram_segments.load(Ordering::Relaxed)
+        );
 
         out.push_str(
             "# HELP specrecon_eval_latency_seconds Wall-clock latency of /v1/eval requests.\n\
@@ -288,6 +362,22 @@ mod tests {
         assert!(text.contains("specrecon_sweep_scalar_steps_total 5"), "{text}");
         // (96 + 32) / (4 + 4) = 16 mean slots per issue.
         assert!(text.contains("specrecon_sweep_mean_occupancy 16"), "{text}");
+    }
+
+    #[test]
+    fn mem_counters_accumulate_and_render() {
+        let m = ServerMetrics::default();
+        let empty = CacheStats { hits: 0, misses: 0, evictions: 0, entries: 0 };
+        m.record_mem(&[[10, 2, 1, 8], [1, 1, 0, 0], [0, 0, 0, 0]], 1, 3);
+        m.record_mem(&[[5, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]], 0, 0);
+        let text = m.render(0, 0, 8, empty);
+        assert!(text.contains("specrecon_mem_hits_total{level=\"L1\"} 15"), "{text}");
+        assert!(text.contains("specrecon_mem_misses_total{level=\"L1\"} 2"), "{text}");
+        assert!(text.contains("specrecon_mem_hits_total{level=\"L2\"} 1"), "{text}");
+        assert!(text.contains("specrecon_mem_mshr_merges_total{level=\"L1\"} 1"), "{text}");
+        assert!(text.contains("specrecon_mem_mshr_stall_cycles_total{level=\"L1\"} 8"), "{text}");
+        assert!(text.contains("specrecon_mem_dram_accesses_total 1"), "{text}");
+        assert!(text.contains("specrecon_mem_dram_segments_total 3"), "{text}");
     }
 
     #[test]

@@ -255,7 +255,8 @@ fn worker_loop(shared: &Shared) {
             // Expired while queued: don't burn a worker on it.
             Err(ApiError { status: 504, message: "deadline exceeded while queued".into() })
         } else {
-            api::execute(&shared.engine, &job.request, &job.token, Some(&shared.metrics)).map(|json| json.render())
+            api::execute(&shared.engine, &job.request, &job.token, Some(&shared.metrics))
+                .map(|json| json.render())
         };
         // The connection thread may have timed out and moved on; a dead
         // receiver is fine (it already answered 504).
@@ -291,6 +292,11 @@ fn connection_loop(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
             }
             Err(ReadError::Eof) => return,
             Err(ReadError::TooLarge(what)) => {
+                // The oversized body was rejected *before* buffering it,
+                // so its bytes are still unread on the socket and the
+                // parser is desynchronized — the connection MUST close
+                // (`close: true` + return), never continue to the next
+                // read. Pinned by `oversized_body_closes_the_connection`.
                 let resp = Response::json(
                     413,
                     format!("{{\"error\":{}}}", crate::json::escape(&format!("{what} too large"))),

@@ -165,8 +165,7 @@ fn sweep_requests_export_fork_merge_counters() {
     // Seed-storm diverges on nearly every round of a seed sweep, so the
     // fork/merge counters must move; the range form triggers the sweep
     // engine.
-    let eval =
-        request(&addr, "POST", "/v1/eval", r#"{"workload":"seed-storm","seeds":[0,16]}"#);
+    let eval = request(&addr, "POST", "/v1/eval", r#"{"workload":"seed-storm","seeds":[0,16]}"#);
     assert_eq!(eval.status, 200, "sweep eval failed: {}", eval.body);
     for key in ["\"sweep\"", "\"forks\"", "\"merges\"", "\"mean_occupancy\"", "\"scalar_steps\""] {
         assert!(eval.body.contains(key), "missing {key} in {}", eval.body);
@@ -221,6 +220,94 @@ fn error_statuses_are_mapped() {
     let huge = format!(r#"{{"kernel":"{}"}}"#, "x".repeat(2 * 1024 * 1024));
     let oversized = request(&addr, "POST", "/v1/eval", &huge);
     assert_eq!(oversized.status, 413);
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+/// Satellite regression pin: a body-limit rejection answers 413 *and*
+/// tears the connection down. The unread body bytes are still on the
+/// socket, so keeping the connection open would desynchronize the
+/// parser (the next "request line" would be kernel text).
+#[test]
+fn oversized_body_closes_the_connection() {
+    let (addr, handle, runner) = start(local(8, 2));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Declare an oversized body but never send it — the server must
+    // reject on the Content-Length alone.
+    let head = format!(
+        "POST /v1/eval HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        3 * 1024 * 1024
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    let reply = read_reply(&mut stream);
+    assert_eq!(reply.status, 413);
+    assert_eq!(reply.header("Connection"), Some("close"), "413 must advertise close");
+    // The server actually closed: the next read reaches EOF rather than
+    // hanging on a half-open keep-alive connection.
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).expect("read to end");
+    assert_eq!(n, 0, "socket must be closed after a 413, got {n} extra bytes");
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+/// Seed ranges wider than one 64-slot cohort used to be rejected at the
+/// API boundary even though the engine chunks arbitrary ranges. A
+/// 200-seed range must now answer — bit-identically to 200 scalar
+/// per-seed runs of the same workload.
+#[test]
+fn two_hundred_seed_range_matches_scalar_runs() {
+    let (addr, handle, runner) = start(local(8, 2));
+
+    let sweep = request(
+        &addr,
+        "POST",
+        "/v1/eval",
+        r#"{"workload":"microbench","mode":"baseline","warps":1,"seeds":[0,200]}"#,
+    );
+    assert_eq!(sweep.status, 200, "wide range rejected: {}", sweep.body);
+    let scalar = request(
+        &addr,
+        "POST",
+        "/v1/eval",
+        r#"{"workload":"microbench","mode":"baseline","warps":1,"seed":0,"seeds":200}"#,
+    );
+    assert_eq!(scalar.status, 200, "scalar batch failed: {}", scalar.body);
+
+    let runs = |body: &str| -> String {
+        let start = body.find("\"runs\":").expect("runs field");
+        let end = body[start..].find("],").map(|i| start + i + 1).expect("runs array end");
+        body[start..end].to_string()
+    };
+    let (sweep_runs, scalar_runs) = (runs(&sweep.body), runs(&scalar.body));
+    assert_eq!(sweep_runs.matches("\"seed\"").count(), 200, "one entry per seed");
+    assert_eq!(sweep_runs, scalar_runs, "sweep and scalar per-seed metrics must be bit-identical");
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+/// Hierarchy-model requests surface per-level counters in `/metrics`.
+#[test]
+fn mem_hierarchy_counters_reach_prometheus() {
+    let (addr, handle, runner) = start(local(8, 2));
+
+    let eval = request(
+        &addr,
+        "POST",
+        "/v1/eval",
+        r#"{"workload":"microbench","warps":1,"mem_hier":"l1:lines=16,cells=16,lat=2;dram:lat=24,extra=2"}"#,
+    );
+    assert_eq!(eval.status, 200, "hierarchy eval failed: {}", eval.body);
+    assert!(eval.body.contains("\"mem\""), "response carries a mem object: {}", eval.body);
+
+    let metrics = request(&addr, "GET", "/metrics", "");
+    let l1_traffic = scrape_gauge(&metrics.body, "specrecon_mem_hits_total{level=\"L1\"}")
+        + scrape_gauge(&metrics.body, "specrecon_mem_misses_total{level=\"L1\"}");
+    assert!(l1_traffic > 0.0, "L1 counters must move:\n{}", metrics.body);
 
     handle.shutdown();
     runner.join().unwrap().unwrap();

@@ -199,8 +199,13 @@ pub struct SimConfig {
     /// Feed the result into the §4.5 detector for profile-guided scoring.
     pub profile: bool,
     /// Optional L1 cache cost model (off by default; affects timing only,
-    /// never values).
+    /// never values). Ignored when `mem` is set.
     pub cache: Option<CacheConfig>,
+    /// Optional multi-level memory-hierarchy cost model (off by
+    /// default; affects timing only, never values). Takes precedence
+    /// over `cache` — [`MemHierarchy::l1`](crate::mem::MemHierarchy::l1)
+    /// reproduces the legacy single-level model exactly.
+    pub mem: Option<crate::mem::MemHierarchy>,
     /// Record a structured divergence-event journal (off by default).
     /// Like tracing, this disables straight-line batching — events carry
     /// issue cycles — so leave it off for timing-sensitive runs.
@@ -217,6 +222,7 @@ impl Default for SimConfig {
             trace: false,
             profile: false,
             cache: None,
+            mem: None,
             journal: None,
         }
     }

@@ -215,6 +215,9 @@ pub(crate) struct Warp {
     /// Direct-mapped L1 tag array (line index -> cached line tag), when
     /// the cache cost model is on.
     pub(crate) cache_tags: Vec<Option<i64>>,
+    /// Per-level tag arrays of the memory-hierarchy cost model, when
+    /// [`SimConfig::mem`] is on (empty otherwise).
+    pub(crate) mem_tags: crate::mem::MemTags,
     pub(crate) done: bool,
 }
 
@@ -233,6 +236,9 @@ pub(crate) struct Scratch {
     lines: Vec<i64>,
     /// Staged call arguments / return values.
     vals: Vec<Value>,
+    /// Memory-hierarchy walk staging (line sets per level, MSHR sort
+    /// buffer).
+    mem: crate::mem::MemScratch,
 }
 
 pub(crate) struct Machine<'m> {
@@ -247,6 +253,13 @@ pub(crate) struct Machine<'m> {
     pub(crate) profile: Option<Profile>,
     pub(crate) journal: Option<Journal>,
     pub(crate) scratch: Scratch,
+    /// Machine-wide MSHR files of the memory-hierarchy cost model
+    /// (empty when [`SimConfig::mem`] is off).
+    pub(crate) mshrs: crate::mem::MemMshrs,
+    /// Outcome of the global access the current issue performed, parked
+    /// by [`Machine::access`] for [`Machine::issue`] to attribute
+    /// (journal event, per-block profile) after the hot borrows end.
+    pub(crate) pending_mem: Option<crate::mem::AccessOutcome>,
     pub(crate) cycle: u64,
 }
 
@@ -386,6 +399,7 @@ impl<'m> Machine<'m> {
                 pick_hint: None,
                 other_pcs: Vec::new(),
                 cache_tags: cfg.cache.as_ref().map(|c| vec![None; c.lines]).unwrap_or_default(),
+                mem_tags: crate::mem::MemTags::new(cfg.mem.as_ref()),
                 done: false,
             });
         }
@@ -401,6 +415,8 @@ impl<'m> Machine<'m> {
             profile: if cfg.profile { Some(Profile::new()) } else { None },
             journal: cfg.journal.as_ref().map(Journal::new),
             scratch: Scratch::default(),
+            mshrs: crate::mem::MemMshrs::new(cfg.mem.as_ref()),
+            pending_mem: None,
             cycle: 0,
         })
     }
@@ -762,6 +778,28 @@ impl<'m> Machine<'m> {
 
         let cost = self.exec(w, pc, mask)?;
 
+        // Attribute the memory-hierarchy outcome the access parked (if
+        // any): an MSHR penalty becomes a journal event and a per-block
+        // profile entry, after the access loop's borrows ended.
+        if let Some(out) = self.pending_mem.take() {
+            let stall = out.total_stall();
+            if stall > 0 {
+                if self.journal.is_some() {
+                    let level = out.levels.iter().position(|l| l.mshr_stall == stall).unwrap_or(0);
+                    self.journal_push(JournalEvent::MemStall {
+                        cycle: self.cycle,
+                        warp: w,
+                        level,
+                        stall,
+                    });
+                }
+                if let Some(profile) = &mut self.profile {
+                    let o = self.image.origin[pc];
+                    profile.record_mem_stall(o.func, o.block, stall);
+                }
+            }
+        }
+
         let roi = self.image.roi[pc];
         self.metrics.record_issue(w, mask, cost.max(1), roi, waiting_lanes);
 
@@ -1121,7 +1159,8 @@ impl<'m> Machine<'m> {
         base_cost: u32,
     ) -> Result<u32, SimError> {
         let cfg = self.cfg;
-        let Machine { warps, global, scratch, metrics, .. } = self;
+        let now = self.cycle;
+        let Machine { warps, global, scratch, metrics, mshrs, pending_mem, .. } = self;
         let warp = &mut warps[w];
         let addrs = &mut scratch.addrs;
         addrs.clear();
@@ -1171,14 +1210,36 @@ impl<'m> Machine<'m> {
         }
         let mut cost = base_cost;
         if space == MemSpace::Global {
-            cost = Self::global_access_cost(
-                cfg,
-                warp,
-                metrics,
-                &mut scratch.lines,
-                &scratch.addrs,
-                base_cost,
-            );
+            cost = if let Some(hier) = &cfg.mem {
+                // Hierarchy walk at the issue cycle: tag fills and MSHR
+                // allocation commit here; the outcome is parked so
+                // `issue` can attribute the stall once borrows end.
+                let out = crate::mem::commit(
+                    hier,
+                    &mut warp.mem_tags,
+                    mshrs,
+                    &mut scratch.mem,
+                    &scratch.addrs,
+                    now,
+                );
+                metrics.mem.record(&out);
+                // The legacy counters mirror L1 so existing consumers
+                // (and the differential proptests) see one source of
+                // truth.
+                metrics.cache_hits += u64::from(out.levels[0].hits);
+                metrics.cache_misses += u64::from(out.levels[0].misses);
+                *pending_mem = Some(out);
+                out.cost
+            } else {
+                Self::global_access_cost(
+                    cfg,
+                    warp,
+                    metrics,
+                    &mut scratch.lines,
+                    &scratch.addrs,
+                    base_cost,
+                )
+            };
             if value.is_some() {
                 // Stores write through: cost like a load, but the
                 // touched lines are invalidated in every warp (they
@@ -1249,6 +1310,12 @@ impl<'m> Machine<'m> {
     /// Drops the lines covering `addrs` from every warp's cache (stores
     /// and atomics write through).
     fn invalidate_lines(cfg: &SimConfig, warps: &mut [Warp], addrs: &[i64]) {
+        if let Some(hier) = &cfg.mem {
+            for warp in warps.iter_mut() {
+                crate::mem::invalidate(hier, &mut warp.mem_tags, addrs);
+            }
+            return;
+        }
         let Some(cache) = &cfg.cache else { return };
         let cells = cache.cells_per_line.max(1) as i64;
         for warp in warps.iter_mut() {

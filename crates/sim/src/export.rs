@@ -52,6 +52,9 @@ fn journal_fields(e: &JournalEvent) -> String {
             );
         }
         JournalEvent::DeadlockOnset { .. } => {}
+        JournalEvent::MemStall { level, stall, .. } => {
+            let _ = write!(s, r#""level":"L{}","stall":{stall}"#, level + 1);
+        }
     }
     s
 }

@@ -147,6 +147,18 @@ pub enum JournalEvent {
         /// The deadlocked warp.
         warp: usize,
     },
+    /// A global access paid an MSHR penalty (merge wait or full-file
+    /// stall) under the memory-hierarchy cost model.
+    MemStall {
+        /// Issue cycle of the stalled access.
+        cycle: u64,
+        /// Warp index.
+        warp: usize,
+        /// Deepest-penalty cache level (0 = L1).
+        level: usize,
+        /// Penalty cycles folded into the access cost.
+        stall: u32,
+    },
 }
 
 impl JournalEvent {
@@ -161,7 +173,8 @@ impl JournalEvent {
             | JournalEvent::SyncArrive { cycle, .. }
             | JournalEvent::SyncRelease { cycle, .. }
             | JournalEvent::GroupMerge { cycle, .. }
-            | JournalEvent::DeadlockOnset { cycle, .. } => cycle,
+            | JournalEvent::DeadlockOnset { cycle, .. }
+            | JournalEvent::MemStall { cycle, .. } => cycle,
         }
     }
 
@@ -176,7 +189,8 @@ impl JournalEvent {
             | JournalEvent::SyncArrive { warp, .. }
             | JournalEvent::SyncRelease { warp, .. }
             | JournalEvent::GroupMerge { warp, .. }
-            | JournalEvent::DeadlockOnset { warp, .. } => warp,
+            | JournalEvent::DeadlockOnset { warp, .. }
+            | JournalEvent::MemStall { warp, .. } => warp,
         }
     }
 
@@ -192,6 +206,7 @@ impl JournalEvent {
             JournalEvent::SyncRelease { .. } => "sync-release",
             JournalEvent::GroupMerge { .. } => "group-merge",
             JournalEvent::DeadlockOnset { .. } => "deadlock-onset",
+            JournalEvent::MemStall { .. } => "mem-stall",
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod exec;
 pub mod export;
 pub mod journal;
 pub mod machine;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod reference;
@@ -62,6 +63,9 @@ pub use exec::{run_image, run_image_with, CancelToken};
 pub use export::{chrome_trace, jsonl};
 pub use journal::{BarrierStats, Journal, JournalConfig, JournalEvent, JournalWriter};
 pub use machine::{run, run_sequence, Launch, SimOutput, DEFAULT_SEED};
+pub use mem::{
+    AccessOutcome, LevelOutcome, MemHierarchy, MemLevel, MemLevelStats, MemStats, MAX_MEM_LEVELS,
+};
 pub use metrics::Metrics;
 pub use profile::{BlockStats, Profile};
 pub use reference::run_reference;

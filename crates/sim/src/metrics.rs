@@ -35,10 +35,16 @@ pub struct Metrics {
     pub stall_cycles: u64,
     /// Dynamic count of barrier operations executed (per-lane).
     pub barrier_ops: u64,
-    /// Cache-line hits (when the cache cost model is enabled).
+    /// Cache-line hits (when the cache cost model is enabled; with a
+    /// memory hierarchy configured, mirrors the L1 level's hits).
     pub cache_hits: u64,
-    /// Cache-line misses (when the cache cost model is enabled).
+    /// Cache-line misses (when the cache cost model is enabled; with a
+    /// memory hierarchy configured, mirrors the L1 level's misses).
     pub cache_misses: u64,
+    /// Per-level memory-hierarchy counters (hits, misses, MSHR merges
+    /// and stall cycles per cache level, plus DRAM traffic). All zero
+    /// unless [`SimConfig::mem`](crate::config::SimConfig::mem) is set.
+    pub mem: crate::mem::MemStats,
     /// Dynamic count of all lane-instructions executed.
     pub lane_insts: u64,
     /// Per-warp (cost-weighted issues, cost-weighted active-lane sum).
@@ -143,7 +149,29 @@ impl fmt::Display for Metrics {
         writeln!(f, "SIMT efficiency:  {:.1}%", self.simt_efficiency() * 100.0)?;
         writeln!(f, "ROI efficiency:   {:.1}%", self.roi_simt_efficiency() * 100.0)?;
         writeln!(f, "stall cycles:     {}", self.stall_cycles)?;
-        write!(f, "barrier ops:      {}", self.barrier_ops)
+        write!(f, "barrier ops:      {}", self.barrier_ops)?;
+        if !self.mem.is_zero() {
+            for (i, l) in self.mem.levels.iter().enumerate() {
+                if *l == crate::mem::MemLevelStats::default() {
+                    continue;
+                }
+                write!(
+                    f,
+                    "\nL{}:               {} hits, {} misses, {} mshr merges, {} mshr stall cycles",
+                    i + 1,
+                    l.hits,
+                    l.misses,
+                    l.mshr_merges,
+                    l.mshr_stall_cycles
+                )?;
+            }
+            write!(
+                f,
+                "\nDRAM:             {} accesses, {} segments",
+                self.mem.dram_accesses, self.mem.dram_segments
+            )?;
+        }
+        Ok(())
     }
 }
 

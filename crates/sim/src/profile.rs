@@ -31,6 +31,11 @@ pub struct BlockStats {
     /// the per-block analogue of `Metrics::active_lane_sum` — the
     /// numerator of the block's SIMT efficiency.
     pub active_lane_cost: u64,
+    /// MSHR penalty cycles the block's global accesses paid (merge
+    /// waits and full-file stalls), when the memory-hierarchy cost
+    /// model is enabled — a memory-pressure attribution alongside the
+    /// divergence one.
+    pub mem_stall_cycles: u64,
 }
 
 impl BlockStats {
@@ -74,6 +79,13 @@ impl Profile {
             e.entries += 1;
             e.lane_entries += lanes;
         }
+    }
+
+    /// Attributes MSHR penalty cycles of one global access to its block
+    /// (called by the machine alongside [`record`](Self::record) when
+    /// the memory hierarchy is enabled).
+    pub fn record_mem_stall(&mut self, func: FuncId, block: BlockId, stall: u32) {
+        self.map.entry((func, block)).or_default().mem_stall_cycles += u64::from(stall);
     }
 
     /// Statistics for one block (zeroes if never executed).

@@ -92,6 +92,9 @@ struct Warp {
     /// Direct-mapped L1 tag array (line index -> cached line tag), when
     /// the cache cost model is on.
     cache_tags: Vec<Option<i64>>,
+    /// Per-level tag arrays of the memory-hierarchy cost model, when
+    /// [`SimConfig::mem`] is on (empty otherwise).
+    mem_tags: crate::mem::MemTags,
     done: bool,
 }
 
@@ -107,6 +110,13 @@ struct Machine<'m> {
     trace: Option<Trace>,
     profile: Option<Profile>,
     journal: Option<Journal>,
+    /// Machine-wide MSHR files of the memory-hierarchy cost model.
+    mshrs: crate::mem::MemMshrs,
+    /// Hierarchy walk staging buffers.
+    mem_scratch: crate::mem::MemScratch,
+    /// Outcome of the global access the current issue performed, parked
+    /// for `issue` to attribute (journal event, per-block profile).
+    pending_mem: Option<crate::mem::AccessOutcome>,
     cycle: u64,
 }
 
@@ -172,6 +182,7 @@ pub fn run_reference(
             rr_cursor: 0,
             last_lanes: 0,
             cache_tags: cfg.cache.as_ref().map(|c| vec![None; c.lines]).unwrap_or_default(),
+            mem_tags: crate::mem::MemTags::new(cfg.mem.as_ref()),
             done: false,
         });
     }
@@ -185,6 +196,9 @@ pub fn run_reference(
         trace: if cfg.trace { Some(Trace::new(width)) } else { None },
         profile: if cfg.profile { Some(Profile::new()) } else { None },
         journal: cfg.journal.as_ref().map(Journal::new),
+        mshrs: crate::mem::MemMshrs::new(cfg.mem.as_ref()),
+        mem_scratch: crate::mem::MemScratch::default(),
+        pending_mem: None,
         cycle: 0,
     };
     machine.run_to_completion()?;
@@ -378,6 +392,26 @@ impl<'m> Machine<'m> {
             self.exec_term(w, key, lanes, &block.term)?;
             self.cfg.latency.control
         };
+
+        // Attribute the memory-hierarchy outcome the access parked (if
+        // any), identically to the decoded engine.
+        if let Some(out) = self.pending_mem.take() {
+            let stall = out.total_stall();
+            if stall > 0 {
+                if self.journal.is_some() {
+                    let level = out.levels.iter().position(|l| l.mshr_stall == stall).unwrap_or(0);
+                    self.journal_push(JournalEvent::MemStall {
+                        cycle: self.cycle,
+                        warp: w,
+                        level,
+                        stall,
+                    });
+                }
+                if let Some(profile) = &mut self.profile {
+                    profile.record_mem_stall(func_id, block_id, stall);
+                }
+            }
+        }
 
         // Metrics (cost-weighted: see `Metrics::active_lane_sum`).
         let weight = u64::from(cost.max(1));
@@ -845,6 +879,21 @@ impl<'m> Machine<'m> {
     /// segments, filtered through the optional L1 cache cost model (the
     /// cache serves no data — values always come from memory).
     fn global_access_cost(&mut self, w: usize, addrs: &[i64], base_cost: u32) -> u32 {
+        let cfg = self.cfg;
+        let now = self.cycle;
+        if let Some(hier) = &cfg.mem {
+            // Hierarchy walk at the issue cycle, identical to the
+            // decoded engine's: tag fills and MSHR allocation commit
+            // here; the outcome is parked for `issue` to attribute.
+            let Machine { warps, metrics, mshrs, mem_scratch, pending_mem, .. } = self;
+            let out =
+                crate::mem::commit(hier, &mut warps[w].mem_tags, mshrs, mem_scratch, addrs, now);
+            metrics.mem.record(&out);
+            metrics.cache_hits += u64::from(out.levels[0].hits);
+            metrics.cache_misses += u64::from(out.levels[0].misses);
+            *pending_mem = Some(out);
+            return out.cost;
+        }
         let lat = &self.cfg.latency;
         let Some(cache) = &self.cfg.cache else {
             return base_cost + lat.mem_segment * lat.segments(addrs).saturating_sub(1);
@@ -878,6 +927,12 @@ impl<'m> Machine<'m> {
     /// Drops the lines covering `addrs` from every warp's cache (stores
     /// and atomics write through).
     fn invalidate_lines(&mut self, addrs: &[i64]) {
+        if let Some(hier) = &self.cfg.mem {
+            for warp in &mut self.warps {
+                crate::mem::invalidate(hier, &mut warp.mem_tags, addrs);
+            }
+            return;
+        }
         let Some(cache) = &self.cfg.cache else { return };
         let cells = cache.cells_per_line.max(1) as i64;
         for warp in &mut self.warps {

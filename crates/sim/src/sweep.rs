@@ -454,6 +454,12 @@ struct DWarp {
     /// the resulting cost/hit/miss triple must stay uniform within a
     /// sub-cohort.
     cache_tags: Vec<Option<i64>>,
+    /// Memory-hierarchy tag state, one [`MemTags`](crate::mem) per
+    /// slot (empty unless [`SimConfig::mem`] is on). Like `cache_tags`,
+    /// tag *contents* are per-slot data; only the whole
+    /// [`AccessOutcome`](crate::mem::AccessOutcome) must stay uniform
+    /// within a sub-cohort.
+    hier_tags: Vec<crate::mem::MemTags>,
 }
 
 /// One masked sub-cohort: a control plane plus the slot mask it
@@ -549,6 +555,13 @@ struct Cohort<'m> {
     lines_all: Vec<i64>,
     /// Staged call arguments / return values, `[idx * nslots + slot]`.
     stage: Vec<Value>,
+    /// Per-slot machine-wide MSHR files of the memory-hierarchy model
+    /// (each seed instance is its own virtual machine, so "machine-wide"
+    /// means per slot here). Empty files unless [`SimConfig::mem`] is on.
+    mshrs: Vec<crate::mem::MemMshrs>,
+    /// Hierarchy walk staging, shared across slots (each probe/commit
+    /// repopulates it).
+    mem_scratch: crate::mem::MemScratch,
 }
 
 impl<'m> Cohort<'m> {
@@ -627,7 +640,13 @@ impl<'m> Cohort<'m> {
                 last_lanes: 0,
                 done: false,
             });
-            data.push(DWarp { lanes_d, cache_tags: vec![None; cache_lines * nslots] });
+            data.push(DWarp {
+                lanes_d,
+                cache_tags: vec![None; cache_lines * nslots],
+                hier_tags: (0..nslots)
+                    .map(|_| crate::mem::MemTags::new(cfg.mem.as_ref()))
+                    .collect(),
+            });
         }
 
         let mut global = vec![Value::default(); launch.global_mem.len() * nslots];
@@ -658,17 +677,15 @@ impl<'m> Cohort<'m> {
             detached: (0..nslots).map(|_| None).collect(),
             detached_mask: 0,
             results: vec![None; nslots],
-            stats: SweepStats {
-                instances: nslots,
-                peak_subcohorts: 1,
-                ..SweepStats::default()
-            },
+            stats: SweepStats { instances: nslots, peak_subcohorts: 1, ..SweepStats::default() },
             groups: Vec::new(),
             other_pcs: Vec::new(),
             addr_buf: Vec::new(),
             lines_buf: Vec::new(),
             lines_all: Vec::new(),
             stage: Vec::new(),
+            mshrs: (0..nslots).map(|_| crate::mem::MemMshrs::new(cfg.mem.as_ref())).collect(),
+            mem_scratch: crate::mem::MemScratch::default(),
         })
     }
 
@@ -1062,6 +1079,7 @@ fn metrics_sum(a: &Metrics, b: &Metrics) -> Metrics {
     m.barrier_ops = a.barrier_ops.wrapping_add(b.barrier_ops);
     m.cache_hits = a.cache_hits.wrapping_add(b.cache_hits);
     m.cache_misses = a.cache_misses.wrapping_add(b.cache_misses);
+    m.mem = a.mem.wrapping_add(&b.mem);
     m.lane_insts = a.lane_insts.wrapping_add(b.lane_insts);
     for (i, slot) in m.per_warp.iter_mut().enumerate() {
         slot.0 = a.per_warp[i].0.wrapping_add(b.per_warp[i].0);
@@ -1084,6 +1102,7 @@ fn metrics_delta(a: &Metrics, b: &Metrics) -> Metrics {
     m.barrier_ops = a.barrier_ops.wrapping_sub(b.barrier_ops);
     m.cache_hits = a.cache_hits.wrapping_sub(b.cache_hits);
     m.cache_misses = a.cache_misses.wrapping_sub(b.cache_misses);
+    m.mem = a.mem.wrapping_sub(&b.mem);
     m.lane_insts = a.lane_insts.wrapping_sub(b.lane_insts);
     for (i, slot) in m.per_warp.iter_mut().enumerate() {
         slot.0 = a.per_warp[i].0.wrapping_sub(b.per_warp[i].0);
@@ -1114,10 +1133,7 @@ fn push_line_span(lines_out: &mut Vec<i64>, addrs: &[i64], cells: i64) -> usize 
 /// Partitions live slots by a per-slot key: the largest class (ties
 /// broken toward the class containing the lowest slot) keeps the
 /// current sub-cohort; every other class is returned to fork off.
-fn partition_classes<K: PartialEq + Copy>(
-    live: u64,
-    key: impl Fn(usize) -> K,
-) -> (u64, Vec<u64>) {
+fn partition_classes<K: PartialEq + Copy>(live: u64, key: impl Fn(usize) -> K) -> (u64, Vec<u64>) {
     // Divergence across seeds is shallow in practice; a linear class
     // scan over at most 64 slots is plenty.
     let mut classes: Vec<(K, u64, u32)> = Vec::new();
@@ -1141,8 +1157,7 @@ fn partition_classes<K: PartialEq + Copy>(
             winner = mask;
         }
     }
-    let minorities =
-        classes.iter().map(|&(_, mask, _)| mask).filter(|&m| m != winner).collect();
+    let minorities = classes.iter().map(|&(_, mask, _)| mask).filter(|&m| m != winner).collect();
     (winner, minorities)
 }
 
@@ -1209,9 +1224,7 @@ fn control_matches(sub: &SubCohort, m: &Machine<'_>) -> bool {
             }
             let top = cl.frames.len() - 1;
             cl.frames.iter().zip(t.frames.iter()).enumerate().all(|(i, (fm, f))| {
-                fm.len == f.regs.len()
-                    && fm.ret_regs == f.ret_regs
-                    && (i == top || fm.pc == f.pc)
+                fm.len == f.regs.len() && fm.ret_regs == f.ret_regs && (i == top || fm.pc == f.pc)
             })
         })
     })
@@ -1502,8 +1515,7 @@ impl<'m> Cohort<'m> {
             });
             sub.slots &= !class;
             self.stats.forks += 1;
-            self.stats.peak_subcohorts =
-                self.stats.peak_subcohorts.max(self.subs.len() as u32 + 1);
+            self.stats.peak_subcohorts = self.stats.peak_subcohorts.max(self.subs.len() as u32 + 1);
         } else {
             self.detach_slots(sub, class, ctx);
         }
@@ -1570,6 +1582,7 @@ impl<'m> Cohort<'m> {
                     pick_hint: None,
                     other_pcs: Vec::new(),
                     cache_tags: (0..cache_lines).map(|ln| dw.cache_tags[ln * ns + s]).collect(),
+                    mem_tags: dw.hier_tags[s].clone(),
                     done: cw.done,
                 }
             })
@@ -1585,6 +1598,8 @@ impl<'m> Cohort<'m> {
             profile: None,
             journal: None,
             scratch: Scratch::default(),
+            mshrs: self.mshrs[s].clone(),
+            pending_mem: None,
             cycle: sub.cycle,
         }
     }
@@ -1595,9 +1610,10 @@ impl<'m> Cohort<'m> {
     fn absorb(&mut self, si: usize, s: usize, m: &Machine<'_>) {
         let ns = self.nslots;
         let cache_lines = self.cfg.cache.as_ref().map(|c| c.lines).unwrap_or(0);
-        let Cohort { subs, bases, global, data, .. } = self;
+        let Cohort { subs, bases, global, data, mshrs, .. } = self;
         let sub = &mut subs[si];
         bases[s] = metrics_delta(&m.metrics, &sub.metrics);
+        mshrs[s] = m.mshrs.clone();
         for (a, v) in m.global.iter().enumerate() {
             global[a * ns + s] = *v;
         }
@@ -1605,8 +1621,8 @@ impl<'m> Cohort<'m> {
             for ln in 0..cache_lines {
                 dw.cache_tags[ln * ns + s] = mw.cache_tags[ln];
             }
-            for ((cl, dl), t) in
-                cw.lanes_c.iter().zip(dw.lanes_d.iter_mut()).zip(mw.threads.iter())
+            dw.hier_tags[s] = mw.mem_tags.clone();
+            for ((cl, dl), t) in cw.lanes_c.iter().zip(dw.lanes_d.iter_mut()).zip(mw.threads.iter())
             {
                 dl.rng[s] = t.rng;
                 for (c, v) in t.local.iter().enumerate() {
@@ -1821,9 +1837,9 @@ impl Cohort<'_> {
                         let dl = &dw.lanes_d[l];
                         let row = dl.row(ns, base, pred);
                         for (lo, hi) in mask_runs(slots) {
-                            for s in lo..hi {
+                            for (s, c) in counts.iter_mut().enumerate().take(hi).skip(lo) {
                                 if dl.get(row, s).is_truthy() {
-                                    counts[s] += 1;
+                                    *c += 1;
                                 }
                             }
                         }
@@ -1916,9 +1932,9 @@ impl Cohort<'_> {
                         let row = dl.row(ns, base, cond);
                         let bit = 1u64 << l;
                         for (lo, hi) in mask_runs(slots) {
-                            for s in lo..hi {
+                            for (s, t) in takens.iter_mut().enumerate().take(hi).skip(lo) {
                                 if dl.get(row, s).is_truthy() {
-                                    takens[s] |= bit;
+                                    *t |= bit;
                                 }
                             }
                         }
@@ -2109,6 +2125,9 @@ impl Cohort<'_> {
         dst: Option<simt_ir::Reg>,
         base_cost: u32,
     ) -> u32 {
+        if self.cfg.mem.is_some() {
+            return self.access_global_hier_c(sub, pc, mask, ctx, addr, value, dst);
+        }
         let ns = self.nslots;
         let w = ctx.w;
         let k = mask.count_ones() as usize;
@@ -2261,6 +2280,152 @@ impl Cohort<'_> {
         cost
     }
 
+    /// [`Self::access_global_c`] under the memory-hierarchy cost model:
+    /// the same three phases, with the per-slot *walk outcome*
+    /// ([`AccessOutcome`](crate::mem::AccessOutcome) — cost plus every
+    /// per-level counter) as the fork key. Phase 1 uses the pure
+    /// [`probe`](crate::mem::probe) so a diverging slot's tag and MSHR
+    /// state stays intact for its fork to replay; phase 3 re-runs the
+    /// walk as [`commit`](crate::mem::commit) per winner slot, which
+    /// reproduces the probed outcome over the unchanged pre-state.
+    #[allow(clippy::too_many_arguments)]
+    fn access_global_hier_c(
+        &mut self,
+        sub: &mut SubCohort,
+        pc: usize,
+        mask: u64,
+        ctx: IssueCtx,
+        addr: Operand,
+        value: Option<Operand>,
+        dst: Option<simt_ir::Reg>,
+    ) -> u32 {
+        let ns = self.nslots;
+        let w = ctx.w;
+        let k = mask.count_ones() as usize;
+        // Global accesses never batch (`is_warp_local` excludes them),
+        // so the issue cycle of every engine is its round clock.
+        let now = sub.cycle;
+        let mut faults: Vec<(usize, SlotFault)> = Vec::new();
+        let mut outs = [crate::mem::AccessOutcome::default(); COHORT_SLOTS];
+        {
+            let glen = self.global_len;
+            let slots = sub.slots;
+            let Cohort { data, addr_buf, mshrs, mem_scratch, cfg, .. } = self;
+            let hier = cfg.mem.as_ref().expect("hier access without mem configured");
+            let cw = &sub.warps[w];
+            let dw = &data[w];
+            addr_buf.clear();
+            addr_buf.resize(ns * k, 0);
+            let mut oob = 0u64;
+            for (idx, l) in lanes(mask).enumerate() {
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &dw.lanes_d[l];
+                let row = dl.row(ns, base, addr);
+                for (lo, hi) in mask_runs(slots) {
+                    for s in lo..hi {
+                        let a = dl.get(row, s).as_i64();
+                        addr_buf[s * k + idx] = a;
+                        if a < 0 || a as usize >= glen {
+                            oob |= 1 << s;
+                        }
+                    }
+                }
+            }
+            for s in lanes(oob) {
+                let (idx, l) = lanes(mask)
+                    .enumerate()
+                    .find(|&(idx, _)| {
+                        let a = addr_buf[s * k + idx];
+                        a < 0 || a as usize >= glen
+                    })
+                    .expect("faulted slot has a faulting lane");
+                let a = addr_buf[s * k + idx];
+                faults.push((
+                    s,
+                    SlotFault::Oob { lane: l, addr: a, size: glen, space: MemSpace::Global },
+                ));
+            }
+            // Cost phase: pure probes, per slot (tag and MSHR histories
+            // diverge after forks and rejoins even when addresses agree).
+            for s in lanes(slots & !oob) {
+                let addrs = &addr_buf[s * k..(s + 1) * k];
+                outs[s] =
+                    crate::mem::probe(hier, &dw.hier_tags[s], &mshrs[s], mem_scratch, addrs, now);
+            }
+        }
+        for (s, f) in faults {
+            let e = self.fault_to_err(w, pc, f);
+            self.resolve_err(sub, s, e);
+        }
+        if sub.slots == 0 {
+            return self.costs[pc];
+        }
+        let (_winner, minorities) = partition_classes(sub.slots, |s| outs[s]);
+        for class in minorities {
+            self.split_off(sub, class, ctx);
+        }
+        let winners = sub.slots;
+        let out = outs[winners.trailing_zeros() as usize];
+        {
+            let Cohort { data, addr_buf, global, mshrs, mem_scratch, cfg, .. } = self;
+            let hier = cfg.mem.as_ref().expect("hier access without mem configured");
+            let cw = &mut sub.warps[w];
+            let dw = &mut data[w];
+            for (idx, l) in lanes(mask).enumerate() {
+                let base = cw.lanes_c[l].cur_base();
+                let dl = &mut dw.lanes_d[l];
+                if let Some(v) = value {
+                    let row = dl.row(ns, base, v);
+                    for (lo, hi) in mask_runs(winners) {
+                        for s in lo..hi {
+                            let a = addr_buf[s * k + idx] as usize;
+                            global[a * ns + s] = dl.get(row, s);
+                        }
+                    }
+                } else if let Some(dst) = dst {
+                    let drow = (base + dst.index()) * ns;
+                    for (lo, hi) in mask_runs(winners) {
+                        for s in lo..hi {
+                            let a = addr_buf[s * k + idx] as usize;
+                            dl.vals[drow + s] = global[a * ns + s];
+                        }
+                    }
+                }
+                cw.pcs[l] += 1;
+            }
+            // Apply phase: commit tag fills and MSHR bookkeeping per
+            // winner slot.
+            for s in lanes(winners) {
+                let addrs = &addr_buf[s * k..(s + 1) * k];
+                let applied = crate::mem::commit(
+                    hier,
+                    &mut dw.hier_tags[s],
+                    &mut mshrs[s],
+                    mem_scratch,
+                    addrs,
+                    now,
+                );
+                debug_assert_eq!(applied, out, "commit must replay the probed outcome");
+            }
+        }
+        if value.is_some() {
+            // Write-through invalidation: drop the touched lines from
+            // every warp's tag state of each winner slot.
+            let Cohort { data, addr_buf, cfg, .. } = self;
+            let hier = cfg.mem.as_ref().expect("hier access without mem configured");
+            for s in lanes(winners) {
+                let addrs = &addr_buf[s * k..(s + 1) * k];
+                for dw in data.iter_mut() {
+                    crate::mem::invalidate(hier, &mut dw.hier_tags[s], addrs);
+                }
+            }
+        }
+        sub.metrics.mem.record(&out);
+        sub.metrics.cache_hits += u64::from(out.levels[0].hits);
+        sub.metrics.cache_misses += u64::from(out.levels[0].misses);
+        out.cost
+    }
+
     /// One slot's `(cost, cache hits, cache misses)` for a global
     /// access, computed without touching the tag array. An overlay of
     /// would-be tag writes models intra-access evictions (an earlier
@@ -2356,6 +2521,17 @@ impl Cohort<'_> {
     /// column in **every** warp (the atomics path, which has no staged
     /// line spans).
     fn invalidate_lines_c(&mut self, slots: u64, k: usize) {
+        if self.cfg.mem.is_some() {
+            let Cohort { data, addr_buf, cfg, .. } = self;
+            let hier = cfg.mem.as_ref().expect("checked above");
+            for s in lanes(slots) {
+                let addrs = &addr_buf[s * k..(s + 1) * k];
+                for dw in data.iter_mut() {
+                    crate::mem::invalidate(hier, &mut dw.hier_tags[s], addrs);
+                }
+            }
+            return;
+        }
         let Some(cache) = &self.cfg.cache else { return };
         let cells = cache.cells_per_line.max(1) as i64;
         let nl = cache.lines as i64;

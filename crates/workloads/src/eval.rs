@@ -453,6 +453,33 @@ impl Engine {
         cancel: Option<&CancelToken>,
     ) -> Result<SweepOutput, EvalError> {
         let image = self.image(&w.module, opts)?;
+        self.sweep_image_range(&image, cfg, &w.launch, seed_lo, seed_hi, cancel)
+            .map_err(EvalError::Sim)
+    }
+
+    /// The image-level half of [`Engine::run_sweep`]: partitions the
+    /// seed range `[seed_lo, seed_hi)` into cohort-sized chunks balanced
+    /// across the worker pool and runs each through
+    /// [`run_sweep_image`](simt_sim::run_sweep_image). Callers that
+    /// already hold a decoded image (e.g. the HTTP eval path, which
+    /// decodes through its own cache) use this directly; ranges wider
+    /// than one cohort are handled transparently.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SweepUnsupported`] when `cfg` requests
+    /// trace/profile/journal collection, [`SimError::Cancelled`] when the
+    /// token fires. Per-seed faults are reported in the failing seed's
+    /// [`SeedRun`](simt_sim::SeedRun), not as errors.
+    pub fn sweep_image_range(
+        &self,
+        image: &DecodedImage,
+        cfg: &SimConfig,
+        launch: &Launch,
+        seed_lo: u64,
+        seed_hi: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SweepOutput, SimError> {
         let n = seed_hi.saturating_sub(seed_lo);
         if n == 0 {
             return Ok(SweepOutput { runs: Vec::new(), stats: SweepStats::default() });
@@ -469,8 +496,8 @@ impl Engine {
             lo = hi;
         }
         let chunks = self.par_map(&ranges, |&(lo, hi)| {
-            let sweep = SweepLaunch::new(w.launch.clone(), lo, hi);
-            run_sweep_image(&image, cfg, &sweep, cancel)
+            let sweep = SweepLaunch::new(launch.clone(), lo, hi);
+            run_sweep_image(image, cfg, &sweep, cancel)
         });
         let mut runs = Vec::with_capacity(n as usize);
         let mut stats = SweepStats::default();

@@ -177,11 +177,7 @@ mod tests {
         }
         assert!(out.stats.forks > 0, "seeds must disagree on votes: {:?}", out.stats);
         assert!(out.stats.merges > 0, "forked sub-cohorts must re-merge: {:?}", out.stats);
-        assert_eq!(
-            out.stats.scalar_steps, 0,
-            "2^warps classes fit the cap: {:?}",
-            out.stats
-        );
+        assert_eq!(out.stats.scalar_steps, 0, "2^warps classes fit the cap: {:?}", out.stats);
         assert!(
             out.stats.mean_occupancy() > 4.0,
             "divergent sweep still runs many slots per issue: {:?}",
@@ -195,12 +191,8 @@ mod tests {
         let engine = Engine::new(1);
         let out = engine.run_sweep(&w, None, &SimConfig::default(), 7, 8, None).unwrap();
         let run = out.runs[0].result.as_ref().unwrap();
-        let touched = run
-            .global_mem
-            .iter()
-            .skip(MEM_BASE as usize)
-            .filter(|v| **v != Value::I64(0))
-            .count();
+        let touched =
+            run.global_mem.iter().skip(MEM_BASE as usize).filter(|v| **v != Value::I64(0)).count();
         assert!(touched > 32, "most threads accumulate something: {touched}");
     }
 }

@@ -22,6 +22,9 @@
 //! options:   --kernel NAME    kernel to launch (default: first kernel)
 //!            --warps N        warps (default 4)
 //!            --mem N          global memory cells, zero-initialized (default 1024)
+//!            --mem-hier SPEC  memory-hierarchy cost model, e.g.
+//!                             `l1:lines=64,cells=16,lat=2,mshrs=4;dram:lat=24,extra=2`
+//!                             (levels l1/l2/l3 then dram; omitted = flat model)
 //!            --seed S         RNG seed (default 0xC0FFEE)
 //!            --seeds N        run N launches at seeds S..S+N and report each
 //!                             plus an aggregate (variance check)
@@ -82,7 +85,8 @@ use specrecon::passes::compute_region;
 use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
 use specrecon::server::{self, LoadgenConfig, ServeConfig, Server};
 use specrecon::sim::{
-    chrome_trace, jsonl, JournalConfig, Launch, SimConfig, SimOutput, Trace, DEFAULT_SEED,
+    chrome_trace, jsonl, JournalConfig, Launch, MemHierarchy, SimConfig, SimOutput, Trace,
+    DEFAULT_SEED,
 };
 use specrecon::workloads::Engine;
 use std::process::ExitCode;
@@ -312,7 +316,11 @@ fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Laun
     };
     let want_trace = args.iter().any(|a| a == "--trace");
     let want_hot = args.iter().any(|a| a == "--hot");
-    let cfg = SimConfig { trace: want_trace, profile: want_hot, ..SimConfig::default() };
+    let mut cfg = SimConfig { trace: want_trace, profile: want_hot, ..SimConfig::default() };
+    if let Some(spec) = flag_value(args, "--mem-hier") {
+        cfg.mem =
+            Some(MemHierarchy::parse(spec, &cfg.latency).map_err(|e| format!("--mem-hier: {e}"))?);
+    }
     let mut launch = Launch::new(kernel, warps);
     launch.global_mem = vec![Value::I64(0); mem];
     launch.seed = seed;
