@@ -9,7 +9,7 @@
 
 use crate::Scale;
 use simt_ir::BlockId;
-use simt_sim::{CacheConfig, MemHierarchy, SchedulerPolicy, SimConfig};
+use simt_sim::{CacheConfig, MemHierarchy, ReconvergenceModel, SchedulerPolicy, SimConfig};
 use specrecon_core::{unroll_self_loop, CompileOptions, DeconflictMode};
 use workloads::eval::{self, Engine};
 use workloads::{mummer, registry, rsbench, xsbench, Workload};
@@ -400,6 +400,69 @@ pub fn mem_hier_with(engine: &Engine, scale: Scale) -> Vec<MemHierRow> {
     })
 }
 
+/// One row of the hardware-reconvergence ablation: one workload under
+/// one reconvergence model, compiled both ways.
+#[derive(Clone, Debug)]
+pub struct HwReconRow {
+    /// Workload name.
+    pub name: String,
+    /// Reconvergence model spec (`barrier-file`, `ipdom-stack`, ...).
+    pub model: String,
+    /// PDOM-baseline cycles under this model.
+    pub pdom_cycles: u64,
+    /// SR cycles under this model.
+    pub sr_cycles: u64,
+    /// SR speedup under this model (pdom / sr cycles).
+    pub speedup: f64,
+    /// PDOM whole-kernel SIMT efficiency under this model.
+    pub pdom_eff: f64,
+    /// SR whole-kernel SIMT efficiency under this model.
+    pub sr_eff: f64,
+}
+
+/// The reconvergence models the hardware ablation crosses: Volta's
+/// barrier file (the default everywhere else), the pre-Volta IPDOM
+/// stack, and warp splitting with a re-fusion window plus subwarp
+/// compaction.
+pub const HW_RECON_MODELS: [ReconvergenceModel; 3] = [
+    ReconvergenceModel::BarrierFile,
+    ReconvergenceModel::IpdomStack,
+    ReconvergenceModel::WarpSplit { window: 4, compact: true },
+];
+
+/// Crosses {PDOM, SR} × every reconvergence model over the full
+/// workload registry: where does hardware-side divergence repair (warp
+/// splitting) close the gap that compiler-side repair (SR) closes, and
+/// where does it not?
+pub fn hw_recon(scale: Scale) -> Vec<HwReconRow> {
+    hw_recon_with(eval::shared(), scale)
+}
+
+/// [`hw_recon`] on a caller-provided [`Engine`], one job per
+/// (workload, model) pair.
+pub fn hw_recon_with(engine: &Engine, scale: Scale) -> Vec<HwReconRow> {
+    let jobs: Vec<(Workload, ReconvergenceModel)> = registry()
+        .iter()
+        .map(|w| scale.apply(w))
+        .flat_map(|w| HW_RECON_MODELS.map(|m| (w.clone(), m)))
+        .collect();
+    engine.par_map(&jobs, |(w, model)| {
+        let cfg = SimConfig { recon: *model, ..SimConfig::default() };
+        let c = engine
+            .compare_with(w, &CompileOptions::speculative(), &cfg)
+            .unwrap_or_else(|e| panic!("{} under {} failed: {e}", w.name, model.spec()));
+        HwReconRow {
+            name: w.name.to_string(),
+            model: model.spec(),
+            pdom_cycles: c.baseline.cycles,
+            sr_cycles: c.speculative.cycles,
+            speedup: c.speedup(),
+            pdom_eff: c.baseline.simt_eff,
+            sr_eff: c.speculative.simt_eff,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +483,21 @@ mod tests {
             );
             for r in chunk {
                 assert!(r.speedup > 0.0, "{} @ L1={}: degenerate speedup", r.name, r.l1_lines);
+            }
+        }
+    }
+
+    #[test]
+    fn hw_recon_ablation_covers_the_matrix() {
+        let rows = hw_recon(Scale::Quick);
+        let workloads = workloads::registry().len();
+        assert_eq!(rows.len(), workloads * HW_RECON_MODELS.len(), "one row per (workload, model)");
+        for chunk in rows.chunks(HW_RECON_MODELS.len()) {
+            for (r, m) in chunk.iter().zip(HW_RECON_MODELS) {
+                assert_eq!(r.name, chunk[0].name);
+                assert_eq!(r.model, m.spec());
+                assert!(r.pdom_cycles > 0 && r.sr_cycles > 0, "{r:?}");
+                assert!((0.0..=1.0).contains(&r.pdom_eff), "{r:?}");
             }
         }
     }

@@ -79,6 +79,7 @@ fn main() {
             "ablate-width" => timed(t, || emit_ablate_width(&opts, e)),
             "ablate-cache" => timed(t, || emit_ablate_cache(&opts, e)),
             "ablate-mem" => timed(t, || emit_ablate_mem(&opts, e)),
+            "ablate-hw" => timed(t, || emit_ablate_hw(&opts, e)),
             "ablate-threshold" => timed(t, || emit_ablate_threshold(&opts, e)),
             "all" => {
                 timed("table2", || emit_table2(&opts));
@@ -93,11 +94,12 @@ fn main() {
                 timed("ablate-width", || emit_ablate_width(&opts, e));
                 timed("ablate-cache", || emit_ablate_cache(&opts, e));
                 timed("ablate-mem", || emit_ablate_mem(&opts, e));
+                timed("ablate-hw", || emit_ablate_hw(&opts, e));
                 timed("ablate-threshold", || emit_ablate_threshold(&opts, e));
             }
             other => {
                 eprintln!("unknown target `{other}`");
-                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-mem ablate-threshold all");
+                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-mem ablate-hw ablate-threshold all");
                 std::process::exit(2);
             }
         }
@@ -368,6 +370,54 @@ fn emit_ablate_mem(opts: &Opts, engine: &Engine) {
     ];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "ablate_mem", &headers, &rows);
+}
+
+fn emit_ablate_hw(opts: &Opts, engine: &Engine) {
+    println!("\n## Ablation — hardware reconvergence models × {{PDOM, SR}}\n");
+    println!(
+        "(gap closed = fraction of the barrier-file SR cycle win that the hardware \
+         model's PDOM run recovers on its own; negative = the model costs cycles)\n"
+    );
+    let data = ablate::hw_recon_with(engine, opts.scale);
+    let rows: Vec<Vec<String>> = data
+        .chunks(ablate::HW_RECON_MODELS.len())
+        .flat_map(|chunk| {
+            let pdom_bf = chunk[0].pdom_cycles as f64;
+            let gap = pdom_bf - chunk[0].sr_cycles as f64;
+            chunk
+                .iter()
+                .map(|r| {
+                    let closed = if r.model == "barrier-file" || gap.abs() < 1.0 {
+                        "—".to_string()
+                    } else {
+                        pct((pdom_bf - r.pdom_cycles as f64) / gap)
+                    };
+                    vec![
+                        r.name.clone(),
+                        r.model.clone(),
+                        r.pdom_cycles.to_string(),
+                        r.sr_cycles.to_string(),
+                        ratio(r.speedup),
+                        pct(r.pdom_eff),
+                        pct(r.sr_eff),
+                        closed,
+                    ]
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let headers = [
+        "workload",
+        "model",
+        "PDOM cycles",
+        "SR cycles",
+        "SR speedup",
+        "PDOM eff",
+        "SR eff",
+        "gap closed",
+    ];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_hw", &headers, &rows);
 }
 
 fn emit_ablate_threshold(opts: &Opts, engine: &Engine) {

@@ -734,11 +734,14 @@ mod tests {
     #[test]
     fn monte_carlo_sweeps_never_take_the_scalar_escape_hatch() {
         // The Monte Carlo registry sweeps are the benches the perfgate
-        // protects: the fork/merge engine must keep them fully masked
+        // protects: under the Volta barrier-file reconvergence model the
+        // fork/merge engine must keep them fully masked
         // (scalar_steps == 0), or the measurement is back to timing the
-        // scalar fallback.
+        // scalar fallback. (Hardware models take the per-seed scalar
+        // path by design — only the default model is gated.)
         let engine = Engine::new(1);
-        let cfg = SimConfig::default();
+        let cfg =
+            SimConfig { recon: simt_sim::ReconvergenceModel::BarrierFile, ..SimConfig::default() };
         for w in registry() {
             if !MONTE_CARLO.contains(&w.name) {
                 continue;

@@ -22,7 +22,10 @@
 //!
 //! Entry points are the integration tests under `tests/`; the
 //! `CONFORMANCE_CASES` environment variable caps the number of random
-//! cases (default 256 — see `docs/TESTING.md`).
+//! cases (default 256 — see `docs/TESTING.md`), and
+//! `CONFORMANCE_RECON_MODELS=all` crosses the oracle's matrix with the
+//! simulator's hardware reconvergence models
+//! ([`oracle::recon_models`]).
 
 #![warn(missing_docs)]
 

@@ -19,11 +19,22 @@
 //! `SpeculativeConflict` that survives the dynamic-deconfliction
 //! retry) is *skipped*, not failed — the oracle checks semantics of
 //! accepted programs, not acceptance itself.
+//!
+//! The matrix has a fourth axis: the simulator's hardware
+//! **reconvergence model** ([`recon_models`]). By default every run
+//! uses the Volta barrier register file; setting
+//! `CONFORMANCE_RECON_MODELS=all` crosses every (variant, policy,
+//! seed) cell with the IPDOM stack and warp-split models too. This is
+//! the triangulation between compiler-side repair (SR variants) and
+//! hardware-side repair (stack reconvergence, warp splitting): every
+//! combination must land on the same final memory. Generated programs
+//! only place `syncthreads` in uniform top-level control, so the
+//! pre-Volta models cannot legitimately deadlock — any hang is a bug.
 
 use crate::build::{build_module, mem_cells};
 use crate::program::ProgramSpec;
 use simt_ir::{Module, Value};
-use simt_sim::{run, Launch, SchedulerPolicy, SimConfig};
+use simt_sim::{run, Launch, ReconvergenceModel, SchedulerPolicy, SimConfig};
 use specrecon_core::{
     compile, lint_errors, CompileOptions, Compiled, DeconflictMode, DetectOptions, PassError,
 };
@@ -36,6 +47,39 @@ pub const POLICIES: [SchedulerPolicy; 5] = [
     SchedulerPolicy::MostThreads,
     SchedulerPolicy::RoundRobin,
 ];
+
+/// Reconvergence models the matrix crosses, from the
+/// `CONFORMANCE_RECON_MODELS` environment variable:
+///
+/// - unset, empty, or `default` — the Volta barrier file only (the
+///   model every pre-existing conformance result was produced under);
+/// - `all` — barrier file, IPDOM stack, and warp-split with a re-fusion
+///   window and subwarp compaction;
+/// - anything else — whitespace-separated model specs in
+///   [`ReconvergenceModel::parse`] syntax.
+///
+/// A malformed spec panics: a silently ignored model list would let CI
+/// believe it ran a matrix it did not.
+pub fn recon_models() -> Vec<ReconvergenceModel> {
+    let var = std::env::var("CONFORMANCE_RECON_MODELS").unwrap_or_default();
+    let var = var.trim();
+    match var {
+        "" | "default" => vec![ReconvergenceModel::BarrierFile],
+        "all" => vec![
+            ReconvergenceModel::BarrierFile,
+            ReconvergenceModel::IpdomStack,
+            ReconvergenceModel::WarpSplit { window: 4, compact: true },
+        ],
+        list => list
+            .split_whitespace()
+            .map(|spec| {
+                ReconvergenceModel::parse(spec).unwrap_or_else(|e| {
+                    panic!("CONFORMANCE_RECON_MODELS: bad model spec {spec:?}: {e}")
+                })
+            })
+            .collect(),
+    }
+}
 
 /// Cycle budget per run; generated programs finish in well under this,
 /// so hitting it means a transform introduced a deadlock or livelock.
@@ -50,11 +94,12 @@ pub struct OracleReport {
     pub variants_skipped: Vec<(String, String)>,
 }
 
-fn sim_config(spec: &ProgramSpec, policy: SchedulerPolicy) -> SimConfig {
+fn sim_config(spec: &ProgramSpec, policy: SchedulerPolicy, recon: ReconvergenceModel) -> SimConfig {
     SimConfig {
         warp_width: spec.warp_width,
         scheduler: policy,
         max_cycles: MAX_CYCLES,
+        recon,
         ..SimConfig::default()
     }
 }
@@ -161,8 +206,12 @@ fn render_mem(mem: &[Value]) -> String {
     mem.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(", ")
 }
 
-/// Runs `compiled` across the policy × seed matrix, comparing final
-/// memory against `reference` (one snapshot per launch seed).
+/// Runs `compiled` across the policy × seed × reconvergence-model
+/// matrix, comparing final memory against `reference` (one snapshot
+/// per launch seed). The snapshot for each seed is taken from the
+/// matrix's first cell (under the default and `all` model lists that
+/// is the barrier-file model); every other cell — including all
+/// hardware-model runs — must reproduce it exactly.
 fn run_matrix(
     name: &str,
     spec: &ProgramSpec,
@@ -170,41 +219,47 @@ fn run_matrix(
     reference: Option<&[Vec<Value>]>,
 ) -> Result<Vec<Vec<Value>>, String> {
     let seeds = launch_seeds(spec);
+    let models = recon_models();
     let mut snapshots: Vec<Vec<Value>> = Vec::new();
     for (si, &ls) in seeds.iter().enumerate() {
         for &policy in &POLICIES {
-            let out = run(&compiled.module, &sim_config(spec, policy), &launch(spec, ls)).map_err(
-                |e| {
+            for &model in &models {
+                let cfg = sim_config(spec, policy, model);
+                let out = run(&compiled.module, &cfg, &launch(spec, ls)).map_err(|e| {
                     format!(
-                        "[{name}] run failed under {policy:?} (launch seed {ls:#x}): {e}\n\
+                        "[{name}] run failed under {policy:?}/{} (launch seed {ls:#x}): {e}\n\
                          transformed module:\n{}",
+                        model.spec(),
                         compiled.module
                     )
-                },
-            )?;
-            if let Some(reference) = reference {
-                if out.global_mem != reference[si] {
-                    return Err(format!(
-                        "[{name}] memory mismatch vs baseline under {policy:?} \
-                         (launch seed {ls:#x}):\n  baseline: {}\n  variant:  {}\n\
-                         transformed module:\n{}",
-                        render_mem(&reference[si]),
-                        render_mem(&out.global_mem),
-                        compiled.module
-                    ));
-                }
-            }
-            match snapshots.get(si) {
-                None => snapshots.push(out.global_mem),
-                Some(first) => {
-                    if *first != out.global_mem {
+                })?;
+                if let Some(reference) = reference {
+                    if out.global_mem != reference[si] {
                         return Err(format!(
-                            "[{name}] not schedule-invariant: {policy:?} disagrees with \
-                             {:?} (launch seed {ls:#x}):\n  first: {}\n  now:   {}",
-                            POLICIES[0],
-                            render_mem(first),
-                            render_mem(&out.global_mem)
+                            "[{name}] memory mismatch vs baseline under {policy:?}/{} \
+                             (launch seed {ls:#x}):\n  baseline: {}\n  variant:  {}\n\
+                             transformed module:\n{}",
+                            model.spec(),
+                            render_mem(&reference[si]),
+                            render_mem(&out.global_mem),
+                            compiled.module
                         ));
+                    }
+                }
+                match snapshots.get(si) {
+                    None => snapshots.push(out.global_mem),
+                    Some(first) => {
+                        if *first != out.global_mem {
+                            return Err(format!(
+                                "[{name}] not schedule-invariant: {policy:?}/{} disagrees \
+                                 with {:?}/{} (launch seed {ls:#x}):\n  first: {}\n  now:   {}",
+                                model.spec(),
+                                POLICIES[0],
+                                models[0].spec(),
+                                render_mem(first),
+                                render_mem(&out.global_mem)
+                            ));
+                        }
                     }
                 }
             }

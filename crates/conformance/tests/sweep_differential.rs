@@ -2,11 +2,13 @@
 //!
 //! For random programs from the conformance genome, runs a seed sweep
 //! ([`simt_sim::run_sweep`]) and N independent scalar runs of the same
-//! seeds under **every scheduler policy**, and asserts the sweep's
-//! per-seed results are bit-identical: metrics, final global memory,
-//! and errors. This is the enforcement teeth behind the sweep engine's
-//! exactness contract — lockstep execution, detach fallback, and
-//! group-merge rejoin must be unobservable.
+//! seeds under **every scheduler policy × reconvergence model**, and
+//! asserts the sweep's per-seed results are bit-identical: metrics,
+//! final global memory, and errors. This is the enforcement teeth
+//! behind the sweep engine's exactness contract — lockstep execution,
+//! detach fallback, and group-merge rejoin must be unobservable under
+//! the barrier file, and the hardware models' scalar fallback must be
+//! exact by the same standard.
 //!
 //! Case count defaults to 96 and is capped by `CONFORMANCE_CASES`,
 //! like the main fuzz loop.
@@ -15,7 +17,16 @@ use conformance::oracle::POLICIES;
 use conformance::program::spec_strategy;
 use conformance::{build_module, ProgramSpec};
 use proptest::prelude::*;
-use simt_sim::{run, run_sweep, Launch, SimConfig, SweepLaunch, DEFAULT_SEED};
+use simt_sim::{run, run_sweep, Launch, ReconvergenceModel, SimConfig, SweepLaunch, DEFAULT_SEED};
+
+/// Every reconvergence model crosses the sweep contract: the barrier
+/// file exercises the lockstep cohort, the hardware models exercise
+/// the per-seed scalar fallback.
+const MODELS: [ReconvergenceModel; 3] = [
+    ReconvergenceModel::BarrierFile,
+    ReconvergenceModel::IpdomStack,
+    ReconvergenceModel::WarpSplit { window: 4, compact: true },
+];
 
 /// Instances per sweep: enough to exercise detach/rejoin across a
 /// cohort, small enough to keep the case budget useful.
@@ -30,60 +41,80 @@ fn check_sweep(spec: &ProgramSpec) -> Result<(), String> {
     // different programs sweep different seed neighborhoods.
     let seed_lo = DEFAULT_SEED.wrapping_add(spec.seed & 0xFFFF);
     for policy in POLICIES {
-        let cfg = SimConfig {
-            warp_width: spec.warp_width,
-            scheduler: policy,
-            max_cycles: MAX_CYCLES,
-            ..SimConfig::default()
-        };
-        let mut base = Launch::new("main", spec.warps);
-        base.global_mem = vec![simt_ir::Value::I64(0); conformance::build::mem_cells(spec)];
-        let sweep = SweepLaunch::new(base.clone(), seed_lo, seed_lo + INSTANCES);
-        let out = run_sweep(&module, &cfg, &sweep)
-            .map_err(|e| format!("{policy:?}: whole sweep failed: {e}"))?;
-        if out.runs.len() != INSTANCES as usize {
-            return Err(format!("{policy:?}: {} runs for {INSTANCES} seeds", out.runs.len()));
-        }
-        for run_entry in &out.runs {
-            let mut launch = base.clone();
-            launch.seed = run_entry.seed;
-            let scalar = run(&module, &cfg, &launch);
-            match (&run_entry.result, &scalar) {
-                (Ok(s), Ok(r)) => {
-                    if s.metrics != r.metrics {
-                        return Err(format!(
-                            "{policy:?} seed {}: metrics diverge\nsweep:  {:?}\nscalar: {:?}",
-                            run_entry.seed, s.metrics, r.metrics
-                        ));
-                    }
-                    if s.global_mem != r.global_mem {
-                        let cell = s
-                            .global_mem
-                            .iter()
-                            .zip(&r.global_mem)
-                            .position(|(a, b)| a != b)
-                            .unwrap_or(usize::MAX);
-                        return Err(format!(
-                            "{policy:?} seed {}: global memory diverges at cell {cell}",
-                            run_entry.seed
-                        ));
-                    }
-                }
-                (Err(a), Err(b)) => {
-                    if a != b {
-                        return Err(format!(
-                            "{policy:?} seed {}: errors diverge\nsweep:  {a}\nscalar: {b}",
-                            run_entry.seed
-                        ));
-                    }
-                }
-                (a, b) => {
+        for model in MODELS {
+            let what = format!("{policy:?}/{}", model.spec());
+            let cfg = SimConfig {
+                warp_width: spec.warp_width,
+                scheduler: policy,
+                max_cycles: MAX_CYCLES,
+                recon: model,
+                ..SimConfig::default()
+            };
+            let mut base = Launch::new("main", spec.warps);
+            base.global_mem = vec![simt_ir::Value::I64(0); conformance::build::mem_cells(spec)];
+            let sweep = SweepLaunch::new(base.clone(), seed_lo, seed_lo + INSTANCES);
+            let out = run_sweep(&module, &cfg, &sweep)
+                .map_err(|e| format!("{what}: whole sweep failed: {e}"))?;
+            if out.runs.len() != INSTANCES as usize {
+                return Err(format!("{what}: {} runs for {INSTANCES} seeds", out.runs.len()));
+            }
+            // The barrier file runs the lockstep cohort; every other
+            // model must take the exact per-seed scalar fallback.
+            if matches!(model, ReconvergenceModel::BarrierFile) {
+                if out.stats.scalar_steps != 0 {
                     return Err(format!(
-                        "{policy:?} seed {}: sweep {} but scalar {}",
-                        run_entry.seed,
-                        if a.is_ok() { "succeeded" } else { "failed" },
-                        if b.is_ok() { "succeeded" } else { "failed" },
+                        "{what}: barrier-file sweep took {} scalar steps",
+                        out.stats.scalar_steps
                     ));
+                }
+            } else if out.stats.lockstep_issues != 0 || out.stats.forks != 0 {
+                return Err(format!(
+                    "{what}: hardware-model sweep ran the lockstep cohort \
+                     ({} issues, {} forks)",
+                    out.stats.lockstep_issues, out.stats.forks
+                ));
+            }
+            for run_entry in &out.runs {
+                let mut launch = base.clone();
+                launch.seed = run_entry.seed;
+                let scalar = run(&module, &cfg, &launch);
+                match (&run_entry.result, &scalar) {
+                    (Ok(s), Ok(r)) => {
+                        if s.metrics != r.metrics {
+                            return Err(format!(
+                                "{what} seed {}: metrics diverge\nsweep:  {:?}\nscalar: {:?}",
+                                run_entry.seed, s.metrics, r.metrics
+                            ));
+                        }
+                        if s.global_mem != r.global_mem {
+                            let cell = s
+                                .global_mem
+                                .iter()
+                                .zip(&r.global_mem)
+                                .position(|(a, b)| a != b)
+                                .unwrap_or(usize::MAX);
+                            return Err(format!(
+                                "{what} seed {}: global memory diverges at cell {cell}",
+                                run_entry.seed
+                            ));
+                        }
+                    }
+                    (Err(a), Err(b)) => {
+                        if a != b {
+                            return Err(format!(
+                                "{what} seed {}: errors diverge\nsweep:  {a}\nscalar: {b}",
+                                run_entry.seed
+                            ));
+                        }
+                    }
+                    (a, b) => {
+                        return Err(format!(
+                            "{what} seed {}: sweep {} but scalar {}",
+                            run_entry.seed,
+                            if a.is_ok() { "succeeded" } else { "failed" },
+                            if b.is_ok() { "succeeded" } else { "failed" },
+                        ));
+                    }
                 }
             }
         }

@@ -16,6 +16,8 @@
 //!   "mem": 1024,                      // inline kernels only: global memory cells
 //!   "mem_hier": "l1:lines=64,cells=16,lat=2;dram:lat=24,extra=2",
 //!                                     // memory-hierarchy cost model (omit = flat)
+//!   "recon_model": "ipdom-stack",     // barrier-file (default) | ipdom-stack
+//!                                     // | warp-split[:window=N][,compact]
 //!   "entry": "k",                     // inline kernels only: kernel to launch
 //!   "deadline_ms": 1000
 //! }
@@ -40,12 +42,20 @@
 //! [`simt_sim::MemHierarchy::parse`]); the response then adds a `"mem"`
 //! object with per-level hit/miss/MSHR counters summed over the
 //! request's runs.
+//!
+//! `"recon_model"` selects the hardware reconvergence model (same spec
+//! syntax as the CLI's `--recon-model`, parsed by
+//! [`simt_sim::ReconvergenceModel::parse`]); the canonical spec is
+//! echoed back as `"recon_model"`, and hardware-model runs add a
+//! `"recon"` object with the stack/split counters summed over the
+//! request's runs (also exported as `specrecon_recon_*` counters on
+//! `GET /metrics`). Unknown model names answer 400.
 
 use crate::json::Json;
 use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
 use simt_sim::{
-    run_image_with, CancelToken, Launch, MemHierarchy, MemStats, SchedulerPolicy, SimConfig,
-    SimError,
+    run_image_with, CancelToken, Launch, MemHierarchy, MemStats, ReconStats, ReconvergenceModel,
+    SchedulerPolicy, SimConfig, SimError,
 };
 use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
 use workloads::eval::{Engine, EvalError};
@@ -171,6 +181,10 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
             MemHierarchy::parse(spec, &cfg.latency)
                 .map_err(|e| ApiError::bad_request(format!("bad `mem_hier`: {e}")))?,
         );
+    }
+    if let Some(spec) = field_str("recon_model")? {
+        cfg.recon = ReconvergenceModel::parse(spec)
+            .map_err(|e| ApiError::bad_request(format!("bad `recon_model`: {e}")))?;
     }
 
     // `seeds` is a count (historical) or a half-open `[lo, hi]` range
@@ -326,6 +340,7 @@ pub fn execute(
     let mut cycles = Vec::with_capacity(req.seeds as usize);
     let mut effs = Vec::with_capacity(req.seeds as usize);
     let mut mem = MemStats::default();
+    let mut recon = ReconStats::default();
     let mut sweep_stats = None;
     if let Some((lo, hi)) = req.sweep {
         // The range runs as lockstep cohorts: compile once, step all
@@ -344,6 +359,7 @@ pub fn execute(
             cycles.push(m.cycles);
             effs.push(m.simt_efficiency());
             mem = mem.saturating_add(&m.mem);
+            recon = recon.wrapping_add(&m.recon);
             runs.push(run_entry(entry.seed, m));
         }
         if let Some(m) = metrics {
@@ -364,6 +380,7 @@ pub fn execute(
             cycles.push(m.cycles);
             effs.push(m.simt_efficiency());
             mem = mem.saturating_add(&m.mem);
+            recon = recon.wrapping_add(&m.recon);
             runs.push(run_entry(launch.seed, m));
         }
     }
@@ -373,6 +390,15 @@ pub fn execute(
             [l.hits, l.misses, l.mshr_merges, l.mshr_stall_cycles]
         });
         sm.record_mem(&levels, mem.dram_accesses, mem.dram_segments);
+    }
+    if let (Some(sm), false) = (metrics, recon.is_zero()) {
+        sm.record_recon(
+            recon.stack_pushes,
+            recon.stack_pops,
+            recon.splits,
+            recon.fusions,
+            recon.deferrals,
+        );
     }
 
     let n = cycles.len() as f64;
@@ -387,6 +413,7 @@ pub fn execute(
         ("workload".into(), Json::str(req.name.clone())),
         ("mode".into(), Json::str(req.mode.clone())),
         ("policy".into(), Json::str(req.policy.clone())),
+        ("recon_model".into(), Json::str(req.cfg.recon.spec())),
         ("warps".into(), Json::u64(req.launch.num_warps as u64)),
         ("runs".into(), Json::Arr(runs)),
         ("aggregate".into(), aggregate),
@@ -423,6 +450,19 @@ pub fn execute(
             ]),
         ));
         body.push(("mem".into(), Json::Obj(fields)));
+    }
+    if !recon.is_zero() {
+        body.push((
+            "recon".into(),
+            Json::Obj(vec![
+                ("stack_pushes".into(), Json::u64(recon.stack_pushes)),
+                ("stack_pops".into(), Json::u64(recon.stack_pops)),
+                ("stack_max_depth".into(), Json::u64(recon.stack_max_depth)),
+                ("splits".into(), Json::u64(recon.splits)),
+                ("fusions".into(), Json::u64(recon.fusions)),
+                ("deferrals".into(), Json::u64(recon.deferrals)),
+            ]),
+        ));
     }
     if let Some(s) = sweep_stats {
         body.push((
@@ -627,6 +667,48 @@ mod tests {
             Json::Arr(scalar.get("runs").unwrap().as_arr().unwrap().to_vec()).render()
         );
         Json::parse(&out.render()).unwrap();
+    }
+
+    #[test]
+    fn parses_recon_model_knob() {
+        let req =
+            parse_request(br#"{"workload":"rsbench","recon_model":"warp-split:window=4,compact"}"#)
+                .unwrap();
+        assert_eq!(req.cfg.recon, ReconvergenceModel::WarpSplit { window: 4, compact: true });
+        // Omitted: the default Volta barrier-file model.
+        let req = parse_request(br#"{"workload":"rsbench"}"#).unwrap();
+        assert_eq!(req.cfg.recon, ReconvergenceModel::BarrierFile);
+        // Unknown names answer 400 with the parser's reason.
+        let err = parse_request(br#"{"workload":"rsbench","recon_model":"volta"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("recon_model"), "{}", err.message);
+    }
+
+    #[test]
+    fn recon_model_responses_carry_counters() {
+        let engine = Engine::new(1);
+        let req = parse_request(
+            br#"{"workload":"microbench","mode":"baseline","warps":1,"seeds":2,
+                "recon_model":"ipdom-stack"}"#,
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        let sm = crate::metrics::ServerMetrics::default();
+        let out = execute(&engine, &req, &token, Some(&sm)).unwrap();
+        assert_eq!(out.get("recon_model").unwrap().as_str(), Some("ipdom-stack"));
+        let recon = out.get("recon").expect("hardware-model runs report a recon object");
+        assert!(recon.get("stack_pushes").unwrap().as_u64().unwrap() > 0, "{}", recon.render());
+        // The same counters land in the Prometheus registry.
+        let text = sm.render(0, 0, 8, engine.cache_stats());
+        assert!(!text.contains("specrecon_recon_stack_pushes_total 0"), "{text}");
+        Json::parse(&out.render()).unwrap();
+
+        // Barrier-file runs keep the response free of the recon object.
+        let req =
+            parse_request(br#"{"workload":"microbench","mode":"baseline","warps":1}"#).unwrap();
+        let out = execute(&engine, &req, &token, None).unwrap();
+        assert_eq!(out.get("recon_model").unwrap().as_str(), Some("barrier-file"));
+        assert!(out.get("recon").is_none());
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub struct ServerMetrics {
     mem_dram_accesses: AtomicU64,
     /// DRAM segments serviced.
     mem_dram_segments: AtomicU64,
+    /// IPDOM reconvergence-stack pushes across all hardware-model runs.
+    recon_stack_pushes: AtomicU64,
+    /// IPDOM reconvergence-stack pops across all hardware-model runs.
+    recon_stack_pops: AtomicU64,
+    /// Warp splits forked across all hardware-model runs.
+    recon_splits: AtomicU64,
+    /// Warp-split re-fusions across all hardware-model runs.
+    recon_fusions: AtomicU64,
+    /// Issue slots given up inside the re-fusion window.
+    recon_deferrals: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -109,6 +119,24 @@ impl ServerMetrics {
         self.sweep_scalar_steps.fetch_add(scalar_steps, Ordering::Relaxed);
         self.sweep_occupancy_sum.fetch_add(occupancy_sum, Ordering::Relaxed);
         self.sweep_issues.fetch_add(lockstep_issues, Ordering::Relaxed);
+    }
+
+    /// Folds one request's hardware-reconvergence counters into the
+    /// registry. Raw counters (like [`ServerMetrics::record_sweep`]) so
+    /// the metrics layer stays decoupled from the simulator types.
+    pub fn record_recon(
+        &self,
+        stack_pushes: u64,
+        stack_pops: u64,
+        splits: u64,
+        fusions: u64,
+        deferrals: u64,
+    ) {
+        self.recon_stack_pushes.fetch_add(stack_pushes, Ordering::Relaxed);
+        self.recon_stack_pops.fetch_add(stack_pops, Ordering::Relaxed);
+        self.recon_splits.fetch_add(splits, Ordering::Relaxed);
+        self.recon_fusions.fetch_add(fusions, Ordering::Relaxed);
+        self.recon_deferrals.fetch_add(deferrals, Ordering::Relaxed);
     }
 
     /// Folds one request's memory-hierarchy counters into the registry.
@@ -293,6 +321,26 @@ impl ServerMetrics {
             self.mem_dram_segments.load(Ordering::Relaxed)
         );
 
+        for (name, help, counter) in [
+            ("stack_pushes", "IPDOM reconvergence-stack pushes", &self.recon_stack_pushes),
+            ("stack_pops", "IPDOM reconvergence-stack pops", &self.recon_stack_pops),
+            ("splits", "Warp splits forked", &self.recon_splits),
+            ("fusions", "Warp-split re-fusions", &self.recon_fusions),
+            (
+                "deferrals",
+                "Issue slots deferred inside the re-fusion window",
+                &self.recon_deferrals,
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP specrecon_recon_{name}_total {help}, over hardware-reconvergence runs.\n\
+                 # TYPE specrecon_recon_{name}_total counter\n\
+                 specrecon_recon_{name}_total {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+
         out.push_str(
             "# HELP specrecon_eval_latency_seconds Wall-clock latency of /v1/eval requests.\n\
              # TYPE specrecon_eval_latency_seconds histogram\n",
@@ -378,6 +426,20 @@ mod tests {
         assert!(text.contains("specrecon_mem_mshr_stall_cycles_total{level=\"L1\"} 8"), "{text}");
         assert!(text.contains("specrecon_mem_dram_accesses_total 1"), "{text}");
         assert!(text.contains("specrecon_mem_dram_segments_total 3"), "{text}");
+    }
+
+    #[test]
+    fn recon_counters_accumulate_and_render() {
+        let m = ServerMetrics::default();
+        let empty = CacheStats { hits: 0, misses: 0, evictions: 0, entries: 0 };
+        m.record_recon(4, 4, 0, 0, 0);
+        m.record_recon(0, 0, 3, 2, 1);
+        let text = m.render(0, 0, 8, empty);
+        assert!(text.contains("specrecon_recon_stack_pushes_total 4"), "{text}");
+        assert!(text.contains("specrecon_recon_stack_pops_total 4"), "{text}");
+        assert!(text.contains("specrecon_recon_splits_total 3"), "{text}");
+        assert!(text.contains("specrecon_recon_fusions_total 2"), "{text}");
+        assert!(text.contains("specrecon_recon_deferrals_total 1"), "{text}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! out because they are the part of the execution model the Speculative
 //! Reconvergence passes actually manipulate.
 
+use crate::config::ReconvergenceModel;
 use crate::exec::{Machine, Status};
 use crate::journal::JournalEvent;
 use crate::sched::lanes;
@@ -28,6 +29,24 @@ use simt_ir::{BarrierId, BarrierOp, Value};
 impl Machine<'_> {
     /// Executes one barrier operation for the issued lane mask.
     pub(crate) fn exec_barrier(&mut self, w: usize, mask: u64, op: BarrierOp) {
+        // Pre-Volta hardware has no convergence-barrier register file:
+        // under the IPDOM stack model every compiler soft-barrier is an
+        // inert op that advances its lanes (the issue cost still
+        // accrues — the instruction occupies a slot). Registers stay
+        // zero, so `arrived` reads 0, and `wait` never blocks —
+        // reconvergence is the stack's job. `__syncthreads` is a
+        // separate instruction and keeps its real semantics.
+        if matches!(self.cfg.recon, ReconvergenceModel::IpdomStack) {
+            if let BarrierOp::ArrivedCount { dst, .. } = op {
+                for l in lanes(mask) {
+                    self.set_reg(w, l, dst, Value::I64(0));
+                }
+            }
+            for l in lanes(mask) {
+                self.advance(w, l);
+            }
+            return;
+        }
         match op {
             BarrierOp::Join(b) | BarrierOp::Rejoin(b) => {
                 self.warps[w].masks[b.index()] |= mask;

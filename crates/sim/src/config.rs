@@ -32,6 +32,100 @@ pub enum SchedulerPolicy {
     RoundRobin,
 }
 
+/// How the machine repairs control divergence — the hardware side of the
+/// reconvergence design space.
+///
+/// The paper evaluates compiler repair (Speculative Reconvergence) on
+/// fixed Volta silicon; this axis models the *hardware* alternatives so
+/// the two can be crossed. See `docs/ENGINE.md` ("reconvergence models")
+/// for the exact semantics of each model and how it interacts with the
+/// compiler's soft barriers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReconvergenceModel {
+    /// Volta-style convergence-barrier register file: compiler-placed
+    /// `join`/`wait`/`cancel` masks drive reconvergence. Today's
+    /// behavior, bit-identical to every pre-axis release. Default.
+    #[default]
+    BarrierFile,
+    /// Classic per-warp IPDOM reconvergence stack (pre-Volta hardware):
+    /// a divergent branch pushes its arms at the branch's immediate
+    /// post-dominator (computed from the decoded CFG), the taken arm
+    /// executes first, and the entry pops when every pending lane
+    /// arrives. Compiler soft-barriers are *ignored* — this hardware
+    /// has no barrier register file, so SR's delayed-reconvergence
+    /// repair cannot take hold.
+    IpdomStack,
+    /// DWR-style warp splitting (Lashgar et al., arXiv 1208.2374):
+    /// divergent `(pc, mask)` groups become independently schedulable
+    /// splits that re-fuse when their frontiers re-align. The barrier
+    /// register file stays real, so compiler repair composes with
+    /// hardware splitting.
+    WarpSplit {
+        /// Re-fusion window in cycles: a ready split defers its issue
+        /// slot when another split with the same frontier pc becomes
+        /// ready within this many cycles (0 = never wait).
+        window: u32,
+        /// Subwarp compaction: every ready split issues each round
+        /// (models compaction hardware filling idle subwarp slots)
+        /// instead of one split per warp per round.
+        compact: bool,
+    },
+}
+
+impl ReconvergenceModel {
+    /// Parses a spec string: `barrier-file` | `ipdom-stack` |
+    /// `warp-split[:window=N[,compact]]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unrecognized token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        match spec {
+            "barrier-file" => return Ok(Self::BarrierFile),
+            "ipdom-stack" => return Ok(Self::IpdomStack),
+            "warp-split" => return Ok(Self::WarpSplit { window: 0, compact: false }),
+            _ => {}
+        }
+        let Some(opts) = spec.strip_prefix("warp-split:") else {
+            return Err(format!(
+                "unknown reconvergence model `{spec}` \
+                 (barrier-file | ipdom-stack | warp-split[:window=N[,compact]])"
+            ));
+        };
+        let mut window = 0u32;
+        let mut compact = false;
+        for tok in opts.split(',') {
+            let tok = tok.trim();
+            if tok == "compact" {
+                compact = true;
+            } else if let Some(v) = tok.strip_prefix("window=") {
+                window =
+                    v.parse().map_err(|_| format!("warp-split window `{v}` is not a number"))?;
+            } else {
+                return Err(format!("unknown warp-split option `{tok}` (window=N | compact)"));
+            }
+        }
+        Ok(Self::WarpSplit { window, compact })
+    }
+
+    /// Canonical spec string of the model (`parse` round-trips it).
+    pub fn spec(&self) -> String {
+        match self {
+            Self::BarrierFile => "barrier-file".to_string(),
+            Self::IpdomStack => "ipdom-stack".to_string(),
+            Self::WarpSplit { window: 0, compact: false } => "warp-split".to_string(),
+            Self::WarpSplit { window, compact } => {
+                let mut s = format!("warp-split:window={window}");
+                if *compact {
+                    s.push_str(",compact");
+                }
+                s
+            }
+        }
+    }
+}
+
 /// Per-instruction issue costs, in cycles.
 ///
 /// These are *throughput* costs for one warp-instruction issue: when a warp
@@ -210,6 +304,11 @@ pub struct SimConfig {
     /// Like tracing, this disables straight-line batching — events carry
     /// issue cycles — so leave it off for timing-sensitive runs.
     pub journal: Option<JournalConfig>,
+    /// Hardware reconvergence model. The default, [`ReconvergenceModel::BarrierFile`],
+    /// is bit-identical to every pre-axis release; the other models
+    /// disable straight-line batching (their scheduling decisions are
+    /// per-round) and are timing models only — values never change.
+    pub recon: ReconvergenceModel,
 }
 
 impl Default for SimConfig {
@@ -224,6 +323,7 @@ impl Default for SimConfig {
             cache: None,
             mem: None,
             journal: None,
+            recon: ReconvergenceModel::default(),
         }
     }
 }
@@ -272,5 +372,42 @@ mod tests {
     fn work_cost_is_at_least_one() {
         let lat = LatencyModel::default();
         assert_eq!(lat.issue_cost(&Inst::Work { amount: 0 }), 1);
+    }
+
+    #[test]
+    fn recon_model_specs_round_trip() {
+        let cases = [
+            ("barrier-file", ReconvergenceModel::BarrierFile),
+            ("ipdom-stack", ReconvergenceModel::IpdomStack),
+            ("warp-split", ReconvergenceModel::WarpSplit { window: 0, compact: false }),
+            ("warp-split:window=8", ReconvergenceModel::WarpSplit { window: 8, compact: false }),
+            (
+                "warp-split:window=4,compact",
+                ReconvergenceModel::WarpSplit { window: 4, compact: true },
+            ),
+        ];
+        for (spec, want) in cases {
+            let got = ReconvergenceModel::parse(spec).expect(spec);
+            assert_eq!(got, want, "{spec}");
+            assert_eq!(ReconvergenceModel::parse(&got.spec()).unwrap(), want, "{spec} round-trip");
+        }
+        // `compact` alone is valid too.
+        assert_eq!(
+            ReconvergenceModel::parse("warp-split:compact").unwrap(),
+            ReconvergenceModel::WarpSplit { window: 0, compact: true },
+        );
+    }
+
+    #[test]
+    fn recon_model_rejects_unknown_specs() {
+        for bad in ["volta", "warp-split:gap=3", "warp-split:window=x", "ipdom"] {
+            let err = ReconvergenceModel::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn default_config_uses_barrier_file() {
+        assert_eq!(SimConfig::default().recon, ReconvergenceModel::BarrierFile);
     }
 }

@@ -41,6 +41,53 @@ pub struct BarrierState {
     pub waiters: u64,
 }
 
+/// One IPDOM reconvergence-stack entry of the deadlocked warp, top
+/// entry first, captured when the deadlock is detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackEntryDump {
+    /// Flat pc the entry's lanes reconverge at (`None`: arms only meet
+    /// at function exit).
+    pub rpc: Option<usize>,
+    /// Lanes that still have to arrive at the reconvergence pc.
+    pub pending: u64,
+    /// Lanes parked at the reconvergence pc.
+    pub arrived: u64,
+}
+
+/// One warp split of the deadlocked warp, captured when the deadlock is
+/// detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitDump {
+    /// Flat pc of the split's runnable frontier (`None`: no runnable
+    /// lanes — the whole split is blocked).
+    pub pc: Option<usize>,
+    /// Lanes owned by the split.
+    pub mask: u64,
+    /// Cycle at which the split could issue again.
+    pub busy_until: u64,
+}
+
+/// Model-aware reconvergence state attached to deadlock reports. Under
+/// the hardware models the barrier-register dump is empty or tells only
+/// half the story — this carries the stack / split state instead.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ReconDump {
+    /// Volta barrier-file model: the barrier-register dump already
+    /// carries the reconvergence state.
+    #[default]
+    BarrierFile,
+    /// IPDOM stack model: the deadlocked warp's stack, top entry first.
+    IpdomStack {
+        /// Stack entries, top first.
+        stack: Vec<StackEntryDump>,
+    },
+    /// Warp-split model: the deadlocked warp's split list.
+    WarpSplit {
+        /// All splits of the warp.
+        splits: Vec<SplitDump>,
+    },
+}
+
 /// Errors surfaced by the simulator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
@@ -56,6 +103,12 @@ pub enum SimError {
         waiting: Vec<(ThreadLocation, BarrierId)>,
         /// Barrier-register dump of the deadlocked warp.
         barriers: Vec<BarrierState>,
+        /// Reconvergence-model state of the deadlocked warp: under
+        /// [`IpdomStack`](crate::config::ReconvergenceModel::IpdomStack) /
+        /// [`WarpSplit`](crate::config::ReconvergenceModel::WarpSplit)
+        /// the barrier dump above is empty or incomplete, and this
+        /// carries the stack / split state instead.
+        recon: ReconDump,
     },
     /// The configured cycle limit was exceeded.
     MaxCyclesExceeded {
@@ -111,7 +164,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoSuchKernel(name) => write!(f, "no kernel named @{name}"),
-            SimError::Deadlock { cycle, waiting, barriers } => {
+            SimError::Deadlock { cycle, waiting, barriers, recon } => {
                 writeln!(f, "deadlock at cycle {cycle}: all live threads blocked")?;
                 for (loc, b) in waiting {
                     writeln!(f, "  {loc} waiting on {b}")?;
@@ -137,6 +190,32 @@ impl fmt::Display for SimError {
                             "  {}: participants={:#x} waiting={:#x}",
                             s.barrier, s.participants, s.waiters
                         )?;
+                    }
+                }
+                match recon {
+                    ReconDump::BarrierFile => {}
+                    ReconDump::IpdomStack { stack } => {
+                        writeln!(f, "ipdom reconvergence stack (top first):")?;
+                        if stack.is_empty() {
+                            writeln!(f, "  (empty)")?;
+                        }
+                        for e in stack {
+                            match e.rpc {
+                                Some(rpc) => write!(f, "  rpc=pc{rpc}:")?,
+                                None => write!(f, "  rpc=<function exit>:")?,
+                            }
+                            writeln!(f, " pending={:#x} arrived={:#x}", e.pending, e.arrived)?;
+                        }
+                    }
+                    ReconDump::WarpSplit { splits } => {
+                        writeln!(f, "warp splits:")?;
+                        for s in splits {
+                            match s.pc {
+                                Some(pc) => write!(f, "  pc{pc}:")?,
+                                None => write!(f, "  <blocked>:")?,
+                            }
+                            writeln!(f, " mask={:#x} busy_until={}", s.mask, s.busy_until)?;
+                        }
                     }
                 }
                 Ok(())
@@ -186,7 +265,12 @@ mod tests {
         let loc = ThreadLocation { warp: 0, lane: 0, func: FuncId(0), block: BlockId(0), inst: 0 };
         let mut waiting = vec![(loc, BarrierId(0)); 12];
         waiting.push((loc, BarrierId(2)));
-        let e = SimError::Deadlock { cycle: 10, waiting, barriers: Vec::new() };
+        let e = SimError::Deadlock {
+            cycle: 10,
+            waiting,
+            barriers: Vec::new(),
+            recon: ReconDump::BarrierFile,
+        };
         let s = e.to_string();
         assert_eq!(s.matches("waiting on").count(), 13, "no waiter is elided:\n{s}");
         assert!(!s.contains("more"), "the old 8-waiter cap is gone:\n{s}");
@@ -205,9 +289,52 @@ mod tests {
                 participants: 0b1111,
                 waiters: 0b1000,
             }],
+            recon: ReconDump::BarrierFile,
         };
         let s = e.to_string();
         assert!(s.contains("barrier registers:"), "{s}");
         assert!(s.contains("b1: participants=0xf waiting=0x8"), "{s}");
+    }
+
+    #[test]
+    fn deadlock_display_dumps_ipdom_stack() {
+        let loc = ThreadLocation { warp: 0, lane: 0, func: FuncId(0), block: BlockId(0), inst: 0 };
+        let e = SimError::Deadlock {
+            cycle: 7,
+            waiting: vec![(loc, BarrierId(0))],
+            barriers: Vec::new(),
+            recon: ReconDump::IpdomStack {
+                stack: vec![
+                    StackEntryDump { rpc: Some(12), pending: 0b0011, arrived: 0b0100 },
+                    StackEntryDump { rpc: None, pending: 0b1000, arrived: 0 },
+                ],
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("ipdom reconvergence stack"), "{s}");
+        assert!(s.contains("rpc=pc12: pending=0x3 arrived=0x4"), "{s}");
+        assert!(s.contains("rpc=<function exit>: pending=0x8"), "{s}");
+        // No misleading empty barrier dump alongside it.
+        assert!(!s.contains("barrier registers:"), "{s}");
+    }
+
+    #[test]
+    fn deadlock_display_dumps_warp_splits() {
+        let loc = ThreadLocation { warp: 0, lane: 0, func: FuncId(0), block: BlockId(0), inst: 0 };
+        let e = SimError::Deadlock {
+            cycle: 7,
+            waiting: vec![(loc, BarrierId(0))],
+            barriers: Vec::new(),
+            recon: ReconDump::WarpSplit {
+                splits: vec![
+                    SplitDump { pc: Some(4), mask: 0b0011, busy_until: 90 },
+                    SplitDump { pc: None, mask: 0b1100, busy_until: 0 },
+                ],
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("warp splits:"), "{s}");
+        assert!(s.contains("pc4: mask=0x3 busy_until=90"), "{s}");
+        assert!(s.contains("<blocked>: mask=0xc"), "{s}");
     }
 }

@@ -29,13 +29,14 @@
 //!   allocations** in steady state (a counting-allocator test enforces
 //!   this).
 
-use crate::config::{SchedulerPolicy, SimConfig};
+use crate::config::{ReconvergenceModel, SchedulerPolicy, SimConfig};
 use crate::decode::{DecodedImage, DecodedInst, PoolRange};
-use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::error::{BarrierState, ReconDump, SimError, SplitDump, StackEntryDump, ThreadLocation};
 use crate::journal::{Journal, JournalEvent};
 use crate::machine::{Launch, SimOutput};
 use crate::metrics::Metrics;
 use crate::profile::Profile;
+use crate::recon::{IpdomTable, Split, StackEntry, NO_RPC};
 use crate::rng::SplitMix64;
 use crate::sched::{lanes, select_group_mask};
 use crate::trace::{Trace, TraceEvent};
@@ -218,6 +219,13 @@ pub(crate) struct Warp {
     /// Per-level tag arrays of the memory-hierarchy cost model, when
     /// [`SimConfig::mem`] is on (empty otherwise).
     pub(crate) mem_tags: crate::mem::MemTags,
+    /// IPDOM reconvergence stack, used only under
+    /// [`ReconvergenceModel::IpdomStack`] (empty otherwise). While the
+    /// top entry exists, only its `pending` lanes are schedulable.
+    pub(crate) ipdom_stack: Vec<StackEntry>,
+    /// Warp splits, used only under [`ReconvergenceModel::WarpSplit`]
+    /// (empty otherwise). Splits partition the warp's unexited lanes.
+    pub(crate) splits: Vec<Split>,
     pub(crate) done: bool,
 }
 
@@ -236,6 +244,9 @@ pub(crate) struct Scratch {
     lines: Vec<i64>,
     /// Staged call arguments / return values.
     vals: Vec<Value>,
+    /// Ready-split issue candidates `(pc, issue mask, split index)` of
+    /// the warp-split scheduling round.
+    split_cands: Vec<(usize, u64, usize)>,
     /// Memory-hierarchy walk staging (line sets per level, MSHR sort
     /// buffer).
     mem: crate::mem::MemScratch,
@@ -260,6 +271,14 @@ pub(crate) struct Machine<'m> {
     /// by [`Machine::access`] for [`Machine::issue`] to attribute
     /// (journal event, per-block profile) after the hot borrows end.
     pub(crate) pending_mem: Option<crate::mem::AccessOutcome>,
+    /// Branch-pc → reconvergence-pc table, built at launch only under
+    /// [`ReconvergenceModel::IpdomStack`].
+    pub(crate) ipdom: Option<IpdomTable>,
+    /// Divergent branch the current issue executed, parked by the
+    /// `Branch` arm (mirroring [`Machine::pending_mem`]) for the
+    /// post-issue IPDOM hook to turn into stack pushes after the hot
+    /// borrows end: `(branch pc, taken mask, not-taken mask)`.
+    pub(crate) pending_split: Option<(usize, u64, u64)>,
     pub(crate) cycle: u64,
 }
 
@@ -400,6 +419,12 @@ impl<'m> Machine<'m> {
                 other_pcs: Vec::new(),
                 cache_tags: cfg.cache.as_ref().map(|c| vec![None; c.lines]).unwrap_or_default(),
                 mem_tags: crate::mem::MemTags::new(cfg.mem.as_ref()),
+                ipdom_stack: Vec::new(),
+                splits: if matches!(cfg.recon, ReconvergenceModel::WarpSplit { .. }) {
+                    vec![Split { mask: lane_mask, busy_until: 0 }]
+                } else {
+                    Vec::new()
+                },
                 done: false,
             });
         }
@@ -417,6 +442,9 @@ impl<'m> Machine<'m> {
             scratch: Scratch::default(),
             mshrs: crate::mem::MemMshrs::new(cfg.mem.as_ref()),
             pending_mem: None,
+            ipdom: matches!(cfg.recon, ReconvergenceModel::IpdomStack)
+                .then(|| IpdomTable::build(image)),
+            pending_split: None,
             cycle: 0,
         })
     }
@@ -439,6 +467,12 @@ impl<'m> Machine<'m> {
             all_done = false;
             if self.warps[w].busy_until > self.cycle {
                 next_ready = next_ready.min(self.warps[w].busy_until);
+                continue;
+            }
+            // The warp-split model schedules per split, not per warp:
+            // its own round logic replaces pick/issue/batch below.
+            if let ReconvergenceModel::WarpSplit { window, compact } = self.cfg.recon {
+                self.step_warp_split(w, window, compact, &mut next_ready)?;
                 continue;
             }
             // A hint left by the previous slot's batch replaces the
@@ -478,6 +512,9 @@ impl<'m> Machine<'m> {
                     }
                     self.warps[w].last_lanes = mask;
                     let cost = self.issue(w, pc, mask)?;
+                    if matches!(self.cfg.recon, ReconvergenceModel::IpdomStack) {
+                        self.ipdom_post_issue(w);
+                    }
                     let mut busy = self.cycle + u64::from(cost.max(1));
                     // Straight-line batching: a fully-converged warp
                     // executing warp-local ops (no memory traffic, no
@@ -504,8 +541,12 @@ impl<'m> Machine<'m> {
                     // whole batch, so the pc set is stable). Other
                     // policies re-rank groups as pcs move, so a
                     // divergent group only batches when converged.
+                    // The hardware models also disable batching: their
+                    // scheduling state (stack top, split frontiers) can
+                    // change on any issue, so a re-pick is never provable.
                     if self.trace.is_none()
                         && self.journal.is_none()
+                        && matches!(self.cfg.recon, ReconvergenceModel::BarrierFile)
                         && keeps_lockstep(&self.image.insts[pc])
                         && (mask == self.warps[w].runnable
                             || self.cfg.scheduler == SchedulerPolicy::Greedy)
@@ -601,7 +642,13 @@ impl<'m> Machine<'m> {
                             warp: w,
                         });
                         let barriers = self.barrier_dump(w);
-                        return Err(SimError::Deadlock { cycle: self.cycle, waiting, barriers });
+                        let recon = self.recon_dump(w);
+                        return Err(SimError::Deadlock {
+                            cycle: self.cycle,
+                            waiting,
+                            barriers,
+                            recon,
+                        });
                     }
                 }
             }
@@ -704,7 +751,17 @@ impl<'m> Machine<'m> {
     fn pick_group(&mut self, w: usize) -> Option<(usize, u64)> {
         #[cfg(debug_assertions)]
         self.check_masks(w);
-        let runnable = self.warps[w].runnable;
+        // Under the IPDOM stack model only the top entry's pending lanes
+        // are schedulable (taken-first serialization); parked lanes stay
+        // runnable but invisible until the entry pops. `u64::MAX`
+        // elsewhere keeps this a no-op for the barrier-file model.
+        let eligible = match self.cfg.recon {
+            ReconvergenceModel::IpdomStack => {
+                self.warps[w].ipdom_stack.last().map_or(u64::MAX, |e| e.pending)
+            }
+            _ => u64::MAX,
+        };
+        let runnable = self.warps[w].runnable & eligible;
         if runnable == 0 {
             return None;
         }
@@ -754,6 +811,333 @@ impl<'m> Machine<'m> {
             other_pcs.extend(groups.iter().map(|&(p, _)| p).filter(|&p| p != pc));
         }
         picked
+    }
+
+    /// Model-aware reconvergence state of warp `w` for deadlock reports.
+    fn recon_dump(&self, w: usize) -> ReconDump {
+        let warp = &self.warps[w];
+        match self.cfg.recon {
+            ReconvergenceModel::BarrierFile => ReconDump::BarrierFile,
+            ReconvergenceModel::IpdomStack => ReconDump::IpdomStack {
+                stack: warp
+                    .ipdom_stack
+                    .iter()
+                    .rev()
+                    .map(|e| StackEntryDump {
+                        rpc: (e.rpc != NO_RPC).then_some(e.rpc as usize),
+                        pending: e.pending,
+                        arrived: e.arrived,
+                    })
+                    .collect(),
+            },
+            ReconvergenceModel::WarpSplit { .. } => ReconDump::WarpSplit {
+                splits: warp
+                    .splits
+                    .iter()
+                    .map(|s| {
+                        let run = s.mask & warp.runnable;
+                        SplitDump {
+                            pc: (run != 0).then(|| warp.pcs[run.trailing_zeros() as usize]),
+                            mask: s.mask,
+                            busy_until: s.busy_until,
+                        }
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// IPDOM bookkeeping after one issue of warp `w`: turns a parked
+    /// divergent branch into a pair of stack pushes (not-taken below
+    /// taken, so the taken arm executes first), drops exited lanes from
+    /// every entry, parks lanes that reached the top entry's
+    /// reconvergence pc, and pops entries whose pending set drained
+    /// (cascading, because the freshly exposed entry may already be
+    /// satisfied).
+    fn ipdom_post_issue(&mut self, w: usize) {
+        if let Some((bpc, taken, not_taken)) = self.pending_split.take() {
+            let rpc = self.ipdom.as_ref().expect("ipdom table built at launch").rpc_of(bpc);
+            // When the arms only meet at function exit there is nothing
+            // to push: both groups stay schedulable under the current
+            // entry and the policy arbitrates between them.
+            if rpc != NO_RPC {
+                let warp = &mut self.warps[w];
+                let lead = taken.trailing_zeros() as usize;
+                let depth = warp.threads[lead].frames.len() as u32;
+                warp.ipdom_stack.push(StackEntry { rpc, depth, pending: not_taken, arrived: 0 });
+                warp.ipdom_stack.push(StackEntry { rpc, depth, pending: taken, arrived: 0 });
+                self.metrics.recon.stack_pushes += 2;
+                let d = warp.ipdom_stack.len() as u64;
+                self.metrics.recon.stack_max_depth = self.metrics.recon.stack_max_depth.max(d);
+            }
+        }
+        let warp = &mut self.warps[w];
+        let ex = warp.exited;
+        if ex != 0 {
+            for e in warp.ipdom_stack.iter_mut() {
+                e.pending &= !ex;
+                e.arrived &= !ex;
+            }
+        }
+        loop {
+            let pcs = &warp.pcs;
+            let threads = &warp.threads;
+            let Some(top) = warp.ipdom_stack.last_mut() else { break };
+            // A lane arrives when it reaches the reconvergence pc at the
+            // push-time call depth while still runnable (a blocked lane
+            // has not arrived — its pc has not passed the blocking op).
+            let mut arrived = 0u64;
+            for l in lanes(top.pending & warp.runnable) {
+                if pcs[l] == top.rpc as usize && threads[l].frames.len() == top.depth as usize {
+                    arrived |= 1 << l;
+                }
+            }
+            top.pending &= !arrived;
+            top.arrived |= arrived;
+            if top.pending != 0 {
+                break;
+            }
+            warp.ipdom_stack.pop();
+            self.metrics.recon.stack_pops += 1;
+        }
+    }
+
+    /// One scheduling round of warp `w` under the warp-split model:
+    /// normalize splits (drop exited lanes, fork internally-divergent
+    /// frontiers), re-fuse ready splits whose frontiers re-aligned, then
+    /// issue — one ready split chosen by the scheduler policy, or every
+    /// ready split when subwarp compaction is on. A ready split defers
+    /// its slot when a busy split with the same frontier pc finishes
+    /// within the re-fusion window.
+    fn step_warp_split(
+        &mut self,
+        w: usize,
+        window: u32,
+        compact: bool,
+        next_ready: &mut u64,
+    ) -> Result<(), SimError> {
+        #[cfg(debug_assertions)]
+        self.check_masks(w);
+        self.normalize_splits(w);
+        self.fuse_splits(w);
+
+        // Collect ready candidates and the earliest wake-up among busy
+        // splits that still have runnable lanes.
+        let cycle = self.cycle;
+        let mut min_busy = u64::MAX;
+        {
+            let warp = &self.warps[w];
+            let cands = &mut self.scratch.split_cands;
+            cands.clear();
+            for (i, s) in warp.splits.iter().enumerate() {
+                let run = s.mask & warp.runnable;
+                if run == 0 {
+                    continue; // fully blocked; a barrier release revives it
+                }
+                if s.busy_until > cycle {
+                    min_busy = min_busy.min(s.busy_until);
+                    continue;
+                }
+                // Normalization left every runnable lane of a split at
+                // one pc: the frontier.
+                let pc = warp.pcs[run.trailing_zeros() as usize];
+                cands.push((pc, run, i));
+            }
+            // Re-fusion window: give up this slot when a busy split with
+            // the same frontier pc becomes ready within `window` cycles —
+            // the fusion pass will merge the two then.
+            if window > 0 && !cands.is_empty() {
+                let mut kept = 0;
+                for ci in 0..cands.len() {
+                    let (pc, _, _) = cands[ci];
+                    let wait_for = warp.splits.iter().filter(|s| s.busy_until > cycle).any(|s| {
+                        s.busy_until - cycle <= u64::from(window) && {
+                            let run = s.mask & warp.runnable;
+                            run != 0 && warp.pcs[run.trailing_zeros() as usize] == pc
+                        }
+                    });
+                    if wait_for {
+                        self.metrics.recon.deferrals += 1;
+                    } else {
+                        cands[kept] = cands[ci];
+                        kept += 1;
+                    }
+                }
+                cands.truncate(kept);
+            }
+            cands.sort_unstable_by_key(|&(pc, _, _)| pc);
+        }
+
+        if self.scratch.split_cands.is_empty() {
+            if min_busy != u64::MAX {
+                // Everything runnable is busy (or deferring): sleep
+                // until the earliest split wakes.
+                self.warps[w].busy_until = min_busy;
+                *next_ready = (*next_ready).min(min_busy);
+                return Ok(());
+            }
+            let live = self.warps[w].lane_mask & !self.warps[w].exited;
+            if live == 0 {
+                self.warps[w].done = true;
+                return Ok(());
+            }
+            // Every live lane is blocked and no split can ever issue:
+            // deadlock, same report as the warp-level path.
+            let waiting = lanes(live)
+                .map(|l| {
+                    let t = &self.warps[w].threads[l];
+                    let b = match t.status {
+                        Status::Waiting(b) => b,
+                        _ => BarrierId(0),
+                    };
+                    (self.location(w, l), b)
+                })
+                .collect();
+            self.journal_push(JournalEvent::DeadlockOnset { cycle: self.cycle, warp: w });
+            let barriers = self.barrier_dump(w);
+            let recon = self.recon_dump(w);
+            return Err(SimError::Deadlock { cycle: self.cycle, waiting, barriers, recon });
+        }
+
+        // Issue. Without compaction one split wins the warp's issue port
+        // (arbitrated by the configured policy over the ready frontiers);
+        // with compaction every ready split issues this round.
+        let policy = self.cfg.scheduler;
+        let n = self.scratch.split_cands.len();
+        for c in 0..n {
+            let (pc, run, idx) = if compact {
+                self.scratch.split_cands[c]
+            } else {
+                let warp = &mut self.warps[w];
+                // `split_cands` pcs are unique (fusion merged ready
+                // duplicates), matching select_group_mask's contract.
+                let Scratch { groups, split_cands, .. } = &mut self.scratch;
+                groups.clear();
+                groups.extend(split_cands.iter().map(|&(pc, run, _)| (pc, run)));
+                let picked =
+                    select_group_mask(policy, groups, warp.last_lanes, &mut warp.rr_cursor)
+                        .expect("non-empty candidate list always yields a pick");
+                let i = split_cands
+                    .iter()
+                    .position(|&(pc, _, _)| pc == picked.0)
+                    .expect("picked pc comes from the candidate list");
+                let (pc, _, idx) = split_cands[i];
+                (pc, picked.1, idx)
+            };
+            self.warps[w].last_lanes = run;
+            let cost = self.issue(w, pc, run)?;
+            self.warps[w].splits[idx].busy_until = cycle + u64::from(cost.max(1));
+            if !compact {
+                break;
+            }
+        }
+
+        // The warp wakes when its earliest-busy runnable split does.
+        let warp = &mut self.warps[w];
+        let mut wake = u64::MAX;
+        for s in warp.splits.iter() {
+            if s.mask & warp.runnable != 0 {
+                wake = wake.min(s.busy_until.max(cycle + 1));
+            }
+        }
+        if wake == u64::MAX {
+            // No runnable lanes remain; re-examine next round, where the
+            // warp either finishes, deadlocks, or a release revived it.
+            wake = cycle + 1;
+        }
+        warp.busy_until = wake;
+        *next_ready = (*next_ready).min(wake);
+        Ok(())
+    }
+
+    /// Re-establishes the warp-split invariants for warp `w`: exited
+    /// lanes leave their splits, empty splits disappear, and a split
+    /// whose runnable lanes sit at more than one pc forks into per-pc
+    /// splits (blocked lanes stay with the first frontier group).
+    fn normalize_splits(&mut self, w: usize) {
+        let warp = &mut self.warps[w];
+        let live = warp.lane_mask & !warp.exited;
+        let mut i = 0;
+        while i < warp.splits.len() {
+            warp.splits[i].mask &= live;
+            if warp.splits[i].mask == 0 {
+                warp.splits.remove(i);
+                continue;
+            }
+            let run = warp.splits[i].mask & warp.runnable;
+            if run != 0 {
+                let lead_pc = warp.pcs[run.trailing_zeros() as usize];
+                let mut same = 0u64;
+                for l in lanes(run) {
+                    if warp.pcs[l] == lead_pc {
+                        same |= 1 << l;
+                    }
+                }
+                let mut rest = run & !same;
+                if rest != 0 {
+                    // Fork: the divergent lanes leave, grouped by pc.
+                    let busy = warp.splits[i].busy_until;
+                    warp.splits[i].mask &= !rest;
+                    while rest != 0 {
+                        let pc = warp.pcs[rest.trailing_zeros() as usize];
+                        let mut m = 0u64;
+                        for l in lanes(rest) {
+                            if warp.pcs[l] == pc {
+                                m |= 1 << l;
+                            }
+                        }
+                        rest &= !m;
+                        warp.splits.push(Split { mask: m, busy_until: busy });
+                        self.metrics.recon.splits += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let warp = &self.warps[w];
+            let mut union = 0u64;
+            for s in warp.splits.iter() {
+                assert_eq!(union & s.mask, 0, "splits overlap in warp {w}");
+                union |= s.mask;
+            }
+            assert_eq!(union, live, "splits do not partition live lanes of warp {w}");
+        }
+    }
+
+    /// Merges ready splits of warp `w` whose runnable frontiers sit at
+    /// the same pc — the re-fusion half of the warp-split model.
+    fn fuse_splits(&mut self, w: usize) {
+        let cycle = self.cycle;
+        let warp = &mut self.warps[w];
+        if warp.splits.len() < 2 {
+            return;
+        }
+        let mut i = 0;
+        while i < warp.splits.len() {
+            let run_i = warp.splits[i].mask & warp.runnable;
+            if run_i == 0 || warp.splits[i].busy_until > cycle {
+                i += 1;
+                continue;
+            }
+            let pc_i = warp.pcs[run_i.trailing_zeros() as usize];
+            let mut j = i + 1;
+            while j < warp.splits.len() {
+                let run_j = warp.splits[j].mask & warp.runnable;
+                if run_j != 0
+                    && warp.splits[j].busy_until <= cycle
+                    && warp.pcs[run_j.trailing_zeros() as usize] == pc_i
+                {
+                    let absorbed = warp.splits.remove(j);
+                    warp.splits[i].mask |= absorbed.mask;
+                    self.metrics.recon.fusions += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
     }
 
     /// Issues one decoded instruction for the given group; returns its
@@ -1082,17 +1466,24 @@ impl<'m> Machine<'m> {
                     };
                 }
                 let not_taken = mask & !taken;
-                if taken != 0 && not_taken != 0 && self.journal.is_some() {
-                    let o = image.origin[pc];
-                    self.journal_push(JournalEvent::BranchDiverge {
-                        cycle: self.cycle,
-                        warp: w,
-                        func: o.func,
-                        block: o.block,
-                        inst: o.inst as usize,
-                        taken,
-                        not_taken,
-                    });
+                if taken != 0 && not_taken != 0 {
+                    // Park the divergence for the IPDOM post-issue hook
+                    // (the stack push happens after the hot borrows end).
+                    if matches!(self.cfg.recon, ReconvergenceModel::IpdomStack) {
+                        self.pending_split = Some((pc, taken, not_taken));
+                    }
+                    if self.journal.is_some() {
+                        let o = image.origin[pc];
+                        self.journal_push(JournalEvent::BranchDiverge {
+                            cycle: self.cycle,
+                            warp: w,
+                            func: o.func,
+                            block: o.block,
+                            inst: o.inst as usize,
+                            taken,
+                            not_taken,
+                        });
+                    }
                 }
             }
             DecodedInst::Return { values } => {
@@ -1423,5 +1814,110 @@ bb0:
         while !m.step().expect("tail step") {}
         let out = m.into_output();
         assert!(out.metrics.cycles > 0);
+    }
+
+    /// A divergent branch whose arms reconverge at `bb3`, with a
+    /// `__syncthreads` inside one arm — legal under Volta's independent
+    /// thread scheduling, a classic deadlock under stack reconvergence.
+    const DIVERGENT_SYNC_KERNEL: &str = "\
+kernel @k(params=0, regs=2, barriers=0, entry=bb0) {
+bb0:
+  %r0 = special.tid
+  %r1 = rem %r0, 2
+  brdiv %r1, bb1, bb2
+bb1:
+  syncthreads
+  jmp bb3
+bb2:
+  jmp bb3
+bb3:
+  store global[%r0], %r1
+  exit
+}
+";
+
+    fn steady_launch(iters: i64) -> Launch {
+        Launch {
+            kernel: "k".into(),
+            num_warps: 2,
+            args: vec![Value::I64(iters)],
+            global_mem: vec![Value::I64(7); 256],
+            local_mem_size: 0,
+            seed: 9,
+        }
+    }
+
+    /// All three reconvergence models execute the same lane work, so
+    /// final memory agrees; only timing and the model's own counters
+    /// differ. The barrier-file model must keep its counters all-zero
+    /// (the bit-identity guarantee), the hardware models must show
+    /// their machinery actually engaged on a divergent kernel.
+    #[test]
+    fn hardware_models_reach_the_same_memory() {
+        let module = parse_and_link(STEADY_KERNEL).expect("kernel parses");
+        let image = DecodedImage::decode(&module);
+        let launch = steady_launch(12);
+        let base = run_image(&image, &SimConfig::default(), &launch).expect("barrier-file run");
+        assert!(base.metrics.recon.is_zero(), "barrier-file recon counters must stay zero");
+
+        let cfg = SimConfig { recon: ReconvergenceModel::IpdomStack, ..SimConfig::default() };
+        let stack = run_image(&image, &cfg, &launch).expect("ipdom run");
+        assert_eq!(stack.global_mem, base.global_mem);
+        assert!(stack.metrics.recon.stack_pushes > 0, "divergence must push");
+        assert_eq!(stack.metrics.recon.stack_pushes, stack.metrics.recon.stack_pops);
+        assert!(stack.metrics.recon.stack_max_depth >= 2);
+
+        for (window, compact) in [(0, false), (4, true)] {
+            let cfg = SimConfig {
+                recon: ReconvergenceModel::WarpSplit { window, compact },
+                ..SimConfig::default()
+            };
+            let split = run_image(&image, &cfg, &launch).expect("warp-split run");
+            assert_eq!(split.global_mem, base.global_mem, "window={window} compact={compact}");
+            assert!(split.metrics.recon.splits > 0, "divergence must fork a split");
+            assert!(split.metrics.recon.fusions > 0, "reconvergence must re-fuse");
+        }
+    }
+
+    /// The warp-split model preserves per-warp forward progress, so a
+    /// sync inside a divergent arm still completes — like Volta, unlike
+    /// the stack.
+    #[test]
+    fn warp_split_keeps_forward_progress_through_divergent_sync() {
+        let module = parse_and_link(DIVERGENT_SYNC_KERNEL).expect("kernel parses");
+        let image = DecodedImage::decode(&module);
+        let mut launch = steady_launch(0);
+        launch.args.clear();
+        launch.num_warps = 1;
+        let base = run_image(&image, &SimConfig::default(), &launch).expect("barrier-file run");
+        let cfg = SimConfig {
+            recon: ReconvergenceModel::WarpSplit { window: 2, compact: false },
+            ..SimConfig::default()
+        };
+        let split = run_image(&image, &cfg, &launch).expect("warp-split run");
+        assert_eq!(split.global_mem, base.global_mem);
+    }
+
+    /// The stack model serializes the taken arm first; its `syncthreads`
+    /// can never be satisfied while the not-taken lanes are parked below
+    /// the top-of-stack — and the deadlock report must carry the stack,
+    /// not an empty barrier dump.
+    #[test]
+    fn ipdom_stack_deadlocks_where_volta_reconverges() {
+        let module = parse_and_link(DIVERGENT_SYNC_KERNEL).expect("kernel parses");
+        let image = DecodedImage::decode(&module);
+        let mut launch = steady_launch(0);
+        launch.args.clear();
+        launch.num_warps = 1;
+        run_image(&image, &SimConfig::default(), &launch).expect("volta completes this kernel");
+        let cfg = SimConfig { recon: ReconvergenceModel::IpdomStack, ..SimConfig::default() };
+        let err = run_image(&image, &cfg, &launch).expect_err("the stack model deadlocks");
+        match err {
+            SimError::Deadlock { recon: ReconDump::IpdomStack { stack }, .. } => {
+                assert!(!stack.is_empty(), "report must carry the reconvergence stack");
+                assert!(stack.iter().any(|e| e.pending != 0));
+            }
+            other => panic!("expected an ipdom deadlock dump, got {other:?}"),
+        }
     }
 }

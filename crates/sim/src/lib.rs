@@ -42,6 +42,7 @@ pub mod machine;
 pub mod mem;
 pub mod metrics;
 pub mod profile;
+pub mod recon;
 pub mod reference;
 pub mod rng;
 mod sched;
@@ -56,9 +57,9 @@ pub mod trace;
 #[global_allocator]
 static COUNTING_ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
 
-pub use config::{CacheConfig, LatencyModel, SchedulerPolicy, SimConfig};
+pub use config::{CacheConfig, LatencyModel, ReconvergenceModel, SchedulerPolicy, SimConfig};
 pub use decode::DecodedImage;
-pub use error::{BarrierState, SimError, ThreadLocation};
+pub use error::{BarrierState, ReconDump, SimError, SplitDump, StackEntryDump, ThreadLocation};
 pub use exec::{run_image, run_image_with, CancelToken};
 pub use export::{chrome_trace, jsonl};
 pub use journal::{BarrierStats, Journal, JournalConfig, JournalEvent, JournalWriter};
@@ -68,6 +69,7 @@ pub use mem::{
 };
 pub use metrics::Metrics;
 pub use profile::{BlockStats, Profile};
+pub use recon::ReconStats;
 pub use reference::run_reference;
 pub use sweep::{run_sweep, run_sweep_image, SeedRun, SweepLaunch, SweepOutput, SweepStats};
 pub use trace::{Trace, TraceEvent};

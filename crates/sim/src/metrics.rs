@@ -45,6 +45,10 @@ pub struct Metrics {
     /// and stall cycles per cache level, plus DRAM traffic). All zero
     /// unless [`SimConfig::mem`](crate::config::SimConfig::mem) is set.
     pub mem: crate::mem::MemStats,
+    /// Hardware-reconvergence counters (IPDOM stack activity, warp
+    /// splits and re-fusions). All zero under the default
+    /// [`ReconvergenceModel::BarrierFile`](crate::config::ReconvergenceModel::BarrierFile).
+    pub recon: crate::recon::ReconStats,
     /// Dynamic count of all lane-instructions executed.
     pub lane_insts: u64,
     /// Per-warp (cost-weighted issues, cost-weighted active-lane sum).
@@ -170,6 +174,23 @@ impl fmt::Display for Metrics {
                 "\nDRAM:             {} accesses, {} segments",
                 self.mem.dram_accesses, self.mem.dram_segments
             )?;
+        }
+        if !self.recon.is_zero() {
+            let r = &self.recon;
+            if r.stack_pushes != 0 || r.stack_pops != 0 || r.stack_max_depth != 0 {
+                write!(
+                    f,
+                    "\nipdom stack:      {} pushes, {} pops, max depth {}",
+                    r.stack_pushes, r.stack_pops, r.stack_max_depth
+                )?;
+            }
+            if r.splits != 0 || r.fusions != 0 || r.deferrals != 0 {
+                write!(
+                    f,
+                    "\nwarp splits:      {} splits, {} fusions, {} deferrals",
+                    r.splits, r.fusions, r.deferrals
+                )?;
+            }
         }
         Ok(())
     }

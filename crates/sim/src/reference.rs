@@ -31,7 +31,7 @@
 
 use crate::alu::{eval_bin, eval_un};
 use crate::config::SimConfig;
-use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::error::{BarrierState, ReconDump, SimError, ThreadLocation};
 use crate::journal::{Journal, JournalEvent};
 use crate::machine::{Launch, SimOutput};
 use crate::metrics::Metrics;
@@ -284,6 +284,7 @@ impl<'m> Machine<'m> {
                                 cycle: self.cycle,
                                 waiting,
                                 barriers,
+                                recon: ReconDump::BarrierFile,
                             });
                         }
                     }

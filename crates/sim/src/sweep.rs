@@ -69,9 +69,9 @@
 //! with [`SimError::SweepUnsupported`] instead of emitting misstamped
 //! events.
 
-use crate::config::{SchedulerPolicy, SimConfig};
+use crate::config::{ReconvergenceModel, SchedulerPolicy, SimConfig};
 use crate::decode::{DecodedImage, DecodedInst, PoolRange};
-use crate::error::{BarrierState, SimError, ThreadLocation};
+use crate::error::{BarrierState, ReconDump, SimError, ThreadLocation};
 use crate::exec::{
     is_warp_local, keeps_lockstep, run_image_with, CancelToken, Frame, Machine, Scratch, Status,
     Thread, Warp, BATCH_LIMIT,
@@ -274,6 +274,38 @@ pub fn run_sweep_image(
                  run the {n} seeds individually"
             ),
         });
+    }
+    if !matches!(cfg.recon, ReconvergenceModel::BarrierFile) {
+        // Hardware reconvergence models (IPDOM stack, warp splitting)
+        // schedule each machine's stack/splits independently, which
+        // breaks the lockstep-slot invariant the cohort engine is
+        // built on. Fall back to one scalar machine per seed — exact
+        // by construction — accounting the rounds as scalar steps so
+        // the sweep counters show the fallback path was taken.
+        let mut runs = Vec::with_capacity(n as usize);
+        let mut stats = SweepStats { instances: n as usize, ..SweepStats::default() };
+        for seed in sweep.seed_lo..sweep.seed_hi {
+            let mut launch = sweep.base.clone();
+            launch.seed = seed;
+            let result = match Machine::new(image, cfg, &launch) {
+                Err(e) => Err(e),
+                Ok(mut m) => loop {
+                    if let Some(t) = cancel {
+                        if t.is_cancelled() {
+                            return Err(SimError::Cancelled { cycle: m.cycle });
+                        }
+                    }
+                    stats.scalar_steps += 1;
+                    match m.step() {
+                        Ok(false) => {}
+                        Ok(true) => break Ok(m.into_output()),
+                        Err(e) => break Err(e),
+                    }
+                },
+            };
+            runs.push(SeedRun { seed, result });
+        }
+        return Ok(SweepOutput { runs, stats });
     }
     Cohort::new(image, cfg, sweep, n as usize)?.run(cancel)
 }
@@ -958,7 +990,12 @@ impl<'m> Cohort<'m> {
                             })
                             .collect();
                         let barriers = Self::barrier_dump(&sub.warps[w]);
-                        let e = SimError::Deadlock { cycle: sub.cycle, waiting, barriers };
+                        let e = SimError::Deadlock {
+                            cycle: sub.cycle,
+                            waiting,
+                            barriers,
+                            recon: ReconDump::BarrierFile,
+                        };
                         self.resolve_all(sub, &e);
                         return false;
                     }
@@ -1080,6 +1117,7 @@ fn metrics_sum(a: &Metrics, b: &Metrics) -> Metrics {
     m.cache_hits = a.cache_hits.wrapping_add(b.cache_hits);
     m.cache_misses = a.cache_misses.wrapping_add(b.cache_misses);
     m.mem = a.mem.wrapping_add(&b.mem);
+    m.recon = a.recon.wrapping_add(&b.recon);
     m.lane_insts = a.lane_insts.wrapping_add(b.lane_insts);
     for (i, slot) in m.per_warp.iter_mut().enumerate() {
         slot.0 = a.per_warp[i].0.wrapping_add(b.per_warp[i].0);
@@ -1103,6 +1141,7 @@ fn metrics_delta(a: &Metrics, b: &Metrics) -> Metrics {
     m.cache_hits = a.cache_hits.wrapping_sub(b.cache_hits);
     m.cache_misses = a.cache_misses.wrapping_sub(b.cache_misses);
     m.mem = a.mem.wrapping_sub(&b.mem);
+    m.recon = a.recon.wrapping_sub(&b.recon);
     m.lane_insts = a.lane_insts.wrapping_sub(b.lane_insts);
     for (i, slot) in m.per_warp.iter_mut().enumerate() {
         slot.0 = a.per_warp[i].0.wrapping_sub(b.per_warp[i].0);
@@ -1581,6 +1620,8 @@ impl<'m> Cohort<'m> {
                     last_lanes: if wi == ctx.w { ctx.pre_last_lanes } else { cw.last_lanes },
                     pick_hint: None,
                     other_pcs: Vec::new(),
+                    ipdom_stack: Vec::new(),
+                    splits: Vec::new(),
                     cache_tags: (0..cache_lines).map(|ln| dw.cache_tags[ln * ns + s]).collect(),
                     mem_tags: dw.hier_tags[s].clone(),
                     done: cw.done,
@@ -1600,6 +1641,8 @@ impl<'m> Cohort<'m> {
             scratch: Scratch::default(),
             mshrs: self.mshrs[s].clone(),
             pending_mem: None,
+            ipdom: None,
+            pending_split: None,
             cycle: sub.cycle,
         }
     }
@@ -3008,6 +3051,26 @@ bb0:
                 stats.merges + stats.rejoins > 0,
                 "{policy:?}: barrier reconvergence realigns: {stats:?}"
             );
+        }
+    }
+
+    #[test]
+    fn hardware_recon_sweeps_fall_back_to_exact_scalar_runs() {
+        // The hardware reconvergence models bypass the cohort engine:
+        // every seed runs on its own scalar machine (exact by
+        // construction) and the work is accounted as scalar steps, so
+        // zero lockstep issues and zero forks.
+        for recon in [
+            ReconvergenceModel::IpdomStack,
+            ReconvergenceModel::WarpSplit { window: 0, compact: false },
+            ReconvergenceModel::WarpSplit { window: 4, compact: true },
+        ] {
+            let cfg = SimConfig { recon, ..SimConfig::default() };
+            let sweep = SweepLaunch::new(launch("k", 2, 64, vec![]), 0, 12);
+            let stats = assert_matches_scalar(LANE_DIVERGE_KERNEL, &cfg, &sweep);
+            assert_eq!(stats.lockstep_issues, 0, "{recon:?}: {stats:?}");
+            assert_eq!(stats.forks, 0, "{recon:?}: {stats:?}");
+            assert!(stats.scalar_steps > 0, "{recon:?}: {stats:?}");
         }
     }
 

@@ -26,6 +26,10 @@
 //!                             `l1:lines=64,cells=16,lat=2,mshrs=4;dram:lat=24,extra=2`
 //!                             (levels l1/l2/l3 then dram; omitted = flat model)
 //!            --seed S         RNG seed (default 0xC0FFEE)
+//!            --recon-model M  hardware reconvergence model: `barrier-file`
+//!                             (default, Volta-style), `ipdom-stack`
+//!                             (pre-Volta stack), or
+//!                             `warp-split[:window=N][,compact]`
 //!            --seeds N        run N launches at seeds S..S+N and report each
 //!                             plus an aggregate (variance check)
 //!            --jobs N         worker threads for multi-seed runs (default:
@@ -51,6 +55,8 @@
 //!            --seeds LO..HI   half-open seed range to run (required)
 //!            --warps N        override the workload's warp count
 //!            --jobs N         worker threads (default: available parallelism)
+//!            --recon-model M  reconvergence model (as under `run`; non-default
+//!                             models run each seed on a scalar machine)
 //!            MODE             --baseline | --speculative (default) | --auto
 //!
 //! serve options:
@@ -85,8 +91,8 @@ use specrecon::passes::compute_region;
 use specrecon::passes::{compile, compile_profile_guided, detect, CompileOptions, DetectOptions};
 use specrecon::server::{self, LoadgenConfig, ServeConfig, Server};
 use specrecon::sim::{
-    chrome_trace, jsonl, JournalConfig, Launch, MemHierarchy, SimConfig, SimOutput, Trace,
-    DEFAULT_SEED,
+    chrome_trace, jsonl, JournalConfig, Launch, MemHierarchy, ReconvergenceModel, SimConfig,
+    SimOutput, Trace, DEFAULT_SEED,
 };
 use specrecon::workloads::Engine;
 use std::process::ExitCode;
@@ -321,6 +327,9 @@ fn launch_from_args(module: &Module, args: &[String]) -> Result<(SimConfig, Laun
         cfg.mem =
             Some(MemHierarchy::parse(spec, &cfg.latency).map_err(|e| format!("--mem-hier: {e}"))?);
     }
+    if let Some(spec) = flag_value(args, "--recon-model") {
+        cfg.recon = ReconvergenceModel::parse(spec).map_err(|e| format!("--recon-model: {e}"))?;
+    }
     let mut launch = Launch::new(kernel, warps);
     launch.global_mem = vec![Value::I64(0); mem];
     launch.seed = seed;
@@ -541,10 +550,12 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
         w = w.rebind().warps(warps).done();
     }
     let opts = mode_options(args)?;
+    let mut cfg = SimConfig::default();
+    if let Some(spec) = flag_value(args, "--recon-model") {
+        cfg.recon = ReconvergenceModel::parse(spec).map_err(|e| format!("--recon-model: {e}"))?;
+    }
     let engine = Engine::new(jobs);
-    let out = engine
-        .run_sweep(&w, Some(&opts), &SimConfig::default(), lo, hi, None)
-        .map_err(|e| e.to_string())?;
+    let out = engine.run_sweep(&w, Some(&opts), &cfg, lo, hi, None).map_err(|e| e.to_string())?;
 
     println!("{} over seeds {lo}..{hi} on {} worker(s):", name, engine.jobs());
     let mut ok: Vec<eval::RunSummary> = Vec::new();
@@ -591,7 +602,7 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
         s.mean_occupancy(),
         s.peak_subcohorts
     );
-    if s.detaches > 0 {
+    if s.detaches > 0 || s.scalar_steps > 0 {
         println!(
             "  escape hatch: {} detaches, {} rejoins, {} scalar steps",
             s.detaches, s.rejoins, s.scalar_steps

@@ -158,6 +158,52 @@ fn thirty_two_clients_queue_depth_four_then_sigterm() {
 }
 
 #[test]
+fn recon_model_knob_round_trips_and_reaches_metrics() {
+    let (mut child, _stdout, addr) = spawn_server(&["--workers", "1"]);
+
+    // The knob round-trips: the canonical spec is echoed and the
+    // hardware model's counters ride along in the response body.
+    let (code, reply) = post_eval(
+        &addr,
+        r#"{"workload":"microbench","mode":"baseline","warps":1,"recon_model":"ipdom-stack"}"#,
+    );
+    assert_eq!(code, 200, "{reply}");
+    assert!(reply.contains(r#""recon_model":"ipdom-stack""#), "{reply}");
+    assert!(reply.contains(r#""stack_pushes":"#), "{reply}");
+
+    let (code, reply) = post_eval(
+        &addr,
+        r#"{"workload":"microbench","mode":"baseline","warps":1,
+            "recon_model":"warp-split:window=4,compact"}"#,
+    );
+    assert_eq!(code, 200, "{reply}");
+    assert!(reply.contains(r#""recon_model":"warp-split:window=4,compact""#), "{reply}");
+    assert!(reply.contains(r#""splits":"#), "{reply}");
+
+    // Unknown model names answer 400 with the parser's reason.
+    let (code, reply) = post_eval(&addr, r#"{"workload":"microbench","recon_model":"volta"}"#);
+    assert_eq!(code, 400, "{reply}");
+    assert!(reply.contains("recon_model"), "{reply}");
+
+    // The counters land in the Prometheus exposition.
+    let (ms, metrics) = get(&addr, "/metrics");
+    assert_eq!(ms, 200);
+    for series in ["specrecon_recon_stack_pushes_total", "specrecon_recon_splits_total"] {
+        let value: f64 = metrics
+            .lines()
+            .find(|l| l.starts_with(series))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{series} missing from /metrics"));
+        assert!(value > 0.0, "{series} stayed zero after hardware-model runs");
+    }
+
+    sigterm(&child);
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "serve exited {status:?}");
+}
+
+#[test]
 fn sigterm_mid_flight_drains_without_dropping() {
     let (mut child, mut stdout, addr) = spawn_server(&["--workers", "1"]);
 
