@@ -6,6 +6,7 @@
 //! - [`DomTree`] — dominator and post-dominator trees ([`dom`]);
 //! - [`LoopForest`] — natural loops and nesting depth ([`loops`]);
 //! - a generic union-meet bit-set dataflow solver ([`dataflow`]);
+//! - if/else diamond detection for control-flow melding ([`diamonds`]);
 //! - the paper's two barrier analyses and conflict detection
 //!   ([`barriers`]): joined-barrier analysis (Eq. 1), barrier liveness
 //!   (Eq. 2), and §4.3 conflict pairs.
@@ -31,11 +32,13 @@
 pub mod barriers;
 pub mod bitset;
 pub mod dataflow;
+pub mod diamonds;
 pub mod dom;
 pub mod loops;
 
 pub use barriers::{find_conflicts, BarrierConflict, BarrierJoined, BarrierLiveness};
 pub use bitset::BitSet;
 pub use dataflow::{solve, DataflowProblem, DataflowResult, Direction};
+pub use diamonds::{find_diamonds, Diamond};
 pub use dom::DomTree;
 pub use loops::{Loop, LoopForest};

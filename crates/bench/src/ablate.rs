@@ -10,9 +10,9 @@
 use crate::Scale;
 use simt_ir::BlockId;
 use simt_sim::{CacheConfig, MemHierarchy, ReconvergenceModel, SchedulerPolicy, SimConfig};
-use specrecon_core::{unroll_self_loop, CompileOptions, DeconflictMode};
+use specrecon_core::{unroll_self_loop, CompileOptions, DeconflictMode, RepairStrategy};
 use workloads::eval::{self, Engine};
-use workloads::{mummer, registry, rsbench, xsbench, Workload};
+use workloads::{mummer, registry, rsbench, srad, xsbench, Workload};
 
 /// One row of the deconfliction ablation.
 #[derive(Clone, Debug)]
@@ -463,6 +463,60 @@ pub fn hw_recon_with(engine: &Engine, scale: Scale) -> Vec<HwReconRow> {
     })
 }
 
+/// One row of the repair-strategy ablation: one workload under one
+/// divergence-repair strategy.
+#[derive(Clone, Debug)]
+pub struct MeldRow {
+    /// Workload name.
+    pub name: String,
+    /// Repair strategy spec (`pdom`, `sr`, `meld`, `sr+meld`).
+    pub repair: String,
+    /// Total cycles under this strategy.
+    pub cycles: u64,
+    /// Whole-kernel SIMT efficiency under this strategy.
+    pub simt_eff: f64,
+    /// Dynamic barrier operations (overhead indicator).
+    pub barrier_ops: u64,
+}
+
+/// The repair strategies the melding ablation crosses.
+pub const MELD_REPAIRS: [RepairStrategy; 4] =
+    [RepairStrategy::Pdom, RepairStrategy::Sr, RepairStrategy::Meld, RepairStrategy::SrMeld];
+
+/// Crosses every repair strategy over the two contrasting shapes:
+/// SRAD, whose unbalanced clamp/diffuse arms share an expensive update
+/// tail (melding territory — the lanes sit on *different* paths, so no
+/// reconvergence schedule de-duplicates the tail), and MUMmer, whose
+/// divergence is trip-count imbalance around common code (SR
+/// territory — there is nothing isomorphic to meld).
+pub fn meld(scale: Scale) -> Vec<MeldRow> {
+    meld_with(eval::shared(), scale)
+}
+
+/// [`meld`] on a caller-provided [`Engine`], one job per
+/// (workload, strategy) pair.
+pub fn meld_with(engine: &Engine, scale: Scale) -> Vec<MeldRow> {
+    let workloads =
+        [srad::build(&srad::Params::default()), mummer::build(&mummer::Params::default())];
+    let jobs: Vec<(Workload, RepairStrategy)> = workloads
+        .iter()
+        .map(|w| scale.apply(w))
+        .flat_map(|w| MELD_REPAIRS.map(|r| (w.clone(), r)))
+        .collect();
+    engine.par_map(&jobs, |(w, repair)| {
+        let (summary, _) = engine
+            .run_repair(w, *repair, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} under {repair} failed: {e}", w.name));
+        MeldRow {
+            name: w.name.to_string(),
+            repair: repair.to_string(),
+            cycles: summary.cycles,
+            simt_eff: summary.simt_eff,
+            barrier_ops: summary.barrier_ops,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +554,27 @@ mod tests {
                 assert!((0.0..=1.0).contains(&r.pdom_eff), "{r:?}");
             }
         }
+    }
+
+    #[test]
+    fn meld_ablation_covers_the_matrix_and_wins_on_srad() {
+        let rows = meld(Scale::Quick);
+        assert_eq!(rows.len(), 2 * MELD_REPAIRS.len(), "one row per (workload, strategy)");
+        let eff = |name: &str, repair: &str| {
+            rows.iter()
+                .find(|r| r.name == name && r.repair == repair)
+                .unwrap_or_else(|| panic!("missing row {name}/{repair}: {rows:?}"))
+                .simt_eff
+        };
+        for r in &rows {
+            assert!(r.cycles > 0 && (0.0..=1.0).contains(&r.simt_eff), "{r:?}");
+        }
+        // The headline contrast: melding beats both PDOM and SR on the
+        // shared-tail shape, while SR keeps its win on trip-count
+        // imbalance where there is nothing to meld.
+        assert!(eff("srad", "meld") > eff("srad", "pdom"), "{rows:?}");
+        assert!(eff("srad", "meld") > eff("srad", "sr"), "{rows:?}");
+        assert!(eff("mummer", "sr") > eff("mummer", "pdom"), "{rows:?}");
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn main() {
             "ablate-cache" => timed(t, || emit_ablate_cache(&opts, e)),
             "ablate-mem" => timed(t, || emit_ablate_mem(&opts, e)),
             "ablate-hw" => timed(t, || emit_ablate_hw(&opts, e)),
+            "ablate-meld" => timed(t, || emit_ablate_meld(&opts, e)),
             "ablate-threshold" => timed(t, || emit_ablate_threshold(&opts, e)),
             "all" => {
                 timed("table2", || emit_table2(&opts));
@@ -95,11 +96,12 @@ fn main() {
                 timed("ablate-cache", || emit_ablate_cache(&opts, e));
                 timed("ablate-mem", || emit_ablate_mem(&opts, e));
                 timed("ablate-hw", || emit_ablate_hw(&opts, e));
+                timed("ablate-meld", || emit_ablate_meld(&opts, e));
                 timed("ablate-threshold", || emit_ablate_threshold(&opts, e));
             }
             other => {
                 eprintln!("unknown target `{other}`");
-                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-mem ablate-hw ablate-threshold all");
+                eprintln!("targets: table2 fig7 fig8 fig9 fig10 funnel ablate-deconflict ablate-unroll ablate-sched ablate-sync ablate-width ablate-cache ablate-mem ablate-hw ablate-meld ablate-threshold all");
                 std::process::exit(2);
             }
         }
@@ -418,6 +420,23 @@ fn emit_ablate_hw(opts: &Opts, engine: &Engine) {
     ];
     println!("{}", markdown_table(&headers, &rows));
     save_csv(opts, "ablate_hw", &headers, &rows);
+}
+
+fn emit_ablate_meld(opts: &Opts, engine: &Engine) {
+    println!("\n## Ablation — divergence-repair strategies (control-flow melding)\n");
+    println!(
+        "(SRAD's clamp/diffuse arms share an expensive update tail — melding \
+         territory; MUMmer's divergence is trip-count imbalance — SR territory)\n"
+    );
+    let rows: Vec<Vec<String>> = ablate::meld_with(engine, opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![r.name, r.repair, r.cycles.to_string(), pct(r.simt_eff), r.barrier_ops.to_string()]
+        })
+        .collect();
+    let headers = ["workload", "repair", "cycles", "SIMT efficiency", "barrier ops"];
+    println!("{}", markdown_table(&headers, &rows));
+    save_csv(opts, "ablate_meld", &headers, &rows);
 }
 
 fn emit_ablate_threshold(opts: &Opts, engine: &Engine) {

@@ -7,13 +7,20 @@
 //! ```text
 //! perfgate [--old PATH] [--new PATH] [--threshold FRACTION]
 //! perfgate --check-format [PATH ...]
+//! perfgate --chain [PATH ...]
 //! ```
 //!
 //! `--check-format` only validates that the snapshots parse against the
 //! current schema — the CI smoke job runs it so the format cannot rot.
+//!
+//! `--chain` format-validates every given snapshot, sorts them by their
+//! `BENCH_<n>` index, and gates each adjacent pair in sequence — the
+//! whole snapshot history in one step. Both modes treat empty input as
+//! an error: a shell glob that matched nothing must fail the step, not
+//! skip it.
 
 use specrecon_bench::perf;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn load(path: &PathBuf) -> Result<perf::Snapshot, String> {
@@ -22,17 +29,46 @@ fn load(path: &PathBuf) -> Result<perf::Snapshot, String> {
     perf::Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn check_format(paths: Vec<PathBuf>) -> ExitCode {
-    let paths = if paths.is_empty() {
+/// Rejects paths that are unexpanded shell globs: a pattern that
+/// reaches us verbatim means the glob matched zero files, and treating
+/// it as a filename would either error confusingly or, with nullglob,
+/// never arrive at all — so make the situation loud.
+fn reject_unexpanded_globs(paths: &[PathBuf]) -> Result<(), String> {
+    for p in paths {
+        let s = p.to_string_lossy();
+        if (s.contains('*') || s.contains('?') || s.contains('[')) && !p.exists() {
+            return Err(format!(
+                "glob pattern {s:?} matched no files (shell passed it through unexpanded)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the snapshot list for `--check-format`/`--chain`: explicit
+/// paths when given (globs that matched nothing are an error), else
+/// every `BENCH_<n>.json` in the current directory. Empty input is an
+/// explicit error in both modes.
+fn resolve_snapshots(paths: Vec<PathBuf>) -> Result<Vec<PathBuf>, String> {
+    if paths.is_empty() {
         let found: Vec<PathBuf> =
             perf::snapshot_files(std::path::Path::new(".")).into_iter().map(|(_, p)| p).collect();
         if found.is_empty() {
-            eprintln!("perfgate: no BENCH_<n>.json snapshots found in the current directory");
+            return Err("no BENCH_<n>.json snapshots found in the current directory".into());
+        }
+        return Ok(found);
+    }
+    reject_unexpanded_globs(&paths)?;
+    Ok(paths)
+}
+
+fn check_format(paths: Vec<PathBuf>) -> ExitCode {
+    let paths = match resolve_snapshots(paths) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
             return ExitCode::FAILURE;
         }
-        found
-    } else {
-        paths
     };
     let mut ok = true;
     for p in &paths {
@@ -53,11 +89,102 @@ fn check_format(paths: Vec<PathBuf>) -> ExitCode {
     }
 }
 
+/// Prints one old→new comparison and returns whether it passed.
+fn gate_pair(
+    old_path: &Path,
+    old_snap: &perf::Snapshot,
+    new_path: &Path,
+    new_snap: &perf::Snapshot,
+    threshold: f64,
+) -> bool {
+    println!(
+        "perfgate: {} ({:?}) -> {} ({:?}), threshold {:.0}%",
+        old_path.display(),
+        old_snap.label,
+        new_path.display(),
+        new_snap.label,
+        threshold * 100.0
+    );
+    let report = perf::gate(old_snap, new_snap, threshold);
+    println!("{:<12} {:>14} {:>14} {:>9}", "workload", "old c/s", "new c/s", "ratio");
+    for l in &report.lines {
+        println!(
+            "{:<12} {:>14.3e} {:>14.3e} {:>8.2}x{}",
+            l.name,
+            l.old,
+            l.new,
+            l.ratio,
+            if l.regressed { "  REGRESSED" } else { "" }
+        );
+    }
+    for name in &report.unmatched {
+        println!("{name:<12} (only in one snapshot, not gated)");
+    }
+    println!("geomean ratio: {:.2}x", report.geomean_ratio);
+    report.passed()
+}
+
+/// `--chain`: validate every snapshot, then gate each adjacent pair.
+fn chain(paths: Vec<PathBuf>, threshold: f64) -> ExitCode {
+    let mut paths = match resolve_snapshots(paths) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Adjacency is by snapshot index, not shell sort order (where
+    // BENCH_10 would land between BENCH_1 and BENCH_2).
+    let index = |p: &PathBuf| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse::<u64>().ok())
+    };
+    if paths.iter().all(|p| index(p).is_some()) {
+        paths.sort_by_key(|p| index(p).expect("all indices parse"));
+    }
+    if paths.len() < 2 {
+        eprintln!("perfgate: --chain needs at least two snapshots to gate (got {})", paths.len());
+        return ExitCode::FAILURE;
+    }
+    let mut snaps = Vec::with_capacity(paths.len());
+    for p in &paths {
+        match load(p) {
+            Ok(s) => {
+                println!(
+                    "{}: ok ({} workloads, label {:?})",
+                    p.display(),
+                    s.results.len(),
+                    s.label
+                );
+                snaps.push(s);
+            }
+            Err(e) => {
+                eprintln!("perfgate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut ok = true;
+    for i in 1..snaps.len() {
+        println!();
+        ok &= gate_pair(&paths[i - 1], &snaps[i - 1], &paths[i], &snaps[i], threshold);
+    }
+    if ok {
+        println!("perfgate: PASS ({} snapshots, {} gates)", snaps.len(), snaps.len() - 1);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: FAIL — throughput regressed beyond {:.0}%", threshold * 100.0);
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut old: Option<PathBuf> = None;
     let mut new: Option<PathBuf> = None;
     let mut threshold = perf::DEFAULT_THRESHOLD;
     let mut format_only = false;
+    let mut chain_mode = false;
     let mut positional: Vec<PathBuf> = Vec::new();
 
     let mut it = std::env::args().skip(1);
@@ -73,12 +200,15 @@ fn main() -> ExitCode {
                         .map_err(|e| format!("bad --threshold: {e}"))?;
                 }
                 "--check-format" => format_only = true,
+                "--chain" => chain_mode = true,
                 "--help" | "-h" => {
                     println!(
                         "perfgate [--old PATH] [--new PATH] [--threshold FRACTION]\n\
                          perfgate --check-format [PATH ...]\n\
+                         perfgate --chain [PATH ...]\n\
                          Compares the two most recent BENCH_<n>.json snapshots and fails\n\
-                         when any workload regressed beyond the threshold (default 10%)."
+                         when any workload regressed beyond the threshold (default 10%).\n\
+                         --chain validates every snapshot and gates each adjacent pair."
                     );
                     std::process::exit(0);
                 }
@@ -97,6 +227,9 @@ fn main() -> ExitCode {
 
     if format_only {
         return check_format(positional);
+    }
+    if chain_mode {
+        return chain(positional, threshold);
     }
 
     let (old_path, new_path) = match (old, new) {
@@ -132,31 +265,7 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "perfgate: {} ({:?}) -> {} ({:?}), threshold {:.0}%",
-        old_path.display(),
-        old_snap.label,
-        new_path.display(),
-        new_snap.label,
-        threshold * 100.0
-    );
-    let report = perf::gate(&old_snap, &new_snap, threshold);
-    println!("{:<12} {:>14} {:>14} {:>9}", "workload", "old c/s", "new c/s", "ratio");
-    for l in &report.lines {
-        println!(
-            "{:<12} {:>14.3e} {:>14.3e} {:>8.2}x{}",
-            l.name,
-            l.old,
-            l.new,
-            l.ratio,
-            if l.regressed { "  REGRESSED" } else { "" }
-        );
-    }
-    for name in &report.unmatched {
-        println!("{name:<12} (only in one snapshot, not gated)");
-    }
-    println!("geomean ratio: {:.2}x", report.geomean_ratio);
-    if report.passed() {
+    if gate_pair(&old_path, &old_snap, &new_path, &new_snap, threshold) {
         println!("perfgate: PASS");
         ExitCode::SUCCESS
     } else {

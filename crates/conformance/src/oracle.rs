@@ -30,6 +30,12 @@
 //! combination must land on the same final memory. Generated programs
 //! only place `syncthreads` in uniform top-level control, so the
 //! pre-Volta models cannot legitimately deadlock — any hang is a bug.
+//!
+//! And a fifth axis: the compiler-side **repair strategy**
+//! ([`repairs`]). Setting `CONFORMANCE_REPAIRS=all` appends a variant
+//! per melding-bearing [`RepairStrategy`] (`meld`, `sr+meld`, `auto`)
+//! to the list, so control-flow melding is triangulated against the
+//! same baseline across every policy, seed, and hardware model.
 
 use crate::build::{build_module, mem_cells};
 use crate::program::ProgramSpec;
@@ -37,6 +43,7 @@ use simt_ir::{Module, Value};
 use simt_sim::{run, Launch, ReconvergenceModel, SchedulerPolicy, SimConfig};
 use specrecon_core::{
     compile, lint_errors, CompileOptions, Compiled, DeconflictMode, DetectOptions, PassError,
+    RepairStrategy,
 };
 
 /// Every scheduler policy the simulator offers.
@@ -75,6 +82,37 @@ pub fn recon_models() -> Vec<ReconvergenceModel> {
             .map(|spec| {
                 ReconvergenceModel::parse(spec).unwrap_or_else(|e| {
                     panic!("CONFORMANCE_RECON_MODELS: bad model spec {spec:?}: {e}")
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Repair strategies appended to the variant matrix, from the
+/// `CONFORMANCE_REPAIRS` environment variable:
+///
+/// - unset, empty, or `default` — none: the historical variant list
+///   (PDOM baseline, the SR variants, autodetect) runs unchanged;
+/// - `all` — every melding-bearing strategy: `meld`, `sr+meld`, and
+///   `auto` (the baseline and plain-SR strategies are already covered
+///   by the historical variants);
+/// - anything else — whitespace-separated strategy names in
+///   [`RepairStrategy::parse`] syntax (`pdom` and `sr` are accepted
+///   and simply re-check the historical cells).
+///
+/// A malformed name panics: a silently ignored repair list would let
+/// CI believe it ran a matrix it did not.
+pub fn repairs() -> Vec<RepairStrategy> {
+    let var = std::env::var("CONFORMANCE_REPAIRS").unwrap_or_default();
+    let var = var.trim();
+    match var {
+        "" | "default" => vec![],
+        "all" => vec![RepairStrategy::Meld, RepairStrategy::SrMeld, RepairStrategy::Auto],
+        list => list
+            .split_whitespace()
+            .map(|name| {
+                RepairStrategy::parse(name).unwrap_or_else(|e| {
+                    panic!("CONFORMANCE_REPAIRS: bad strategy name {name:?}: {e}")
                 })
             })
             .collect(),
@@ -199,6 +237,17 @@ fn variants(spec: &ProgramSpec, module: &Module) -> Vec<(String, Module, Compile
         strip_predictions(module),
         with_warp_width(CompileOptions::automatic(DetectOptions::default()), spec),
     ));
+
+    for r in repairs() {
+        // Auto synthesizes its own predictions, so hand it the bare
+        // module; the fixed strategies keep the spec's annotations
+        // (melding ignores them, sr+meld consumes them).
+        let source = match r {
+            RepairStrategy::Auto => strip_predictions(module),
+            _ => module.clone(),
+        };
+        out.push((format!("repair-{r}"), source, with_warp_width(r.options(), spec)));
+    }
     out
 }
 

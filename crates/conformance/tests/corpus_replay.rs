@@ -32,6 +32,30 @@ fn interproc_corpus_case_actually_runs_the_interproc_variant() {
 }
 
 #[test]
+fn repair_variants_pass_the_oracle_when_enabled() {
+    // Env mutation is process-global: any concurrently running check()
+    // simply gains the melding variants, which must pass regardless.
+    std::env::set_var("CONFORMANCE_REPAIRS", "meld sr+meld");
+    let outcome = (|| {
+        for (name, spec) in corpus().into_iter().take(4) {
+            let report = check(&spec).map_err(|v| format!("corpus case {name:?}:\n{v}"))?;
+            for repair in ["repair-meld", "repair-sr+meld"] {
+                if !report.variants_run.iter().any(|v| v == repair) {
+                    return Err(format!(
+                        "corpus case {name:?} never ran the {repair} variant: {report:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    })();
+    std::env::remove_var("CONFORMANCE_REPAIRS");
+    if let Err(msg) = outcome {
+        panic!("{msg}");
+    }
+}
+
+#[test]
 fn regression_file_cases_replay_clean() {
     let cases = regressions::cases().expect("regression corpus must parse");
     assert!(!cases.is_empty());

@@ -12,6 +12,8 @@
 //!   and PDOM barriers;
 //! - [`interproc`] — §4.4 reconvergence at function entries;
 //! - [`autodetect`] — §4.5 pattern detection and cost heuristics;
+//! - [`mod@meld`] — DARM-style control-flow melding of divergent if/else
+//!   arms, the complementary repair for shapes SR cannot help;
 //! - [`mod@coarsen`] — thread coarsening into persistent-thread task loops
 //!   (Figure 3's preparation step);
 //! - [`barrier_alloc`] — barrier register allocation (recycling the 16
@@ -42,6 +44,7 @@ pub mod deconflict;
 pub mod error;
 pub mod interproc;
 pub mod lint;
+pub mod meld;
 pub mod pdom;
 pub mod pipeline;
 pub mod region;
@@ -60,8 +63,14 @@ pub use deconflict::{deconflict, deconflict_with_calls, DeconflictMode, Deconfli
 pub use error::PassError;
 pub use interproc::{apply_interprocedural, make_wrapper, InterprocReport};
 pub use lint::{lint_compiled, lint_errors, lint_module, LintFinding, LintRule, LintSeverity};
+pub use meld::{
+    apply_melds, apply_melds_profiled, detect_melds, MeldCandidate, MeldOptions, MeldReport,
+    MeldedRegion,
+};
 pub use pdom::{insert_pdom_sync, PdomOptions, PdomReport};
-pub use pipeline::{compile, compile_profile_guided, CompileOptions, Compiled, FunctionReport};
+pub use pipeline::{
+    compile, compile_profile_guided, CompileOptions, Compiled, FunctionReport, RepairStrategy,
+};
 pub use region::{compute_region, Region};
 pub use specrecon::{apply_speculative, SpecReport};
 pub use unroll::{unroll_self_loop, UnrollError};

@@ -20,6 +20,13 @@
 //!   re-arms a barrier that was never released.
 //! - **`UnresolvedConflict`** — deconfliction left no crossing
 //!   (non-nested) barrier pairs behind, per §4.3's conflict criterion.
+//! - **`ConvergenceOpInMeld`** — no convergence-sensitive instruction
+//!   ([`Inst::convergence_sensitive`]: votes, `syncthreads`, calls,
+//!   atomics) sits inside a melded (`meld_*`-labelled) block, where it
+//!   would execute under merged per-arm predicates with a convergence
+//!   state the original program never had. Barrier *ops* are exempt —
+//!   the reconvergence passes run after melding and place their
+//!   join/wait protocol at the melded block by design.
 //!
 //! The analyses are *module-aware*: interprocedural SR (§4.4) joins in
 //! the caller and waits at the callee entry, so barrier state is
@@ -57,6 +64,9 @@ pub enum LintRule {
     RejoinWhileJoined,
     /// A crossing (non-nested) barrier pair survived deconfliction.
     UnresolvedConflict,
+    /// A convergence-sensitive instruction inside a melded (`meld_*`)
+    /// block.
+    ConvergenceOpInMeld,
 }
 
 impl fmt::Display for LintRule {
@@ -65,6 +75,7 @@ impl fmt::Display for LintRule {
             LintRule::WaitNeverJoined => write!(f, "wait-never-joined"),
             LintRule::RejoinWhileJoined => write!(f, "rejoin-while-joined"),
             LintRule::UnresolvedConflict => write!(f, "unresolved-conflict"),
+            LintRule::ConvergenceOpInMeld => write!(f, "convergence-op-in-meld"),
         }
     }
 }
@@ -401,7 +412,26 @@ fn lint_with_spec(
             }
             let mut s_est = est.entry[bid].clone();
             let mut s_unj = unj.entry[bid].clone();
+            let in_meld = block.label.as_deref().is_some_and(|l| l.starts_with("meld_"));
             for (i, inst) in block.insts.iter().enumerate() {
+                // Convergence *barrier* ops are exempt: the reconvergence
+                // passes run after melding and legitimately anchor their
+                // join/wait protocol at the melded block (it is the
+                // divergent branch's ipdom). Everything else
+                // convergence-sensitive was illegally melded.
+                if in_meld && inst.convergence_sensitive() && !matches!(inst, Inst::Barrier(_)) {
+                    findings.push(LintFinding {
+                        severity: LintSeverity::Error,
+                        rule: LintRule::ConvergenceOpInMeld,
+                        function: func.name.clone(),
+                        block: bid,
+                        inst: Some(i),
+                        barrier: None,
+                        message: "convergence-sensitive instruction inside a melded block \
+                                  executes under merged per-arm predicates"
+                            .to_string(),
+                    });
+                }
                 match inst {
                     Inst::Barrier(BarrierOp::Wait(b)) if !s_est.contains(b.index()) => {
                         findings.push(LintFinding {

@@ -15,6 +15,7 @@ use crate::barrier_alloc::{allocate_barriers_module, BarrierAllocReport};
 use crate::deconflict::{deconflict_with_calls, DeconflictMode, DeconflictReport};
 use crate::error::PassError;
 use crate::interproc::{apply_interprocedural, InterprocReport};
+use crate::meld::{apply_melds, MeldOptions, MeldReport};
 use crate::pdom::{insert_pdom_sync, PdomOptions, PdomReport};
 use crate::specrecon::{apply_speculative, SpecReport};
 use simt_analysis::find_conflicts;
@@ -31,6 +32,11 @@ pub struct CompileOptions {
     pub speculative: bool,
     /// Run §4.5 automatic detection before the speculative pass.
     pub auto_detect: Option<DetectOptions>,
+    /// Run control-flow melding ([`crate::meld`]) before the
+    /// reconvergence passes, de-duplicating alignable work in divergent
+    /// if/else arms. Off by default; composes with PDOM and SR, which
+    /// repair the residual divergence.
+    pub meld: Option<MeldOptions>,
     /// Deconfliction strategy.
     pub deconflict: DeconflictMode,
     /// Warp width, needed by the soft-barrier lowering.
@@ -69,6 +75,7 @@ impl Default for CompileOptions {
             pdom_options: PdomOptions::default(),
             speculative: true,
             auto_detect: None,
+            meld: None,
             deconflict: DeconflictMode::Dynamic,
             warp_width: 32,
             spec_deconflict: false,
@@ -98,6 +105,94 @@ impl CompileOptions {
     }
 }
 
+/// The divergence-repair axis: which repair (or composition of repairs)
+/// the pipeline applies to divergent control flow.
+///
+/// Parsed from `--repair` on the CLI, the `repair` knob of `/v1/eval`,
+/// and `CONFORMANCE_REPAIRS` in the conformance harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RepairStrategy {
+    /// Baseline PDOM reconvergence only.
+    Pdom,
+    /// Speculative reconvergence (the paper's evaluated configuration).
+    Sr,
+    /// Control-flow melding over PDOM, with SR disabled.
+    Meld,
+    /// Melding first, then speculative reconvergence on the residual
+    /// divergence.
+    SrMeld,
+    /// Per-site cost models pick the repairs: melding is score-gated per
+    /// diamond, then §4.5 detection synthesizes SR predictions on the
+    /// residual CFG.
+    Auto,
+}
+
+impl RepairStrategy {
+    /// Every strategy, in the order the evaluation tables report them.
+    pub const ALL: [RepairStrategy; 5] = [
+        RepairStrategy::Pdom,
+        RepairStrategy::Sr,
+        RepairStrategy::Meld,
+        RepairStrategy::SrMeld,
+        RepairStrategy::Auto,
+    ];
+
+    /// Parses a spec string: `pdom | sr | meld | sr+meld | auto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pdom" => Ok(RepairStrategy::Pdom),
+            "sr" => Ok(RepairStrategy::Sr),
+            "meld" => Ok(RepairStrategy::Meld),
+            "sr+meld" => Ok(RepairStrategy::SrMeld),
+            "auto" => Ok(RepairStrategy::Auto),
+            other => Err(format!(
+                "unknown repair strategy `{other}` (expected pdom | sr | meld | sr+meld | auto)"
+            )),
+        }
+    }
+
+    /// The canonical spec string ([`RepairStrategy::parse`] inverse).
+    pub fn spec(self) -> &'static str {
+        match self {
+            RepairStrategy::Pdom => "pdom",
+            RepairStrategy::Sr => "sr",
+            RepairStrategy::Meld => "meld",
+            RepairStrategy::SrMeld => "sr+meld",
+            RepairStrategy::Auto => "auto",
+        }
+    }
+
+    /// The pipeline configuration implementing this strategy.
+    pub fn options(self) -> CompileOptions {
+        match self {
+            RepairStrategy::Pdom => CompileOptions::baseline(),
+            RepairStrategy::Sr => CompileOptions::speculative(),
+            RepairStrategy::Meld => {
+                CompileOptions { meld: Some(MeldOptions::default()), ..CompileOptions::baseline() }
+            }
+            RepairStrategy::SrMeld => CompileOptions {
+                meld: Some(MeldOptions::default()),
+                ..CompileOptions::speculative()
+            },
+            RepairStrategy::Auto => CompileOptions {
+                meld: Some(MeldOptions::default()),
+                auto_detect: Some(DetectOptions::default()),
+                ..CompileOptions::default()
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec())
+    }
+}
+
 /// Everything the pipeline did, per function.
 #[derive(Clone, Debug, Default)]
 pub struct FunctionReport {
@@ -111,6 +206,8 @@ pub struct FunctionReport {
     pub deconflict: DeconflictReport,
     /// Candidates applied by automatic detection.
     pub auto_applied: Vec<Candidate>,
+    /// Control-flow melding report.
+    pub meld: MeldReport,
 }
 
 /// Pipeline output: the transformed module plus per-function reports.
@@ -156,6 +253,15 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<Compiled, PassE
         let orig_barriers = m.functions[id].num_barriers;
         let preseeded = orig_barriers.max(next_barrier);
         m.functions[id].num_barriers = preseeded;
+
+        if let Some(meld_opts) = &opts.meld {
+            // Melding runs before every reconvergence pass: the PDOM pass
+            // then reconverges at the melded block (the branch's ipdom)
+            // and SR detection sees only the residual divergence.
+            if m.functions[id].kind == FuncKind::Kernel {
+                report.meld = apply_melds(&mut m.functions[id], meld_opts);
+            }
+        }
 
         if let Some(detect_opts) = &opts.auto_detect {
             // Automatic detection defers to the user: functions that
@@ -309,8 +415,10 @@ pub fn compile_profile_guided(
     cfg: &simt_sim::SimConfig,
     launch: &simt_sim::Launch,
 ) -> Result<Compiled, PassError> {
-    // Profiling run on the baseline compilation.
-    let baseline = compile(module, &CompileOptions { speculative: false, ..opts.clone() })?;
+    // Profiling run on the baseline compilation (no melding either: the
+    // profile must attribute lost lanes to the *original* diamond arms).
+    let baseline =
+        compile(module, &CompileOptions { speculative: false, meld: None, ..opts.clone() })?;
     let prof_cfg = simt_sim::SimConfig { profile: true, ..cfg.clone() };
     let out = simt_sim::run(&baseline.module, &prof_cfg, launch)
         .map_err(|e| PassError::Module(format!("profiling run failed: {e}")))?;
@@ -326,10 +434,19 @@ pub fn compile_profile_guided(
     for id in ids {
         let f = &mut annotated.functions[id];
         if f.kind == FuncKind::Kernel && f.predictions.is_empty() {
+            if let Some(meld_opts) = &opts.meld {
+                crate::meld::apply_melds_profiled(
+                    f,
+                    id,
+                    &profile,
+                    opts.warp_width as usize,
+                    meld_opts,
+                );
+            }
             crate::autodetect::auto_annotate_profiled(f, id, &profile, detect_opts);
         }
     }
-    compile(&annotated, &CompileOptions { auto_detect: None, ..opts.clone() })
+    compile(&annotated, &CompileOptions { auto_detect: None, meld: None, ..opts.clone() })
 }
 
 #[cfg(test)]

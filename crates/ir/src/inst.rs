@@ -533,6 +533,27 @@ impl Inst {
     pub fn is_barrier(&self) -> bool {
         matches!(self, Inst::Barrier(_))
     }
+
+    /// Whether this instruction's result or side effect depends on the
+    /// warp's convergence state or on cross-lane execution order.
+    ///
+    /// Such instructions must never be moved into a melded (guarded)
+    /// region: a [`Inst::Vote`] reads the converged-group mask, a
+    /// [`Inst::SyncThreads`] / [`Inst::Barrier`] participates in the
+    /// barrier protocol, and a [`Inst::Call`] or [`Inst::AtomicAdd`] has
+    /// observable ordering the mask-predication would reshuffle. The
+    /// melding pass refuses to align them, and the lint rejects modules
+    /// where one ended up inside a `meld_*` block anyway.
+    pub fn convergence_sensitive(&self) -> bool {
+        matches!(
+            self,
+            Inst::Vote { .. }
+                | Inst::SyncThreads
+                | Inst::Barrier(_)
+                | Inst::Call { .. }
+                | Inst::AtomicAdd { .. }
+        )
+    }
 }
 
 /// Block terminators.

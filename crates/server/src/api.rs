@@ -8,6 +8,8 @@
 //! {
 //!   "workload": "rsbench",            // or "kernel": "kernel @k(...) { ... }"
 //!   "mode": "speculative",            // baseline | speculative | auto
+//!   "repair": "sr+meld",              // pdom | sr | meld | sr+meld | auto
+//!                                     // (overrides `mode` when given)
 //!   "policy": "greedy",               // greedy | minpc | maxpc | mostthreads | roundrobin
 //!   "deconflict": "dynamic",          // dynamic | static
 //!   "barrier_alloc": false,           // run barrier register allocation
@@ -50,6 +52,12 @@
 //! `"recon"` object with the stack/split counters summed over the
 //! request's runs (also exported as `specrecon_recon_*` counters on
 //! `GET /metrics`). Unknown model names answer 400.
+//!
+//! `"repair"` selects a divergence-repair strategy by name (same axis
+//! as the CLI's `--repair`, parsed by
+//! [`specrecon_core::RepairStrategy::parse`]), replacing the compile
+//! options `"mode"` would have chosen; the canonical spec is echoed
+//! back as `"repair"`. Unknown strategies answer 400.
 
 use crate::json::Json;
 use simt_ir::{parse_and_link, verify_module, FuncKind, Value};
@@ -57,9 +65,9 @@ use simt_sim::{
     run_image_with, CancelToken, Launch, MemHierarchy, MemStats, ReconStats, ReconvergenceModel,
     SchedulerPolicy, SimConfig, SimError,
 };
-use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions};
+use specrecon_core::{CompileOptions, DeconflictMode, DetectOptions, RepairStrategy};
 use workloads::eval::{Engine, EvalError};
-use workloads::{microbench, registry, seedstorm};
+use workloads::{microbench, registry, seedstorm, srad};
 
 /// Sanity bound on seeds per request (count or range form). The sweep
 /// engine chunks arbitrary ranges across the worker pool, so this is a
@@ -98,6 +106,8 @@ pub struct EvalRequest {
     pub mode: String,
     /// Policy string echoed in the response.
     pub policy: String,
+    /// Repair strategy, when the request pinned one (echoed back).
+    pub repair: Option<RepairStrategy>,
     /// Number of launches (seeds `seed..seed+n`).
     pub seeds: u64,
     /// When set, run the half-open seed range `[lo, hi)` as one lockstep
@@ -146,6 +156,13 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
             )))
         }
     };
+    let mut repair = None;
+    if let Some(spec) = field_str("repair")? {
+        let r = RepairStrategy::parse(spec)
+            .map_err(|e| ApiError::bad_request(format!("bad `repair`: {e}")))?;
+        opts = r.options();
+        repair = Some(r);
+    }
     match field_str("deconflict")? {
         None => {}
         Some("dynamic") => opts.deconflict = DeconflictMode::Dynamic,
@@ -280,7 +297,19 @@ pub fn parse_request(body: &[u8]) -> Result<EvalRequest, ApiError> {
         }
     }
 
-    Ok(EvalRequest { name, module, launch, opts, cfg, mode, policy, seeds, sweep, deadline_ms })
+    Ok(EvalRequest {
+        name,
+        module,
+        launch,
+        opts,
+        cfg,
+        mode,
+        policy,
+        repair,
+        seeds,
+        sweep,
+        deadline_ms,
+    })
 }
 
 /// The workload names `/v1/eval` accepts.
@@ -288,6 +317,7 @@ pub fn known_workloads() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = registry().iter().map(|w| w.name).collect();
     names.push("microbench");
     names.push("seed-storm");
+    names.push("srad");
     names
 }
 
@@ -297,6 +327,9 @@ fn lookup_workload(name: &str) -> Option<workloads::Workload> {
     }
     if name == "seed-storm" {
         return Some(seedstorm::build(&seedstorm::Params::default()));
+    }
+    if name == "srad" {
+        return Some(srad::build(&srad::Params::default()));
     }
     registry().into_iter().find(|w| w.name == name)
 }
@@ -415,6 +448,11 @@ pub fn execute(
         ("policy".into(), Json::str(req.policy.clone())),
         ("recon_model".into(), Json::str(req.cfg.recon.spec())),
         ("warps".into(), Json::u64(req.launch.num_warps as u64)),
+    ];
+    if let Some(r) = req.repair {
+        body.insert(3, ("repair".into(), Json::str(r.spec())));
+    }
+    body.extend(vec![
         ("runs".into(), Json::Arr(runs)),
         ("aggregate".into(), aggregate),
         (
@@ -425,7 +463,7 @@ pub fn execute(
                 ("hit_rate".into(), Json::num(cache.hit_rate())),
             ]),
         ),
-    ];
+    ]);
     if !mem.is_zero() {
         let mut fields = Vec::with_capacity(4);
         for (i, l) in mem.levels.iter().enumerate() {
@@ -528,6 +566,7 @@ mod tests {
             (br#"{}"#, "missing `workload`"),
             (br#"{"workload":"nope"}"#, "unknown workload"),
             (br#"{"workload":"rsbench","mode":"turbo"}"#, "unknown mode"),
+            (br#"{"workload":"rsbench","repair":"duplicate"}"#, "`repair`"),
             (br#"{"workload":"rsbench","policy":"fifo"}"#, "unknown policy"),
             (br#"{"workload":"rsbench","warps":0}"#, "`warps`"),
             (br#"{"workload":"rsbench","kernel":"x"}"#, "not both"),
@@ -712,6 +751,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_repair_knob_and_echoes_it() {
+        // Each strategy parses and replaces the mode's compile options.
+        let req = parse_request(br#"{"workload":"srad","repair":"sr+meld"}"#).unwrap();
+        assert_eq!(req.repair, Some(RepairStrategy::SrMeld));
+        assert!(req.opts.speculative && req.opts.meld.is_some());
+        let req =
+            parse_request(br#"{"workload":"srad","mode":"speculative","repair":"pdom"}"#).unwrap();
+        assert_eq!(req.repair, Some(RepairStrategy::Pdom));
+        assert!(!req.opts.speculative, "`repair` overrides `mode`");
+        // Omitted: the mode's options stand and no echo is added.
+        let req = parse_request(br#"{"workload":"srad"}"#).unwrap();
+        assert_eq!(req.repair, None);
+
+        let engine = Engine::new(1);
+        let req = parse_request(br#"{"workload":"srad","repair":"meld","warps":1}"#).unwrap();
+        let token = CancelToken::new();
+        let out = execute(&engine, &req, &token, None).unwrap();
+        assert_eq!(out.get("repair").unwrap().as_str(), Some("meld"));
+        let no_knob = parse_request(br#"{"workload":"srad","warps":1}"#).unwrap();
+        let out = execute(&engine, &no_knob, &token, None).unwrap();
+        assert!(out.get("repair").is_none());
+        Json::parse(&out.render()).unwrap();
+    }
+
+    #[test]
     fn cancelled_execution_maps_to_504() {
         let engine = Engine::new(1);
         let req = parse_request(br#"{"workload":"microbench","warps":1}"#).unwrap();
@@ -727,6 +791,7 @@ mod tests {
         assert!(names.contains(&"rsbench"));
         assert!(names.contains(&"microbench"));
         assert!(names.contains(&"seed-storm"));
-        assert_eq!(names.len(), 11);
+        assert!(names.contains(&"srad"));
+        assert_eq!(names.len(), 12);
     }
 }

@@ -16,7 +16,7 @@ use simt_sim::{
     run_image, run_image_with, run_sweep_image, CancelToken, DecodedImage, Launch, Metrics,
     SimConfig, SimError, SimOutput, SweepLaunch, SweepOutput, SweepStats,
 };
-use specrecon_core::{compile, CompileOptions, PassError};
+use specrecon_core::{compile, CompileOptions, PassError, RepairStrategy};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -384,6 +384,20 @@ impl Engine {
     ) -> Result<(RunSummary, Vec<simt_ir::Value>), EvalError> {
         let out = self.run_full(w, opts, cfg)?;
         Ok(((&out.metrics).into(), out.global_mem))
+    }
+
+    /// Compiles the workload under the given divergence-repair strategy
+    /// and runs it — the `--repair` axis entry shared by the CLI, the
+    /// eval service, and the figures harness. Each strategy maps to a
+    /// distinct [`CompileOptions`], so every repair gets its own
+    /// compiled-image cache entry.
+    pub fn run_repair(
+        &self,
+        w: &Workload,
+        repair: RepairStrategy,
+        cfg: &SimConfig,
+    ) -> Result<(RunSummary, Vec<simt_ir::Value>), EvalError> {
+        self.run_config(w, &repair.options(), cfg)
     }
 
     /// Baseline-vs-speculative comparison (see the free [`compare`]).
@@ -991,6 +1005,19 @@ mod tests {
         let without = engine.run_full(&w, &opts, &cfg).unwrap();
         assert_eq!(with_token.metrics, without.metrics);
         assert_eq!(with_token.global_mem, without.global_mem);
+    }
+
+    #[test]
+    fn run_repair_matches_explicit_options() {
+        let engine = Engine::new(1);
+        let w = with_warps(&rsbench::build(&rsbench::Params::default()), 1);
+        let cfg = SimConfig::default();
+        for r in RepairStrategy::ALL {
+            let (via_repair, mem_r) = engine.run_repair(&w, r, &cfg).unwrap();
+            let (via_opts, mem_o) = engine.run_config(&w, &r.options(), &cfg).unwrap();
+            assert_eq!(via_repair, via_opts, "{r}");
+            assert_eq!(mem_r, mem_o, "{r}");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod pathtracer;
 pub mod reference;
 pub mod rsbench;
 pub mod seedstorm;
+pub mod srad;
 pub mod xsbench;
 
 pub use eval::{Engine, EvalJob, Rebind};

@@ -19,6 +19,12 @@
 //! MODE:      --baseline | --speculative (default) | --auto | --pgo
 //!            (--pgo profiles a baseline run, then applies profile-guided
 //!             §4.5 detection — run options also shape the profiling run)
+//!            --repair R       divergence-repair axis, overrides the mode
+//!                             flags: `pdom` | `sr` | `meld` | `sr+meld`
+//!                             | `auto` (`meld` is DARM-style control-flow
+//!                             melding of divergent if/else arms; `auto`
+//!                             lets the per-site cost models pick and
+//!                             compose melding + SR)
 //! options:   --kernel NAME    kernel to launch (default: first kernel)
 //!            --warps N        warps (default 4)
 //!            --mem N          global memory cells, zero-initialized (default 1024)
@@ -50,14 +56,15 @@
 //!            --out FILE       write the export to FILE instead of stdout
 //!
 //! sweep options:
-//!            --workload NAME  built-in workload to sweep (Table-2 name or
-//!                             `microbench`)
+//!            --workload NAME  built-in workload to sweep (Table-2 name,
+//!                             `microbench`, `seed-storm`, or `srad`)
 //!            --seeds LO..HI   half-open seed range to run (required)
 //!            --warps N        override the workload's warp count
 //!            --jobs N         worker threads (default: available parallelism)
 //!            --recon-model M  reconvergence model (as under `run`; non-default
 //!                             models run each seed on a scalar machine)
-//!            MODE             --baseline | --speculative (default) | --auto
+//!            MODE             --baseline | --speculative (default) | --auto,
+//!                             or --repair R as under `compile`/`run`
 //!
 //! serve options:
 //!            --addr A:P       bind address (default 127.0.0.1:8077; port 0
@@ -199,9 +206,11 @@ fn compile_by_mode(
 ) -> Result<specrecon::passes::Compiled, String> {
     if args.iter().any(|a| a == "--pgo") {
         let (cfg, launch) = launch_from_args(module, args)?;
+        // `--repair` threads into PGO too: e.g. `--repair auto --pgo`
+        // drives both profiled melding and profiled SR detection.
         compile_profile_guided(
             module,
-            &CompileOptions::speculative(),
+            &mode_options(args)?,
             &DetectOptions::default(),
             &cfg,
             &launch,
@@ -281,6 +290,9 @@ fn explain_cmd(module: &Module) -> Result<(), String> {
 }
 
 fn mode_options(args: &[String]) -> Result<CompileOptions, String> {
+    if let Some(spec) = flag_value(args, "--repair") {
+        return Ok(specrecon::passes::RepairStrategy::parse(spec)?.options());
+    }
     let mut opts = CompileOptions::speculative();
     for a in args {
         match a.as_str() {
@@ -525,7 +537,7 @@ fn parse_seed_range(s: &str) -> Result<(u64, u64), String> {
 /// the lockstep sweep engine and report per-seed plus aggregate SIMT
 /// efficiency.
 fn sweep_cmd(args: &[String]) -> Result<(), String> {
-    use specrecon::workloads::{eval, microbench, registry, seedstorm};
+    use specrecon::workloads::{eval, microbench, registry, seedstorm, srad};
     let name = flag_value(args, "--workload").ok_or("missing --workload NAME")?;
     let (lo, hi) = parse_seed_range(flag_value(args, "--seeds").ok_or("missing --seeds LO..HI")?)?;
     let jobs: usize = match flag_value(args, "--jobs") {
@@ -536,11 +548,13 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
         microbench::build_common_call(&microbench::Params::default())
     } else if name == "seed-storm" {
         seedstorm::build(&seedstorm::Params::default())
+    } else if name == "srad" {
+        srad::build(&srad::Params::default())
     } else {
         registry().into_iter().find(|w| w.name == name).ok_or_else(|| {
             let known: Vec<&str> = registry().iter().map(|w| w.name).collect();
             format!(
-                "unknown workload `{name}` (known: {}, microbench, seed-storm)",
+                "unknown workload `{name}` (known: {}, microbench, seed-storm, srad)",
                 known.join(", ")
             )
         })?
